@@ -1,0 +1,57 @@
+//! Criterion bench for claim C2: technology mapping onto CMOS vs
+//! controlled-polarity libraries, area and delay goals.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_logic::{map_aig, map_naive, Aig, MapGoal};
+use eda_netlist::{generate, Library};
+use std::hint::black_box;
+
+fn bench_map(c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 600,
+        seed: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let (aig, bnd) = Aig::from_netlist(&design).unwrap();
+    let mut group = c.benchmark_group("map");
+    group.bench_function("naive_nand", |b| {
+        b.iter(|| black_box(map_naive(&aig, &bnd, Library::nand_inv_2006()).unwrap().area_um2))
+    });
+    for (name, lib) in
+        [("generic_area", Library::generic()), ("polarity_area", Library::controlled_polarity())]
+    {
+        let lib_ref = lib.clone();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &lib_ref, |b, l| {
+            b.iter(|| black_box(map_aig(&aig, &bnd, l.clone(), MapGoal::Area).unwrap().area_um2))
+        });
+    }
+    group.bench_function("generic_delay", |b| {
+        b.iter(|| {
+            black_box(map_aig(&aig, &bnd, Library::generic(), MapGoal::Delay).unwrap().delay_ps)
+        })
+    });
+    group.finish();
+}
+
+fn bench_xor_rich(c: &mut Criterion) {
+    let parity = generate::parity_tree(64).unwrap();
+    let (aig, bnd) = Aig::from_netlist(&parity).unwrap();
+    let mut group = c.benchmark_group("map_parity64");
+    group.bench_function("cmos", |b| {
+        b.iter(|| black_box(map_aig(&aig, &bnd, Library::generic(), MapGoal::Area).unwrap().cells))
+    });
+    group.bench_function("polarity", |b| {
+        b.iter(|| {
+            black_box(
+                map_aig(&aig, &bnd, Library::controlled_polarity(), MapGoal::Area)
+                    .unwrap()
+                    .cells,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_map, bench_xor_rich);
+criterion_main!(benches);

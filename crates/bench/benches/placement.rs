@@ -1,0 +1,67 @@
+//! Criterion bench for claim C9: placement throughput vs thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eda_netlist::generate;
+use eda_place::{anneal, place_global, place_parallel, AnnealConfig, Die, GlobalConfig, ParallelConfig};
+use std::hint::black_box;
+
+fn bench_parallel_placement(c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 2000,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    let die = Die::for_netlist(&design, 0.7);
+    let mut group = c.benchmark_group("place_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(design.num_instances() as u64));
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    place_parallel(
+                        &design,
+                        die,
+                        &ParallelConfig { threads: t, moves_per_cell: 10, passes: 1, seed: 3 },
+                    )
+                    .hpwl_final,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stages(c: &mut Criterion) {
+    let design = generate::switch_fabric(4, 4).unwrap();
+    let die = Die::for_netlist(&design, 0.7);
+    let mut group = c.benchmark_group("place_stages");
+    group.bench_function("global", |b| {
+        b.iter(|| {
+            black_box(
+                place_global(&design, die, &GlobalConfig::default()).total_hpwl(&design),
+            )
+        })
+    });
+    let placed = place_global(&design, die, &GlobalConfig::default());
+    group.bench_function("anneal", |b| {
+        b.iter(|| {
+            let mut p = placed.clone();
+            black_box(
+                anneal(
+                    &design,
+                    &mut p,
+                    &AnnealConfig { moves_per_cell: 20, ..Default::default() },
+                    None,
+                    None,
+                )
+                .hpwl_after,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_placement, bench_stages);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench for claim C5: router algorithms under simple and
+//! multi-patterned rule decks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_netlist::generate;
+use eda_place::{place_global, Die, GlobalConfig};
+use eda_route::{astar, lee_bfs, mikami_tabuchi, route, GCell, RouteAlgorithm, RouteConfig, RoutingGrid, RuleDeck};
+use std::hint::black_box;
+
+fn bench_full_route(c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 400,
+        seed: 9,
+        ..Default::default()
+    })
+    .unwrap();
+    let die = Die::for_netlist(&design, 0.7);
+    let placement = place_global(&design, die, &GlobalConfig::default());
+    let mut group = c.benchmark_group("route_full");
+    group.sample_size(10);
+    for alg in [RouteAlgorithm::LeeBfs, RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{alg:?}")), &alg, |b, &a| {
+            b.iter(|| {
+                black_box(
+                    route(
+                        &design,
+                        &placement,
+                        &RouteConfig { algorithm: a, ..Default::default() },
+                    )
+                    .wirelength,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_connection(c: &mut Criterion) {
+    let grid = RoutingGrid::new(64, 64, &RuleDeck::simple(6));
+    let src = GCell::new(3, 5);
+    let dst = GCell::new(58, 60);
+    let mut group = c.benchmark_group("route_2pin_64x64");
+    group.bench_function("lee_bfs", |b| {
+        b.iter(|| black_box(lee_bfs(&grid, src, dst).unwrap().0.len()))
+    });
+    group.bench_function("astar", |b| {
+        b.iter(|| black_box(astar(&grid, src, dst, 1.0).unwrap().0.len()))
+    });
+    group.bench_function("mikami_tabuchi", |b| {
+        b.iter(|| black_box(mikami_tabuchi(&grid, src, dst, 10).unwrap().0.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_route, bench_single_connection);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench for claim C10: scan insertion and placement-aware
+//! reordering cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_dft::{insert_scan, reorder_chains, scan_wirelength};
+use eda_netlist::generate;
+use eda_place::{place_global, Die, GlobalConfig};
+use std::hint::black_box;
+
+fn bench_scan_insertion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_insert");
+    for ports in [4usize, 8] {
+        let design = generate::switch_fabric(ports, 4).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(design.flops().len()),
+            &design,
+            |b, d| b.iter(|| black_box(insert_scan(d, 2).unwrap().chains.len())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 800,
+        flop_fraction: 0.3,
+        seed: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let scanned = insert_scan(&design, 2).unwrap();
+    let die = Die::for_netlist(&scanned.netlist, 0.7);
+    let placement = place_global(&scanned.netlist, die, &GlobalConfig::default());
+    let mut group = c.benchmark_group("scan_reorder");
+    group.bench_function("nn_2opt", |b| {
+        b.iter(|| {
+            let chains = reorder_chains(&scanned.chains, &placement);
+            black_box(scan_wirelength(&chains, &placement))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_insertion, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench for claim C3: baseline-2006 vs advanced-2016 synthesis
+//! runtime and the underlying AIG optimization passes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_logic::{optimize_aig, synthesize, Aig, MapGoal, SynthesisEffort};
+use eda_netlist::{generate, Library};
+use std::hint::black_box;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synthesis");
+    for gates in [200usize, 500, 1000] {
+        let design = generate::random_logic(generate::RandomLogicConfig {
+            gates,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        group.bench_with_input(BenchmarkId::new("baseline2006", gates), &design, |b, d| {
+            b.iter(|| {
+                black_box(
+                    synthesize(
+                        d,
+                        Library::nand_inv_2006(),
+                        SynthesisEffort::Baseline2006,
+                        MapGoal::Area,
+                    )
+                    .unwrap()
+                    .area_um2,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("advanced2016", gates), &design, |b, d| {
+            b.iter(|| {
+                black_box(
+                    synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+                        .unwrap()
+                        .area_um2,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_aig_passes(c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 800,
+        seed: 3,
+        ..Default::default()
+    })
+    .unwrap();
+    let (aig, _) = Aig::from_netlist(&design).unwrap();
+    let mut group = c.benchmark_group("aig");
+    group.bench_function("balance", |b| b.iter(|| black_box(aig.balance().num_ands())));
+    group.bench_function("rewrite", |b| b.iter(|| black_box(aig.rewrite().num_ands())));
+    group.bench_function("optimize_script", |b| b.iter(|| black_box(optimize_aig(&aig).num_ands())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis, bench_aig_passes);
+criterion_main!(benches);

@@ -1,0 +1,703 @@
+//! The experiment runner: regenerates every quantitative claim of the DATE
+//! 2016 panel (see DESIGN.md §2 and EXPERIMENTS.md for the claim index).
+//!
+//! ```text
+//! cargo run --release -p eda-bench --bin experiments            # all claims
+//! cargo run --release -p eda-bench --bin experiments c3 c5 c9   # a subset
+//! ```
+
+use eda_core::{run_flow, Arm, FlowConfig, FlowTuner};
+use eda_dft::{
+    bypass_fault_sim, compressed_fault_sim, fault_list, insert_scan, reorder_chains, run_atpg,
+    scan_wirelength, AtpgConfig, CombView, TestAccess,
+};
+use eda_litho::{required_masks, run_opc, Layout, OpcConfig, OpticalModel};
+use eda_logic::{synthesize, MapGoal, SynthesisEffort};
+use eda_netlist::{generate, Library, Netlist};
+use eda_place::{
+    anneal, place_global, place_hierarchical, place_parallel, plan_buffers, AnnealConfig,
+    CongestionMap, Die, GlobalConfig, ParallelConfig,
+};
+use eda_power::{
+    analyze, dark_silicon_sweep, insert_decaps, node_power_sweep, Activity, ActivityConfig,
+    PowerConfig, PowerGrid,
+};
+use eda_route::{layer_sweep, route, RouteAlgorithm, RouteConfig};
+use eda_smart::{best_iot_node, codesign_flow, node_selection_sweep, sequential_flow, DutyCycle};
+use eda_sta::{TimingAnalysis, TimingConfig};
+use eda_tech::{CostModel, DesignStartModel, Node, PatterningPlan};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all = args.is_empty();
+    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let experiments: Vec<(&str, fn())> = vec![
+        ("c1", c1),
+        ("c2", c2),
+        ("c3", c3),
+        ("c4", c4),
+        ("c5", c5),
+        ("c6", c6),
+        ("c7", c7),
+        ("c8", c8),
+        ("c9", c9),
+        ("c10", c10),
+        ("c11", c11),
+        ("c12", c12),
+        ("c13", c13),
+        ("c14", c14),
+        ("c15", c15),
+        ("c16", c16),
+        ("b1", b1),
+        ("b2", b2),
+    ];
+    for (id, run) in experiments {
+        if want(id) {
+            run();
+            println!();
+        }
+    }
+}
+
+fn header(id: &str, claim: &str) {
+    println!("=== {} ===", id.to_uppercase());
+    println!("claim: {claim}");
+}
+
+/// B1 — the format-dualism overhead (UPF/CPF, CCS/ECSM) and its remedy.
+fn b1() {
+    use eda_logic::{check_equivalence, EcVerdict};
+    use eda_netlist::liberty;
+    header("b1", "format dualism (UPF/CPF, CCS-ECSM) duplicated IP delivery effort (Rossi)");
+    let lib = Library::generic();
+    let as_liberty = liberty::write_liberty(&lib);
+    let as_clf = liberty::write_clf(&lib);
+    let converted = liberty::clf_to_liberty(&as_clf).expect("lossless");
+    println!(
+        "deliveries: liberty {} B, clf {} B; clf->liberty conversion identical: {}",
+        as_liberty.len(),
+        as_clf.len(),
+        as_liberty == converted
+    );
+    let design = generate::alu(4).unwrap();
+    let a = synthesize(
+        &design,
+        liberty::parse_liberty(&as_liberty).unwrap(),
+        SynthesisEffort::Advanced2016,
+        MapGoal::Area,
+    )
+    .unwrap();
+    let b = synthesize(
+        &design,
+        liberty::parse_clf(&as_clf).unwrap(),
+        SynthesisEffort::Advanced2016,
+        MapGoal::Area,
+    )
+    .unwrap();
+    let ec = check_equivalence(&design, &a.netlist, &[], &[], 1 << 20).unwrap();
+    println!(
+        "same QoR from either delivery ({:.1} vs {:.1} um2); formal EC: {}",
+        a.area_um2,
+        b.area_um2,
+        matches!(ec, EcVerdict::Equivalent)
+    );
+}
+
+/// B2 — decomposition clears printability hotspots.
+fn b2() {
+    use eda_litho::{decompose, find_hotspots, find_hotspots_per_mask, Hotspot, HotspotConfig, Rect};
+    header("b2", "multi-patterning makes sub-pitch layouts printable (Domic/Sawicki, C4+C15)");
+    let model = OpticalModel::default();
+    let mut layout = Layout::new();
+    for i in 0..8 {
+        let x = i as f64 * 50.0;
+        layout.features.push(Rect::new(x, 0.0, x + 34.0, 2000.0));
+    }
+    let single = find_hotspots(&layout, &model, &HotspotConfig::default());
+    let bridges =
+        single.iter().filter(|h| matches!(h, Hotspot::Bridge { .. })).count();
+    let deco = decompose(&layout, 2, eda_tech::SINGLE_EXPOSURE_PITCH_NM, 0);
+    let after: usize = find_hotspots_per_mask(&deco, &model, &HotspotConfig::default())
+        .iter()
+        .flatten()
+        .filter(|h| matches!(h, Hotspot::Bridge { .. }))
+        .count();
+    println!(
+        "34nm lines / 16nm spaces: {bridges} bridge hotspots single-exposure -> {after} after double patterning ({} masks, legal={})",
+        deco.masks, deco.legal
+    );
+}
+
+/// C1 — integration capacity: two orders of magnitude in a decade.
+fn c1() {
+    header("c1", "integration capacity +2 orders of magnitude, 90nm (2006) -> 10nm (2016)");
+    println!("{:>7} {:>10} {:>12}", "node", "MTr/mm2", "capacity");
+    for node in
+        [Node::N90, Node::N65, Node::N45, Node::N32, Node::N28, Node::N20, Node::N14, Node::N10]
+    {
+        println!(
+            "{:>7} {:>10.2} {:>11.0}M",
+            node.to_string(),
+            node.spec().density_mtr_per_mm2,
+            node.integration_capacity()
+        );
+    }
+    let growth = Node::N10.integration_capacity() / Node::N90.integration_capacity();
+    println!("measured: {growth:.0}x  (paper: \"two orders of magnitude\")");
+}
+
+/// C2 — functionality-enhanced devices favour XOR-rich logic.
+fn c2() {
+    header("c2", "controlled-polarity SiNW/CNT devices need new logic abstractions (De Micheli)");
+    let designs: Vec<(&str, Netlist)> = vec![
+        ("parity16", generate::parity_tree(16).unwrap()),
+        ("adder8", generate::ripple_carry_adder(8).unwrap()),
+        ("comparator8", generate::equality_comparator(8).unwrap()),
+        (
+            "random",
+            generate::random_logic(generate::RandomLogicConfig {
+                gates: 300,
+                seed: 2,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+    ];
+    println!("{:>12} {:>12} {:>14} {:>8}", "design", "CMOS um2", "polarity um2", "gain");
+    for (name, d) in &designs {
+        let cmos =
+            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+                .unwrap();
+        let pol = synthesize(
+            d,
+            Library::controlled_polarity(),
+            SynthesisEffort::Advanced2016,
+            MapGoal::Area,
+        )
+        .unwrap();
+        println!(
+            "{:>12} {:>12.1} {:>14.1} {:>7.1}%",
+            name,
+            cmos.area_um2,
+            pol.area_um2,
+            100.0 * (1.0 - pol.area_um2 / cmos.area_um2)
+        );
+    }
+    println!("shape: XOR-rich functions gain most on polarity devices");
+}
+
+/// C3 — a decade of synthesis: ~30% area (and perf, power) improvement.
+fn c3() {
+    header("c3", "advanced RTL synthesis improved area ~30% in ten years (Domic)");
+    let designs: Vec<(&str, Netlist)> = vec![
+        ("adder16", generate::ripple_carry_adder(16).unwrap()),
+        ("mult4", generate::array_multiplier(4).unwrap()),
+        ("parity32", generate::parity_tree(32).unwrap()),
+        (
+            "rand500",
+            generate::random_logic(generate::RandomLogicConfig {
+                gates: 500,
+                seed: 7,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+        ("fabric", generate::switch_fabric(4, 4).unwrap()),
+    ];
+    println!(
+        "{:>9} {:>11} {:>11} {:>7} {:>9} {:>9} {:>7}",
+        "design", "2006 um2", "2016 um2", "area", "2006 ps", "2016 ps", "perf"
+    );
+    let (mut a06, mut a16, mut p06, mut p16, mut w06, mut w16) = (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+    for (name, d) in &designs {
+        let base = synthesize(
+            d,
+            Library::nand_inv_2006(),
+            SynthesisEffort::Baseline2006,
+            MapGoal::Area,
+        )
+        .unwrap();
+        let adv =
+            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+                .unwrap();
+        let tb = TimingAnalysis::run(&base.netlist, &TimingConfig::default()).unwrap();
+        let ta = TimingAnalysis::run(&adv.netlist, &TimingConfig::default()).unwrap();
+        let act = ActivityConfig::default();
+        let pb = analyze(
+            &base.netlist,
+            &Activity::estimate(&base.netlist, &act).unwrap(),
+            &PowerConfig::default(),
+        );
+        let pa = analyze(
+            &adv.netlist,
+            &Activity::estimate(&adv.netlist, &act).unwrap(),
+            &PowerConfig::default(),
+        );
+        println!(
+            "{:>9} {:>11.0} {:>11.0} {:>6.1}% {:>9.0} {:>9.0} {:>6.1}%",
+            name,
+            base.area_um2,
+            adv.area_um2,
+            100.0 * (1.0 - adv.area_um2 / base.area_um2),
+            tb.critical_path_ps,
+            ta.critical_path_ps,
+            100.0 * (1.0 - ta.critical_path_ps / tb.critical_path_ps),
+        );
+        a06 += base.area_um2;
+        a16 += adv.area_um2;
+        p06 += tb.critical_path_ps;
+        p16 += ta.critical_path_ps;
+        w06 += pb.total_mw();
+        w16 += pa.total_mw();
+    }
+    println!(
+        "suite: area -{:.1}%, delay -{:.1}%, power -{:.1}%   (paper: ~30% each)",
+        100.0 * (1.0 - a16 / a06),
+        100.0 * (1.0 - p16 / p06),
+        100.0 * (1.0 - w16 / w06)
+    );
+}
+
+/// C4 — the multi-patterning ladder.
+fn c4() {
+    header(
+        "c4",
+        "80nm single-exposure pitch floor; double/triple/quad from 20nm; octuple at 5nm (Domic)",
+    );
+    println!("{:>7} {:>10} {:>15} {:>15}", "node", "pitch nm", "model masks", "measured masks");
+    for node in [Node::N28, Node::N22, Node::N20, Node::N14, Node::N10, Node::N7, Node::N5] {
+        let plan = PatterningPlan::for_node(node);
+        // Empirical: colour a dense line array at the node pitch.
+        let layout = Layout::line_array(14, node.spec().metal_pitch_nm, 3000.0);
+        let measured = required_masks(&layout, eda_tech::SINGLE_EXPOSURE_PITCH_NM);
+        println!(
+            "{:>7} {:>10.0} {:>6} ({:>8}) {:>13}",
+            node.to_string(),
+            node.spec().metal_pitch_nm,
+            plan.total_exposures(),
+            plan.scheme().to_string(),
+            measured
+        );
+    }
+    println!("shape: measured line-mask count matches the model's line-multiplicity term");
+}
+
+/// C5 — routers: line search vs maze, and the 6->4 layer cost lever.
+fn c5() {
+    header(
+        "c5",
+        "line-search routers win under simpler rules; 6->4 layers slashes 15-20% cost (Domic)",
+    );
+    let d = generate::random_logic(generate::RandomLogicConfig {
+        gates: 500,
+        seed: 9,
+        ..Default::default()
+    })
+    .unwrap();
+    let die = Die::for_netlist(&d, 0.7);
+    let placement = place_global(&d, die, &GlobalConfig::default());
+    println!(
+        "{:>11} {:>10} {:>8} {:>10} {:>10} {:>9}",
+        "algorithm", "wl", "vias", "overflow", "expanded", "sec"
+    );
+    for alg in [RouteAlgorithm::LeeBfs, RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+        let out = route(
+            &d,
+            &placement,
+            &RouteConfig { algorithm: alg, grid_cells: 48, ..Default::default() },
+        );
+        println!(
+            "{:>11} {:>10} {:>8} {:>10} {:>10} {:>9.3}",
+            format!("{alg:?}"),
+            out.wirelength,
+            out.vias,
+            out.overflow,
+            out.cells_expanded,
+            out.seconds
+        );
+    }
+    // Layer reduction: a lighter A&M/S-class digital block at 130nm. The
+    // question is which router still closes as layers come off.
+    let amsd = generate::random_logic(generate::RandomLogicConfig {
+        gates: 250,
+        seed: 4,
+        ..Default::default()
+    })
+    .unwrap();
+    let ams_die = Die::for_netlist(&amsd, 0.7);
+    let ams_place = place_global(&amsd, ams_die, &GlobalConfig::default());
+    println!("\nlayer sweep (baseline vs negotiated) with the 130nm cost model:");
+    let m = CostModel::new(Node::N130);
+    println!(
+        "{:>7} {:>14} {:>14} {:>13} {:>9}",
+        "layers", "Lee overflow", "A* overflow", "wafer cost $", "vs 6L"
+    );
+    let mut min_clean = None;
+    for layers in [6u32, 5, 4, 3] {
+        let lee = layer_sweep(&amsd, &ams_place, [layers], RouteAlgorithm::LeeBfs)
+            .pop()
+            .expect("one entry")
+            .1;
+        let adv = layer_sweep(&amsd, &ams_place, [layers], RouteAlgorithm::AStar)
+            .pop()
+            .expect("one entry")
+            .1;
+        if adv.overflow == 0 {
+            min_clean = Some(layers);
+        }
+        let cost = m.wafer_cost_with_layers(layers);
+        println!(
+            "{:>7} {:>14} {:>14} {:>13.0} {:>8.1}%",
+            layers,
+            lee.overflow,
+            adv.overflow,
+            cost,
+            100.0 * (1.0 - cost / m.wafer_cost_with_layers(6))
+        );
+    }
+    match min_clean {
+        Some(l) if l <= 4 => println!(
+            "measured: the negotiated router closes at {l} layers ({:.1}% cheaper than 6L)",
+            100.0 * (1.0 - m.wafer_cost_with_layers(l) / m.wafer_cost_with_layers(6))
+        ),
+        _ => println!("measured: this block needs more than 4 layers at this utilization"),
+    }
+}
+
+/// C6 — power: the static crossover and design-for-power vs dark silicon.
+fn c6() {
+    header(
+        "c6",
+        "voltage scaling from 130nm; static overtakes dynamic at 90/65; techniques prevent dark silicon (Domic)",
+    );
+    let d = generate::switch_fabric(4, 4).unwrap();
+    let act = Activity::estimate(&d, &ActivityConfig::default()).unwrap();
+    println!("{:>7} {:>12} {:>12} {:>10}", "node", "dynamic mW", "static mW", "static %");
+    for row in node_power_sweep(&d, &act, 200.0) {
+        println!(
+            "{:>7} {:>12.3} {:>12.3} {:>9.1}%",
+            row.node.to_string(),
+            row.dynamic_mw,
+            row.leakage_mw,
+            100.0 * row.leakage_mw / (row.dynamic_mw + row.leakage_mw)
+        );
+    }
+    println!("\ndark silicon (80mm2 die, 3W budget, 500MHz):");
+    println!("{:>7} {:>12} {:>16}", "node", "naive usable", "with techniques");
+    for row in dark_silicon_sweep(80.0, 3.0, 500.0) {
+        println!(
+            "{:>7} {:>11.0}% {:>15.0}%",
+            row.node.to_string(),
+            100.0 * row.usable_naive,
+            100.0 * row.usable_with_techniques
+        );
+    }
+}
+
+/// C7 — flat vs hierarchical implementation: buffering.
+fn c7() {
+    header("c7", "flat implementation saves area & power through less buffering (Domic)");
+    let d = generate::hierarchical_design(4, 150, 11).unwrap();
+    let die = Die::for_netlist(&d, 0.5);
+    let hier = place_hierarchical(&d, die, 3);
+    let mut flat = hier.placement.clone();
+    anneal(&d, &mut flat, &AnnealConfig::default(), None, None);
+    let max_len = die.width_um / 4.0;
+    let flat_plan = plan_buffers(&d, &flat, max_len, &[]);
+    let forced: Vec<(usize, u32)> = hier.crossing_nets.iter().map(|&i| (i, 2)).collect();
+    let hier_plan = plan_buffers(&d, &hier.placement, max_len, &forced);
+    println!("{:>14} {:>10} {:>12} {:>12}", "flow", "buffers", "buf um2", "leak nW");
+    println!(
+        "{:>14} {:>10} {:>12.1} {:>12.1}",
+        "hierarchical", hier_plan.total, hier_plan.added_area_um2, hier_plan.added_leakage_nw
+    );
+    println!(
+        "{:>14} {:>10} {:>12.1} {:>12.1}",
+        "flat", flat_plan.total, flat_plan.added_area_um2, flat_plan.added_leakage_nw
+    );
+    println!(
+        "measured: flat saves {:.0}% of buffers ({} boundary-crossing nets)",
+        100.0 * (1.0 - flat_plan.total as f64 / hier_plan.total.max(1) as f64),
+        hier.crossing_nets.len()
+    );
+}
+
+/// C8 — design-start distribution.
+fn c8() {
+    header("c8", ">90% of design starts at 32/28nm and above; 180nm >25% (Domic)");
+    let m = DesignStartModel::year_2016();
+    println!("{:>7} {:>9}", "node", "share");
+    for &(node, share) in m.rows() {
+        println!("{:>7} {:>8.1}%", node.to_string(), share * 100.0);
+    }
+    println!(
+        "at/above 32/28nm: {:.0}%   most designed: {} ({:.0}%)",
+        100.0 * m.share_at_or_above(Node::N28),
+        m.most_designed(),
+        100.0 * m.share(m.most_designed())
+    );
+}
+
+/// C9 — multicore P&R throughput.
+fn c9() {
+    header("c9", "P&R throughput ~1M instances/day on multicore farms (Rossi)");
+    let d = generate::random_logic(generate::RandomLogicConfig {
+        gates: 3000,
+        seed: 5,
+        ..Default::default()
+    })
+    .unwrap();
+    let die = Die::for_netlist(&d, 0.7);
+    println!("design: {} instances", d.num_instances());
+    println!(
+        "{:>8} {:>12} {:>14} {:>16} {:>10}",
+        "threads", "core-sec", "inst/sec", "inst/day", "hpwl"
+    );
+    // Projected timing: this harness measures each worker's busy time and
+    // takes the per-pass maximum, i.e. the wall clock a real multicore farm
+    // would see (this host may have fewer cores than workers).
+    let refined = (d.num_instances() * 2) as f64;
+    let mut t1 = 0.0;
+    for threads in [1usize, 2, 4, 8] {
+        let out = place_parallel(
+            &d,
+            die,
+            &ParallelConfig { threads, moves_per_cell: 20, passes: 2, seed: 3 },
+        );
+        if threads == 1 {
+            t1 = out.projected_refine_seconds;
+        }
+        let ips = out.projected_instances_per_second(refined);
+        println!(
+            "{:>8} {:>12.2} {:>14.0} {:>16.2e} {:>10.0}  (speedup {:.2}x)",
+            threads,
+            out.projected_refine_seconds,
+            ips,
+            ips * 86_400.0,
+            out.hpwl_final,
+            t1 / out.projected_refine_seconds
+        );
+    }
+    println!("shape: throughput scales with cores; absolute numbers reflect the simulator substrate");
+}
+
+/// C10 — scan-chain reordering during implementation.
+fn c10() {
+    header("c10", "scan reordering during implementation relieves congestion/wirelength (Rossi)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8} {:>12}",
+        "design", "fe-order um", "reorder um", "gain", "peak demand"
+    );
+    for (name, d) in [
+        ("fabric8", generate::switch_fabric(8, 4).unwrap()),
+        (
+            "rand",
+            generate::random_logic(generate::RandomLogicConfig {
+                gates: 600,
+                flop_fraction: 0.25,
+                seed: 8,
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+    ] {
+        let s = insert_scan(&d, 2).unwrap();
+        let die = Die::for_netlist(&s.netlist, 0.7);
+        let p = place_global(&s.netlist, die, &GlobalConfig::default());
+        let before = scan_wirelength(&s.chains, &p);
+        let reordered = reorder_chains(&s.chains, &p);
+        let after = scan_wirelength(&reordered, &p);
+        let cong = CongestionMap::build(&s.netlist, &p, 8, 1e9);
+        println!(
+            "{:>10} {:>12.0} {:>12.0} {:>7.0}% {:>12.0}",
+            name,
+            before,
+            after,
+            100.0 * (1.0 - after / before),
+            cong.max_demand()
+        );
+    }
+}
+
+/// C11 — the self-learning implementation engine.
+fn c11() {
+    header("c11", "a built-in self-learning engine exploiting previous runs (Rossi)");
+    let d = generate::random_logic(generate::RandomLogicConfig {
+        gates: 300,
+        seed: 21,
+        ..Default::default()
+    })
+    .unwrap();
+    let base_cfg = FlowConfig::advanced_2016(Node::N28);
+    let mut tuner = FlowTuner::new(7);
+    println!("{:>5} {:>10} {:>12} {:>12}", "run", "arm", "score", "best-so-far");
+    let mut best = f64::INFINITY;
+    for run in 0..10 {
+        let i = tuner.suggest();
+        let arm: Arm = tuner.arms()[i].clone();
+        let cfg = arm.apply(&base_cfg);
+        let report = run_flow(&d, &cfg).unwrap();
+        let score = report.score();
+        tuner.record(i, score);
+        best = best.min(score);
+        println!("{:>5} {:>10} {:>12.1} {:>12.1}", run + 1, arm.name, score, best);
+    }
+    let learned = &tuner.arms()[tuner.best_arm()];
+    println!("learned arm: `{}` — subsequent runs start from the best-known recipe", learned.name);
+}
+
+/// C12 — networking activity, hot spots, automatic decap.
+fn c12() {
+    header(
+        "c12",
+        "networking ASICs at >5x switching activity need automatic hot-spot/decap handling (Rossi)",
+    );
+    let d = generate::switch_fabric(8, 4).unwrap();
+    let die = Die::for_netlist(&d, 0.7);
+    let p = place_global(&d, die, &GlobalConfig::default());
+    let base = Activity::estimate(&d, &ActivityConfig::default()).unwrap();
+    let pcfg = PowerConfig { node: Node::N28, freq_mhz: 1000.0, ..Default::default() };
+    let limit = {
+        let g1 = PowerGrid::build(&d, &p, &base, &pcfg, 8);
+        g1.peak_droop(Node::N28) * 1.2
+    };
+    println!("{:>10} {:>12} {:>10} {:>9} {:>8}", "activity", "power mW", "hotspots", "decaps", "after");
+    for factor in [1.0, 3.0, 5.0, 8.0] {
+        let act = base.scaled(factor);
+        let power = analyze(&d, &act, &pcfg);
+        let mut grid = PowerGrid::build(&d, &p, &act, &pcfg, 8);
+        let before = grid.hotspots(Node::N28, limit).len();
+        let out = insert_decaps(&d, &mut grid, Node::N28, limit).unwrap();
+        println!(
+            "{:>9.0}x {:>12.2} {:>10} {:>9} {:>8}",
+            factor,
+            power.total_mw(),
+            before,
+            out.decaps_inserted,
+            out.hotspots_after
+        );
+    }
+}
+
+/// C13 — holistic co-design vs sequential ad-hoc.
+fn c13() {
+    header("c13", "holistic smart-system co-design beats separate ad-hoc flows (Macii)");
+    let seq = sequential_flow();
+    let co = codesign_flow();
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>10} {:>8}",
+        "flow", "$ / unit", "mm2", "battery d", "TTM wks", "score"
+    );
+    for (name, f) in [("sequential", seq), ("codesign", co)] {
+        println!(
+            "{:>12} {:>10.2} {:>10.0} {:>12.0} {:>10.0} {:>8.1}",
+            name,
+            f.metrics.unit_cost_usd,
+            f.metrics.footprint_mm2,
+            f.metrics.battery_life_days,
+            f.metrics.time_to_market_weeks,
+            f.metrics.score()
+        );
+    }
+}
+
+/// C14 — test compression retargeted at low-pin-count test.
+fn c14() {
+    header(
+        "c14",
+        "high-compression DFT retargets to low-pin-count test -> cheaper packages (Sawicki)",
+    );
+    let d = generate::switch_fabric(4, 4).unwrap();
+    let view = CombView::new(&d).unwrap();
+    let faults = fault_list(&d);
+    let flops = d.flops().len();
+    println!("{:>6} {:>8} {:>11} {:>12} {:>12}", "pins", "chains", "coverage", "test ms", "ratio");
+    for (pins, chains) in [(16usize, 16usize), (8, 16), (4, 16), (2, 16), (2, 32)] {
+        let access = TestAccess { scan_pins: pins, internal_chains: chains, flops, shift_mhz: 50.0 };
+        let out = compressed_fault_sim(&d, &view, &faults, &access, 256, 5);
+        println!(
+            "{:>6} {:>8} {:>10.1}% {:>12.3} {:>11.1}x",
+            pins,
+            chains,
+            100.0 * out.coverage,
+            1e3 * out.test_time_s,
+            access.compression_ratio()
+        );
+    }
+    let bypass = bypass_fault_sim(
+        &d,
+        &view,
+        &faults,
+        &TestAccess { scan_pins: 2, internal_chains: 2, flops, shift_mhz: 50.0 },
+        256,
+        5,
+    );
+    println!(
+        "bypass (2 pins, no compression): coverage {:.1}%, test {:.3} ms",
+        100.0 * bypass.coverage,
+        1e3 * bypass.test_time_s
+    );
+    let atpg = run_atpg(&d, &view, &faults, &AtpgConfig::default());
+    println!(
+        "ATPG reference coverage: {:.1}% with {} patterns",
+        100.0 * atpg.coverage,
+        atpg.patterns.len()
+    );
+}
+
+/// C15 — computational lithography: OPC vs feature size.
+fn c15() {
+    header("c15", "computational lithography (OPC) enables scaling without EUV (Sawicki)");
+    let model = OpticalModel::default();
+    println!("{:>10} {:>12} {:>12} {:>12}", "pitch nm", "no-OPC EPE", "OPC EPE", "iterations");
+    for pitch in [160.0, 120.0, 100.0, 90.0, 80.0, 64.0] {
+        let lines = 8;
+        let offset = 300.0;
+        let target: Vec<(f64, f64)> = (0..lines)
+            .map(|i| {
+                let x = offset + i as f64 * pitch;
+                (x, x + pitch / 2.0)
+            })
+            .collect();
+        let extent = offset * 2.0 + pitch * lines as f64;
+        let cfg = OpcConfig::default();
+        let out = run_opc(&model, &target, extent, &cfg);
+        println!(
+            "{:>10.0} {:>12.2} {:>12.2} {:>12}",
+            pitch,
+            out.rms_epe_history[0],
+            out.final_rms_epe(),
+            cfg.iterations
+        );
+    }
+    println!("shape: OPC recovers EPE down to the single-exposure pitch, then multi-patterning must take over (C4)");
+    println!(
+        "grating contrast: 120nm {:.2}, 80nm {:.2}, 50nm {:.2}",
+        model.grating_contrast(120.0),
+        model.grating_contrast(80.0),
+        model.grating_contrast(50.0)
+    );
+}
+
+/// C16 — IoT node selection and energy autonomy.
+fn c16() {
+    header(
+        "c16",
+        "IoT leverages established-node variants; energy autonomy is the constraint (Sawicki)",
+    );
+    let duty = DutyCycle::new(0.01, 0.002);
+    println!("{:>7} {:>10} {:>12} {:>8} {:>9}", "node", "MCU $", "battery d", "perf", "merit");
+    let points = node_selection_sweep(&duty, 800.0, 0.0);
+    for p in &points {
+        println!(
+            "{:>7} {:>10.2} {:>12.0} {:>8.1} {:>9.1}",
+            p.node.to_string(),
+            p.mcu_cost_usd,
+            p.battery_life_days,
+            p.performance,
+            p.merit
+        );
+    }
+    let best = best_iot_node(&points);
+    println!("best IoT merit: {best} (established: {})", best.is_established());
+}

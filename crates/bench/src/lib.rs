@@ -1,0 +1,1 @@
+//! Benchmark harness library (all content lives in the `experiments` binary and Criterion benches).

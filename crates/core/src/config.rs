@@ -1,0 +1,167 @@
+//! Flow configuration: the knobs of the integrated RTL-to-layout pipeline,
+//! with the two presets the panel's decade comparison needs.
+
+use eda_logic::{MapGoal, SynthesisEffort};
+use eda_netlist::Library;
+use eda_route::RouteAlgorithm;
+use eda_tech::Node;
+use std::sync::Arc;
+
+/// Which standard-cell library the flow maps onto.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LibraryChoice {
+    /// The rich modern library.
+    Generic,
+    /// The impoverished NAND2/INV/DFF baseline library.
+    NandInv2006,
+    /// De Micheli's controlled-polarity device library.
+    ControlledPolarity,
+}
+
+impl LibraryChoice {
+    /// Resolves to the concrete library.
+    pub fn library(self) -> Arc<Library> {
+        match self {
+            LibraryChoice::Generic => Library::generic(),
+            LibraryChoice::NandInv2006 => Library::nand_inv_2006(),
+            LibraryChoice::ControlledPolarity => Library::controlled_polarity(),
+        }
+    }
+}
+
+/// Placement effort knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaceEffort {
+    /// Global-placement smoothing iterations.
+    pub global_iterations: usize,
+    /// Annealing moves per cell.
+    pub anneal_moves_per_cell: usize,
+    /// Worker threads for partitioned refinement.
+    pub threads: usize,
+}
+
+/// DFT options.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Number of scan chains.
+    pub chains: usize,
+    /// Reorder chains from placement (Rossi's complaint when absent).
+    pub placement_aware_reorder: bool,
+}
+
+/// Power options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerOptions {
+    /// Insert clock gates with this group size (0 = off).
+    pub clock_gating_group: usize,
+    /// Automatic decap insertion against this droop limit in mV
+    /// (`None` = off).
+    pub decap_droop_limit_mv: Option<f64>,
+}
+
+/// The complete flow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Preset name (for reports).
+    pub name: String,
+    /// Target node.
+    pub node: Node,
+    /// Library to map onto.
+    pub library: LibraryChoice,
+    /// Synthesis preset.
+    pub synthesis: SynthesisEffort,
+    /// Mapping objective.
+    pub map_goal: MapGoal,
+    /// Core utilization for floorplanning.
+    pub utilization: f64,
+    /// Placement effort.
+    pub place: PlaceEffort,
+    /// Router algorithm.
+    pub router: RouteAlgorithm,
+    /// Metal layers used for routing.
+    pub layers: u32,
+    /// Rip-up and re-route iterations.
+    pub ripup_iterations: usize,
+    /// Scan insertion (None = no DFT).
+    pub scan: Option<ScanOptions>,
+    /// Power techniques.
+    pub power: PowerOptions,
+    /// Clock frequency in MHz.
+    pub clock_mhz: f64,
+    /// Formally verify the mapped netlist against the input design (BDD
+    /// equivalence check with simulation fallback).
+    pub verify_synthesis: bool,
+    /// RNG seed for all stochastic stages.
+    pub seed: u64,
+}
+
+impl FlowConfig {
+    /// The decade-old baseline: naive synthesis onto the poor library, BFS
+    /// routing without negotiation, no design-for-power, no placement-aware
+    /// scan.
+    pub fn basic_2006(node: Node) -> FlowConfig {
+        FlowConfig {
+            name: "basic-2006".into(),
+            node,
+            library: LibraryChoice::NandInv2006,
+            synthesis: SynthesisEffort::Baseline2006,
+            map_goal: MapGoal::Area,
+            utilization: 0.6,
+            place: PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, threads: 1 },
+            router: RouteAlgorithm::LeeBfs,
+            layers: node.spec().typical_metal_layers,
+            ripup_iterations: 0,
+            scan: Some(ScanOptions { chains: 1, placement_aware_reorder: false }),
+            power: PowerOptions { clock_gating_group: 0, decap_droop_limit_mv: None },
+            clock_mhz: 200.0,
+            verify_synthesis: false,
+            seed: 1,
+        }
+    }
+
+    /// The advanced 2016 flow: optimized synthesis onto the rich library,
+    /// negotiated line-search routing, clock gating, decaps, and
+    /// placement-aware scan reordering.
+    pub fn advanced_2016(node: Node) -> FlowConfig {
+        FlowConfig {
+            name: "advanced-2016".into(),
+            node,
+            library: LibraryChoice::Generic,
+            synthesis: SynthesisEffort::Advanced2016,
+            map_goal: MapGoal::Area,
+            utilization: 0.7,
+            place: PlaceEffort { global_iterations: 10, anneal_moves_per_cell: 40, threads: 4 },
+            router: RouteAlgorithm::LineSearch,
+            layers: node.spec().typical_metal_layers,
+            ripup_iterations: 6,
+            scan: Some(ScanOptions { chains: 2, placement_aware_reorder: true }),
+            power: PowerOptions { clock_gating_group: 8, decap_droop_limit_mv: Some(50.0) },
+            clock_mhz: 200.0,
+            verify_synthesis: true,
+            seed: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_it_matters() {
+        let b = FlowConfig::basic_2006(Node::N90);
+        let a = FlowConfig::advanced_2016(Node::N90);
+        assert_ne!(b.synthesis, a.synthesis);
+        assert_ne!(b.router, a.router);
+        assert_eq!(b.power.clock_gating_group, 0);
+        assert!(a.power.clock_gating_group > 0);
+        assert!(a.place.threads > b.place.threads);
+    }
+
+    #[test]
+    fn library_choices_resolve() {
+        assert!(LibraryChoice::Generic.library().find("XOR2_X1").is_some());
+        assert!(LibraryChoice::NandInv2006.library().find("XOR2_X1").is_none());
+        assert!(LibraryChoice::ControlledPolarity.library().find("XOR2_P").is_some());
+    }
+}

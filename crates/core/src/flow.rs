@@ -1,0 +1,326 @@
+//! The integrated RTL-to-layout flow: the panel's "advanced EDA solution"
+//! as one callable pipeline.
+//!
+//! Stages: synthesis → clock gating → scan insertion → placement →
+//! scan reordering → timing → routing → lithography decomposition → power
+//! analysis → power-grid signoff → test-coverage estimation. Every stage is
+//! timed and summarized into a [`FlowReport`](crate::report::FlowReport).
+
+use crate::config::FlowConfig;
+use crate::report::FlowReport;
+use eda_dft::{fault_list, fault_sim, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
+use eda_litho::{decompose, Layout};
+use eda_logic::{check_equivalence, synthesize, EcVerdict};
+use eda_netlist::{Netlist, NetlistStats};
+use eda_place::{anneal, place_global, plan_buffers, synthesize_clock_tree, AnnealConfig, CtsConfig, Die, GlobalConfig, ParallelConfig};
+use eda_power::{analyze, insert_clock_gating, insert_decaps, solve_ir_drop, Activity, ActivityConfig, MeshConfig, PowerConfig, PowerGrid};
+use eda_route::{route, RouteConfig, RuleDeck};
+use eda_sta::{TimingAnalysis, TimingConfig};
+use eda_tech::PatterningPlan;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Errors surfaced by the flow.
+#[derive(Debug)]
+pub enum FlowError {
+    /// Synthesis failed.
+    Synthesis(eda_logic::SynthesisError),
+    /// A netlist transformation failed.
+    Netlist(eda_netlist::NetlistError),
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
+            FlowError::Netlist(e) => write!(f, "netlist transform failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<eda_logic::SynthesisError> for FlowError {
+    fn from(e: eda_logic::SynthesisError) -> Self {
+        FlowError::Synthesis(e)
+    }
+}
+
+impl From<eda_netlist::NetlistError> for FlowError {
+    fn from(e: eda_netlist::NetlistError) -> Self {
+        FlowError::Netlist(e)
+    }
+}
+
+/// Runs the full flow on a design.
+///
+/// # Errors
+///
+/// Returns a [`FlowError`] if synthesis or a netlist transformation fails
+/// (e.g. the input contains non-synthesizable cells).
+pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowError> {
+    let mut stage_seconds: BTreeMap<String, f64> = BTreeMap::new();
+    let mut timer = Timer::new();
+
+    // ---- synthesis ----
+    let lib = cfg.library.library();
+    let synth = synthesize(design, lib.clone(), cfg.synthesis, cfg.map_goal)?;
+    let mut netlist = synth.netlist;
+    let mut synthesis_verified = None;
+    if cfg.verify_synthesis {
+        synthesis_verified = match check_equivalence(design, &netlist, &[], &[], 1 << 19) {
+            Ok(EcVerdict::Equivalent) => Some(true),
+            Ok(EcVerdict::Counterexample(_)) => Some(false),
+            Ok(EcVerdict::Inconclusive) | Err(_) => None,
+        };
+    }
+    stage_seconds.insert("1_synthesis".into(), timer.lap());
+
+    // ---- clock gating (before scan so gates see plain flops) ----
+    if cfg.power.clock_gating_group > 0 {
+        if let Ok(g) = insert_clock_gating(&netlist, cfg.power.clock_gating_group) {
+            netlist = g.netlist;
+        }
+    }
+    stage_seconds.insert("2_clock_gating".into(), timer.lap());
+
+    // ---- scan insertion ----
+    let mut chains = Vec::new();
+    if let Some(scan) = cfg.scan {
+        let s = insert_scan(&netlist, scan.chains)?;
+        netlist = s.netlist;
+        chains = s.chains;
+    }
+    stage_seconds.insert("3_scan".into(), timer.lap());
+
+    let stats = NetlistStats::of(&netlist);
+
+    // ---- placement ----
+    let die = Die::for_netlist(&netlist, cfg.utilization);
+    let mut placement = if cfg.place.threads > 1 {
+        eda_place::place_parallel(
+            &netlist,
+            die,
+            &ParallelConfig {
+                threads: cfg.place.threads,
+                moves_per_cell: cfg.place.anneal_moves_per_cell,
+                passes: 2,
+                seed: cfg.seed,
+            },
+        )
+        .placement
+    } else {
+        let mut p = place_global(
+            &netlist,
+            die,
+            &GlobalConfig { iterations: cfg.place.global_iterations, seed: cfg.seed },
+        );
+        anneal(
+            &netlist,
+            &mut p,
+            &AnnealConfig {
+                moves_per_cell: cfg.place.anneal_moves_per_cell,
+                seed: cfg.seed,
+                ..Default::default()
+            },
+            None,
+            None,
+        );
+        p
+    };
+    stage_seconds.insert("4_place".into(), timer.lap());
+
+    // ---- scan reordering (placement-aware) ----
+    if let Some(scan) = cfg.scan {
+        if scan.placement_aware_reorder && !chains.is_empty() {
+            chains = reorder_chains(&chains, &placement);
+        }
+    }
+    let scan_wl = scan_wirelength(&chains, &placement);
+    stage_seconds.insert("5_scan_reorder".into(), timer.lap());
+
+    // ---- clock-tree synthesis ----
+    let (clock_tree, _sinks) = synthesize_clock_tree(&netlist, &placement, &CtsConfig::default());
+    stage_seconds.insert("6_cts".into(), timer.lap());
+
+    // ---- timing (setup at nominal, hold at the fast corner) ----
+    let tcfg = TimingConfig {
+        clock_period_ps: 1e6 / cfg.clock_mhz,
+        ..Default::default()
+    };
+    let timing = TimingAnalysis::run(&netlist, &tcfg)?;
+    stage_seconds.insert("6_sta".into(), timer.lap());
+
+    // ---- routing ----
+    let plan = PatterningPlan::for_node(cfg.node);
+    let deck = if plan.needs_decomposition() {
+        RuleDeck::multi_patterned(cfg.layers, plan.total_exposures())
+    } else {
+        RuleDeck::simple(cfg.layers)
+    };
+    let routed = route(
+        &netlist,
+        &placement,
+        &RouteConfig {
+            algorithm: cfg.router,
+            deck,
+            grid_cells: 32,
+            ripup_iterations: cfg.ripup_iterations,
+        },
+    );
+    stage_seconds.insert("7_route".into(), timer.lap());
+
+    // ---- lithography decomposition of the critical layer ----
+    // Single-patterned nodes print the layer in one exposure — nothing to
+    // decompose. Below the single-exposure pitch, the critical-layer
+    // geometry is modeled as a wire population whose count tracks routed
+    // wirelength at the node's minimum pitch (see DESIGN.md).
+    let (masks, stitches, litho_legal) = if plan.needs_decomposition() {
+        let pitch = cfg.node.spec().metal_pitch_nm;
+        let wires = (routed.wirelength / 4).clamp(24, 160) as usize;
+        let layout = Layout::random_wires(wires, pitch, pitch * 40.0, cfg.seed);
+        let deco = decompose(
+            &layout,
+            plan.total_exposures(),
+            eda_tech::SINGLE_EXPOSURE_PITCH_NM,
+            wires / 2,
+        );
+        (deco.masks, deco.stitches, deco.legal)
+    } else {
+        (1, 0, true)
+    };
+    stage_seconds.insert("8_litho".into(), timer.lap());
+
+    // ---- power ----
+    let activity = Activity::estimate(&netlist, &ActivityConfig::default())?;
+    let pcfg = PowerConfig { node: cfg.node, freq_mhz: cfg.clock_mhz, ..Default::default() };
+    let power = analyze(&netlist, &activity, &pcfg);
+    let mut decaps = 0usize;
+    let mut hotspots = 0usize;
+    if let Some(limit) = cfg.power.decap_droop_limit_mv {
+        let mut grid = PowerGrid::build(&netlist, &placement, &activity, &pcfg, 8);
+        if let Ok(out) = insert_decaps(&netlist, &mut grid, cfg.node, limit) {
+            decaps = out.decaps_inserted;
+            hotspots = out.hotspots_after;
+            netlist = out.netlist;
+        }
+    }
+    // Static IR drop of the final power map.
+    let ir_grid = PowerGrid::build(&netlist, &placement, &activity, &pcfg, 8);
+    let ir = solve_ir_drop(&ir_grid, cfg.node, &MeshConfig::default());
+    stage_seconds.insert("9_power".into(), timer.lap());
+
+    // ---- test coverage (random-pattern estimate) ----
+    let mut coverage = 0.0;
+    if cfg.scan.is_some() {
+        let view = CombView::new(&netlist)?;
+        let faults = fault_list(&netlist);
+        let pats = random_patterns(&view, 96, cfg.seed);
+        coverage = fault_sim(&netlist, &view, &faults, &pats).coverage();
+    }
+    stage_seconds.insert("10_dft".into(), timer.lap());
+
+    // Long-net buffering is part of area accounting.
+    let buffers = plan_buffers(&netlist, &placement, die.width_um / 2.0, &[]);
+    let _ = &mut placement;
+
+    Ok(FlowReport {
+        flow: cfg.name.clone(),
+        design: design.name().to_string(),
+        node: cfg.node.to_string(),
+        cell_area_um2: netlist.area_um2() + buffers.added_area_um2,
+        cells: stats.combinational,
+        flops: stats.flops,
+        wns_ps: timing.wns_ps,
+        critical_path_ps: timing.critical_path_ps,
+        hpwl_um: placement.total_hpwl(&netlist),
+        routed_wirelength: routed.wirelength,
+        vias: routed.vias,
+        overflow: routed.overflow,
+        masks,
+        stitches,
+        litho_legal,
+        dynamic_mw: power.dynamic_mw,
+        leakage_mw: power.leakage_mw,
+        test_coverage: coverage,
+        scan_wirelength_um: scan_wl,
+        decaps,
+        hotspots,
+        clock_skew_ps: clock_tree.skew_ps(),
+        clock_tree_um: clock_tree.wirelength_um,
+        ir_drop_mv: ir.worst_drop_mv(),
+        hold_violations: timing.hold_violations,
+        synthesis_verified,
+        stage_seconds,
+    })
+}
+
+struct Timer {
+    last: Instant,
+}
+
+impl Timer {
+    fn new() -> Timer {
+        Timer { last: Instant::now() }
+    }
+
+    fn lap(&mut self) -> f64 {
+        let now = Instant::now();
+        let dt = now.duration_since(self.last).as_secs_f64();
+        self.last = now;
+        dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+    use eda_tech::Node;
+
+    #[test]
+    fn advanced_flow_runs_end_to_end() {
+        let design = generate::switch_fabric(3, 3).unwrap();
+        let report = run_flow(&design, &FlowConfig::advanced_2016(Node::N28)).unwrap();
+        assert!(report.cell_area_um2 > 0.0);
+        assert!(report.hpwl_um > 0.0);
+        assert!(report.routed_wirelength > 0);
+        assert!(report.test_coverage > 0.5);
+        assert!(report.dynamic_mw > 0.0);
+        assert!(!report.stage_seconds.is_empty());
+    }
+
+    #[test]
+    fn basic_flow_runs_end_to_end() {
+        let design = generate::ripple_carry_adder(8).unwrap();
+        let report = run_flow(&design, &FlowConfig::basic_2006(Node::N90)).unwrap();
+        assert!(report.cell_area_um2 > 0.0);
+        assert_eq!(report.decaps, 0, "2006 flow has no auto-decap");
+    }
+
+    #[test]
+    fn advanced_beats_basic_on_score() {
+        let design = generate::random_logic(generate::RandomLogicConfig {
+            gates: 250,
+            seed: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let basic = run_flow(&design, &FlowConfig::basic_2006(Node::N90)).unwrap();
+        let advanced = run_flow(&design, &FlowConfig::advanced_2016(Node::N90)).unwrap();
+        assert!(
+            advanced.cell_area_um2 < basic.cell_area_um2,
+            "advanced area {:.0} must beat basic {:.0}",
+            advanced.cell_area_um2,
+            basic.cell_area_um2
+        );
+        assert!(advanced.score() < basic.score());
+    }
+
+    #[test]
+    fn multipatterned_node_reports_masks() {
+        let design = generate::parity_tree(16).unwrap();
+        let report = run_flow(&design, &FlowConfig::advanced_2016(Node::N10)).unwrap();
+        assert!(report.masks >= 2, "10nm critical layer needs multiple masks");
+    }
+}

@@ -1,0 +1,33 @@
+//! The integrated EDA flow — the panel's primary subject, as a library.
+//!
+//! `eda-core` wires every substrate crate into one RTL-to-layout pipeline
+//! ([`run_flow`]) with two presets bracketing the panel's decade
+//! ([`FlowConfig::basic_2006`] vs [`FlowConfig::advanced_2016`] — Domic's "if
+//! one uses an advanced EDA solution, one can do more with less"), and adds
+//! the self-learning flow engine Rossi asks for ([`FlowTuner`], claim C11).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_core::{run_flow, FlowConfig};
+//! use eda_netlist::generate;
+//! use eda_tech::Node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate::ripple_carry_adder(8)?;
+//! let report = run_flow(&design, &FlowConfig::advanced_2016(Node::N28))?;
+//! assert!(report.cell_area_um2 > 0.0);
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod config;
+pub mod flow;
+pub mod learn;
+pub mod report;
+
+pub use config::{FlowConfig, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
+pub use flow::{run_flow, FlowError};
+pub use learn::{Arm, ArmStats, FlowTuner};
+pub use report::FlowReport;

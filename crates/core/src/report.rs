@@ -1,0 +1,179 @@
+//! The flow's quality-of-results report.
+
+use std::collections::BTreeMap;
+
+/// End-to-end QoR for one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Flow preset name.
+    pub flow: String,
+    /// Design name.
+    pub design: String,
+    /// Target node name.
+    pub node: String,
+    /// Mapped cell area, µm² (cells only, pre-DFT).
+    pub cell_area_um2: f64,
+    /// Combinational cell count after synthesis.
+    pub cells: usize,
+    /// Flop count.
+    pub flops: usize,
+    /// Worst negative slack, ps (0 = met).
+    pub wns_ps: f64,
+    /// Critical path, ps.
+    pub critical_path_ps: f64,
+    /// Final placement wirelength, µm.
+    pub hpwl_um: f64,
+    /// Routed wirelength, g-cell units.
+    pub routed_wirelength: u64,
+    /// Via count.
+    pub vias: u64,
+    /// Routing overflow (0 = routable on this stack).
+    pub overflow: u64,
+    /// Masks needed for the critical layer.
+    pub masks: u32,
+    /// Stitches inserted by decomposition.
+    pub stitches: usize,
+    /// Whether decomposition is conflict-free.
+    pub litho_legal: bool,
+    /// Dynamic power, mW.
+    pub dynamic_mw: f64,
+    /// Leakage power, mW.
+    pub leakage_mw: f64,
+    /// Stuck-at test coverage in [0, 1] (0 if DFT disabled).
+    pub test_coverage: f64,
+    /// Scan-stitch wirelength, µm (0 if DFT disabled).
+    pub scan_wirelength_um: f64,
+    /// Decap cells inserted.
+    pub decaps: usize,
+    /// Power-grid hotspots remaining.
+    pub hotspots: usize,
+    /// Clock-tree skew, ps.
+    pub clock_skew_ps: f64,
+    /// Clock-tree wirelength, µm.
+    pub clock_tree_um: f64,
+    /// Worst static IR drop, mV.
+    pub ir_drop_mv: f64,
+    /// Hold violations at the fast corner.
+    pub hold_violations: usize,
+    /// Formal-equivalence verdict for synthesis: `Some(true)` = proven
+    /// equivalent, `Some(false)` = counterexample found, `None` = not run
+    /// or inconclusive.
+    pub synthesis_verified: Option<bool>,
+    /// Wall-clock seconds per stage.
+    pub stage_seconds: BTreeMap<String, f64>,
+}
+
+impl FlowReport {
+    /// Total runtime across stages.
+    pub fn total_seconds(&self) -> f64 {
+        self.stage_seconds.values().sum()
+    }
+
+    /// Composite score (lower is better): the tuner's objective. Mixes area,
+    /// wirelength, timing violation, routability and power.
+    pub fn score(&self) -> f64 {
+        self.cell_area_um2 * 0.01
+            + self.hpwl_um * 0.001
+            + (-self.wns_ps).max(0.0) * 0.5
+            + self.overflow as f64 * 10.0
+            + (self.dynamic_mw + self.leakage_mw) * 2.0
+            + self.scan_wirelength_um * 0.001
+            + self.hotspots as f64 * 5.0
+    }
+}
+
+impl std::fmt::Display for FlowReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "flow {} on {} @ {}", self.flow, self.design, self.node)?;
+        writeln!(f, "  area:      {:.1} um^2 ({} cells + {} flops)", self.cell_area_um2, self.cells, self.flops)?;
+        writeln!(f, "  timing:    cp {:.0} ps, wns {:.0} ps", self.critical_path_ps, self.wns_ps)?;
+        writeln!(f, "  place:     hpwl {:.0} um", self.hpwl_um)?;
+        writeln!(
+            f,
+            "  route:     wl {} vias {} overflow {}",
+            self.routed_wirelength, self.vias, self.overflow
+        )?;
+        writeln!(
+            f,
+            "  litho:     {} masks, {} stitches, legal={}",
+            self.masks, self.stitches, self.litho_legal
+        )?;
+        writeln!(f, "  power:     {:.3} mW dyn + {:.3} mW leak", self.dynamic_mw, self.leakage_mw)?;
+        writeln!(
+            f,
+            "  dft:       coverage {:.1}%, scan wl {:.0} um",
+            self.test_coverage * 100.0,
+            self.scan_wirelength_um
+        )?;
+        writeln!(f, "  pgrid:     {} decaps, {} hotspots, {:.1} mV IR drop", self.decaps, self.hotspots, self.ir_drop_mv)?;
+        writeln!(
+            f,
+            "  clock:     skew {:.1} ps over {:.0} um tree, {} hold violations",
+            self.clock_skew_ps, self.clock_tree_um, self.hold_violations
+        )?;
+        let verified = match self.synthesis_verified {
+            Some(true) => "formally equivalent",
+            Some(false) => "COUNTEREXAMPLE FOUND",
+            None => "not verified",
+        };
+        writeln!(f, "  verify:    {verified}")?;
+        write!(f, "  runtime:   {:.2} s, score {:.1}", self.total_seconds(), self.score())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy() -> FlowReport {
+        FlowReport {
+            flow: "t".into(),
+            design: "d".into(),
+            node: "28nm".into(),
+            cell_area_um2: 100.0,
+            cells: 10,
+            flops: 2,
+            wns_ps: 0.0,
+            critical_path_ps: 500.0,
+            hpwl_um: 1000.0,
+            routed_wirelength: 50,
+            vias: 5,
+            overflow: 0,
+            masks: 1,
+            stitches: 0,
+            litho_legal: true,
+            dynamic_mw: 1.0,
+            leakage_mw: 0.1,
+            test_coverage: 0.95,
+            scan_wirelength_um: 100.0,
+            decaps: 0,
+            hotspots: 0,
+            clock_skew_ps: 5.0,
+            clock_tree_um: 100.0,
+            ir_drop_mv: 10.0,
+            hold_violations: 0,
+            synthesis_verified: Some(true),
+            stage_seconds: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn score_punishes_overflow_and_wns() {
+        let good = dummy();
+        let mut congested = dummy();
+        congested.overflow = 10;
+        let mut slow = dummy();
+        slow.wns_ps = -100.0;
+        assert!(congested.score() > good.score());
+        assert!(slow.score() > good.score());
+    }
+
+    #[test]
+    fn display_mentions_key_metrics() {
+        let r = dummy();
+        let s = r.to_string();
+        assert!(s.contains("area"));
+        assert!(s.contains("coverage"));
+        assert!(s.contains("28nm"));
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural fault collapsing.
+//!
+//! Equivalence rules for the classic gate set shrink the fault list before
+//! simulation/ATPG: a fault on a gate input is equivalent to a fault on its
+//! output when the input value forces the output (the controlling-value
+//! rules), and inverter/buffer faults map 1:1 through.
+//!
+//! * AND/NAND: any input SA0 ≡ output SA0 (AND) / SA1 (NAND)
+//! * OR/NOR:   any input SA1 ≡ output SA1 (OR) / SA0 (NOR)
+//! * INV:      input SA0 ≡ output SA1, input SA1 ≡ output SA0
+//! * BUF:      input faults ≡ output faults
+//!
+//! Collapsing is applied to stem faults only (a fanout-free input is the
+//! stem of its net): faults on nets with fanout > 1 must stay, since each
+//! branch can behave differently.
+
+use crate::faults::Fault;
+use eda_netlist::{CellFunction, NetDriver, Netlist};
+use std::collections::HashSet;
+
+/// Result of collapsing a fault list.
+#[derive(Debug, Clone)]
+pub struct CollapseOutcome {
+    /// The representative faults to target.
+    pub faults: Vec<Fault>,
+    /// Faults in the input list.
+    pub before: usize,
+    /// Faults kept.
+    pub after: usize,
+}
+
+impl CollapseOutcome {
+    /// Collapse ratio (< 1 when anything merged).
+    pub fn ratio(&self) -> f64 {
+        if self.before == 0 {
+            1.0
+        } else {
+            self.after as f64 / self.before as f64
+        }
+    }
+}
+
+/// Collapses a stuck-at fault list by gate-local equivalence.
+///
+/// A fault `(net, v)` on the single-fanout input of a gate is replaced by
+/// its equivalent output fault; chains collapse transitively. Detection of
+/// the representative implies detection of the entire equivalence class, so
+/// coverage numbers computed on the collapsed list are valid for the full
+/// list.
+pub fn collapse_faults(netlist: &Netlist, faults: &[Fault]) -> CollapseOutcome {
+    let lib = netlist.library();
+    let po_nets: HashSet<usize> =
+        netlist.primary_outputs().iter().map(|&(_, n)| n.index()).collect();
+    // Map each (net, value) to its representative via iterated gate rules.
+    let canonical = |mut net: eda_netlist::NetId, mut value: bool| -> (usize, bool) {
+        // Follow equivalence through single-fanout sinks; a primary-output
+        // net is directly observable and must keep its own faults.
+        for _ in 0..netlist.num_nets() {
+            if po_nets.contains(&net.index()) {
+                break;
+            }
+            let n = netlist.net(net);
+            if n.fanout() != 1 {
+                break;
+            }
+            let (sink, _pin) = n.sinks()[0];
+            let f = lib.cell(netlist.instance(sink).cell()).function;
+            let out = netlist.instance(sink).output();
+            let next = match f {
+                CellFunction::Buf | CellFunction::LevelShifter => Some((out, value)),
+                CellFunction::Inv => Some((out, !value)),
+                CellFunction::And(_) if !value => Some((out, false)),
+                CellFunction::Nand(_) if !value => Some((out, true)),
+                CellFunction::Or(_) if value => Some((out, true)),
+                CellFunction::Nor(_) if value => Some((out, false)),
+                _ => None,
+            };
+            match next {
+                Some((n2, v2)) => {
+                    net = n2;
+                    value = v2;
+                }
+                None => break,
+            }
+        }
+        (net.index(), value)
+    };
+
+    let mut seen: HashSet<(usize, bool)> = HashSet::new();
+    let mut kept = Vec::new();
+    for &f in faults {
+        // Primary-input-driven nets with fanout 1 still collapse forward;
+        // everything hinges on the canonical map.
+        let key = canonical(f.net, f.stuck_at);
+        if seen.insert(key) {
+            kept.push(f);
+        }
+    }
+    CollapseOutcome { before: faults.len(), after: kept.len(), faults: kept }
+}
+
+/// Audits the equivalence rules against ground truth: two faults collapsed
+/// into the same class must have identical detection status under any
+/// pattern set. Returns `false` (with the audit failing) if a class is
+/// inconsistent — i.e. the collapse rules merged non-equivalent faults.
+pub fn audit_equivalence(
+    netlist: &Netlist,
+    view: &crate::faults::CombView,
+    original: &[Fault],
+    patterns: &[Vec<bool>],
+) -> bool {
+    use std::collections::HashMap;
+    let lib = netlist.library();
+    let po_nets: HashSet<usize> =
+        netlist.primary_outputs().iter().map(|&(_, n)| n.index()).collect();
+    let canonical = |mut net: eda_netlist::NetId, mut value: bool| -> (usize, bool) {
+        for _ in 0..netlist.num_nets() {
+            if po_nets.contains(&net.index()) {
+                break;
+            }
+            let n = netlist.net(net);
+            if n.fanout() != 1 {
+                break;
+            }
+            let (sink, _pin) = n.sinks()[0];
+            let f = lib.cell(netlist.instance(sink).cell()).function;
+            let out = netlist.instance(sink).output();
+            let next = match f {
+                CellFunction::Buf | CellFunction::LevelShifter => Some((out, value)),
+                CellFunction::Inv => Some((out, !value)),
+                CellFunction::And(_) if !value => Some((out, false)),
+                CellFunction::Nand(_) if !value => Some((out, true)),
+                CellFunction::Or(_) if value => Some((out, true)),
+                CellFunction::Nor(_) if value => Some((out, false)),
+                _ => None,
+            };
+            match next {
+                Some((n2, v2)) => {
+                    net = n2;
+                    value = v2;
+                }
+                None => break,
+            }
+        }
+        (net.index(), value)
+    };
+    let sim = crate::faults::fault_sim(netlist, view, original, patterns);
+    let mut class_status: HashMap<(usize, bool), bool> = HashMap::new();
+    for (i, &f) in original.iter().enumerate() {
+        let key = canonical(f.net, f.stuck_at);
+        match class_status.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != sim.detected[i] {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(sim.detected[i]);
+            }
+        }
+    }
+    true
+}
+
+/// Convenience: drivers of a net, used in audits and debugging.
+pub fn driver_function(netlist: &Netlist, net: eda_netlist::NetId) -> Option<CellFunction> {
+    match netlist.net(net).driver() {
+        Some(NetDriver::Instance(d)) => {
+            Some(netlist.library().cell(netlist.instance(d).cell()).function)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{fault_list, fault_sim, random_patterns, CombView};
+    use eda_netlist::generate;
+
+    #[test]
+    fn collapsing_shrinks_the_list() {
+        // A NAND/NOR/INV-rich netlist (XOR-heavy designs barely collapse —
+        // XOR has no controlling value).
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 300,
+            seed: 12,
+            ..Default::default()
+        })
+        .unwrap();
+        let faults = fault_list(&n);
+        let out = collapse_faults(&n, &faults);
+        assert!(out.after < out.before, "{} -> {}", out.before, out.after);
+        // Shared fanout limits collapsing on this generator (stems survive);
+        // a useful reduction is still required.
+        assert!(out.ratio() <= 0.92, "expect meaningful reduction, got {:.2}", out.ratio());
+    }
+
+    #[test]
+    fn collapsed_coverage_is_consistent() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 200,
+            seed: 6,
+            ..Default::default()
+        })
+        .unwrap();
+        let view = CombView::new(&n).unwrap();
+        let faults = fault_list(&n);
+        let pats = random_patterns(&view, 64, 2);
+        assert!(audit_equivalence(&n, &view, &faults, &pats));
+    }
+
+    #[test]
+    fn detecting_representative_detects_class() {
+        // Chain: a -> INV -> INV -> y. Input SA0 of the first inverter is
+        // equivalent to y SA0 (two inversions), and any pattern pair
+        // detecting one detects the other.
+        use eda_netlist::{CellFunction, Netlist};
+        let mut n = Netlist::new("chain");
+        let a = n.add_input("a");
+        let m = n.add_gate_fn("i1", CellFunction::Inv, &[a]).unwrap();
+        let y = n.add_gate_fn("i2", CellFunction::Inv, &[m]).unwrap();
+        n.add_output("y", y);
+        let faults = fault_list(&n);
+        let collapsed = collapse_faults(&n, &faults);
+        // 3 nets × 2 polarities = 6 faults collapse to just the output pair.
+        assert_eq!(collapsed.after, 2, "a chain collapses to its output faults");
+        let view = CombView::new(&n).unwrap();
+        let pats = vec![vec![false], vec![true]];
+        let full = fault_sim(&n, &view, &faults, &pats);
+        let repr = fault_sim(&n, &view, &collapsed.faults, &pats);
+        assert_eq!(full.coverage(), 1.0);
+        assert_eq!(repr.coverage(), 1.0);
+    }
+
+    #[test]
+    fn fanout_stems_not_collapsed() {
+        // a drives two AND gates: a's faults must survive (each branch can
+        // matter separately).
+        use eda_netlist::{CellFunction, Netlist};
+        let mut n = Netlist::new("fan");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let c = n.add_input("c");
+        let y1 = n.add_gate_fn("g1", CellFunction::And(2), &[a, b]).unwrap();
+        let y2 = n.add_gate_fn("g2", CellFunction::And(2), &[a, c]).unwrap();
+        n.add_output("y1", y1);
+        n.add_output("y2", y2);
+        let faults = fault_list(&n);
+        let collapsed = collapse_faults(&n, &faults);
+        assert!(
+            collapsed.faults.iter().any(|f| f.net == a),
+            "the fanout stem keeps its faults"
+        );
+    }
+
+    #[test]
+    fn atpg_on_collapsed_list_is_cheaper_same_quality() {
+        let n = generate::equality_comparator(8).unwrap();
+        let view = CombView::new(&n).unwrap();
+        let faults = fault_list(&n);
+        let collapsed = collapse_faults(&n, &faults);
+        let cfg = crate::atpg::AtpgConfig { random_patterns: 8, ..Default::default() };
+        let full = crate::atpg::run_atpg(&n, &view, &faults, &cfg);
+        let fast = crate::atpg::run_atpg(&n, &view, &collapsed.faults, &cfg);
+        assert!(fast.patterns.len() <= full.patterns.len());
+        // Patterns from the collapsed run still cover the full list well.
+        let recheck = fault_sim(&n, &view, &faults, &fast.patterns);
+        assert!(recheck.coverage() > 0.9, "got {:.3}", recheck.coverage());
+    }
+}

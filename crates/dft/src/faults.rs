@@ -1,0 +1,289 @@
+//! Stuck-at fault model and bit-parallel fault simulation over the full-scan
+//! combinational view.
+//!
+//! Under full scan every flop is controllable/observable, so test generation
+//! and fault simulation work on the combinational core: inputs are the
+//! primary inputs plus flop outputs, outputs are the primary outputs plus
+//! flop D pins.
+
+use eda_netlist::{CellFunction, InstId, NetDriver, NetId, Netlist, NetlistError};
+
+/// A single stuck-at fault on a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fault {
+    /// The faulty net.
+    pub net: NetId,
+    /// Stuck-at value: `true` = SA1, `false` = SA0.
+    pub stuck_at: bool,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net#{} SA{}", self.net.index(), self.stuck_at as u8)
+    }
+}
+
+/// The full-scan combinational view of a netlist.
+#[derive(Debug, Clone)]
+pub struct CombView {
+    order: Vec<InstId>,
+    /// Controllable nets: primary inputs then flop outputs.
+    pub inputs: Vec<NetId>,
+    /// Observable nets: primary outputs then flop D nets.
+    pub outputs: Vec<NetId>,
+}
+
+impl CombView {
+    /// Builds the view.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] for cyclic netlists.
+    pub fn new(netlist: &Netlist) -> Result<CombView, NetlistError> {
+        let order = netlist.topo_order()?;
+        let mut inputs: Vec<NetId> = netlist.primary_inputs().to_vec();
+        let mut outputs: Vec<NetId> =
+            netlist.primary_outputs().iter().map(|&(_, n)| n).collect();
+        for f in netlist.flops() {
+            let inst = netlist.instance(f);
+            inputs.push(inst.output());
+            outputs.push(inst.inputs()[0]);
+        }
+        Ok(CombView { order, inputs, outputs })
+    }
+
+    /// Topological order of the combinational instances.
+    pub fn order(&self) -> &[InstId] {
+        &self.order
+    }
+
+    /// Evaluates the combinational core on 64 parallel patterns, optionally
+    /// forcing one net to a constant lane value (fault injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pattern.len() != self.inputs.len()`.
+    pub fn eval64(
+        &self,
+        netlist: &Netlist,
+        pattern: &[u64],
+        force: Option<(NetId, u64)>,
+    ) -> Vec<u64> {
+        assert_eq!(pattern.len(), self.inputs.len(), "pattern width mismatch");
+        let lib = netlist.library();
+        let mut value = vec![0u64; netlist.num_nets()];
+        for (i, &net) in self.inputs.iter().enumerate() {
+            value[net.index()] = pattern[i];
+        }
+        if let Some((net, v)) = force {
+            value[net.index()] = v;
+        }
+        for &id in &self.order {
+            let inst = netlist.instance(id);
+            let f = lib.cell(inst.cell()).function;
+            if f.is_sequential() || f.is_physical_only() {
+                continue;
+            }
+            let ins: Vec<u64> = inst.inputs().iter().map(|n| value[n.index()]).collect();
+            let out = inst.output();
+            if let Some((fnet, v)) = force {
+                if fnet == out {
+                    value[out.index()] = v;
+                    continue;
+                }
+            }
+            value[out.index()] = f.eval64(&ins);
+        }
+        self.outputs.iter().map(|n| value[n.index()]).collect()
+    }
+}
+
+/// Enumerates the full stuck-at fault list: SA0 and SA1 on every logic net
+/// (clock nets excluded — they are exercised structurally, not logically).
+pub fn fault_list(netlist: &Netlist) -> Vec<Fault> {
+    let lib = netlist.library();
+    let mut clockish = vec![false; netlist.num_nets()];
+    for (net_id, net) in netlist.nets() {
+        let all_clock_pins = !net.sinks().is_empty()
+            && net.sinks().iter().all(|&(inst, pin)| {
+                let f = lib.cell(netlist.instance(inst).cell()).function;
+                match f {
+                    CellFunction::Dff => pin == 1,
+                    CellFunction::ScanDff => pin == 3,
+                    CellFunction::ClockGate => pin == 0,
+                    _ => false,
+                }
+            });
+        if all_clock_pins {
+            clockish[net_id.index()] = true;
+        }
+    }
+    let mut faults = Vec::new();
+    for (net_id, net) in netlist.nets() {
+        if clockish[net_id.index()] {
+            continue;
+        }
+        if net.driver().is_none() && net.sinks().is_empty() {
+            continue;
+        }
+        // Physical-only drivers (decaps) carry no testable logic.
+        if let Some(NetDriver::Instance(d)) = net.driver() {
+            if lib.cell(netlist.instance(d).cell()).function.is_physical_only() {
+                continue;
+            }
+        }
+        faults.push(Fault { net: net_id, stuck_at: false });
+        faults.push(Fault { net: net_id, stuck_at: true });
+    }
+    faults
+}
+
+/// Outcome of fault-simulating a pattern set.
+#[derive(Debug, Clone)]
+pub struct FaultSimOutcome {
+    /// Faults detected, in fault-list order.
+    pub detected: Vec<bool>,
+    /// Number detected.
+    pub num_detected: usize,
+    /// Total faults.
+    pub total: usize,
+}
+
+impl FaultSimOutcome {
+    /// Fault coverage in [0, 1].
+    pub fn coverage(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.num_detected as f64 / self.total as f64
+    }
+}
+
+/// Bit-parallel fault simulation: each test pattern occupies a lane; faults
+/// are dropped once detected.
+///
+/// `patterns[k]` is one test: a vector of bits per [`CombView::inputs`]
+/// position.
+pub fn fault_sim(
+    netlist: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+) -> FaultSimOutcome {
+    let mut detected = vec![false; faults.len()];
+    for chunk in patterns.chunks(64) {
+        // Pack the chunk into lanes.
+        let mut packed = vec![0u64; view.inputs.len()];
+        for (lane, pat) in chunk.iter().enumerate() {
+            for (i, &b) in pat.iter().enumerate() {
+                if b {
+                    packed[i] |= 1 << lane;
+                }
+            }
+        }
+        let lanes_mask: u64 = if chunk.len() == 64 { !0 } else { (1u64 << chunk.len()) - 1 };
+        let good = view.eval64(netlist, &packed, None);
+        for (fi, fault) in faults.iter().enumerate() {
+            if detected[fi] {
+                continue;
+            }
+            let forced = if fault.stuck_at { !0u64 } else { 0u64 };
+            let bad = view.eval64(netlist, &packed, Some((fault.net, forced)));
+            let diff = good
+                .iter()
+                .zip(&bad)
+                .fold(0u64, |acc, (&g, &b)| acc | (g ^ b))
+                & lanes_mask;
+            if diff != 0 {
+                detected[fi] = true;
+            }
+        }
+    }
+    let num_detected = detected.iter().filter(|&&d| d).count();
+    FaultSimOutcome { detected, num_detected, total: faults.len() }
+}
+
+/// Generates `count` seeded random patterns for a view.
+pub fn random_patterns(view: &CombView, count: usize, seed: u64) -> Vec<Vec<bool>> {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..view.inputs.len()).map(|_| rng.gen_bool(0.5)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+
+    #[test]
+    fn comb_view_matches_netlist_simulation() {
+        let n = generate::ripple_carry_adder(6).unwrap();
+        let view = CombView::new(&n).unwrap();
+        let pats: Vec<u64> =
+            (0..view.inputs.len()).map(|i| 0x6C62_272E_07BB_0142u64.rotate_left(i as u32)).collect();
+        let from_view = view.eval64(&n, &pats, None);
+        let (outs, _) = n.simulate64(&pats, &[]);
+        assert_eq!(&from_view[..outs.len()], &outs[..]);
+    }
+
+    #[test]
+    fn fault_injection_changes_outputs() {
+        let n = generate::parity_tree(8).unwrap();
+        let view = CombView::new(&n).unwrap();
+        let pats = vec![0u64; view.inputs.len()];
+        let good = view.eval64(&n, &pats, None);
+        // Force the output net of the first XOR to 1.
+        let victim = n.instances().next().unwrap().1.output();
+        let bad = view.eval64(&n, &pats, Some((victim, !0)));
+        assert_ne!(good, bad, "parity tree propagates any internal flip");
+    }
+
+    #[test]
+    fn random_patterns_reach_high_coverage_on_parity() {
+        let n = generate::parity_tree(16).unwrap();
+        let view = CombView::new(&n).unwrap();
+        let faults = fault_list(&n);
+        let pats = random_patterns(&view, 64, 11);
+        let out = fault_sim(&n, &view, &faults, &pats);
+        assert!(
+            out.coverage() > 0.99,
+            "XOR trees are random-testable, got {:.3}",
+            out.coverage()
+        );
+    }
+
+    #[test]
+    fn coverage_monotone_in_patterns() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 200,
+            seed: 8,
+            ..Default::default()
+        })
+        .unwrap();
+        let view = CombView::new(&n).unwrap();
+        let faults = fault_list(&n);
+        let few = fault_sim(&n, &view, &faults, &random_patterns(&view, 8, 4));
+        let many = fault_sim(&n, &view, &faults, &random_patterns(&view, 128, 4));
+        assert!(many.num_detected >= few.num_detected);
+        assert!(many.coverage() > 0.5);
+    }
+
+    #[test]
+    fn clock_nets_carry_no_faults() {
+        let n = generate::switch_fabric(3, 2).unwrap();
+        let faults = fault_list(&n);
+        let clk = n.primary_inputs()[0];
+        assert!(faults.iter().all(|f| f.net != clk), "clock must not be in the fault list");
+    }
+
+    #[test]
+    fn sequential_view_exposes_flops() {
+        let n = generate::switch_fabric(3, 2).unwrap();
+        let view = CombView::new(&n).unwrap();
+        assert_eq!(view.inputs.len(), n.primary_inputs().len() + n.flops().len());
+        assert_eq!(view.outputs.len(), n.primary_outputs().len() + n.flops().len());
+    }
+}

@@ -1,0 +1,207 @@
+//! Layout geometry: rectangular features and synthetic layout generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An axis-aligned rectangle in nanometers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Left edge.
+    pub x0: f64,
+    /// Bottom edge.
+    pub y0: f64,
+    /// Right edge.
+    pub x1: f64,
+    /// Top edge.
+    pub y1: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle; coordinates are normalized so `x0 <= x1`.
+    pub fn new(x0: f64, y0: f64, x1: f64, y1: f64) -> Rect {
+        Rect { x0: x0.min(x1), y0: y0.min(y1), x1: x0.max(x1), y1: y0.max(y1) }
+    }
+
+    /// Width in nm.
+    pub fn width(&self) -> f64 {
+        self.x1 - self.x0
+    }
+
+    /// Height in nm.
+    pub fn height(&self) -> f64 {
+        self.y1 - self.y0
+    }
+
+    /// Euclidean gap between rectangle boundaries (0 if they touch/overlap).
+    pub fn gap(&self, other: &Rect) -> f64 {
+        let dx = (other.x0 - self.x1).max(self.x0 - other.x1).max(0.0);
+        let dy = (other.y0 - self.y1).max(self.y0 - other.y1).max(0.0);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Splits the rectangle in half along its long axis (a stitch cut),
+    /// leaving a small overlap for the stitch.
+    pub fn split(&self, overlap_nm: f64) -> (Rect, Rect) {
+        if self.width() >= self.height() {
+            let mid = (self.x0 + self.x1) / 2.0;
+            (
+                Rect::new(self.x0, self.y0, mid + overlap_nm / 2.0, self.y1),
+                Rect::new(mid - overlap_nm / 2.0, self.y0, self.x1, self.y1),
+            )
+        } else {
+            let mid = (self.y0 + self.y1) / 2.0;
+            (
+                Rect::new(self.x0, self.y0, self.x1, mid + overlap_nm / 2.0),
+                Rect::new(self.x0, mid - overlap_nm / 2.0, self.x1, self.y1),
+            )
+        }
+    }
+}
+
+/// A single-layer layout: a bag of features.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Layout {
+    /// Features on the layer.
+    pub features: Vec<Rect>,
+}
+
+impl Layout {
+    /// Creates an empty layout.
+    pub fn new() -> Layout {
+        Layout::default()
+    }
+
+    /// A 1-D array of `n` parallel vertical lines at the given pitch
+    /// (line width = pitch/2, classic 50 % duty line/space).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch_nm <= 0` or `n == 0`.
+    pub fn line_array(n: usize, pitch_nm: f64, length_nm: f64) -> Layout {
+        assert!(pitch_nm > 0.0 && n > 0, "need positive pitch and line count");
+        let w = pitch_nm / 2.0;
+        Layout {
+            features: (0..n)
+                .map(|i| {
+                    let x = i as f64 * pitch_nm;
+                    Rect::new(x, 0.0, x + w, length_nm)
+                })
+                .collect(),
+        }
+    }
+
+    /// A 2-D contact/via array of `n × n` squares at the given pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch_nm <= 0` or `n == 0`.
+    pub fn contact_array(n: usize, pitch_nm: f64) -> Layout {
+        assert!(pitch_nm > 0.0 && n > 0, "need positive pitch and count");
+        let w = pitch_nm / 2.0;
+        let mut features = Vec::with_capacity(n * n);
+        for j in 0..n {
+            for i in 0..n {
+                let x = i as f64 * pitch_nm;
+                let y = j as f64 * pitch_nm;
+                features.push(Rect::new(x, y, x + w, y + w));
+            }
+        }
+        Layout { features }
+    }
+
+    /// A seeded random routing-like layout: horizontal and vertical wire
+    /// segments of random length on a track grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pitch_nm <= 0`.
+    pub fn random_wires(count: usize, pitch_nm: f64, region_nm: f64, seed: u64) -> Layout {
+        assert!(pitch_nm > 0.0, "need positive pitch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tracks = (region_nm / pitch_nm).max(1.0) as usize;
+        let w = pitch_nm / 2.0;
+        let mut features = Vec::with_capacity(count);
+        for _ in 0..count {
+            let horizontal = rng.gen_bool(0.5);
+            let track = rng.gen_range(0..tracks) as f64 * pitch_nm;
+            let start = rng.gen::<f64>() * region_nm * 0.6;
+            let len = pitch_nm * (2.0 + rng.gen::<f64>() * 8.0);
+            if horizontal {
+                features.push(Rect::new(start, track, (start + len).min(region_nm), track + w));
+            } else {
+                features.push(Rect::new(track, start, track + w, (start + len).min(region_nm)));
+            }
+        }
+        Layout { features }
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Whether the layout is empty.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gap_of_separated_rects() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(20.0, 0.0, 30.0, 10.0);
+        assert_eq!(a.gap(&b), 10.0);
+        assert_eq!(b.gap(&a), 10.0);
+        // Diagonal gap is Euclidean.
+        let c = Rect::new(13.0, 14.0, 20.0, 20.0);
+        assert!((a.gap(&c) - 5.0).abs() < 1e-9);
+        // Overlap -> 0.
+        let d = Rect::new(5.0, 5.0, 15.0, 15.0);
+        assert_eq!(a.gap(&d), 0.0);
+    }
+
+    #[test]
+    fn line_array_pitch_checks() {
+        let l = Layout::line_array(4, 100.0, 1000.0);
+        assert_eq!(l.len(), 4);
+        let gap = l.features[0].gap(&l.features[1]);
+        assert!((gap - 50.0).abs() < 1e-9, "space = pitch/2");
+    }
+
+    #[test]
+    fn contact_array_size() {
+        let l = Layout::contact_array(5, 80.0);
+        assert_eq!(l.len(), 25);
+    }
+
+    #[test]
+    fn split_leaves_overlap() {
+        let r = Rect::new(0.0, 0.0, 100.0, 10.0);
+        let (a, b) = r.split(6.0);
+        assert!(a.x1 > b.x0, "halves must overlap for the stitch");
+        assert!((a.x1 - b.x0 - 6.0).abs() < 1e-9);
+        assert_eq!(a.y0, r.y0);
+        assert_eq!(b.x1, r.x1);
+    }
+
+    #[test]
+    fn random_wires_deterministic() {
+        let a = Layout::random_wires(50, 64.0, 4000.0, 7);
+        let b = Layout::random_wires(50, 64.0, 4000.0, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn rect_normalization() {
+        let r = Rect::new(10.0, 20.0, 0.0, 5.0);
+        assert_eq!(r.x0, 0.0);
+        assert_eq!(r.y1, 20.0);
+        assert_eq!(r.width(), 10.0);
+        assert_eq!(r.height(), 15.0);
+    }
+}

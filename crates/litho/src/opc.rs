@@ -1,0 +1,177 @@
+//! Model-based optical proximity correction (OPC).
+//!
+//! Iteratively biases mask edges against the simulated aerial image until
+//! the printed contours land on target — Sawicki's "computational
+//! lithography" (claim C15). Rule-based pre-bias is applied first (a fixed
+//! per-edge bias), then model-based iterations refine each edge
+//! independently.
+
+use crate::aerial::{edge_placement_errors, rms, OpticalModel};
+
+/// OPC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpcConfig {
+    /// Model-based iterations.
+    pub iterations: usize,
+    /// Feedback gain on the edge correction (0 < gain ≤ 1).
+    pub gain: f64,
+    /// Rule-based pre-bias per edge in nm (applied outward).
+    pub prebias_nm: f64,
+}
+
+impl Default for OpcConfig {
+    fn default() -> Self {
+        OpcConfig { iterations: 8, gain: 0.6, prebias_nm: 2.0 }
+    }
+}
+
+/// Result of an OPC run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcOutcome {
+    /// The corrected mask intervals.
+    pub mask: Vec<(f64, f64)>,
+    /// RMS EPE after each iteration (index 0 = before any model-based
+    /// correction, i.e. after pre-bias only).
+    pub rms_epe_history: Vec<f64>,
+}
+
+impl OpcOutcome {
+    /// Final RMS EPE in nm.
+    pub fn final_rms_epe(&self) -> f64 {
+        *self.rms_epe_history.last().expect("history has the initial entry")
+    }
+}
+
+/// Runs OPC for a 1-D target pattern.
+///
+/// # Panics
+///
+/// Panics if `target` is empty or gain is outside `(0, 1]`.
+pub fn run_opc(
+    model: &OpticalModel,
+    target: &[(f64, f64)],
+    extent_nm: f64,
+    cfg: &OpcConfig,
+) -> OpcOutcome {
+    assert!(!target.is_empty(), "OPC needs a target pattern");
+    assert!(cfg.gain > 0.0 && cfg.gain <= 1.0, "gain must be in (0, 1]");
+    // Rule-based pre-bias: expand every feature.
+    let mut mask: Vec<(f64, f64)> = target
+        .iter()
+        .map(|&(a, b)| (a - cfg.prebias_nm, b + cfg.prebias_nm))
+        .collect();
+    let mut history = Vec::with_capacity(cfg.iterations + 1);
+    let measure = |mask: &[(f64, f64)]| {
+        let printed = model.print(mask, extent_nm);
+        rms(&edge_placement_errors(target, &printed))
+    };
+    history.push(measure(&mask));
+    for _ in 0..cfg.iterations {
+        let printed = model.print(&mask, extent_nm);
+        // Per-edge correction: move each mask edge opposite its EPE.
+        for (fi, &(t0, t1)) in target.iter().enumerate() {
+            // Printed edge nearest each target edge.
+            let p0 = printed
+                .iter()
+                .map(|&(p, _)| p)
+                .min_by(|a, b| {
+                    (a - t0).abs().partial_cmp(&(b - t0).abs()).expect("finite")
+                });
+            let p1 = printed
+                .iter()
+                .map(|&(_, p)| p)
+                .min_by(|a, b| {
+                    (a - t1).abs().partial_cmp(&(b - t1).abs()).expect("finite")
+                });
+            let (m0, m1) = mask[fi];
+            // Signed edge errors (printed minus target), clamped; a vanished
+            // feature gets a fixed outward widening instead.
+            let (e0, e1) = match (p0, p1) {
+                (Some(p0), Some(p1)) if (p1 - p0) > 1.0 => {
+                    ((p0 - t0).clamp(-20.0, 20.0), (p1 - t1).clamp(-20.0, 20.0))
+                }
+                _ => (2.0, -2.0),
+            };
+            // An edge printing too far right (e > 0) moves its mask edge left.
+            let mut a = m0 - cfg.gain * e0;
+            let mut b = m1 - cfg.gain * e1;
+            if b - a < 2.0 {
+                let c = (a + b) / 2.0;
+                a = c - 1.0;
+                b = c + 1.0;
+            }
+            mask[fi] = (a, b);
+        }
+        history.push(measure(&mask));
+    }
+    OpcOutcome { mask, rms_epe_history: history }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense_target(pitch: f64, lines: usize, offset: f64) -> (Vec<(f64, f64)>, f64) {
+        let target: Vec<(f64, f64)> = (0..lines)
+            .map(|i| {
+                let x = offset + i as f64 * pitch;
+                (x, x + pitch / 2.0)
+            })
+            .collect();
+        let extent = offset * 2.0 + pitch * lines as f64;
+        (target, extent)
+    }
+
+    #[test]
+    fn opc_reduces_epe_on_printable_pattern() {
+        let model = OpticalModel::default();
+        let (target, extent) = dense_target(110.0, 8, 300.0);
+        let out = run_opc(&model, &target, extent, &OpcConfig::default());
+        let first = out.rms_epe_history[0];
+        let last = out.final_rms_epe();
+        assert!(
+            last < first * 0.6,
+            "OPC should cut RMS EPE substantially: {first:.2} -> {last:.2}"
+        );
+        assert!(last < 4.0, "corrected pattern should print within 4nm, got {last:.2}");
+    }
+
+    #[test]
+    fn opc_cannot_rescue_sub_resolution_pitch() {
+        let model = OpticalModel::default();
+        let (target, extent) = dense_target(45.0, 8, 300.0);
+        let out = run_opc(&model, &target, extent, &OpcConfig::default());
+        assert!(
+            out.final_rms_epe() > 8.0,
+            "45nm pitch cannot single-expose even with OPC, got {:.2}",
+            out.final_rms_epe()
+        );
+    }
+
+    #[test]
+    fn history_length_matches_iterations() {
+        let model = OpticalModel::default();
+        let (target, extent) = dense_target(130.0, 4, 200.0);
+        let cfg = OpcConfig { iterations: 5, ..Default::default() };
+        let out = run_opc(&model, &target, extent, &cfg);
+        assert_eq!(out.rms_epe_history.len(), 6);
+        assert_eq!(out.mask.len(), target.len());
+    }
+
+    #[test]
+    fn mask_features_never_collapse() {
+        let model = OpticalModel::default();
+        let (target, extent) = dense_target(70.0, 6, 250.0);
+        let out = run_opc(&model, &target, extent, &OpcConfig { iterations: 12, ..Default::default() });
+        for &(a, b) in &out.mask {
+            assert!(b - a >= 2.0, "mask feature collapsed: ({a}, {b})");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "OPC needs a target")]
+    fn empty_target_panics() {
+        let model = OpticalModel::default();
+        let _ = run_opc(&model, &[], 100.0, &OpcConfig::default());
+    }
+}

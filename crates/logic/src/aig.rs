@@ -1,0 +1,795 @@
+//! And-Inverter Graphs: the optimization intermediate form of modern logic
+//! synthesis, with structural hashing, balancing, and cut-based refactoring.
+//!
+//! De Micheli's introduction argues that competitive design "can no longer be
+//! thought in terms of NANDs, NORs and AOIs" — the AIG is the neutral
+//! representation from which both conventional CMOS mapping and
+//! functionality-enhanced-device mapping proceed.
+
+use crate::isop::{isop, sop_aig_cost};
+use crate::tt::TruthTable;
+use eda_netlist::{CellFunction, NetDriver, Netlist};
+use std::collections::HashMap;
+
+/// A literal: an AIG node with an optional complement flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Constant false.
+    pub const FALSE: Lit = Lit(0);
+    /// Constant true.
+    pub const TRUE: Lit = Lit(1);
+
+    fn new(node: u32, complement: bool) -> Lit {
+        Lit(node << 1 | complement as u32)
+    }
+
+    /// The node index this literal refers to.
+    pub fn node(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    /// Whether the literal is complemented.
+    pub fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+/// One AIG node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AigNode {
+    /// The constant node (index 0).
+    Const,
+    /// Primary input number `usize`.
+    Pi(usize),
+    /// Two-input AND of two literals.
+    And(Lit, Lit),
+}
+
+/// Errors converting netlists to AIGs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AigError {
+    /// The netlist contains a cell synthesis cannot absorb (clock gates,
+    /// isolation cells, scan flops — these are inserted *after* synthesis).
+    UnsupportedCell(String),
+    /// A flip-flop clock pin is driven by logic rather than a primary input.
+    ClockNotPrimaryInput(String),
+    /// The netlist failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for AigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AigError::UnsupportedCell(c) => write!(f, "cell `{c}` is not synthesizable"),
+            AigError::ClockNotPrimaryInput(n) => {
+                write!(f, "flop `{n}` clock is not a primary input")
+            }
+            AigError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AigError {}
+
+/// Where the sequential elements sat in the source netlist, so the mapper can
+/// re-insert them around the purely combinational AIG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqBoundary {
+    /// Count of genuine primary inputs (AIG PIs beyond this are flop outputs).
+    pub real_pis: usize,
+    /// Count of genuine primary outputs (AIG POs beyond this are flop D pins).
+    pub real_pos: usize,
+    /// One record per flop, in order.
+    pub flops: Vec<FlopBoundary>,
+}
+
+/// One flip-flop at the sequential boundary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlopBoundary {
+    /// Original instance name.
+    pub name: String,
+    /// AIG primary-input index of the clock net.
+    pub clock_pi: usize,
+}
+
+/// An and-inverter graph with structural hashing.
+///
+/// # Examples
+///
+/// ```
+/// use eda_logic::Aig;
+/// let mut g = Aig::new();
+/// let a = g.add_pi("a");
+/// let b = g.add_pi("b");
+/// let f = g.xor(a, b);
+/// g.add_po("y", f);
+/// assert_eq!(g.num_ands(), 3); // XOR costs three ANDs
+/// assert_eq!(g.simulate64(&[0b0110, 0b0011]), vec![0b0101]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aig {
+    nodes: Vec<AigNode>,
+    strash: HashMap<(Lit, Lit), u32>,
+    pi_names: Vec<String>,
+    pos: Vec<(String, Lit)>,
+}
+
+impl Default for Aig {
+    fn default() -> Self {
+        Aig::new()
+    }
+}
+
+impl Aig {
+    /// Creates an empty graph (just the constant node).
+    pub fn new() -> Aig {
+        Aig { nodes: vec![AigNode::Const], strash: HashMap::new(), pi_names: Vec::new(), pos: Vec::new() }
+    }
+
+    /// Adds a primary input and returns its literal.
+    pub fn add_pi(&mut self, name: impl Into<String>) -> Lit {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AigNode::Pi(self.pi_names.len()));
+        self.pi_names.push(name.into());
+        Lit::new(id, false)
+    }
+
+    /// Registers a primary output.
+    pub fn add_po(&mut self, name: impl Into<String>, lit: Lit) {
+        self.pos.push((name.into(), lit));
+    }
+
+    /// AND with constant propagation, identity rules and structural hashing.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&key) {
+            return Lit::new(id, false);
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(AigNode::And(key.0, key.1));
+        self.strash.insert(key, id);
+        Lit::new(id, false)
+    }
+
+    /// OR via De Morgan.
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        let n = self.and(!a, !b);
+        !n
+    }
+
+    /// XOR (three ANDs).
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let p = self.and(a, !b);
+        let q = self.and(!a, b);
+        self.or(p, q)
+    }
+
+    /// Multiplexer: `s ? t : e`.
+    pub fn mux(&mut self, s: Lit, t: Lit, e: Lit) -> Lit {
+        let p = self.and(s, t);
+        let q = self.and(!s, e);
+        self.or(p, q)
+    }
+
+    /// N-ary AND.
+    pub fn and_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(Lit::TRUE, |acc, &l| self.and(acc, l))
+    }
+
+    /// N-ary OR.
+    pub fn or_many(&mut self, lits: &[Lit]) -> Lit {
+        lits.iter().fold(Lit::FALSE, |acc, &l| self.or(acc, l))
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.nodes.iter().filter(|n| matches!(n, AigNode::And(..))).count()
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.pi_names.len()
+    }
+
+    /// Primary input names.
+    pub fn pi_names(&self) -> &[String] {
+        &self.pi_names
+    }
+
+    /// Primary outputs as `(name, literal)` pairs.
+    pub fn pos(&self) -> &[(String, Lit)] {
+        &self.pos
+    }
+
+    /// Per-node logic level (PIs and the constant are level 0).
+    pub fn levels(&self) -> Vec<u32> {
+        let mut lv = vec![0u32; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            if let AigNode::And(a, b) = n {
+                lv[i] = 1 + lv[a.node()].max(lv[b.node()]);
+            }
+        }
+        lv
+    }
+
+    /// Depth: the maximum level over the primary outputs.
+    pub fn depth(&self) -> u32 {
+        let lv = self.levels();
+        self.pos.iter().map(|(_, l)| lv[l.node()]).max().unwrap_or(0)
+    }
+
+    /// Bit-parallel simulation: 64 patterns at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len()` differs from the PI count.
+    pub fn simulate64(&self, pi_values: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_values.len(), self.pi_names.len(), "PI count mismatch");
+        let mut val = vec![0u64; self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            val[i] = match *n {
+                AigNode::Const => 0,
+                AigNode::Pi(k) => pi_values[k],
+                AigNode::And(a, b) => {
+                    let va = val[a.node()] ^ if a.is_complemented() { !0 } else { 0 };
+                    let vb = val[b.node()] ^ if b.is_complemented() { !0 } else { 0 };
+                    va & vb
+                }
+            };
+        }
+        self.pos
+            .iter()
+            .map(|&(_, l)| val[l.node()] ^ if l.is_complemented() { !0 } else { 0 })
+            .collect()
+    }
+
+    /// Fanout reference counts (from POs and internal edges).
+    fn refcounts(&self) -> Vec<u32> {
+        let mut refs = vec![0u32; self.nodes.len()];
+        for n in &self.nodes {
+            if let AigNode::And(a, b) = n {
+                refs[a.node()] += 1;
+                refs[b.node()] += 1;
+            }
+        }
+        for (_, l) in &self.pos {
+            refs[l.node()] += 1;
+        }
+        refs
+    }
+
+    /// Converts a netlist to an AIG, splitting at the sequential boundary.
+    ///
+    /// The AIG's PIs are the netlist's primary inputs followed by one pseudo
+    /// input per flop (its `Q`); the POs are the netlist's primary outputs
+    /// followed by one pseudo output per flop (its `D`).
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-synthesizable cells ([`AigError::UnsupportedCell`]), on
+    /// flop clocks that are not primary inputs, or on invalid netlists.
+    pub fn from_netlist(netlist: &Netlist) -> Result<(Aig, SeqBoundary), AigError> {
+        netlist.validate().map_err(|e| AigError::Invalid(e.to_string()))?;
+        let lib = netlist.library();
+        let mut aig = Aig::new();
+        let mut net_lit: HashMap<usize, Lit> = HashMap::new();
+        for &pi in netlist.primary_inputs() {
+            let lit = aig.add_pi(netlist.net(pi).name());
+            net_lit.insert(pi.index(), lit);
+        }
+        let real_pis = aig.num_pis();
+        // Pseudo-PIs for flop outputs.
+        let flops = netlist.flops();
+        let mut flop_records = Vec::with_capacity(flops.len());
+        for &f in &flops {
+            let inst = netlist.instance(f);
+            let func = lib.cell(inst.cell()).function;
+            if func != CellFunction::Dff {
+                return Err(AigError::UnsupportedCell(format!(
+                    "{} ({:?}): only plain DFFs are synthesizable",
+                    inst.name(),
+                    func
+                )));
+            }
+            let q = aig.add_pi(format!("{}__q", inst.name()));
+            net_lit.insert(inst.output().index(), q);
+            // Clock must be a primary input net.
+            let ck_net = inst.inputs()[1];
+            let clock_pi = match netlist.net(ck_net).driver() {
+                Some(NetDriver::PrimaryInput(k)) => k,
+                _ => return Err(AigError::ClockNotPrimaryInput(inst.name().to_string())),
+            };
+            flop_records.push(FlopBoundary { name: inst.name().to_string(), clock_pi });
+        }
+        // Combinational instances in topo order.
+        let order = netlist.topo_order().map_err(|e| AigError::Invalid(e.to_string()))?;
+        for id in order {
+            let inst = netlist.instance(id);
+            let func = lib.cell(inst.cell()).function;
+            if func.is_sequential() {
+                continue;
+            }
+            let ins: Vec<Lit> = inst
+                .inputs()
+                .iter()
+                .map(|n| net_lit.get(&n.index()).copied().expect("topo order guarantees inputs"))
+                .collect();
+            let lit = match func {
+                CellFunction::Const0 => Lit::FALSE,
+                CellFunction::Const1 => Lit::TRUE,
+                CellFunction::Buf => ins[0],
+                CellFunction::Inv => !ins[0],
+                CellFunction::And(_) => aig.and_many(&ins),
+                CellFunction::Nand(_) => !aig.and_many(&ins),
+                CellFunction::Or(_) => aig.or_many(&ins),
+                CellFunction::Nor(_) => !aig.or_many(&ins),
+                CellFunction::Xor2 => aig.xor(ins[0], ins[1]),
+                CellFunction::Xnor2 => !aig.xor(ins[0], ins[1]),
+                CellFunction::Aoi21 => {
+                    let p = aig.and(ins[0], ins[1]);
+                    !aig.or(p, ins[2])
+                }
+                CellFunction::Oai21 => {
+                    let p = aig.or(ins[0], ins[1]);
+                    !aig.and(p, ins[2])
+                }
+                CellFunction::Mux2 => aig.mux(ins[2], ins[1], ins[0]),
+                CellFunction::Maj3 => {
+                    let ab = aig.and(ins[0], ins[1]);
+                    let bc = aig.and(ins[1], ins[2]);
+                    let ac = aig.and(ins[0], ins[2]);
+                    let t = aig.or(ab, bc);
+                    aig.or(t, ac)
+                }
+                other => return Err(AigError::UnsupportedCell(format!("{:?}", other))),
+            };
+            net_lit.insert(inst.output().index(), lit);
+        }
+        for (name, net) in netlist.primary_outputs() {
+            let lit = net_lit
+                .get(&net.index())
+                .copied()
+                .ok_or_else(|| AigError::Invalid(format!("output `{name}` undriven")))?;
+            aig.add_po(name.clone(), lit);
+        }
+        let real_pos = aig.pos.len();
+        for &f in &flops {
+            let inst = netlist.instance(f);
+            let d = inst.inputs()[0];
+            let lit = net_lit
+                .get(&d.index())
+                .copied()
+                .ok_or_else(|| AigError::Invalid(format!("flop `{}` D undriven", inst.name())))?;
+            aig.add_po(format!("{}__d", inst.name()), lit);
+        }
+        Ok((aig, SeqBoundary { real_pis, real_pos, flops: flop_records }))
+    }
+
+    /// Depth-oriented balancing: re-associates maximal AND trees so the
+    /// deepest input feeds the shallowest position.
+    pub fn balance(&self) -> Aig {
+        let mut out = Aig::new();
+        let mut map: Vec<Lit> = vec![Lit::FALSE; self.nodes.len()];
+        // Levels of nodes in `out`, kept in lockstep with out.nodes.
+        let mut out_levels: Vec<u32> = vec![0];
+        let level_of = |out: &Aig, lv: &mut Vec<u32>, l: Lit| -> u32 {
+            while lv.len() < out.nodes.len() {
+                let i = lv.len();
+                let v = match out.nodes[i] {
+                    AigNode::Const | AigNode::Pi(_) => 0,
+                    AigNode::And(a, b) => 1 + lv[a.node()].max(lv[b.node()]),
+                };
+                lv.push(v);
+            }
+            lv[l.node()]
+        };
+        for (i, n) in self.nodes.iter().enumerate() {
+            match *n {
+                AigNode::Const => map[0] = Lit::FALSE,
+                AigNode::Pi(k) => map[i] = out.add_pi(self.pi_names[k].clone()),
+                AigNode::And(..) => {
+                    // Gather conjunction leaves of the maximal AND tree rooted
+                    // here (descending through non-complemented AND edges;
+                    // strash re-shares any duplicated sub-structure).
+                    let mut leaves: Vec<Lit> = Vec::new();
+                    let mut stack = vec![Lit::new(i as u32, false)];
+                    while let Some(l) = stack.pop() {
+                        let expandable = leaves.len() + stack.len() < 64;
+                        match (l.is_complemented() || !expandable, self.nodes[l.node()]) {
+                            (false, AigNode::And(a, b)) => {
+                                stack.push(a);
+                                stack.push(b);
+                            }
+                            _ => leaves.push(l),
+                        }
+                    }
+                    // Map leaves into the new graph, sorted descending by
+                    // level so the shallowest sit at the end.
+                    let mut mapped: Vec<(u32, Lit)> = leaves
+                        .iter()
+                        .map(|&l| {
+                            let m = map[l.node()];
+                            let ml = if l.is_complemented() { !m } else { m };
+                            (level_of(&out, &mut out_levels, ml), ml)
+                        })
+                        .collect();
+                    mapped.sort_by_key(|&(lv, _)| std::cmp::Reverse(lv));
+                    while mapped.len() > 1 {
+                        let (_, a) = mapped.pop().expect("len > 1");
+                        let (_, b) = mapped.pop().expect("len > 1");
+                        let c = out.and(a, b);
+                        let lv = level_of(&out, &mut out_levels, c);
+                        let pos = mapped.partition_point(|&(l, _)| l > lv);
+                        mapped.insert(pos, (lv, c));
+                    }
+                    map[i] = mapped.pop().map(|(_, l)| l).unwrap_or(Lit::TRUE);
+                }
+            }
+        }
+        for (name, l) in &self.pos {
+            let m = map[l.node()];
+            out.add_po(name.clone(), if l.is_complemented() { !m } else { m });
+        }
+        out
+    }
+
+    /// Area-oriented refactoring: covers the graph with 4-feasible cuts,
+    /// resynthesizes each chosen cone from its truth table via ISOP, and
+    /// rebuilds. Usually reduces AND count substantially on redundant logic.
+    pub fn rewrite(&self) -> Aig {
+        const K: usize = 4;
+        const MAX_CUTS: usize = 8;
+
+        #[derive(Clone)]
+        struct Cut {
+            leaves: Vec<u32>,
+            tt: TruthTable,
+        }
+
+        let n_nodes = self.nodes.len();
+        let refs = self.refcounts();
+        let mut cuts: Vec<Vec<Cut>> = vec![Vec::new(); n_nodes];
+        // Choice per AND node: None = direct AND of children, Some(k) = cut k.
+        let mut choice: Vec<Option<usize>> = vec![None; n_nodes];
+        let mut flow: Vec<f64> = vec![0.0; n_nodes];
+
+        for i in 0..n_nodes {
+            match self.nodes[i] {
+                AigNode::Const => {
+                    cuts[i].push(Cut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
+                    flow[i] = 0.0;
+                }
+                AigNode::Pi(_) => {
+                    cuts[i].push(Cut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
+                    flow[i] = 0.0;
+                }
+                AigNode::And(a, b) => {
+                    let mut merged: Vec<Cut> = Vec::new();
+                    for ca in &cuts[a.node()] {
+                        for cb in &cuts[b.node()] {
+                            let mut leaves: Vec<u32> = ca.leaves.clone();
+                            for &l in &cb.leaves {
+                                if !leaves.contains(&l) {
+                                    leaves.push(l);
+                                }
+                            }
+                            if leaves.len() > K {
+                                continue;
+                            }
+                            leaves.sort_unstable();
+                            if merged.iter().any(|c| c.leaves == leaves) {
+                                continue;
+                            }
+                            // Recompute child functions on the merged leaves.
+                            let ta = Self::cut_tt_on(&ca.leaves, &ca.tt, &leaves);
+                            let tb = Self::cut_tt_on(&cb.leaves, &cb.tt, &leaves);
+                            let fa = if a.is_complemented() { ta.not() } else { ta };
+                            let fb = if b.is_complemented() { tb.not() } else { tb };
+                            merged.push(Cut { leaves, tt: fa.and(&fb) });
+                        }
+                    }
+                    merged.sort_by_key(|c| c.leaves.len());
+                    merged.truncate(MAX_CUTS - 1);
+                    // Cost of direct construction.
+                    let direct = 1.0 + flow[a.node()] + flow[b.node()];
+                    let mut best = direct;
+                    let mut best_choice = None;
+                    for (k, c) in merged.iter().enumerate() {
+                        if c.leaves.len() < 2 {
+                            continue;
+                        }
+                        let cover = isop(&c.tt, &c.tt);
+                        let cone_cost = sop_aig_cost(&cover) as f64;
+                        let leaf_flow: f64 = c.leaves.iter().map(|&l| flow[l as usize]).sum();
+                        let cost = cone_cost + leaf_flow;
+                        if cost < best {
+                            best = cost;
+                            best_choice = Some(k);
+                        }
+                    }
+                    choice[i] = best_choice;
+                    flow[i] = best / (refs[i].max(1) as f64);
+                    // Trivial cut for parents.
+                    merged.insert(0, Cut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
+                    merged.truncate(MAX_CUTS);
+                    cuts[i] = merged;
+                }
+            }
+        }
+
+        // Required set from POs.
+        let mut required = vec![false; n_nodes];
+        let mut stack: Vec<usize> = self.pos.iter().map(|(_, l)| l.node()).collect();
+        while let Some(n) = stack.pop() {
+            if required[n] {
+                continue;
+            }
+            required[n] = true;
+            match self.nodes[n] {
+                AigNode::Const | AigNode::Pi(_) => {}
+                AigNode::And(a, b) => match choice[n] {
+                    None => {
+                        stack.push(a.node());
+                        stack.push(b.node());
+                    }
+                    Some(k) => {
+                        // +1: account for the trivial cut inserted at front.
+                        for &l in &cuts[n][k + 1].leaves {
+                            stack.push(l as usize);
+                        }
+                    }
+                },
+            }
+        }
+
+        // Rebuild.
+        let mut out = Aig::new();
+        let mut map: Vec<Lit> = vec![Lit::FALSE; n_nodes];
+        for i in 0..n_nodes {
+            match self.nodes[i] {
+                AigNode::Const => map[i] = Lit::FALSE,
+                AigNode::Pi(k) => map[i] = out.add_pi(self.pi_names[k].clone()),
+                AigNode::And(a, b) => {
+                    if !required[i] {
+                        continue;
+                    }
+                    map[i] = match choice[i] {
+                        None => {
+                            let ma = if a.is_complemented() { !map[a.node()] } else { map[a.node()] };
+                            let mb = if b.is_complemented() { !map[b.node()] } else { map[b.node()] };
+                            out.and(ma, mb)
+                        }
+                        Some(k) => {
+                            let cut = &cuts[i][k + 1];
+                            let cover = isop(&cut.tt, &cut.tt);
+                            let leaf_lits: Vec<Lit> =
+                                cut.leaves.iter().map(|&l| map[l as usize]).collect();
+                            let mut terms: Vec<Lit> = Vec::with_capacity(cover.len());
+                            for cube in cover.cubes() {
+                                let mut lits = Vec::new();
+                                for (v, &leaf) in leaf_lits.iter().enumerate() {
+                                    match cube.literal(v) {
+                                        0b01 => lits.push(leaf),
+                                        0b10 => lits.push(!leaf),
+                                        _ => {}
+                                    }
+                                }
+                                terms.push(out.and_many(&lits));
+                            }
+                            out.or_many(&terms)
+                        }
+                    };
+                }
+            }
+        }
+        for (name, l) in &self.pos {
+            let m = map[l.node()];
+            out.add_po(name.clone(), if l.is_complemented() { !m } else { m });
+        }
+        out
+    }
+
+    /// Re-expresses a cut function computed over `old_leaves` on the
+    /// positions of `new_leaves` (a superset).
+    fn cut_tt_on(old_leaves: &[u32], tt: &TruthTable, new_leaves: &[u32]) -> TruthTable {
+        const K: usize = 4;
+        // Build permutation: variable i of the old tt is old_leaves[i], which
+        // sits at position p in new_leaves.
+        let mut out = TruthTable::zero(K);
+        for row in 0..(1usize << K) {
+            // Assignment of new leaves -> assignment of old vars.
+            let mut old_row = 0usize;
+            for (i, &ol) in old_leaves.iter().enumerate() {
+                let p = new_leaves.iter().position(|&nl| nl == ol).expect("superset");
+                if row >> p & 1 == 1 {
+                    old_row |= 1 << i;
+                }
+            }
+            if tt.bits() >> old_row & 1 == 1 {
+                out = TruthTable::from_bits(K, out.bits() | (1u64 << row));
+            }
+        }
+        out
+    }
+
+    /// Per-node iterator access for mappers: `(index, is_and, children)`.
+    pub(crate) fn raw_nodes(&self) -> Vec<RawNode> {
+        self.nodes
+            .iter()
+            .map(|n| match *n {
+                AigNode::Const => RawNode::Const,
+                AigNode::Pi(k) => RawNode::Pi(k),
+                AigNode::And(a, b) => RawNode::And(a, b),
+            })
+            .collect()
+    }
+}
+
+/// Read-only node view for sibling modules (the technology mapper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RawNode {
+    Const,
+    Pi(usize),
+    And(Lit, Lit),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+
+    #[test]
+    fn strash_shares_structure() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let x = g.and(a, b);
+        let y = g.and(b, a);
+        assert_eq!(x, y, "commutative inputs hash to one node");
+        assert_eq!(g.num_ands(), 1);
+    }
+
+    #[test]
+    fn constant_rules() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        assert_eq!(g.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(g.and(a, Lit::TRUE), a);
+        assert_eq!(g.and(a, !a), Lit::FALSE);
+        assert_eq!(g.and(a, a), a);
+        assert_eq!(g.num_ands(), 0);
+    }
+
+    #[test]
+    fn xor_and_mux_semantics() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let s = g.add_pi("s");
+        let x = g.xor(a, b);
+        let m = g.mux(s, a, b);
+        g.add_po("x", x);
+        g.add_po("m", m);
+        // a=0b0101, b=0b0011, s=0b1110 ... check truth lanes.
+        let outs = g.simulate64(&[0b0101, 0b0011, 0b1110]);
+        assert_eq!(outs[0] & 0xF, 0b0110);
+        // mux: s?a:b per lane: s=0 -> b(1), s=1 -> a(0,1,0 lanes 1..3)
+        assert_eq!(outs[1] & 0xF, 0b0101 & 0b1110 | 0b0011 & !0b1110 & 0xF);
+    }
+
+    #[test]
+    fn from_netlist_equivalence() {
+        let n = generate::ripple_carry_adder(6).unwrap();
+        let (aig, bnd) = Aig::from_netlist(&n).unwrap();
+        assert_eq!(bnd.flops.len(), 0);
+        assert_eq!(aig.num_pis(), n.primary_inputs().len());
+        let pats: Vec<u64> =
+            (0..aig.num_pis()).map(|i| 0x5DEE_CE66_D715_EAD7u64.wrapping_mul(i as u64 + 3)).collect();
+        let aig_out = aig.simulate64(&pats);
+        let (nl_out, _) = n.simulate64(&pats, &[]);
+        assert_eq!(aig_out, nl_out);
+    }
+
+    #[test]
+    fn from_netlist_sequential_boundary() {
+        let n = generate::switch_fabric(3, 2).unwrap();
+        let (aig, bnd) = Aig::from_netlist(&n).unwrap();
+        assert_eq!(bnd.flops.len(), 6);
+        assert_eq!(aig.num_pis(), n.primary_inputs().len() + 6);
+        assert_eq!(aig.pos().len(), n.primary_outputs().len() + 6);
+        assert_eq!(bnd.real_pis, n.primary_inputs().len());
+        // Clock is PI 0 in the fabric generator.
+        assert!(bnd.flops.iter().all(|f| f.clock_pi == 0));
+    }
+
+    #[test]
+    fn balance_preserves_function_and_reduces_depth() {
+        // A long unbalanced AND chain.
+        let mut g = Aig::new();
+        let pis: Vec<Lit> = (0..8).map(|i| g.add_pi(format!("x{i}"))).collect();
+        let mut acc = pis[0];
+        for &p in &pis[1..] {
+            acc = g.and(acc, p);
+        }
+        g.add_po("y", acc);
+        assert_eq!(g.depth(), 7);
+        let b = g.balance();
+        assert_eq!(b.depth(), 3, "balanced 8-input AND tree has depth 3");
+        let pats: Vec<u64> = (0..8).map(|i| 0x0123_4567_89AB_CDEFu64.rotate_left(i * 8)).collect();
+        assert_eq!(g.simulate64(&pats), b.simulate64(&pats));
+    }
+
+    #[test]
+    fn rewrite_preserves_function() {
+        for seed in [1u64, 5, 9] {
+            let n = generate::random_logic(generate::RandomLogicConfig {
+                gates: 250,
+                flop_fraction: 0.0,
+                seed,
+                ..Default::default()
+            })
+            .unwrap();
+            let (aig, _) = Aig::from_netlist(&n).unwrap();
+            let rw = aig.rewrite();
+            let pats: Vec<u64> = (0..aig.num_pis())
+                .map(|i| 0x9E37_79B9_97F4_A7C1u64.wrapping_mul(i as u64 + seed))
+                .collect();
+            assert_eq!(aig.simulate64(&pats), rw.simulate64(&pats), "seed {seed}");
+            assert!(rw.num_ands() <= aig.num_ands(), "rewrite must not grow: seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rewrite_shrinks_redundant_logic() {
+        // Build (a&b)|(a&!b) = a the hard way; rewrite should see through it.
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        let b = g.add_pi("b");
+        let p = g.and(a, b);
+        let q = g.and(a, !b);
+        let y = g.or(p, q);
+        g.add_po("y", y);
+        let rw = g.rewrite();
+        assert_eq!(rw.num_ands(), 0, "function collapses to a wire");
+        let pats = vec![0xF0F0, 0xCCCC];
+        assert_eq!(rw.simulate64(&pats), g.simulate64(&pats));
+    }
+
+    #[test]
+    fn unsupported_cells_rejected() {
+        use eda_netlist::{CellFunction, Netlist};
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let e = n.add_input("e");
+        let y = n.add_gate_fn("iso", CellFunction::Isolation, &[a, e]).unwrap();
+        n.add_output("y", y);
+        assert!(matches!(Aig::from_netlist(&n), Err(AigError::UnsupportedCell(_))));
+    }
+
+    #[test]
+    fn not_operator_involutes() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a");
+        assert_eq!(!!a, a);
+        assert_ne!(!a, a);
+    }
+}

@@ -1,0 +1,422 @@
+//! Cubes and covers in positional-cube notation (PCN), the data structure of
+//! Espresso-style two-level minimization.
+//!
+//! Each variable occupies 2 bits of a `u64`: `01` = positive literal, `10` =
+//! negative literal, `11` = don't-care, `00` = contradiction. Up to 32
+//! variables per cube.
+
+/// A product term over up to 32 boolean variables.
+///
+/// # Examples
+///
+/// ```
+/// use eda_logic::Cube;
+/// // x0 & !x2 over 3 variables
+/// let c = Cube::full(3).with_literal(0, true).with_literal(2, false);
+/// assert!(c.eval(&[true, false, false]));
+/// assert!(!c.eval(&[true, false, true]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cube {
+    bits: u64,
+    num_vars: u8,
+}
+
+impl Cube {
+    /// Maximum supported variable count.
+    pub const MAX_VARS: usize = 32;
+
+    /// The universal cube (all don't-cares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 32`.
+    pub fn full(num_vars: usize) -> Cube {
+        assert!(num_vars <= Self::MAX_VARS, "at most {} variables", Self::MAX_VARS);
+        let bits = if num_vars == 32 { !0u64 } else { (1u64 << (2 * num_vars)) - 1 };
+        Cube { bits, num_vars: num_vars as u8 }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Returns a copy with variable `v` constrained to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= num_vars`.
+    pub fn with_literal(mut self, v: usize, value: bool) -> Cube {
+        assert!(v < self.num_vars(), "variable out of range");
+        let field = if value { 0b01u64 } else { 0b10u64 };
+        self.bits = (self.bits & !(0b11u64 << (2 * v))) | (field << (2 * v));
+        self
+    }
+
+    /// The 2-bit field of variable `v`: `0b01`, `0b10`, `0b11`, or `0b00`.
+    pub fn literal(&self, v: usize) -> u64 {
+        self.bits >> (2 * v) & 0b11
+    }
+
+    /// Returns a copy with variable `v` freed to don't-care.
+    pub fn raised(mut self, v: usize) -> Cube {
+        assert!(v < self.num_vars(), "variable out of range");
+        self.bits |= 0b11u64 << (2 * v);
+        self
+    }
+
+    /// Whether any variable field is `00` (the cube denotes the empty set).
+    pub fn is_empty(&self) -> bool {
+        let odd = self.bits & 0xAAAA_AAAA_AAAA_AAAA;
+        let even = self.bits & 0x5555_5555_5555_5555;
+        let present = (odd >> 1) | even; // 1 where field != 00
+        let mask = if self.num_vars() == 32 { !0u64 } else { (1u64 << (2 * self.num_vars())) - 1 };
+        let all = mask & 0x5555_5555_5555_5555;
+        present & all != all
+    }
+
+    /// Whether every variable is a don't-care.
+    pub fn is_full(&self) -> bool {
+        *self == Cube::full(self.num_vars())
+    }
+
+    /// Set intersection; may be empty.
+    pub fn intersect(&self, other: &Cube) -> Cube {
+        assert_eq!(self.num_vars, other.num_vars, "mixed variable counts");
+        Cube { bits: self.bits & other.bits, num_vars: self.num_vars }
+    }
+
+    /// Whether `self` covers `other` (as sets of minterms).
+    pub fn contains(&self, other: &Cube) -> bool {
+        assert_eq!(self.num_vars, other.num_vars, "mixed variable counts");
+        self.bits | other.bits == self.bits
+    }
+
+    /// Number of variables where the fields are disjoint (`distance`); two
+    /// cubes intersect iff their distance is zero.
+    pub fn distance(&self, other: &Cube) -> u32 {
+        let i = self.bits & other.bits;
+        let odd = i & 0xAAAA_AAAA_AAAA_AAAA;
+        let even = i & 0x5555_5555_5555_5555;
+        let present = (odd >> 1) | even;
+        let mask = if self.num_vars() == 32 { !0u64 } else { (1u64 << (2 * self.num_vars())) - 1 };
+        let all = mask & 0x5555_5555_5555_5555;
+        (all & !present).count_ones()
+    }
+
+    /// Number of bound literals (non-don't-care variables).
+    pub fn literal_count(&self) -> u32 {
+        let odd = self.bits & 0xAAAA_AAAA_AAAA_AAAA;
+        let even = self.bits & 0x5555_5555_5555_5555;
+        let dc = (odd >> 1) & even; // 1 where field == 11
+        let mask = if self.num_vars() == 32 { !0u64 } else { (1u64 << (2 * self.num_vars())) - 1 };
+        let all = mask & 0x5555_5555_5555_5555;
+        (all & !dc).count_ones()
+    }
+
+    /// Evaluates membership of a minterm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != num_vars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.num_vars(), "assignment length");
+        for (v, &b) in assignment.iter().enumerate() {
+            let f = self.literal(v);
+            if f == 0b00 {
+                return false;
+            }
+            if b && f == 0b10 {
+                return false;
+            }
+            if !b && f == 0b01 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The smallest cube containing both (supercube).
+    pub fn supercube(&self, other: &Cube) -> Cube {
+        assert_eq!(self.num_vars, other.num_vars, "mixed variable counts");
+        Cube { bits: self.bits | other.bits, num_vars: self.num_vars }
+    }
+
+    /// Cofactor of this cube with respect to cube `p` (the Shannon cofactor
+    /// used by tautology/complement recursion). Returns `None` if the cubes
+    /// do not intersect.
+    pub fn cofactor(&self, p: &Cube) -> Option<Cube> {
+        if self.distance(p) > 0 {
+            return None;
+        }
+        // Variables bound in p become don't-care in the cofactor.
+        let mut out = *self;
+        for v in 0..self.num_vars() {
+            if p.literal(v) != 0b11 {
+                out = out.raised(v);
+            }
+        }
+        Some(out)
+    }
+}
+
+impl std::fmt::Display for Cube {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for v in 0..self.num_vars() {
+            let c = match self.literal(v) {
+                0b01 => '1',
+                0b10 => '0',
+                0b11 => '-',
+                _ => '!',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A sum-of-products: a list of cubes over a shared variable count.
+///
+/// # Examples
+///
+/// ```
+/// use eda_logic::{Cover, Cube};
+/// let mut f = Cover::new(2);
+/// f.push(Cube::full(2).with_literal(0, true));  // x0
+/// f.push(Cube::full(2).with_literal(1, true));  // x1
+/// assert!(f.eval(&[false, true]));
+/// assert!(!f.eval(&[false, false]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cover {
+    num_vars: usize,
+    cubes: Vec<Cube>,
+}
+
+impl Cover {
+    /// An empty (constant-0) cover.
+    pub fn new(num_vars: usize) -> Cover {
+        assert!(num_vars <= Cube::MAX_VARS, "at most {} variables", Cube::MAX_VARS);
+        Cover { num_vars, cubes: Vec::new() }
+    }
+
+    /// A constant-1 cover (single universal cube).
+    pub fn tautology_cover(num_vars: usize) -> Cover {
+        let mut c = Cover::new(num_vars);
+        c.push(Cube::full(num_vars));
+        c
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Adds a cube, ignoring empty cubes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cube's variable count differs.
+    pub fn push(&mut self, cube: Cube) {
+        assert_eq!(cube.num_vars(), self.num_vars, "cube arity mismatch");
+        if !cube.is_empty() {
+            self.cubes.push(cube);
+        }
+    }
+
+    /// The cubes.
+    pub fn cubes(&self) -> &[Cube] {
+        &self.cubes
+    }
+
+    /// Number of cubes.
+    pub fn len(&self) -> usize {
+        self.cubes.len()
+    }
+
+    /// Whether the cover has no cubes (constant 0).
+    pub fn is_empty(&self) -> bool {
+        self.cubes.is_empty()
+    }
+
+    /// Total bound literals across cubes (the classic Espresso cost).
+    pub fn literal_cost(&self) -> u32 {
+        self.cubes.iter().map(|c| c.literal_count()).sum()
+    }
+
+    /// Evaluates the disjunction on a minterm.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.cubes.iter().any(|c| c.eval(assignment))
+    }
+
+    /// Cofactor of the whole cover by cube `p`.
+    pub fn cofactor(&self, p: &Cube) -> Cover {
+        let mut out = Cover::new(self.num_vars);
+        for c in &self.cubes {
+            if let Some(cf) = c.cofactor(p) {
+                out.push(cf);
+            }
+        }
+        out
+    }
+
+    /// Removes cubes strictly contained in another cube of the cover.
+    pub fn remove_contained(&mut self) {
+        let cubes = std::mem::take(&mut self.cubes);
+        let mut kept: Vec<Cube> = Vec::with_capacity(cubes.len());
+        for (i, c) in cubes.iter().enumerate() {
+            let dominated = cubes.iter().enumerate().any(|(j, d)| {
+                j != i && d.contains(c) && !(c.contains(d) && j > i)
+            });
+            if !dominated {
+                kept.push(*c);
+            }
+        }
+        self.cubes = kept;
+    }
+
+    /// Builds a cover listing every ON-set minterm of a truth-table-like
+    /// oracle (used to seed minimization in tests and synthesis).
+    pub fn from_minterms(num_vars: usize, minterms: impl IntoIterator<Item = usize>) -> Cover {
+        let mut c = Cover::new(num_vars);
+        for m in minterms {
+            let mut cube = Cube::full(num_vars);
+            for v in 0..num_vars {
+                cube = cube.with_literal(v, m >> v & 1 == 1);
+            }
+            c.push(cube);
+        }
+        c
+    }
+}
+
+impl FromIterator<Cube> for Cover {
+    /// Collects cubes into a cover.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty (the variable count is unknown) —
+    /// use [`Cover::new`] for empty covers.
+    fn from_iter<T: IntoIterator<Item = Cube>>(iter: T) -> Self {
+        let cubes: Vec<Cube> = iter.into_iter().collect();
+        let n = cubes.first().expect("cannot infer variable count from empty iterator").num_vars();
+        let mut c = Cover::new(n);
+        for cube in cubes {
+            c.push(cube);
+        }
+        c
+    }
+}
+
+impl Extend<Cube> for Cover {
+    fn extend<T: IntoIterator<Item = Cube>>(&mut self, iter: T) {
+        for cube in iter {
+            self.push(cube);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_fields() {
+        let c = Cube::full(4).with_literal(1, true).with_literal(3, false);
+        assert_eq!(c.literal(0), 0b11);
+        assert_eq!(c.literal(1), 0b01);
+        assert_eq!(c.literal(3), 0b10);
+        assert_eq!(c.literal_count(), 2);
+        assert_eq!(c.to_string(), "-1-0");
+    }
+
+    #[test]
+    fn empty_detection() {
+        let a = Cube::full(3).with_literal(0, true);
+        let b = Cube::full(3).with_literal(0, false);
+        assert!(!a.is_empty());
+        assert!(a.intersect(&b).is_empty());
+        assert_eq!(a.distance(&b), 1);
+        assert_eq!(a.distance(&a), 0);
+    }
+
+    #[test]
+    fn containment() {
+        let big = Cube::full(3).with_literal(0, true);
+        let small = big.with_literal(1, false);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+        assert!(big.contains(&big));
+    }
+
+    #[test]
+    fn supercube_is_smallest_container() {
+        let a = Cube::full(3).with_literal(0, true).with_literal(1, true);
+        let b = Cube::full(3).with_literal(0, true).with_literal(1, false);
+        let s = a.supercube(&b);
+        assert!(s.contains(&a) && s.contains(&b));
+        assert_eq!(s.literal(0), 0b01);
+        assert_eq!(s.literal(1), 0b11);
+    }
+
+    #[test]
+    fn cube_cofactor() {
+        // c = x0 & x1 ; cofactor by p = x0 -> x1
+        let c = Cube::full(3).with_literal(0, true).with_literal(1, true);
+        let p = Cube::full(3).with_literal(0, true);
+        let cf = c.cofactor(&p).unwrap();
+        assert_eq!(cf.literal(0), 0b11);
+        assert_eq!(cf.literal(1), 0b01);
+        // Disjoint cubes have no cofactor.
+        let q = Cube::full(3).with_literal(0, false);
+        assert!(c.cofactor(&q).is_none());
+    }
+
+    #[test]
+    fn cover_eval_is_disjunction() {
+        let f = Cover::from_minterms(3, [1usize, 6]);
+        assert!(f.eval(&[true, false, false])); // minterm 1
+        assert!(f.eval(&[false, true, true])); // minterm 6
+        assert!(!f.eval(&[true, true, true]));
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn remove_contained_dedups() {
+        let mut f = Cover::new(2);
+        let big = Cube::full(2).with_literal(0, true);
+        f.push(big);
+        f.push(big.with_literal(1, true)); // contained
+        f.push(big); // duplicate
+        f.remove_contained();
+        assert_eq!(f.len(), 1);
+        assert!(f.cubes()[0].contains(&big));
+    }
+
+    #[test]
+    fn push_drops_empty() {
+        let mut f = Cover::new(2);
+        let a = Cube::full(2).with_literal(0, true);
+        let b = Cube::full(2).with_literal(0, false);
+        f.push(a.intersect(&b));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let a = Cube::full(2).with_literal(0, true);
+        let b = Cube::full(2).with_literal(1, true);
+        let mut f: Cover = [a].into_iter().collect();
+        f.extend([b]);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn thirty_two_vars() {
+        let c = Cube::full(32).with_literal(31, true);
+        assert_eq!(c.literal(31), 0b01);
+        assert_eq!(c.literal_count(), 1);
+        assert!(!c.is_empty());
+    }
+}

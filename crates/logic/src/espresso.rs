@@ -1,0 +1,428 @@
+//! Espresso-style heuristic two-level minimization.
+//!
+//! Macii's position statement opens with the lineage: *"Since the first wave
+//! of algorithms and tools for logic optimization (e.g., Espresso, Mini, MIS,
+//! SIS, etc.), innovation in EDA has gone hand-in-hand with technology
+//! progress."* This module implements the classic loop of that first wave:
+//!
+//! ```text
+//! loop { EXPAND -> IRREDUNDANT -> REDUCE } until cost stops improving
+//! ```
+//!
+//! built on unate-recursive tautology and complementation, operating on the
+//! [`Cover`]/[`Cube`] positional-cube representation.
+
+use crate::cube::{Cover, Cube};
+
+/// Result of a minimization run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinimizeOutcome {
+    /// The minimized cover.
+    pub cover: Cover,
+    /// Cube count before/after.
+    pub cubes_before: usize,
+    /// Cube count after minimization.
+    pub cubes_after: usize,
+    /// Literal cost before minimization.
+    pub literals_before: u32,
+    /// Literal cost after minimization.
+    pub literals_after: u32,
+    /// Number of expand/irredundant/reduce passes executed.
+    pub passes: u32,
+}
+
+/// Selects the most-binate splitting variable (appears in the most cubes in
+/// both polarities). Falls back to the most-bound variable.
+fn binate_select(cover: &Cover) -> Option<usize> {
+    let n = cover.num_vars();
+    let mut best: Option<(usize, u32, u32)> = None; // (var, min(p,n), p+n)
+    for v in 0..n {
+        let mut pos = 0u32;
+        let mut neg = 0u32;
+        for c in cover.cubes() {
+            match c.literal(v) {
+                0b01 => pos += 1,
+                0b10 => neg += 1,
+                _ => {}
+            }
+        }
+        if pos + neg == 0 {
+            continue;
+        }
+        let key = (pos.min(neg), pos + neg);
+        match best {
+            None => best = Some((v, key.0, key.1)),
+            Some((_, bk0, bk1)) => {
+                if key.0 > bk0 || (key.0 == bk0 && key.1 > bk1) {
+                    best = Some((v, key.0, key.1));
+                }
+            }
+        }
+    }
+    best.map(|(v, _, _)| v)
+}
+
+/// Unate-recursive tautology check: does the cover equal constant 1?
+pub fn tautology(cover: &Cover) -> bool {
+    // Quick exits.
+    if cover.cubes().iter().any(|c| c.is_full()) {
+        return true;
+    }
+    if cover.is_empty() {
+        return false;
+    }
+    let n = cover.num_vars();
+    // Unate reduction: a variable appearing in only one polarity cannot make
+    // the cover tautological unless the cubes not depending on it already do.
+    // (Handled implicitly by the split; here we only pick binate vars when
+    // possible and otherwise test the unate shortcut.)
+    match binate_select(cover) {
+        None => {
+            // All cubes are the full cube or the cover is empty; covered above.
+            false
+        }
+        Some(v) => {
+            // For a unate variable, the standard shortcut applies: if v is
+            // unate, the cover is a tautology iff the cubes with v dropped
+            // that don't depend on v are a tautology. The cofactor recursion
+            // below subsumes this correctly, at some cost.
+            let p1 = Cube::full(n).with_literal(v, true);
+            let p0 = Cube::full(n).with_literal(v, false);
+            tautology(&cover.cofactor(&p1)) && tautology(&cover.cofactor(&p0))
+        }
+    }
+}
+
+/// Recursive complementation: returns a cover of the complement.
+pub fn complement(cover: &Cover) -> Cover {
+    let n = cover.num_vars();
+    if cover.is_empty() {
+        return Cover::tautology_cover(n);
+    }
+    if cover.cubes().iter().any(|c| c.is_full()) {
+        return Cover::new(n);
+    }
+    if cover.len() == 1 {
+        // De Morgan on a single cube: one cube per bound literal.
+        let c = cover.cubes()[0];
+        let mut out = Cover::new(n);
+        for v in 0..n {
+            match c.literal(v) {
+                0b01 => out.push(Cube::full(n).with_literal(v, false)),
+                0b10 => out.push(Cube::full(n).with_literal(v, true)),
+                _ => {}
+            }
+        }
+        return out;
+    }
+    let v = binate_select(cover).unwrap_or(0);
+    let p1 = Cube::full(n).with_literal(v, true);
+    let p0 = Cube::full(n).with_literal(v, false);
+    let c1 = complement(&cover.cofactor(&p1));
+    let c0 = complement(&cover.cofactor(&p0));
+    let mut out = Cover::new(n);
+    for c in c1.cubes() {
+        out.push(c.with_literal(v, true));
+    }
+    for c in c0.cubes() {
+        out.push(c.with_literal(v, false));
+    }
+    out.remove_contained();
+    out
+}
+
+/// Whether cube `c` is covered by `cover` (with optional don't-cares merged
+/// in by the caller): checked as tautology of the cofactor.
+pub fn cube_covered(c: &Cube, cover: &Cover) -> bool {
+    tautology(&cover.cofactor(c))
+}
+
+/// EXPAND: enlarges each cube against the OFF-set, then drops contained
+/// cubes. Cubes are processed largest-first (the classic heuristic order).
+pub fn expand(cover: &Cover, off: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut cubes: Vec<Cube> = cover.cubes().to_vec();
+    cubes.sort_by_key(|c| c.literal_count());
+    let mut out = Cover::new(n);
+    for &cube in &cubes {
+        let mut c = cube;
+        for v in 0..n {
+            if c.literal(v) == 0b11 {
+                continue;
+            }
+            let raised = c.raised(v);
+            // Legal iff the raised cube still misses the OFF-set.
+            let hits_off = off.cubes().iter().any(|o| raised.distance(o) == 0);
+            if !hits_off {
+                c = raised;
+            }
+        }
+        out.push(c);
+    }
+    out.remove_contained();
+    out
+}
+
+/// IRREDUNDANT: removes cubes covered by the rest of the cover plus the
+/// don't-care set.
+pub fn irredundant(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut kept: Vec<Cube> = cover.cubes().to_vec();
+    let mut i = 0;
+    while i < kept.len() {
+        let c = kept[i];
+        let mut rest = Cover::new(n);
+        for (j, &k) in kept.iter().enumerate() {
+            if j != i {
+                rest.push(k);
+            }
+        }
+        rest.extend(dc.cubes().iter().copied());
+        if cube_covered(&c, &rest) {
+            kept.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    let mut out = Cover::new(n);
+    out.extend(kept);
+    out
+}
+
+/// REDUCE: shrinks each cube to the smallest cube that still covers the part
+/// of the ON-set no other cube covers.
+pub fn reduce(cover: &Cover, dc: &Cover) -> Cover {
+    let n = cover.num_vars();
+    let mut out_cubes: Vec<Cube> = cover.cubes().to_vec();
+    // Process largest cubes first.
+    let mut order: Vec<usize> = (0..out_cubes.len()).collect();
+    order.sort_by_key(|&i| out_cubes[i].literal_count());
+    for &i in &order {
+        let c = out_cubes[i];
+        let mut rest = Cover::new(n);
+        for (j, &k) in out_cubes.iter().enumerate() {
+            if j != i {
+                rest.push(k);
+            }
+        }
+        rest.extend(dc.cubes().iter().copied());
+        // c' = c ∩ supercube(complement(rest cofactor c))
+        let g = complement(&rest.cofactor(&c));
+        if g.is_empty() {
+            // Entire cube covered elsewhere; keep (irredundant will drop it).
+            continue;
+        }
+        let mut sc = g.cubes()[0];
+        for k in &g.cubes()[1..] {
+            sc = sc.supercube(k);
+        }
+        let reduced = c.intersect(&sc);
+        if !reduced.is_empty() {
+            out_cubes[i] = reduced;
+        }
+    }
+    let mut out = Cover::new(n);
+    out.extend(out_cubes);
+    out
+}
+
+/// Runs the Espresso loop on an ON-set with optional don't-care set.
+///
+/// The result covers every ON-set minterm, avoids every OFF-set minterm, and
+/// is usually far smaller than the input.
+///
+/// # Examples
+///
+/// ```
+/// use eda_logic::{espresso, Cover};
+/// // f = sum of minterms {0,1,2,3} over 3 vars = !x2 (after minimization)
+/// let on = Cover::from_minterms(3, [0usize, 1, 2, 3]);
+/// let out = espresso::minimize(&on, &Cover::new(3));
+/// assert_eq!(out.cover.len(), 1);
+/// assert_eq!(out.cover.cubes()[0].literal_count(), 1);
+/// ```
+pub fn minimize(on: &Cover, dc: &Cover) -> MinimizeOutcome {
+    assert_eq!(on.num_vars(), dc.num_vars(), "ON/DC variable counts differ");
+    let cubes_before = on.len();
+    let literals_before = on.literal_cost();
+    // OFF-set = complement(ON ∪ DC).
+    let mut on_dc = on.clone();
+    on_dc.extend(dc.cubes().iter().copied());
+    let off = complement(&on_dc);
+
+    let mut current = on.clone();
+    current.remove_contained();
+    let mut best_cost = (current.len(), current.literal_cost());
+    let mut passes = 0u32;
+    loop {
+        passes += 1;
+        let expanded = expand(&current, &off);
+        let irr = irredundant(&expanded, dc);
+        let reduced = reduce(&irr, dc);
+        let re_expanded = expand(&reduced, &off);
+        let candidate = irredundant(&re_expanded, dc);
+        let cost = (candidate.len(), candidate.literal_cost());
+        if cost < best_cost {
+            best_cost = cost;
+            current = candidate;
+        } else {
+            // Keep the better of candidate/current, stop.
+            if cost <= best_cost {
+                current = candidate;
+            }
+            break;
+        }
+        if passes > 10 {
+            break;
+        }
+    }
+    MinimizeOutcome {
+        cubes_after: current.len(),
+        literals_after: current.literal_cost(),
+        cover: current,
+        cubes_before,
+        literals_before,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exhaustive_equal(a: &Cover, b: &Cover) -> bool {
+        let n = a.num_vars();
+        (0..(1usize << n)).all(|m| {
+            let assignment: Vec<bool> = (0..n).map(|v| m >> v & 1 == 1).collect();
+            a.eval(&assignment) == b.eval(&assignment)
+        })
+    }
+
+    #[test]
+    fn tautology_basics() {
+        assert!(tautology(&Cover::tautology_cover(3)));
+        assert!(!tautology(&Cover::new(3)));
+        // x0 + !x0 is a tautology.
+        let mut f = Cover::new(2);
+        f.push(Cube::full(2).with_literal(0, true));
+        f.push(Cube::full(2).with_literal(0, false));
+        assert!(tautology(&f));
+        // x0 + x1 is not.
+        let mut g = Cover::new(2);
+        g.push(Cube::full(2).with_literal(0, true));
+        g.push(Cube::full(2).with_literal(1, true));
+        assert!(!tautology(&g));
+    }
+
+    #[test]
+    fn complement_is_exact() {
+        for seed in 0..20u64 {
+            let n = 4;
+            // Pseudo-random minterm sets.
+            let mut mts = Vec::new();
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            for m in 0..(1usize << n) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x >> 60 & 1 == 1 {
+                    mts.push(m);
+                }
+            }
+            let f = Cover::from_minterms(n, mts.iter().copied());
+            let fc = complement(&f);
+            for m in 0..(1usize << n) {
+                let a: Vec<bool> = (0..n).map(|v| m >> v & 1 == 1).collect();
+                assert_eq!(f.eval(&a), !fc.eval(&a), "seed {seed} minterm {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_collapses_quadrant() {
+        // Minterms 0..3 over 3 vars are exactly !x2.
+        let on = Cover::from_minterms(3, 0usize..4);
+        let out = minimize(&on, &Cover::new(3));
+        assert_eq!(out.cover.len(), 1);
+        assert_eq!(out.cover.cubes()[0].literal(2), 0b10);
+        assert!(out.literals_after < out.literals_before);
+        assert!(exhaustive_equal(&on, &out.cover));
+    }
+
+    #[test]
+    fn minimize_preserves_function_randomized() {
+        for seed in 0..15u64 {
+            let n = 5;
+            let mut mts = Vec::new();
+            let mut x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+            for m in 0..(1usize << n) {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x >> 61 & 0b11 != 0 {
+                    mts.push(m);
+                }
+            }
+            let on = Cover::from_minterms(n, mts.iter().copied());
+            let out = minimize(&on, &Cover::new(n));
+            assert!(exhaustive_equal(&on, &out.cover), "seed {seed}");
+            assert!(out.cubes_after <= out.cubes_before);
+        }
+    }
+
+    #[test]
+    fn dont_cares_enable_bigger_cubes() {
+        // ON = {3}, DC = {1, 2, 7}: x0&x1 can expand over DC minterms.
+        let on = Cover::from_minterms(3, [3usize]);
+        let dc = Cover::from_minterms(3, [1usize, 2, 7]);
+        let with_dc = minimize(&on, &dc);
+        let without = minimize(&on, &Cover::new(3));
+        assert!(with_dc.cover.literal_cost() < without.cover.literal_cost());
+        // Still must not cover OFF minterms {0, 4, 5, 6}.
+        for m in [0usize, 4, 5, 6] {
+            let a: Vec<bool> = (0..3).map(|v| m >> v & 1 == 1).collect();
+            assert!(!with_dc.cover.eval(&a), "covered OFF minterm {m}");
+        }
+        // Must still cover the ON minterm.
+        assert!(with_dc.cover.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn xor_does_not_collapse() {
+        // XOR of 3 vars has no 2-level reduction below 4 cubes.
+        let on = Cover::from_minterms(3, [1usize, 2, 4, 7]);
+        let out = minimize(&on, &Cover::new(3));
+        assert_eq!(out.cover.len(), 4, "parity is cube-irreducible");
+        assert!(exhaustive_equal(&on, &out.cover));
+    }
+
+    #[test]
+    fn expand_respects_off_set() {
+        let on = Cover::from_minterms(2, [3usize]);
+        let off = Cover::from_minterms(2, [0usize]);
+        let e = expand(&on, &off);
+        // Can expand to x0 or x1 but not to the full cube.
+        assert!(!e.cubes()[0].is_full());
+        assert!(e.cubes()[0].literal_count() <= 1);
+    }
+
+    #[test]
+    fn irredundant_drops_covered_cube() {
+        let mut f = Cover::new(2);
+        f.push(Cube::full(2).with_literal(0, true)); // x0
+        f.push(Cube::full(2).with_literal(1, true)); // x1
+        f.push(Cube::full(2).with_literal(0, true).with_literal(1, true)); // x0x1 (redundant)
+        let out = irredundant(&f, &Cover::new(2));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn minimize_constant_one() {
+        let on = Cover::from_minterms(2, 0usize..4);
+        let out = minimize(&on, &Cover::new(2));
+        assert_eq!(out.cover.len(), 1);
+        assert!(out.cover.cubes()[0].is_full());
+    }
+
+    #[test]
+    fn minimize_empty_is_empty() {
+        let out = minimize(&Cover::new(3), &Cover::new(3));
+        assert!(out.cover.is_empty());
+    }
+}

@@ -1,0 +1,160 @@
+//! Irredundant sum-of-products extraction (Minato–Morreale ISOP) from small
+//! truth tables.
+//!
+//! Used by AIG refactoring and technology mapping to resynthesize a cone's
+//! function into a compact structure.
+
+use crate::cube::{Cover, Cube};
+use crate::tt::TruthTable;
+
+/// Computes an irredundant SOP `g` with `lower ⊆ g ⊆ upper`.
+///
+/// For an exact cover of a function `f`, call with `lower = upper = f`.
+///
+/// # Panics
+///
+/// Panics if `lower ⊄ upper` or variable counts differ.
+pub fn isop(lower: &TruthTable, upper: &TruthTable) -> Cover {
+    assert_eq!(lower.num_vars(), upper.num_vars(), "variable counts differ");
+    assert_eq!(lower.and(upper), *lower, "lower set must imply upper set");
+    let n = lower.num_vars();
+    let (cover, _tt) = isop_rec(lower, upper, n);
+    cover
+}
+
+/// Recursive worker; also returns the truth table of the produced cover.
+fn isop_rec(l: &TruthTable, u: &TruthTable, n: usize) -> (Cover, TruthTable) {
+    if l.bits() == 0 {
+        return (Cover::new(n), TruthTable::zero(n));
+    }
+    if *u == TruthTable::one(n) {
+        let mut c = Cover::new(n);
+        c.push(Cube::full(n));
+        return (c, TruthTable::one(n));
+    }
+    // Split on the highest variable in the supports.
+    let x = (0..n)
+        .rev()
+        .find(|&v| l.depends_on(v) || u.depends_on(v))
+        .expect("non-constant bounds must depend on something");
+    let l0 = l.cofactor0(x);
+    let l1 = l.cofactor1(x);
+    let u0 = u.cofactor0(x);
+    let u1 = u.cofactor1(x);
+
+    // Cubes needed only on the x=0 side / x=1 side.
+    let (c0, g0) = isop_rec(&l0.and(&u1.not()), &u0, n);
+    let (c1, g1) = isop_rec(&l1.and(&u0.not()), &u1, n);
+    // Remainder that must be covered on both sides.
+    let lnew = l0.and(&g0.not()).or(&l1.and(&g1.not()));
+    let (c2, g2) = isop_rec(&lnew, &u0.and(&u1), n);
+
+    let mut cover = Cover::new(n);
+    for c in c0.cubes() {
+        cover.push(c.with_literal(x, false));
+    }
+    for c in c1.cubes() {
+        cover.push(c.with_literal(x, true));
+    }
+    cover.extend(c2.cubes().iter().copied());
+
+    let xv = TruthTable::var(n, x);
+    let tt = xv.not().and(&g0).or(&xv.and(&g1)).or(&g2);
+    (cover, tt)
+}
+
+/// Structural cost of realizing a cover as an AIG: 2-input ANDs for the
+/// product terms plus 2-input ORs for the sum.
+pub fn sop_aig_cost(cover: &Cover) -> u32 {
+    if cover.is_empty() {
+        return 0;
+    }
+    let ands: u32 = cover.cubes().iter().map(|c| c.literal_count().saturating_sub(1)).sum();
+    ands + (cover.len() as u32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cover_tt(c: &Cover, n: usize) -> TruthTable {
+        let mut bits = 0u64;
+        for m in 0..(1usize << n) {
+            let a: Vec<bool> = (0..n).map(|v| m >> v & 1 == 1).collect();
+            if c.eval(&a) {
+                bits |= 1 << m;
+            }
+        }
+        TruthTable::from_bits(n, bits)
+    }
+
+    #[test]
+    fn exact_isop_matches_function() {
+        for n in 1..=4usize {
+            for raw in [0x6996u64, 0x8000, 0x1, 0xFFFE, 0xCAFE, 0x8421, 0x7FFF] {
+                let f = TruthTable::from_bits(n, raw);
+                if f.bits() == 0 {
+                    continue;
+                }
+                let c = isop(&f, &f);
+                assert_eq!(cover_tt(&c, n), f, "n={n} raw={raw:x}");
+            }
+        }
+    }
+
+    #[test]
+    fn isop_of_constants() {
+        let f = TruthTable::zero(3);
+        assert!(isop(&f, &f).is_empty());
+        let t = TruthTable::one(3);
+        let c = isop(&t, &t);
+        assert_eq!(c.len(), 1);
+        assert!(c.cubes()[0].is_full());
+    }
+
+    #[test]
+    fn isop_uses_dont_cares() {
+        // lower = minterm 3 (x0&x1), upper adds rows 1 and 2 as DC:
+        // can produce a single-literal cube.
+        let n = 2;
+        let lower = TruthTable::from_bits(n, 0b1000);
+        let upper = TruthTable::from_bits(n, 0b1110);
+        let c = isop(&lower, &upper);
+        assert_eq!(c.len(), 1);
+        assert!(c.cubes()[0].literal_count() <= 1);
+        // Result within bounds.
+        let g = cover_tt(&c, n);
+        assert_eq!(g.and(&lower), lower);
+        assert_eq!(g.and(&upper), g);
+    }
+
+    #[test]
+    fn xor_isop_has_expected_shape() {
+        let n = 2;
+        let f = TruthTable::var(n, 0).xor(&TruthTable::var(n, 1));
+        let c = isop(&f, &f);
+        assert_eq!(c.len(), 2);
+        assert_eq!(sop_aig_cost(&c), 3); // 2 ANDs + 1 OR
+        assert_eq!(cover_tt(&c, n), f);
+    }
+
+    #[test]
+    fn majority_isop() {
+        let n = 3;
+        let a = TruthTable::var(n, 0);
+        let b = TruthTable::var(n, 1);
+        let ce = TruthTable::var(n, 2);
+        let f = a.and(&b).or(&b.and(&ce)).or(&a.and(&ce));
+        let c = isop(&f, &f);
+        assert_eq!(c.len(), 3, "majority needs 3 cubes");
+        assert_eq!(cover_tt(&c, n), f);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower set must imply upper")]
+    fn invalid_bounds_panic() {
+        let l = TruthTable::one(2);
+        let u = TruthTable::zero(2);
+        let _ = isop(&l, &u);
+    }
+}

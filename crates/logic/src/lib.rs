@@ -1,0 +1,46 @@
+//! Logic synthesis for the `eda` workspace: truth tables, two-level
+//! (Espresso-style) minimization, and-inverter graphs, and cut-based
+//! technology mapping.
+//!
+//! The crate reproduces the synthesis story the DATE 2016 panel tells:
+//! Macii's lineage from Espresso/MIS/SIS ([`espresso`]), Domic's decade of
+//! RTL-synthesis improvement ([`synthesize`] with its two effort presets),
+//! and De Micheli's functionality-enhanced devices (mapping onto the
+//! controlled-polarity library).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_logic::{synthesize, MapGoal, SynthesisEffort};
+//! use eda_netlist::{generate, Library};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate::parity_tree(16)?;
+//! let out = synthesize(&design, Library::generic(),
+//!                      SynthesisEffort::Advanced2016, MapGoal::Area)?;
+//! assert!(out.area_um2 > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod aig;
+pub mod bdd;
+pub mod cube;
+pub mod ec;
+pub mod espresso;
+pub mod isop;
+pub mod map;
+pub mod npn;
+pub mod synth;
+pub mod tt;
+
+pub use aig::{Aig, AigError, FlopBoundary, Lit, SeqBoundary};
+pub use bdd::{BddManager, BddRef};
+pub use ec::{check_equivalence, EcError, EcVerdict};
+pub use cube::{Cover, Cube};
+pub use espresso::MinimizeOutcome;
+pub use isop::isop;
+pub use map::{map_aig, map_naive, MapError, MapGoal, MapOutcome};
+pub use npn::{npn_canon, npn_equivalent, NpnCanon};
+pub use synth::{optimize_aig, synthesize, SynthesisEffort, SynthesisError, SynthesisOutcome};
+pub use tt::TruthTable;

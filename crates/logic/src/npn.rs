@@ -1,0 +1,190 @@
+//! NPN canonicalization of small boolean functions.
+//!
+//! Two functions are NPN-equivalent when one can be obtained from the other
+//! by Negating inputs, Permuting inputs, and/or Negating the output. Cut
+//! rewriting and library characterization both reason about NPN classes: the
+//! 65 536 four-input functions fall into just 222 of them.
+
+use crate::tt::TruthTable;
+
+/// The canonical representative of a function's NPN class, plus the
+/// transform that maps the original onto it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NpnCanon {
+    /// The class representative (lexicographically smallest truth table).
+    pub canon: TruthTable,
+    /// Input permutation applied (position `i` of the canon reads original
+    /// variable `perm[i]`).
+    pub perm: Vec<usize>,
+    /// Input negation mask (bit `i` = original variable `perm[i]` negated).
+    pub input_neg: u32,
+    /// Whether the output was negated.
+    pub output_neg: bool,
+}
+
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    fn rec(acc: &mut Vec<Vec<usize>>, cur: &mut Vec<usize>, used: &mut Vec<bool>, n: usize) {
+        if cur.len() == n {
+            acc.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i);
+                rec(acc, cur, used, n);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut acc = Vec::new();
+    rec(&mut acc, &mut Vec::new(), &mut vec![false; n], n);
+    acc
+}
+
+/// Applies an input transform: variable `i` of the result reads original
+/// variable `perm[i]`, negated when bit `i` of `neg_mask` is set.
+fn transform(tt: &TruthTable, perm: &[usize], neg_mask: u32) -> TruthTable {
+    let n = tt.num_vars();
+    let mut bits = 0u64;
+    for row in 0..(1usize << n) {
+        // Build the original-variable assignment this transformed row maps to.
+        let mut orig_row = 0usize;
+        for (i, &p) in perm.iter().enumerate() {
+            let bit = (row >> i & 1 == 1) ^ (neg_mask >> i & 1 == 1);
+            if bit {
+                orig_row |= 1 << p;
+            }
+        }
+        if tt.bits() >> orig_row & 1 == 1 {
+            bits |= 1 << row;
+        }
+    }
+    TruthTable::from_bits(n, bits)
+}
+
+/// Computes the NPN canonical form by exhaustive search (practical to 5
+/// variables).
+///
+/// # Panics
+///
+/// Panics if the function has more than 5 variables.
+pub fn npn_canon(tt: &TruthTable) -> NpnCanon {
+    let n = tt.num_vars();
+    assert!(n <= 5, "exhaustive NPN is practical only up to 5 variables");
+    let mut best: Option<NpnCanon> = None;
+    for perm in permutations(n) {
+        for neg in 0..(1u32 << n) {
+            let f = transform(tt, &perm, neg);
+            for out_neg in [false, true] {
+                let candidate = if out_neg { f.not() } else { f };
+                let better = best
+                    .as_ref()
+                    .map_or(true, |b| candidate.bits() < b.canon.bits());
+                if better {
+                    best = Some(NpnCanon {
+                        canon: candidate,
+                        perm: perm.clone(),
+                        input_neg: neg,
+                        output_neg: out_neg,
+                    });
+                }
+            }
+        }
+    }
+    best.expect("search space is non-empty")
+}
+
+/// Whether two functions are NPN-equivalent.
+pub fn npn_equivalent(a: &TruthTable, b: &TruthTable) -> bool {
+    a.num_vars() == b.num_vars() && npn_canon(a).canon == npn_canon(b).canon
+}
+
+/// Counts the distinct NPN classes in an iterator of functions.
+pub fn count_npn_classes(functions: impl IntoIterator<Item = TruthTable>) -> usize {
+    let mut canons = std::collections::HashSet::new();
+    for f in functions {
+        canons.insert(npn_canon(&f).canon.bits());
+    }
+    canons.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_variants_share_a_class() {
+        let n = 2;
+        let a = TruthTable::var(n, 0);
+        let b = TruthTable::var(n, 1);
+        let and = a.and(&b);
+        let nand = and.not();
+        let or = a.or(&b);
+        let nor = or.not();
+        let and_ba = b.and(&a);
+        // AND/NAND/OR/NOR are all one NPN class.
+        for f in [&nand, &or, &nor, &and_ba] {
+            assert!(npn_equivalent(&and, f), "{f} should be NPN-equal to AND");
+        }
+        // XOR is a different class.
+        let xor = a.xor(&b);
+        assert!(!npn_equivalent(&and, &xor));
+    }
+
+    #[test]
+    fn canon_is_idempotent() {
+        for raw in [0x8u64, 0x6, 0xE8, 0x96, 0xCA, 0x1B] {
+            let f = TruthTable::from_bits(3, raw);
+            let c1 = npn_canon(&f);
+            let c2 = npn_canon(&c1.canon);
+            assert_eq!(c1.canon, c2.canon, "raw {raw:x}");
+        }
+    }
+
+    #[test]
+    fn transform_reconstructs_canon() {
+        for raw in [0x8u64, 0x96, 0xE8, 0x2B] {
+            let f = TruthTable::from_bits(3, raw);
+            let c = npn_canon(&f);
+            let rebuilt = {
+                let t = transform(&f, &c.perm, c.input_neg);
+                if c.output_neg {
+                    t.not()
+                } else {
+                    t
+                }
+            };
+            assert_eq!(rebuilt, c.canon, "raw {raw:x}");
+        }
+    }
+
+    #[test]
+    fn three_var_class_count_is_14() {
+        // A classic result: 256 three-input functions fall into 14 NPN classes.
+        let all = (0..256u64).map(|b| TruthTable::from_bits(3, b));
+        assert_eq!(count_npn_classes(all), 14);
+    }
+
+    #[test]
+    fn two_var_class_count_is_4() {
+        // 16 two-input functions -> 4 NPN classes (const, var, and, xor).
+        let all = (0..16u64).map(|b| TruthTable::from_bits(2, b));
+        assert_eq!(count_npn_classes(all), 4);
+    }
+
+    #[test]
+    fn constants_are_their_own_class() {
+        let zero = TruthTable::zero(3);
+        let one = TruthTable::one(3);
+        assert!(npn_equivalent(&zero, &one), "output negation joins them");
+        assert_eq!(npn_canon(&zero).canon.bits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "up to 5 variables")]
+    fn six_vars_rejected() {
+        let _ = npn_canon(&TruthTable::zero(6));
+    }
+}

@@ -1,0 +1,247 @@
+//! Synthesis flow presets: the decade-old baseline versus the advanced flow.
+//!
+//! [`synthesize`] is the crate's front door: netlist in, optimized mapped
+//! netlist out. Two presets bracket the panel's decade:
+//!
+//! * [`SynthesisEffort::Baseline2006`] — build the AIG, decompose every node
+//!   into NAND2/INV. No restructuring, no cut matching. This is the strawman
+//!   Domic says the industry has improved on by ~30 %.
+//! * [`SynthesisEffort::Advanced2016`] — balance + iterated cut-based
+//!   refactoring on the AIG, then phase-complete cut mapping onto the full
+//!   library (area or delay goal).
+
+use crate::aig::{Aig, AigError};
+use crate::map::{map_aig, map_naive, MapError, MapGoal, MapOutcome};
+use eda_netlist::{Library, Netlist};
+use std::sync::Arc;
+
+/// Synthesis preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SynthesisEffort {
+    /// 2006-era baseline: no optimization, NAND2/INV decomposition.
+    Baseline2006,
+    /// 2016-era flow: AIG optimization + library-aware mapping.
+    Advanced2016,
+}
+
+/// Errors from synthesis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SynthesisError {
+    /// The input netlist could not be converted to an AIG.
+    Aig(AigError),
+    /// Technology mapping failed.
+    Map(MapError),
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::Aig(e) => write!(f, "aig construction failed: {e}"),
+            SynthesisError::Map(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+impl From<AigError> for SynthesisError {
+    fn from(e: AigError) -> Self {
+        SynthesisError::Aig(e)
+    }
+}
+
+impl From<MapError> for SynthesisError {
+    fn from(e: MapError) -> Self {
+        SynthesisError::Map(e)
+    }
+}
+
+/// Result of a synthesis run with before/after metrics.
+#[derive(Debug, Clone)]
+pub struct SynthesisOutcome {
+    /// The mapped netlist.
+    pub netlist: Netlist,
+    /// AND nodes in the unoptimized AIG.
+    pub aig_nodes_before: usize,
+    /// AND nodes after optimization (equals `before` for the baseline).
+    pub aig_nodes_after: usize,
+    /// Mapped cell area in µm².
+    pub area_um2: f64,
+    /// Estimated critical path in ps.
+    pub delay_ps: f64,
+    /// Mapped combinational cell count.
+    pub cells: usize,
+}
+
+/// Synthesizes `input` onto `lib` at the given effort and goal.
+///
+/// # Errors
+///
+/// Fails if the input contains non-synthesizable cells, or if the library
+/// lacks the primitives mapping needs (inverter, NAND2/AND2, DFF for
+/// sequential designs).
+///
+/// # Examples
+///
+/// ```
+/// use eda_logic::{synthesize, MapGoal, SynthesisEffort};
+/// use eda_netlist::{generate, Library};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = generate::ripple_carry_adder(8)?;
+/// let baseline = synthesize(
+///     &design,
+///     Library::nand_inv_2006(),
+///     SynthesisEffort::Baseline2006,
+///     MapGoal::Area,
+/// )?;
+/// let advanced = synthesize(
+///     &design,
+///     Library::generic(),
+///     SynthesisEffort::Advanced2016,
+///     MapGoal::Area,
+/// )?;
+/// assert!(advanced.area_um2 < baseline.area_um2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize(
+    input: &Netlist,
+    lib: Arc<Library>,
+    effort: SynthesisEffort,
+    goal: MapGoal,
+) -> Result<SynthesisOutcome, SynthesisError> {
+    let (aig, boundary) = Aig::from_netlist(input)?;
+    let before = aig.num_ands();
+    let (optimized, outcome): (Aig, MapOutcome) = match effort {
+        SynthesisEffort::Baseline2006 => {
+            let m = map_naive(&aig, &boundary, lib)?;
+            (aig, m)
+        }
+        SynthesisEffort::Advanced2016 => {
+            let opt = optimize_aig(&aig);
+            let m = map_aig(&opt, &boundary, lib, goal)?;
+            (opt, m)
+        }
+    };
+    Ok(SynthesisOutcome {
+        netlist: outcome.netlist,
+        aig_nodes_before: before,
+        aig_nodes_after: optimized.num_ands(),
+        area_um2: outcome.area_um2,
+        delay_ps: outcome.delay_ps,
+        cells: outcome.cells,
+    })
+}
+
+/// The advanced-flow AIG script: `balance; rewrite; rewrite; balance`,
+/// keeping each pass only if it does not regress node count.
+pub fn optimize_aig(aig: &Aig) -> Aig {
+    let mut cur = aig.balance();
+    if cur.num_ands() > aig.num_ands() && cur.depth() >= aig.depth() {
+        cur = aig.clone();
+    }
+    // Rewrite to a fixpoint (bounded), keeping only non-regressing passes.
+    for _ in 0..6 {
+        let next = cur.rewrite();
+        if next.num_ands() < cur.num_ands() {
+            cur = next;
+        } else {
+            break;
+        }
+    }
+    let balanced = cur.balance();
+    if balanced.num_ands() <= cur.num_ands() || balanced.depth() < cur.depth() {
+        cur = balanced;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+
+    fn check_equiv(a: &Netlist, b: &Netlist) {
+        let k = a.primary_inputs().len();
+        let pats: Vec<u64> =
+            (0..k).map(|i| 0xD6E8_FEB8_6659_FD93u64.wrapping_mul(i as u64 + 1)).collect();
+        let (o1, s1) = a.simulate64(&pats, &vec![0; a.flops().len()]);
+        let (o2, s2) = b.simulate64(&pats, &vec![0; b.flops().len()]);
+        assert_eq!(o1, o2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn advanced_beats_baseline_on_suite() {
+        let designs: Vec<Netlist> = vec![
+            generate::ripple_carry_adder(8).unwrap(),
+            generate::array_multiplier(4).unwrap(),
+            generate::parity_tree(16).unwrap(),
+            generate::random_logic(generate::RandomLogicConfig {
+                gates: 400,
+                seed: 2,
+                ..Default::default()
+            })
+            .unwrap(),
+        ];
+        let mut total_base = 0.0;
+        let mut total_adv = 0.0;
+        for d in &designs {
+            let base = synthesize(
+                d,
+                Library::nand_inv_2006(),
+                SynthesisEffort::Baseline2006,
+                MapGoal::Area,
+            )
+            .unwrap();
+            let adv =
+                synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+                    .unwrap();
+            check_equiv(d, &base.netlist);
+            check_equiv(d, &adv.netlist);
+            total_base += base.area_um2;
+            total_adv += adv.area_um2;
+        }
+        let gain = 1.0 - total_adv / total_base;
+        assert!(gain > 0.20, "advanced flow should save >20% area, got {:.1}%", gain * 100.0);
+    }
+
+    #[test]
+    fn optimize_never_grows_much() {
+        let d = generate::random_logic(generate::RandomLogicConfig {
+            gates: 350,
+            seed: 13,
+            ..Default::default()
+        })
+        .unwrap();
+        let (aig, _) = Aig::from_netlist(&d).unwrap();
+        let opt = optimize_aig(&aig);
+        assert!(opt.num_ands() <= aig.num_ands() + aig.num_ands() / 10);
+        let pats: Vec<u64> =
+            (0..aig.num_pis()).map(|i| 0xCBF2_9CE4_8422_2325u64.rotate_left(i as u32)).collect();
+        assert_eq!(aig.simulate64(&pats), opt.simulate64(&pats));
+    }
+
+    #[test]
+    fn delay_goal_shortens_critical_path() {
+        let d = generate::ripple_carry_adder(16).unwrap();
+        let area =
+            synthesize(&d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+                .unwrap();
+        let delay =
+            synthesize(&d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Delay)
+                .unwrap();
+        check_equiv(&d, &delay.netlist);
+        assert!(delay.delay_ps <= area.delay_ps, "delay mapping must not be slower");
+    }
+
+    #[test]
+    fn sequential_designs_synthesize() {
+        let d = generate::switch_fabric(4, 3).unwrap();
+        let adv = synthesize(&d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
+            .unwrap();
+        assert_eq!(adv.netlist.flops().len(), d.flops().len());
+        check_equiv(&d, &adv.netlist);
+    }
+}

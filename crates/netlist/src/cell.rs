@@ -1,0 +1,515 @@
+//! Standard-cell modeling: logic functions, cell definitions, and libraries.
+//!
+//! Three libraries ship with the crate, matching the comparisons the panel
+//! makes:
+//!
+//! * [`Library::generic`] — a modern, rich library (the "advanced 2016" flow
+//!   target);
+//! * [`Library::nand_inv_2006`] — NAND2/INV/DFF only, the target of the
+//!   deliberately naive decade-old baseline mapper;
+//! * [`Library::controlled_polarity`] — De Micheli's functionality-enhanced
+//!   devices (SiNW/CNT controlled-polarity transistors), where XOR/XNOR and
+//!   majority come almost for free.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Index of a cell definition inside a [`Library`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub(crate) u32);
+
+impl CellId {
+    /// Position of the cell in [`Library::cells`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The boolean/sequential function a cell implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFunction {
+    /// Constant logic 0 (tie-low).
+    Const0,
+    /// Constant logic 1 (tie-high).
+    Const1,
+    /// Non-inverting buffer.
+    Buf,
+    /// Inverter.
+    Inv,
+    /// N-input AND, 2 ≤ N ≤ 4.
+    And(u8),
+    /// N-input NAND, 2 ≤ N ≤ 4.
+    Nand(u8),
+    /// N-input OR, 2 ≤ N ≤ 4.
+    Or(u8),
+    /// N-input NOR, 2 ≤ N ≤ 4.
+    Nor(u8),
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// AND-OR-invert: `!((A & B) | C)`.
+    Aoi21,
+    /// OR-AND-invert: `!((A | B) & C)`.
+    Oai21,
+    /// 2:1 multiplexer: `S ? B : A` with inputs `[A, B, S]`.
+    Mux2,
+    /// 3-input majority.
+    Maj3,
+    /// D flip-flop, inputs `[D, CK]`, output `Q`.
+    Dff,
+    /// Scan D flip-flop, inputs `[D, SI, SE, CK]`, output `Q`.
+    ScanDff,
+    /// Integrated clock gate, inputs `[CK, EN]`, output gated clock.
+    ClockGate,
+    /// Level shifter between voltage domains (logically a buffer).
+    LevelShifter,
+    /// Isolation cell, inputs `[A, EN]`: passes `A` when `EN` is high,
+    /// clamps to 0 otherwise.
+    Isolation,
+    /// Decoupling capacitor; no logic function, physical-only.
+    Decap,
+}
+
+impl CellFunction {
+    /// Number of input pins.
+    pub fn num_inputs(self) -> usize {
+        match self {
+            CellFunction::Const0 | CellFunction::Const1 | CellFunction::Decap => 0,
+            CellFunction::Buf | CellFunction::Inv | CellFunction::LevelShifter => 1,
+            CellFunction::And(n)
+            | CellFunction::Nand(n)
+            | CellFunction::Or(n)
+            | CellFunction::Nor(n) => n as usize,
+            CellFunction::Xor2
+            | CellFunction::Xnor2
+            | CellFunction::Dff
+            | CellFunction::ClockGate
+            | CellFunction::Isolation => 2,
+            CellFunction::Aoi21 | CellFunction::Oai21 | CellFunction::Mux2 | CellFunction::Maj3 => 3,
+            CellFunction::ScanDff => 4,
+        }
+    }
+
+    /// Whether the cell stores state (flip-flops).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellFunction::Dff | CellFunction::ScanDff)
+    }
+
+    /// Whether the cell is physical-only (no logic output of interest).
+    pub fn is_physical_only(self) -> bool {
+        matches!(self, CellFunction::Decap)
+    }
+
+    /// Conventional pin names, inputs in order.
+    pub fn input_names(self) -> &'static [&'static str] {
+        match self {
+            CellFunction::Const0 | CellFunction::Const1 | CellFunction::Decap => &[],
+            CellFunction::Buf | CellFunction::Inv | CellFunction::LevelShifter => &["A"],
+            CellFunction::And(2) | CellFunction::Nand(2) | CellFunction::Or(2) | CellFunction::Nor(2) => &["A", "B"],
+            CellFunction::And(3) | CellFunction::Nand(3) | CellFunction::Or(3) | CellFunction::Nor(3) => &["A", "B", "C"],
+            CellFunction::And(_) | CellFunction::Nand(_) | CellFunction::Or(_) | CellFunction::Nor(_) => &["A", "B", "C", "D"],
+            CellFunction::Xor2 | CellFunction::Xnor2 => &["A", "B"],
+            CellFunction::Aoi21 | CellFunction::Oai21 => &["A", "B", "C"],
+            CellFunction::Mux2 => &["A", "B", "S"],
+            CellFunction::Maj3 => &["A", "B", "C"],
+            CellFunction::Dff => &["D", "CK"],
+            CellFunction::ScanDff => &["D", "SI", "SE", "CK"],
+            CellFunction::ClockGate => &["CK", "EN"],
+            CellFunction::Isolation => &["A", "EN"],
+        }
+    }
+
+    /// Conventional output pin name.
+    pub fn output_name(self) -> &'static str {
+        match self {
+            CellFunction::Dff | CellFunction::ScanDff => "Q",
+            CellFunction::ClockGate => "GCK",
+            _ => "Y",
+        }
+    }
+
+    /// Evaluates the combinational function on boolean inputs.
+    ///
+    /// For sequential cells this returns the value captured at the next clock
+    /// edge (i.e. `D`, or the scan-mux output for a scan flop). For
+    /// [`CellFunction::Decap`] the result is always `false`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins.len() != self.num_inputs()`.
+    pub fn eval(self, ins: &[bool]) -> bool {
+        assert_eq!(ins.len(), self.num_inputs(), "arity mismatch for {self:?}");
+        match self {
+            CellFunction::Const0 | CellFunction::Decap => false,
+            CellFunction::Const1 => true,
+            CellFunction::Buf | CellFunction::LevelShifter => ins[0],
+            CellFunction::Inv => !ins[0],
+            CellFunction::And(_) => ins.iter().all(|&b| b),
+            CellFunction::Nand(_) => !ins.iter().all(|&b| b),
+            CellFunction::Or(_) => ins.iter().any(|&b| b),
+            CellFunction::Nor(_) => !ins.iter().any(|&b| b),
+            CellFunction::Xor2 => ins[0] ^ ins[1],
+            CellFunction::Xnor2 => !(ins[0] ^ ins[1]),
+            CellFunction::Aoi21 => !((ins[0] & ins[1]) | ins[2]),
+            CellFunction::Oai21 => !((ins[0] | ins[1]) & ins[2]),
+            CellFunction::Mux2 => {
+                if ins[2] {
+                    ins[1]
+                } else {
+                    ins[0]
+                }
+            }
+            CellFunction::Maj3 => (ins[0] & ins[1]) | (ins[1] & ins[2]) | (ins[0] & ins[2]),
+            CellFunction::Dff => ins[0],
+            CellFunction::ScanDff => {
+                if ins[2] {
+                    ins[1]
+                } else {
+                    ins[0]
+                }
+            }
+            CellFunction::ClockGate => ins[0] & ins[1],
+            CellFunction::Isolation => ins[0] & ins[1],
+        }
+    }
+
+    /// Bit-parallel version of [`CellFunction::eval`]: evaluates 64 input
+    /// patterns at once (one per bit lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ins.len() != self.num_inputs()`.
+    pub fn eval64(self, ins: &[u64]) -> u64 {
+        assert_eq!(ins.len(), self.num_inputs(), "arity mismatch for {self:?}");
+        match self {
+            CellFunction::Const0 | CellFunction::Decap => 0,
+            CellFunction::Const1 => !0,
+            CellFunction::Buf | CellFunction::LevelShifter => ins[0],
+            CellFunction::Inv => !ins[0],
+            CellFunction::And(_) => ins.iter().fold(!0u64, |a, &b| a & b),
+            CellFunction::Nand(_) => !ins.iter().fold(!0u64, |a, &b| a & b),
+            CellFunction::Or(_) => ins.iter().fold(0u64, |a, &b| a | b),
+            CellFunction::Nor(_) => !ins.iter().fold(0u64, |a, &b| a | b),
+            CellFunction::Xor2 => ins[0] ^ ins[1],
+            CellFunction::Xnor2 => !(ins[0] ^ ins[1]),
+            CellFunction::Aoi21 => !((ins[0] & ins[1]) | ins[2]),
+            CellFunction::Oai21 => !((ins[0] | ins[1]) & ins[2]),
+            CellFunction::Mux2 => (ins[1] & ins[2]) | (ins[0] & !ins[2]),
+            CellFunction::Maj3 => (ins[0] & ins[1]) | (ins[1] & ins[2]) | (ins[0] & ins[2]),
+            CellFunction::Dff => ins[0],
+            CellFunction::ScanDff => (ins[1] & ins[2]) | (ins[0] & !ins[2]),
+            CellFunction::ClockGate | CellFunction::Isolation => ins[0] & ins[1],
+        }
+    }
+}
+
+/// One standard cell: its function plus physical/electrical characterization
+/// at the library's reference node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellDef {
+    /// Library cell name, e.g. `"NAND2_X1"`.
+    pub name: String,
+    /// Logic function.
+    pub function: CellFunction,
+    /// Placement area in square micrometers at the reference node.
+    pub area_um2: f64,
+    /// Intrinsic delay in picoseconds.
+    pub delay_ps: f64,
+    /// Load-dependent delay slope in picoseconds per femtofarad.
+    pub drive_ps_per_ff: f64,
+    /// Capacitance of each input pin in femtofarads.
+    pub input_cap_ff: f64,
+    /// Leakage power in nanowatts.
+    pub leakage_nw: f64,
+}
+
+/// A collection of standard cells indexed by [`CellId`] and by name.
+///
+/// # Examples
+///
+/// ```
+/// use eda_netlist::{CellFunction, Library};
+/// let lib = Library::generic();
+/// let nand = lib.find("NAND2_X1").expect("generic library has NAND2");
+/// assert_eq!(lib.cell(nand).function, CellFunction::Nand(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    name: String,
+    cells: Vec<CellDef>,
+    by_name: HashMap<String, CellId>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Library {
+        Library { name: name.into(), cells: Vec::new(), by_name: HashMap::new() }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a cell and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a cell with the same name already exists.
+    pub fn add_cell(&mut self, def: CellDef) -> CellId {
+        assert!(
+            !self.by_name.contains_key(&def.name),
+            "duplicate cell name `{}` in library `{}`",
+            def.name,
+            self.name
+        );
+        let id = CellId(self.cells.len() as u32);
+        self.by_name.insert(def.name.clone(), id);
+        self.cells.push(def);
+        id
+    }
+
+    /// Looks a cell up by id.
+    pub fn cell(&self, id: CellId) -> &CellDef {
+        &self.cells[id.index()]
+    }
+
+    /// Finds a cell by name.
+    pub fn find(&self, name: &str) -> Option<CellId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Finds the first (cheapest-by-construction) cell with a given function.
+    pub fn find_function(&self, f: CellFunction) -> Option<CellId> {
+        self.cells
+            .iter()
+            .position(|c| c.function == f)
+            .map(|i| CellId(i as u32))
+    }
+
+    /// All cells with their ids.
+    pub fn iter(&self) -> impl Iterator<Item = (CellId, &CellDef)> {
+        self.cells.iter().enumerate().map(|(i, c)| (CellId(i as u32), c))
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn std(name: &str, function: CellFunction, area: f64, delay: f64, leak: f64) -> CellDef {
+        CellDef {
+            name: name.to_string(),
+            function,
+            area_um2: area,
+            delay_ps: delay,
+            drive_ps_per_ff: 6.0,
+            input_cap_ff: 1.0,
+            leakage_nw: leak,
+        }
+    }
+
+    /// The full modern library used by the advanced flow.
+    pub fn generic() -> Arc<Library> {
+        let mut l = Library::new("generic");
+        for def in [
+            Library::std("TIE0_X1", CellFunction::Const0, 0.5, 0.0, 0.1),
+            Library::std("TIE1_X1", CellFunction::Const1, 0.5, 0.0, 0.1),
+            Library::std("INV_X1", CellFunction::Inv, 1.0, 8.0, 1.0),
+            Library::std("BUF_X1", CellFunction::Buf, 1.3, 12.0, 1.2),
+            Library::std("NAND2_X1", CellFunction::Nand(2), 1.2, 10.0, 1.4),
+            Library::std("NAND3_X1", CellFunction::Nand(3), 1.6, 13.0, 1.8),
+            Library::std("NAND4_X1", CellFunction::Nand(4), 2.0, 16.0, 2.2),
+            Library::std("NOR2_X1", CellFunction::Nor(2), 1.2, 11.0, 1.4),
+            Library::std("NOR3_X1", CellFunction::Nor(3), 1.6, 15.0, 1.8),
+            Library::std("NOR4_X1", CellFunction::Nor(4), 2.0, 18.0, 2.2),
+            Library::std("AND2_X1", CellFunction::And(2), 1.5, 14.0, 1.6),
+            Library::std("AND3_X1", CellFunction::And(3), 1.9, 17.0, 2.0),
+            Library::std("AND4_X1", CellFunction::And(4), 2.3, 20.0, 2.4),
+            Library::std("OR2_X1", CellFunction::Or(2), 1.5, 15.0, 1.6),
+            Library::std("OR3_X1", CellFunction::Or(3), 1.9, 18.0, 2.0),
+            Library::std("OR4_X1", CellFunction::Or(4), 2.3, 21.0, 2.4),
+            Library::std("XOR2_X1", CellFunction::Xor2, 2.6, 18.0, 2.6),
+            Library::std("XNOR2_X1", CellFunction::Xnor2, 2.6, 18.0, 2.6),
+            Library::std("AOI21_X1", CellFunction::Aoi21, 1.8, 14.0, 1.9),
+            Library::std("OAI21_X1", CellFunction::Oai21, 1.8, 14.0, 1.9),
+            Library::std("MUX2_X1", CellFunction::Mux2, 2.2, 16.0, 2.3),
+            Library::std("MAJ3_X1", CellFunction::Maj3, 2.8, 20.0, 2.8),
+            Library::std("DFF_X1", CellFunction::Dff, 4.5, 35.0, 4.0),
+            Library::std("SDFF_X1", CellFunction::ScanDff, 5.5, 38.0, 4.6),
+            Library::std("CLKGATE_X1", CellFunction::ClockGate, 3.0, 20.0, 2.0),
+            Library::std("LVLSHIFT_X1", CellFunction::LevelShifter, 2.5, 22.0, 1.5),
+            Library::std("ISO_X1", CellFunction::Isolation, 1.8, 12.0, 1.2),
+            Library::std("DECAP_X4", CellFunction::Decap, 4.0, 0.0, 0.4),
+        ] {
+            l.add_cell(def);
+        }
+        Arc::new(l)
+    }
+
+    /// The impoverished NAND2/INV/DFF library targeted by the 2006-era
+    /// baseline mapper.
+    pub fn nand_inv_2006() -> Arc<Library> {
+        let mut l = Library::new("nand_inv_2006");
+        for def in [
+            Library::std("TIE0_X1", CellFunction::Const0, 0.5, 0.0, 0.1),
+            Library::std("TIE1_X1", CellFunction::Const1, 0.5, 0.0, 0.1),
+            Library::std("INV_X1", CellFunction::Inv, 1.0, 8.0, 1.0),
+            Library::std("BUF_X1", CellFunction::Buf, 1.3, 12.0, 1.2),
+            Library::std("NAND2_X1", CellFunction::Nand(2), 1.2, 10.0, 1.4),
+            Library::std("DFF_X1", CellFunction::Dff, 4.5, 35.0, 4.0),
+            Library::std("SDFF_X1", CellFunction::ScanDff, 5.5, 38.0, 4.6),
+        ] {
+            l.add_cell(def);
+        }
+        Arc::new(l)
+    }
+
+    /// A library modeling De Micheli's controlled-polarity SiNW/CNT devices:
+    /// XOR/XNOR/MAJ are first-class, compact primitives instead of expensive
+    /// CMOS compositions.
+    pub fn controlled_polarity() -> Arc<Library> {
+        let mut l = Library::new("controlled_polarity");
+        for def in [
+            Library::std("TIE0_P", CellFunction::Const0, 0.5, 0.0, 0.1),
+            Library::std("TIE1_P", CellFunction::Const1, 0.5, 0.0, 0.1),
+            Library::std("INV_P", CellFunction::Inv, 1.0, 8.0, 1.0),
+            Library::std("BUF_P", CellFunction::Buf, 1.3, 12.0, 1.2),
+            Library::std("NAND2_P", CellFunction::Nand(2), 1.2, 10.0, 1.4),
+            Library::std("NOR2_P", CellFunction::Nor(2), 1.2, 11.0, 1.4),
+            // Controlled-polarity pairs realize XOR in a single device pair.
+            Library::std("XOR2_P", CellFunction::Xor2, 1.3, 11.0, 1.5),
+            Library::std("XNOR2_P", CellFunction::Xnor2, 1.3, 11.0, 1.5),
+            Library::std("MAJ3_P", CellFunction::Maj3, 1.6, 13.0, 1.8),
+            Library::std("DFF_P", CellFunction::Dff, 4.5, 35.0, 4.0),
+            Library::std("SDFF_P", CellFunction::ScanDff, 5.5, 38.0, 4.6),
+        ] {
+            l.add_cell(def);
+        }
+        Arc::new(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arity_matches_input_names() {
+        let fns = [
+            CellFunction::Const0,
+            CellFunction::Const1,
+            CellFunction::Buf,
+            CellFunction::Inv,
+            CellFunction::And(2),
+            CellFunction::And(3),
+            CellFunction::And(4),
+            CellFunction::Nand(2),
+            CellFunction::Nand(3),
+            CellFunction::Nand(4),
+            CellFunction::Or(2),
+            CellFunction::Nor(4),
+            CellFunction::Xor2,
+            CellFunction::Xnor2,
+            CellFunction::Aoi21,
+            CellFunction::Oai21,
+            CellFunction::Mux2,
+            CellFunction::Maj3,
+            CellFunction::Dff,
+            CellFunction::ScanDff,
+            CellFunction::ClockGate,
+            CellFunction::LevelShifter,
+            CellFunction::Isolation,
+            CellFunction::Decap,
+        ];
+        for f in fns {
+            assert_eq!(f.num_inputs(), f.input_names().len(), "{f:?}");
+        }
+    }
+
+    #[test]
+    fn eval_and_eval64_agree() {
+        let fns = [
+            CellFunction::Inv,
+            CellFunction::Nand(2),
+            CellFunction::Nand(3),
+            CellFunction::Nor(2),
+            CellFunction::Xor2,
+            CellFunction::Xnor2,
+            CellFunction::Aoi21,
+            CellFunction::Oai21,
+            CellFunction::Mux2,
+            CellFunction::Maj3,
+            CellFunction::ScanDff,
+            CellFunction::Isolation,
+        ];
+        for f in fns {
+            let n = f.num_inputs();
+            for pattern in 0..(1u32 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| pattern >> i & 1 == 1).collect();
+                let words: Vec<u64> = bools.iter().map(|&b| if b { !0 } else { 0 }).collect();
+                let b = f.eval(&bools);
+                let w = f.eval64(&words);
+                assert_eq!(w, if b { !0 } else { 0 }, "{f:?} pattern {pattern:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mux_semantics() {
+        // inputs [A, B, S]: S=0 -> A, S=1 -> B
+        assert!(!CellFunction::Mux2.eval(&[false, true, false]));
+        assert!(CellFunction::Mux2.eval(&[false, true, true]));
+    }
+
+    #[test]
+    fn maj3_is_median() {
+        assert!(!CellFunction::Maj3.eval(&[true, false, false]));
+        assert!(CellFunction::Maj3.eval(&[true, true, false]));
+    }
+
+    #[test]
+    fn libraries_have_expected_contents() {
+        let g = Library::generic();
+        assert!(g.find("NAND2_X1").is_some());
+        assert!(g.find("XOR2_X1").is_some());
+        assert!(g.find_function(CellFunction::Mux2).is_some());
+        assert!(!g.is_empty());
+
+        let b = Library::nand_inv_2006();
+        assert!(b.find("NAND2_X1").is_some());
+        assert!(b.find("XOR2_X1").is_none(), "2006 baseline has no XOR");
+
+        let p = Library::controlled_polarity();
+        let xor_p = p.cell(p.find("XOR2_P").unwrap()).area_um2;
+        let xor_cmos = g.cell(g.find("XOR2_X1").unwrap()).area_um2;
+        assert!(xor_p < xor_cmos / 1.5, "polarity XOR must be much cheaper");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell name")]
+    fn duplicate_cell_panics() {
+        let mut l = Library::new("t");
+        l.add_cell(Library::std("X", CellFunction::Inv, 1.0, 1.0, 1.0));
+        l.add_cell(Library::std("X", CellFunction::Buf, 1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn find_function_returns_first_match() {
+        let g = Library::generic();
+        let id = g.find_function(CellFunction::Nand(2)).unwrap();
+        assert_eq!(g.cell(id).name, "NAND2_X1");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn eval_wrong_arity_panics() {
+        CellFunction::Nand(2).eval(&[true]);
+    }
+}

@@ -1,0 +1,260 @@
+//! Simulated-annealing detailed placement on the legal site grid.
+
+use crate::floorplan::Die;
+use crate::placement::Placement;
+use eda_netlist::{InstId, NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Annealer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealConfig {
+    /// Proposed moves per cell (total moves = cells × this).
+    pub moves_per_cell: usize,
+    /// Initial temperature as a fraction of die half-perimeter.
+    pub t0_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        AnnealConfig { moves_per_cell: 60, t0_fraction: 0.05, seed: 1 }
+    }
+}
+
+/// Statistics from an annealing run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnealStats {
+    /// HPWL before, µm.
+    pub hpwl_before: f64,
+    /// HPWL after, µm.
+    pub hpwl_after: f64,
+    /// Moves proposed.
+    pub proposed: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+}
+
+/// Per-instance net adjacency used for incremental HPWL deltas.
+pub(crate) fn inst_nets(netlist: &Netlist) -> Vec<Vec<NetId>> {
+    let mut adj: Vec<Vec<NetId>> = vec![Vec::new(); netlist.num_instances()];
+    for (net_id, net) in netlist.nets() {
+        if let Some(eda_netlist::NetDriver::Instance(d)) = net.driver() {
+            adj[d.index()].push(net_id);
+        }
+        for &(s, _) in net.sinks() {
+            if !adj[s.index()].contains(&net_id) {
+                adj[s.index()].push(net_id);
+            }
+        }
+    }
+    adj
+}
+
+/// A rectangular site region `[c0, c1) × [r0, r1)` restricting moves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    /// First column (inclusive).
+    pub c0: usize,
+    /// Last column (exclusive).
+    pub c1: usize,
+    /// First row (inclusive).
+    pub r0: usize,
+    /// Last row (exclusive).
+    pub r1: usize,
+}
+
+impl Region {
+    /// The whole die.
+    pub fn full(die: &Die) -> Region {
+        Region { c0: 0, c1: die.cols, r0: 0, r1: die.rows }
+    }
+
+    /// Whether a site lies inside the region.
+    pub fn contains(&self, col: usize, row: usize) -> bool {
+        col >= self.c0 && col < self.c1 && row >= self.r0 && row < self.r1
+    }
+}
+
+/// Improves a legal placement by simulated annealing (swap / move-to-free
+/// moves, incremental HPWL evaluation, geometric cooling).
+///
+/// Only instances in `movable` are touched; pass `None` to move everything.
+/// Target sites are confined to `region` when given — partitioned placement
+/// uses this to keep threads on disjoint sites.
+pub fn anneal(
+    netlist: &Netlist,
+    placement: &mut Placement,
+    cfg: &AnnealConfig,
+    movable: Option<&[InstId]>,
+    region: Option<Region>,
+) -> AnnealStats {
+    let die = placement.die;
+    let all: Vec<InstId> = (0..netlist.num_instances()).map(InstId::from_index).collect();
+    let cells: &[InstId] = movable.unwrap_or(&all);
+    if cells.is_empty() {
+        let h = placement.total_hpwl(netlist);
+        return AnnealStats { hpwl_before: h, hpwl_after: h, proposed: 0, accepted: 0 };
+    }
+    let adj = inst_nets(netlist);
+    let movable_mask: Option<Vec<bool>> = movable.map(|m| {
+        let mut v = vec![false; netlist.num_instances()];
+        for id in m {
+            v[id.index()] = true;
+        }
+        v
+    });
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Occupancy: site slot -> instance.
+    let mut occupant: Vec<Option<InstId>> = vec![None; die.num_sites()];
+    let slot_of = |die: &Die, p: crate::floorplan::Point| -> usize {
+        let (c, r) = die.snap(p);
+        r * die.cols + c
+    };
+    for i in 0..netlist.num_instances() {
+        let id = InstId::from_index(i);
+        occupant[slot_of(&die, placement.position(id))] = Some(id);
+    }
+
+    let hpwl_before = placement.total_hpwl(netlist);
+    let total_moves = cells.len() * cfg.moves_per_cell;
+    let mut t = cfg.t0_fraction * (die.width_um + die.height_um);
+    let t_final = t * 1e-3;
+    let alpha = if total_moves > 0 {
+        (t_final / t).powf(1.0 / total_moves as f64)
+    } else {
+        1.0
+    };
+
+    let reg = region.unwrap_or(Region::full(&die));
+    assert!(reg.c1 > reg.c0 && reg.r1 > reg.r0, "region must be non-empty");
+    let mut accepted = 0usize;
+    for _ in 0..total_moves {
+        let a = cells[rng.gen_range(0..cells.len())];
+        let target_slot = {
+            let c = rng.gen_range(reg.c0..reg.c1);
+            let r = rng.gen_range(reg.r0..reg.r1);
+            r * die.cols + c
+        };
+        let b = occupant[target_slot];
+        if b == Some(a) {
+            continue;
+        }
+        // Swaps must stay within the movable set.
+        if let (Some(b), Some(mask)) = (b, &movable_mask) {
+            if !mask[b.index()] {
+                continue;
+            }
+        }
+        let pa = placement.position(a);
+        let (tc, tr) = (target_slot % die.cols, target_slot / die.cols);
+        let pt = die.site_center(tc, tr);
+
+        // Nets affected.
+        let mut nets: Vec<NetId> = adj[a.index()].clone();
+        if let Some(b) = b {
+            for &nid in &adj[b.index()] {
+                if !nets.contains(&nid) {
+                    nets.push(nid);
+                }
+            }
+        }
+        let before: f64 = nets.iter().map(|&nid| placement.net_hpwl(netlist, nid)).sum();
+        placement.set_position(a, pt);
+        if let Some(b) = b {
+            placement.set_position(b, pa);
+        }
+        let after: f64 = nets.iter().map(|&nid| placement.net_hpwl(netlist, nid)).sum();
+        let delta = after - before;
+        let accept = delta < 0.0 || (t > 0.0 && rng.gen::<f64>() < (-delta / t).exp());
+        if accept {
+            accepted += 1;
+            let a_slot = slot_of(&die, pa);
+            occupant[a_slot] = b;
+            occupant[target_slot] = Some(a);
+        } else {
+            placement.set_position(a, pa);
+            if let Some(b) = b {
+                placement.set_position(b, pt);
+            }
+        }
+        t *= alpha;
+    }
+    AnnealStats {
+        hpwl_before,
+        hpwl_after: placement.total_hpwl(netlist),
+        proposed: total_moves,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::global::{place_global, GlobalConfig};
+    use eda_netlist::generate;
+    use std::collections::HashSet;
+
+    #[test]
+    fn anneal_improves_hpwl() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 300,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let mut p = place_global(&n, die, &GlobalConfig { iterations: 2, seed: 7 });
+        let stats = anneal(&n, &mut p, &AnnealConfig::default(), None, None);
+        assert!(
+            stats.hpwl_after < stats.hpwl_before,
+            "annealing must improve: {} -> {}",
+            stats.hpwl_before,
+            stats.hpwl_after
+        );
+        assert!(stats.accepted > 0);
+        assert!((p.total_hpwl(&n) - stats.hpwl_after).abs() < 1e-6);
+    }
+
+    #[test]
+    fn anneal_keeps_placement_legal() {
+        let n = generate::parity_tree(64).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let mut p = place_global(&n, die, &GlobalConfig::default());
+        anneal(&n, &mut p, &AnnealConfig { moves_per_cell: 30, ..Default::default() }, None, None);
+        let mut seen = HashSet::new();
+        for i in 0..n.num_instances() {
+            let pos = p.position(InstId::from_index(i));
+            let key = ((pos.x * 1000.0) as i64, (pos.y * 1000.0) as i64);
+            assert!(seen.insert(key), "overlap at {pos:?}");
+        }
+    }
+
+    #[test]
+    fn restricted_anneal_moves_only_movable() {
+        let n = generate::parity_tree(32).unwrap();
+        let die = Die::for_netlist(&n, 0.6);
+        let mut p = place_global(&n, die, &GlobalConfig::default());
+        let frozen: Vec<_> = (0..n.num_instances() / 2).map(InstId::from_index).collect();
+        let movable: Vec<_> =
+            (n.num_instances() / 2..n.num_instances()).map(InstId::from_index).collect();
+        let before: Vec<_> = frozen.iter().map(|&i| p.position(i)).collect();
+        anneal(&n, &mut p, &AnnealConfig::default(), Some(&movable), None);
+        for (i, &id) in frozen.iter().enumerate() {
+            assert_eq!(p.position(id), before[i], "frozen cell moved");
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let n = generate::parity_tree(32).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let mut p1 = place_global(&n, die, &GlobalConfig::default());
+        let mut p2 = place_global(&n, die, &GlobalConfig::default());
+        let s1 = anneal(&n, &mut p1, &AnnealConfig::default(), None, None);
+        let s2 = anneal(&n, &mut p2, &AnnealConfig::default(), None, None);
+        assert_eq!(s1.hpwl_after, s2.hpwl_after);
+    }
+}

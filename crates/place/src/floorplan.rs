@@ -1,0 +1,160 @@
+//! Die and site-grid floorplanning.
+
+use eda_netlist::Netlist;
+
+/// A 2-D point in micrometers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate, µm.
+    pub x: f64,
+    /// Y coordinate, µm.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Point {
+        Point { x, y }
+    }
+
+    /// Manhattan distance to another point.
+    pub fn manhattan(&self, other: &Point) -> f64 {
+        (self.x - other.x).abs() + (self.y - other.y).abs()
+    }
+}
+
+/// The placeable die area with a legal site grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Die {
+    /// Die width in µm.
+    pub width_um: f64,
+    /// Die height in µm.
+    pub height_um: f64,
+    /// Site pitch in µm (cells snap to multiples of this).
+    pub site_um: f64,
+    /// Number of sites horizontally.
+    pub cols: usize,
+    /// Number of sites vertically (rows).
+    pub rows: usize,
+}
+
+impl Die {
+    /// Sizes a square die for a netlist at the given core utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `utilization` is not in (0, 1] or the netlist is empty.
+    pub fn for_netlist(netlist: &Netlist, utilization: f64) -> Die {
+        assert!(utilization > 0.0 && utilization <= 1.0, "utilization must be in (0, 1]");
+        let area = netlist.area_um2();
+        assert!(area > 0.0, "cannot floorplan an empty netlist");
+        // Site sized to the average cell footprint so one site ≈ one cell.
+        let avg_cell = area / netlist.num_instances() as f64;
+        let site = avg_cell.sqrt();
+        let side = (area / utilization).sqrt();
+        let cols = (side / site).ceil().max(2.0) as usize;
+        Die { width_um: cols as f64 * site, height_um: cols as f64 * site, site_um: site, cols, rows: cols }
+    }
+
+    /// Total number of legal sites.
+    pub fn num_sites(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Center of site `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    pub fn site_center(&self, col: usize, row: usize) -> Point {
+        assert!(col < self.cols && row < self.rows, "site out of range");
+        Point::new((col as f64 + 0.5) * self.site_um, (row as f64 + 0.5) * self.site_um)
+    }
+
+    /// Nearest legal site to a point (clamped to the die).
+    pub fn snap(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x / self.site_um).floor().max(0.0) as usize).min(self.cols - 1);
+        let r = ((p.y / self.site_um).floor().max(0.0) as usize).min(self.rows - 1);
+        (c, r)
+    }
+
+    /// Positions for `n` I/O pins spread along the die boundary.
+    pub fn boundary_pins(&self, n: usize) -> Vec<Point> {
+        let perimeter = 2.0 * (self.width_um + self.height_um);
+        (0..n)
+            .map(|i| {
+                let d = (i as f64 + 0.5) / n as f64 * perimeter;
+                if d < self.width_um {
+                    Point::new(d, 0.0)
+                } else if d < self.width_um + self.height_um {
+                    Point::new(self.width_um, d - self.width_um)
+                } else if d < 2.0 * self.width_um + self.height_um {
+                    Point::new(2.0 * self.width_um + self.height_um - d, self.height_um)
+                } else {
+                    Point::new(0.0, perimeter - d)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+
+    #[test]
+    fn die_fits_netlist() {
+        let n = generate::random_logic(Default::default()).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        assert!(die.width_um * die.height_um >= n.area_um2() / 0.7 * 0.9);
+        assert!(die.num_sites() >= n.num_instances());
+    }
+
+    #[test]
+    fn lower_utilization_means_bigger_die() {
+        let n = generate::parity_tree(64).unwrap();
+        let tight = Die::for_netlist(&n, 0.9);
+        let loose = Die::for_netlist(&n, 0.5);
+        assert!(loose.width_um > tight.width_um);
+    }
+
+    #[test]
+    fn snap_is_within_bounds() {
+        let n = generate::parity_tree(32).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        for p in [
+            Point::new(-5.0, -5.0),
+            Point::new(die.width_um * 2.0, die.height_um * 2.0),
+            Point::new(die.width_um / 2.0, die.height_um / 2.0),
+        ] {
+            let (c, r) = die.snap(p);
+            assert!(c < die.cols && r < die.rows);
+        }
+    }
+
+    #[test]
+    fn boundary_pins_on_perimeter() {
+        let n = generate::parity_tree(32).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        for p in die.boundary_pins(40) {
+            let on_edge = p.x.abs() < 1e-9
+                || p.y.abs() < 1e-9
+                || (p.x - die.width_um).abs() < 1e-9
+                || (p.y - die.height_um).abs() < 1e-9;
+            assert!(on_edge, "pin {p:?} not on boundary");
+        }
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Point::new(0.0, 0.0).manhattan(&Point::new(3.0, 4.0)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_panics() {
+        let n = generate::parity_tree(8).unwrap();
+        let _ = Die::for_netlist(&n, 1.5);
+    }
+}

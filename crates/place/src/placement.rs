@@ -1,0 +1,174 @@
+//! The placement result: instance coordinates, I/O pin positions, and
+//! wirelength metrics.
+
+use crate::floorplan::{Die, Point};
+use eda_netlist::{InstId, NetDriver, NetId, Netlist};
+
+/// A complete placement of a netlist onto a die.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// The die.
+    pub die: Die,
+    /// Instance positions, indexed by instance position in the netlist.
+    positions: Vec<Point>,
+    /// Primary-input pin positions, indexed by PI order.
+    pi_pins: Vec<Point>,
+    /// Primary-output pin positions, indexed by PO order.
+    po_pins: Vec<Point>,
+}
+
+impl Placement {
+    /// Creates a placement with every instance at the die center and I/O pins
+    /// spread along the boundary.
+    pub fn new(netlist: &Netlist, die: Die) -> Placement {
+        let center = Point::new(die.width_um / 2.0, die.height_um / 2.0);
+        let n_pi = netlist.primary_inputs().len();
+        let n_po = netlist.primary_outputs().len();
+        let pins = die.boundary_pins(n_pi + n_po);
+        Placement {
+            die,
+            positions: vec![center; netlist.num_instances()],
+            pi_pins: pins[..n_pi].to_vec(),
+            po_pins: pins[n_pi..].to_vec(),
+        }
+    }
+
+    /// Position of an instance.
+    pub fn position(&self, inst: InstId) -> Point {
+        self.positions[inst.index()]
+    }
+
+    /// Moves an instance.
+    pub fn set_position(&mut self, inst: InstId, p: Point) {
+        self.positions[inst.index()] = p;
+    }
+
+    /// Pin position of primary input `i`.
+    pub fn pi_pin(&self, i: usize) -> Point {
+        self.pi_pins[i]
+    }
+
+    /// Pin position of primary output `i`.
+    pub fn po_pin(&self, i: usize) -> Point {
+        self.po_pins[i]
+    }
+
+    /// All the points a net touches: driver, instance sinks, and PO pins.
+    pub fn net_points(&self, netlist: &Netlist, net: NetId) -> Vec<Point> {
+        let mut pts = Vec::new();
+        let n = netlist.net(net);
+        match n.driver() {
+            Some(NetDriver::PrimaryInput(k)) => pts.push(self.pi_pins[k]),
+            Some(NetDriver::Instance(i)) => pts.push(self.positions[i.index()]),
+            None => {}
+        }
+        for &(s, _) in n.sinks() {
+            pts.push(self.positions[s.index()]);
+        }
+        for (k, &(_, po_net)) in netlist.primary_outputs().iter().enumerate() {
+            if po_net == net {
+                pts.push(self.po_pins[k]);
+            }
+        }
+        pts
+    }
+
+    /// Half-perimeter wirelength of one net, µm.
+    pub fn net_hpwl(&self, netlist: &Netlist, net: NetId) -> f64 {
+        let pts = self.net_points(netlist, net);
+        if pts.len() < 2 {
+            return 0.0;
+        }
+        let (mut xmin, mut xmax, mut ymin, mut ymax) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for p in pts {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        (xmax - xmin) + (ymax - ymin)
+    }
+
+    /// Total half-perimeter wirelength, µm.
+    pub fn total_hpwl(&self, netlist: &Netlist) -> f64 {
+        netlist.nets().map(|(id, _)| self.net_hpwl(netlist, id)).sum()
+    }
+
+    /// Bounding box `(min, max)` of one net.
+    pub fn net_bbox(&self, netlist: &Netlist, net: NetId) -> Option<(Point, Point)> {
+        let pts = self.net_points(netlist, net);
+        if pts.is_empty() {
+            return None;
+        }
+        let (mut xmin, mut xmax, mut ymin, mut ymax) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for p in pts {
+            xmin = xmin.min(p.x);
+            xmax = xmax.max(p.x);
+            ymin = ymin.min(p.y);
+            ymax = ymax.max(p.y);
+        }
+        Some((Point::new(xmin, ymin), Point::new(xmax, ymax)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+
+    #[test]
+    fn initial_placement_centers_cells() {
+        let n = generate::parity_tree(8).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let p = Placement::new(&n, die);
+        let c = p.position(InstId::from_index(0));
+        assert!((c.x - die.width_um / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hpwl_zero_when_coincident_no_io() {
+        let n = generate::parity_tree(4).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let p = Placement::new(&n, die);
+        // Internal nets (between coincident cells) have zero HPWL; nets
+        // touching boundary pins do not.
+        let mut internal = 0;
+        for (id, net) in n.nets() {
+            let touches_io = matches!(net.driver(), Some(NetDriver::PrimaryInput(_)))
+                || n.primary_outputs().iter().any(|&(_, o)| o == id);
+            if !touches_io && net.fanout() > 0 {
+                assert_eq!(p.net_hpwl(&n, id), 0.0);
+                internal += 1;
+            }
+        }
+        assert!(internal > 0);
+    }
+
+    #[test]
+    fn moving_a_cell_changes_hpwl() {
+        let n = generate::ripple_carry_adder(4).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let mut p = Placement::new(&n, die);
+        let before = p.total_hpwl(&n);
+        p.set_position(InstId::from_index(0), Point::new(0.0, 0.0));
+        let after = p.total_hpwl(&n);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn bbox_contains_all_points() {
+        let n = generate::parity_tree(8).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let p = Placement::new(&n, die);
+        for (id, _) in n.nets() {
+            if let Some((lo, hi)) = p.net_bbox(&n, id) {
+                for pt in p.net_points(&n, id) {
+                    assert!(pt.x >= lo.x - 1e-9 && pt.x <= hi.x + 1e-9);
+                    assert!(pt.y >= lo.y - 1e-9 && pt.y <= hi.y + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Switching-activity estimation: static probabilities and transition
+//! densities propagated through the netlist.
+//!
+//! Probabilities assume spatial independence of gate inputs (the classic
+//! TPS approximation); densities use the Boolean-difference formulation
+//! `D(y) = Σ P(∂f/∂x_i) · D(x_i)`.
+
+use eda_netlist::{CellFunction, NetDriver, NetId, Netlist, NetlistError};
+
+/// Per-net activity: probability of being 1 and toggles per clock cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Activity {
+    prob: Vec<f64>,
+    density: Vec<f64>,
+}
+
+/// Source activities for primary inputs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityConfig {
+    /// Probability a primary input is 1.
+    pub input_prob: f64,
+    /// Toggles per cycle on each primary input.
+    pub input_density: f64,
+    /// Toggles per cycle of the clock itself (2: rise + fall).
+    pub clock_density: f64,
+}
+
+impl Default for ActivityConfig {
+    fn default() -> Self {
+        ActivityConfig { input_prob: 0.5, input_density: 0.2, clock_density: 2.0 }
+    }
+}
+
+impl Activity {
+    /// Propagates activities through a netlist.
+    ///
+    /// Clock inputs (nets named `clk`/`clock` or feeding only CK pins) carry
+    /// [`ActivityConfig::clock_density`]. Flop outputs toggle at half their
+    /// D-input density (a captured value changes at most once per cycle).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError`] on cyclic netlists.
+    pub fn estimate(netlist: &Netlist, cfg: &ActivityConfig) -> Result<Activity, NetlistError> {
+        let lib = netlist.library();
+        let n = netlist.num_nets();
+        let mut prob = vec![0.5f64; n];
+        let mut density = vec![0.0f64; n];
+
+        let clock_nets = clock_nets(netlist);
+        for &pi in netlist.primary_inputs() {
+            if clock_nets.contains(&pi) {
+                prob[pi.index()] = 0.5;
+                density[pi.index()] = cfg.clock_density;
+            } else {
+                prob[pi.index()] = cfg.input_prob;
+                density[pi.index()] = cfg.input_density;
+            }
+        }
+        // Flop outputs: assume steady-state probability 0.5 and density from
+        // a first pass; two passes give a reasonable fixpoint approximation.
+        for _pass in 0..2 {
+            let order = netlist.topo_order()?;
+            for id in order {
+                let inst = netlist.instance(id);
+                let f = lib.cell(inst.cell()).function;
+                let out = inst.output().index();
+                if f.is_sequential() {
+                    let d_net = inst.inputs()[0].index();
+                    prob[out] = prob[d_net].clamp(0.05, 0.95);
+                    // A flop output toggles when the captured value differs:
+                    // density = 2 p (1-p) per cycle.
+                    density[out] = 2.0 * prob[d_net] * (1.0 - prob[d_net]);
+                    continue;
+                }
+                if f.is_physical_only() {
+                    continue;
+                }
+                if f == CellFunction::ClockGate {
+                    // Gated clock: toggles only while EN is high.
+                    let ck = inst.inputs()[0].index();
+                    let en = inst.inputs()[1].index();
+                    prob[out] = prob[ck] * prob[en];
+                    density[out] = density[ck] * prob[en];
+                    continue;
+                }
+                let ins: Vec<usize> = inst.inputs().iter().map(|x| x.index()).collect();
+                let k = ins.len();
+                if k == 0 {
+                    prob[out] = if f == CellFunction::Const1 { 1.0 } else { 0.0 };
+                    density[out] = 0.0;
+                    continue;
+                }
+                // Enumerate the truth table (k ≤ 4).
+                let mut p1 = 0.0f64;
+                let mut dens = 0.0f64;
+                for i in 0..k {
+                    // P(∂f/∂x_i): rows where flipping x_i flips f.
+                    let mut p_sensitive = 0.0;
+                    for row in 0..(1usize << k) {
+                        if row >> i & 1 == 1 {
+                            continue;
+                        }
+                        let mut w = 1.0;
+                        for (j, &net) in ins.iter().enumerate() {
+                            if j == i {
+                                continue;
+                            }
+                            let bit = row >> j & 1 == 1;
+                            w *= if bit { prob[net] } else { 1.0 - prob[net] };
+                        }
+                        let a: Vec<bool> = (0..k).map(|j| row >> j & 1 == 1).collect();
+                        let mut b = a.clone();
+                        b[i] = true;
+                        if f.eval(&a) != f.eval(&b) {
+                            p_sensitive += w;
+                        }
+                    }
+                    dens += p_sensitive * density[ins[i]];
+                }
+                for row in 0..(1usize << k) {
+                    let a: Vec<bool> = (0..k).map(|j| row >> j & 1 == 1).collect();
+                    if f.eval(&a) {
+                        let mut w = 1.0;
+                        for (j, &net) in ins.iter().enumerate() {
+                            w *= if a[j] { prob[net] } else { 1.0 - prob[net] };
+                        }
+                        p1 += w;
+                    }
+                }
+                prob[out] = p1;
+                density[out] = dens;
+            }
+        }
+        Ok(Activity { prob, density })
+    }
+
+    /// Probability that a net is logic 1.
+    pub fn prob(&self, net: NetId) -> f64 {
+        self.prob[net.index()]
+    }
+
+    /// Toggles per cycle on a net.
+    pub fn density(&self, net: NetId) -> f64 {
+        self.density[net.index()]
+    }
+
+    /// Mean toggle density over all nets (the design's "switching activity").
+    pub fn mean_density(&self) -> f64 {
+        if self.density.is_empty() {
+            return 0.0;
+        }
+        self.density.iter().sum::<f64>() / self.density.len() as f64
+    }
+
+    /// Scales every density by a factor (used to model workload classes like
+    /// Rossi's 5× networking traffic).
+    pub fn scaled(&self, factor: f64) -> Activity {
+        Activity {
+            prob: self.prob.clone(),
+            density: self.density.iter().map(|d| d * factor).collect(),
+        }
+    }
+}
+
+/// Nets that behave as clocks: primary inputs feeding CK pins of flops or
+/// clock gates.
+pub fn clock_nets(netlist: &Netlist) -> Vec<NetId> {
+    let lib = netlist.library();
+    let mut out = Vec::new();
+    for (net_id, net) in netlist.nets() {
+        if !matches!(net.driver(), Some(NetDriver::PrimaryInput(_))) {
+            continue;
+        }
+        let feeds_clock = net.sinks().iter().any(|&(inst, pin)| {
+            let f = lib.cell(netlist.instance(inst).cell()).function;
+            match f {
+                CellFunction::Dff => pin == 1,
+                CellFunction::ScanDff => pin == 3,
+                CellFunction::ClockGate => pin == 0,
+                _ => false,
+            }
+        });
+        if feeds_clock {
+            out.push(net_id);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::{generate, CellFunction, Netlist};
+
+    #[test]
+    fn inverter_preserves_density_flips_prob() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let y = n.add_gate_fn("u", CellFunction::Inv, &[a]).unwrap();
+        n.add_output("y", y);
+        let act = Activity::estimate(&n, &ActivityConfig { input_prob: 0.8, input_density: 0.3, clock_density: 2.0 }).unwrap();
+        assert!((act.prob(y) - 0.2).abs() < 1e-9);
+        assert!((act.density(y) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn and_gate_probability() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate_fn("u", CellFunction::And(2), &[a, b]).unwrap();
+        n.add_output("y", y);
+        let act = Activity::estimate(&n, &ActivityConfig::default()).unwrap();
+        assert!((act.prob(y) - 0.25).abs() < 1e-9);
+        // Density: each input sensitizes with prob 0.5 => 0.5*0.2 + 0.5*0.2.
+        assert!((act.density(y) - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xor_always_sensitizes() {
+        let mut n = Netlist::new("t");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let y = n.add_gate_fn("u", CellFunction::Xor2, &[a, b]).unwrap();
+        n.add_output("y", y);
+        let act = Activity::estimate(&n, &ActivityConfig::default()).unwrap();
+        assert!((act.density(y) - 0.4).abs() < 1e-9, "XOR passes both input densities");
+    }
+
+    #[test]
+    fn clock_net_detected_and_hot() {
+        let n = generate::switch_fabric(3, 2).unwrap();
+        let clocks = clock_nets(&n);
+        assert_eq!(clocks.len(), 1);
+        let act = Activity::estimate(&n, &ActivityConfig::default()).unwrap();
+        assert!(act.density(clocks[0]) >= 2.0 - 1e-9, "clock toggles every cycle");
+    }
+
+    #[test]
+    fn scaled_activity_multiplies_densities() {
+        let n = generate::parity_tree(8).unwrap();
+        let act = Activity::estimate(&n, &ActivityConfig::default()).unwrap();
+        let hot = act.scaled(5.0);
+        assert!((hot.mean_density() - 5.0 * act.mean_density()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probabilities_stay_in_unit_interval() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 300,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let act = Activity::estimate(&n, &ActivityConfig::default()).unwrap();
+        for (id, _) in n.nets() {
+            let p = act.prob(id);
+            assert!((0.0..=1.0).contains(&p), "prob {p} out of range");
+            assert!(act.density(id) >= 0.0);
+        }
+    }
+}

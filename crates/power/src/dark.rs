@@ -1,0 +1,157 @@
+//! The dark-silicon model.
+//!
+//! Domic: *"'Design for power' was an enabler that prevented massive amounts
+//! of 'dark silicon'."* Given a node, a die, and a power budget, this module
+//! computes the fraction of the die that can switch simultaneously — with and
+//! without the design-for-power technique stack — reproducing the utilization
+//! collapse at 90/65 nm and its recovery (claim C6).
+
+use eda_tech::Node;
+
+/// The design-for-power technique stack, each with its modeled effect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TechniqueStack {
+    /// Clock gating (removes idle clock toggling).
+    pub clock_gating: bool,
+    /// Multi-voltage domains (non-critical logic at reduced Vdd).
+    pub multi_vdd: bool,
+    /// Power gating / shutdown domains (removes idle leakage).
+    pub power_gating: bool,
+}
+
+impl TechniqueStack {
+    /// No techniques (mid-2000s strawman).
+    pub fn none() -> TechniqueStack {
+        TechniqueStack { clock_gating: false, multi_vdd: false, power_gating: false }
+    }
+
+    /// The full 2016 stack.
+    pub fn full() -> TechniqueStack {
+        TechniqueStack { clock_gating: true, multi_vdd: true, power_gating: true }
+    }
+
+    /// Dynamic-power multiplier of the stack (< 1 when techniques help).
+    pub fn dynamic_factor(&self) -> f64 {
+        let mut f = 1.0;
+        if self.clock_gating {
+            // ~35% of dynamic power is clocking; gating removes ~70% of it.
+            f *= 1.0 - 0.35 * 0.7;
+        }
+        if self.multi_vdd {
+            // Half the logic can run at 0.8× Vdd: 0.5 + 0.5·0.64.
+            f *= 0.82;
+        }
+        f
+    }
+
+    /// Leakage multiplier of the stack.
+    pub fn leakage_factor(&self) -> f64 {
+        if self.power_gating {
+            // Idle blocks (≈60% of area at any time) leak ~25x less.
+            0.4 + 0.6 / 25.0
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One row of the dark-silicon sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DarkSiliconRow {
+    /// Node evaluated.
+    pub node: Node,
+    /// Fraction of the die usable simultaneously without techniques.
+    pub usable_naive: f64,
+    /// Fraction usable with the full technique stack.
+    pub usable_with_techniques: f64,
+}
+
+/// Power drawn by 1 mm² of fully-active logic at a node, in watts, at the
+/// given clock frequency.
+fn power_per_mm2_w(node: Node, freq_mhz: f64, stack: &TechniqueStack) -> f64 {
+    let spec = node.spec();
+    let gates = spec.density_mtr_per_mm2 * 1e6 / 4.0; // ~4 transistors/gate
+    // Dynamic: activity 0.15 toggles/cycle per gate on ~2 fF of switched cap.
+    let c_sw = 2.0 * spec.gate_cap_ff * 1e-15;
+    let dyn_w = gates * 0.15 * 0.5 * c_sw * spec.vdd_v * spec.vdd_v * freq_mhz * 1e6;
+    let leak_w = gates * spec.leakage_nw_per_gate * 1e-9;
+    dyn_w * stack.dynamic_factor() + leak_w * stack.leakage_factor()
+}
+
+/// Computes the usable-die fraction for a die and budget across all nodes.
+///
+/// # Panics
+///
+/// Panics if the die or budget is non-positive.
+pub fn dark_silicon_sweep(die_mm2: f64, budget_w: f64, freq_mhz: f64) -> Vec<DarkSiliconRow> {
+    assert!(die_mm2 > 0.0 && budget_w > 0.0, "die and budget must be positive");
+    Node::ALL
+        .iter()
+        .map(|&node| {
+            let naive = power_per_mm2_w(node, freq_mhz, &TechniqueStack::none());
+            let full = power_per_mm2_w(node, freq_mhz, &TechniqueStack::full());
+            DarkSiliconRow {
+                node,
+                usable_naive: (budget_w / (naive * die_mm2)).min(1.0),
+                usable_with_techniques: (budget_w / (full * die_mm2)).min(1.0),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<DarkSiliconRow> {
+        dark_silicon_sweep(80.0, 3.0, 500.0)
+    }
+
+    #[test]
+    fn techniques_always_help() {
+        for row in sweep() {
+            assert!(
+                row.usable_with_techniques >= row.usable_naive,
+                "{}: techniques cannot hurt",
+                row.node
+            );
+        }
+    }
+
+    #[test]
+    fn utilization_collapses_with_scaling_without_techniques() {
+        let s = sweep();
+        let at = |n: Node| s.iter().find(|r| r.node == n).unwrap().usable_naive;
+        assert!(at(Node::N180) > at(Node::N65));
+        assert!(at(Node::N65) > at(Node::N10));
+        assert!(at(Node::N10) < 0.5, "naive 10nm die must be mostly dark");
+    }
+
+    #[test]
+    fn panel_claim_techniques_prevent_massive_dark_silicon() {
+        let s = sweep();
+        for node in [Node::N90, Node::N65, Node::N45] {
+            let row = s.iter().find(|r| r.node == node).unwrap();
+            let recovered = row.usable_with_techniques - row.usable_naive;
+            assert!(
+                recovered > 0.1 || row.usable_naive >= 0.9,
+                "{node}: the stack should recover real area, got {recovered:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn factors_bounded() {
+        assert!(TechniqueStack::full().dynamic_factor() < 1.0);
+        assert!(TechniqueStack::full().dynamic_factor() > 0.3);
+        assert_eq!(TechniqueStack::none().dynamic_factor(), 1.0);
+        assert_eq!(TechniqueStack::none().leakage_factor(), 1.0);
+        assert!(TechniqueStack::full().leakage_factor() < 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_budget_panics() {
+        let _ = dark_silicon_sweep(80.0, 0.0, 500.0);
+    }
+}

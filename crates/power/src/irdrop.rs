@@ -1,0 +1,214 @@
+//! Static IR-drop analysis of the power delivery network.
+//!
+//! Complements [`crate::grid`]'s droop heuristic with a physical model:
+//! the power grid is a resistive mesh over the die with voltage sources at
+//! the ring (pad) nodes and per-bin current draws from the power map. The
+//! node voltages solve Kirchhoff's equations, computed by Gauss–Seidel
+//! relaxation. Rossi's "management of power crowding" needs exactly this
+//! map: grid-strap sizing and decap placement are driven by the worst-drop
+//! region.
+
+use crate::grid::PowerGrid;
+use eda_tech::Node;
+
+/// Power-mesh parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeshConfig {
+    /// Resistance of one mesh segment, ohms.
+    pub segment_ohm: f64,
+    /// Convergence threshold on the max voltage update, volts.
+    pub tolerance_v: f64,
+    /// Iteration cap.
+    pub max_iterations: usize,
+}
+
+impl Default for MeshConfig {
+    fn default() -> Self {
+        MeshConfig { segment_ohm: 0.4, tolerance_v: 1e-7, max_iterations: 20_000 }
+    }
+}
+
+/// The solved IR-drop map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrDropMap {
+    /// Bins per side (matches the power grid).
+    pub bins: usize,
+    /// Node voltages, row-major.
+    voltages: Vec<f64>,
+    /// Nominal supply, volts.
+    pub vdd: f64,
+    /// Gauss–Seidel iterations used.
+    pub iterations: usize,
+}
+
+impl IrDropMap {
+    /// Voltage at bin `(x, y)`.
+    pub fn voltage_at(&self, x: usize, y: usize) -> f64 {
+        self.voltages[y * self.bins + x]
+    }
+
+    /// IR drop at bin `(x, y)`, millivolts.
+    pub fn drop_mv(&self, x: usize, y: usize) -> f64 {
+        (self.vdd - self.voltage_at(x, y)) * 1e3
+    }
+
+    /// Worst drop over the die, millivolts.
+    pub fn worst_drop_mv(&self) -> f64 {
+        self.voltages
+            .iter()
+            .map(|&v| (self.vdd - v) * 1e3)
+            .fold(0.0, f64::max)
+    }
+
+    /// Bins exceeding a drop budget (in mV).
+    pub fn violations(&self, budget_mv: f64) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for y in 0..self.bins {
+            for x in 0..self.bins {
+                if self.drop_mv(x, y) > budget_mv {
+                    out.push((x, y));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Solves the static IR drop for a power map at a node.
+///
+/// Boundary bins connect to the pad ring at `vdd` through one segment; the
+/// interior is a uniform mesh. Each bin draws `P_bin / vdd` amperes.
+///
+/// # Panics
+///
+/// Panics if the grid has no bins.
+pub fn solve_ir_drop(power: &PowerGrid, node: Node, cfg: &MeshConfig) -> IrDropMap {
+    let bins = power.bins;
+    assert!(bins > 0, "power grid must have bins");
+    let vdd = node.spec().vdd_v;
+    let g = 1.0 / cfg.segment_ohm;
+    // Current draw per bin, amps.
+    let current: Vec<f64> = (0..bins * bins)
+        .map(|i| {
+            let (x, y) = (i % bins, i / bins);
+            power.power_at(x, y) * 1e-3 / vdd
+        })
+        .collect();
+    let mut v = vec![vdd; bins * bins];
+    let mut iterations = 0;
+    for it in 0..cfg.max_iterations {
+        iterations = it + 1;
+        let mut worst_delta = 0.0f64;
+        for y in 0..bins {
+            for x in 0..bins {
+                let i = y * bins + x;
+                // Neighbour conductances; boundary nodes see the pad ring.
+                let mut gsum = 0.0;
+                let mut isum = -current[i];
+                let mut visit = |vn: f64| {
+                    gsum += g;
+                    isum += g * vn;
+                };
+                if x > 0 {
+                    visit(v[i - 1]);
+                } else {
+                    visit(vdd);
+                }
+                if x + 1 < bins {
+                    visit(v[i + 1]);
+                } else {
+                    visit(vdd);
+                }
+                if y > 0 {
+                    visit(v[i - bins]);
+                } else {
+                    visit(vdd);
+                }
+                if y + 1 < bins {
+                    visit(v[i + bins]);
+                } else {
+                    visit(vdd);
+                }
+                let nv = isum / gsum;
+                worst_delta = worst_delta.max((nv - v[i]).abs());
+                v[i] = nv;
+            }
+        }
+        if worst_delta < cfg.tolerance_v {
+            break;
+        }
+    }
+    IrDropMap { bins, voltages: v, vdd, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::{Activity, ActivityConfig};
+    use crate::analysis::PowerConfig;
+    use eda_netlist::generate;
+    use eda_place::{place_global, Die, GlobalConfig};
+
+    fn power_grid(activity_scale: f64, freq: f64) -> PowerGrid {
+        let n = generate::switch_fabric(4, 4).unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let p = place_global(&n, die, &GlobalConfig::default());
+        let a = Activity::estimate(&n, &ActivityConfig::default()).unwrap().scaled(activity_scale);
+        let cfg = PowerConfig { freq_mhz: freq, ..Default::default() };
+        PowerGrid::build(&n, &p, &a, &cfg, 8)
+    }
+
+    #[test]
+    fn solution_converges_and_is_physical() {
+        let g = power_grid(1.0, 1000.0);
+        let m = solve_ir_drop(&g, Node::N28, &MeshConfig::default());
+        assert!(m.iterations < MeshConfig::default().max_iterations, "must converge");
+        for y in 0..m.bins {
+            for x in 0..m.bins {
+                let v = m.voltage_at(x, y);
+                assert!(v <= m.vdd + 1e-9, "voltage cannot exceed the supply");
+                assert!(v > 0.0, "voltage stays positive");
+            }
+        }
+        assert!(m.worst_drop_mv() > 0.0);
+    }
+
+    #[test]
+    fn drop_scales_with_activity() {
+        let low = solve_ir_drop(&power_grid(1.0, 1000.0), Node::N28, &MeshConfig::default());
+        let high = solve_ir_drop(&power_grid(5.0, 1000.0), Node::N28, &MeshConfig::default());
+        assert!(
+            high.worst_drop_mv() > 3.0 * low.worst_drop_mv(),
+            "5x activity should multiply the drop: {:.3} vs {:.3}",
+            high.worst_drop_mv(),
+            low.worst_drop_mv()
+        );
+    }
+
+    #[test]
+    fn interior_drops_more_than_boundary() {
+        let g = power_grid(3.0, 2000.0);
+        let m = solve_ir_drop(&g, Node::N28, &MeshConfig::default());
+        let corner = m.drop_mv(0, 0);
+        let center = m.drop_mv(m.bins / 2, m.bins / 2);
+        assert!(center > corner, "pads at the ring: center droops most ({center:.3} vs {corner:.3})");
+    }
+
+    #[test]
+    fn stiffer_mesh_reduces_drop() {
+        let g = power_grid(3.0, 2000.0);
+        let weak = solve_ir_drop(&g, Node::N28, &MeshConfig { segment_ohm: 1.0, ..Default::default() });
+        let stiff = solve_ir_drop(&g, Node::N28, &MeshConfig { segment_ohm: 0.1, ..Default::default() });
+        assert!(stiff.worst_drop_mv() < weak.worst_drop_mv() / 2.0);
+    }
+
+    #[test]
+    fn violations_match_budget() {
+        let g = power_grid(5.0, 2000.0);
+        let m = solve_ir_drop(&g, Node::N28, &MeshConfig::default());
+        let tight = m.violations(m.worst_drop_mv() * 0.5);
+        let loose = m.violations(m.worst_drop_mv() + 1.0);
+        assert!(!tight.is_empty());
+        assert!(loose.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! Power analysis and optimization for the `eda` workspace.
+//!
+//! Implements the panel's "design for power" story end to end: switching
+//! [`activity`] estimation, per-node [`analysis`] (the dynamic/static
+//! crossover of claim C6), automatic clock [`gating`], UPF-style power
+//! intent with checking and implementation ([`domains`], Domic's "scores of
+//! voltage/supply/shutdown domains"), the [`dark`]-silicon model, and
+//! power-density mapping with automatic decap insertion ([`grid`],
+//! Rossi's networking-ASIC hot spots, claim C12).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_netlist::generate;
+//! use eda_power::{analyze, Activity, ActivityConfig, PowerConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate::switch_fabric(4, 4)?;
+//! let activity = Activity::estimate(&design, &ActivityConfig::default())?;
+//! let report = analyze(&design, &activity, &PowerConfig::default());
+//! assert!(report.total_mw() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod activity;
+pub mod analysis;
+pub mod dark;
+pub mod domains;
+pub mod gating;
+pub mod grid;
+pub mod irdrop;
+
+pub use activity::{clock_nets, Activity, ActivityConfig};
+pub use analysis::{analyze, node_power_sweep, NodePowerRow, PowerConfig, PowerReport};
+pub use dark::{dark_silicon_sweep, DarkSiliconRow, TechniqueStack};
+pub use domains::{check, implement, ImplementOutcome, IntentViolation, PowerDomain, PowerIntent};
+pub use gating::{clock_saving_fraction, insert_clock_gating, GatingOutcome};
+pub use grid::{insert_decaps, DecapOutcome, PowerGrid};
+pub use irdrop::{solve_ir_drop, IrDropMap, MeshConfig};

@@ -1,0 +1,253 @@
+//! The global-routing grid: g-cells with directed edge capacities derived
+//! from the metal stack and rule deck.
+
+use crate::rules::RuleDeck;
+
+/// A cell coordinate on the routing grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GCell {
+    /// Column.
+    pub x: u32,
+    /// Row.
+    pub y: u32,
+}
+
+impl GCell {
+    /// Creates a g-cell coordinate.
+    pub fn new(x: u32, y: u32) -> GCell {
+        GCell { x, y }
+    }
+
+    /// Manhattan distance between g-cells.
+    pub fn manhattan(&self, other: &GCell) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+}
+
+/// The routing grid with per-edge usage tracking and PathFinder-style
+/// history costs.
+#[derive(Debug, Clone)]
+pub struct RoutingGrid {
+    /// Grid width in g-cells.
+    pub width: u32,
+    /// Grid height in g-cells.
+    pub height: u32,
+    /// Capacity of each horizontal edge (tracks).
+    pub cap_h: u32,
+    /// Capacity of each vertical edge (tracks).
+    pub cap_v: u32,
+    /// Usage of horizontal edges: index `y * (width-1) + x` for the edge
+    /// between `(x, y)` and `(x+1, y)`.
+    usage_h: Vec<u32>,
+    /// Usage of vertical edges: index `y * width + x` for the edge between
+    /// `(x, y)` and `(x, y+1)`.
+    usage_v: Vec<u32>,
+    /// Congestion history (same indexing, horizontal then vertical).
+    history_h: Vec<f32>,
+    history_v: Vec<f32>,
+}
+
+impl RoutingGrid {
+    /// Builds a grid from dimensions and a rule deck.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(width: u32, height: u32, deck: &RuleDeck) -> RoutingGrid {
+        assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+        let (cap_h, cap_v) = deck.edge_capacities();
+        RoutingGrid {
+            width,
+            height,
+            cap_h,
+            cap_v,
+            usage_h: vec![0; ((width - 1) * height) as usize],
+            usage_v: vec![0; (width * (height - 1)) as usize],
+            history_h: vec![0.0; ((width - 1) * height) as usize],
+            history_v: vec![0.0; (width * (height - 1)) as usize],
+        }
+    }
+
+    fn h_index(&self, x: u32, y: u32) -> usize {
+        (y * (self.width - 1) + x) as usize
+    }
+
+    fn v_index(&self, x: u32, y: u32) -> usize {
+        (y * self.width + x) as usize
+    }
+
+    /// Usage of the horizontal edge from `(x, y)` to `(x+1, y)`.
+    pub fn usage_h(&self, x: u32, y: u32) -> u32 {
+        self.usage_h[self.h_index(x, y)]
+    }
+
+    /// Usage of the vertical edge from `(x, y)` to `(x, y+1)`.
+    pub fn usage_v(&self, x: u32, y: u32) -> u32 {
+        self.usage_v[self.v_index(x, y)]
+    }
+
+    /// Adds (or removes, `delta < 0`) usage on the edge between two adjacent
+    /// cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cells are not 4-neighbours or usage would underflow.
+    pub fn add_usage(&mut self, a: GCell, b: GCell, delta: i32) {
+        let apply = |u: &mut u32| {
+            *u = u32::try_from(*u as i64 + delta as i64).expect("usage underflow");
+        };
+        if a.y == b.y && a.x.abs_diff(b.x) == 1 {
+            let x = a.x.min(b.x);
+            apply(&mut self.usage_h[(a.y * (self.width - 1) + x) as usize]);
+        } else if a.x == b.x && a.y.abs_diff(b.y) == 1 {
+            let y = a.y.min(b.y);
+            apply(&mut self.usage_v[(y * self.width + a.x) as usize]);
+        } else {
+            panic!("cells {a:?} and {b:?} are not adjacent");
+        }
+    }
+
+    /// PathFinder cost of stepping from `a` to adjacent `b`: base 1 plus
+    /// congestion and history penalties.
+    pub fn step_cost(&self, a: GCell, b: GCell) -> f64 {
+        let (usage, cap, hist) = if a.y == b.y {
+            let x = a.x.min(b.x);
+            (self.usage_h(x, a.y), self.cap_h, self.history_h[self.h_index(x, a.y)])
+        } else {
+            let y = a.y.min(b.y);
+            (self.usage_v(a.x, y), self.cap_v, self.history_v[self.v_index(a.x, y)])
+        };
+        let over = if usage >= cap { 1.0 + (usage - cap) as f64 } else { 0.0 };
+        let density = usage as f64 / cap.max(1) as f64;
+        1.0 + hist as f64 + 4.0 * over + 0.5 * density
+    }
+
+    /// Whether the edge between adjacent cells is at or over capacity.
+    pub fn is_full(&self, a: GCell, b: GCell) -> bool {
+        if a.y == b.y {
+            let x = a.x.min(b.x);
+            self.usage_h(x, a.y) >= self.cap_h
+        } else {
+            let y = a.y.min(b.y);
+            self.usage_v(a.x, y) >= self.cap_v
+        }
+    }
+
+    /// Increments history cost on every currently-overflowed edge (called
+    /// between rip-up iterations).
+    pub fn bump_history(&mut self) {
+        for (i, &u) in self.usage_h.iter().enumerate() {
+            if u > self.cap_h {
+                self.history_h[i] += 1.0;
+            }
+        }
+        for (i, &u) in self.usage_v.iter().enumerate() {
+            if u > self.cap_v {
+                self.history_v[i] += 1.0;
+            }
+        }
+    }
+
+    /// Total edge overflow (usage above capacity, summed).
+    pub fn total_overflow(&self) -> u64 {
+        let h: u64 =
+            self.usage_h.iter().map(|&u| u.saturating_sub(self.cap_h) as u64).sum();
+        let v: u64 =
+            self.usage_v.iter().map(|&u| u.saturating_sub(self.cap_v) as u64).sum();
+        h + v
+    }
+
+    /// Total used track-segments (wirelength in g-cell units).
+    pub fn total_usage(&self) -> u64 {
+        self.usage_h.iter().map(|&u| u as u64).sum::<u64>()
+            + self.usage_v.iter().map(|&u| u as u64).sum::<u64>()
+    }
+
+    /// 4-neighbours of a cell.
+    pub fn neighbours(&self, c: GCell) -> impl Iterator<Item = GCell> + '_ {
+        let (w, h) = (self.width, self.height);
+        [
+            (c.x > 0).then(|| GCell::new(c.x - 1, c.y)),
+            (c.x + 1 < w).then(|| GCell::new(c.x + 1, c.y)),
+            (c.y > 0).then(|| GCell::new(c.x, c.y - 1)),
+            (c.y + 1 < h).then(|| GCell::new(c.x, c.y + 1)),
+        ]
+        .into_iter()
+        .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleDeck;
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(8, 8, &RuleDeck::simple(6))
+    }
+
+    #[test]
+    fn usage_roundtrip() {
+        let mut g = grid();
+        let a = GCell::new(2, 3);
+        let b = GCell::new(3, 3);
+        assert_eq!(g.usage_h(2, 3), 0);
+        g.add_usage(a, b, 1);
+        assert_eq!(g.usage_h(2, 3), 1);
+        g.add_usage(b, a, -1);
+        assert_eq!(g.usage_h(2, 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn non_adjacent_panics() {
+        let mut g = grid();
+        g.add_usage(GCell::new(0, 0), GCell::new(2, 0), 1);
+    }
+
+    #[test]
+    fn cost_rises_with_congestion() {
+        let mut g = grid();
+        let a = GCell::new(1, 1);
+        let b = GCell::new(2, 1);
+        let base = g.step_cost(a, b);
+        for _ in 0..g.cap_h + 2 {
+            g.add_usage(a, b, 1);
+        }
+        assert!(g.step_cost(a, b) > base + 4.0);
+        assert!(g.is_full(a, b));
+        assert!(g.total_overflow() > 0);
+    }
+
+    #[test]
+    fn history_accumulates_on_overflow_only() {
+        let mut g = grid();
+        let a = GCell::new(1, 1);
+        let b = GCell::new(2, 1);
+        for _ in 0..g.cap_h + 1 {
+            g.add_usage(a, b, 1);
+        }
+        let before = g.step_cost(a, b);
+        g.bump_history();
+        assert!(g.step_cost(a, b) > before);
+        // Non-overflowed edge unchanged.
+        let c = GCell::new(5, 5);
+        let d = GCell::new(6, 5);
+        let cd_before = g.step_cost(c, d);
+        g.bump_history();
+        assert_eq!(g.step_cost(c, d), cd_before);
+    }
+
+    #[test]
+    fn neighbours_respect_bounds() {
+        let g = grid();
+        assert_eq!(g.neighbours(GCell::new(0, 0)).count(), 2);
+        assert_eq!(g.neighbours(GCell::new(3, 3)).count(), 4);
+        assert_eq!(g.neighbours(GCell::new(7, 7)).count(), 2);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(GCell::new(0, 0).manhattan(&GCell::new(3, 4)), 7);
+    }
+}

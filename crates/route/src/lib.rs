@@ -1,0 +1,36 @@
+//! Global routing for the `eda` workspace: a capacitated g-cell grid, Lee
+//! BFS and congestion-aware A* maze routing, Mikami–Tabuchi line search, and
+//! PathFinder-style negotiated rip-up and re-route.
+//!
+//! The crate carries Domic's routing claims (C5): line-search routers doing
+//! less work under simpler rule decks, negotiation closing designs on fewer
+//! layers, and multi-patterned decks eating capacity ([`RuleDeck`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_netlist::generate;
+//! use eda_place::{place_global, Die, GlobalConfig};
+//! use eda_route::{route, RouteConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let n = generate::parity_tree(32)?;
+//! let die = Die::for_netlist(&n, 0.7);
+//! let placement = place_global(&n, die, &GlobalConfig::default());
+//! let out = route(&n, &placement, &RouteConfig::default());
+//! assert!(out.wirelength > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod grid;
+pub mod linesearch;
+pub mod maze;
+pub mod router;
+pub mod rules;
+
+pub use grid::{GCell, RoutingGrid};
+pub use linesearch::mikami_tabuchi;
+pub use maze::{astar, count_bends, lee_bfs, Path, SearchStats};
+pub use router::{layer_sweep, route, RouteAlgorithm, RouteConfig, RouteOutcome};
+pub use rules::RuleDeck;

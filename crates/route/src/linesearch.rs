@@ -1,0 +1,384 @@
+//! Mikami–Tabuchi line-search routing.
+//!
+//! Instead of flooding cells like a maze router, line search grows maximal
+//! horizontal/vertical probe lines from both pins, alternating levels until
+//! a source line crosses a target line. On sparse ("simpler") rule decks it
+//! explores far fewer cells and produces paths with very few bends — the
+//! behaviour behind Domic's claim C5.
+
+use crate::grid::{GCell, RoutingGrid};
+use crate::maze::{Path, SearchStats};
+
+/// One probe line in the arena.
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// The cell this line was spawned from.
+    origin: GCell,
+    /// Horizontal (varying x) or vertical.
+    horizontal: bool,
+    /// Inclusive low bound of the varying coordinate.
+    lo: u32,
+    /// Inclusive high bound of the varying coordinate.
+    hi: u32,
+    /// Arena index of the parent line (`None` for level-0 lines).
+    parent: Option<usize>,
+}
+
+impl Line {
+    fn contains(&self, c: GCell) -> bool {
+        if self.horizontal {
+            c.y == self.origin.y && c.x >= self.lo && c.x <= self.hi
+        } else {
+            c.x == self.origin.x && c.y >= self.lo && c.y <= self.hi
+        }
+    }
+
+    fn cells(&self) -> Vec<GCell> {
+        if self.horizontal {
+            (self.lo..=self.hi).map(|x| GCell::new(x, self.origin.y)).collect()
+        } else {
+            (self.lo..=self.hi).map(|y| GCell::new(self.origin.x, y)).collect()
+        }
+    }
+
+    /// Intersection cell with a perpendicular line, if any.
+    fn crosses(&self, other: &Line) -> Option<GCell> {
+        if self.horizontal == other.horizontal {
+            // Parallel lines: only touch if collinear and overlapping; treat
+            // the shared cell case via containment of the origin.
+            return None;
+        }
+        let (h, v) = if self.horizontal { (self, other) } else { (other, self) };
+        let x = v.origin.x;
+        let y = h.origin.y;
+        (x >= h.lo && x <= h.hi && y >= v.lo && y <= v.hi).then(|| GCell::new(x, y))
+    }
+}
+
+/// The clipping window probes may not leave (keeps probe cost proportional
+/// to the connection's own extent instead of the die size).
+#[derive(Debug, Clone, Copy)]
+struct Window {
+    x0: u32,
+    x1: u32,
+    y0: u32,
+    y1: u32,
+}
+
+impl Window {
+    fn around(src: GCell, dst: GCell, margin: u32, grid: &RoutingGrid) -> Window {
+        Window {
+            x0: src.x.min(dst.x).saturating_sub(margin),
+            x1: (src.x.max(dst.x) + margin).min(grid.width - 1),
+            y0: src.y.min(dst.y).saturating_sub(margin),
+            y1: (src.y.max(dst.y) + margin).min(grid.height - 1),
+        }
+    }
+}
+
+/// Grows the maximal unblocked line through `origin`, clipped to `win`.
+fn grow(grid: &RoutingGrid, origin: GCell, horizontal: bool, win: Window) -> Line {
+    let (mut lo, mut hi) = if horizontal { (origin.x, origin.x) } else { (origin.y, origin.y) };
+    if horizontal {
+        while lo > win.x0 && !grid.is_full(GCell::new(lo - 1, origin.y), GCell::new(lo, origin.y)) {
+            lo -= 1;
+        }
+        while hi < win.x1 && !grid.is_full(GCell::new(hi, origin.y), GCell::new(hi + 1, origin.y)) {
+            hi += 1;
+        }
+    } else {
+        while lo > win.y0 && !grid.is_full(GCell::new(origin.x, lo - 1), GCell::new(origin.x, lo)) {
+            lo -= 1;
+        }
+        while hi < win.y1 && !grid.is_full(GCell::new(origin.x, hi), GCell::new(origin.x, hi + 1)) {
+            hi += 1;
+        }
+    }
+    Line { origin, horizontal, lo, hi, parent: None }
+}
+
+/// Walks from `cell` on line `li` back to the search root, emitting the path.
+fn trace(arena: &[Line], mut li: usize, mut cell: GCell, out: &mut Vec<GCell>) {
+    loop {
+        let line = arena[li];
+        // Segment from `cell` to the line's origin.
+        let seg = segment(cell, line.origin);
+        out.extend(seg);
+        match line.parent {
+            None => break,
+            Some(p) => {
+                cell = line.origin;
+                li = p;
+            }
+        }
+    }
+}
+
+/// Cells strictly after `from` up to and including `to`, along one axis.
+fn segment(from: GCell, to: GCell) -> Vec<GCell> {
+    let mut v = Vec::new();
+    if from.x == to.x {
+        let (a, b) = (from.y, to.y);
+        if a < b {
+            for y in a + 1..=b {
+                v.push(GCell::new(from.x, y));
+            }
+        } else {
+            for y in (b..a).rev() {
+                v.push(GCell::new(from.x, y));
+            }
+        }
+    } else {
+        let (a, b) = (from.x, to.x);
+        if a < b {
+            for x in a + 1..=b {
+                v.push(GCell::new(x, from.y));
+            }
+        } else {
+            for x in (b..a).rev() {
+                v.push(GCell::new(x, from.y));
+            }
+        }
+    }
+    v
+}
+
+/// Mikami–Tabuchi search between two cells.
+///
+/// Returns the path and the number of line-cells generated (the analogue of
+/// "cells expanded"), or `None` when the expansion level limit is hit —
+/// callers fall back to maze routing.
+pub fn mikami_tabuchi(
+    grid: &RoutingGrid,
+    src: GCell,
+    dst: GCell,
+    max_levels: usize,
+) -> Option<(Path, SearchStats)> {
+    if src == dst {
+        return Some((vec![src], SearchStats { expanded: 0 }));
+    }
+    let mut arena: Vec<Line> = Vec::new();
+    let mut src_lines: Vec<usize> = Vec::new();
+    let mut dst_lines: Vec<usize> = Vec::new();
+    let mut expanded = 0usize;
+    let n = (grid.width * grid.height) as usize;
+    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
+    let mut src_seen = vec![false; n];
+    let mut dst_seen = vec![false; n];
+    let win = Window::around(src, dst, 3 + src.manhattan(&dst) / 2, grid);
+
+    for (lines, seen, origin) in
+        [(&mut src_lines, &mut src_seen, src), (&mut dst_lines, &mut dst_seen, dst)]
+    {
+        for horizontal in [true, false] {
+            let l = grow(grid, origin, horizontal, win);
+            expanded += (l.hi - l.lo + 1) as usize;
+            for c in l.cells() {
+                seen[idx(c)] = true;
+            }
+            arena.push(l);
+            lines.push(arena.len() - 1);
+        }
+    }
+
+    let mut src_frontier = src_lines.clone();
+    let mut dst_frontier = dst_lines.clone();
+
+    for _level in 0..max_levels {
+        // Check crossings between every source line and target line.
+        for &si in &src_lines {
+            for &di in &dst_lines {
+                if let Some(x) = arena[si].crosses(&arena[di]) {
+                    let mut fwd = Vec::new();
+                    trace(&arena, si, x, &mut fwd);
+                    fwd.reverse();
+                    let mut path = vec![src];
+                    // fwd currently runs src -> x (after reverse it starts
+                    // just after src).
+                    path.extend(fwd.into_iter().skip_while(|&c| c == src));
+                    if *path.last().unwrap() != x {
+                        path.push(x);
+                    }
+                    let mut bwd = Vec::new();
+                    trace(&arena, di, x, &mut bwd);
+                    path.extend(bwd);
+                    dedup_path(&mut path);
+                    return Some((path, SearchStats { expanded }));
+                }
+                // A target line passing exactly through src (or vice versa).
+                if arena[di].contains(src) {
+                    let mut path = vec![src];
+                    let mut bwd = Vec::new();
+                    trace(&arena, di, src, &mut bwd);
+                    path.extend(bwd);
+                    dedup_path(&mut path);
+                    return Some((path, SearchStats { expanded }));
+                }
+                if arena[si].contains(dst) {
+                    let mut fwd = Vec::new();
+                    trace(&arena, si, dst, &mut fwd);
+                    fwd.reverse();
+                    let mut path = vec![src];
+                    path.extend(fwd.into_iter().skip_while(|&c| c == src));
+                    if *path.last().unwrap() != dst {
+                        path.push(dst);
+                    }
+                    dedup_path(&mut path);
+                    return Some((path, SearchStats { expanded }));
+                }
+            }
+        }
+        // Expand: spawn perpendicular lines from every cell of the frontier.
+        let spawn = |frontier: &mut Vec<usize>,
+                         lines: &mut Vec<usize>,
+                         seen: &mut Vec<bool>,
+                         arena: &mut Vec<Line>,
+                         expanded: &mut usize| {
+            let mut next = Vec::new();
+            for &li in frontier.iter() {
+                let parent = arena[li];
+                for c in parent.cells() {
+                    let mut l = grow(grid, c, !parent.horizontal, win);
+                    l.parent = Some(li);
+                    // Skip degenerate or fully-seen lines.
+                    let novel = l.cells().iter().any(|&cc| !seen[idx(cc)]);
+                    if !novel {
+                        continue;
+                    }
+                    *expanded += (l.hi - l.lo + 1) as usize;
+                    for cc in l.cells() {
+                        seen[idx(cc)] = true;
+                    }
+                    arena.push(l);
+                    next.push(arena.len() - 1);
+                    lines.push(arena.len() - 1);
+                }
+            }
+            *frontier = next;
+        };
+        spawn(&mut src_frontier, &mut src_lines, &mut src_seen, &mut arena, &mut expanded);
+        spawn(&mut dst_frontier, &mut dst_lines, &mut dst_seen, &mut arena, &mut expanded);
+        if src_frontier.is_empty() && dst_frontier.is_empty() {
+            break;
+        }
+    }
+    None
+}
+
+/// Removes consecutive duplicates and immediate backtracks.
+fn dedup_path(path: &mut Vec<GCell>) {
+    path.dedup();
+    // Remove A-B-A stutters introduced by pivot tracing.
+    let mut i = 0;
+    while i + 2 < path.len() {
+        if path[i] == path[i + 2] {
+            path.remove(i + 1);
+            path.remove(i + 1);
+            i = i.saturating_sub(1);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maze::count_bends;
+    use crate::rules::RuleDeck;
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(24, 24, &RuleDeck::simple(6))
+    }
+
+    fn check_path(path: &[GCell], src: GCell, dst: GCell) {
+        assert_eq!(path[0], src, "path starts at source");
+        assert_eq!(*path.last().unwrap(), dst, "path ends at target");
+        for w in path.windows(2) {
+            assert_eq!(w[0].manhattan(&w[1]), 1, "adjacent steps: {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn routes_on_empty_grid_with_one_bend() {
+        let g = grid();
+        let src = GCell::new(2, 3);
+        let dst = GCell::new(18, 15);
+        let (path, stats) = mikami_tabuchi(&g, src, dst, 10).unwrap();
+        check_path(&path, src, dst);
+        assert!(count_bends(&path) <= 1, "level-0 crossing gives an L route");
+        assert!(stats.expanded > 0);
+    }
+
+    #[test]
+    fn collinear_pins_route_straight() {
+        let g = grid();
+        let src = GCell::new(2, 7);
+        let dst = GCell::new(20, 7);
+        let (path, _) = mikami_tabuchi(&g, src, dst, 10).unwrap();
+        check_path(&path, src, dst);
+        assert_eq!(count_bends(&path), 0);
+        assert_eq!(path.len(), 19);
+    }
+
+    #[test]
+    fn detours_around_blocked_wall() {
+        let mut g = grid();
+        // Vertical wall of full horizontal edges at x=10..11 except row 10
+        // (inside the search window around the pins).
+        for y in 0..24 {
+            if y == 10 {
+                continue;
+            }
+            for _ in 0..g.cap_h {
+                g.add_usage(GCell::new(10, y), GCell::new(11, y), 1);
+            }
+        }
+        let src = GCell::new(2, 3);
+        let dst = GCell::new(20, 3);
+        let (path, _) = mikami_tabuchi(&g, src, dst, 20).unwrap();
+        check_path(&path, src, dst);
+        assert!(path.iter().any(|c| c.y == 10), "must pass through the gap");
+    }
+
+    #[test]
+    fn expands_fewer_cells_than_maze_on_sparse_grid() {
+        let g = grid();
+        let src = GCell::new(1, 1);
+        let dst = GCell::new(22, 22);
+        let (_, ls) = mikami_tabuchi(&g, src, dst, 10).unwrap();
+        let (_, bfs) = crate::maze::lee_bfs(&g, src, dst).unwrap();
+        assert!(
+            ls.expanded < bfs.expanded / 2,
+            "line search ({}) should explore far less than BFS ({})",
+            ls.expanded,
+            bfs.expanded
+        );
+    }
+
+    #[test]
+    fn gives_up_when_boxed_in() {
+        let mut g = grid();
+        // Seal off the source completely.
+        let src = GCell::new(5, 5);
+        for nb in [GCell::new(4, 5), GCell::new(6, 5)] {
+            for _ in 0..g.cap_h {
+                g.add_usage(src.min(nb), src.max(nb), 1);
+            }
+        }
+        for nb in [GCell::new(5, 4), GCell::new(5, 6)] {
+            for _ in 0..g.cap_v {
+                g.add_usage(src.min(nb), src.max(nb), 1);
+            }
+        }
+        let out = mikami_tabuchi(&g, src, GCell::new(20, 20), 8);
+        assert!(out.is_none(), "boxed-in pin cannot be line-routed");
+    }
+
+    #[test]
+    fn single_cell_route() {
+        let g = grid();
+        let (p, _) = mikami_tabuchi(&g, GCell::new(3, 3), GCell::new(3, 3), 4).unwrap();
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! Maze routing: Lee's breadth-first wavefront and congestion-aware A*.
+
+use crate::grid::{GCell, RoutingGrid};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A routed 2-pin path (sequence of adjacent g-cells).
+pub type Path = Vec<GCell>;
+
+/// Statistics from one search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Cells expanded during the search.
+    pub expanded: usize,
+}
+
+/// Lee's algorithm: uniform-cost BFS ignoring congestion weights (the
+/// decade-old baseline). Returns the path and expansion count, or `None` if
+/// target is unreachable (cannot happen on a connected grid).
+pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, SearchStats)> {
+    if src == dst {
+        return Some((vec![src], SearchStats { expanded: 0 }));
+    }
+    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
+    let mut prev: Vec<Option<GCell>> = vec![None; (grid.width * grid.height) as usize];
+    let mut visited = vec![false; (grid.width * grid.height) as usize];
+    visited[idx(src)] = true;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(src);
+    let mut expanded = 0usize;
+    while let Some(c) = queue.pop_front() {
+        expanded += 1;
+        if c == dst {
+            break;
+        }
+        for n in grid.neighbours(c) {
+            if !visited[idx(n)] {
+                visited[idx(n)] = true;
+                prev[idx(n)] = Some(c);
+                queue.push_back(n);
+            }
+        }
+    }
+    if !visited[idx(dst)] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[idx(cur)] {
+        path.push(p);
+        cur = p;
+    }
+    path.reverse();
+    Some((path, SearchStats { expanded }))
+}
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    f: f64,
+    g: f64,
+    cell: GCell,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on f.
+        other.f.partial_cmp(&self.f).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Congestion-aware A*: edge costs from [`RoutingGrid::step_cost`] plus a
+/// via (bend) penalty, with Manhattan-distance admissible heuristic.
+pub fn astar(
+    grid: &RoutingGrid,
+    src: GCell,
+    dst: GCell,
+    via_cost: f64,
+) -> Option<(Path, SearchStats)> {
+    if src == dst {
+        return Some((vec![src], SearchStats { expanded: 0 }));
+    }
+    let n = (grid.width * grid.height) as usize;
+    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
+    let mut best_g = vec![f64::INFINITY; n];
+    // prev stores the previous cell for path reconstruction.
+    let mut prev: Vec<Option<GCell>> = vec![None; n];
+    let mut heap = BinaryHeap::new();
+    best_g[idx(src)] = 0.0;
+    heap.push(HeapEntry { f: src.manhattan(&dst) as f64, g: 0.0, cell: src });
+    let mut expanded = 0usize;
+    while let Some(HeapEntry { g, cell, .. }) = heap.pop() {
+        if g > best_g[idx(cell)] {
+            continue;
+        }
+        expanded += 1;
+        if cell == dst {
+            break;
+        }
+        let came_from = prev[idx(cell)];
+        for nb in grid.neighbours(cell) {
+            let mut cost = grid.step_cost(cell, nb);
+            // Bend penalty: direction change relative to the incoming edge.
+            if let Some(p) = came_from {
+                let straight = (p.x == nb.x) || (p.y == nb.y);
+                if !straight {
+                    cost += via_cost;
+                }
+            }
+            let ng = g + cost;
+            if ng < best_g[idx(nb)] {
+                best_g[idx(nb)] = ng;
+                prev[idx(nb)] = Some(cell);
+                heap.push(HeapEntry { f: ng + nb.manhattan(&dst) as f64, g: ng, cell: nb });
+            }
+        }
+    }
+    if best_g[idx(dst)].is_infinite() {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut cur = dst;
+    while let Some(p) = prev[idx(cur)] {
+        path.push(p);
+        cur = p;
+        if cur == src {
+            break;
+        }
+    }
+    path.reverse();
+    Some((path, SearchStats { expanded }))
+}
+
+/// Number of bends in a path (proxy for via count in the 2-D model).
+pub fn count_bends(path: &[GCell]) -> u32 {
+    if path.len() < 3 {
+        return 0;
+    }
+    let mut bends = 0;
+    for w in path.windows(3) {
+        let straight = (w[0].x == w[2].x) || (w[0].y == w[2].y);
+        if !straight {
+            bends += 1;
+        }
+    }
+    bends
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleDeck;
+
+    fn grid() -> RoutingGrid {
+        RoutingGrid::new(16, 16, &RuleDeck::simple(6))
+    }
+
+    #[test]
+    fn bfs_finds_shortest_path() {
+        let g = grid();
+        let (path, _) = lee_bfs(&g, GCell::new(0, 0), GCell::new(5, 7)).unwrap();
+        assert_eq!(path.len() as u32, 5 + 7 + 1, "BFS path must be shortest");
+        assert_eq!(path[0], GCell::new(0, 0));
+        assert_eq!(*path.last().unwrap(), GCell::new(5, 7));
+    }
+
+    #[test]
+    fn astar_matches_bfs_length_on_empty_grid() {
+        let g = grid();
+        let (p1, _) = lee_bfs(&g, GCell::new(2, 3), GCell::new(12, 9)).unwrap();
+        let (p2, _) = astar(&g, GCell::new(2, 3), GCell::new(12, 9), 0.0).unwrap();
+        assert_eq!(p1.len(), p2.len());
+    }
+
+    #[test]
+    fn astar_expands_fewer_cells_than_bfs() {
+        let g = grid();
+        let (_, s1) = lee_bfs(&g, GCell::new(0, 0), GCell::new(15, 15)).unwrap();
+        let (_, s2) = astar(&g, GCell::new(0, 0), GCell::new(15, 15), 1.0).unwrap();
+        assert!(s2.expanded <= s1.expanded, "A* must not expand more than BFS");
+    }
+
+    #[test]
+    fn astar_avoids_congested_edges() {
+        let mut g = grid();
+        // Saturate the straight corridor between the pins.
+        for x in 0..15 {
+            for _ in 0..g.cap_h + 3 {
+                g.add_usage(GCell::new(x, 8), GCell::new(x + 1, 8), 1);
+            }
+        }
+        let (path, _) = astar(&g, GCell::new(0, 8), GCell::new(15, 8), 1.0).unwrap();
+        // The route must detour off row 8 somewhere.
+        assert!(path.iter().any(|c| c.y != 8), "A* should detour around congestion");
+    }
+
+    #[test]
+    fn paths_are_connected() {
+        let g = grid();
+        let (path, _) = astar(&g, GCell::new(3, 3), GCell::new(10, 12), 1.0).unwrap();
+        for w in path.windows(2) {
+            assert_eq!(w[0].manhattan(&w[1]), 1, "path must step between neighbours");
+        }
+    }
+
+    #[test]
+    fn bend_counting() {
+        let straight = vec![GCell::new(0, 0), GCell::new(1, 0), GCell::new(2, 0)];
+        assert_eq!(count_bends(&straight), 0);
+        let l_shape = vec![GCell::new(0, 0), GCell::new(1, 0), GCell::new(1, 1)];
+        assert_eq!(count_bends(&l_shape), 1);
+        let zigzag = vec![
+            GCell::new(0, 0),
+            GCell::new(1, 0),
+            GCell::new(1, 1),
+            GCell::new(2, 1),
+            GCell::new(2, 2),
+        ];
+        assert_eq!(count_bends(&zigzag), 3);
+    }
+
+    #[test]
+    fn degenerate_single_cell() {
+        let g = grid();
+        let (p, s) = lee_bfs(&g, GCell::new(4, 4), GCell::new(4, 4)).unwrap();
+        assert_eq!(p, vec![GCell::new(4, 4)]);
+        assert_eq!(s.expanded, 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The global router: net decomposition, algorithm selection, and
+//! PathFinder-style negotiated rip-up and re-route.
+
+use crate::grid::{GCell, RoutingGrid};
+use crate::linesearch::mikami_tabuchi;
+use crate::maze::{astar, count_bends, lee_bfs, Path};
+use crate::rules::RuleDeck;
+use eda_place::Placement;
+use eda_netlist::Netlist;
+use std::time::Instant;
+
+/// Routing algorithm selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteAlgorithm {
+    /// Lee BFS, first-come order, no negotiation (decade-old baseline).
+    LeeBfs,
+    /// Congestion-aware A* with negotiation.
+    AStar,
+    /// Mikami–Tabuchi line search with A* fallback and negotiation.
+    LineSearch,
+}
+
+/// Router configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteConfig {
+    /// Algorithm.
+    pub algorithm: RouteAlgorithm,
+    /// Rule deck (capacities, via cost).
+    pub deck: RuleDeck,
+    /// G-cells per side of the routing grid.
+    pub grid_cells: u32,
+    /// Maximum rip-up and re-route iterations.
+    pub ripup_iterations: usize,
+}
+
+impl Default for RouteConfig {
+    fn default() -> Self {
+        RouteConfig {
+            algorithm: RouteAlgorithm::LineSearch,
+            deck: RuleDeck::simple(6),
+            grid_cells: 32,
+            ripup_iterations: 6,
+        }
+    }
+}
+
+/// The result of routing a design.
+#[derive(Debug, Clone)]
+pub struct RouteOutcome {
+    /// Total wirelength in g-cell edge units.
+    pub wirelength: u64,
+    /// Total vias (bends in the 2-D model).
+    pub vias: u64,
+    /// Remaining capacity overflow after the final iteration (0 = clean).
+    pub overflow: u64,
+    /// Two-pin connections routed.
+    pub connections: usize,
+    /// Connections where line search failed and fell back to maze.
+    pub linesearch_fallbacks: usize,
+    /// Cells expanded across all searches (work measure).
+    pub cells_expanded: u64,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Rip-up iterations actually executed.
+    pub iterations: usize,
+}
+
+impl RouteOutcome {
+    /// Whether the route is overflow-free (manufacturable on this stack).
+    pub fn is_clean(&self) -> bool {
+        self.overflow == 0
+    }
+}
+
+/// One 2-pin connection to route.
+#[derive(Debug, Clone, Copy)]
+struct TwoPin {
+    src: GCell,
+    dst: GCell,
+}
+
+/// Decomposes every multi-pin net into a Prim MST over its g-cell pins.
+fn decompose(
+    netlist: &Netlist,
+    placement: &Placement,
+    width: u32,
+    height: u32,
+) -> Vec<TwoPin> {
+    let die = placement.die;
+    let to_gcell = |p: eda_place::Point| -> GCell {
+        let x = ((p.x / die.width_um * width as f64) as u32).min(width - 1);
+        let y = ((p.y / die.height_um * height as f64) as u32).min(height - 1);
+        GCell::new(x, y)
+    };
+    let mut pairs = Vec::new();
+    for (net_id, _) in netlist.nets() {
+        let pts = placement.net_points(netlist, net_id);
+        let mut pins: Vec<GCell> = pts.into_iter().map(to_gcell).collect();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        // Prim MST on Manhattan distance.
+        let mut in_tree = vec![false; pins.len()];
+        in_tree[0] = true;
+        for _ in 1..pins.len() {
+            let mut best: Option<(usize, usize, u32)> = None;
+            for (i, &a) in pins.iter().enumerate() {
+                if !in_tree[i] {
+                    continue;
+                }
+                for (j, &b) in pins.iter().enumerate() {
+                    if in_tree[j] {
+                        continue;
+                    }
+                    let d = a.manhattan(&b);
+                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                        best = Some((i, j, d));
+                    }
+                }
+            }
+            let (i, j, _) = best.expect("tree incomplete implies a remaining pin");
+            in_tree[j] = true;
+            pairs.push(TwoPin { src: pins[i], dst: pins[j] });
+        }
+    }
+    pairs
+}
+
+fn commit(grid: &mut RoutingGrid, path: &Path, delta: i32) {
+    for w in path.windows(2) {
+        grid.add_usage(w[0], w[1], delta);
+    }
+}
+
+/// Routes a placed netlist.
+///
+/// The baseline [`RouteAlgorithm::LeeBfs`] routes each connection once in
+/// arbitrary order with no congestion awareness; the advanced algorithms run
+/// negotiated rip-up and re-route until clean or the iteration budget is
+/// spent.
+pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> RouteOutcome {
+    let start = Instant::now();
+    let w = cfg.grid_cells.max(2);
+    let h = cfg.grid_cells.max(2);
+    let mut grid = RoutingGrid::new(w, h, &cfg.deck);
+    let mut pairs = decompose(netlist, placement, w, h);
+    // Long connections first (they need the straightest resources).
+    pairs.sort_by_key(|p| std::cmp::Reverse(p.src.manhattan(&p.dst)));
+
+    let mut paths: Vec<Option<Path>> = vec![None; pairs.len()];
+    let mut fallbacks = 0usize;
+    let mut expanded = 0u64;
+
+    let route_one = |grid: &RoutingGrid, tp: &TwoPin, fallbacks: &mut usize, expanded: &mut u64| -> Path {
+        match cfg.algorithm {
+            RouteAlgorithm::LeeBfs => {
+                let (p, s) = lee_bfs(grid, tp.src, tp.dst).expect("grid is connected");
+                *expanded += s.expanded as u64;
+                p
+            }
+            RouteAlgorithm::AStar => {
+                let (p, s) =
+                    astar(grid, tp.src, tp.dst, cfg.deck.via_cost).expect("grid is connected");
+                *expanded += s.expanded as u64;
+                p
+            }
+            RouteAlgorithm::LineSearch => {
+                match mikami_tabuchi(grid, tp.src, tp.dst, 12) {
+                    Some((p, s)) => {
+                        *expanded += s.expanded as u64;
+                        p
+                    }
+                    None => {
+                        *fallbacks += 1;
+                        let (p, s) = astar(grid, tp.src, tp.dst, cfg.deck.via_cost)
+                            .expect("grid is connected");
+                        *expanded += s.expanded as u64;
+                        p
+                    }
+                }
+            }
+        }
+    };
+
+    // Initial routing pass.
+    for (i, tp) in pairs.iter().enumerate() {
+        let p = route_one(&grid, tp, &mut fallbacks, &mut expanded);
+        commit(&mut grid, &p, 1);
+        paths[i] = Some(p);
+    }
+
+    let negotiate = cfg.algorithm != RouteAlgorithm::LeeBfs;
+    let mut iterations = 1usize;
+    if negotiate {
+        for _ in 0..cfg.ripup_iterations {
+            if grid.total_overflow() == 0 {
+                break;
+            }
+            grid.bump_history();
+            iterations += 1;
+            for (i, tp) in pairs.iter().enumerate() {
+                // Rip up paths that traverse overflowed edges.
+                let overflowed = paths[i]
+                    .as_ref()
+                    .map(|p| p.windows(2).any(|w| grid.is_full(w[0], w[1])))
+                    .unwrap_or(false);
+                if !overflowed {
+                    continue;
+                }
+                let old = paths[i].take().expect("path exists");
+                commit(&mut grid, &old, -1);
+                let p = route_one(&grid, tp, &mut fallbacks, &mut expanded);
+                commit(&mut grid, &p, 1);
+                paths[i] = Some(p);
+            }
+        }
+    }
+
+    let vias: u64 = paths.iter().flatten().map(|p| count_bends(p) as u64).sum();
+    RouteOutcome {
+        wirelength: grid.total_usage(),
+        vias,
+        overflow: grid.total_overflow(),
+        connections: pairs.len(),
+        linesearch_fallbacks: fallbacks,
+        cells_expanded: expanded,
+        seconds: start.elapsed().as_secs_f64(),
+        iterations,
+    }
+}
+
+/// Routes the same placement across a sweep of layer counts, reporting which
+/// stacks close overflow-free — the data behind the 6-layer → 4-layer cost
+/// claim (C5).
+pub fn layer_sweep(
+    netlist: &Netlist,
+    placement: &Placement,
+    layers: impl IntoIterator<Item = u32>,
+    algorithm: RouteAlgorithm,
+) -> Vec<(u32, RouteOutcome)> {
+    layers
+        .into_iter()
+        .map(|l| {
+            let cfg = RouteConfig {
+                algorithm,
+                deck: RuleDeck::simple(l),
+                ..Default::default()
+            };
+            (l, route(netlist, placement, &cfg))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+    use eda_place::{place_global, Die, GlobalConfig};
+
+    fn placed(gates: usize, seed: u64) -> (eda_netlist::Netlist, Placement) {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates,
+            seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let p = place_global(&n, die, &GlobalConfig::default());
+        (n, p)
+    }
+
+    #[test]
+    fn all_algorithms_route_everything() {
+        let (n, p) = placed(200, 4);
+        for alg in [RouteAlgorithm::LeeBfs, RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+            let out = route(&n, &p, &RouteConfig { algorithm: alg, ..Default::default() });
+            assert!(out.connections > 0, "{alg:?}");
+            assert!(out.wirelength > 0, "{alg:?}");
+        }
+    }
+
+    #[test]
+    fn negotiation_beats_baseline_on_overflow() {
+        let (n, p) = placed(500, 9);
+        // Small grid + few layers => contention.
+        let mk = |alg| RouteConfig {
+            algorithm: alg,
+            deck: RuleDeck::simple(2),
+            grid_cells: 12,
+            ripup_iterations: 8,
+        };
+        let baseline = route(&n, &p, &mk(RouteAlgorithm::LeeBfs));
+        let advanced = route(&n, &p, &mk(RouteAlgorithm::AStar));
+        assert!(
+            advanced.overflow < baseline.overflow,
+            "negotiation {} must beat naive {}",
+            advanced.overflow,
+            baseline.overflow
+        );
+    }
+
+    #[test]
+    fn linesearch_does_less_work_than_maze_flood_on_sparse_decks() {
+        // Domic's framing is line search vs classic (Lee) maze flooding: on
+        // a sparse, simple deck the probes touch a sliver of the grid while
+        // the wavefront floods most of it.
+        let (n, p) = placed(200, 6);
+        let mk = |alg| RouteConfig { algorithm: alg, grid_cells: 48, ..Default::default() };
+        let maze = route(&n, &p, &mk(RouteAlgorithm::LeeBfs));
+        let line = route(&n, &p, &mk(RouteAlgorithm::LineSearch));
+        assert!(
+            line.cells_expanded < maze.cells_expanded / 2,
+            "line search {} should expand far fewer cells than Lee {}",
+            line.cells_expanded,
+            maze.cells_expanded
+        );
+    }
+
+    #[test]
+    fn more_layers_reduce_overflow() {
+        let (n, p) = placed(600, 12);
+        let sweep = layer_sweep(&n, &p, [2u32, 4, 8], RouteAlgorithm::AStar);
+        let overflow: Vec<u64> = sweep.iter().map(|(_, o)| o.overflow).collect();
+        assert!(overflow[0] >= overflow[1] && overflow[1] >= overflow[2]);
+    }
+
+    #[test]
+    fn via_cost_tracked() {
+        let (n, p) = placed(150, 2);
+        let out = route(&n, &p, &RouteConfig::default());
+        assert!(out.vias > 0);
+        assert!(out.seconds >= 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Routing rule decks: how the metal stack and patterning constraints
+//! translate into per-edge track capacity.
+//!
+//! Domic: *"more efficient 'line-search' routing algorithms have resulted in
+//! much better routers under 'simpler' design rules, making it possible to
+//! reduce layers at 28 nanometers and above"* — the deck distinguishes the
+//! simple single-patterned regimes from multi-patterned ones, where
+//! same-mask spacing eats tracks and adds via cost.
+
+/// A simplified routing rule deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDeck {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of routing metal layers.
+    pub layers: u32,
+    /// Routing tracks per layer per g-cell edge.
+    pub tracks_per_layer: u32,
+    /// Fraction of tracks usable after multi-patterning same-mask spacing
+    /// and colouring constraints (1.0 for single-patterned nodes).
+    pub track_derating: f64,
+    /// Relative cost of a via (bend) under this deck.
+    pub via_cost: f64,
+}
+
+impl RuleDeck {
+    /// A simple, single-patterned deck (130/90/65 nm-class) with the given
+    /// layer count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers < 2`.
+    pub fn simple(layers: u32) -> RuleDeck {
+        assert!(layers >= 2, "routing needs at least 2 layers");
+        RuleDeck {
+            name: format!("simple-{layers}L"),
+            layers,
+            tracks_per_layer: 4,
+            track_derating: 1.0,
+            via_cost: 1.0,
+        }
+    }
+
+    /// A multi-patterned deck (≤20 nm-class): colouring constraints derate
+    /// usable tracks and make vias costlier (cut masks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layers < 2` or `exposures == 0`.
+    pub fn multi_patterned(layers: u32, exposures: u32) -> RuleDeck {
+        assert!(layers >= 2, "routing needs at least 2 layers");
+        assert!(exposures > 0, "at least one exposure");
+        // Each extra exposure costs ~12% of tracks to same-mask spacing and
+        // stitch keep-outs.
+        let derating = (1.0 - 0.12 * (exposures.saturating_sub(1)) as f64).max(0.4);
+        RuleDeck {
+            name: format!("mp{exposures}-{layers}L"),
+            layers,
+            tracks_per_layer: 4,
+            track_derating: derating,
+            via_cost: 1.0 + 0.5 * exposures.saturating_sub(1) as f64,
+        }
+    }
+
+    /// Effective `(horizontal, vertical)` edge capacities: layers alternate
+    /// preferred direction, with derating applied.
+    pub fn edge_capacities(&self) -> (u32, u32) {
+        let h_layers = self.layers.div_ceil(2);
+        let v_layers = self.layers / 2;
+        let cap = |l: u32| ((l * self.tracks_per_layer) as f64 * self.track_derating).floor() as u32;
+        (cap(h_layers).max(1), cap(v_layers).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_scales_with_layers() {
+        let four = RuleDeck::simple(4).edge_capacities();
+        let six = RuleDeck::simple(6).edge_capacities();
+        assert!(six.0 > four.0 && six.1 > four.1);
+    }
+
+    #[test]
+    fn multipatterning_derates_capacity() {
+        let sp = RuleDeck::simple(6).edge_capacities();
+        let mp = RuleDeck::multi_patterned(6, 3).edge_capacities();
+        assert!(mp.0 < sp.0);
+        assert!(RuleDeck::multi_patterned(6, 3).via_cost > RuleDeck::simple(6).via_cost);
+    }
+
+    #[test]
+    fn derating_floors_at_40_percent() {
+        let extreme = RuleDeck::multi_patterned(6, 10);
+        assert!((extreme.track_derating - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capacities_never_zero() {
+        for l in 2..=14 {
+            let (h, v) = RuleDeck::multi_patterned(l, 8).edge_capacities();
+            assert!(h >= 1 && v >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 layers")]
+    fn single_layer_rejected() {
+        let _ = RuleDeck::simple(1);
+    }
+}

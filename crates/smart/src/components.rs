@@ -1,0 +1,269 @@
+//! Heterogeneous smart-system modeling.
+//!
+//! Macii: smart systems are "intelligent, miniaturized devices incorporating
+//! functionalities like sensing, actuation, and control... produced with very
+//! different technologies and materials". A [`SmartSystem`] is a bag of such
+//! [`Component`]s plus their interconnect — the object both the packaging and
+//! the co-design engines operate on.
+
+use eda_tech::Node;
+
+/// What a component does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ComponentKind {
+    /// Application-specific sensor (MEMS, optical, chemical...).
+    Sensor,
+    /// Actuator / power driver.
+    Actuator,
+    /// Digital control + baseband computation.
+    Mcu,
+    /// Wireless connectivity.
+    Radio,
+    /// Power management (regulation, charging).
+    Pmu,
+    /// Energy storage.
+    Battery,
+    /// Energy harvester (solar, vibration, thermal).
+    Harvester,
+    /// Non-volatile / working memory.
+    Memory,
+}
+
+/// The implementation technology of a component — Macii's point is exactly
+/// that these do not share a process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Technology {
+    /// Digital CMOS at a given node.
+    Cmos(Node),
+    /// MEMS micromachining.
+    Mems,
+    /// RF/analog specialty process.
+    RfAnalog,
+    /// Discrete/passive (battery, antenna, harvester).
+    Discrete,
+}
+
+/// One component of a smart system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Instance name.
+    pub name: String,
+    /// Role.
+    pub kind: ComponentKind,
+    /// Implementation technology.
+    pub technology: Technology,
+    /// Footprint in mm².
+    pub area_mm2: f64,
+    /// Active power in mW.
+    pub active_mw: f64,
+    /// Sleep power in µW.
+    pub sleep_uw: f64,
+    /// Unit cost in dollars.
+    pub unit_cost_usd: f64,
+}
+
+/// A connection between two components (by index) with a pin count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Connection {
+    /// First endpoint (component index).
+    pub a: usize,
+    /// Second endpoint (component index).
+    pub b: usize,
+    /// Signal pins on the link.
+    pub pins: u32,
+}
+
+/// A heterogeneous system: components plus interconnect.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SmartSystem {
+    /// The components.
+    pub components: Vec<Component>,
+    /// Inter-component connections.
+    pub connections: Vec<Connection>,
+}
+
+impl SmartSystem {
+    /// Creates an empty system.
+    pub fn new() -> SmartSystem {
+        SmartSystem::default()
+    }
+
+    /// Adds a component, returning its index.
+    pub fn add(&mut self, component: Component) -> usize {
+        self.components.push(component);
+        self.components.len() - 1
+    }
+
+    /// Connects two components.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or `a == b`.
+    pub fn connect(&mut self, a: usize, b: usize, pins: u32) {
+        assert!(a < self.components.len() && b < self.components.len(), "index out of range");
+        assert_ne!(a, b, "cannot connect a component to itself");
+        self.connections.push(Connection { a, b, pins });
+    }
+
+    /// Total silicon/component area, mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|c| c.area_mm2).sum()
+    }
+
+    /// Total bill-of-materials cost, dollars.
+    pub fn bom_cost_usd(&self) -> f64 {
+        self.components.iter().map(|c| c.unit_cost_usd).sum()
+    }
+
+    /// Number of distinct technologies present — the integration-challenge
+    /// metric of Macii's statement.
+    pub fn technology_count(&self) -> usize {
+        let mut kinds: Vec<&'static str> = self
+            .components
+            .iter()
+            .map(|c| match c.technology {
+                Technology::Cmos(_) => "cmos",
+                Technology::Mems => "mems",
+                Technology::RfAnalog => "rf",
+                Technology::Discrete => "discrete",
+            })
+            .collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds.len()
+    }
+
+    /// A reference IoT sensor node: the panel's "Fitbit in my pocket" class —
+    /// sensor + MCU + radio + PMU + battery + harvester.
+    pub fn reference_iot_node(mcu_node: Node) -> SmartSystem {
+        let mut s = SmartSystem::new();
+        let sensor = s.add(Component {
+            name: "accel".into(),
+            kind: ComponentKind::Sensor,
+            technology: Technology::Mems,
+            area_mm2: 4.0,
+            active_mw: 0.8,
+            sleep_uw: 1.5,
+            unit_cost_usd: 0.9,
+        });
+        let mcu = s.add(Component {
+            name: "mcu".into(),
+            kind: ComponentKind::Mcu,
+            technology: Technology::Cmos(mcu_node),
+            area_mm2: mcu_area_mm2(mcu_node),
+            active_mw: mcu_active_mw(mcu_node),
+            sleep_uw: mcu_sleep_uw(mcu_node),
+            unit_cost_usd: mcu_cost_usd(mcu_node),
+        });
+        let radio = s.add(Component {
+            name: "ble".into(),
+            kind: ComponentKind::Radio,
+            technology: Technology::RfAnalog,
+            area_mm2: 6.0,
+            active_mw: 12.0,
+            sleep_uw: 2.0,
+            unit_cost_usd: 1.4,
+        });
+        let pmu = s.add(Component {
+            name: "pmu".into(),
+            kind: ComponentKind::Pmu,
+            technology: Technology::Cmos(Node::N180),
+            area_mm2: 3.0,
+            active_mw: 0.3,
+            sleep_uw: 0.8,
+            unit_cost_usd: 0.5,
+        });
+        let battery = s.add(Component {
+            name: "coin_cell".into(),
+            kind: ComponentKind::Battery,
+            technology: Technology::Discrete,
+            area_mm2: 120.0,
+            active_mw: 0.0,
+            sleep_uw: 0.0,
+            unit_cost_usd: 0.4,
+        });
+        let harvester = s.add(Component {
+            name: "solar".into(),
+            kind: ComponentKind::Harvester,
+            technology: Technology::Discrete,
+            area_mm2: 50.0,
+            active_mw: 0.0,
+            sleep_uw: 0.0,
+            unit_cost_usd: 0.7,
+        });
+        s.connect(sensor, mcu, 4);
+        s.connect(mcu, radio, 6);
+        s.connect(pmu, mcu, 2);
+        s.connect(pmu, radio, 2);
+        s.connect(pmu, sensor, 2);
+        s.connect(battery, pmu, 2);
+        s.connect(harvester, pmu, 2);
+        s
+    }
+}
+
+/// MCU die area at a node for a fixed ~500k-gate IoT controller.
+pub fn mcu_area_mm2(node: Node) -> f64 {
+    let gates = 0.5e6;
+    gates * 4.0 / (node.spec().density_mtr_per_mm2 * 1e6)
+}
+
+/// MCU active power at a node (fixed workload at fixed frequency).
+pub fn mcu_active_mw(node: Node) -> f64 {
+    // Energy/op ∝ C·V²; 20 MHz × 0.5 M gates × activity 0.1.
+    let e_fj = node.switching_energy_fj();
+    0.5e6 * 0.1 * e_fj * 1e-15 * 20e6 * 1e3
+}
+
+/// MCU sleep power at a node (leakage-dominated).
+pub fn mcu_sleep_uw(node: Node) -> f64 {
+    0.5e6 / 4.0 * node.spec().leakage_nw_per_gate * 1e-3 * 0.01 // power-gated to 1%
+}
+
+/// MCU unit cost at a node: die cost plus node-dependent NRE amortization.
+pub fn mcu_cost_usd(node: Node) -> f64 {
+    let die = eda_tech::CostModel::new(node).die_cost(mcu_area_mm2(node).max(0.3), 4).usd;
+    // NRE (mask set amortized over 1M units).
+    let nre = eda_tech::CostModel::new(node).mask_set_cost().usd / 1_000_000.0;
+    // Small dies at advanced nodes are pad-limited: floor the effective area.
+    die + nre + 0.15
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_has_heterogeneous_technologies() {
+        let s = SmartSystem::reference_iot_node(Node::N65);
+        assert!(s.technology_count() >= 4, "sensor+digital+rf+discrete");
+        assert_eq!(s.components.len(), 6);
+        assert!(!s.connections.is_empty());
+        assert!(s.total_area_mm2() > 100.0);
+        assert!(s.bom_cost_usd() > 1.0);
+    }
+
+    #[test]
+    fn mcu_scales_down_with_node() {
+        assert!(mcu_area_mm2(Node::N28) < mcu_area_mm2(Node::N180) / 10.0);
+        assert!(mcu_active_mw(Node::N28) < mcu_active_mw(Node::N180));
+    }
+
+    #[test]
+    fn advanced_node_mcu_not_automatically_cheaper() {
+        // NRE amortization + emerging-node wafer cost means the IoT MCU does
+        // not get cheaper forever — Sawicki's "does not require the next
+        // technology node" point.
+        let costs: Vec<f64> = Node::ALL.iter().map(|&n| mcu_cost_usd(n)).collect();
+        let cheapest = costs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let at_5nm = *costs.last().unwrap();
+        assert!(at_5nm > cheapest, "5nm must not be the cheapest IoT MCU");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot connect")]
+    fn self_connection_panics() {
+        let mut s = SmartSystem::reference_iot_node(Node::N65);
+        s.connect(0, 0, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! IoT device energy autonomy and technology-node selection.
+//!
+//! Sawicki (claim C16): IoT devices "have in common a few elements: a radio
+//! to communicate, a processor to manage data, and, often, a sensor", they
+//! are low-power/low-cost, and "this wave does not require the next
+//! technology node to implement" — established-node variants hit the right
+//! power/cost/performance point. [`battery_life_days`] simulates the energy
+//! budget; [`node_selection_sweep`] produces the cost/power/perf points.
+
+use crate::components::{mcu_cost_usd, SmartSystem};
+use eda_tech::Node;
+
+/// A duty-cycled workload profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycle {
+    /// Fraction of time sensing/computing (MCU + sensor active).
+    pub active: f64,
+    /// Fraction of time transmitting (radio + MCU active).
+    pub transmit: f64,
+}
+
+impl DutyCycle {
+    /// Validates and creates a duty cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fractions are negative or sum above 1.
+    pub fn new(active: f64, transmit: f64) -> DutyCycle {
+        assert!(active >= 0.0 && transmit >= 0.0, "fractions must be non-negative");
+        assert!(active + transmit <= 1.0, "duty fractions exceed 100%");
+        DutyCycle { active, transmit }
+    }
+
+    /// Sleeping fraction.
+    pub fn sleep(&self) -> f64 {
+        1.0 - self.active - self.transmit
+    }
+}
+
+/// Average power draw of a system under a duty cycle, in mW.
+pub fn average_power_mw(system: &SmartSystem, duty: &DutyCycle) -> f64 {
+    use crate::components::ComponentKind as K;
+    let mut avg = 0.0;
+    for c in &system.components {
+        let sleep_mw = c.sleep_uw * 1e-3;
+        let share = match c.kind {
+            K::Radio => duty.transmit * c.active_mw + (1.0 - duty.transmit) * sleep_mw,
+            K::Sensor | K::Mcu => {
+                (duty.active + duty.transmit) * c.active_mw
+                    + duty.sleep() * sleep_mw
+            }
+            K::Pmu => c.active_mw * 0.5 + sleep_mw, // always partially on
+            _ => 0.0,
+        };
+        avg += share;
+    }
+    avg
+}
+
+/// Battery life in days for a battery capacity and harvesting income.
+///
+/// Returns `f64::INFINITY` when harvesting covers the average draw — the
+/// energy-autonomous regime Macii calls "usually energy-autonomous".
+pub fn battery_life_days(
+    system: &SmartSystem,
+    duty: &DutyCycle,
+    battery_mwh: f64,
+    harvest_mw: f64,
+) -> f64 {
+    assert!(battery_mwh > 0.0, "battery capacity must be positive");
+    let net = average_power_mw(system, duty) - harvest_mw;
+    if net <= 0.0 {
+        f64::INFINITY
+    } else {
+        battery_mwh / net / 24.0
+    }
+}
+
+/// One point of the node-selection sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePoint {
+    /// Candidate MCU node.
+    pub node: Node,
+    /// MCU unit cost, dollars.
+    pub mcu_cost_usd: f64,
+    /// Device battery life, days.
+    pub battery_life_days: f64,
+    /// MCU performance proxy (1/gate delay, GHz-equivalent).
+    pub performance: f64,
+    /// Composite IoT figure of merit: battery life per dollar.
+    pub merit: f64,
+}
+
+/// Sweeps the MCU technology node for the reference IoT device.
+pub fn node_selection_sweep(duty: &DutyCycle, battery_mwh: f64, harvest_mw: f64) -> Vec<NodePoint> {
+    Node::ALL
+        .iter()
+        .map(|&node| {
+            let system = SmartSystem::reference_iot_node(node);
+            let life = battery_life_days(&system, duty, battery_mwh, harvest_mw);
+            let cost = mcu_cost_usd(node);
+            let perf = 1000.0 / node.spec().gate_delay_ps;
+            NodePoint {
+                node,
+                mcu_cost_usd: cost,
+                battery_life_days: life,
+                performance: perf,
+                merit: if life.is_finite() { life / cost } else { 1e6 / cost },
+            }
+        })
+        .collect()
+}
+
+/// The node with the best IoT figure of merit.
+pub fn best_iot_node(points: &[NodePoint]) -> Node {
+    points
+        .iter()
+        .max_by(|a, b| a.merit.partial_cmp(&b.merit).expect("merit is finite"))
+        .expect("sweep is non-empty")
+        .node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn duty() -> DutyCycle {
+        DutyCycle::new(0.01, 0.002)
+    }
+
+    #[test]
+    fn sleep_dominates_duty_cycle() {
+        let d = duty();
+        assert!(d.sleep() > 0.98);
+    }
+
+    #[test]
+    fn lower_duty_cycle_longer_life() {
+        let s = SmartSystem::reference_iot_node(Node::N65);
+        let busy = battery_life_days(&s, &DutyCycle::new(0.2, 0.05), 800.0, 0.0);
+        let idle = battery_life_days(&s, &duty(), 800.0, 0.0);
+        assert!(idle > 3.0 * busy, "duty cycling is the battery-life lever");
+    }
+
+    #[test]
+    fn harvesting_can_reach_autonomy() {
+        let s = SmartSystem::reference_iot_node(Node::N65);
+        let p = average_power_mw(&s, &duty());
+        let life = battery_life_days(&s, &duty(), 800.0, p * 1.1);
+        assert!(life.is_infinite(), "harvest above draw = energy autonomy");
+    }
+
+    #[test]
+    fn panel_claim_iot_does_not_need_the_newest_node() {
+        let points = node_selection_sweep(&duty(), 800.0, 0.0);
+        let best = best_iot_node(&points);
+        assert!(
+            best.is_established(),
+            "best IoT merit should sit at an established node, got {best}"
+        );
+        // And yet the newest node wins raw performance.
+        let perf_best = points
+            .iter()
+            .max_by(|a, b| a.performance.partial_cmp(&b.performance).unwrap())
+            .unwrap();
+        assert!(!perf_best.node.is_established());
+    }
+
+    #[test]
+    fn battery_life_is_finite_and_positive_without_harvest() {
+        let points = node_selection_sweep(&duty(), 800.0, 0.0);
+        for p in points {
+            assert!(p.battery_life_days > 0.0 && p.battery_life_days.is_finite());
+            assert!(p.mcu_cost_usd > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 100%")]
+    fn overfull_duty_panics() {
+        let _ = DutyCycle::new(0.8, 0.4);
+    }
+}

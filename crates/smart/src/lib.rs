@@ -1,0 +1,33 @@
+//! Smart-system and IoT co-design for the `eda` workspace.
+//!
+//! Implements the panel's "new era for EDA" (Macii) and "next opportunity"
+//! (Sawicki): heterogeneous smart-system modeling ([`components`]), SiP/3-D
+//! packaging ([`sip`]), holistic co-design versus sequential ad-hoc
+//! integration ([`codesign`], claim C13), and IoT energy autonomy with
+//! technology-node selection ([`iot`], claim C16).
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_smart::{battery_life_days, DutyCycle, SmartSystem};
+//! use eda_tech::Node;
+//!
+//! let device = SmartSystem::reference_iot_node(Node::N65);
+//! let life = battery_life_days(&device, &DutyCycle::new(0.01, 0.002), 800.0, 0.0);
+//! assert!(life > 30.0, "a duty-cycled node lasts months");
+//! ```
+
+pub mod codesign;
+pub mod components;
+pub mod iot;
+pub mod sip;
+
+pub use codesign::{
+    candidate_space, codesign_flow, evaluate, sequential_flow, DesignMetrics, DesignPoint,
+    FlowOutcome,
+};
+pub use components::{Component, ComponentKind, Connection, SmartSystem, Technology};
+pub use iot::{
+    average_power_mw, battery_life_days, best_iot_node, node_selection_sweep, DutyCycle, NodePoint,
+};
+pub use sip::{package, placement_legal, PackageOutcome, PackageStyle};

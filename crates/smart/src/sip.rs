@@ -1,0 +1,236 @@
+//! System-in-package assembly: 2-D substrate placement and 3-D stacking.
+//!
+//! Macii: "Advanced packaging technologies, such as system-in-package (SiP)
+//! and chip stacking (3D IC) with through-silicon vias, allow today
+//! manufacturers to package all these functionalities more densely". This
+//! module turns a [`SmartSystem`] into a package: shelf-packed 2-D substrate
+//! or TSV-stacked 3-D, with area/wirelength/cost metrics.
+
+use crate::components::{ComponentKind, SmartSystem};
+
+/// Packaging style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackageStyle {
+    /// Side-by-side dies on a substrate.
+    Sip2d,
+    /// Stacked dies with through-silicon vias (battery/harvester stay on the
+    /// substrate).
+    Stack3d,
+}
+
+/// A packaged system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackageOutcome {
+    /// Style used.
+    pub style: PackageStyle,
+    /// Substrate footprint, mm².
+    pub footprint_mm2: f64,
+    /// Estimated inter-component wiring length, mm.
+    pub wirelength_mm: f64,
+    /// Through-silicon vias (3-D only).
+    pub tsvs: u32,
+    /// Assembly + substrate cost, dollars.
+    pub assembly_cost_usd: f64,
+    /// Component placements: `(x, y, w, h)` per component, mm.
+    pub placements: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Packages a system.
+///
+/// 2-D: components are shelf-packed by decreasing height into a near-square
+/// substrate; wirelength is the Manhattan center distance of every
+/// connection. 3-D: stackable dies overlap (footprint = largest die +
+/// substrate-only parts); each connection between stacked dies becomes TSVs.
+pub fn package(system: &SmartSystem, style: PackageStyle) -> PackageOutcome {
+    match style {
+        PackageStyle::Sip2d => package_2d(system),
+        PackageStyle::Stack3d => package_3d(system),
+    }
+}
+
+fn dims(area_mm2: f64) -> (f64, f64) {
+    let side = area_mm2.sqrt();
+    (side, side)
+}
+
+fn package_2d(system: &SmartSystem) -> PackageOutcome {
+    // Shelf packing by decreasing height.
+    let mut order: Vec<usize> = (0..system.components.len()).collect();
+    order.sort_by(|&a, &b| {
+        system.components[b]
+            .area_mm2
+            .partial_cmp(&system.components[a].area_mm2)
+            .expect("areas are finite")
+    });
+    let total: f64 = system.total_area_mm2();
+    let target_width = (total * 1.15).sqrt();
+    let gap = 0.3; // assembly keep-out, mm
+    let mut placements = vec![(0.0, 0.0, 0.0, 0.0); system.components.len()];
+    let mut x = 0.0f64;
+    let mut y = 0.0f64;
+    let mut shelf_h = 0.0f64;
+    let mut max_w = 0.0f64;
+    for &i in &order {
+        let (w, h) = dims(system.components[i].area_mm2);
+        if x > 0.0 && x + w > target_width {
+            x = 0.0;
+            y += shelf_h + gap;
+            shelf_h = 0.0;
+        }
+        placements[i] = (x, y, w, h);
+        x += w + gap;
+        shelf_h = shelf_h.max(h);
+        max_w = max_w.max(x);
+    }
+    let height = y + shelf_h;
+    let footprint = max_w * height;
+    let wirelength = wirelength_2d(system, &placements);
+    PackageOutcome {
+        style: PackageStyle::Sip2d,
+        footprint_mm2: footprint,
+        wirelength_mm: wirelength,
+        tsvs: 0,
+        assembly_cost_usd: 0.4 + 0.02 * footprint + 0.01 * system.components.len() as f64,
+        placements,
+    }
+}
+
+fn wirelength_2d(system: &SmartSystem, placements: &[(f64, f64, f64, f64)]) -> f64 {
+    system
+        .connections
+        .iter()
+        .map(|c| {
+            let (ax, ay, aw, ah) = placements[c.a];
+            let (bx, by, bw, bh) = placements[c.b];
+            let d = (ax + aw / 2.0 - bx - bw / 2.0).abs() + (ay + ah / 2.0 - by - bh / 2.0).abs();
+            d * c.pins as f64
+        })
+        .sum()
+}
+
+fn stackable(kind: ComponentKind) -> bool {
+    !matches!(kind, ComponentKind::Battery | ComponentKind::Harvester | ComponentKind::Actuator)
+}
+
+fn package_3d(system: &SmartSystem) -> PackageOutcome {
+    // Stack all stackable dies; substrate parts are shelf-packed beside the
+    // stack.
+    let stacked: Vec<usize> = (0..system.components.len())
+        .filter(|&i| stackable(system.components[i].kind))
+        .collect();
+    let substrate: Vec<usize> = (0..system.components.len())
+        .filter(|&i| !stackable(system.components[i].kind))
+        .collect();
+    let stack_area = stacked
+        .iter()
+        .map(|&i| system.components[i].area_mm2)
+        .fold(0.0f64, f64::max);
+    let substrate_area: f64 = substrate.iter().map(|&i| system.components[i].area_mm2).sum();
+    let footprint = (stack_area + substrate_area) * 1.1;
+    // Placements: stack at origin (overlapping), substrate parts beside it.
+    let mut placements = vec![(0.0, 0.0, 0.0, 0.0); system.components.len()];
+    for &i in &stacked {
+        let (w, h) = dims(system.components[i].area_mm2);
+        placements[i] = (0.0, 0.0, w, h);
+    }
+    let mut x = stack_area.sqrt() + 0.5;
+    for &i in &substrate {
+        let (w, h) = dims(system.components[i].area_mm2);
+        placements[i] = (x, 0.0, w, h);
+        x += w + 0.3;
+    }
+    // TSVs: pins on connections where both endpoints are stacked.
+    let tsvs: u32 = system
+        .connections
+        .iter()
+        .filter(|c| stacked.contains(&c.a) && stacked.contains(&c.b))
+        .map(|c| c.pins)
+        .sum();
+    // Vertical connections are ~zero length; others as 2-D.
+    let wirelength: f64 = system
+        .connections
+        .iter()
+        .filter(|c| !(stacked.contains(&c.a) && stacked.contains(&c.b)))
+        .map(|c| {
+            let (ax, ay, aw, ah) = placements[c.a];
+            let (bx, by, bw, bh) = placements[c.b];
+            ((ax + aw / 2.0 - bx - bw / 2.0).abs() + (ay + ah / 2.0 - by - bh / 2.0).abs())
+                * c.pins as f64
+        })
+        .sum();
+    PackageOutcome {
+        style: PackageStyle::Stack3d,
+        footprint_mm2: footprint,
+        wirelength_mm: wirelength,
+        tsvs,
+        // TSV processing, thinning, and die-stack yield carry a fixed premium
+        // plus a per-stacked-die handling cost.
+        assembly_cost_usd: 2.0 + 0.02 * footprint + 0.002 * tsvs as f64
+            + 0.15 * stacked.len() as f64,
+        placements,
+    }
+}
+
+/// Checks that no two placed components overlap (stacked dies excepted).
+pub fn placement_legal(outcome: &PackageOutcome) -> bool {
+    if outcome.style == PackageStyle::Stack3d {
+        return true; // overlap is the point
+    }
+    let p = &outcome.placements;
+    for i in 0..p.len() {
+        for j in i + 1..p.len() {
+            let (ax, ay, aw, ah) = p[i];
+            let (bx, by, bw, bh) = p[j];
+            let sep = ax + aw <= bx || bx + bw <= ax || ay + ah <= by || by + bh <= ay;
+            if !sep {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_tech::Node;
+
+    fn system() -> SmartSystem {
+        SmartSystem::reference_iot_node(Node::N65)
+    }
+
+    #[test]
+    fn sip_packing_is_legal_and_tight() {
+        let s = system();
+        let out = package(&s, PackageStyle::Sip2d);
+        assert!(placement_legal(&out), "no overlaps allowed on the substrate");
+        assert!(out.footprint_mm2 >= s.total_area_mm2(), "cannot beat the area sum");
+        assert!(out.footprint_mm2 < s.total_area_mm2() * 2.5, "packing should be tight-ish");
+        assert_eq!(out.tsvs, 0);
+    }
+
+    #[test]
+    fn stacking_shrinks_footprint_and_wirelength() {
+        let s = system();
+        let flat = package(&s, PackageStyle::Sip2d);
+        let stacked = package(&s, PackageStyle::Stack3d);
+        assert!(stacked.footprint_mm2 < flat.footprint_mm2);
+        assert!(stacked.wirelength_mm < flat.wirelength_mm);
+        assert!(stacked.tsvs > 0, "stacked dies communicate through TSVs");
+        assert!(stacked.assembly_cost_usd > flat.assembly_cost_usd, "stacking costs more");
+    }
+
+    #[test]
+    fn battery_never_stacked() {
+        let s = system();
+        let out = package(&s, PackageStyle::Stack3d);
+        // Battery placement must not overlap the stack at origin.
+        let bat = s
+            .components
+            .iter()
+            .position(|c| c.kind == ComponentKind::Battery)
+            .expect("reference node has a battery");
+        let (x, ..) = out.placements[bat];
+        assert!(x > 0.0, "battery sits on the substrate, not in the stack");
+    }
+}

@@ -1,0 +1,54 @@
+//! Technology-node models for the `eda` workspace.
+//!
+//! The DATE 2016 panel *Looking Backwards and Forwards* quantifies a decade of
+//! progress in terms of technology-node parameters: integration capacity,
+//! supply/leakage trends, metal pitch and the patterning it forces, mask and
+//! layer cost, and the distribution of design starts across nodes. This crate
+//! encodes those parameters as a queryable database so that every other
+//! subsystem (synthesis, routing, lithography, power) can be evaluated *per
+//! node* and the panel's cross-node claims can be regenerated.
+//!
+//! Parameter values follow public ITRS-era scaling trends; absolute numbers
+//! are representative, and every claim reproduced from the panel is a *ratio*
+//! between nodes, which is what the model preserves.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_tech::Node;
+//!
+//! // The panel's abstract: "integration capacity has increased by two
+//! // orders of magnitude" between 90 nm (2006) and 10 nm (2016).
+//! let growth = Node::N10.integration_capacity() / Node::N90.integration_capacity();
+//! assert!(growth >= 100.0);
+//! ```
+
+pub mod cost;
+pub mod node;
+pub mod patterning;
+pub mod starts;
+
+pub use cost::{CostModel, DieCost, MaskSetCost};
+pub use node::{Node, NodeSpec};
+pub use patterning::{PatterningPlan, PatterningScheme, SINGLE_EXPOSURE_PITCH_NM};
+pub use starts::DesignStartModel;
+
+/// Error type for technology queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TechError {
+    /// A node name could not be parsed (e.g. `"33nm"`).
+    UnknownNode(String),
+    /// A query parameter was outside the modeled range.
+    OutOfRange(String),
+}
+
+impl std::fmt::Display for TechError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TechError::UnknownNode(s) => write!(f, "unknown technology node `{s}`"),
+            TechError::OutOfRange(s) => write!(f, "parameter out of modeled range: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TechError {}

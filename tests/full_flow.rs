@@ -1,0 +1,84 @@
+//! Cross-crate integration: the complete flow on every generator family,
+//! at multiple nodes, with determinism and monotonicity checks.
+
+use eda::core::{run_flow, FlowConfig};
+use eda::netlist::generate;
+use eda::tech::Node;
+
+#[test]
+fn flow_handles_every_generator_family() {
+    let designs = vec![
+        generate::ripple_carry_adder(8).unwrap(),
+        generate::array_multiplier(4).unwrap(),
+        generate::parity_tree(16).unwrap(),
+        generate::equality_comparator(8).unwrap(),
+        generate::switch_fabric(3, 2).unwrap(),
+        generate::random_logic(generate::RandomLogicConfig {
+            gates: 200,
+            seed: 17,
+            ..Default::default()
+        })
+        .unwrap(),
+    ];
+    for d in &designs {
+        let report = run_flow(d, &FlowConfig::advanced_2016(Node::N28))
+            .unwrap_or_else(|e| panic!("{} failed: {e}", d.name()));
+        assert!(report.cell_area_um2 > 0.0, "{}", d.name());
+        assert!(report.routed_wirelength > 0, "{}", d.name());
+        assert!(report.litho_legal, "{}: decomposition must close", d.name());
+    }
+}
+
+#[test]
+fn flow_is_deterministic() {
+    let d = generate::switch_fabric(3, 2).unwrap();
+    let cfg = FlowConfig::advanced_2016(Node::N28);
+    let a = run_flow(&d, &cfg).unwrap();
+    let b = run_flow(&d, &cfg).unwrap();
+    assert_eq!(a.cell_area_um2, b.cell_area_um2);
+    assert_eq!(a.routed_wirelength, b.routed_wirelength);
+    assert_eq!(a.hpwl_um, b.hpwl_um);
+    assert_eq!(a.test_coverage, b.test_coverage);
+}
+
+#[test]
+fn advanced_flow_dominates_basic_across_designs() {
+    let designs = vec![
+        generate::ripple_carry_adder(12).unwrap(),
+        generate::parity_tree(24).unwrap(),
+        generate::random_logic(generate::RandomLogicConfig {
+            gates: 300,
+            seed: 4,
+            ..Default::default()
+        })
+        .unwrap(),
+    ];
+    let mut basic_area = 0.0;
+    let mut adv_area = 0.0;
+    for d in &designs {
+        basic_area += run_flow(d, &FlowConfig::basic_2006(Node::N90)).unwrap().cell_area_um2;
+        adv_area += run_flow(d, &FlowConfig::advanced_2016(Node::N90)).unwrap().cell_area_um2;
+    }
+    assert!(
+        adv_area < basic_area * 0.85,
+        "advanced should save well over 15% area: {adv_area:.0} vs {basic_area:.0}"
+    );
+}
+
+#[test]
+fn emerging_node_needs_more_masks_than_established() {
+    let d = generate::parity_tree(16).unwrap();
+    let at = |node| run_flow(&d, &FlowConfig::advanced_2016(node)).unwrap().masks;
+    assert_eq!(at(Node::N28), 1, "28nm critical layer is single-patterned");
+    assert!(at(Node::N10) >= 2, "10nm needs multi-patterning");
+}
+
+#[test]
+fn scanless_flow_skips_dft_metrics() {
+    let d = generate::parity_tree(8).unwrap();
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.scan = None;
+    let r = run_flow(&d, &cfg).unwrap();
+    assert_eq!(r.test_coverage, 0.0);
+    assert_eq!(r.scan_wirelength_um, 0.0);
+}

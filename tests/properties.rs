@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use eda::litho::{decompose, ConflictGraph, Layout};
+use eda::logic::{isop, Aig, Cover, Cube, TruthTable};
+use eda::netlist::generate;
+use eda::place::{anneal, place_global, AnnealConfig, Die, GlobalConfig};
+use eda::route::{mikami_tabuchi, GCell, RoutingGrid, RuleDeck};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// ISOP of any function is exact: the cover evaluates to the function.
+    #[test]
+    fn isop_exact_for_arbitrary_functions(bits in any::<u64>(), n in 1usize..=4) {
+        let f = TruthTable::from_bits(n, bits);
+        let cover = isop(&f, &f);
+        for m in 0..(1usize << n) {
+            let a: Vec<bool> = (0..n).map(|v| m >> v & 1 == 1).collect();
+            prop_assert_eq!(cover.eval(&a), f.eval(&a));
+        }
+    }
+
+    /// Espresso minimization preserves the function and never grows cost.
+    #[test]
+    fn espresso_sound_and_never_worse(minterms in proptest::collection::vec(0usize..32, 0..24)) {
+        let on = Cover::from_minterms(5, minterms.iter().copied());
+        let out = eda::logic::espresso::minimize(&on, &Cover::new(5));
+        for m in 0..32usize {
+            let a: Vec<bool> = (0..5).map(|v| m >> v & 1 == 1).collect();
+            prop_assert_eq!(out.cover.eval(&a), on.eval(&a), "minterm {}", m);
+        }
+        prop_assert!(out.cover.len() <= on.len());
+    }
+
+    /// Cube containment is consistent with evaluation.
+    #[test]
+    fn cube_containment_semantics(
+        lits_a in proptest::collection::vec((0usize..6, any::<bool>()), 0..4),
+        lits_b in proptest::collection::vec((0usize..6, any::<bool>()), 0..4),
+    ) {
+        let mut a = Cube::full(6);
+        for (v, val) in lits_a { a = a.with_literal(v, val); }
+        let mut b = Cube::full(6);
+        for (v, val) in lits_b { b = b.with_literal(v, val); }
+        if a.contains(&b) {
+            // Every minterm of b is in a.
+            for m in 0..64usize {
+                let assignment: Vec<bool> = (0..6).map(|v| m >> v & 1 == 1).collect();
+                if b.eval(&assignment) {
+                    prop_assert!(a.eval(&assignment));
+                }
+            }
+        }
+    }
+
+    /// AIG construction from any netlist is simulation-equivalent.
+    #[test]
+    fn aig_roundtrip_equivalence(seed in 0u64..50, gates in 50usize..200) {
+        let d = generate::random_logic(generate::RandomLogicConfig {
+            gates,
+            seed,
+            flop_fraction: 0.0,
+            ..Default::default()
+        }).unwrap();
+        let (aig, _) = Aig::from_netlist(&d).unwrap();
+        let rewritten = aig.rewrite();
+        let pats: Vec<u64> = (0..aig.num_pis())
+            .map(|i| seed.wrapping_mul(0x2545_F491_4F6C_DD1D).rotate_left(i as u32))
+            .collect();
+        let (golden, _) = d.simulate64(&pats, &[]);
+        prop_assert_eq!(&aig.simulate64(&pats), &golden);
+        prop_assert_eq!(&rewritten.simulate64(&pats), &golden);
+        prop_assert!(rewritten.num_ands() <= aig.num_ands());
+    }
+
+    /// DSATUR always produces a proper colouring.
+    #[test]
+    fn coloring_always_proper(count in 5usize..40, seed in 0u64..25, pitch in 30.0f64..120.0) {
+        let layout = Layout::random_wires(count, pitch, 2500.0, seed);
+        let g = ConflictGraph::build(&layout, 80.0);
+        let colors = g.dsatur();
+        for v in 0..g.nodes {
+            for &w in g.neighbours(v) {
+                prop_assert_ne!(colors[v], colors[w as usize]);
+            }
+        }
+    }
+
+    /// Legal decompositions never assign conflicting features one mask.
+    #[test]
+    fn decomposition_legality(count in 5usize..25, seed in 0u64..20) {
+        let layout = Layout::random_wires(count, 60.0, 2000.0, seed);
+        let d = decompose(&layout, 3, 80.0, 6);
+        if d.legal {
+            let g = ConflictGraph::build(&d.layout, 80.0);
+            for v in 0..g.nodes {
+                for &w in g.neighbours(v) {
+                    prop_assert_ne!(d.colors[v], d.colors[w as usize]);
+                }
+            }
+            prop_assert!(d.masks <= 3);
+        }
+    }
+
+    /// Line-search paths, when found, are connected and end-to-end.
+    #[test]
+    fn linesearch_paths_well_formed(
+        sx in 0u32..20, sy in 0u32..20, dx in 0u32..20, dy in 0u32..20,
+    ) {
+        let grid = RoutingGrid::new(20, 20, &RuleDeck::simple(6));
+        let src = GCell::new(sx, sy);
+        let dst = GCell::new(dx, dy);
+        if let Some((path, _)) = mikami_tabuchi(&grid, src, dst, 8) {
+            prop_assert_eq!(path[0], src);
+            prop_assert_eq!(*path.last().unwrap(), dst);
+            for w in path.windows(2) {
+                prop_assert_eq!(w[0].manhattan(&w[1]), 1);
+            }
+        } else {
+            // On an empty grid level-0 probes always cross.
+            prop_assert!(false, "line search must succeed on an empty grid");
+        }
+    }
+
+    /// Annealing never loses placement legality (one cell per site).
+    #[test]
+    fn annealing_keeps_legality(seed in 0u64..10) {
+        let d = generate::parity_tree(32).unwrap();
+        let die = Die::for_netlist(&d, 0.7);
+        let mut p = place_global(&d, die, &GlobalConfig { iterations: 3, seed });
+        anneal(&d, &mut p, &AnnealConfig { moves_per_cell: 20, seed, ..Default::default() }, None, None);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..d.num_instances() {
+            let pos = p.position(eda::netlist::InstId::from_index(i));
+            let key = ((pos.x * 1e3) as i64, (pos.y * 1e3) as i64);
+            prop_assert!(seen.insert(key), "overlap at {:?}", pos);
+        }
+    }
+
+    /// Netlist generators always produce valid netlists.
+    #[test]
+    fn generators_always_valid(seed in 0u64..40, gates in 20usize..150) {
+        let d = generate::random_logic(generate::RandomLogicConfig {
+            gates,
+            seed,
+            ..Default::default()
+        }).unwrap();
+        prop_assert!(d.validate().is_ok());
+        let h = generate::hierarchical_design(1 + (seed % 4) as usize, gates.min(60), seed).unwrap();
+        prop_assert!(h.validate().is_ok());
+    }
+}
