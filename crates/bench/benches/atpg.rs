@@ -1,9 +1,10 @@
 //! Criterion bench for claim C14's substrate: fault simulation and ATPG.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_bench::{median_seconds, scaling_threads};
 use eda_dft::{
-    compressed_fault_sim, fault_list, fault_sim, random_patterns, run_atpg, AtpgConfig, CombView,
-    TestAccess,
+    compressed_fault_sim, fault_list, fault_sim, fault_sim_threaded, random_patterns, run_atpg,
+    AtpgConfig, CombView, TestAccess,
 };
 use eda_netlist::generate;
 use std::hint::black_box;
@@ -61,5 +62,26 @@ fn bench_compression(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fault_sim, bench_atpg, bench_compression);
+/// Thread-scaling row for `scripts/bench_flow.sh`: projected wall seconds of
+/// the parallel fault simulator at `EDA_BENCH_THREADS` workers, from
+/// per-worker CPU clocks (bit-identical coverage at any thread count).
+fn bench_fault_sim_scaling(_c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 600,
+        seed: 8,
+        ..Default::default()
+    })
+    .unwrap();
+    let view = CombView::new(&design).unwrap();
+    let faults = fault_list(&design);
+    let pats = random_patterns(&view, 128, 4);
+    for threads in scaling_threads() {
+        let s = median_seconds(5, || {
+            fault_sim_threaded(&design, &view, &faults, &pats, threads).1.projected_wall_s()
+        });
+        println!("BENCHLINE fault_sim_par/{threads} {s:.9e}");
+    }
+}
+
+criterion_group!(benches, bench_fault_sim, bench_atpg, bench_compression, bench_fault_sim_scaling);
 criterion_main!(benches);

@@ -2,6 +2,7 @@
 //! controlled-polarity libraries, area and delay goals.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_bench::{median_seconds, scaling_threads};
 use eda_logic::{map_aig, map_naive, Aig, MapGoal};
 use eda_netlist::{generate, Library};
 use std::hint::black_box;
@@ -53,5 +54,27 @@ fn bench_xor_rich(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_map, bench_xor_rich);
+/// Thread-scaling row for `scripts/bench_flow.sh`. Technology mapping is not
+/// parallelized yet, so the row reports the same CPU time at every thread
+/// count — a speedup of ~1.0 in BENCH_parallel.json marks it as the next
+/// kernel to thread.
+fn bench_map_scaling(_c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 600,
+        seed: 2,
+        ..Default::default()
+    })
+    .unwrap();
+    let (aig, bnd) = Aig::from_netlist(&design).unwrap();
+    for threads in scaling_threads() {
+        let s = median_seconds(5, || {
+            let t0 = eda_par::thread_cpu_seconds();
+            black_box(map_aig(&aig, &bnd, Library::generic(), MapGoal::Area).unwrap().area_um2);
+            eda_par::thread_cpu_seconds() - t0
+        });
+        println!("BENCHLINE map_par/{threads} {s:.9e}");
+    }
+}
+
+criterion_group!(benches, bench_map, bench_xor_rich, bench_map_scaling);
 criterion_main!(benches);

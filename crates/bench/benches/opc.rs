@@ -2,7 +2,8 @@
 //! cost vs pattern density.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use eda_litho::{run_opc, OpcConfig, OpticalModel};
+use eda_bench::{median_seconds, scaling_threads};
+use eda_litho::{run_opc, run_opc_stats, OpcConfig, OpticalModel};
 use std::hint::black_box;
 
 fn grating(pitch: f64, lines: usize) -> (Vec<(f64, f64)>, f64) {
@@ -43,5 +44,20 @@ fn bench_opc(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_aerial_image, bench_opc);
+/// Thread-scaling row for `scripts/bench_flow.sh`: projected wall seconds of
+/// a full OPC run (convolutions + fragment corrections) at
+/// `EDA_BENCH_THREADS` workers.
+fn bench_opc_scaling(_c: &mut Criterion) {
+    let model = OpticalModel::default();
+    let (target, extent) = grating(110.0, 24);
+    for threads in scaling_threads() {
+        let cfg = OpcConfig { threads, ..Default::default() };
+        let s = median_seconds(5, || {
+            run_opc_stats(&model, &target, extent, &cfg).1.projected_wall_s()
+        });
+        println!("BENCHLINE opc_par/{threads} {s:.9e}");
+    }
+}
+
+criterion_group!(benches, bench_aerial_image, bench_opc, bench_opc_scaling);
 criterion_main!(benches);

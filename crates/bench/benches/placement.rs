@@ -23,7 +23,13 @@ fn bench_parallel_placement(c: &mut Criterion) {
                     place_parallel(
                         &design,
                         die,
-                        &ParallelConfig { threads: t, moves_per_cell: 10, passes: 1, seed: 3 },
+                        &ParallelConfig {
+                            threads: t,
+                            stripes: 4,
+                            moves_per_cell: 10,
+                            passes: 1,
+                            seed: 3,
+                        },
                     )
                     .hpwl_final,
                 )

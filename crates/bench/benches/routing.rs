@@ -2,9 +2,13 @@
 //! multi-patterned rule decks.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eda_bench::{median_seconds, scaling_threads};
 use eda_netlist::generate;
 use eda_place::{place_global, Die, GlobalConfig};
-use eda_route::{astar, lee_bfs, mikami_tabuchi, route, GCell, RouteAlgorithm, RouteConfig, RoutingGrid, RuleDeck};
+use eda_route::{
+    astar, lee_bfs, mikami_tabuchi, route, route_stats, GCell, RouteAlgorithm, RouteConfig,
+    RoutingGrid, RuleDeck,
+};
 use std::hint::black_box;
 
 fn bench_full_route(c: &mut Criterion) {
@@ -52,5 +56,26 @@ fn bench_single_connection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_full_route, bench_single_connection);
+/// Thread-scaling row for `scripts/bench_flow.sh`: projected wall seconds of
+/// the batched initial routing pass at `EDA_BENCH_THREADS` workers (rip-up
+/// stays serial, so this row is Amdahl-bound by design).
+fn bench_route_scaling(_c: &mut Criterion) {
+    let design = generate::random_logic(generate::RandomLogicConfig {
+        gates: 800,
+        seed: 9,
+        ..Default::default()
+    })
+    .unwrap();
+    let die = Die::for_netlist(&design, 0.7);
+    let placement = place_global(&design, die, &GlobalConfig::default());
+    for threads in scaling_threads() {
+        let cfg = RouteConfig { grid_cells: 48, threads, ..Default::default() };
+        let s = median_seconds(5, || {
+            route_stats(&design, &placement, &cfg).1.projected_wall_s()
+        });
+        println!("BENCHLINE route_par/{threads} {s:.9e}");
+    }
+}
+
+criterion_group!(benches, bench_full_route, bench_single_connection, bench_route_scaling);
 criterion_main!(benches);

@@ -36,8 +36,10 @@ pub struct PlaceEffort {
     pub global_iterations: usize,
     /// Annealing moves per cell.
     pub anneal_moves_per_cell: usize,
-    /// Worker threads for partitioned refinement.
-    pub threads: usize,
+    /// Stripe partitions for partitioned refinement (`<= 1` = monolithic
+    /// serial annealing). Determines the placement result; worker threads
+    /// come from [`FlowConfig::threads`] and never change the result.
+    pub stripes: usize,
 }
 
 /// DFT options.
@@ -93,6 +95,11 @@ pub struct FlowConfig {
     pub verify_synthesis: bool,
     /// RNG seed for all stochastic stages.
     pub seed: u64,
+    /// Worker threads for every parallel kernel — partitioned placement,
+    /// batched routing, fault simulation (`0` = all available cores). The
+    /// deterministic parallel layer (`eda-par`) guarantees every QoR output
+    /// is bit-identical for any value of this knob.
+    pub threads: usize,
 }
 
 impl FlowConfig {
@@ -107,7 +114,7 @@ impl FlowConfig {
             synthesis: SynthesisEffort::Baseline2006,
             map_goal: MapGoal::Area,
             utilization: 0.6,
-            place: PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, threads: 1 },
+            place: PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, stripes: 1 },
             router: RouteAlgorithm::LeeBfs,
             layers: node.spec().typical_metal_layers,
             ripup_iterations: 0,
@@ -116,6 +123,7 @@ impl FlowConfig {
             clock_mhz: 200.0,
             verify_synthesis: false,
             seed: 1,
+            threads: 1,
         }
     }
 
@@ -130,7 +138,7 @@ impl FlowConfig {
             synthesis: SynthesisEffort::Advanced2016,
             map_goal: MapGoal::Area,
             utilization: 0.7,
-            place: PlaceEffort { global_iterations: 10, anneal_moves_per_cell: 40, threads: 4 },
+            place: PlaceEffort { global_iterations: 10, anneal_moves_per_cell: 40, stripes: 4 },
             router: RouteAlgorithm::LineSearch,
             layers: node.spec().typical_metal_layers,
             ripup_iterations: 6,
@@ -139,6 +147,7 @@ impl FlowConfig {
             clock_mhz: 200.0,
             verify_synthesis: true,
             seed: 1,
+            threads: 0,
         }
     }
 }
@@ -155,7 +164,10 @@ mod tests {
         assert_ne!(b.router, a.router);
         assert_eq!(b.power.clock_gating_group, 0);
         assert!(a.power.clock_gating_group > 0);
-        assert!(a.place.threads > b.place.threads);
+        assert!(a.place.stripes > b.place.stripes);
+        // 2006 ran single-threaded; 2016 uses every core (0 = auto).
+        assert_eq!(b.threads, 1);
+        assert_eq!(a.threads, 0);
     }
 
     #[test]

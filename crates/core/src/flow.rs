@@ -8,13 +8,13 @@
 
 use crate::config::FlowConfig;
 use crate::report::FlowReport;
-use eda_dft::{fault_list, fault_sim, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
+use eda_dft::{fault_list, fault_sim_threaded, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
 use eda_litho::{decompose, Layout};
 use eda_logic::{check_equivalence, synthesize, EcVerdict};
 use eda_netlist::{Netlist, NetlistStats};
 use eda_place::{anneal, place_global, plan_buffers, synthesize_clock_tree, AnnealConfig, CtsConfig, Die, GlobalConfig, ParallelConfig};
 use eda_power::{analyze, insert_clock_gating, insert_decaps, solve_ir_drop, Activity, ActivityConfig, MeshConfig, PowerConfig, PowerGrid};
-use eda_route::{route, RouteConfig, RuleDeck};
+use eda_route::{route_stats, RouteConfig, RuleDeck};
 use eda_sta::{TimingAnalysis, TimingConfig};
 use eda_tech::PatterningPlan;
 use std::collections::BTreeMap;
@@ -60,6 +60,9 @@ impl From<eda_netlist::NetlistError> for FlowError {
 /// (e.g. the input contains non-synthesizable cells).
 pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowError> {
     let mut stage_seconds: BTreeMap<String, f64> = BTreeMap::new();
+    let mut stage_threads: BTreeMap<String, usize> = BTreeMap::new();
+    let mut stage_speedup: BTreeMap<String, f64> = BTreeMap::new();
+    let threads = cfg.threads;
     let mut timer = Timer::new();
 
     // ---- synthesis ----
@@ -97,18 +100,21 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
 
     // ---- placement ----
     let die = Die::for_netlist(&netlist, cfg.utilization);
-    let mut placement = if cfg.place.threads > 1 {
-        eda_place::place_parallel(
+    let mut placement = if cfg.place.stripes > 1 {
+        let out = eda_place::place_parallel(
             &netlist,
             die,
             &ParallelConfig {
-                threads: cfg.place.threads,
+                threads,
+                stripes: cfg.place.stripes,
                 moves_per_cell: cfg.place.anneal_moves_per_cell,
                 passes: 2,
                 seed: cfg.seed,
             },
-        )
-        .placement
+        );
+        stage_threads.insert("4_place".into(), out.par_stats.threads);
+        stage_speedup.insert("4_place".into(), out.par_stats.projected_speedup());
+        out.placement
     } else {
         let mut p = place_global(
             &netlist,
@@ -158,7 +164,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
     } else {
         RuleDeck::simple(cfg.layers)
     };
-    let routed = route(
+    let (routed, route_par) = route_stats(
         &netlist,
         &placement,
         &RouteConfig {
@@ -166,8 +172,11 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             deck,
             grid_cells: 32,
             ripup_iterations: cfg.ripup_iterations,
+            threads,
         },
     );
+    stage_threads.insert("7_route".into(), route_par.threads);
+    stage_speedup.insert("7_route".into(), route_par.projected_speedup());
     stage_seconds.insert("7_route".into(), timer.lap());
 
     // ---- lithography decomposition of the critical layer ----
@@ -216,7 +225,10 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let view = CombView::new(&netlist)?;
         let faults = fault_list(&netlist);
         let pats = random_patterns(&view, 96, cfg.seed);
-        coverage = fault_sim(&netlist, &view, &faults, &pats).coverage();
+        let (sim, dft_par) = fault_sim_threaded(&netlist, &view, &faults, &pats, threads);
+        coverage = sim.coverage();
+        stage_threads.insert("10_dft".into(), dft_par.threads);
+        stage_speedup.insert("10_dft".into(), dft_par.projected_speedup());
     }
     stage_seconds.insert("10_dft".into(), timer.lap());
 
@@ -252,6 +264,8 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         hold_violations: timing.hold_violations,
         synthesis_verified,
         stage_seconds,
+        stage_threads,
+        stage_speedup,
     })
 }
 

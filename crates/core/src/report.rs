@@ -61,6 +61,12 @@ pub struct FlowReport {
     pub synthesis_verified: Option<bool>,
     /// Wall-clock seconds per stage.
     pub stage_seconds: BTreeMap<String, f64>,
+    /// Worker threads actually used per parallel stage (absent for stages
+    /// that ran serially or have no parallel kernel).
+    pub stage_threads: BTreeMap<String, usize>,
+    /// Projected speedup over a one-thread run per parallel stage, from
+    /// per-worker CPU clocks (see `eda-par`).
+    pub stage_speedup: BTreeMap<String, f64>,
 }
 
 impl FlowReport {
@@ -117,6 +123,14 @@ impl std::fmt::Display for FlowReport {
             None => "not verified",
         };
         writeln!(f, "  verify:    {verified}")?;
+        if !self.stage_threads.is_empty() {
+            let mut parts = Vec::new();
+            for (stage, &t) in &self.stage_threads {
+                let sp = self.stage_speedup.get(stage).copied().unwrap_or(1.0);
+                parts.push(format!("{stage} x{t} ({sp:.1}x)"));
+            }
+            writeln!(f, "  threads:   {}", parts.join(", "))?;
+        }
         write!(f, "  runtime:   {:.2} s, score {:.1}", self.total_seconds(), self.score())
     }
 }
@@ -154,6 +168,8 @@ mod tests {
             hold_violations: 0,
             synthesis_verified: Some(true),
             stage_seconds: BTreeMap::new(),
+            stage_threads: BTreeMap::new(),
+            stage_speedup: BTreeMap::new(),
         }
     }
 

@@ -159,6 +159,51 @@ impl FaultSimOutcome {
     }
 }
 
+/// One packed 64-pattern block with its good-circuit response.
+struct PatternBlock {
+    packed: Vec<u64>,
+    lanes_mask: u64,
+    good: Vec<u64>,
+}
+
+/// Packs `patterns` into 64-lane blocks and simulates the good circuit once
+/// per block. The blocks are shared read-only across fault-sim workers.
+fn pattern_blocks(netlist: &Netlist, view: &CombView, patterns: &[Vec<bool>]) -> Vec<PatternBlock> {
+    patterns
+        .chunks(64)
+        .map(|chunk| {
+            let mut packed = vec![0u64; view.inputs.len()];
+            for (lane, pat) in chunk.iter().enumerate() {
+                for (i, &b) in pat.iter().enumerate() {
+                    if b {
+                        packed[i] |= 1 << lane;
+                    }
+                }
+            }
+            let lanes_mask: u64 =
+                if chunk.len() == 64 { !0 } else { (1u64 << chunk.len()) - 1 };
+            let good = view.eval64(netlist, &packed, None);
+            PatternBlock { packed, lanes_mask, good }
+        })
+        .collect()
+}
+
+/// Whether `fault` is detected by any of the pattern blocks (early exit on
+/// first detection — the bit-parallel analogue of fault dropping).
+fn detects(netlist: &Netlist, view: &CombView, fault: &Fault, blocks: &[PatternBlock]) -> bool {
+    let forced = if fault.stuck_at { !0u64 } else { 0u64 };
+    blocks.iter().any(|blk| {
+        let bad = view.eval64(netlist, &blk.packed, Some((fault.net, forced)));
+        let diff = blk
+            .good
+            .iter()
+            .zip(&bad)
+            .fold(0u64, |acc, (&g, &b)| acc | (g ^ b))
+            & blk.lanes_mask;
+        diff != 0
+    })
+}
+
 /// Bit-parallel fault simulation: each test pattern occupies a lane; faults
 /// are dropped once detected.
 ///
@@ -170,37 +215,26 @@ pub fn fault_sim(
     faults: &[Fault],
     patterns: &[Vec<bool>],
 ) -> FaultSimOutcome {
-    let mut detected = vec![false; faults.len()];
-    for chunk in patterns.chunks(64) {
-        // Pack the chunk into lanes.
-        let mut packed = vec![0u64; view.inputs.len()];
-        for (lane, pat) in chunk.iter().enumerate() {
-            for (i, &b) in pat.iter().enumerate() {
-                if b {
-                    packed[i] |= 1 << lane;
-                }
-            }
-        }
-        let lanes_mask: u64 = if chunk.len() == 64 { !0 } else { (1u64 << chunk.len()) - 1 };
-        let good = view.eval64(netlist, &packed, None);
-        for (fi, fault) in faults.iter().enumerate() {
-            if detected[fi] {
-                continue;
-            }
-            let forced = if fault.stuck_at { !0u64 } else { 0u64 };
-            let bad = view.eval64(netlist, &packed, Some((fault.net, forced)));
-            let diff = good
-                .iter()
-                .zip(&bad)
-                .fold(0u64, |acc, (&g, &b)| acc | (g ^ b))
-                & lanes_mask;
-            if diff != 0 {
-                detected[fi] = true;
-            }
-        }
-    }
+    fault_sim_threaded(netlist, view, faults, patterns, 1).0
+}
+
+/// [`fault_sim`] with the collapsed fault list partitioned across `threads`
+/// workers (`0` = all cores). Pattern blocks and good-circuit responses are
+/// computed once and shared; each fault is an independent detection query, so
+/// the `detected` map is **bit-identical for any thread count** — detections
+/// merge as an order-independent union reassembled in fault-list order.
+pub fn fault_sim_threaded(
+    netlist: &Netlist,
+    view: &CombView,
+    faults: &[Fault],
+    patterns: &[Vec<bool>],
+    threads: usize,
+) -> (FaultSimOutcome, eda_par::ParStats) {
+    let blocks = pattern_blocks(netlist, view, patterns);
+    let (detected, stats) =
+        eda_par::par_map_stats(threads, faults, |_, f| detects(netlist, view, f, &blocks));
     let num_detected = detected.iter().filter(|&&d| d).count();
-    FaultSimOutcome { detected, num_detected, total: faults.len() }
+    (FaultSimOutcome { detected, num_detected, total: faults.len() }, stats)
 }
 
 /// Generates `count` seeded random patterns for a view.
@@ -269,6 +303,26 @@ mod tests {
         let many = fault_sim(&n, &view, &faults, &random_patterns(&view, 128, 4));
         assert!(many.num_detected >= few.num_detected);
         assert!(many.coverage() > 0.5);
+    }
+
+    #[test]
+    fn threaded_fault_sim_matches_serial_exactly() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 150,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let view = CombView::new(&n).unwrap();
+        let faults = fault_list(&n);
+        let pats = random_patterns(&view, 96, 3);
+        let serial = fault_sim(&n, &view, &faults, &pats);
+        for threads in [2, 4, 8] {
+            let (par, stats) = fault_sim_threaded(&n, &view, &faults, &pats, threads);
+            assert_eq!(par.detected, serial.detected, "threads={threads}");
+            assert_eq!(par.num_detected, serial.num_detected);
+            assert!(stats.threads >= 1);
+        }
     }
 
     #[test]

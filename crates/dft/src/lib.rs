@@ -34,5 +34,7 @@ pub use collapse::{collapse_faults, CollapseOutcome};
 pub use compress::{
     bypass_fault_sim, compact, compressed_fault_sim, spread, CompressionOutcome, TestAccess,
 };
-pub use faults::{fault_list, fault_sim, random_patterns, CombView, Fault, FaultSimOutcome};
+pub use faults::{
+    fault_list, fault_sim, fault_sim_threaded, random_patterns, CombView, Fault, FaultSimOutcome,
+};
 pub use scan::{insert_scan, reorder_chains, scan_wirelength, ScanOutcome};

@@ -43,8 +43,33 @@ impl OpticalModel {
         self.threshold_image(&image)
     }
 
+    /// [`print`](Self::print) with the convolution spread over `threads`
+    /// workers (`0` = all cores).
+    pub fn print_threaded(
+        &self,
+        mask: &[(f64, f64)],
+        extent_nm: f64,
+        threads: usize,
+    ) -> (Vec<(f64, f64)>, eda_par::ParStats) {
+        let (image, stats) = self.image_threaded(mask, extent_nm, threads);
+        (self.threshold_image(&image), stats)
+    }
+
     /// The sampled aerial image for a mask.
     pub fn image(&self, mask: &[(f64, f64)], extent_nm: f64) -> Vec<f64> {
+        self.image_threaded(mask, extent_nm, 1).0
+    }
+
+    /// [`image`](Self::image) with the sample axis chunked across `threads`
+    /// workers. Each output sample is an independent kernel dot product over
+    /// the shared rasterized mask, and chunks reassemble in sample order, so
+    /// the image is bit-identical for any thread count.
+    pub fn image_threaded(
+        &self,
+        mask: &[(f64, f64)],
+        extent_nm: f64,
+        threads: usize,
+    ) -> (Vec<f64>, eda_par::ParStats) {
         let n = (extent_nm / self.step_nm).ceil() as usize + 1;
         let sigma = self.sigma_nm();
         let half = (4.0 * sigma / self.step_nm).ceil() as i64;
@@ -70,19 +95,27 @@ impl OpticalModel {
                 *s = 1.0;
             }
         }
-        // Convolve.
-        let mut img = vec![0.0f64; n];
-        for i in 0..n {
-            let mut acc = 0.0;
-            for (ki, k) in (-half..=half).enumerate() {
-                let j = i as i64 + k;
-                if j >= 0 && (j as usize) < n {
-                    acc += m[j as usize] * kernel[ki];
-                }
-            }
-            img[i] = acc;
+        // Convolve, chunked over the sample axis.
+        let (chunks, stats) =
+            eda_par::par_chunks_stats(threads, n, eda_par::default_chunk(n), |range| {
+                range
+                    .map(|i| {
+                        let mut acc = 0.0;
+                        for (ki, k) in (-half..=half).enumerate() {
+                            let j = i as i64 + k;
+                            if j >= 0 && (j as usize) < n {
+                                acc += m[j as usize] * kernel[ki];
+                            }
+                        }
+                        acc
+                    })
+                    .collect::<Vec<f64>>()
+            });
+        let mut img = Vec::with_capacity(n);
+        for c in chunks {
+            img.extend(c);
         }
-        img
+        (img, stats)
     }
 
     /// Thresholds a sampled image into printed intervals.
@@ -135,8 +168,19 @@ impl OpticalModel {
 /// nm. Each target edge is matched to the nearest printed edge; unmatched
 /// targets get an error equal to half the target width (missing feature).
 pub fn edge_placement_errors(target: &[(f64, f64)], printed: &[(f64, f64)]) -> Vec<f64> {
-    let mut errors = Vec::with_capacity(target.len() * 2);
-    for &(t0, t1) in target {
+    edge_placement_errors_threaded(target, printed, 1)
+}
+
+/// [`edge_placement_errors`] with the per-fragment evaluation partitioned
+/// across `threads` workers. Each fragment's two edge errors depend only on
+/// that fragment and the shared printed contours, and the flattened result
+/// keeps fragment order, so the field is bit-identical for any thread count.
+pub fn edge_placement_errors_threaded(
+    target: &[(f64, f64)],
+    printed: &[(f64, f64)],
+    threads: usize,
+) -> Vec<f64> {
+    let per_fragment = eda_par::par_map(threads, target, |_, &(t0, t1)| {
         let miss = (t1 - t0) / 2.0;
         let e0 = printed
             .iter()
@@ -146,8 +190,14 @@ pub fn edge_placement_errors(target: &[(f64, f64)], printed: &[(f64, f64)]) -> V
             .iter()
             .map(|&(_, p1)| (p1 - t1).abs())
             .fold(f64::INFINITY, f64::min);
-        errors.push(if e0.is_finite() { e0.min(miss) } else { miss });
-        errors.push(if e1.is_finite() { e1.min(miss) } else { miss });
+        [
+            if e0.is_finite() { e0.min(miss) } else { miss },
+            if e1.is_finite() { e1.min(miss) } else { miss },
+        ]
+    });
+    let mut errors = Vec::with_capacity(target.len() * 2);
+    for pair in per_fragment {
+        errors.extend(pair);
     }
     errors
 }
@@ -214,6 +264,34 @@ mod tests {
         let target = vec![(100.0, 160.0)];
         let epe = edge_placement_errors(&target, &[]);
         assert_eq!(epe, vec![30.0, 30.0]);
+    }
+
+    #[test]
+    fn threaded_image_is_bit_identical() {
+        let m = OpticalModel::default();
+        let mask: Vec<(f64, f64)> = (0..20)
+            .map(|i| {
+                let x = 100.0 + i as f64 * 130.0;
+                (x, x + 65.0)
+            })
+            .collect();
+        let serial = m.image(&mask, 3000.0);
+        for threads in [2, 4, 8] {
+            let (par, _) = m.image_threaded(&mask, 3000.0, threads);
+            assert_eq!(par.len(), serial.len());
+            for (i, (a, b)) in serial.iter().zip(&par).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i}, threads={threads}");
+            }
+        }
+        let printed = m.print(&mask, 3000.0);
+        let epe_serial = edge_placement_errors(&mask, &printed);
+        for threads in [2, 8] {
+            let epe_par = edge_placement_errors_threaded(&mask, &printed, threads);
+            assert_eq!(epe_serial.len(), epe_par.len());
+            for (a, b) in epe_serial.iter().zip(&epe_par) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! per-edge bias), then model-based iterations refine each edge
 //! independently.
 
-use crate::aerial::{edge_placement_errors, rms, OpticalModel};
+use crate::aerial::{edge_placement_errors_threaded, rms, OpticalModel};
 
 /// OPC configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -17,11 +17,15 @@ pub struct OpcConfig {
     pub gain: f64,
     /// Rule-based pre-bias per edge in nm (applied outward).
     pub prebias_nm: f64,
+    /// Worker threads for the aerial-image convolution and per-fragment
+    /// EPE/correction loops (`0` = all cores). Results are bit-identical for
+    /// any value.
+    pub threads: usize,
 }
 
 impl Default for OpcConfig {
     fn default() -> Self {
-        OpcConfig { iterations: 8, gain: 0.6, prebias_nm: 2.0 }
+        OpcConfig { iterations: 8, gain: 0.6, prebias_nm: 2.0, threads: 1 }
     }
 }
 
@@ -53,23 +57,40 @@ pub fn run_opc(
     extent_nm: f64,
     cfg: &OpcConfig,
 ) -> OpcOutcome {
+    run_opc_stats(model, target, extent_nm, cfg).0
+}
+
+/// [`run_opc`] returning the accumulated parallel-execution record of every
+/// convolution and fragment dispatch (for scaling reports).
+pub fn run_opc_stats(
+    model: &OpticalModel,
+    target: &[(f64, f64)],
+    extent_nm: f64,
+    cfg: &OpcConfig,
+) -> (OpcOutcome, eda_par::ParStats) {
     assert!(!target.is_empty(), "OPC needs a target pattern");
     assert!(cfg.gain > 0.0 && cfg.gain <= 1.0, "gain must be in (0, 1]");
+    let mut stats = eda_par::ParStats::empty();
     // Rule-based pre-bias: expand every feature.
     let mut mask: Vec<(f64, f64)> = target
         .iter()
         .map(|&(a, b)| (a - cfg.prebias_nm, b + cfg.prebias_nm))
         .collect();
     let mut history = Vec::with_capacity(cfg.iterations + 1);
-    let measure = |mask: &[(f64, f64)]| {
-        let printed = model.print(mask, extent_nm);
-        rms(&edge_placement_errors(target, &printed))
+    let measure = |mask: &[(f64, f64)], stats: &mut eda_par::ParStats| {
+        let (printed, s) = model.print_threaded(mask, extent_nm, cfg.threads);
+        stats.absorb(&s);
+        rms(&edge_placement_errors_threaded(target, &printed, cfg.threads))
     };
-    history.push(measure(&mask));
+    history.push(measure(&mask, &mut stats));
     for _ in 0..cfg.iterations {
-        let printed = model.print(&mask, extent_nm);
-        // Per-edge correction: move each mask edge opposite its EPE.
-        for (fi, &(t0, t1)) in target.iter().enumerate() {
+        let (printed, s) = model.print_threaded(&mask, extent_nm, cfg.threads);
+        stats.absorb(&s);
+        // Per-edge correction: move each mask edge opposite its EPE. Each
+        // fragment reads only its own mask interval plus the shared printed
+        // contours, so fragments are independent and the corrected mask is
+        // bit-identical for any thread count.
+        mask = eda_par::par_map(cfg.threads, target, |fi, &(t0, t1)| {
             // Printed edge nearest each target edge.
             let p0 = printed
                 .iter()
@@ -100,11 +121,11 @@ pub fn run_opc(
                 a = c - 1.0;
                 b = c + 1.0;
             }
-            mask[fi] = (a, b);
-        }
-        history.push(measure(&mask));
+            (a, b)
+        });
+        history.push(measure(&mask, &mut stats));
     }
-    OpcOutcome { mask, rms_epe_history: history }
+    (OpcOutcome { mask, rms_epe_history: history }, stats)
 }
 
 #[cfg(test)]
@@ -165,6 +186,26 @@ mod tests {
         let out = run_opc(&model, &target, extent, &OpcConfig { iterations: 12, ..Default::default() });
         for &(a, b) in &out.mask {
             assert!(b - a >= 2.0, "mask feature collapsed: ({a}, {b})");
+        }
+    }
+
+    #[test]
+    fn threaded_opc_is_bit_identical() {
+        let model = OpticalModel::default();
+        let (target, extent) = dense_target(110.0, 10, 300.0);
+        let serial = run_opc(&model, &target, extent, &OpcConfig::default());
+        for threads in [2, 4, 8] {
+            let cfg = OpcConfig { threads, ..Default::default() };
+            let (par, stats) = run_opc_stats(&model, &target, extent, &cfg);
+            assert_eq!(par.mask.len(), serial.mask.len());
+            for ((a0, a1), (b0, b1)) in serial.mask.iter().zip(&par.mask) {
+                assert_eq!(a0.to_bits(), b0.to_bits(), "threads={threads}");
+                assert_eq!(a1.to_bits(), b1.to_bits(), "threads={threads}");
+            }
+            for (a, b) in serial.rms_epe_history.iter().zip(&par.rms_epe_history) {
+                assert_eq!(a.to_bits(), b.to_bits(), "threads={threads}");
+            }
+            assert!(stats.total_cpu_s() >= 0.0);
         }
     }
 

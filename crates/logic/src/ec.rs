@@ -226,11 +226,11 @@ pub fn check_equivalence(
     match (fa, fb) {
         (Ok(fa), Ok(fb)) => {
             let checks = a.primary_outputs().len();
-            for i in 0..checks + a_flops {
+            for (i, &x) in fa.iter().enumerate().take(checks + a_flops) {
                 // Map: a's output i ↔ b's output i (extra b outputs sit after
                 // a's outputs per construction order) — align flop functions.
                 let bi = if i < checks { i } else { b.primary_outputs().len() + (i - checks) };
-                let (x, y) = (fa[i], fb[bi]);
+                let y = fb[bi];
                 if x != y {
                     let diff = match m.xor(x, y) {
                         Ok(d) => d,
@@ -266,9 +266,9 @@ fn simulate_fallback(
         let mut state = vec![0u64; a.flops().len()];
         for lane in 0..64.min(total - base) {
             let bits = base + lane;
-            for v in 0..shared {
+            for (v, pi) in a_pis.iter_mut().enumerate() {
                 if bits >> v & 1 == 1 {
-                    a_pis[v] |= 1 << lane;
+                    *pi |= 1 << lane;
                 }
             }
             for (k, s) in state.iter_mut().enumerate() {

@@ -81,7 +81,7 @@ pub fn npn_canon(tt: &TruthTable) -> NpnCanon {
                 let candidate = if out_neg { f.not() } else { f };
                 let better = best
                     .as_ref()
-                    .map_or(true, |b| candidate.bits() < b.canon.bits());
+                    .is_none_or(|b| candidate.bits() < b.canon.bits());
                 if better {
                     best = Some(NpnCanon {
                         canon: candidate,

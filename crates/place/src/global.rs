@@ -72,8 +72,7 @@ pub fn place_global(netlist: &Netlist, die: Die, cfg: &GlobalConfig) -> Placemen
                 s.2 += 1;
             }
         }
-        for i in 0..n {
-            let (sx, sy, k) = sum[i];
+        for (i, &(sx, sy, k)) in sum.iter().enumerate() {
             if k > 0 {
                 placement.set_position(
                     InstId::from_index(i),
@@ -101,9 +100,9 @@ fn spread(placement: &mut Placement, netlist: &Netlist, rng: &mut StdRng) {
         let by = ((p.y / bh) as usize).min(bins - 1);
         bin_members[by * bins + bx].push(i);
     }
-    for b in 0..bins * bins {
-        while bin_members[b].len() > cap {
-            let i = bin_members[b].pop().expect("len > cap ≥ 1");
+    for (b, members) in bin_members.iter_mut().enumerate() {
+        while members.len() > cap {
+            let i = members.pop().expect("len > cap ≥ 1");
             // Jitter the cell to a random neighbouring bin.
             let bx = b % bins;
             let by = b / bins;

@@ -4,32 +4,32 @@
 //! sitting in the farms, engineers can today run a place-and-route job for a
 //! 5-6M instance sub-chip with a throughput approaching the 1M instance per
 //! day."* This module reproduces the shape of that claim: the die is split
-//! into vertical stripes, each stripe's cells are annealed on its own thread
-//! against a snapshot of the rest of the design, and throughput scales with
-//! the thread count (claim C9).
+//! into stripes, each stripe's cells are annealed against a snapshot of the
+//! rest of the design, and throughput scales with the worker count
+//! (claim C9).
+//!
+//! The stripe **partition** (how many stripes, which cells, which seeds) is
+//! set by [`ParallelConfig::stripes`] and never by the thread count, and the
+//! stripe dispatch runs through [`eda_par`], so the final placement is
+//! bit-identical for any [`ParallelConfig::threads`] value — workers only
+//! change how fast the same stripes are annealed.
 
 use crate::anneal::{anneal, AnnealConfig, Region};
 use crate::floorplan::Die;
 use crate::global::{place_global, GlobalConfig};
+use crate::floorplan::Point;
 use crate::placement::Placement;
 use eda_netlist::{InstId, Netlist};
 use std::time::Instant;
 
-/// CPU time consumed by the calling thread, in seconds.
-fn thread_cpu_seconds() -> f64 {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    // SAFETY: clock_gettime with a valid clock id and out-pointer.
-    unsafe {
-        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
-    }
-    ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
-}
-
 /// Configuration for [`place_parallel`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParallelConfig {
-    /// Worker threads.
+    /// Worker threads (`0` = all available cores). Never affects the result.
     pub threads: usize,
+    /// Stripe partitions per pass. This — not `threads` — determines the
+    /// refinement result; workers are clamped to the stripe count.
+    pub stripes: usize,
     /// Annealing moves per cell within each stripe pass.
     pub moves_per_cell: usize,
     /// Stripe passes (alternating vertical/horizontal).
@@ -40,7 +40,13 @@ pub struct ParallelConfig {
 
 impl Default for ParallelConfig {
     fn default() -> Self {
-        ParallelConfig { threads: 4, moves_per_cell: 30, passes: 2, seed: 1 }
+        ParallelConfig {
+            threads: eda_par::available_threads(),
+            stripes: 4,
+            moves_per_cell: 30,
+            passes: 2,
+            seed: 1,
+        }
     }
 }
 
@@ -63,6 +69,8 @@ pub struct ParallelOutcome {
     pub projected_refine_seconds: f64,
     /// Instances refined per second of wall clock.
     pub instances_per_second: f64,
+    /// Accumulated parallel-execution record across all stripe dispatches.
+    pub par_stats: eda_par::ParStats,
 }
 
 impl ParallelOutcome {
@@ -81,73 +89,74 @@ impl ParallelOutcome {
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0`.
+/// Panics if `stripes == 0`.
 pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> ParallelOutcome {
-    assert!(cfg.threads > 0, "at least one thread required");
+    assert!(cfg.stripes > 0, "at least one stripe required");
     let mut placement = place_global(netlist, die, &GlobalConfig { iterations: 6, seed: cfg.seed });
     let hpwl_global = placement.total_hpwl(netlist);
     let n = netlist.num_instances();
 
     let start = Instant::now();
     let mut projected = 0.0f64;
+    let mut par_stats = eda_par::ParStats::empty();
     for pass in 0..cfg.passes {
         // Partition cells into stripes by x (even pass) or y (odd pass).
+        // The stripe count is input/config-determined — never thread-count-
+        // determined — so the refinement result is reproducible on any host.
         let lanes = if pass % 2 == 0 { die.cols } else { die.rows };
-        let threads = cfg.threads.min(lanes);
-        let mut stripes: Vec<Vec<InstId>> = vec![Vec::new(); threads];
+        let stripes = cfg.stripes.min(lanes).max(1);
+        let mut cells_of: Vec<Vec<InstId>> = vec![Vec::new(); stripes];
         for i in 0..n {
             let id = InstId::from_index(i);
             let (c, r) = die.snap(placement.position(id));
             let lane = if pass % 2 == 0 { c } else { r };
-            let s = (lane * threads / lanes).min(threads - 1);
-            stripes[s].push(id);
+            let s = (lane * stripes / lanes).min(stripes - 1);
+            cells_of[s].push(id);
         }
         let region_of = |s: usize| -> Region {
-            let lo = s * lanes / threads;
-            let hi = ((s + 1) * lanes / threads).max(lo + 1);
+            let lo = s * lanes / stripes;
+            let hi = ((s + 1) * lanes / stripes).max(lo + 1);
             if pass % 2 == 0 {
                 Region { c0: lo, c1: hi, r0: 0, r1: die.rows }
             } else {
                 Region { c0: 0, c1: die.cols, r0: lo, r1: hi }
             }
         };
-        // Each thread anneals its stripe on a private copy; the owner's cell
+        let stripe_jobs: Vec<(Vec<InstId>, Region, u64)> = cells_of
+            .into_iter()
+            .enumerate()
+            .map(|(s, cells)| {
+                (cells, region_of(s), cfg.seed ^ (s as u64 + 1) ^ ((pass as u64) << 8))
+            })
+            .collect();
+        // Each worker anneals a stripe on a private copy; the stripe's cell
         // positions are merged back afterwards (disjoint sets, no conflicts).
-        let results: Vec<(Vec<InstId>, Placement, f64)> = std::thread::scope(|scope| {
+        let workers = eda_par::resolve_threads(cfg.threads).min(stripe_jobs.len());
+        let (moved, stats): (Vec<Vec<(InstId, Point)>>, eda_par::ParStats) = {
             let placement_ref = &placement;
-            let handles: Vec<_> = stripes
-                .into_iter()
-                .enumerate()
-                .map(|(t, cells)| {
-                    let region = region_of(t);
-                    scope.spawn(move || {
-                        let busy = thread_cpu_seconds();
-                        let mut local = placement_ref.clone();
-                        anneal(
-                            netlist,
-                            &mut local,
-                            &AnnealConfig {
-                                moves_per_cell: cfg.moves_per_cell,
-                                seed: cfg.seed ^ (t as u64 + 1) ^ ((pass as u64) << 8),
-                                ..Default::default()
-                            },
-                            Some(&cells),
-                            Some(region),
-                        );
-                        (cells, local, thread_cpu_seconds() - busy)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-        });
-        let mut pass_max = 0.0f64;
-        for (cells, local, busy) in results {
-            pass_max = pass_max.max(busy);
-            for id in cells {
-                placement.set_position(id, local.position(id));
+            eda_par::par_map_stats(workers, &stripe_jobs, |_, (cells, region, seed)| {
+                let mut local = placement_ref.clone();
+                anneal(
+                    netlist,
+                    &mut local,
+                    &AnnealConfig {
+                        moves_per_cell: cfg.moves_per_cell,
+                        seed: *seed,
+                        ..Default::default()
+                    },
+                    Some(cells),
+                    Some(*region),
+                );
+                cells.iter().map(|&id| (id, local.position(id))).collect()
+            })
+        };
+        projected += stats.projected_wall_s();
+        par_stats.absorb(&stats);
+        for stripe in moved {
+            for (id, p) in stripe {
+                placement.set_position(id, p);
             }
         }
-        projected += pass_max;
     }
     let refine_seconds = start.elapsed().as_secs_f64().max(1e-9);
     let refined = (n * cfg.passes) as f64;
@@ -158,6 +167,7 @@ pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> Para
         refine_seconds,
         projected_refine_seconds: projected.max(1e-9),
         instances_per_second: refined / refine_seconds,
+        par_stats,
     }
 }
 
@@ -203,10 +213,47 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_panics() {
+    fn default_threads_track_available_cores() {
+        let d = ParallelConfig::default();
+        assert_eq!(d.threads, eda_par::available_threads());
+        assert!(d.stripes >= 1);
+    }
+
+    #[test]
+    fn placement_is_identical_for_any_thread_count() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 300,
+            seed: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let die = Die::for_netlist(&n, 0.7);
+        let mk = |threads| {
+            place_parallel(
+                &n,
+                die,
+                &ParallelConfig { threads, stripes: 4, moves_per_cell: 10, passes: 2, seed: 9 },
+            )
+        };
+        let one = mk(1);
+        for threads in [2, 8] {
+            let par = mk(threads);
+            assert_eq!(one.hpwl_final.to_bits(), par.hpwl_final.to_bits(), "threads={threads}");
+            for i in 0..n.num_instances() {
+                let id = InstId::from_index(i);
+                let a = one.placement.position(id);
+                let b = par.placement.position(id);
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stripe")]
+    fn zero_stripes_panics() {
         let n = generate::parity_tree(8).unwrap();
         let die = Die::for_netlist(&n, 0.7);
-        let _ = place_parallel(&n, die, &ParallelConfig { threads: 0, ..Default::default() });
+        let _ = place_parallel(&n, die, &ParallelConfig { stripes: 0, ..Default::default() });
     }
 }

@@ -32,5 +32,5 @@ pub mod rules;
 pub use grid::{GCell, RoutingGrid};
 pub use linesearch::mikami_tabuchi;
 pub use maze::{astar, count_bends, lee_bfs, Path, SearchStats};
-pub use router::{layer_sweep, route, RouteAlgorithm, RouteConfig, RouteOutcome};
+pub use router::{layer_sweep, route, route_stats, RouteAlgorithm, RouteConfig, RouteOutcome};
 pub use rules::RuleDeck;

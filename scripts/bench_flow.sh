@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Thread-scaling benchmark driver.
+#
+# Runs the Criterion benches for mapping/routing/atpg/opc at 1 and N worker
+# threads and emits BENCH_parallel.json (kernel -> {serial_s, parallel_s,
+# speedup}). Times are projected wall seconds derived from per-worker CPU
+# clocks (see crates/par), so the numbers reflect a host with one dedicated
+# core per worker even when this machine has fewer cores. Each bench emits
+# its 1-thread and N-thread rows back-to-back in one process, so the ratio
+# is not polluted by machine drift between separate invocations.
+#
+# Usage: scripts/bench_flow.sh [N]    worker threads for the parallel pass
+#                                     (default $EDA_BENCH_THREADS or 4)
+#
+# Exits non-zero if, at N >= 4 workers, fault-sim or OPC fall below the 2x
+# combined-speedup floor this PR established.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-${EDA_BENCH_THREADS:-4}}"
+OUT="BENCH_parallel.json"
+BENCHES=(--bench mapping --bench routing --bench atpg --bench opc)
+
+run() {
+    # The "_par/" filter skips the wall-clock benches; the scaling rows print
+    # one "BENCHLINE <kernel>_par/<threads> <seconds>" line each.
+    EDA_BENCH_THREADS="$1" cargo bench -q -p eda-bench "${BENCHES[@]}" -- "_par/" \
+        | grep '^BENCHLINE .*_par/'
+}
+
+echo "bench_flow: scaling pass (1 and $N workers per bench)" >&2
+LINES="$(run "$N")"
+
+printf '%s\n' "$LINES" | awk -v n="$N" '
+    /^BENCHLINE/ {
+        split($2, a, "_par/")
+        kernel = a[1]; threads = a[2] + 0; secs = $3 + 0
+        name = (kernel == "fault_sim") ? "fault-sim" \
+             : (kernel == "map")       ? "mapping"   : kernel
+        if (!(name in seen)) { seen[name] = 1; names[count++] = name }
+        if (threads == 1) serial[name] = secs
+        else              par[name] = secs
+    }
+    END {
+        printf "{\n"
+        for (i = 0; i < count; i++) {
+            name = names[i]; s = serial[name]
+            p = (name in par) ? par[name] : s   # N == 1: only serial rows exist
+            sp = (p > 0) ? s / p : 0
+            printf "  \"%s\": {\"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.2f}%s\n", \
+                name, s, p, sp, (i < count - 1) ? "," : ""
+            printf "bench_flow: %-10s %.2fx at %d workers\n", name, sp, n > "/dev/stderr"
+        }
+        printf "}\n"
+        fail = 0
+        if (n >= 4) {
+            if (serial["fault-sim"] / par["fault-sim"] < 2.0) {
+                print "bench_flow: FAIL fault-sim speedup < 2x" > "/dev/stderr"; fail = 1
+            }
+            if (serial["opc"] / par["opc"] < 2.0) {
+                print "bench_flow: FAIL opc speedup < 2x" > "/dev/stderr"; fail = 1
+            }
+        }
+        exit fail
+    }
+' > "$OUT"
+
+echo "bench_flow: wrote $OUT" >&2
+cat "$OUT"

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus lint: the checks every PR must keep green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "check: tier-1 + clippy green"

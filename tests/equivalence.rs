@@ -17,8 +17,8 @@ fn equivalent(a: &Netlist, b: &Netlist, extra_high: usize, extra_low: usize) {
             .map(|i| 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1 + round * 131))
             .collect();
         let mut bpats = pats.clone();
-        bpats.extend(std::iter::repeat(!0u64).take(extra_high));
-        bpats.extend(std::iter::repeat(0u64).take(extra_low));
+        bpats.extend(std::iter::repeat_n(!0u64, extra_high));
+        bpats.extend(std::iter::repeat_n(0u64, extra_low));
         let (oa, sa) = a.simulate64(&pats, &vec![0; a.flops().len()]);
         let (ob, sb) = b.simulate64(&bpats, &vec![0; b.flops().len()]);
         assert_eq!(oa[..], ob[..oa.len()], "outputs diverge on round {round}");

@@ -1,0 +1,246 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! API subset the workspace's benches use — `Criterion`, benchmark groups,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple adaptive wall-clock timer.
+//!
+//! Besides the human-readable line, every benchmark prints one
+//! machine-readable line
+//!
+//! ```text
+//! BENCHLINE <group>/<id> <seconds-per-iteration>
+//! ```
+//!
+//! which `scripts/bench_flow.sh` parses to build `BENCH_parallel.json`.
+//!
+//! Filters passed on the command line (`cargo bench -- <substr>`) select
+//! benchmarks by substring, as upstream does; `--bench`-style flags cargo
+//! injects are ignored.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Measurement campaign: holds the CLI filter.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Criterion { filter, sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let keep = self.matches(id);
+        let n = self.sample_size;
+        if keep {
+            run_one(id, n, f);
+        }
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { crit: self, name: name.to_string(), sample_size: None }
+    }
+
+    /// Runs registered targets; kept for upstream API parity.
+    pub fn final_summary(&mut self) {}
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    crit: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Caps the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Records the per-iteration workload size; accepted for API parity.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().0);
+        if self.crit.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.crit.sample_size);
+            run_one(&full, n, f);
+        }
+        self
+    }
+
+    /// Benchmarks `f` under `group/id` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// Workload-size annotation; accepted for API parity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures to time the hot loop.
+pub struct Bencher {
+    samples: Vec<f64>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, collecting up to the configured number of samples but
+    /// stopping early once enough wall time has been spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed region.
+        black_box(f());
+        let budget = 0.6;
+        let start = Instant::now();
+        for _ in 0..self.max_samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed().as_secs_f64());
+            if start.elapsed().as_secs_f64() > budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, max_samples: usize, mut f: F) {
+    let mut b = Bencher { samples: Vec::new(), max_samples: max_samples.max(1) };
+    f(&mut b);
+    if b.samples.is_empty() {
+        // The closure never called iter(); time nothing.
+        println!("{id:<50} (no measurement)");
+        return;
+    }
+    b.samples.sort_by(|x, y| x.partial_cmp(y).expect("finite sample"));
+    let median = b.samples[b.samples.len() / 2];
+    let mean: f64 = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+    println!(
+        "{id:<50} median {:>12} mean {:>12} ({} samples)",
+        format_seconds(median),
+        format_seconds(mean),
+        b.samples.len()
+    );
+    println!("BENCHLINE {id} {median:.9e}");
+}
+
+fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group-runner function over benchmark target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+        assert_eq!(BenchmarkId::from_parameter("x").0, "x");
+    }
+
+    #[test]
+    fn harness_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("work", |b| {
+            b.iter(|| {
+                runs += 1;
+                std::hint::black_box((0..1000u64).sum::<u64>())
+            })
+        });
+        group.finish();
+        assert!(runs >= 2, "warm-up plus at least one sample, got {runs}");
+    }
+}

@@ -1,0 +1,53 @@
+//! Offline stand-in for the `libc` crate: just the `clock_gettime` surface
+//! the workspace's per-thread CPU clocks need, declared against the system
+//! C library (Linux x86-64 ABI).
+
+#![allow(non_camel_case_types)]
+
+/// Clock identifier.
+pub type clockid_t = i32;
+/// Seconds component of a timespec.
+pub type time_t = i64;
+/// Nanoseconds component of a timespec (C `long`).
+pub type c_long = i64;
+
+/// `struct timespec` as the kernel expects it.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: time_t,
+    /// Nanoseconds in `[0, 1e9)`.
+    pub tv_nsec: c_long,
+}
+
+/// Per-thread CPU-time clock (Linux).
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+
+extern "C" {
+    /// POSIX `clock_gettime(2)`.
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> i32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_clock_advances() {
+        let read = || {
+            let mut ts = timespec { tv_sec: 0, tv_nsec: 0 };
+            // SAFETY: valid clock id and out-pointer.
+            let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+            assert_eq!(rc, 0);
+            ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
+        };
+        let t0 = read();
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_add(i).rotate_left(7);
+        }
+        assert!(std::hint::black_box(acc) != 1);
+        assert!(read() >= t0);
+    }
+}
