@@ -5,6 +5,7 @@
 //! cargo run --release -p eda-bench --bin experiments            # all claims
 //! cargo run --release -p eda-bench --bin experiments c3 c5 c9   # a subset
 //! cargo run --release -p eda-bench --bin experiments --threads 4 c9
+//! cargo run --release -p eda-bench --bin experiments --inject smoke
 //! ```
 //!
 //! `--threads N` sets the worker count for every parallel kernel (`0` = all
@@ -12,8 +13,19 @@
 //! deterministic parallel layer (`eda-par`) guarantees it. When more than one
 //! claim is selected, the independent claims themselves run concurrently as
 //! child processes and their outputs are printed in claim order.
+//!
+//! `--inject SPEC` runs the supervised flow under a deterministic fault plan
+//! instead of the claims, prints each stage's typed outcome, and checks the
+//! faulted run is reproducible (`smoke`, `random:N`, or a comma list of
+//! `stage=fail|timeout|degrade[@invocation]` — see `eda_core::FaultPlan`).
+//!
+//! Any failure exits nonzero with a one-line message on stderr.
 
-use eda_core::{run_flow, Arm, FlowConfig, FlowTuner};
+// The CLI reports failures as readable messages + nonzero exit, never a
+// panic: everything fallible routes through `CliError`.
+#![deny(clippy::unwrap_used)]
+
+use eda_core::{run_flow, Arm, FaultPlan, FlowConfig, FlowTuner};
 use eda_dft::{
     bypass_fault_sim, compressed_fault_sim, fault_list, insert_scan, reorder_chains, run_atpg,
     scan_wirelength, AtpgConfig, CombView, TestAccess,
@@ -36,6 +48,19 @@ use eda_tech::{CostModel, DesignStartModel, Node, PatterningPlan};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A CLI failure: a message for stderr, built from any underlying error.
+struct CliError(String);
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> Self {
+        CliError(e.to_string())
+    }
+}
+
+type CliResult = Result<(), CliError>;
+/// A claim id paired with the function that regenerates it.
+type Claim = (&'static str, fn() -> CliResult);
+
 /// Worker threads for every parallel kernel (`0` = all cores), set once from
 /// `--threads` before any claim runs.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -45,30 +70,49 @@ fn threads() -> usize {
 }
 
 fn main() {
+    if let Err(e) = run() {
+        eprintln!("experiments: {}", e.0);
+        std::process::exit(1);
+    }
+}
+
+fn run() -> CliResult {
     let mut claims: Vec<String> = Vec::new();
     let mut threads_arg = 0usize;
     let mut child = false;
+    let mut inject: Option<String> = None;
+    let parse_threads = |v: Option<String>| -> Result<usize, CliError> {
+        v.and_then(|v| v.parse().ok())
+            .ok_or(CliError("--threads needs a non-negative integer".into()))
+    };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         let a = a.to_lowercase();
         if a == "--threads" {
-            threads_arg = args
-                .next()
-                .and_then(|v| v.parse().ok())
-                .expect("--threads needs a number");
+            threads_arg = parse_threads(args.next())?;
         } else if let Some(v) = a.strip_prefix("--threads=") {
-            threads_arg = v.parse().expect("--threads needs a number");
+            threads_arg = parse_threads(Some(v.to_string()))?;
+        } else if a == "--inject" {
+            inject = Some(args.next().ok_or(CliError(
+                "--inject needs a fault spec (try `--inject smoke`)".into(),
+            ))?);
+        } else if let Some(v) = a.strip_prefix("--inject=") {
+            inject = Some(v.to_string());
         } else if a == "--child" {
             child = true;
+        } else if let Some(flag) = a.strip_prefix("--") {
+            return Err(CliError(format!("unknown flag `--{flag}`")));
         } else {
             claims.push(a);
         }
     }
     THREADS.store(threads_arg, Ordering::Relaxed);
 
-    let all = claims.is_empty();
-    let want = |id: &str| all || claims.iter().any(|a| a == id);
-    let experiments: Vec<(&str, fn())> = vec![
+    if let Some(spec) = inject {
+        return inject_demo(&spec, threads_arg);
+    }
+
+    let experiments: Vec<Claim> = vec![
         ("c1", c1),
         ("c2", c2),
         ("c3", c3),
@@ -88,20 +132,28 @@ fn main() {
         ("b1", b1),
         ("b2", b2),
     ];
-    let selected: Vec<(&str, fn())> =
+    for id in &claims {
+        if !experiments.iter().any(|(known, _)| known == id) {
+            let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
+            return Err(CliError(format!("unknown claim `{id}` (known: {})", known.join(" "))));
+        }
+    }
+    let all = claims.is_empty();
+    let want = |id: &str| all || claims.iter().any(|a| a == id);
+    let selected: Vec<Claim> =
         experiments.into_iter().filter(|(id, _)| want(id)).collect();
 
     if child || selected.len() <= 1 {
-        for (_, run) in selected {
-            run();
+        for (id, run) in selected {
+            run().map_err(|e| CliError(format!("claim {id}: {}", e.0)))?;
             println!();
         }
-        return;
+        return Ok(());
     }
 
     // Claims are independent: run each as a child process so they execute
     // concurrently, then print the captured outputs in claim order.
-    let exe = std::env::current_exe().expect("own path");
+    let exe = std::env::current_exe()?;
     let children: Vec<(&str, std::process::Child)> = selected
         .iter()
         .map(|(id, _)| {
@@ -110,18 +162,52 @@ fn main() {
                 .arg(format!("--threads={threads_arg}"))
                 .arg(id)
                 .stdout(std::process::Stdio::piped())
-                .spawn()
-                .expect("spawn claim child");
-            (*id, c)
+                .stderr(std::process::Stdio::piped())
+                .spawn()?;
+            Ok((*id, c))
         })
-        .collect();
+        .collect::<Result<_, CliError>>()?;
+    let mut failed: Vec<String> = Vec::new();
     for (id, child) in children {
-        let out = child.wait_with_output().expect("claim child exits");
+        let out = child.wait_with_output()?;
         print!("{}", String::from_utf8_lossy(&out.stdout));
         if !out.status.success() {
-            eprintln!("claim {id} failed with {}", out.status);
+            eprint!("{}", String::from_utf8_lossy(&out.stderr));
+            failed.push(id.to_string());
         }
     }
+    if !failed.is_empty() {
+        return Err(CliError(format!("claim(s) failed: {}", failed.join(" "))));
+    }
+    Ok(())
+}
+
+/// `--inject SPEC`: the supervised flow under a deterministic fault plan.
+///
+/// Runs the advanced flow at 10nm (so every stage, including decomposition +
+/// OPC, is exercised) with the parsed plan, prints the typed outcome of every
+/// stage, then repeats the faulted run and checks bit-identical QoR — the
+/// injection layer is keyed on `(stage, invocation)`, never on wall clock.
+fn inject_demo(spec: &str, threads_arg: usize) -> CliResult {
+    let plan = FaultPlan::parse(spec, 42).map_err(CliError)?;
+    println!("=== fault injection: `{spec}` ===");
+    let design = generate::switch_fabric(3, 3)?;
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = threads_arg;
+    cfg.fault_plan = Some(plan);
+    let report = run_flow(&design, &cfg)
+        .map_err(|e| CliError(format!("supervised flow did not survive the plan: {e}")))?;
+    println!("{:<16} {:>8}  outcome", "stage", "attempts");
+    for (stage, status) in &report.stage_status {
+        println!("{:<16} {:>8}  {}", stage, status.attempts, status.outcome);
+    }
+    let again = run_flow(&design, &cfg)
+        .map_err(|e| CliError(format!("second faulted run failed: {e}")))?;
+    if !report.same_qor(&again) {
+        return Err(CliError("faulted run is not reproducible (QoR drifted between two identical runs)".into()));
+    }
+    println!("faulted run reproduces bit-identically at threads={threads_arg}");
+    Ok(())
 }
 
 fn header(id: &str, claim: &str) {
@@ -130,46 +216,45 @@ fn header(id: &str, claim: &str) {
 }
 
 /// B1 — the format-dualism overhead (UPF/CPF, CCS/ECSM) and its remedy.
-fn b1() {
+fn b1() -> CliResult {
     use eda_logic::{check_equivalence, EcVerdict};
     use eda_netlist::liberty;
     header("b1", "format dualism (UPF/CPF, CCS-ECSM) duplicated IP delivery effort (Rossi)");
     let lib = Library::generic();
     let as_liberty = liberty::write_liberty(&lib);
     let as_clf = liberty::write_clf(&lib);
-    let converted = liberty::clf_to_liberty(&as_clf).expect("lossless");
+    let converted = liberty::clf_to_liberty(&as_clf)?;
     println!(
         "deliveries: liberty {} B, clf {} B; clf->liberty conversion identical: {}",
         as_liberty.len(),
         as_clf.len(),
         as_liberty == converted
     );
-    let design = generate::alu(4).unwrap();
+    let design = generate::alu(4)?;
     let a = synthesize(
         &design,
-        liberty::parse_liberty(&as_liberty).unwrap(),
+        liberty::parse_liberty(&as_liberty)?,
         SynthesisEffort::Advanced2016,
         MapGoal::Area,
-    )
-    .unwrap();
+    )?;
     let b = synthesize(
         &design,
-        liberty::parse_clf(&as_clf).unwrap(),
+        liberty::parse_clf(&as_clf)?,
         SynthesisEffort::Advanced2016,
         MapGoal::Area,
-    )
-    .unwrap();
-    let ec = check_equivalence(&design, &a.netlist, &[], &[], 1 << 20).unwrap();
+    )?;
+    let ec = check_equivalence(&design, &a.netlist, &[], &[], 1 << 20)?;
     println!(
         "same QoR from either delivery ({:.1} vs {:.1} um2); formal EC: {}",
         a.area_um2,
         b.area_um2,
         matches!(ec, EcVerdict::Equivalent)
     );
+    Ok(())
 }
 
 /// B2 — decomposition clears printability hotspots.
-fn b2() {
+fn b2() -> CliResult {
     use eda_litho::{decompose, find_hotspots, find_hotspots_per_mask, Hotspot, HotspotConfig, Rect};
     header("b2", "multi-patterning makes sub-pitch layouts printable (Domic/Sawicki, C4+C15)");
     let model = OpticalModel::default();
@@ -191,10 +276,11 @@ fn b2() {
         "34nm lines / 16nm spaces: {bridges} bridge hotspots single-exposure -> {after} after double patterning ({} masks, legal={})",
         deco.masks, deco.legal
     );
+    Ok(())
 }
 
 /// C1 — integration capacity: two orders of magnitude in a decade.
-fn c1() {
+fn c1() -> CliResult {
     header("c1", "integration capacity +2 orders of magnitude, 90nm (2006) -> 10nm (2016)");
     println!("{:>7} {:>10} {:>12}", "node", "MTr/mm2", "capacity");
     for node in
@@ -209,37 +295,35 @@ fn c1() {
     }
     let growth = Node::N10.integration_capacity() / Node::N90.integration_capacity();
     println!("measured: {growth:.0}x  (paper: \"two orders of magnitude\")");
+    Ok(())
 }
 
 /// C2 — functionality-enhanced devices favour XOR-rich logic.
-fn c2() {
+fn c2() -> CliResult {
     header("c2", "controlled-polarity SiNW/CNT devices need new logic abstractions (De Micheli)");
     let designs: Vec<(&str, Netlist)> = vec![
-        ("parity16", generate::parity_tree(16).unwrap()),
-        ("adder8", generate::ripple_carry_adder(8).unwrap()),
-        ("comparator8", generate::equality_comparator(8).unwrap()),
+        ("parity16", generate::parity_tree(16)?),
+        ("adder8", generate::ripple_carry_adder(8)?),
+        ("comparator8", generate::equality_comparator(8)?),
         (
             "random",
             generate::random_logic(generate::RandomLogicConfig {
                 gates: 300,
                 seed: 2,
                 ..Default::default()
-            })
-            .unwrap(),
+            })?,
         ),
     ];
     println!("{:>12} {:>12} {:>14} {:>8}", "design", "CMOS um2", "polarity um2", "gain");
     for (name, d) in &designs {
         let cmos =
-            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
-                .unwrap();
+            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)?;
         let pol = synthesize(
             d,
             Library::controlled_polarity(),
             SynthesisEffort::Advanced2016,
             MapGoal::Area,
-        )
-        .unwrap();
+        )?;
         println!(
             "{:>12} {:>12.1} {:>14.1} {:>7.1}%",
             name,
@@ -249,25 +333,25 @@ fn c2() {
         );
     }
     println!("shape: XOR-rich functions gain most on polarity devices");
+    Ok(())
 }
 
 /// C3 — a decade of synthesis: ~30% area (and perf, power) improvement.
-fn c3() {
+fn c3() -> CliResult {
     header("c3", "advanced RTL synthesis improved area ~30% in ten years (Domic)");
     let designs: Vec<(&str, Netlist)> = vec![
-        ("adder16", generate::ripple_carry_adder(16).unwrap()),
-        ("mult4", generate::array_multiplier(4).unwrap()),
-        ("parity32", generate::parity_tree(32).unwrap()),
+        ("adder16", generate::ripple_carry_adder(16)?),
+        ("mult4", generate::array_multiplier(4)?),
+        ("parity32", generate::parity_tree(32)?),
         (
             "rand500",
             generate::random_logic(generate::RandomLogicConfig {
                 gates: 500,
                 seed: 7,
                 ..Default::default()
-            })
-            .unwrap(),
+            })?,
         ),
-        ("fabric", generate::switch_fabric(4, 4).unwrap()),
+        ("fabric", generate::switch_fabric(4, 4)?),
     ];
     println!(
         "{:>9} {:>11} {:>11} {:>7} {:>9} {:>9} {:>7}",
@@ -280,22 +364,20 @@ fn c3() {
             Library::nand_inv_2006(),
             SynthesisEffort::Baseline2006,
             MapGoal::Area,
-        )
-        .unwrap();
+        )?;
         let adv =
-            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)
-                .unwrap();
-        let tb = TimingAnalysis::run(&base.netlist, &TimingConfig::default()).unwrap();
-        let ta = TimingAnalysis::run(&adv.netlist, &TimingConfig::default()).unwrap();
+            synthesize(d, Library::generic(), SynthesisEffort::Advanced2016, MapGoal::Area)?;
+        let tb = TimingAnalysis::run(&base.netlist, &TimingConfig::default())?;
+        let ta = TimingAnalysis::run(&adv.netlist, &TimingConfig::default())?;
         let act = ActivityConfig::default();
         let pb = analyze(
             &base.netlist,
-            &Activity::estimate(&base.netlist, &act).unwrap(),
+            &Activity::estimate(&base.netlist, &act)?,
             &PowerConfig::default(),
         );
         let pa = analyze(
             &adv.netlist,
-            &Activity::estimate(&adv.netlist, &act).unwrap(),
+            &Activity::estimate(&adv.netlist, &act)?,
             &PowerConfig::default(),
         );
         println!(
@@ -321,10 +403,11 @@ fn c3() {
         100.0 * (1.0 - p16 / p06),
         100.0 * (1.0 - w16 / w06)
     );
+    Ok(())
 }
 
 /// C4 — the multi-patterning ladder.
-fn c4() {
+fn c4() -> CliResult {
     header(
         "c4",
         "80nm single-exposure pitch floor; double/triple/quad from 20nm; octuple at 5nm (Domic)",
@@ -345,10 +428,11 @@ fn c4() {
         );
     }
     println!("shape: measured line-mask count matches the model's line-multiplicity term");
+    Ok(())
 }
 
 /// C5 — routers: line search vs maze, and the 6->4 layer cost lever.
-fn c5() {
+fn c5() -> CliResult {
     header(
         "c5",
         "line-search routers win under simpler rules; 6->4 layers slashes 15-20% cost (Domic)",
@@ -357,8 +441,7 @@ fn c5() {
         gates: 500,
         seed: 9,
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let die = Die::for_netlist(&d, 0.7);
     let placement = place_global(&d, die, &GlobalConfig::default());
     println!(
@@ -387,8 +470,7 @@ fn c5() {
         gates: 250,
         seed: 4,
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let ams_die = Die::for_netlist(&amsd, 0.7);
     let ams_place = place_global(&amsd, ams_die, &GlobalConfig::default());
     println!("\nlayer sweep (baseline vs negotiated) with the 130nm cost model:");
@@ -401,11 +483,11 @@ fn c5() {
     for layers in [6u32, 5, 4, 3] {
         let lee = layer_sweep(&amsd, &ams_place, [layers], RouteAlgorithm::LeeBfs)
             .pop()
-            .expect("one entry")
+            .ok_or(CliError("layer_sweep returned no entry".into()))?
             .1;
         let adv = layer_sweep(&amsd, &ams_place, [layers], RouteAlgorithm::AStar)
             .pop()
-            .expect("one entry")
+            .ok_or(CliError("layer_sweep returned no entry".into()))?
             .1;
         if adv.overflow == 0 {
             min_clean = Some(layers);
@@ -427,16 +509,17 @@ fn c5() {
         ),
         _ => println!("measured: this block needs more than 4 layers at this utilization"),
     }
+    Ok(())
 }
 
 /// C6 — power: the static crossover and design-for-power vs dark silicon.
-fn c6() {
+fn c6() -> CliResult {
     header(
         "c6",
         "voltage scaling from 130nm; static overtakes dynamic at 90/65; techniques prevent dark silicon (Domic)",
     );
-    let d = generate::switch_fabric(4, 4).unwrap();
-    let act = Activity::estimate(&d, &ActivityConfig::default()).unwrap();
+    let d = generate::switch_fabric(4, 4)?;
+    let act = Activity::estimate(&d, &ActivityConfig::default())?;
     println!("{:>7} {:>12} {:>12} {:>10}", "node", "dynamic mW", "static mW", "static %");
     for row in node_power_sweep(&d, &act, 200.0) {
         println!(
@@ -457,12 +540,13 @@ fn c6() {
             100.0 * row.usable_with_techniques
         );
     }
+    Ok(())
 }
 
 /// C7 — flat vs hierarchical implementation: buffering.
-fn c7() {
+fn c7() -> CliResult {
     header("c7", "flat implementation saves area & power through less buffering (Domic)");
-    let d = generate::hierarchical_design(4, 150, 11).unwrap();
+    let d = generate::hierarchical_design(4, 150, 11)?;
     let die = Die::for_netlist(&d, 0.5);
     let hier = place_hierarchical(&d, die, 3);
     let mut flat = hier.placement.clone();
@@ -485,10 +569,11 @@ fn c7() {
         100.0 * (1.0 - flat_plan.total as f64 / hier_plan.total.max(1) as f64),
         hier.crossing_nets.len()
     );
+    Ok(())
 }
 
 /// C8 — design-start distribution.
-fn c8() {
+fn c8() -> CliResult {
     header("c8", ">90% of design starts at 32/28nm and above; 180nm >25% (Domic)");
     let m = DesignStartModel::year_2016();
     println!("{:>7} {:>9}", "node", "share");
@@ -501,10 +586,11 @@ fn c8() {
         m.most_designed(),
         100.0 * m.share(m.most_designed())
     );
+    Ok(())
 }
 
 /// C9 — multicore P&R throughput, and the deterministic parallel kernels.
-fn c9() {
+fn c9() -> CliResult {
     use eda_dft::{fault_sim_threaded, random_patterns};
     use eda_litho::run_opc_stats;
     use eda_route::route_stats;
@@ -514,8 +600,7 @@ fn c9() {
         gates: 3000,
         seed: 5,
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let die = Die::for_netlist(&d, 0.7);
     println!("design: {} instances", d.num_instances());
     println!(
@@ -561,9 +646,8 @@ fn c9() {
         gates: 600,
         seed: 8,
         ..Default::default()
-    })
-    .unwrap();
-    let view = CombView::new(&dft_design).unwrap();
+    })?;
+    let view = CombView::new(&dft_design)?;
     let faults = fault_list(&dft_design);
     let pats = random_patterns(&view, 128, 4);
     let mut wall1 = 0.0;
@@ -616,8 +700,7 @@ fn c9() {
         gates: 800,
         seed: 9,
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let rdie = Die::for_netlist(&route_design, 0.7);
     let rplace = place_global(&route_design, rdie, &GlobalConfig::default());
     for threads in [1usize, 2, 4, 8] {
@@ -637,17 +720,18 @@ fn c9() {
         );
     }
     println!("every row's QoR output is bit-identical across thread counts (eda-par contract)");
+    Ok(())
 }
 
 /// C10 — scan-chain reordering during implementation.
-fn c10() {
+fn c10() -> CliResult {
     header("c10", "scan reordering during implementation relieves congestion/wirelength (Rossi)");
     println!(
         "{:>10} {:>12} {:>12} {:>8} {:>12}",
         "design", "fe-order um", "reorder um", "gain", "peak demand"
     );
     for (name, d) in [
-        ("fabric8", generate::switch_fabric(8, 4).unwrap()),
+        ("fabric8", generate::switch_fabric(8, 4)?),
         (
             "rand",
             generate::random_logic(generate::RandomLogicConfig {
@@ -655,11 +739,10 @@ fn c10() {
                 flop_fraction: 0.25,
                 seed: 8,
                 ..Default::default()
-            })
-            .unwrap(),
+            })?,
         ),
     ] {
-        let s = insert_scan(&d, 2).unwrap();
+        let s = insert_scan(&d, 2)?;
         let die = Die::for_netlist(&s.netlist, 0.7);
         let p = place_global(&s.netlist, die, &GlobalConfig::default());
         let before = scan_wirelength(&s.chains, &p);
@@ -675,17 +758,17 @@ fn c10() {
             cong.max_demand()
         );
     }
+    Ok(())
 }
 
 /// C11 — the self-learning implementation engine.
-fn c11() {
+fn c11() -> CliResult {
     header("c11", "a built-in self-learning engine exploiting previous runs (Rossi)");
     let d = generate::random_logic(generate::RandomLogicConfig {
         gates: 300,
         seed: 21,
         ..Default::default()
-    })
-    .unwrap();
+    })?;
     let mut base_cfg = FlowConfig::advanced_2016(Node::N28);
     base_cfg.threads = threads();
     let mut tuner = FlowTuner::new(7);
@@ -695,7 +778,7 @@ fn c11() {
         let i = tuner.suggest();
         let arm: Arm = tuner.arms()[i].clone();
         let cfg = arm.apply(&base_cfg);
-        let report = run_flow(&d, &cfg).unwrap();
+        let report = run_flow(&d, &cfg)?;
         let score = report.score();
         tuner.record(i, score);
         best = best.min(score);
@@ -703,18 +786,19 @@ fn c11() {
     }
     let learned = &tuner.arms()[tuner.best_arm()];
     println!("learned arm: `{}` — subsequent runs start from the best-known recipe", learned.name);
+    Ok(())
 }
 
 /// C12 — networking activity, hot spots, automatic decap.
-fn c12() {
+fn c12() -> CliResult {
     header(
         "c12",
         "networking ASICs at >5x switching activity need automatic hot-spot/decap handling (Rossi)",
     );
-    let d = generate::switch_fabric(8, 4).unwrap();
+    let d = generate::switch_fabric(8, 4)?;
     let die = Die::for_netlist(&d, 0.7);
     let p = place_global(&d, die, &GlobalConfig::default());
-    let base = Activity::estimate(&d, &ActivityConfig::default()).unwrap();
+    let base = Activity::estimate(&d, &ActivityConfig::default())?;
     let pcfg = PowerConfig { node: Node::N28, freq_mhz: 1000.0, ..Default::default() };
     let limit = {
         let g1 = PowerGrid::build(&d, &p, &base, &pcfg, 8);
@@ -726,7 +810,7 @@ fn c12() {
         let power = analyze(&d, &act, &pcfg);
         let mut grid = PowerGrid::build(&d, &p, &act, &pcfg, 8);
         let before = grid.hotspots(Node::N28, limit).len();
-        let out = insert_decaps(&d, &mut grid, Node::N28, limit).unwrap();
+        let out = insert_decaps(&d, &mut grid, Node::N28, limit)?;
         println!(
             "{:>9.0}x {:>12.2} {:>10} {:>9} {:>8}",
             factor,
@@ -736,10 +820,11 @@ fn c12() {
             out.hotspots_after
         );
     }
+    Ok(())
 }
 
 /// C13 — holistic co-design vs sequential ad-hoc.
-fn c13() {
+fn c13() -> CliResult {
     header("c13", "holistic smart-system co-design beats separate ad-hoc flows (Macii)");
     let seq = sequential_flow();
     let co = codesign_flow();
@@ -758,16 +843,17 @@ fn c13() {
             f.metrics.score()
         );
     }
+    Ok(())
 }
 
 /// C14 — test compression retargeted at low-pin-count test.
-fn c14() {
+fn c14() -> CliResult {
     header(
         "c14",
         "high-compression DFT retargets to low-pin-count test -> cheaper packages (Sawicki)",
     );
-    let d = generate::switch_fabric(4, 4).unwrap();
-    let view = CombView::new(&d).unwrap();
+    let d = generate::switch_fabric(4, 4)?;
+    let view = CombView::new(&d)?;
     let faults = fault_list(&d);
     let flops = d.flops().len();
     println!("{:>6} {:>8} {:>11} {:>12} {:>12}", "pins", "chains", "coverage", "test ms", "ratio");
@@ -802,10 +888,11 @@ fn c14() {
         100.0 * atpg.coverage,
         atpg.patterns.len()
     );
+    Ok(())
 }
 
 /// C15 — computational lithography: OPC vs feature size.
-fn c15() {
+fn c15() -> CliResult {
     header("c15", "computational lithography (OPC) enables scaling without EUV (Sawicki)");
     let model = OpticalModel::default();
     println!("{:>10} {:>12} {:>12} {:>12}", "pitch nm", "no-OPC EPE", "OPC EPE", "iterations");
@@ -836,10 +923,11 @@ fn c15() {
         model.grating_contrast(80.0),
         model.grating_contrast(50.0)
     );
+    Ok(())
 }
 
 /// C16 — IoT node selection and energy autonomy.
-fn c16() {
+fn c16() -> CliResult {
     header(
         "c16",
         "IoT leverages established-node variants; energy autonomy is the constraint (Sawicki)",
@@ -859,4 +947,5 @@ fn c16() {
     }
     let best = best_iot_node(&points);
     println!("best IoT merit: {best} (established: {})", best.is_established());
+    Ok(())
 }

@@ -1,10 +1,12 @@
 //! Flow configuration: the knobs of the integrated RTL-to-layout pipeline,
 //! with the two presets the panel's decade comparison needs.
 
+use crate::harness::{FaultPlan, StageBudgets};
 use eda_logic::{MapGoal, SynthesisEffort};
 use eda_netlist::Library;
 use eda_route::RouteAlgorithm;
 use eda_tech::Node;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Which standard-cell library the flow maps onto.
@@ -100,6 +102,25 @@ pub struct FlowConfig {
     /// deterministic parallel layer (`eda-par`) guarantees every QoR output
     /// is bit-identical for any value of this knob.
     pub threads: usize,
+    /// Directory for flow checkpoints (`None` = no checkpointing). After
+    /// every completed stage the supervisor serializes the full flow state
+    /// (netlist, placement, per-stage artifacts) to
+    /// `<checkpoint_dir>/<design>.flowck`, so a killed flow can resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Resume from the checkpoint in [`checkpoint_dir`](Self::checkpoint_dir)
+    /// if one exists and its config fingerprint matches; the flow then
+    /// restarts from the first incomplete stage and its QoR is bit-identical
+    /// to an uninterrupted run. A fingerprint mismatch is a hard error; a
+    /// missing checkpoint silently falls back to a fresh run.
+    pub resume: bool,
+    /// Deterministic fault-injection plan (`None` = no injection). Faults
+    /// are keyed on `(stage name, invocation count)`, so an injected plan
+    /// reproduces identically at any thread count.
+    pub fault_plan: Option<FaultPlan>,
+    /// Per-stage attempt caps and wall-clock soft deadlines. The default is
+    /// 2 attempts per stage with no deadline, which keeps flows fully
+    /// deterministic.
+    pub budgets: StageBudgets,
 }
 
 impl FlowConfig {
@@ -124,6 +145,10 @@ impl FlowConfig {
             verify_synthesis: false,
             seed: 1,
             threads: 1,
+            checkpoint_dir: None,
+            resume: false,
+            fault_plan: None,
+            budgets: StageBudgets::default(),
         }
     }
 
@@ -148,6 +173,10 @@ impl FlowConfig {
             verify_synthesis: true,
             seed: 1,
             threads: 0,
+            checkpoint_dir: None,
+            resume: false,
+            fault_plan: None,
+            budgets: StageBudgets::default(),
         }
     }
 }

@@ -1,15 +1,35 @@
 //! The integrated RTL-to-layout flow: the panel's "advanced EDA solution"
-//! as one callable pipeline.
+//! as one callable pipeline, executed under a supervising harness.
 //!
 //! Stages: synthesis → clock gating → scan insertion → placement →
-//! scan reordering → timing → routing → lithography decomposition → power
-//! analysis → power-grid signoff → test-coverage estimation. Every stage is
-//! timed and summarized into a [`FlowReport`](crate::report::FlowReport).
+//! scan reordering → clock-tree synthesis → timing → routing → lithography
+//! decomposition + OPC → power analysis → test-coverage estimation. Every
+//! stage runs inside the [`harness`](crate::harness) supervisor: it gets a
+//! budget, a typed [`StageStatus`](crate::harness::StageStatus) in the
+//! report, and a recovery policy (see DESIGN.md §7 for the full table):
+//!
+//! * an inconclusive equivalence check escalates the simulation budget once
+//!   (2²² nodes), then records `Degraded` instead of silently reporting
+//!   "not verified";
+//! * routing that still overflows after its rip-up budget retries once on a
+//!   coarser grid and keeps the better result, degrading to partial routes;
+//! * a decomposition that stays illegal or an OPC pass that misses its EPE
+//!   target retries with a doubled stitch budget and a halved OPC gain;
+//! * an IR-drop solve that stalls at the iteration cap retries with a
+//!   relaxed tolerance;
+//! * clock gating that fails keeps the ungated netlist and degrades.
+//!
+//! With `FlowConfig::checkpoint_dir` set, the supervisor serializes the full
+//! flow state after every stage; a killed flow rerun with `resume: true`
+//! restarts from the first incomplete stage and produces bit-identical QoR
+//! ([`FlowReport::same_qor`]).
 
+use crate::checkpoint::{self, FlowState, LoadError};
 use crate::config::FlowConfig;
+use crate::harness::{StageCtx, StageStatus, StageTry, Supervisor};
 use crate::report::FlowReport;
 use eda_dft::{fault_list, fault_sim_threaded, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
-use eda_litho::{decompose, Layout};
+use eda_litho::{decompose, run_opc_stats, Layout, OpcConfig, OpticalModel};
 use eda_logic::{check_equivalence, synthesize, EcVerdict};
 use eda_netlist::{Netlist, NetlistStats};
 use eda_place::{anneal, place_global, plan_buffers, synthesize_clock_tree, AnnealConfig, CtsConfig, Die, GlobalConfig, ParallelConfig};
@@ -18,255 +38,687 @@ use eda_route::{route_stats, RouteConfig, RuleDeck};
 use eda_sta::{TimingAnalysis, TimingConfig};
 use eda_tech::PatterningPlan;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Instant;
 
-/// Errors surfaced by the flow.
+/// Every stage the supervisor runs, in execution order. Each key appears in
+/// [`FlowReport::stage_status`] after any successful run.
+pub const STAGES: [&str; 11] = [
+    "1_synthesis",
+    "2_clock_gating",
+    "3_scan",
+    "4_place",
+    "5_scan_reorder",
+    "6_cts",
+    "6_sta",
+    "7_route",
+    "8_litho",
+    "9_power",
+    "10_dft",
+];
+
+/// RMS edge-placement error below which the flow's OPC pass counts as
+/// converged, nm.
+const OPC_RMS_EPE_LIMIT_NM: f64 = 4.0;
+
+/// Simulation budgets for the synthesis equivalence check: the first
+/// attempt, and the escalated retry after an inconclusive verdict.
+const EC_BUDGET: usize = 1 << 19;
+const EC_BUDGET_ESCALATED: usize = 1 << 22;
+
+/// A hard failure inside one stage that no recovery policy can absorb.
 #[derive(Debug)]
-pub enum FlowError {
+pub enum StageFailure {
     /// Synthesis failed.
     Synthesis(eda_logic::SynthesisError),
-    /// A netlist transformation failed.
+    /// A netlist transformation or traversal failed.
     Netlist(eda_netlist::NetlistError),
+}
+
+impl std::fmt::Display for StageFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageFailure::Synthesis(e) => write!(f, "{e}"),
+            StageFailure::Netlist(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StageFailure {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StageFailure::Synthesis(e) => Some(e),
+            StageFailure::Netlist(e) => Some(e),
+        }
+    }
+}
+
+impl From<eda_logic::SynthesisError> for StageFailure {
+    fn from(e: eda_logic::SynthesisError) -> Self {
+        StageFailure::Synthesis(e)
+    }
+}
+
+impl From<eda_netlist::NetlistError> for StageFailure {
+    fn from(e: eda_netlist::NetlistError) -> Self {
+        StageFailure::Netlist(e)
+    }
+}
+
+/// Salvageable state carried by a flow error: everything completed before
+/// the failure.
+#[derive(Debug, Clone)]
+pub struct PartialFlow {
+    /// Statuses of every stage that finished (or was skipped) before the
+    /// failure, keyed by stage name.
+    pub statuses: BTreeMap<String, StageStatus>,
+    /// The checkpoint holding the last good stage's state, when
+    /// checkpointing is enabled — rerunning with `resume: true` continues
+    /// from here.
+    pub checkpoint: Option<PathBuf>,
+}
+
+/// Errors surfaced by the flow, carrying the failing stage and salvageable
+/// partial state.
+#[derive(Debug)]
+pub enum FlowError {
+    /// A stage hit a hard failure.
+    Stage {
+        /// The failing stage.
+        stage: &'static str,
+        /// The underlying failure.
+        source: StageFailure,
+        /// Everything completed before the failure.
+        partial: Box<PartialFlow>,
+    },
+    /// A stage ran out of attempts (or blew its soft deadline) without
+    /// producing an acceptable or salvageable result.
+    BudgetExhausted {
+        /// The exhausted stage.
+        stage: &'static str,
+        /// Attempts consumed.
+        attempts: usize,
+        /// Why the last attempt was rejected.
+        reason: String,
+        /// Everything completed before the failure.
+        partial: Box<PartialFlow>,
+    },
+    /// Writing a checkpoint failed.
+    Checkpoint {
+        /// The stage whose state could not be saved.
+        stage: &'static str,
+        /// The I/O problem.
+        reason: String,
+    },
+    /// `resume: true` found a checkpoint written under a different design
+    /// or config.
+    ResumeMismatch {
+        /// The fingerprint mismatch details.
+        reason: String,
+    },
+    /// `resume: true` found a checkpoint that does not parse.
+    ResumeCorrupt {
+        /// The parse problem.
+        reason: String,
+    },
+}
+
+impl FlowError {
+    /// The stage the error is attributed to, if any.
+    pub fn stage(&self) -> Option<&'static str> {
+        match self {
+            FlowError::Stage { stage, .. }
+            | FlowError::BudgetExhausted { stage, .. }
+            | FlowError::Checkpoint { stage, .. } => Some(stage),
+            FlowError::ResumeMismatch { .. } | FlowError::ResumeCorrupt { .. } => None,
+        }
+    }
+
+    /// The salvageable partial state, if the flow got far enough to have any.
+    pub fn partial(&self) -> Option<&PartialFlow> {
+        match self {
+            FlowError::Stage { partial, .. } | FlowError::BudgetExhausted { partial, .. } => Some(partial),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for FlowError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            FlowError::Synthesis(e) => write!(f, "synthesis stage failed: {e}"),
-            FlowError::Netlist(e) => write!(f, "netlist transform failed: {e}"),
+            FlowError::Stage { stage, source, partial } => {
+                write!(f, "stage `{stage}` failed after {} completed stage(s): {source}", partial.statuses.len())
+            }
+            FlowError::BudgetExhausted { stage, attempts, reason, .. } => {
+                write!(f, "stage `{stage}` exhausted its budget after {attempts} attempt(s): {reason}")
+            }
+            FlowError::Checkpoint { stage, reason } => {
+                write!(f, "failed to checkpoint stage `{stage}`: {reason}")
+            }
+            FlowError::ResumeMismatch { reason } => write!(f, "cannot resume: {reason}"),
+            FlowError::ResumeCorrupt { reason } => write!(f, "cannot resume: corrupt checkpoint: {reason}"),
         }
     }
 }
 
-impl std::error::Error for FlowError {}
-
-impl From<eda_logic::SynthesisError> for FlowError {
-    fn from(e: eda_logic::SynthesisError) -> Self {
-        FlowError::Synthesis(e)
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Stage { source, .. } => Some(source),
+            _ => None,
+        }
     }
 }
 
-impl From<eda_netlist::NetlistError> for FlowError {
-    fn from(e: eda_netlist::NetlistError) -> Self {
-        FlowError::Netlist(e)
-    }
-}
-
-/// Runs the full flow on a design.
+/// Runs the full flow on a design under the stage supervisor.
 ///
 /// # Errors
 ///
-/// Returns a [`FlowError`] if synthesis or a netlist transformation fails
-/// (e.g. the input contains non-synthesizable cells).
+/// Returns a [`FlowError`] when a stage hard-fails ([`FlowError::Stage`]),
+/// exhausts its attempt budget without a salvageable result
+/// ([`FlowError::BudgetExhausted`]), or when checkpointing/resuming goes
+/// wrong. Stage errors carry a [`PartialFlow`] with everything completed
+/// before the failure.
 pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowError> {
-    let mut stage_seconds: BTreeMap<String, f64> = BTreeMap::new();
-    let mut stage_threads: BTreeMap<String, usize> = BTreeMap::new();
-    let mut stage_speedup: BTreeMap<String, f64> = BTreeMap::new();
     let threads = cfg.threads;
+    let fp = checkpoint::fingerprint(design, cfg);
+    let mut sup = Supervisor::new(cfg.fault_plan.as_ref(), cfg.budgets.clone());
+    let mut st = FlowState::fresh();
+
+    if let Some(dir) = &cfg.checkpoint_dir {
+        if cfg.resume {
+            match checkpoint::load(dir, design.name(), fp) {
+                Ok(Some(loaded)) => {
+                    sup.statuses = loaded.statuses.clone();
+                    sup.checkpoint = Some(checkpoint::path_for(dir, design.name()));
+                    st = loaded;
+                }
+                Ok(None) => {}
+                Err(LoadError::Mismatch(reason)) => return Err(FlowError::ResumeMismatch { reason }),
+                Err(LoadError::Corrupt(reason)) => return Err(FlowError::ResumeCorrupt { reason }),
+            }
+        }
+    }
+
     let mut timer = Timer::new();
-
-    // ---- synthesis ----
     let lib = cfg.library.library();
-    let synth = synthesize(design, lib.clone(), cfg.synthesis, cfg.map_goal)?;
-    let mut netlist = synth.netlist;
-    let mut synthesis_verified = None;
-    if cfg.verify_synthesis {
-        synthesis_verified = match check_equivalence(design, &netlist, &[], &[], 1 << 19) {
-            Ok(EcVerdict::Equivalent) => Some(true),
-            Ok(EcVerdict::Counterexample(_)) => Some(false),
-            Ok(EcVerdict::Inconclusive) | Err(_) => None,
+
+    // ---- 1: synthesis (+ optional equivalence check) ----
+    if st.cursor < 1 {
+        let stage = "1_synthesis";
+        let (netlist, verified) = sup.run_stage(stage, |ctx: StageCtx| {
+            let synth = synthesize(design, lib.clone(), cfg.synthesis, cfg.map_goal)
+                .map_err(StageFailure::Synthesis)?;
+            let netlist = synth.netlist;
+            if !cfg.verify_synthesis {
+                return Ok(StageTry::Done((netlist, None)));
+            }
+            let budget = if ctx.adapt == 0 { EC_BUDGET } else { EC_BUDGET_ESCALATED };
+            match check_equivalence(design, &netlist, &[], &[], budget) {
+                Ok(EcVerdict::Equivalent) => Ok(StageTry::Done((netlist, Some(true)))),
+                Ok(EcVerdict::Counterexample(_)) => Ok(StageTry::Degraded(
+                    (netlist, Some(false)),
+                    "equivalence counterexample found against the input design".into(),
+                )),
+                Ok(EcVerdict::Inconclusive) => {
+                    if ctx.adapt == 0 {
+                        Ok(StageTry::Retry {
+                            reason: format!("equivalence inconclusive at the {budget}-node budget"),
+                            salvage: Some((
+                                (netlist, None),
+                                "equivalence unresolved".to_string(),
+                            )),
+                        })
+                    } else {
+                        Ok(StageTry::Degraded(
+                            (netlist, None),
+                            "equivalence still inconclusive after budget escalation".into(),
+                        ))
+                    }
+                }
+                Err(e) => Ok(StageTry::Degraded(
+                    (netlist, None),
+                    format!("equivalence check failed: {e}"),
+                )),
+            }
+        })?;
+        st.netlist = Some(netlist);
+        st.synthesis_verified = verified;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 1;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
+    }
+
+    // ---- 2: clock gating (before scan so gates see plain flops) ----
+    if st.cursor < 2 {
+        let stage = "2_clock_gating";
+        let cur = current_netlist(&st);
+        let gated = if cfg.power.clock_gating_group == 0 {
+            sup.skip(stage, "clock gating disabled", cur.clone())
+        } else {
+            sup.run_stage(stage, |_ctx| match insert_clock_gating(cur, cfg.power.clock_gating_group) {
+                Ok(g) => Ok(StageTry::Done(g.netlist)),
+                Err(e) => Ok(StageTry::Degraded(
+                    cur.clone(),
+                    format!("clock gating failed, keeping the ungated netlist: {e}"),
+                )),
+            })?
         };
+        st.netlist = Some(gated);
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 2;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    stage_seconds.insert("1_synthesis".into(), timer.lap());
 
-    // ---- clock gating (before scan so gates see plain flops) ----
-    if cfg.power.clock_gating_group > 0 {
-        if let Ok(g) = insert_clock_gating(&netlist, cfg.power.clock_gating_group) {
-            netlist = g.netlist;
+    // ---- 3: scan insertion ----
+    if st.cursor < 3 {
+        let stage = "3_scan";
+        let cur = current_netlist(&st);
+        let (scanned, chains) = match cfg.scan {
+            Some(scan) => sup.run_stage(stage, |_ctx| {
+                let s = insert_scan(cur, scan.chains).map_err(StageFailure::Netlist)?;
+                Ok(StageTry::Done((s.netlist, s.chains)))
+            })?,
+            None => sup.skip(stage, "scan insertion disabled", (cur.clone(), Vec::new())),
+        };
+        let stats = NetlistStats::of(&scanned);
+        st.cells = stats.combinational;
+        st.flops = stats.flops;
+        st.netlist = Some(scanned);
+        st.chains = chains;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 3;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
+    }
+
+    // ---- 4: placement ----
+    if st.cursor < 4 {
+        let stage = "4_place";
+        let cur = current_netlist(&st);
+        let die = Die::for_netlist(cur, cfg.utilization);
+        let (placement, par) = sup.run_stage(stage, |_ctx| {
+            if cfg.place.stripes > 1 {
+                let out = eda_place::place_parallel(
+                    cur,
+                    die,
+                    &ParallelConfig {
+                        threads,
+                        stripes: cfg.place.stripes,
+                        moves_per_cell: cfg.place.anneal_moves_per_cell,
+                        passes: 2,
+                        seed: cfg.seed,
+                    },
+                );
+                Ok(StageTry::Done((out.placement, Some(out.par_stats))))
+            } else {
+                let mut p = place_global(
+                    cur,
+                    die,
+                    &GlobalConfig { iterations: cfg.place.global_iterations, seed: cfg.seed },
+                );
+                anneal(
+                    cur,
+                    &mut p,
+                    &AnnealConfig {
+                        moves_per_cell: cfg.place.anneal_moves_per_cell,
+                        seed: cfg.seed,
+                        ..Default::default()
+                    },
+                    None,
+                    None,
+                );
+                Ok(StageTry::Done((p, None)))
+            }
+        })?;
+        if let Some(par) = par {
+            st.stage_threads.insert(stage.into(), par.threads);
+            st.stage_speedup.insert(stage.into(), par.projected_speedup());
         }
+        st.placement = Some(placement);
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 4;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    stage_seconds.insert("2_clock_gating".into(), timer.lap());
 
-    // ---- scan insertion ----
-    let mut chains = Vec::new();
-    if let Some(scan) = cfg.scan {
-        let s = insert_scan(&netlist, scan.chains)?;
-        netlist = s.netlist;
-        chains = s.chains;
+    // ---- 5: scan reordering (placement-aware) ----
+    if st.cursor < 5 {
+        let stage = "5_scan_reorder";
+        let placement = current_placement(&st);
+        let reorder_on = cfg.scan.is_some_and(|s| s.placement_aware_reorder);
+        let (chains, scan_wl) = if reorder_on && !st.chains.is_empty() {
+            let chains0 = st.chains.clone();
+            sup.run_stage(stage, |_ctx| {
+                let reordered = reorder_chains(&chains0, placement);
+                let wl = scan_wirelength(&reordered, placement);
+                Ok(StageTry::Done((reordered, wl)))
+            })?
+        } else {
+            let cause = if st.chains.is_empty() { "no scan chains to reorder" } else { "placement-aware reorder disabled" };
+            let wl = scan_wirelength(&st.chains, placement);
+            sup.skip(stage, cause, (st.chains.clone(), wl))
+        };
+        st.chains = chains;
+        st.scan_wirelength_um = scan_wl;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 5;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    stage_seconds.insert("3_scan".into(), timer.lap());
 
-    let stats = NetlistStats::of(&netlist);
-
-    // ---- placement ----
-    let die = Die::for_netlist(&netlist, cfg.utilization);
-    let mut placement = if cfg.place.stripes > 1 {
-        let out = eda_place::place_parallel(
-            &netlist,
-            die,
-            &ParallelConfig {
-                threads,
-                stripes: cfg.place.stripes,
-                moves_per_cell: cfg.place.anneal_moves_per_cell,
-                passes: 2,
-                seed: cfg.seed,
-            },
-        );
-        stage_threads.insert("4_place".into(), out.par_stats.threads);
-        stage_speedup.insert("4_place".into(), out.par_stats.projected_speedup());
-        out.placement
-    } else {
-        let mut p = place_global(
-            &netlist,
-            die,
-            &GlobalConfig { iterations: cfg.place.global_iterations, seed: cfg.seed },
-        );
-        anneal(
-            &netlist,
-            &mut p,
-            &AnnealConfig {
-                moves_per_cell: cfg.place.anneal_moves_per_cell,
-                seed: cfg.seed,
-                ..Default::default()
-            },
-            None,
-            None,
-        );
-        p
-    };
-    stage_seconds.insert("4_place".into(), timer.lap());
-
-    // ---- scan reordering (placement-aware) ----
-    if let Some(scan) = cfg.scan {
-        if scan.placement_aware_reorder && !chains.is_empty() {
-            chains = reorder_chains(&chains, &placement);
-        }
+    // ---- 6: clock-tree synthesis ----
+    if st.cursor < 6 {
+        let stage = "6_cts";
+        let cur = current_netlist(&st);
+        let placement = current_placement(&st);
+        let (skew_ps, tree_um) = sup.run_stage(stage, |_ctx| {
+            let (tree, _sinks) = synthesize_clock_tree(cur, placement, &CtsConfig::default());
+            Ok(StageTry::Done((tree.skew_ps(), tree.wirelength_um)))
+        })?;
+        st.clock_skew_ps = skew_ps;
+        st.clock_tree_um = tree_um;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 6;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    let scan_wl = scan_wirelength(&chains, &placement);
-    stage_seconds.insert("5_scan_reorder".into(), timer.lap());
 
-    // ---- clock-tree synthesis ----
-    let (clock_tree, _sinks) = synthesize_clock_tree(&netlist, &placement, &CtsConfig::default());
-    stage_seconds.insert("6_cts".into(), timer.lap());
+    // ---- 7: timing (setup at nominal, hold at the fast corner) ----
+    if st.cursor < 7 {
+        let stage = "6_sta";
+        let cur = current_netlist(&st);
+        let tcfg = TimingConfig { clock_period_ps: 1e6 / cfg.clock_mhz, ..Default::default() };
+        let (wns, cp, holds) = sup.run_stage(stage, |_ctx| {
+            let timing = TimingAnalysis::run(cur, &tcfg).map_err(StageFailure::Netlist)?;
+            Ok(StageTry::Done((timing.wns_ps, timing.critical_path_ps, timing.hold_violations)))
+        })?;
+        st.wns_ps = wns;
+        st.critical_path_ps = cp;
+        st.hold_violations = holds;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 7;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
+    }
 
-    // ---- timing (setup at nominal, hold at the fast corner) ----
-    let tcfg = TimingConfig {
-        clock_period_ps: 1e6 / cfg.clock_mhz,
-        ..Default::default()
-    };
-    let timing = TimingAnalysis::run(&netlist, &tcfg)?;
-    stage_seconds.insert("6_sta".into(), timer.lap());
-
-    // ---- routing ----
     let plan = PatterningPlan::for_node(cfg.node);
-    let deck = if plan.needs_decomposition() {
-        RuleDeck::multi_patterned(cfg.layers, plan.total_exposures())
-    } else {
-        RuleDeck::simple(cfg.layers)
-    };
-    let (routed, route_par) = route_stats(
-        &netlist,
-        &placement,
-        &RouteConfig {
-            algorithm: cfg.router,
-            deck,
-            grid_cells: 32,
-            ripup_iterations: cfg.ripup_iterations,
-            threads,
-        },
-    );
-    stage_threads.insert("7_route".into(), route_par.threads);
-    stage_speedup.insert("7_route".into(), route_par.projected_speedup());
-    stage_seconds.insert("7_route".into(), timer.lap());
 
-    // ---- lithography decomposition of the critical layer ----
+    // ---- 8: routing ----
+    if st.cursor < 8 {
+        let stage = "7_route";
+        let cur = current_netlist(&st);
+        let placement = current_placement(&st);
+        let deck = if plan.needs_decomposition() {
+            RuleDeck::multi_patterned(cfg.layers, plan.total_exposures())
+        } else {
+            RuleDeck::simple(cfg.layers)
+        };
+        // Recovery: if negotiated rip-up exhausts its budget with overflow
+        // remaining, retry once on a coarser grid (pooling capacity across
+        // more tracks) and keep whichever result overflows less.
+        let mut first: Option<(eda_route::RouteOutcome, eda_par::ParStats)> = None;
+        let (routed, par) = sup.run_stage(stage, |ctx: StageCtx| {
+            let rcfg = RouteConfig {
+                algorithm: cfg.router,
+                deck: deck.clone(),
+                grid_cells: 32,
+                ripup_iterations: cfg.ripup_iterations,
+                threads,
+            };
+            let rcfg = if ctx.adapt == 0 { rcfg } else { rcfg.coarsened() };
+            let (out, stats) = route_stats(cur, placement, &rcfg);
+            let (out, stats) = match first.take() {
+                Some((o0, s0)) if (o0.overflow, o0.wirelength) <= (out.overflow, out.wirelength) => (o0, s0),
+                _ => (out, stats),
+            };
+            if out.is_clean() || cfg.ripup_iterations == 0 {
+                return Ok(StageTry::Done((out, stats)));
+            }
+            let overflow = out.overflow;
+            if ctx.adapt == 0 {
+                first = Some((out.clone(), stats.clone()));
+                Ok(StageTry::Retry {
+                    reason: format!("{overflow} overflow after the rip-up budget"),
+                    salvage: Some((
+                        (out, stats),
+                        format!("partial routes ({overflow} overflow)"),
+                    )),
+                })
+            } else {
+                Ok(StageTry::Degraded(
+                    (out, stats),
+                    format!("partial routes after coarse-grid retry ({overflow} overflow)"),
+                ))
+            }
+        })?;
+        st.routed_wirelength = routed.wirelength;
+        st.routed_vias = routed.vias;
+        st.routed_overflow = routed.overflow;
+        st.stage_threads.insert(stage.into(), par.threads);
+        st.stage_speedup.insert(stage.into(), par.projected_speedup());
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 8;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
+    }
+
+    // ---- 9: lithography decomposition + OPC of the critical layer ----
     // Single-patterned nodes print the layer in one exposure — nothing to
-    // decompose. Below the single-exposure pitch, the critical-layer
-    // geometry is modeled as a wire population whose count tracks routed
-    // wirelength at the node's minimum pitch (see DESIGN.md).
-    let (masks, stitches, litho_legal) = if plan.needs_decomposition() {
-        let pitch = cfg.node.spec().metal_pitch_nm;
-        let wires = (routed.wirelength / 4).clamp(24, 160) as usize;
-        let layout = Layout::random_wires(wires, pitch, pitch * 40.0, cfg.seed);
-        let deco = decompose(
-            &layout,
-            plan.total_exposures(),
-            eda_tech::SINGLE_EXPOSURE_PITCH_NM,
-            wires / 2,
-        );
-        (deco.masks, deco.stitches, deco.legal)
-    } else {
-        (1, 0, true)
-    };
-    stage_seconds.insert("8_litho".into(), timer.lap());
-
-    // ---- power ----
-    let activity = Activity::estimate(&netlist, &ActivityConfig::default())?;
-    let pcfg = PowerConfig { node: cfg.node, freq_mhz: cfg.clock_mhz, ..Default::default() };
-    let power = analyze(&netlist, &activity, &pcfg);
-    let mut decaps = 0usize;
-    let mut hotspots = 0usize;
-    if let Some(limit) = cfg.power.decap_droop_limit_mv {
-        let mut grid = PowerGrid::build(&netlist, &placement, &activity, &pcfg, 8);
-        if let Ok(out) = insert_decaps(&netlist, &mut grid, cfg.node, limit) {
-            decaps = out.decaps_inserted;
-            hotspots = out.hotspots_after;
-            netlist = out.netlist;
+    // decompose or correct. Below the single-exposure pitch, the
+    // critical-layer geometry is modeled as a wire population whose count
+    // tracks routed wirelength at the node's minimum pitch (see DESIGN.md).
+    if st.cursor < 9 {
+        let stage = "8_litho";
+        if !plan.needs_decomposition() {
+            let (masks, stitches, legal, epe) =
+                sup.skip(stage, "single-patterned node needs no decomposition or OPC", (1u32, 0usize, true, 0.0f64));
+            st.masks = masks;
+            st.stitches = stitches;
+            st.litho_legal = legal;
+            st.opc_rms_epe_nm = epe;
+        } else {
+            let pitch = cfg.node.spec().metal_pitch_nm;
+            let wires = (st.routed_wirelength / 4).clamp(24, 160) as usize;
+            let layout = Layout::random_wires(wires, pitch, pitch * 40.0, cfg.seed);
+            let model = OpticalModel::default();
+            // After decomposition each mask prints at the relaxed pitch.
+            let relaxed_pitch = pitch * plan.total_exposures() as f64;
+            let (masks, stitches, legal, epe) = sup.run_stage(stage, |ctx: StageCtx| {
+                // Recovery: double the stitch budget and halve the OPC gain.
+                let stitch_budget = if ctx.adapt == 0 { wires / 2 } else { wires };
+                let deco = decompose(&layout, plan.total_exposures(), eda_tech::SINGLE_EXPOSURE_PITCH_NM, stitch_budget);
+                let ocfg = OpcConfig { threads, ..Default::default() };
+                let ocfg = if ctx.adapt == 0 { ocfg } else { ocfg.backoff() };
+                let target: Vec<(f64, f64)> = (0..6)
+                    .map(|i| {
+                        let x = 200.0 + i as f64 * relaxed_pitch;
+                        (x, x + relaxed_pitch / 2.0)
+                    })
+                    .collect();
+                let extent = 400.0 + relaxed_pitch * 6.0;
+                let (opc, _opc_par) = run_opc_stats(&model, &target, extent, &ocfg);
+                let epe = opc.final_rms_epe();
+                let converged = opc.converged(OPC_RMS_EPE_LIMIT_NM);
+                let value = (deco.masks, deco.stitches, deco.legal, epe);
+                if deco.legal && converged {
+                    return Ok(StageTry::Done(value));
+                }
+                let mut reasons = Vec::new();
+                if !deco.legal {
+                    reasons.push(format!("decomposition illegal within a {stitch_budget}-stitch budget"));
+                }
+                if !converged {
+                    reasons.push(format!("OPC unconverged at {epe:.2} nm rms EPE"));
+                }
+                let reason = reasons.join("; ");
+                if ctx.adapt == 0 {
+                    Ok(StageTry::Retry {
+                        reason: reason.clone(),
+                        salvage: Some((value, format!("best-effort masks ({reason})"))),
+                    })
+                } else {
+                    Ok(StageTry::Degraded(value, format!("{reason} (after stitch-budget and OPC-gain retry)")))
+                }
+            })?;
+            st.masks = masks;
+            st.stitches = stitches;
+            st.litho_legal = legal;
+            st.opc_rms_epe_nm = epe;
         }
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 9;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    // Static IR drop of the final power map.
-    let ir_grid = PowerGrid::build(&netlist, &placement, &activity, &pcfg, 8);
-    let ir = solve_ir_drop(&ir_grid, cfg.node, &MeshConfig::default());
-    stage_seconds.insert("9_power".into(), timer.lap());
 
-    // ---- test coverage (random-pattern estimate) ----
-    let mut coverage = 0.0;
-    if cfg.scan.is_some() {
-        let view = CombView::new(&netlist)?;
-        let faults = fault_list(&netlist);
-        let pats = random_patterns(&view, 96, cfg.seed);
-        let (sim, dft_par) = fault_sim_threaded(&netlist, &view, &faults, &pats, threads);
-        coverage = sim.coverage();
-        stage_threads.insert("10_dft".into(), dft_par.threads);
-        stage_speedup.insert("10_dft".into(), dft_par.projected_speedup());
+    // ---- 10: power analysis, decap insertion, IR signoff ----
+    if st.cursor < 10 {
+        let stage = "9_power";
+        let cur = current_netlist(&st);
+        let placement = current_placement(&st);
+        let pcfg = PowerConfig { node: cfg.node, freq_mhz: cfg.clock_mhz, ..Default::default() };
+        let (powered, dynamic_mw, leakage_mw, decaps, hotspots, ir_mv) = sup.run_stage(stage, |ctx: StageCtx| {
+            let activity = Activity::estimate(cur, &ActivityConfig::default()).map_err(StageFailure::Netlist)?;
+            let power = analyze(cur, &activity, &pcfg);
+            let mut netlist = cur.clone();
+            let mut decaps = 0usize;
+            let mut hotspots = 0usize;
+            let mut notes: Vec<String> = Vec::new();
+            if let Some(limit) = cfg.power.decap_droop_limit_mv {
+                let mut grid = PowerGrid::build(cur, placement, &activity, &pcfg, 8);
+                match insert_decaps(cur, &mut grid, cfg.node, limit) {
+                    Ok(out) => {
+                        decaps = out.decaps_inserted;
+                        hotspots = out.hotspots_after;
+                        netlist = out.netlist;
+                    }
+                    Err(e) => notes.push(format!("decap insertion failed, continuing without decaps: {e}")),
+                }
+            }
+            // Static IR drop of the final power map. Recovery: a stalled
+            // Gauss–Seidel relaxation retries with a relaxed tolerance.
+            let ir_grid = PowerGrid::build(&netlist, placement, &activity, &pcfg, 8);
+            let mesh = if ctx.adapt == 0 { MeshConfig::default() } else { MeshConfig::default().relaxed() };
+            let ir = solve_ir_drop(&ir_grid, cfg.node, &mesh);
+            let converged = ir.converged(&mesh);
+            let value = (netlist, power.dynamic_mw, power.leakage_mw, decaps, hotspots, ir.worst_drop_mv());
+            if converged {
+                if notes.is_empty() {
+                    Ok(StageTry::Done(value))
+                } else {
+                    Ok(StageTry::Degraded(value, notes.join("; ")))
+                }
+            } else if ctx.adapt == 0 {
+                notes.push(format!("IR solver stalled at the {}-iteration cap", mesh.max_iterations));
+                let reason = notes.join("; ");
+                Ok(StageTry::Retry {
+                    reason: reason.clone(),
+                    salvage: Some((value, "unconverged IR solution".to_string())),
+                })
+            } else {
+                notes.push("IR solver unconverged even with relaxed tolerance".into());
+                Ok(StageTry::Degraded(value, notes.join("; ")))
+            }
+        })?;
+        st.netlist = Some(powered);
+        st.dynamic_mw = dynamic_mw;
+        st.leakage_mw = leakage_mw;
+        st.decaps = decaps;
+        st.hotspots = hotspots;
+        st.ir_drop_mv = ir_mv;
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 10;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
-    stage_seconds.insert("10_dft".into(), timer.lap());
+
+    // ---- 11: test coverage (random-pattern estimate) ----
+    if st.cursor < 11 {
+        let stage = "10_dft";
+        if cfg.scan.is_none() {
+            st.test_coverage = sup.skip(stage, "scan insertion disabled", 0.0);
+        } else {
+            let cur = current_netlist(&st);
+            let (coverage, par) = sup.run_stage(stage, |_ctx| {
+                let view = CombView::new(cur).map_err(StageFailure::Netlist)?;
+                let faults = fault_list(cur);
+                let pats = random_patterns(&view, 96, cfg.seed);
+                let (sim, dft_par) = fault_sim_threaded(cur, &view, &faults, &pats, threads);
+                Ok(StageTry::Done((sim.coverage(), dft_par)))
+            })?;
+            st.test_coverage = coverage;
+            st.stage_threads.insert(stage.into(), par.threads);
+            st.stage_speedup.insert(stage.into(), par.projected_speedup());
+        }
+        st.stage_seconds.insert(stage.into(), timer.lap());
+        st.cursor = 11;
+        save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
+    }
 
     // Long-net buffering is part of area accounting.
-    let buffers = plan_buffers(&netlist, &placement, die.width_um / 2.0, &[]);
-    let _ = &mut placement;
+    let netlist = current_netlist(&st);
+    let placement = current_placement(&st);
+    let buffers = plan_buffers(netlist, placement, placement.die.width_um / 2.0, &[]);
 
     Ok(FlowReport {
         flow: cfg.name.clone(),
         design: design.name().to_string(),
         node: cfg.node.to_string(),
         cell_area_um2: netlist.area_um2() + buffers.added_area_um2,
-        cells: stats.combinational,
-        flops: stats.flops,
-        wns_ps: timing.wns_ps,
-        critical_path_ps: timing.critical_path_ps,
-        hpwl_um: placement.total_hpwl(&netlist),
-        routed_wirelength: routed.wirelength,
-        vias: routed.vias,
-        overflow: routed.overflow,
-        masks,
-        stitches,
-        litho_legal,
-        dynamic_mw: power.dynamic_mw,
-        leakage_mw: power.leakage_mw,
-        test_coverage: coverage,
-        scan_wirelength_um: scan_wl,
-        decaps,
-        hotspots,
-        clock_skew_ps: clock_tree.skew_ps(),
-        clock_tree_um: clock_tree.wirelength_um,
-        ir_drop_mv: ir.worst_drop_mv(),
-        hold_violations: timing.hold_violations,
-        synthesis_verified,
-        stage_seconds,
-        stage_threads,
-        stage_speedup,
+        cells: st.cells,
+        flops: st.flops,
+        wns_ps: st.wns_ps,
+        critical_path_ps: st.critical_path_ps,
+        hpwl_um: placement.total_hpwl(netlist),
+        routed_wirelength: st.routed_wirelength,
+        vias: st.routed_vias,
+        overflow: st.routed_overflow,
+        masks: st.masks,
+        stitches: st.stitches,
+        litho_legal: st.litho_legal,
+        opc_rms_epe_nm: st.opc_rms_epe_nm,
+        dynamic_mw: st.dynamic_mw,
+        leakage_mw: st.leakage_mw,
+        test_coverage: st.test_coverage,
+        scan_wirelength_um: st.scan_wirelength_um,
+        decaps: st.decaps,
+        hotspots: st.hotspots,
+        clock_skew_ps: st.clock_skew_ps,
+        clock_tree_um: st.clock_tree_um,
+        ir_drop_mv: st.ir_drop_mv,
+        hold_violations: st.hold_violations,
+        synthesis_verified: st.synthesis_verified,
+        stage_status: sup.statuses.clone(),
+        stage_seconds: st.stage_seconds.clone(),
+        stage_threads: st.stage_threads.clone(),
+        stage_speedup: st.stage_speedup.clone(),
     })
+}
+
+/// The netlist as of the last completed stage. Internal invariant: every
+/// stage past `1_synthesis` has one.
+fn current_netlist(st: &FlowState) -> &Netlist {
+    st.netlist.as_ref().expect("netlist exists after synthesis")
+}
+
+/// The placement as of the last completed stage. Internal invariant: every
+/// stage past `4_place` has one.
+fn current_placement(st: &FlowState) -> &eda_place::Placement {
+    st.placement.as_ref().expect("placement exists after the place stage")
+}
+
+fn save_checkpoint(
+    cfg: &FlowConfig,
+    design: &str,
+    fp: u64,
+    st: &mut FlowState,
+    sup: &mut Supervisor<'_>,
+    stage: &'static str,
+) -> Result<(), FlowError> {
+    let Some(dir) = &cfg.checkpoint_dir else {
+        return Ok(());
+    };
+    st.statuses = sup.statuses.clone();
+    match checkpoint::save(dir, design, fp, st) {
+        Ok(path) => {
+            sup.checkpoint = Some(path);
+            Ok(())
+        }
+        Err(reason) => Err(FlowError::Checkpoint { stage, reason }),
+    }
 }
 
 struct Timer {
@@ -289,6 +741,7 @@ impl Timer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::harness::StageOutcome;
     use eda_netlist::generate;
     use eda_tech::Node;
 
@@ -336,5 +789,43 @@ mod tests {
         let design = generate::parity_tree(16).unwrap();
         let report = run_flow(&design, &FlowConfig::advanced_2016(Node::N10)).unwrap();
         assert!(report.masks >= 2, "10nm critical layer needs multiple masks");
+        let litho = &report.stage_status["8_litho"];
+        assert!(
+            !matches!(litho.outcome, StageOutcome::Skipped { .. }),
+            "multi-patterned flow must run decomposition + OPC, got {}",
+            litho.outcome
+        );
+        assert!(
+            report.opc_rms_epe_nm <= super::OPC_RMS_EPE_LIMIT_NM,
+            "OPC must converge at the decomposed pitch, got {:.2} nm",
+            report.opc_rms_epe_nm
+        );
+    }
+
+    #[test]
+    fn every_stage_reports_a_status() {
+        let design = generate::switch_fabric(3, 3).unwrap();
+        for cfg in [FlowConfig::advanced_2016(Node::N28), FlowConfig::basic_2006(Node::N90)] {
+            let report = run_flow(&design, &cfg).unwrap();
+            assert_eq!(report.stage_status.len(), STAGES.len(), "flow {}", cfg.name);
+            for stage in STAGES {
+                assert!(report.stage_status.contains_key(stage), "missing status for {stage}");
+            }
+        }
+    }
+
+    #[test]
+    fn basic_flow_skips_what_it_lacks() {
+        let design = generate::ripple_carry_adder(8).unwrap();
+        let report = run_flow(&design, &FlowConfig::basic_2006(Node::N90)).unwrap();
+        let skipped = |stage: &str| {
+            matches!(
+                report.stage_status[stage].outcome,
+                StageOutcome::Skipped { .. }
+            )
+        };
+        assert!(skipped("2_clock_gating"), "basic flow has no clock gating");
+        assert!(skipped("8_litho"), "90nm is single-patterned");
+        assert!(report.stage_status["1_synthesis"].is_clean());
     }
 }

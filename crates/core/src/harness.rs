@@ -1,0 +1,559 @@
+//! Supervised stage execution: budgets, typed outcomes, recovery, and
+//! deterministic fault injection.
+//!
+//! Every stage of [`run_flow`](crate::flow::run_flow) executes inside a
+//! [`Supervisor`] harness. The harness gives each stage a [`StageBudget`]
+//! (attempt cap plus an optional wall-clock soft deadline), records a typed
+//! [`StageStatus`] for the report, and drives the stage's recovery policy:
+//! a stage body reports `Done`, `Degraded`, or `Retry` per attempt, and the
+//! harness decides whether to re-run it, accept a salvaged partial result,
+//! or surface a typed error carrying everything completed so far.
+//!
+//! Fault injection is deterministic by construction: a [`FaultPlan`] keys
+//! faults on `(stage name, invocation count)` — never on wall-clock time or
+//! thread identity — so an injected failure reproduces bit-identically at
+//! any thread count. The soft deadline is the one wall-clock input, and it
+//! only gates *whether a retry is attempted*; it never alters the result of
+//! an attempt that ran, so flows with the default (`None`) deadline stay
+//! fully deterministic.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use crate::flow::{FlowError, PartialFlow, StageFailure};
+
+/// How a stage concluded, as recorded in
+/// [`FlowReport::stage_status`](crate::report::FlowReport::stage_status).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageOutcome {
+    /// First attempt succeeded with a full-quality result.
+    Completed,
+    /// A recovery policy kicked in and a later attempt succeeded cleanly.
+    Recovered {
+        /// Total attempts consumed, including the failures.
+        attempts: usize,
+    },
+    /// The stage produced a usable but reduced-quality result.
+    Degraded {
+        /// Human-readable cause (e.g. "partial routes after coarse-grid retry").
+        reason: String,
+    },
+    /// The stage did not run at all.
+    Skipped {
+        /// Why it was skipped (e.g. "scan insertion disabled").
+        cause: String,
+    },
+}
+
+impl std::fmt::Display for StageOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageOutcome::Completed => write!(f, "completed"),
+            StageOutcome::Recovered { attempts } => write!(f, "recovered after {attempts} attempts"),
+            StageOutcome::Degraded { reason } => write!(f, "degraded: {reason}"),
+            StageOutcome::Skipped { cause } => write!(f, "skipped: {cause}"),
+        }
+    }
+}
+
+/// Final status of one flow stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStatus {
+    /// The typed outcome.
+    pub outcome: StageOutcome,
+    /// Attempts consumed (0 for skipped stages).
+    pub attempts: usize,
+}
+
+impl StageStatus {
+    /// True when the stage ended at full quality (completed or recovered).
+    pub fn is_clean(&self) -> bool {
+        matches!(self.outcome, StageOutcome::Completed | StageOutcome::Recovered { .. })
+    }
+}
+
+/// Per-stage execution budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageBudget {
+    /// Maximum attempts (first run + retries). Clamped to at least 1.
+    pub max_attempts: usize,
+    /// Wall-clock soft deadline in seconds. When the stage has already spent
+    /// longer than this, no further retries are attempted — the harness
+    /// accepts the best salvaged result or reports budget exhaustion. It
+    /// never interrupts a running attempt, so results stay deterministic.
+    /// `None` (the default) disables the deadline.
+    pub soft_deadline_s: Option<f64>,
+}
+
+impl Default for StageBudget {
+    fn default() -> StageBudget {
+        StageBudget { max_attempts: 2, soft_deadline_s: None }
+    }
+}
+
+/// Budgets for every stage: a default plus per-stage overrides.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageBudgets {
+    default: StageBudget,
+    overrides: BTreeMap<String, StageBudget>,
+}
+
+impl StageBudgets {
+    /// Budgets with `default` for every stage not overridden.
+    pub fn uniform(default: StageBudget) -> StageBudgets {
+        StageBudgets { default, overrides: BTreeMap::new() }
+    }
+
+    /// Overrides the budget for one stage (full key like `"7_route"`, or the
+    /// bare name `"route"`).
+    pub fn set(mut self, stage: &str, budget: StageBudget) -> StageBudgets {
+        self.overrides.insert(stage.to_string(), budget);
+        self
+    }
+
+    /// The budget in force for `stage`.
+    pub fn for_stage(&self, stage: &str) -> StageBudget {
+        self.overrides
+            .iter()
+            .find(|(k, _)| stage_matches(k, stage))
+            .map(|(_, b)| *b)
+            .unwrap_or(self.default)
+    }
+}
+
+/// A fault the injection layer can force on a stage attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// The attempt fails outright without running; the recovery policy
+    /// decides whether a retry happens.
+    Fail,
+    /// The attempt's soft deadline is treated as blown: its work is kept but
+    /// the stage is marked degraded and no retry is allowed.
+    Timeout,
+    /// The attempt runs and succeeds, but its result is force-marked
+    /// degraded.
+    Degrade,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::Fail => write!(f, "fail"),
+            Fault::Timeout => write!(f, "timeout"),
+            Fault::Degrade => write!(f, "degrade"),
+        }
+    }
+}
+
+/// One rule of a [`FaultPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRule {
+    /// Stage the rule applies to: a full key (`"7_route"`) or bare name
+    /// (`"route"`).
+    pub stage: String,
+    /// Which invocation of the stage to hit (`None` = every invocation).
+    /// Invocations count every attempt of the stage within one flow run,
+    /// starting at 0.
+    pub invocation: Option<u64>,
+    /// The fault to inject.
+    pub fault: Fault,
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Faults are keyed purely on `(stage name, invocation count)`: the nth
+/// attempt of a given stage sees the same fault on every run, on every
+/// machine, at any thread count. The `seed` feeds the optional random mode
+/// ([`FaultPlan::random`]), which hashes `(seed, stage, invocation)` — still
+/// fully reproducible.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FaultPlan {
+    /// Seed for the hashed random mode.
+    pub seed: u64,
+    /// Explicit rules, first match wins.
+    pub rules: Vec<FaultRule>,
+    /// Probability (in 1/1000ths) that the hashed random mode injects a
+    /// fault into any given attempt. 0 disables the random mode.
+    pub random_per_mille: u16,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> FaultPlan {
+        FaultPlan { seed, rules: Vec::new(), random_per_mille: 0 }
+    }
+
+    /// Adds an explicit rule.
+    pub fn with(mut self, stage: &str, invocation: Option<u64>, fault: Fault) -> FaultPlan {
+        self.rules.push(FaultRule { stage: stage.to_string(), invocation, fault });
+        self
+    }
+
+    /// A seeded plan that injects a hashed pseudo-random fault into roughly
+    /// `per_mille`/1000 of all stage attempts.
+    pub fn random(seed: u64, per_mille: u16) -> FaultPlan {
+        FaultPlan { seed, rules: Vec::new(), random_per_mille: per_mille.min(1000) }
+    }
+
+    /// The standard smoke plan used by `experiments --inject smoke` and CI:
+    /// one recoverable failure, one timeout, and one forced degradation
+    /// spread across the flow.
+    pub fn smoke(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed)
+            .with("route", Some(0), Fault::Fail)
+            .with("litho", Some(0), Fault::Timeout)
+            .with("clock_gating", Some(0), Fault::Degrade)
+            .with("dft", Some(0), Fault::Fail)
+    }
+
+    /// Parses a command-line spec.
+    ///
+    /// Accepted forms: `"smoke"`, `"random:<per-mille>"`, or a comma list of
+    /// `stage=fault[@invocation]` rules where `fault` is `fail`, `timeout`,
+    /// or `degrade` — e.g. `"route=fail@0,litho=timeout"`.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if spec == "smoke" {
+            return Ok(FaultPlan::smoke(seed));
+        }
+        if let Some(pm) = spec.strip_prefix("random:") {
+            let pm: u16 = pm
+                .parse()
+                .map_err(|_| format!("bad per-mille in --inject spec: {pm:?}"))?;
+            return Ok(FaultPlan::random(seed, pm));
+        }
+        let mut plan = FaultPlan::new(seed);
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (stage, rhs) = part
+                .split_once('=')
+                .ok_or_else(|| format!("bad --inject rule {part:?}: expected stage=fault[@invocation]"))?;
+            let (fault, invocation) = match rhs.split_once('@') {
+                Some((f, inv)) => {
+                    let inv: u64 = inv
+                        .parse()
+                        .map_err(|_| format!("bad invocation in --inject rule {part:?}"))?;
+                    (f, Some(inv))
+                }
+                None => (rhs, None),
+            };
+            let fault = match fault {
+                "fail" => Fault::Fail,
+                "timeout" => Fault::Timeout,
+                "degrade" => Fault::Degrade,
+                other => return Err(format!("unknown fault {other:?} (want fail|timeout|degrade)")),
+            };
+            plan.rules.push(FaultRule { stage: stage.to_string(), invocation, fault });
+        }
+        if plan.rules.is_empty() {
+            return Err(format!("empty --inject spec {spec:?}"));
+        }
+        Ok(plan)
+    }
+
+    /// The fault (if any) to inject into the given invocation of `stage`.
+    /// Pure function of the plan, the stage name, and the invocation count.
+    pub fn fault_for(&self, stage: &str, invocation: u64) -> Option<Fault> {
+        for rule in &self.rules {
+            if stage_matches(&rule.stage, stage) && rule.invocation.is_none_or(|i| i == invocation) {
+                return Some(rule.fault);
+            }
+        }
+        if self.random_per_mille > 0 {
+            let mut h = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+            for b in stage.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            h ^= invocation.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h = splitmix(h);
+            if h % 1000 < u64::from(self.random_per_mille) {
+                return Some(match (h / 1000) % 3 {
+                    0 => Fault::Fail,
+                    1 => Fault::Timeout,
+                    _ => Fault::Degrade,
+                });
+            }
+        }
+        None
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// True when `pattern` names `stage` — either the full key (`"7_route"`)
+/// or the bare name after the order prefix (`"route"`).
+fn stage_matches(pattern: &str, stage: &str) -> bool {
+    if pattern == stage {
+        return true;
+    }
+    match stage.split_once('_') {
+        Some((order, bare)) => order.chars().all(|c| c.is_ascii_digit()) && pattern == bare,
+        None => false,
+    }
+}
+
+/// What a stage body reports back to the harness for one attempt.
+pub(crate) enum StageTry<T> {
+    /// Full-quality result.
+    Done(T),
+    /// Usable result of reduced quality, with the reason.
+    Degraded(T, String),
+    /// The attempt did not produce an acceptable result; ask for a retry.
+    /// `salvage` optionally carries a partial result (and a note) the
+    /// harness can fall back to if the budget runs out.
+    Retry {
+        /// Why this attempt was unacceptable.
+        reason: String,
+        /// Best-effort partial result to accept if no retry is possible.
+        salvage: Option<(T, String)>,
+    },
+}
+
+/// Per-attempt context handed to a stage body.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StageCtx {
+    /// 0-based attempt index (counts injected failures too).
+    #[allow(dead_code)]
+    pub attempt: usize,
+    /// Number of *observed* failures so far: attempts whose body actually ran
+    /// and asked for a retry. Recovery policies key their parameter
+    /// escalation (coarser grid, bigger simulation budget, OPC backoff) off
+    /// this, not off `attempt`, so an injected fault that skips the body does
+    /// not perturb the parameters — and therefore cannot change the QoR — of
+    /// the retry.
+    pub adapt: usize,
+}
+
+/// The stage harness: runs every stage under its budget, applies the fault
+/// plan, and accumulates statuses.
+pub(crate) struct Supervisor<'p> {
+    plan: Option<&'p FaultPlan>,
+    budgets: StageBudgets,
+    /// Statuses of stages finished so far, keyed by stage name.
+    pub statuses: BTreeMap<String, StageStatus>,
+    invocations: BTreeMap<&'static str, u64>,
+    /// Path of the checkpoint file, once one has been written or loaded.
+    pub checkpoint: Option<std::path::PathBuf>,
+}
+
+impl<'p> Supervisor<'p> {
+    pub fn new(plan: Option<&'p FaultPlan>, budgets: StageBudgets) -> Supervisor<'p> {
+        Supervisor {
+            plan,
+            budgets,
+            statuses: BTreeMap::new(),
+            invocations: BTreeMap::new(),
+            checkpoint: None,
+        }
+    }
+
+    /// Records `stage` as skipped and passes `value` through.
+    pub fn skip<T>(&mut self, stage: &'static str, cause: &str, value: T) -> T {
+        self.statuses.insert(
+            stage.to_string(),
+            StageStatus { outcome: StageOutcome::Skipped { cause: cause.to_string() }, attempts: 0 },
+        );
+        value
+    }
+
+    /// Runs one stage under the harness.
+    ///
+    /// The body is invoked once per attempt with a [`StageCtx`]; it returns
+    /// a [`StageTry`] describing the attempt, or a hard [`StageFailure`]
+    /// that no recovery policy can absorb.
+    pub fn run_stage<T>(
+        &mut self,
+        stage: &'static str,
+        mut body: impl FnMut(StageCtx) -> Result<StageTry<T>, StageFailure>,
+    ) -> Result<T, FlowError> {
+        let budget = self.budgets.for_stage(stage);
+        let max_attempts = budget.max_attempts.max(1);
+        let started = Instant::now();
+        let mut salvage: Option<(T, String)> = None;
+        let mut last_reason;
+        let mut attempt = 0usize;
+        let mut adapt = 0usize;
+        loop {
+            let invocation = {
+                let c = self.invocations.entry(stage).or_insert(0);
+                let v = *c;
+                *c += 1;
+                v
+            };
+            let injected = self.plan.and_then(|p| p.fault_for(stage, invocation));
+            match injected {
+                Some(Fault::Fail) => {
+                    last_reason = format!("injected failure (invocation {invocation})");
+                }
+                Some(Fault::Timeout) => {
+                    // A simulated blown deadline: whatever this attempt
+                    // produces is kept, but marked degraded and no retry
+                    // is allowed.
+                    let outcome = body(StageCtx { attempt, adapt })
+                        .map_err(|e| self.stage_failed(stage, e))?;
+                    let note = format!("soft deadline exceeded (injected timeout, invocation {invocation})");
+                    return match outcome {
+                        StageTry::Done(v) => {
+                            self.record(stage, attempt + 1, StageOutcome::Degraded { reason: note });
+                            Ok(v)
+                        }
+                        StageTry::Degraded(v, why) => {
+                            self.record(
+                                stage,
+                                attempt + 1,
+                                StageOutcome::Degraded { reason: format!("{why}; {note}") },
+                            );
+                            Ok(v)
+                        }
+                        StageTry::Retry { reason, salvage: Some((v, why)) } => {
+                            let _ = reason;
+                            self.record(
+                                stage,
+                                attempt + 1,
+                                StageOutcome::Degraded { reason: format!("{why}; {note}") },
+                            );
+                            Ok(v)
+                        }
+                        StageTry::Retry { reason, salvage: None } => {
+                            Err(self.budget_exhausted(stage, attempt + 1, format!("{reason}; {note}")))
+                        }
+                    };
+                }
+                Some(Fault::Degrade) | None => {
+                    let outcome = body(StageCtx { attempt, adapt })
+                        .map_err(|e| self.stage_failed(stage, e))?;
+                    match outcome {
+                        StageTry::Done(v) => {
+                            let o = if let Some(Fault::Degrade) = injected {
+                                StageOutcome::Degraded {
+                                    reason: format!("injected degradation (invocation {invocation})"),
+                                }
+                            } else if attempt == 0 {
+                                StageOutcome::Completed
+                            } else {
+                                StageOutcome::Recovered { attempts: attempt + 1 }
+                            };
+                            self.record(stage, attempt + 1, o);
+                            return Ok(v);
+                        }
+                        StageTry::Degraded(v, reason) => {
+                            self.record(stage, attempt + 1, StageOutcome::Degraded { reason });
+                            return Ok(v);
+                        }
+                        StageTry::Retry { reason, salvage: s } => {
+                            if s.is_some() {
+                                salvage = s;
+                            }
+                            last_reason = reason;
+                            adapt += 1;
+                        }
+                    }
+                }
+            }
+            attempt += 1;
+            let deadline_blown = budget
+                .soft_deadline_s
+                .is_some_and(|d| started.elapsed().as_secs_f64() > d);
+            if attempt >= max_attempts || deadline_blown {
+                let why = if deadline_blown && attempt < max_attempts {
+                    format!("{last_reason}; soft deadline exceeded after {attempt} attempt(s)")
+                } else {
+                    format!("{last_reason} ({attempt} attempt(s))")
+                };
+                return match salvage.take() {
+                    Some((v, note)) => {
+                        self.record(stage, attempt, StageOutcome::Degraded { reason: format!("{note}: {why}") });
+                        Ok(v)
+                    }
+                    None => Err(self.budget_exhausted(stage, attempt, why)),
+                };
+            }
+        }
+    }
+
+    fn record(&mut self, stage: &'static str, attempts: usize, outcome: StageOutcome) {
+        self.statuses.insert(stage.to_string(), StageStatus { outcome, attempts });
+    }
+
+    fn partial(&self) -> Box<PartialFlow> {
+        Box::new(PartialFlow { statuses: self.statuses.clone(), checkpoint: self.checkpoint.clone() })
+    }
+
+    fn stage_failed(&self, stage: &'static str, source: StageFailure) -> FlowError {
+        FlowError::Stage { stage, source, partial: self.partial() }
+    }
+
+    fn budget_exhausted(&self, stage: &'static str, attempts: usize, reason: String) -> FlowError {
+        FlowError::BudgetExhausted { stage, attempts, reason, partial: self.partial() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_matching_accepts_full_key_and_bare_name() {
+        assert!(stage_matches("7_route", "7_route"));
+        assert!(stage_matches("route", "7_route"));
+        assert!(stage_matches("clock_gating", "2_clock_gating"));
+        assert!(!stage_matches("route", "8_litho"));
+        assert!(!stage_matches("7_route", "route"));
+    }
+
+    #[test]
+    fn fault_plan_is_deterministic() {
+        let plan = FaultPlan::random(42, 200);
+        for stage in ["1_synthesis", "7_route", "10_dft"] {
+            for inv in 0..8 {
+                assert_eq!(plan.fault_for(stage, inv), plan.fault_for(stage, inv));
+            }
+        }
+        // ~20% of attempts should be hit — loose sanity bound.
+        let hits = (0..1000)
+            .filter(|&i| plan.fault_for("7_route", i).is_some())
+            .count();
+        assert!(hits > 100 && hits < 320, "hit rate {hits}/1000 out of range");
+    }
+
+    #[test]
+    fn fault_plan_rules_match_by_invocation() {
+        let plan = FaultPlan::new(1).with("route", Some(1), Fault::Fail);
+        assert_eq!(plan.fault_for("7_route", 0), None);
+        assert_eq!(plan.fault_for("7_route", 1), Some(Fault::Fail));
+        assert_eq!(plan.fault_for("7_route", 2), None);
+        let always = FaultPlan::new(1).with("7_route", None, Fault::Degrade);
+        assert_eq!(always.fault_for("7_route", 5), Some(Fault::Degrade));
+    }
+
+    #[test]
+    fn parse_accepts_all_forms() {
+        assert_eq!(FaultPlan::parse("smoke", 7).unwrap(), FaultPlan::smoke(7));
+        assert_eq!(FaultPlan::parse("random:50", 7).unwrap(), FaultPlan::random(7, 50));
+        let plan = FaultPlan::parse("route=fail@0, litho=timeout", 7).unwrap();
+        assert_eq!(plan.rules.len(), 2);
+        assert_eq!(plan.rules[0].fault, Fault::Fail);
+        assert_eq!(plan.rules[0].invocation, Some(0));
+        assert_eq!(plan.rules[1].fault, Fault::Timeout);
+        assert_eq!(plan.rules[1].invocation, None);
+        assert!(FaultPlan::parse("route", 7).is_err());
+        assert!(FaultPlan::parse("route=explode", 7).is_err());
+        assert!(FaultPlan::parse("", 7).is_err());
+    }
+
+    #[test]
+    fn budgets_resolve_overrides_by_bare_name() {
+        let budgets = StageBudgets::default()
+            .set("route", StageBudget { max_attempts: 5, soft_deadline_s: Some(1.0) });
+        assert_eq!(budgets.for_stage("7_route").max_attempts, 5);
+        assert_eq!(budgets.for_stage("8_litho").max_attempts, 2);
+    }
+}

@@ -107,12 +107,7 @@ impl FlowTuner {
     pub fn best_arm(&self) -> usize {
         (0..self.arms.len())
             .filter(|&i| self.stats[i].runs > 0)
-            .min_by(|&a, &b| {
-                self.stats[a]
-                    .mean_score
-                    .partial_cmp(&self.stats[b].mean_score)
-                    .expect("scores are finite")
-            })
+            .min_by(|&a, &b| self.stats[a].mean_score.total_cmp(&self.stats[b].mean_score))
             .unwrap_or(0)
     }
 

@@ -22,12 +22,20 @@
 //! # }
 //! ```
 
+// The flow library must never panic on user-reachable paths: recover,
+// degrade, or return a typed error instead. `.expect()` stays legal for
+// documented internal invariants; test modules are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
+
+mod checkpoint;
 pub mod config;
 pub mod flow;
+pub mod harness;
 pub mod learn;
 pub mod report;
 
 pub use config::{FlowConfig, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
-pub use flow::{run_flow, FlowError};
+pub use flow::{run_flow, FlowError, PartialFlow, StageFailure, STAGES};
+pub use harness::{Fault, FaultPlan, FaultRule, StageBudget, StageBudgets, StageOutcome, StageStatus};
 pub use learn::{Arm, ArmStats, FlowTuner};
 pub use report::FlowReport;

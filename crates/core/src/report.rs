@@ -1,5 +1,6 @@
 //! The flow's quality-of-results report.
 
+use crate::harness::{StageOutcome, StageStatus};
 use std::collections::BTreeMap;
 
 /// End-to-end QoR for one flow run.
@@ -35,6 +36,9 @@ pub struct FlowReport {
     pub stitches: usize,
     /// Whether decomposition is conflict-free.
     pub litho_legal: bool,
+    /// RMS edge-placement error of the critical layer after OPC, nm
+    /// (0 on single-patterned nodes, where no OPC runs).
+    pub opc_rms_epe_nm: f64,
     /// Dynamic power, mW.
     pub dynamic_mw: f64,
     /// Leakage power, mW.
@@ -59,6 +63,10 @@ pub struct FlowReport {
     /// equivalent, `Some(false)` = counterexample found, `None` = not run
     /// or inconclusive.
     pub synthesis_verified: Option<bool>,
+    /// Typed outcome of every stage the supervisor ran or skipped, keyed by
+    /// stage name. Holds no wall-clock data: identical runs produce
+    /// identical maps at any thread count.
+    pub stage_status: BTreeMap<String, StageStatus>,
     /// Wall-clock seconds per stage.
     pub stage_seconds: BTreeMap<String, f64>,
     /// Worker threads actually used per parallel stage (absent for stages
@@ -85,6 +93,47 @@ impl FlowReport {
             + (self.dynamic_mw + self.leakage_mw) * 2.0
             + self.scan_wirelength_um * 0.001
             + self.hotspots as f64 * 5.0
+    }
+
+    /// Bit-exact QoR equality: every deterministic field matches, including
+    /// stage statuses. Wall-clock-derived fields (`stage_seconds`,
+    /// `stage_speedup`) are excluded — they differ run to run by nature.
+    /// This is the resume contract: a flow killed after any stage and
+    /// resumed from its checkpoint satisfies `same_qor` against an
+    /// uninterrupted run.
+    pub fn same_qor(&self, other: &FlowReport) -> bool {
+        fn feq(a: f64, b: f64) -> bool {
+            a.to_bits() == b.to_bits()
+        }
+        self.flow == other.flow
+            && self.design == other.design
+            && self.node == other.node
+            && feq(self.cell_area_um2, other.cell_area_um2)
+            && self.cells == other.cells
+            && self.flops == other.flops
+            && feq(self.wns_ps, other.wns_ps)
+            && feq(self.critical_path_ps, other.critical_path_ps)
+            && feq(self.hpwl_um, other.hpwl_um)
+            && self.routed_wirelength == other.routed_wirelength
+            && self.vias == other.vias
+            && self.overflow == other.overflow
+            && self.masks == other.masks
+            && self.stitches == other.stitches
+            && self.litho_legal == other.litho_legal
+            && feq(self.opc_rms_epe_nm, other.opc_rms_epe_nm)
+            && feq(self.dynamic_mw, other.dynamic_mw)
+            && feq(self.leakage_mw, other.leakage_mw)
+            && feq(self.test_coverage, other.test_coverage)
+            && feq(self.scan_wirelength_um, other.scan_wirelength_um)
+            && self.decaps == other.decaps
+            && self.hotspots == other.hotspots
+            && feq(self.clock_skew_ps, other.clock_skew_ps)
+            && feq(self.clock_tree_um, other.clock_tree_um)
+            && feq(self.ir_drop_mv, other.ir_drop_mv)
+            && self.hold_violations == other.hold_violations
+            && self.synthesis_verified == other.synthesis_verified
+            && self.stage_status == other.stage_status
+            && self.stage_threads == other.stage_threads
     }
 }
 
@@ -123,6 +172,15 @@ impl std::fmt::Display for FlowReport {
             None => "not verified",
         };
         writeln!(f, "  verify:    {verified}")?;
+        let exceptions: Vec<String> = self
+            .stage_status
+            .iter()
+            .filter(|(_, s)| !matches!(s.outcome, StageOutcome::Completed))
+            .map(|(stage, s)| format!("{stage} {}", s.outcome))
+            .collect();
+        if !exceptions.is_empty() {
+            writeln!(f, "  stages:    {}", exceptions.join("; "))?;
+        }
         if !self.stage_threads.is_empty() {
             let mut parts = Vec::new();
             for (stage, &t) in &self.stage_threads {
@@ -156,6 +214,7 @@ mod tests {
             masks: 1,
             stitches: 0,
             litho_legal: true,
+            opc_rms_epe_nm: 0.0,
             dynamic_mw: 1.0,
             leakage_mw: 0.1,
             test_coverage: 0.95,
@@ -167,6 +226,7 @@ mod tests {
             ir_drop_mv: 10.0,
             hold_violations: 0,
             synthesis_verified: Some(true),
+            stage_status: BTreeMap::new(),
             stage_seconds: BTreeMap::new(),
             stage_threads: BTreeMap::new(),
             stage_speedup: BTreeMap::new(),

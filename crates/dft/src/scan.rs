@@ -145,7 +145,7 @@ pub fn reorder_chains(chains: &[Vec<InstId>], placement: &Placement) -> Vec<Vec<
                 .min_by(|&a, &b| {
                     let pa = placement.position(a);
                     let pb = placement.position(b);
-                    (pa.x + pa.y).partial_cmp(&(pb.x + pb.y)).expect("finite")
+                    (pa.x + pa.y).total_cmp(&(pb.x + pb.y))
                 })
                 .expect("chain non-empty");
             let mut remaining: Vec<InstId> = chain.iter().copied().filter(|&f| f != start).collect();
@@ -157,8 +157,7 @@ pub fn reorder_chains(chains: &[Vec<InstId>], placement: &Placement) -> Vec<Vec<
                     .enumerate()
                     .min_by(|(_, &a), (_, &b)| {
                         cur.manhattan(&placement.position(a))
-                            .partial_cmp(&cur.manhattan(&placement.position(b)))
-                            .expect("finite")
+                            .total_cmp(&cur.manhattan(&placement.position(b)))
                     })
                     .expect("remaining non-empty");
                 order.push(remaining.swap_remove(k));

@@ -29,6 +29,16 @@ impl Default for OpcConfig {
     }
 }
 
+impl OpcConfig {
+    /// The backoff retry configuration: half the correction step (gain) and
+    /// twice the iterations. Used by the flow supervisor when a first OPC
+    /// pass fails to converge — a large gain can oscillate around the target
+    /// edge, and halving it trades speed for stability.
+    pub fn backoff(&self) -> OpcConfig {
+        OpcConfig { gain: self.gain / 2.0, iterations: self.iterations * 2, ..*self }
+    }
+}
+
 /// Result of an OPC run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpcOutcome {
@@ -43,6 +53,11 @@ impl OpcOutcome {
     /// Final RMS EPE in nm.
     pub fn final_rms_epe(&self) -> f64 {
         *self.rms_epe_history.last().expect("history has the initial entry")
+    }
+
+    /// Whether the correction converged below `rms_epe_limit_nm`.
+    pub fn converged(&self, rms_epe_limit_nm: f64) -> bool {
+        self.final_rms_epe() <= rms_epe_limit_nm
     }
 }
 

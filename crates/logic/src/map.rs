@@ -37,6 +37,9 @@ pub enum MapError {
     MissingFlop,
     /// Netlist reconstruction failed.
     Netlist(NetlistError),
+    /// An internal mapping invariant broke (a bug, surfaced as an error
+    /// instead of a panic so callers can degrade gracefully).
+    Internal(&'static str),
 }
 
 impl std::fmt::Display for MapError {
@@ -46,6 +49,7 @@ impl std::fmt::Display for MapError {
             MapError::MissingAnd2 => write!(f, "library has no 2-input NAND/AND cell"),
             MapError::MissingFlop => write!(f, "library has no D flip-flop cell"),
             MapError::Netlist(e) => write!(f, "netlist construction failed: {e}"),
+            MapError::Internal(what) => write!(f, "internal mapping invariant broke: {what}"),
         }
     }
 }
@@ -186,12 +190,15 @@ impl Best {
     }
 }
 
-fn tt_on(old_leaves: &[u32], tt: &TruthTable, new_leaves: &[u32]) -> TruthTable {
+fn tt_on(old_leaves: &[u32], tt: &TruthTable, new_leaves: &[u32]) -> Result<TruthTable, MapError> {
     let mut out = 0u64;
     for row in 0..(1usize << K) {
         let mut old_row = 0usize;
         for (i, &ol) in old_leaves.iter().enumerate() {
-            let p = new_leaves.iter().position(|&nl| nl == ol).expect("superset");
+            let p = new_leaves
+                .iter()
+                .position(|&nl| nl == ol)
+                .ok_or(MapError::Internal("merged cut leaves are not a superset"))?;
             if row >> p & 1 == 1 {
                 old_row |= 1 << i;
             }
@@ -200,10 +207,10 @@ fn tt_on(old_leaves: &[u32], tt: &TruthTable, new_leaves: &[u32]) -> TruthTable 
             out |= 1 << row;
         }
     }
-    TruthTable::from_bits(K, out)
+    Ok(TruthTable::from_bits(K, out))
 }
 
-fn enumerate_cuts(nodes: &[RawNode]) -> Vec<Vec<MapCut>> {
+fn enumerate_cuts(nodes: &[RawNode]) -> Result<Vec<Vec<MapCut>>, MapError> {
     let n = nodes.len();
     let mut cuts: Vec<Vec<MapCut>> = vec![Vec::new(); n];
     for i in 0..n {
@@ -228,8 +235,8 @@ fn enumerate_cuts(nodes: &[RawNode]) -> Vec<Vec<MapCut>> {
                         if merged.iter().any(|c| c.leaves == leaves) {
                             continue;
                         }
-                        let ta = tt_on(&ca.leaves, &ca.tt, &leaves);
-                        let tb = tt_on(&cb.leaves, &cb.tt, &leaves);
+                        let ta = tt_on(&ca.leaves, &ca.tt, &leaves)?;
+                        let tb = tt_on(&cb.leaves, &cb.tt, &leaves)?;
                         let fa = if a.is_complemented() { ta.not() } else { ta };
                         let fb = if b.is_complemented() { tb.not() } else { tb };
                         merged.push(MapCut { leaves, tt: fa.and(&fb) });
@@ -245,7 +252,7 @@ fn enumerate_cuts(nodes: &[RawNode]) -> Vec<Vec<MapCut>> {
             }
         }
     }
-    cuts
+    Ok(cuts)
 }
 
 /// Maps an AIG onto `lib` with phase-complete cut matching.
@@ -270,7 +277,7 @@ pub fn map_aig(
     let table = PatternTable::build(&lib)?;
     let nodes = aig.raw_nodes();
     let n = nodes.len();
-    let cuts = enumerate_cuts(&nodes);
+    let cuts = enumerate_cuts(&nodes)?;
 
     let mut refs = vec![1u32; n];
     for node in &nodes {
@@ -458,7 +465,8 @@ pub fn map_aig(
                         out.add_gate(format!("u_inv{}", self.counter), self.table.inv, &[src])
                             .map_err(MapError::Netlist)?
                     } else {
-                        let cell = b.cell.expect("direct match has a cell");
+                        let cell =
+                            b.cell.ok_or(MapError::Internal("direct match lost its cell"))?;
                         let mut ins = Vec::with_capacity(b.leaf_phases.len());
                         for &(leaf, ph) in &b.leaf_phases {
                             ins.push(self.realize(out, leaf, ph)?);
@@ -583,18 +591,16 @@ pub fn map_naive(
                     if matches!(nodes[node], RawNode::Const) {
                         return tie_net(out, ties, lit.is_complemented());
                     }
+                    let pos = pos_net[node]
+                        .ok_or(MapError::Internal("AIG fanin visited before its driver"));
                     if !lit.is_complemented() {
-                        Ok(pos_net[node].expect("topo order"))
+                        pos
                     } else if let Some(nn) = neg_net[node] {
                         Ok(nn)
                     } else {
                         *counter += 1;
                         let nn = out
-                            .add_gate(
-                                format!("n_inv{counter}"),
-                                inv,
-                                &[pos_net[node].expect("topo order")],
-                            )
+                            .add_gate(format!("n_inv{counter}"), inv, &[pos?])
                             .map_err(MapError::Netlist)?;
                         neg_net[node] = Some(nn);
                         Ok(nn)
@@ -621,13 +627,15 @@ pub fn map_naive(
         let net = if matches!(nodes[node], RawNode::Const) {
             tie_net(&mut out, &mut ties, lit.is_complemented())?
         } else if !lit.is_complemented() {
-            pos_net[node].expect("po driver mapped")
+            pos_net[node].ok_or(MapError::Internal("primary output driver never mapped"))?
         } else if let Some(nn) = neg_net[node] {
             nn
         } else {
+            let pos =
+                pos_net[node].ok_or(MapError::Internal("primary output driver never mapped"))?;
             counter += 1;
             let nn = out
-                .add_gate(format!("n_inv{counter}"), inv, &[pos_net[node].expect("topo order")])
+                .add_gate(format!("n_inv{counter}"), inv, &[pos])
                 .map_err(MapError::Netlist)?;
             neg_net[node] = Some(nn);
             nn

@@ -26,6 +26,7 @@
 //! ```
 
 pub mod cell;
+pub mod codec;
 pub mod generate;
 pub mod liberty;
 pub mod netlist;
@@ -33,6 +34,7 @@ pub mod stats;
 pub mod verilog;
 
 pub use cell::{CellDef, CellFunction, CellId, Library};
+pub use codec::CodecError;
 pub use netlist::{InstId, Instance, Net, NetDriver, NetId, Netlist, NetlistError};
 pub use liberty::{parse_clf, parse_liberty, write_clf, write_liberty, ParseLibError};
 pub use stats::NetlistStats;

@@ -48,10 +48,10 @@ pub enum NetDriver {
 /// output.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Net {
-    name: String,
-    driver: Option<NetDriver>,
+    pub(crate) name: String,
+    pub(crate) driver: Option<NetDriver>,
     /// `(instance, input-pin-position)` pairs fed by this net.
-    sinks: Vec<(InstId, usize)>,
+    pub(crate) sinks: Vec<(InstId, usize)>,
 }
 
 impl Net {
@@ -79,14 +79,14 @@ impl Net {
 /// A cell instance.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Instance {
-    name: String,
-    cell: CellId,
-    inputs: Vec<NetId>,
-    output: NetId,
+    pub(crate) name: String,
+    pub(crate) cell: CellId,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
     /// Hierarchy label: which named block this instance belongs to
     /// (`None` = top level). Used by hierarchical placement and the panel's
     /// flat-vs-hierarchical comparison.
-    block: Option<u32>,
+    pub(crate) block: Option<u32>,
 }
 
 impl Instance {
@@ -175,14 +175,14 @@ impl std::error::Error for NetlistError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct Netlist {
-    name: String,
-    library: Arc<Library>,
-    instances: Vec<Instance>,
-    nets: Vec<Net>,
-    inputs: Vec<NetId>,
-    outputs: Vec<(String, NetId)>,
-    block_names: Vec<String>,
-    net_by_name: HashMap<String, NetId>,
+    pub(crate) name: String,
+    pub(crate) library: Arc<Library>,
+    pub(crate) instances: Vec<Instance>,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<(String, NetId)>,
+    pub(crate) block_names: Vec<String>,
+    pub(crate) net_by_name: HashMap<String, NetId>,
 }
 
 impl Netlist {

@@ -43,4 +43,4 @@ pub use floorplan::{Die, Point};
 pub use global::{legalize, place_global, GlobalConfig};
 pub use hier::{place_hierarchical, HierOutcome};
 pub use parallel::{place_parallel, ParallelConfig, ParallelOutcome};
-pub use placement::Placement;
+pub use placement::{Placement, PlacementSnapshot};

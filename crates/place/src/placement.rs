@@ -33,6 +33,25 @@ impl Placement {
         }
     }
 
+    /// Snapshots the raw geometry for checkpointing. Together with
+    /// [`Placement::from_snapshot`] this round-trips a placement exactly,
+    /// without re-deriving anything from a netlist (whose instance count may
+    /// since have changed, e.g. after decap insertion).
+    pub fn snapshot(&self) -> PlacementSnapshot {
+        PlacementSnapshot {
+            die: self.die,
+            positions: self.positions.clone(),
+            pi_pins: self.pi_pins.clone(),
+            po_pins: self.po_pins.clone(),
+        }
+    }
+
+    /// Rebuilds a placement from a [`snapshot`](Placement::snapshot),
+    /// bit-identically.
+    pub fn from_snapshot(s: PlacementSnapshot) -> Placement {
+        Placement { die: s.die, positions: s.positions, pi_pins: s.pi_pins, po_pins: s.po_pins }
+    }
+
     /// Position of an instance.
     pub fn position(&self, inst: InstId) -> Point {
         self.positions[inst.index()]
@@ -111,6 +130,20 @@ impl Placement {
         }
         Some((Point::new(xmin, ymin), Point::new(xmax, ymax)))
     }
+}
+
+/// The raw geometry of a [`Placement`], exposed for exact serialization in
+/// flow checkpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSnapshot {
+    /// The die.
+    pub die: Die,
+    /// Instance positions in storage order.
+    pub positions: Vec<Point>,
+    /// Primary-input pin positions in PI order.
+    pub pi_pins: Vec<Point>,
+    /// Primary-output pin positions in PO order.
+    pub po_pins: Vec<Point>,
 }
 
 #[cfg(test)]

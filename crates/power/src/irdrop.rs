@@ -28,6 +28,20 @@ impl Default for MeshConfig {
     }
 }
 
+impl MeshConfig {
+    /// The flow supervisor's retry configuration when the Gauss–Seidel
+    /// relaxation stalls at the iteration cap: a 100× looser convergence
+    /// threshold and 3× the iteration budget. The resulting map is coarser
+    /// but bounded — degraded, not absent.
+    pub fn relaxed(&self) -> MeshConfig {
+        MeshConfig {
+            tolerance_v: self.tolerance_v * 100.0,
+            max_iterations: self.max_iterations * 3,
+            ..*self
+        }
+    }
+}
+
 /// The solved IR-drop map.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IrDropMap {
@@ -58,6 +72,13 @@ impl IrDropMap {
             .iter()
             .map(|&v| (self.vdd - v) * 1e3)
             .fold(0.0, f64::max)
+    }
+
+    /// Whether the relaxation converged within the iteration cap of the
+    /// config it was solved under. Hitting the cap exactly is read as a
+    /// stall: the voltages are still usable but not settled.
+    pub fn converged(&self, cfg: &MeshConfig) -> bool {
+        self.iterations < cfg.max_iterations
     }
 
     /// Bins exceeding a drop budget (in mV).

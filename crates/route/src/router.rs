@@ -37,6 +37,16 @@ pub struct RouteConfig {
     pub threads: usize,
 }
 
+impl RouteConfig {
+    /// The same configuration on a grid with half as many g-cells per side
+    /// (floor 8). Coarser g-cells pool capacity across more tracks, which is
+    /// the flow supervisor's recovery move when rip-up exhausts its budget
+    /// with overflow remaining.
+    pub fn coarsened(&self) -> RouteConfig {
+        RouteConfig { grid_cells: (self.grid_cells / 2).max(8), ..self.clone() }
+    }
+}
+
 impl Default for RouteConfig {
     fn default() -> Self {
         RouteConfig {

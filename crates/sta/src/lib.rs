@@ -224,9 +224,7 @@ impl TimingAnalysis {
                         break;
                     }
                     cursor = inst.inputs().iter().copied().max_by(|a, b| {
-                        arrival[a.index()]
-                            .partial_cmp(&arrival[b.index()])
-                            .expect("arrivals are finite")
+                        arrival[a.index()].total_cmp(&arrival[b.index()])
                     });
                 }
             }

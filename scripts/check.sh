@@ -6,4 +6,12 @@ cd "$(dirname "$0")/.."
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
-echo "check: tier-1 + clippy green"
+# No panicking unwraps on user-reachable paths: the flow library and the
+# experiments CLI carry crate-level deny(clippy::unwrap_used) attributes
+# (test modules exempt); these invocations fail if one sneaks back in.
+cargo clippy -p eda-core --lib -- -D warnings
+cargo clippy -p eda-bench --bins -- -D warnings
+# Supervised-flow smoke: deterministic fault injection across the flow,
+# including the reproducibility self-check, at 4 worker threads.
+./target/release/experiments --inject smoke --threads 4
+echo "check: tier-1 + clippy + unwrap gates + inject smoke green"

@@ -1,0 +1,233 @@
+//! Supervised-flow robustness: the deterministic fault-injection matrix,
+//! checkpoint/resume bit-identity, and the no-collateral-damage property
+//! (an injected fault never changes the QoR of untouched stages).
+
+use eda::core::{run_flow, Fault, FaultPlan, FlowConfig, FlowError, FlowReport, StageOutcome, STAGES};
+use eda::netlist::{generate, Netlist};
+use eda::tech::Node;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+fn design() -> Netlist {
+    generate::switch_fabric(3, 2).unwrap()
+}
+
+/// A fresh scratch directory under the system temp dir; removed by the
+/// caller via `cleanup`.
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("eda_robustness_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cleanup(d: &PathBuf) {
+    let _ = std::fs::remove_dir_all(d);
+}
+
+#[test]
+fn every_stage_reports_a_status_at_four_threads() {
+    let d = design();
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.threads = 4;
+    let report = run_flow(&d, &cfg).unwrap();
+    assert_eq!(report.stage_status.len(), STAGES.len());
+    for stage in STAGES {
+        assert!(report.stage_status.contains_key(stage), "missing status for {stage}");
+    }
+}
+
+/// Every stage × every fault kind at invocation 0: the flow either recovers
+/// (run succeeds and the stage carries a typed non-panic outcome) or fails
+/// with a typed error naming the stage. At 28nm the litho stage is skipped,
+/// so it gets its own matrix entry at 10nm below.
+#[test]
+fn fault_matrix_recovers_or_reports_typed_errors() {
+    let d = design();
+    for stage in STAGES {
+        for fault in [Fault::Fail, Fault::Timeout, Fault::Degrade] {
+            let mut cfg = FlowConfig::advanced_2016(Node::N28);
+            cfg.fault_plan = Some(FaultPlan::new(7).with(stage, Some(0), fault));
+            match run_flow(&d, &cfg) {
+                Ok(report) => {
+                    let status = &report.stage_status[stage];
+                    assert!(status.attempts <= 2, "{stage} {fault} used {} attempts", status.attempts);
+                }
+                Err(e) => {
+                    assert_eq!(e.stage(), Some(stage), "{stage} {fault}: error blamed {:?}", e.stage());
+                    assert!(e.partial().is_some(), "{stage} {fault}: no salvageable state");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_matrix_covers_litho_at_ten_nanometres() {
+    let d = design();
+    for fault in [Fault::Fail, Fault::Timeout, Fault::Degrade] {
+        let mut cfg = FlowConfig::advanced_2016(Node::N10);
+        cfg.fault_plan = Some(FaultPlan::new(7).with("8_litho", Some(0), fault));
+        let report = run_flow(&d, &cfg)
+            .unwrap_or_else(|e| panic!("litho {fault} should be survivable: {e}"));
+        let status = &report.stage_status["8_litho"];
+        assert!(
+            !matches!(status.outcome, StageOutcome::Skipped { .. }),
+            "litho must actually run at 10nm"
+        );
+    }
+}
+
+/// A stage that fails on every attempt exhausts its budget and surfaces a
+/// typed error carrying the stage name and the progress made before it.
+#[test]
+fn persistent_failure_exhausts_the_budget() {
+    let d = design();
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.fault_plan = Some(FaultPlan::new(7).with("4_place", None, Fault::Fail));
+    let err = run_flow(&d, &cfg).expect_err("a permanently failing stage cannot complete");
+    match &err {
+        FlowError::BudgetExhausted { stage, attempts, partial, .. } => {
+            assert_eq!(*stage, "4_place");
+            assert_eq!(*attempts, 2);
+            assert!(partial.statuses.contains_key("1_synthesis"));
+            assert!(!partial.statuses.contains_key("4_place"));
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+}
+
+/// The resume contract: kill the flow after any stage, rerun with
+/// `resume: true`, and the final report is bit-identical to an uninterrupted
+/// run — at one worker thread and at four.
+#[test]
+fn killed_flow_resumes_bit_identically_after_every_stage() {
+    let d = design();
+    for threads in [1usize, 4] {
+        let mut base = FlowConfig::advanced_2016(Node::N10);
+        base.threads = threads;
+        let uninterrupted = run_flow(&d, &base).unwrap();
+
+        // Killing "after stage k" = a permanent injected failure on the next
+        // stage, with checkpointing on. Every stage of the 10nm advanced
+        // flow actually executes, so each kill point is reachable.
+        for kill_stage in &STAGES[1..] {
+            let dir = scratch_dir(&format!("resume_t{threads}_{kill_stage}"));
+            let mut cfg = base.clone();
+            cfg.checkpoint_dir = Some(dir.clone());
+            cfg.fault_plan = Some(FaultPlan::new(3).with(kill_stage, None, Fault::Fail));
+            let err = run_flow(&d, &cfg)
+                .expect_err("the injected permanent failure must kill the flow");
+            assert_eq!(err.stage(), Some(*kill_stage));
+            assert!(
+                err.partial().and_then(|p| p.checkpoint.as_ref()).is_some(),
+                "killed flow must point at its checkpoint"
+            );
+
+            let mut resumed_cfg = base.clone();
+            resumed_cfg.checkpoint_dir = Some(dir.clone());
+            resumed_cfg.resume = true;
+            let resumed = run_flow(&d, &resumed_cfg)
+                .unwrap_or_else(|e| panic!("resume after {kill_stage} failed: {e}"));
+            assert!(
+                resumed.same_qor(&uninterrupted),
+                "resume after kill at {kill_stage} (threads={threads}) drifted from the uninterrupted run"
+            );
+            cleanup(&dir);
+        }
+    }
+}
+
+#[test]
+fn resume_without_a_checkpoint_runs_fresh() {
+    let d = design();
+    let dir = scratch_dir("fresh");
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.resume = true;
+    let a = run_flow(&d, &cfg).unwrap();
+    let b = run_flow(&d, &FlowConfig::advanced_2016(Node::N28)).unwrap();
+    assert!(a.same_qor(&b));
+    cleanup(&dir);
+}
+
+#[test]
+fn resume_under_a_different_config_is_a_mismatch_error() {
+    let d = design();
+    let dir = scratch_dir("mismatch");
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.checkpoint_dir = Some(dir.clone());
+    run_flow(&d, &cfg).unwrap();
+
+    let mut other = cfg.clone();
+    other.resume = true;
+    other.seed = 999;
+    match run_flow(&d, &other) {
+        Err(FlowError::ResumeMismatch { .. }) => {}
+        Ok(_) => panic!("resuming under a different seed must be rejected"),
+        Err(other) => panic!("expected ResumeMismatch, got {other}"),
+    }
+    cleanup(&dir);
+}
+
+#[test]
+fn corrupt_checkpoint_is_a_typed_error() {
+    let d = design();
+    let dir = scratch_dir("corrupt");
+    let mut cfg = FlowConfig::advanced_2016(Node::N28);
+    cfg.checkpoint_dir = Some(dir.clone());
+    run_flow(&d, &cfg).unwrap();
+
+    let ck = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(Result::ok)
+        .find(|e| e.path().extension().is_some_and(|x| x == "flowck"))
+        .expect("a checkpoint was written")
+        .path();
+    std::fs::write(&ck, "eda-flowck v1\nnot a fingerprint\n").unwrap();
+
+    cfg.resume = true;
+    match run_flow(&d, &cfg) {
+        Err(FlowError::ResumeCorrupt { .. }) => {}
+        Ok(_) => panic!("a corrupt checkpoint must not be silently accepted"),
+        Err(other) => panic!("expected ResumeCorrupt, got {other}"),
+    }
+    cleanup(&dir);
+}
+
+/// The clean 28nm advanced report, computed once for the property below.
+fn clean_report() -> &'static FlowReport {
+    static CLEAN: OnceLock<FlowReport> = OnceLock::new();
+    CLEAN.get_or_init(|| run_flow(&design(), &FlowConfig::advanced_2016(Node::N28)).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// No collateral damage: a single injected fault makes the supervisor
+    /// retry or degrade the targeted stage, but every QoR number of the
+    /// flow stays bit-identical — recovery parameters adapt only to
+    /// *observed* failures, never to injected ones, so untouched stages see
+    /// exactly the inputs they would in a clean run.
+    #[test]
+    fn single_injected_fault_never_changes_qor(stage_idx in 0usize..STAGES.len(), kind in 0u8..3) {
+        let fault = match kind {
+            0 => Fault::Fail,
+            1 => Fault::Timeout,
+            _ => Fault::Degrade,
+        };
+        let stage = STAGES[stage_idx];
+        let mut cfg = FlowConfig::advanced_2016(Node::N28);
+        cfg.fault_plan = Some(FaultPlan::new(11).with(stage, Some(0), fault));
+        let faulted = run_flow(&design(), &cfg)
+            .unwrap_or_else(|e| panic!("single fault on {stage} must be survivable: {e}"));
+        // Same QoR modulo the targeted stage's own status bookkeeping.
+        let mut masked = faulted.clone();
+        masked.stage_status = clean_report().stage_status.clone();
+        prop_assert!(
+            masked.same_qor(clean_report()),
+            "fault {fault} on {stage} leaked into QoR"
+        );
+    }
+}
