@@ -19,6 +19,12 @@
 //! faulted run is reproducible (`smoke`, `random:N`, or a comma list of
 //! `stage=fail|timeout|degrade[@invocation]` — see `eda_core::FaultPlan`).
 //!
+//! `--trace OUT.json` runs the smoke flow once and writes its telemetry:
+//! Chrome-trace JSON to `OUT.json` (load in `chrome://tracing` or Perfetto),
+//! flat metrics to `OUT.metrics.json`, and folded stacks to `OUT.folded`
+//! (pipe through `flamegraph.pl`). Combine with `--inject` to trace a faulted
+//! run — retries and degradations appear as tagged attempt spans.
+//!
 //! Any failure exits nonzero with a one-line message on stderr.
 
 // The CLI reports failures as readable messages + nonzero exit, never a
@@ -81,13 +87,14 @@ fn run() -> CliResult {
     let mut threads_arg = 0usize;
     let mut child = false;
     let mut inject: Option<String> = None;
+    let mut trace: Option<String> = None;
     let parse_threads = |v: Option<String>| -> Result<usize, CliError> {
         v.and_then(|v| v.parse().ok())
             .ok_or(CliError("--threads needs a non-negative integer".into()))
     };
     let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        let a = a.to_lowercase();
+    while let Some(raw) = args.next() {
+        let a = raw.to_lowercase();
         if a == "--threads" {
             threads_arg = parse_threads(args.next())?;
         } else if let Some(v) = a.strip_prefix("--threads=") {
@@ -98,6 +105,13 @@ fn run() -> CliResult {
             ))?);
         } else if let Some(v) = a.strip_prefix("--inject=") {
             inject = Some(v.to_string());
+        } else if a == "--trace" {
+            trace = Some(args.next().ok_or(CliError(
+                "--trace needs an output path (try `--trace flow.trace.json`)".into(),
+            ))?);
+        } else if a.starts_with("--trace=") {
+            // Take the value from the raw arg: paths are case-sensitive.
+            trace = Some(raw["--trace=".len()..].to_string());
         } else if a == "--child" {
             child = true;
         } else if let Some(flag) = a.strip_prefix("--") {
@@ -108,6 +122,9 @@ fn run() -> CliResult {
     }
     THREADS.store(threads_arg, Ordering::Relaxed);
 
+    if let Some(path) = trace {
+        return trace_demo(&path, threads_arg, inject.as_deref());
+    }
     if let Some(spec) = inject {
         return inject_demo(&spec, threads_arg);
     }
@@ -189,7 +206,7 @@ fn run() -> CliResult {
 /// stage, then repeats the faulted run and checks bit-identical QoR — the
 /// injection layer is keyed on `(stage, invocation)`, never on wall clock.
 fn inject_demo(spec: &str, threads_arg: usize) -> CliResult {
-    let plan = FaultPlan::parse(spec, 42).map_err(CliError)?;
+    let plan = FaultPlan::parse(spec, 42)?;
     println!("=== fault injection: `{spec}` ===");
     let design = generate::switch_fabric(3, 3)?;
     let mut cfg = FlowConfig::advanced_2016(Node::N10);
@@ -207,6 +224,38 @@ fn inject_demo(spec: &str, threads_arg: usize) -> CliResult {
         return Err(CliError("faulted run is not reproducible (QoR drifted between two identical runs)".into()));
     }
     println!("faulted run reproduces bit-identically at threads={threads_arg}");
+    Ok(())
+}
+
+/// `--trace OUT.json`: run the smoke flow once and write its telemetry.
+///
+/// Emits three files: Chrome-trace JSON at the given path (open in
+/// `chrome://tracing` or Perfetto), a flat metrics JSON next to it, and a
+/// folded-stack text file for `flamegraph.pl`. With `--inject SPEC` the flow
+/// runs under that fault plan, so retries and degradations show up as tagged
+/// attempt spans in the trace.
+fn trace_demo(path: &str, threads_arg: usize, inject: Option<&str>) -> CliResult {
+    let design = generate::switch_fabric(3, 3)?;
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = threads_arg;
+    if let Some(spec) = inject {
+        cfg.fault_plan = Some(FaultPlan::parse(spec, 42)?);
+    }
+    let report = run_flow(&design, &cfg)
+        .map_err(|e| CliError(format!("traced flow failed: {e}")))?;
+    let tel = &report.telemetry;
+
+    let stem = path.strip_suffix(".json").unwrap_or(path);
+    let metrics_path = format!("{stem}.metrics.json");
+    let folded_path = format!("{stem}.folded");
+    std::fs::write(path, tel.chrome_trace_json())?;
+    std::fs::write(&metrics_path, tel.metrics_json())?;
+    std::fs::write(&folded_path, tel.folded_stacks())?;
+
+    println!("=== flow trace: {} on {} at {:?} ===", cfg.name, design.name(), cfg.node);
+    println!("spans   {:>6}  -> {path} (chrome://tracing / Perfetto)", tel.spans.len());
+    println!("metrics {:>6}  -> {metrics_path}", tel.metrics.len());
+    println!("stacks          -> {folded_path} (flamegraph.pl)");
     Ok(())
 }
 

@@ -100,7 +100,11 @@ pub struct FlowConfig {
     /// Worker threads for every parallel kernel — partitioned placement,
     /// batched routing, fault simulation (`0` = all available cores). The
     /// deterministic parallel layer (`eda-par`) guarantees every QoR output
-    /// is bit-identical for any value of this knob.
+    /// is bit-identical for any value of this knob — including the
+    /// deterministic section of [`FlowReport::telemetry`], which records
+    /// worker counts and wall clocks only in its separate `wall` section.
+    ///
+    /// [`FlowReport::telemetry`]: crate::report::FlowReport::telemetry
     pub threads: usize,
     /// Directory for flow checkpoints (`None` = no checkpointing). After
     /// every completed stage the supervisor serializes the full flow state

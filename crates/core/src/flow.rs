@@ -28,6 +28,7 @@ use crate::checkpoint::{self, FlowState, LoadError};
 use crate::config::FlowConfig;
 use crate::harness::{StageCtx, StageStatus, StageTry, Supervisor};
 use crate::report::FlowReport;
+use crate::telemetry::{SpanKind, Telemetry};
 use eda_dft::{fault_list, fault_sim_threaded, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
 use eda_litho::{decompose, run_opc_stats, Layout, OpcConfig, OpticalModel};
 use eda_logic::{check_equivalence, synthesize, EcVerdict};
@@ -222,7 +223,11 @@ impl std::error::Error for FlowError {
 pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowError> {
     let threads = cfg.threads;
     let fp = checkpoint::fingerprint(design, cfg);
-    let mut sup = Supervisor::new(cfg.fault_plan.as_ref(), cfg.budgets.clone());
+    // Telemetry collects for this run only: a resumed flow records spans
+    // and metrics for the stages it actually reruns (checkpoints carry QoR
+    // state, not telemetry), which is why `same_qor` ignores the snapshot.
+    let tel = Telemetry::new();
+    let mut sup = Supervisor::new(cfg.fault_plan.as_ref(), cfg.budgets.clone(), &tel);
     let mut st = FlowState::fresh();
 
     if let Some(dir) = &cfg.checkpoint_dir {
@@ -242,18 +247,32 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
 
     let mut timer = Timer::new();
     let lib = cfg.library.library();
+    let flow_span = tel.span(SpanKind::Flow, "flow");
+    flow_span.tag("flow", &cfg.name);
+    flow_span.tag("design", design.name());
+    flow_span.tag("node", cfg.node);
 
     // ---- 1: synthesis (+ optional equivalence check) ----
     if st.cursor < 1 {
         let stage = "1_synthesis";
-        let (netlist, verified) = sup.run_stage(stage, |ctx: StageCtx| {
+        let (netlist, verified) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
             let synth = synthesize(design, lib.clone(), cfg.synthesis, cfg.map_goal)
                 .map_err(StageFailure::Synthesis)?;
+            ctx.tel.count("synth.aig_nodes_before", synth.aig_nodes_before as u64);
+            ctx.tel.count("synth.aig_nodes_after", synth.aig_nodes_after as u64);
+            ctx.tel.count("synth.cells", synth.cells as u64);
+            for pass in &synth.passes {
+                let span = ctx.tel.span(SpanKind::Kernel, &format!("aig:{}", pass.name));
+                span.tag("nodes_before", pass.nodes_before);
+                span.tag("nodes_after", pass.nodes_after);
+                span.tag("kept", pass.kept);
+            }
             let netlist = synth.netlist;
             if !cfg.verify_synthesis {
                 return Ok(StageTry::Done((netlist, None)));
             }
             let budget = if ctx.adapt == 0 { EC_BUDGET } else { EC_BUDGET_ESCALATED };
+            ctx.tel.count("synth.ec_sim_budget", budget as u64);
             match check_equivalence(design, &netlist, &[], &[], budget) {
                 Ok(EcVerdict::Equivalent) => Ok(StageTry::Done((netlist, Some(true)))),
                 Ok(EcVerdict::Counterexample(_)) => Ok(StageTry::Degraded(
@@ -296,12 +315,18 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let gated = if cfg.power.clock_gating_group == 0 {
             sup.skip(stage, "clock gating disabled", cur.clone())
         } else {
-            sup.run_stage(stage, |_ctx| match insert_clock_gating(cur, cfg.power.clock_gating_group) {
-                Ok(g) => Ok(StageTry::Done(g.netlist)),
-                Err(e) => Ok(StageTry::Degraded(
-                    cur.clone(),
-                    format!("clock gating failed, keeping the ungated netlist: {e}"),
-                )),
+            sup.run_stage(stage, |ctx: StageCtx<'_>| {
+                match insert_clock_gating(cur, cfg.power.clock_gating_group) {
+                    Ok(g) => {
+                        ctx.tel.count("gating.gates_inserted", g.gates_inserted as u64);
+                        ctx.tel.count("gating.flops_gated", g.flops_gated as u64);
+                        Ok(StageTry::Done(g.netlist))
+                    }
+                    Err(e) => Ok(StageTry::Degraded(
+                        cur.clone(),
+                        format!("clock gating failed, keeping the ungated netlist: {e}"),
+                    )),
+                }
             })?
         };
         st.netlist = Some(gated);
@@ -315,8 +340,11 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let stage = "3_scan";
         let cur = current_netlist(&st);
         let (scanned, chains) = match cfg.scan {
-            Some(scan) => sup.run_stage(stage, |_ctx| {
+            Some(scan) => sup.run_stage(stage, |ctx: StageCtx<'_>| {
                 let s = insert_scan(cur, scan.chains).map_err(StageFailure::Netlist)?;
+                ctx.tel.count("scan.chains", s.chains.len() as u64);
+                ctx.tel
+                    .count("scan.flops_stitched", s.chains.iter().map(|c| c.len() as u64).sum());
                 Ok(StageTry::Done((s.netlist, s.chains)))
             })?,
             None => sup.skip(stage, "scan insertion disabled", (cur.clone(), Vec::new())),
@@ -336,7 +364,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let stage = "4_place";
         let cur = current_netlist(&st);
         let die = Die::for_netlist(cur, cfg.utilization);
-        let (placement, par) = sup.run_stage(stage, |_ctx| {
+        let (placement, par) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
             if cfg.place.stripes > 1 {
                 let out = eda_place::place_parallel(
                     cur,
@@ -349,6 +377,10 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                         seed: cfg.seed,
                     },
                 );
+                ctx.tel.kernel("place:stripe_refine", &out.par_stats);
+                ctx.tel.count("place.moves_accepted", out.moves_accepted as u64);
+                ctx.tel.gauge("place.hpwl_global_um", out.hpwl_global);
+                ctx.tel.gauge("place.hpwl_final_um", out.hpwl_final);
                 Ok(StageTry::Done((out.placement, Some(out.par_stats))))
             } else {
                 let mut p = place_global(
@@ -356,7 +388,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                     die,
                     &GlobalConfig { iterations: cfg.place.global_iterations, seed: cfg.seed },
                 );
-                anneal(
+                let stats = anneal(
                     cur,
                     &mut p,
                     &AnnealConfig {
@@ -367,6 +399,10 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                     None,
                     None,
                 );
+                ctx.tel.count("place.moves_proposed", stats.proposed as u64);
+                ctx.tel.count("place.moves_accepted", stats.accepted as u64);
+                ctx.tel.gauge("place.hpwl_global_um", stats.hpwl_before);
+                ctx.tel.gauge("place.hpwl_final_um", stats.hpwl_after);
                 Ok(StageTry::Done((p, None)))
             }
         })?;
@@ -387,9 +423,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let reorder_on = cfg.scan.is_some_and(|s| s.placement_aware_reorder);
         let (chains, scan_wl) = if reorder_on && !st.chains.is_empty() {
             let chains0 = st.chains.clone();
-            sup.run_stage(stage, |_ctx| {
+            sup.run_stage(stage, |ctx: StageCtx<'_>| {
+                let before = scan_wirelength(&chains0, placement);
                 let reordered = reorder_chains(&chains0, placement);
                 let wl = scan_wirelength(&reordered, placement);
+                ctx.tel.gauge("scan.wirelength_before_um", before);
+                ctx.tel.gauge("scan.wirelength_um", wl);
                 Ok(StageTry::Done((reordered, wl)))
             })?
         } else {
@@ -409,8 +448,11 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let stage = "6_cts";
         let cur = current_netlist(&st);
         let placement = current_placement(&st);
-        let (skew_ps, tree_um) = sup.run_stage(stage, |_ctx| {
-            let (tree, _sinks) = synthesize_clock_tree(cur, placement, &CtsConfig::default());
+        let (skew_ps, tree_um) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
+            let (tree, sinks) = synthesize_clock_tree(cur, placement, &CtsConfig::default());
+            ctx.tel.count("cts.sinks", sinks.len() as u64);
+            ctx.tel.gauge("cts.skew_ps", tree.skew_ps());
+            ctx.tel.gauge("cts.wirelength_um", tree.wirelength_um);
             Ok(StageTry::Done((tree.skew_ps(), tree.wirelength_um)))
         })?;
         st.clock_skew_ps = skew_ps;
@@ -425,8 +467,14 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let stage = "6_sta";
         let cur = current_netlist(&st);
         let tcfg = TimingConfig { clock_period_ps: 1e6 / cfg.clock_mhz, ..Default::default() };
-        let (wns, cp, holds) = sup.run_stage(stage, |_ctx| {
+        let (wns, cp, holds) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
             let timing = TimingAnalysis::run(cur, &tcfg).map_err(StageFailure::Netlist)?;
+            ctx.tel.count("sta.arcs_timed", timing.arcs_timed as u64);
+            ctx.tel.count("sta.endpoints", timing.endpoints as u64);
+            ctx.tel.count("sta.failing_endpoints", timing.failing_endpoints as u64);
+            ctx.tel.count("sta.hold_violations", timing.hold_violations as u64);
+            ctx.tel.gauge("sta.wns_ps", timing.wns_ps);
+            ctx.tel.gauge("sta.tns_ps", timing.tns_ps);
             Ok(StageTry::Done((timing.wns_ps, timing.critical_path_ps, timing.hold_violations)))
         })?;
         st.wns_ps = wns;
@@ -453,7 +501,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         // remaining, retry once on a coarser grid (pooling capacity across
         // more tracks) and keep whichever result overflows less.
         let mut first: Option<(eda_route::RouteOutcome, eda_par::ParStats)> = None;
-        let (routed, par) = sup.run_stage(stage, |ctx: StageCtx| {
+        let (routed, par) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
             let rcfg = RouteConfig {
                 algorithm: cfg.router,
                 deck: deck.clone(),
@@ -463,6 +511,18 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             };
             let rcfg = if ctx.adapt == 0 { rcfg } else { rcfg.coarsened() };
             let (out, stats) = route_stats(cur, placement, &rcfg);
+            ctx.tel.kernel("route:batches", &stats);
+            ctx.tel.count("route.ripup_iterations", out.iterations as u64);
+            ctx.tel.count("route.connections", out.connections as u64);
+            ctx.tel.count("route.cells_expanded", out.cells_expanded);
+            ctx.tel.count("route.linesearch_fallbacks", out.linesearch_fallbacks as u64);
+            for &overflow in &out.ripup_overflow {
+                ctx.tel.observe(
+                    "route.ripup_overflow",
+                    &[0.0, 2.0, 8.0, 32.0, 128.0, 512.0],
+                    overflow as f64,
+                );
+            }
             let (out, stats) = match first.take() {
                 Some((o0, s0)) if (o0.overflow, o0.wirelength) <= (out.overflow, out.wirelength) => (o0, s0),
                 _ => (out, stats),
@@ -518,10 +578,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             let model = OpticalModel::default();
             // After decomposition each mask prints at the relaxed pitch.
             let relaxed_pitch = pitch * plan.total_exposures() as f64;
-            let (masks, stitches, legal, epe) = sup.run_stage(stage, |ctx: StageCtx| {
+            let (masks, stitches, legal, epe) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
                 // Recovery: double the stitch budget and halve the OPC gain.
                 let stitch_budget = if ctx.adapt == 0 { wires / 2 } else { wires };
                 let deco = decompose(&layout, plan.total_exposures(), eda_tech::SINGLE_EXPOSURE_PITCH_NM, stitch_budget);
+                ctx.tel.count("litho.masks", u64::from(deco.masks));
+                ctx.tel.count("litho.stitches", deco.stitches as u64);
                 let ocfg = OpcConfig { threads, ..Default::default() };
                 let ocfg = if ctx.adapt == 0 { ocfg } else { ocfg.backoff() };
                 let target: Vec<(f64, f64)> = (0..6)
@@ -531,7 +593,18 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                     })
                     .collect();
                 let extent = 400.0 + relaxed_pitch * 6.0;
-                let (opc, _opc_par) = run_opc_stats(&model, &target, extent, &ocfg);
+                let (opc, opc_par) = run_opc_stats(&model, &target, extent, &ocfg);
+                ctx.tel.kernel("opc:fragments", &opc_par);
+                ctx.tel.count("opc.fragment_moves", opc.fragment_moves as u64);
+                ctx.tel
+                    .count("opc.iterations", opc.rms_epe_history.len().saturating_sub(1) as u64);
+                for &epe_nm in &opc.rms_epe_history {
+                    ctx.tel.observe(
+                        "opc.rms_epe_nm",
+                        &[0.5, 1.0, 2.0, 4.0, 8.0, 16.0],
+                        epe_nm,
+                    );
+                }
                 let epe = opc.final_rms_epe();
                 let converged = opc.converged(OPC_RMS_EPE_LIMIT_NM);
                 let value = (deco.masks, deco.stitches, deco.legal, epe);
@@ -571,7 +644,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         let cur = current_netlist(&st);
         let placement = current_placement(&st);
         let pcfg = PowerConfig { node: cfg.node, freq_mhz: cfg.clock_mhz, ..Default::default() };
-        let (powered, dynamic_mw, leakage_mw, decaps, hotspots, ir_mv) = sup.run_stage(stage, |ctx: StageCtx| {
+        let (powered, dynamic_mw, leakage_mw, decaps, hotspots, ir_mv) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
             let activity = Activity::estimate(cur, &ActivityConfig::default()).map_err(StageFailure::Netlist)?;
             let power = analyze(cur, &activity, &pcfg);
             let mut netlist = cur.clone();
@@ -595,6 +668,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             let mesh = if ctx.adapt == 0 { MeshConfig::default() } else { MeshConfig::default().relaxed() };
             let ir = solve_ir_drop(&ir_grid, cfg.node, &mesh);
             let converged = ir.converged(&mesh);
+            ctx.tel.count("power.decaps_inserted", decaps as u64);
+            ctx.tel.count("power.hotspots_after", hotspots as u64);
+            ctx.tel.count("power.ir_iterations", ir.iterations as u64);
+            ctx.tel.gauge("power.dynamic_mw", power.dynamic_mw);
+            ctx.tel.gauge("power.leakage_mw", power.leakage_mw);
+            ctx.tel.gauge("power.ir_drop_mv", ir.worst_drop_mv());
             let value = (netlist, power.dynamic_mw, power.leakage_mw, decaps, hotspots, ir.worst_drop_mv());
             if converged {
                 if notes.is_empty() {
@@ -632,11 +711,16 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             st.test_coverage = sup.skip(stage, "scan insertion disabled", 0.0);
         } else {
             let cur = current_netlist(&st);
-            let (coverage, par) = sup.run_stage(stage, |_ctx| {
+            let (coverage, par) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
                 let view = CombView::new(cur).map_err(StageFailure::Netlist)?;
                 let faults = fault_list(cur);
                 let pats = random_patterns(&view, 96, cfg.seed);
                 let (sim, dft_par) = fault_sim_threaded(cur, &view, &faults, &pats, threads);
+                ctx.tel.kernel("fault_sim:faults", &dft_par);
+                ctx.tel.count("dft.faults", sim.total as u64);
+                ctx.tel.count("dft.detected", sim.num_detected as u64);
+                ctx.tel.count("dft.pattern_blocks", sim.pattern_blocks as u64);
+                ctx.tel.gauge("dft.coverage", sim.coverage());
                 Ok(StageTry::Done((sim.coverage(), dft_par)))
             })?;
             st.test_coverage = coverage;
@@ -653,6 +737,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
     let placement = current_placement(&st);
     let buffers = plan_buffers(netlist, placement, placement.die.width_um / 2.0, &[]);
 
+    drop(flow_span);
     Ok(FlowReport {
         flow: cfg.name.clone(),
         design: design.name().to_string(),
@@ -685,6 +770,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         stage_seconds: st.stage_seconds.clone(),
         stage_threads: st.stage_threads.clone(),
         stage_speedup: st.stage_speedup.clone(),
+        telemetry: tel.snapshot(),
     })
 }
 

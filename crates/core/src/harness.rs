@@ -20,7 +20,8 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use crate::flow::{FlowError, PartialFlow, StageFailure};
+use crate::flow::{FlowError, PartialFlow, StageFailure, STAGES};
+use crate::telemetry::{SpanKind, Telemetry};
 
 /// How a stage concluded, as recorded in
 /// [`FlowReport::stage_status`](crate::report::FlowReport::stage_status).
@@ -159,6 +160,55 @@ pub struct FaultRule {
     pub fault: Fault,
 }
 
+/// A malformed `--inject` fault specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultSpecError {
+    /// The spec contained no rules at all.
+    Empty,
+    /// A rule was not of the form `stage=fault[@invocation]`.
+    BadRule(String),
+    /// A rule named a stage that is not in [`STAGES`] (neither as a full
+    /// key nor as a bare name).
+    UnknownStage(String),
+    /// A rule named a fault other than `fail`/`timeout`/`degrade`.
+    UnknownFault(String),
+    /// An `@invocation` suffix did not parse as an unsigned count.
+    BadInvocation(String),
+    /// The `random:` per-mille was not an integer in 1..=1000.
+    BadPerMille(String),
+    /// `random:0` would inject nothing; an explicitly empty plan is
+    /// rejected the same way an empty rule list is.
+    ZeroRandom,
+}
+
+impl std::fmt::Display for FaultSpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpecError::Empty => write!(f, "empty --inject spec"),
+            FaultSpecError::BadRule(r) => {
+                write!(f, "bad --inject rule {r:?}: expected stage=fault[@invocation]")
+            }
+            FaultSpecError::UnknownStage(s) => {
+                write!(f, "unknown stage {s:?} in --inject spec (want one of {})", STAGES.join("|"))
+            }
+            FaultSpecError::UnknownFault(k) => {
+                write!(f, "unknown fault {k:?} (want fail|timeout|degrade)")
+            }
+            FaultSpecError::BadInvocation(i) => {
+                write!(f, "bad invocation {i:?} in --inject rule (want an unsigned count)")
+            }
+            FaultSpecError::BadPerMille(p) => {
+                write!(f, "bad per-mille {p:?} in --inject spec (want an integer in 1..=1000)")
+            }
+            FaultSpecError::ZeroRandom => {
+                write!(f, "random:0 injects nothing; omit --inject instead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultSpecError {}
+
 /// A deterministic fault-injection plan.
 ///
 /// Faults are keyed purely on `(stage name, invocation count)`: the nth
@@ -208,19 +258,26 @@ impl FaultPlan {
 
     /// Parses a command-line spec.
     ///
-    /// Accepted forms: `"smoke"`, `"random:<per-mille>"`, or a comma list of
-    /// `stage=fault[@invocation]` rules where `fault` is `fail`, `timeout`,
-    /// or `degrade` — e.g. `"route=fail@0,litho=timeout"`.
-    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+    /// Accepted forms: `"smoke"`, `"random:<per-mille>"` with per-mille in
+    /// 1..=1000, or a comma list of `stage=fault[@invocation]` rules where
+    /// `stage` names a real flow stage (full key or bare name) and `fault`
+    /// is `fail`, `timeout`, or `degrade` — e.g. `"route=fail@0,litho=timeout"`.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, FaultSpecError> {
         let spec = spec.trim();
         if spec == "smoke" {
             return Ok(FaultPlan::smoke(seed));
         }
         if let Some(pm) = spec.strip_prefix("random:") {
-            let pm: u16 = pm
+            let parsed: u16 = pm
                 .parse()
-                .map_err(|_| format!("bad per-mille in --inject spec: {pm:?}"))?;
-            return Ok(FaultPlan::random(seed, pm));
+                .map_err(|_| FaultSpecError::BadPerMille(pm.to_string()))?;
+            if parsed == 0 {
+                return Err(FaultSpecError::ZeroRandom);
+            }
+            if parsed > 1000 {
+                return Err(FaultSpecError::BadPerMille(pm.to_string()));
+            }
+            return Ok(FaultPlan::random(seed, parsed));
         }
         let mut plan = FaultPlan::new(seed);
         for part in spec.split(',') {
@@ -230,12 +287,15 @@ impl FaultPlan {
             }
             let (stage, rhs) = part
                 .split_once('=')
-                .ok_or_else(|| format!("bad --inject rule {part:?}: expected stage=fault[@invocation]"))?;
+                .ok_or_else(|| FaultSpecError::BadRule(part.to_string()))?;
+            if !STAGES.iter().any(|s| stage_matches(stage, s)) {
+                return Err(FaultSpecError::UnknownStage(stage.to_string()));
+            }
             let (fault, invocation) = match rhs.split_once('@') {
                 Some((f, inv)) => {
                     let inv: u64 = inv
                         .parse()
-                        .map_err(|_| format!("bad invocation in --inject rule {part:?}"))?;
+                        .map_err(|_| FaultSpecError::BadInvocation(inv.to_string()))?;
                     (f, Some(inv))
                 }
                 None => (rhs, None),
@@ -244,12 +304,12 @@ impl FaultPlan {
                 "fail" => Fault::Fail,
                 "timeout" => Fault::Timeout,
                 "degrade" => Fault::Degrade,
-                other => return Err(format!("unknown fault {other:?} (want fail|timeout|degrade)")),
+                other => return Err(FaultSpecError::UnknownFault(other.to_string())),
             };
             plan.rules.push(FaultRule { stage: stage.to_string(), invocation, fault });
         }
         if plan.rules.is_empty() {
-            return Err(format!("empty --inject spec {spec:?}"));
+            return Err(FaultSpecError::Empty);
         }
         Ok(plan)
     }
@@ -319,7 +379,7 @@ pub(crate) enum StageTry<T> {
 
 /// Per-attempt context handed to a stage body.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct StageCtx {
+pub(crate) struct StageCtx<'t> {
     /// 0-based attempt index (counts injected failures too).
     #[allow(dead_code)]
     pub attempt: usize,
@@ -330,6 +390,10 @@ pub(crate) struct StageCtx {
     /// not perturb the parameters — and therefore cannot change the QoR — of
     /// the retry.
     pub adapt: usize,
+    /// The flow's telemetry collector: stage bodies record kernel spans and
+    /// QoR-provenance metrics through this. Recording is observation-only —
+    /// nothing a body reads back from it may influence control flow.
+    pub tel: &'t Telemetry,
 }
 
 /// The stage harness: runs every stage under its budget, applies the fault
@@ -337,6 +401,7 @@ pub(crate) struct StageCtx {
 pub(crate) struct Supervisor<'p> {
     plan: Option<&'p FaultPlan>,
     budgets: StageBudgets,
+    tel: &'p Telemetry,
     /// Statuses of stages finished so far, keyed by stage name.
     pub statuses: BTreeMap<String, StageStatus>,
     invocations: BTreeMap<&'static str, u64>,
@@ -345,10 +410,15 @@ pub(crate) struct Supervisor<'p> {
 }
 
 impl<'p> Supervisor<'p> {
-    pub fn new(plan: Option<&'p FaultPlan>, budgets: StageBudgets) -> Supervisor<'p> {
+    pub fn new(
+        plan: Option<&'p FaultPlan>,
+        budgets: StageBudgets,
+        tel: &'p Telemetry,
+    ) -> Supervisor<'p> {
         Supervisor {
             plan,
             budgets,
+            tel,
             statuses: BTreeMap::new(),
             invocations: BTreeMap::new(),
             checkpoint: None,
@@ -357,6 +427,8 @@ impl<'p> Supervisor<'p> {
 
     /// Records `stage` as skipped and passes `value` through.
     pub fn skip<T>(&mut self, stage: &'static str, cause: &str, value: T) -> T {
+        let span = self.tel.span(SpanKind::Stage, stage);
+        span.tag("outcome", format!("skipped: {cause}"));
         self.statuses.insert(
             stage.to_string(),
             StageStatus { outcome: StageOutcome::Skipped { cause: cause.to_string() }, attempts: 0 },
@@ -369,10 +441,33 @@ impl<'p> Supervisor<'p> {
     /// The body is invoked once per attempt with a [`StageCtx`]; it returns
     /// a [`StageTry`] describing the attempt, or a hard [`StageFailure`]
     /// that no recovery policy can absorb.
+    ///
+    /// The stage runs inside a telemetry stage span; each attempt gets a
+    /// tagged child span (`try<invocation>`), so injected faults, retries,
+    /// and degradations are visible in the trace exactly where they struck.
     pub fn run_stage<T>(
         &mut self,
         stage: &'static str,
-        mut body: impl FnMut(StageCtx) -> Result<StageTry<T>, StageFailure>,
+        body: impl FnMut(StageCtx<'_>) -> Result<StageTry<T>, StageFailure>,
+    ) -> Result<T, FlowError> {
+        let span = self.tel.span(SpanKind::Stage, stage);
+        let result = self.run_stage_inner(stage, body);
+        match &result {
+            Ok(_) => {
+                if let Some(status) = self.statuses.get(stage) {
+                    span.tag("outcome", &status.outcome);
+                    span.tag("attempts", status.attempts);
+                }
+            }
+            Err(e) => span.tag("outcome", format!("error: {e}")),
+        }
+        result
+    }
+
+    fn run_stage_inner<T>(
+        &mut self,
+        stage: &'static str,
+        mut body: impl FnMut(StageCtx<'_>) -> Result<StageTry<T>, StageFailure>,
     ) -> Result<T, FlowError> {
         let budget = self.budgets.for_stage(stage);
         let max_attempts = budget.max_attempts.max(1);
@@ -389,15 +484,21 @@ impl<'p> Supervisor<'p> {
                 v
             };
             let injected = self.plan.and_then(|p| p.fault_for(stage, invocation));
+            let aspan = self.tel.span(SpanKind::Attempt, &format!("try{invocation}"));
+            if let Some(fault) = injected {
+                aspan.tag("injected", fault);
+            }
             match injected {
                 Some(Fault::Fail) => {
+                    aspan.tag("result", "injected-fail");
                     last_reason = format!("injected failure (invocation {invocation})");
                 }
                 Some(Fault::Timeout) => {
                     // A simulated blown deadline: whatever this attempt
                     // produces is kept, but marked degraded and no retry
                     // is allowed.
-                    let outcome = body(StageCtx { attempt, adapt })
+                    aspan.tag("result", "timeout");
+                    let outcome = body(StageCtx { attempt, adapt, tel: self.tel })
                         .map_err(|e| self.stage_failed(stage, e))?;
                     let note = format!("soft deadline exceeded (injected timeout, invocation {invocation})");
                     return match outcome {
@@ -428,10 +529,11 @@ impl<'p> Supervisor<'p> {
                     };
                 }
                 Some(Fault::Degrade) | None => {
-                    let outcome = body(StageCtx { attempt, adapt })
+                    let outcome = body(StageCtx { attempt, adapt, tel: self.tel })
                         .map_err(|e| self.stage_failed(stage, e))?;
                     match outcome {
                         StageTry::Done(v) => {
+                            aspan.tag("result", "done");
                             let o = if let Some(Fault::Degrade) = injected {
                                 StageOutcome::Degraded {
                                     reason: format!("injected degradation (invocation {invocation})"),
@@ -445,10 +547,13 @@ impl<'p> Supervisor<'p> {
                             return Ok(v);
                         }
                         StageTry::Degraded(v, reason) => {
+                            aspan.tag("result", "degraded");
                             self.record(stage, attempt + 1, StageOutcome::Degraded { reason });
                             return Ok(v);
                         }
                         StageTry::Retry { reason, salvage: s } => {
+                            aspan.tag("result", "retry");
+                            aspan.tag("reason", &reason);
                             if s.is_some() {
                                 salvage = s;
                             }
@@ -544,9 +649,71 @@ mod tests {
         assert_eq!(plan.rules[0].invocation, Some(0));
         assert_eq!(plan.rules[1].fault, Fault::Timeout);
         assert_eq!(plan.rules[1].invocation, None);
-        assert!(FaultPlan::parse("route", 7).is_err());
-        assert!(FaultPlan::parse("route=explode", 7).is_err());
-        assert!(FaultPlan::parse("", 7).is_err());
+        // Full stage keys work just like bare names.
+        let full = FaultPlan::parse("7_route=degrade", 7).unwrap();
+        assert_eq!(full.rules[0].stage, "7_route");
+    }
+
+    #[test]
+    fn parse_rejects_an_empty_spec_with_a_typed_error() {
+        assert_eq!(FaultPlan::parse("", 7), Err(FaultSpecError::Empty));
+        assert_eq!(FaultPlan::parse("  , ,", 7), Err(FaultSpecError::Empty));
+    }
+
+    #[test]
+    fn parse_rejects_a_bad_stage_name_with_a_typed_error() {
+        assert_eq!(
+            FaultPlan::parse("warp_drive=fail", 7),
+            Err(FaultSpecError::UnknownStage("warp_drive".into()))
+        );
+        // An order-prefixed key with the wrong prefix is not a real stage.
+        assert_eq!(
+            FaultPlan::parse("9_route=fail", 7),
+            Err(FaultSpecError::UnknownStage("9_route".into()))
+        );
+        // Errors surface even when earlier rules are valid.
+        assert_eq!(
+            FaultPlan::parse("route=fail,bogus=timeout", 7),
+            Err(FaultSpecError::UnknownStage("bogus".into()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_an_out_of_range_invocation_with_a_typed_error() {
+        assert_eq!(
+            FaultPlan::parse("route=fail@-1", 7),
+            Err(FaultSpecError::BadInvocation("-1".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("route=fail@99999999999999999999", 7),
+            Err(FaultSpecError::BadInvocation("99999999999999999999".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("route=fail@first", 7),
+            Err(FaultSpecError::BadInvocation("first".into()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_random_zero_and_out_of_range_per_mille() {
+        assert_eq!(FaultPlan::parse("random:0", 7), Err(FaultSpecError::ZeroRandom));
+        assert_eq!(
+            FaultPlan::parse("random:1001", 7),
+            Err(FaultSpecError::BadPerMille("1001".into()))
+        );
+        assert_eq!(
+            FaultPlan::parse("random:often", 7),
+            Err(FaultSpecError::BadPerMille("often".into()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rules_and_unknown_faults() {
+        assert_eq!(FaultPlan::parse("route", 7), Err(FaultSpecError::BadRule("route".into())));
+        assert_eq!(
+            FaultPlan::parse("route=explode", 7),
+            Err(FaultSpecError::UnknownFault("explode".into()))
+        );
     }
 
     #[test]

@@ -33,9 +33,14 @@ pub mod flow;
 pub mod harness;
 pub mod learn;
 pub mod report;
+pub mod telemetry;
 
 pub use config::{FlowConfig, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
 pub use flow::{run_flow, FlowError, PartialFlow, StageFailure, STAGES};
-pub use harness::{Fault, FaultPlan, FaultRule, StageBudget, StageBudgets, StageOutcome, StageStatus};
+pub use harness::{
+    Fault, FaultPlan, FaultRule, FaultSpecError, StageBudget, StageBudgets, StageOutcome,
+    StageStatus,
+};
 pub use learn::{Arm, ArmStats, FlowTuner};
 pub use report::FlowReport;
+pub use telemetry::{Metric, Span, SpanKind, Telemetry, TelemetrySnapshot};

@@ -1,6 +1,7 @@
 //! The flow's quality-of-results report.
 
 use crate::harness::{StageOutcome, StageStatus};
+use crate::telemetry::TelemetrySnapshot;
 use std::collections::BTreeMap;
 
 /// End-to-end QoR for one flow run.
@@ -75,6 +76,11 @@ pub struct FlowReport {
     /// Projected speedup over a one-thread run per parallel stage, from
     /// per-worker CPU clocks (see `eda-par`).
     pub stage_speedup: BTreeMap<String, f64>,
+    /// Span tree and metric registry recorded during the run. Its
+    /// deterministic section is part of [`FlowReport::golden_text`];
+    /// excluded from [`FlowReport::same_qor`] because a resumed flow only
+    /// records telemetry for the stages it actually reran.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl FlowReport {
@@ -134,6 +140,54 @@ impl FlowReport {
             && self.synthesis_verified == other.synthesis_verified
             && self.stage_status == other.stage_status
             && self.stage_threads == other.stage_threads
+    }
+
+    /// The canonical golden-snapshot text: every deterministic QoR field
+    /// (`f64` as bit-exact hex, with a human-readable echo) followed by the
+    /// telemetry's deterministic section. Excludes everything wall-clock- or
+    /// thread-count-shaped (`stage_seconds`, `stage_speedup`,
+    /// `stage_threads`, telemetry wall section), so the text is
+    /// byte-identical across runs and thread counts — `tests/golden.rs`
+    /// asserts exactly that.
+    pub fn golden_text(&self) -> String {
+        fn f(out: &mut String, name: &str, v: f64) {
+            out.push_str(&format!("f {name} {:016x} # {v}\n", v.to_bits()));
+        }
+        let mut out = String::new();
+        out.push_str("golden v1\n");
+        out.push_str(&format!("flow {} design {} node {}\n", self.flow, self.design, self.node));
+        f(&mut out, "cell_area_um2", self.cell_area_um2);
+        out.push_str(&format!("i cells {}\n", self.cells));
+        out.push_str(&format!("i flops {}\n", self.flops));
+        f(&mut out, "wns_ps", self.wns_ps);
+        f(&mut out, "critical_path_ps", self.critical_path_ps);
+        f(&mut out, "hpwl_um", self.hpwl_um);
+        out.push_str(&format!("i routed_wirelength {}\n", self.routed_wirelength));
+        out.push_str(&format!("i vias {}\n", self.vias));
+        out.push_str(&format!("i overflow {}\n", self.overflow));
+        out.push_str(&format!("i masks {}\n", self.masks));
+        out.push_str(&format!("i stitches {}\n", self.stitches));
+        out.push_str(&format!("i litho_legal {}\n", self.litho_legal));
+        f(&mut out, "opc_rms_epe_nm", self.opc_rms_epe_nm);
+        f(&mut out, "dynamic_mw", self.dynamic_mw);
+        f(&mut out, "leakage_mw", self.leakage_mw);
+        f(&mut out, "test_coverage", self.test_coverage);
+        f(&mut out, "scan_wirelength_um", self.scan_wirelength_um);
+        out.push_str(&format!("i decaps {}\n", self.decaps));
+        out.push_str(&format!("i hotspots {}\n", self.hotspots));
+        f(&mut out, "clock_skew_ps", self.clock_skew_ps);
+        f(&mut out, "clock_tree_um", self.clock_tree_um);
+        f(&mut out, "ir_drop_mv", self.ir_drop_mv);
+        out.push_str(&format!("i hold_violations {}\n", self.hold_violations));
+        out.push_str(&format!("i synthesis_verified {:?}\n", self.synthesis_verified));
+        for (stage, status) in &self.stage_status {
+            out.push_str(&format!(
+                "status {stage} attempts {} outcome {}\n",
+                status.attempts, status.outcome
+            ));
+        }
+        out.push_str(&self.telemetry.deterministic_text());
+        out
     }
 }
 
@@ -230,6 +284,7 @@ mod tests {
             stage_seconds: BTreeMap::new(),
             stage_threads: BTreeMap::new(),
             stage_speedup: BTreeMap::new(),
+            telemetry: TelemetrySnapshot::default(),
         }
     }
 
@@ -242,6 +297,19 @@ mod tests {
         slow.wns_ps = -100.0;
         assert!(congested.score() > good.score());
         assert!(slow.score() > good.score());
+    }
+
+    #[test]
+    fn golden_text_excludes_wall_clock_and_thread_fields() {
+        let mut a = dummy();
+        a.stage_seconds.insert("1_synthesis".into(), 1.0);
+        let mut b = dummy();
+        b.stage_seconds.insert("1_synthesis".into(), 9.0);
+        b.stage_threads.insert("7_route".into(), 8);
+        b.stage_speedup.insert("7_route".into(), 3.5);
+        assert_eq!(a.golden_text(), b.golden_text());
+        assert!(a.golden_text().contains("f cell_area_um2"));
+        assert!(a.golden_text().contains("telemetry v1"));
     }
 
     #[test]

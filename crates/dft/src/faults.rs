@@ -147,6 +147,8 @@ pub struct FaultSimOutcome {
     pub num_detected: usize,
     /// Total faults.
     pub total: usize,
+    /// 64-lane packed pattern blocks simulated (`ceil(patterns / 64)`).
+    pub pattern_blocks: usize,
 }
 
 impl FaultSimOutcome {
@@ -234,7 +236,13 @@ pub fn fault_sim_threaded(
     let (detected, stats) =
         eda_par::par_map_stats(threads, faults, |_, f| detects(netlist, view, f, &blocks));
     let num_detected = detected.iter().filter(|&&d| d).count();
-    (FaultSimOutcome { detected, num_detected, total: faults.len() }, stats)
+    let outcome = FaultSimOutcome {
+        detected,
+        num_detected,
+        total: faults.len(),
+        pattern_blocks: blocks.len(),
+    };
+    (outcome, stats)
 }
 
 /// Generates `count` seeded random patterns for a view.

@@ -47,6 +47,10 @@ pub struct OpcOutcome {
     /// RMS EPE after each iteration (index 0 = before any model-based
     /// correction, i.e. after pre-bias only).
     pub rms_epe_history: Vec<f64>,
+    /// Fragments whose mask interval changed (bitwise) across all
+    /// correction iterations — the provenance count of edge moves. A pure
+    /// function of the target and config, identical at any thread count.
+    pub fragment_moves: usize,
 }
 
 impl OpcOutcome {
@@ -98,6 +102,7 @@ pub fn run_opc_stats(
         rms(&edge_placement_errors_threaded(target, &printed, cfg.threads))
     };
     history.push(measure(&mask, &mut stats));
+    let mut fragment_moves = 0usize;
     for _ in 0..cfg.iterations {
         let (printed, s) = model.print_threaded(&mask, extent_nm, cfg.threads);
         stats.absorb(&s);
@@ -105,7 +110,7 @@ pub fn run_opc_stats(
         // fragment reads only its own mask interval plus the shared printed
         // contours, so fragments are independent and the corrected mask is
         // bit-identical for any thread count.
-        mask = eda_par::par_map(cfg.threads, target, |fi, &(t0, t1)| {
+        let new_mask = eda_par::par_map(cfg.threads, target, |fi, &(t0, t1)| {
             // Printed edge nearest each target edge.
             let p0 = printed
                 .iter()
@@ -138,9 +143,15 @@ pub fn run_opc_stats(
             }
             (a, b)
         });
+        fragment_moves += new_mask
+            .iter()
+            .zip(&mask)
+            .filter(|(n, o)| n.0.to_bits() != o.0.to_bits() || n.1.to_bits() != o.1.to_bits())
+            .count();
+        mask = new_mask;
         history.push(measure(&mask, &mut stats));
     }
-    (OpcOutcome { mask, rms_epe_history: history }, stats)
+    (OpcOutcome { mask, rms_epe_history: history, fragment_moves }, stats)
 }
 
 #[cfg(test)]

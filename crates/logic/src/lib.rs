@@ -42,5 +42,8 @@ pub use espresso::MinimizeOutcome;
 pub use isop::isop;
 pub use map::{map_aig, map_naive, MapError, MapGoal, MapOutcome};
 pub use npn::{npn_canon, npn_equivalent, NpnCanon};
-pub use synth::{optimize_aig, synthesize, SynthesisEffort, SynthesisError, SynthesisOutcome};
+pub use synth::{
+    optimize_aig, optimize_aig_traced, synthesize, AigPass, SynthesisEffort, SynthesisError,
+    SynthesisOutcome,
+};
 pub use tt::TruthTable;

@@ -71,6 +71,9 @@ pub struct SynthesisOutcome {
     pub delay_ps: f64,
     /// Mapped combinational cell count.
     pub cells: usize,
+    /// Per-pass AIG optimization trace (empty for the 2006 baseline, which
+    /// maps the raw AIG).
+    pub passes: Vec<AigPass>,
 }
 
 /// Synthesizes `input` onto `lib` at the given effort and goal.
@@ -113,15 +116,15 @@ pub fn synthesize(
 ) -> Result<SynthesisOutcome, SynthesisError> {
     let (aig, boundary) = Aig::from_netlist(input)?;
     let before = aig.num_ands();
-    let (optimized, outcome): (Aig, MapOutcome) = match effort {
+    let (optimized, outcome, passes): (Aig, MapOutcome, Vec<AigPass>) = match effort {
         SynthesisEffort::Baseline2006 => {
             let m = map_naive(&aig, &boundary, lib)?;
-            (aig, m)
+            (aig, m, Vec::new())
         }
         SynthesisEffort::Advanced2016 => {
-            let opt = optimize_aig(&aig);
+            let (opt, passes) = optimize_aig_traced(&aig);
             let m = map_aig(&opt, &boundary, lib, goal)?;
-            (opt, m)
+            (opt, m, passes)
         }
     };
     Ok(SynthesisOutcome {
@@ -131,30 +134,75 @@ pub fn synthesize(
         area_um2: outcome.area_um2,
         delay_ps: outcome.delay_ps,
         cells: outcome.cells,
+        passes,
     })
+}
+
+/// One pass of the AIG optimization script, as recorded for QoR provenance:
+/// node counts around the pass and whether its result was kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AigPass {
+    /// Pass name (`"balance"` or `"rewrite"`).
+    pub name: &'static str,
+    /// AND nodes going in.
+    pub nodes_before: usize,
+    /// AND nodes the pass produced (kept or not).
+    pub nodes_after: usize,
+    /// Whether the pass result was accepted by the keep-if-not-regressing
+    /// rule.
+    pub kept: bool,
 }
 
 /// The advanced-flow AIG script: `balance; rewrite; rewrite; balance`,
 /// keeping each pass only if it does not regress node count.
 pub fn optimize_aig(aig: &Aig) -> Aig {
+    optimize_aig_traced(aig).0
+}
+
+/// [`optimize_aig`] plus a per-pass provenance trace. The optimized AIG is
+/// bit-identical to `optimize_aig`'s; the trace is a pure function of the
+/// input.
+pub fn optimize_aig_traced(aig: &Aig) -> (Aig, Vec<AigPass>) {
+    let mut passes = Vec::new();
     let mut cur = aig.balance();
-    if cur.num_ands() > aig.num_ands() && cur.depth() >= aig.depth() {
+    let kept = !(cur.num_ands() > aig.num_ands() && cur.depth() >= aig.depth());
+    passes.push(AigPass {
+        name: "balance",
+        nodes_before: aig.num_ands(),
+        nodes_after: cur.num_ands(),
+        kept,
+    });
+    if !kept {
         cur = aig.clone();
     }
     // Rewrite to a fixpoint (bounded), keeping only non-regressing passes.
     for _ in 0..6 {
         let next = cur.rewrite();
-        if next.num_ands() < cur.num_ands() {
+        let kept = next.num_ands() < cur.num_ands();
+        passes.push(AigPass {
+            name: "rewrite",
+            nodes_before: cur.num_ands(),
+            nodes_after: next.num_ands(),
+            kept,
+        });
+        if kept {
             cur = next;
         } else {
             break;
         }
     }
     let balanced = cur.balance();
-    if balanced.num_ands() <= cur.num_ands() || balanced.depth() < cur.depth() {
+    let kept = balanced.num_ands() <= cur.num_ands() || balanced.depth() < cur.depth();
+    passes.push(AigPass {
+        name: "balance",
+        nodes_before: cur.num_ands(),
+        nodes_after: balanced.num_ands(),
+        kept,
+    });
+    if kept {
         cur = balanced;
     }
-    cur
+    (cur, passes)
 }
 
 #[cfg(test)]

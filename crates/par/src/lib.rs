@@ -51,6 +51,13 @@ pub fn thread_cpu_seconds() -> f64 {
 }
 
 /// Execution record of one parallel dispatch.
+///
+/// `chunks` is a pure function of the input size, so it is identical at any
+/// thread count; `threads`, `wall_s`, and `busy_s` describe how this host
+/// happened to execute the dispatch. The flow's telemetry layer
+/// (`eda_core::telemetry`) records each dispatch as a kernel span along the
+/// same split: the chunk count lands in the deterministic section, the
+/// worker timings in the wall section.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParStats {
     /// Workers actually spawned.

@@ -71,6 +71,9 @@ pub struct ParallelOutcome {
     pub instances_per_second: f64,
     /// Accumulated parallel-execution record across all stripe dispatches.
     pub par_stats: eda_par::ParStats,
+    /// Annealing moves accepted across all stripes and passes. Each stripe
+    /// anneals a private seeded copy, so the sum is thread-invariant.
+    pub moves_accepted: usize,
 }
 
 impl ParallelOutcome {
@@ -99,6 +102,7 @@ pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> Para
     let start = Instant::now();
     let mut projected = 0.0f64;
     let mut par_stats = eda_par::ParStats::empty();
+    let mut moves_accepted = 0usize;
     for pass in 0..cfg.passes {
         // Partition cells into stripes by x (even pass) or y (odd pass).
         // The stripe count is input/config-determined — never thread-count-
@@ -131,12 +135,15 @@ pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> Para
             .collect();
         // Each worker anneals a stripe on a private copy; the stripe's cell
         // positions are merged back afterwards (disjoint sets, no conflicts).
+        // Each stripe yields its new cell positions plus its accepted-move
+        // count (summed into `ParallelOutcome::moves_accepted`).
+        type StripeResult = (Vec<(InstId, Point)>, usize);
         let workers = eda_par::resolve_threads(cfg.threads).min(stripe_jobs.len());
-        let (moved, stats): (Vec<Vec<(InstId, Point)>>, eda_par::ParStats) = {
+        let (moved, stats): (Vec<StripeResult>, eda_par::ParStats) = {
             let placement_ref = &placement;
             eda_par::par_map_stats(workers, &stripe_jobs, |_, (cells, region, seed)| {
                 let mut local = placement_ref.clone();
-                anneal(
+                let stripe_stats = anneal(
                     netlist,
                     &mut local,
                     &AnnealConfig {
@@ -147,12 +154,15 @@ pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> Para
                     Some(cells),
                     Some(*region),
                 );
-                cells.iter().map(|&id| (id, local.position(id))).collect()
+                let positions: Vec<(InstId, Point)> =
+                    cells.iter().map(|&id| (id, local.position(id))).collect();
+                (positions, stripe_stats.accepted)
             })
         };
         projected += stats.projected_wall_s();
         par_stats.absorb(&stats);
-        for stripe in moved {
+        for (stripe, accepted) in moved {
+            moves_accepted += accepted;
             for (id, p) in stripe {
                 placement.set_position(id, p);
             }
@@ -168,6 +178,7 @@ pub fn place_parallel(netlist: &Netlist, die: Die, cfg: &ParallelConfig) -> Para
         projected_refine_seconds: projected.max(1e-9),
         instances_per_second: refined / refine_seconds,
         par_stats,
+        moves_accepted,
     }
 }
 

@@ -78,6 +78,10 @@ pub struct RouteOutcome {
     pub seconds: f64,
     /// Rip-up iterations actually executed.
     pub iterations: usize,
+    /// Total overflow after each executed iteration (`[0]` = after the
+    /// initial pass, then one entry per rip-up round). Thread-invariant:
+    /// rip-up is serial and the initial pass commits in input order.
+    pub ripup_overflow: Vec<u64>,
 }
 
 impl RouteOutcome {
@@ -261,6 +265,7 @@ pub fn route_stats(
 
     let negotiate = cfg.algorithm != RouteAlgorithm::LeeBfs;
     let mut iterations = 1usize;
+    let mut ripup_overflow = vec![grid.total_overflow()];
     if negotiate {
         for _ in 0..cfg.ripup_iterations {
             if grid.total_overflow() == 0 {
@@ -285,6 +290,7 @@ pub fn route_stats(
                 commit(&mut grid, &p, 1);
                 paths[i] = Some(p);
             }
+            ripup_overflow.push(grid.total_overflow());
         }
     }
 
@@ -298,6 +304,7 @@ pub fn route_stats(
         cells_expanded: expanded,
         seconds: start.elapsed().as_secs_f64(),
         iterations,
+        ripup_overflow,
     };
     (outcome, stats)
 }

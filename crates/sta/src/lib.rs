@@ -86,6 +86,9 @@ pub struct TimingAnalysis {
     pub worst_hold_slack_ps: f64,
     /// Number of flop endpoints violating hold.
     pub hold_violations: usize,
+    /// Combinational timing arcs evaluated during propagation (one per
+    /// non-sequential, non-physical instance).
+    pub arcs_timed: usize,
     arrivals: Vec<f64>,
 }
 
@@ -132,12 +135,14 @@ impl TimingAnalysis {
             // Fast clk-to-Q corner: half the nominal.
             early[inst.output().index()] = lib.cell(inst.cell()).delay_ps * 0.5;
         }
+        let mut arcs_timed = 0usize;
         for &id in &order {
             let inst = netlist.instance(id);
             let def = lib.cell(inst.cell());
             if def.function.is_sequential() || def.function.is_physical_only() {
                 continue;
             }
+            arcs_timed += 1;
             let worst_in =
                 inst.inputs().iter().map(|n| arrival[n.index()]).fold(0.0f64, f64::max);
             let best_in =
@@ -240,6 +245,7 @@ impl TimingAnalysis {
             critical_path: path,
             worst_hold_slack_ps: worst_hold,
             hold_violations,
+            arcs_timed,
             arrivals: arrival,
         })
     }

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Regenerate the golden snapshot (tests/golden/smoke.snap) after an
+# intentional QoR or telemetry change, then verify it passes.
+#
+#   scripts/bless.sh
+#
+# Review the resulting diff like any other code change: every drifted line
+# is a QoR or provenance delta the PR is claiming on purpose.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BLESS=1 cargo test --release -q --test golden golden_snapshot -- --exact golden_snapshot_is_byte_stable_across_thread_counts
+cargo test --release -q --test golden
+
+echo "blessed tests/golden/smoke.snap:"
+git diff --stat -- tests/golden/smoke.snap || true

@@ -3,15 +3,49 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
-cargo test -q
+# --workspace so the eda-bench `experiments` binary the smokes below run is
+# rebuilt too (a bare root build stops at the root package).
+cargo build --release --workspace
+
+# Run the full test suite (unit + integration + property + doc, every
+# crate), keeping the per-binary summaries for the tally below.
+test_log="$(mktemp)"
+trap 'rm -f "$test_log"' EXIT
+cargo test --workspace -q 2>&1 | tee "$test_log"
+
 cargo clippy --all-targets -- -D warnings
 # No panicking unwraps on user-reachable paths: the flow library and the
 # experiments CLI carry crate-level deny(clippy::unwrap_used) attributes
 # (test modules exempt); these invocations fail if one sneaks back in.
 cargo clippy -p eda-core --lib -- -D warnings
 cargo clippy -p eda-bench --bins -- -D warnings
+
 # Supervised-flow smoke: deterministic fault injection across the flow,
 # including the reproducibility self-check, at 4 worker threads.
 ./target/release/experiments --inject smoke --threads 4
-echo "check: tier-1 + clippy + unwrap gates + inject smoke green"
+
+# Telemetry smoke: `--trace` must emit parseable JSON (span tree + metrics)
+# and a non-empty folded-stack file.
+trace_dir="$(mktemp -d)"
+trap 'rm -f "$test_log"; rm -rf "$trace_dir"' EXIT
+./target/release/experiments --trace "$trace_dir/smoke.trace.json" --threads 4
+python3 - "$trace_dir" <<'PY'
+import json, sys, os
+d = sys.argv[1]
+trace = json.load(open(os.path.join(d, "smoke.trace.json")))
+assert trace["traceEvents"], "trace has no events"
+metrics = json.load(open(os.path.join(d, "smoke.trace.metrics.json")))
+assert metrics, "metrics export is empty"
+assert os.path.getsize(os.path.join(d, "smoke.trace.folded")) > 0, "folded stacks empty"
+print(f"check: trace OK ({len(trace['traceEvents'])} spans, {len(metrics)} metrics)")
+PY
+
+# Golden snapshot in release: QoR + telemetry byte-stable across threads
+# 1/2/4/8 and unchanged vs tests/golden/smoke.snap (re-bless: scripts/bless.sh).
+cargo test --release -q --test golden
+
+# Tally: sum the "test result:" lines from the debug suite run above.
+awk '/^test result:/ { passed += $4; failed += $6 }
+     END { printf "check: %d tests passed, %d failed across all binaries\n", passed, failed
+           exit (failed > 0) }' "$test_log"
+echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + golden green"

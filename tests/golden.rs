@@ -1,0 +1,116 @@
+//! Golden-snapshot lock on the smoke flow's QoR and telemetry.
+//!
+//! [`FlowReport::golden_text`] serialises everything deterministic about a
+//! flow run — QoR figures as exact f64 bits, per-stage outcomes, the full
+//! telemetry span tree and metric registry — and excludes everything that
+//! may legitimately vary (wall clocks, resolved thread counts). This suite
+//! pins that text to `tests/golden/smoke.snap` byte-for-byte and checks it
+//! is identical across worker-thread counts, so any QoR or telemetry drift
+//! shows up as a one-line diff in CI rather than a silent change.
+//!
+//! To re-bless after an intentional change: `scripts/bless.sh`
+//! (equivalently `BLESS=1 cargo test --release --test golden`).
+
+use eda::core::{run_flow, FlowConfig, FlowReport, SpanKind};
+use eda::netlist::generate;
+use eda::tech::Node;
+
+/// The flow the snapshot pins: the same smoke configuration `experiments
+/// --trace` and `--inject` run (every stage incl. decomposition + OPC).
+fn smoke_report(threads: usize) -> FlowReport {
+    let design = generate::switch_fabric(3, 3).expect("smoke design generates");
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = threads;
+    run_flow(&design, &cfg).expect("smoke flow completes")
+}
+
+fn snap_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/smoke.snap")
+}
+
+/// Point at the first differing line instead of dumping two full snapshots.
+fn assert_same_text(want: &str, got: &str, what: &str) {
+    if want == got {
+        return;
+    }
+    for (i, (w, g)) in want.lines().zip(got.lines()).enumerate() {
+        assert_eq!(w, g, "{what}: first difference at line {}", i + 1);
+    }
+    panic!(
+        "{what}: line count differs (want {}, got {}) — re-bless with scripts/bless.sh if intentional",
+        want.lines().count(),
+        got.lines().count()
+    );
+}
+
+/// The deterministic section of the report is byte-identical across thread
+/// counts and matches the blessed snapshot. `BLESS=1` rewrites the snapshot
+/// instead of comparing.
+#[test]
+fn golden_snapshot_is_byte_stable_across_thread_counts() {
+    let base = smoke_report(1).golden_text();
+    for threads in [2, 4, 8] {
+        let other = smoke_report(threads).golden_text();
+        assert_same_text(&base, &other, &format!("threads=1 vs threads={threads}"));
+    }
+
+    let path = snap_path();
+    if std::env::var("BLESS").is_ok() {
+        std::fs::write(&path, &base).expect("write blessed snapshot");
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("no golden snapshot at {} ({e}); run scripts/bless.sh", path.display())
+    });
+    assert_same_text(&want, &base, "golden snapshot");
+}
+
+/// Structural invariants of the telemetry snapshot: the span tree is
+/// well-formed (parents precede children, one root flow span, stage spans
+/// parented on it), wall data is index-aligned, and every export renders.
+#[test]
+fn telemetry_snapshot_is_well_formed() {
+    let report = smoke_report(1);
+    let tel = &report.telemetry;
+
+    assert_eq!(tel.spans.len(), tel.wall.len(), "spans and wall sections are index-aligned");
+    let roots: Vec<_> = tel.spans.iter().filter(|s| s.parent.is_none()).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(roots[0].kind, SpanKind::Flow);
+    for (id, span) in tel.spans.iter().enumerate() {
+        if let Some(p) = span.parent {
+            assert!(p < id, "parent {p} precedes child {id}");
+        }
+        match span.kind {
+            SpanKind::Flow => assert!(span.parent.is_none()),
+            SpanKind::Stage => {
+                assert_eq!(span.parent, Some(0), "stage `{}` hangs off the flow span", span.name)
+            }
+            SpanKind::Attempt | SpanKind::Kernel => {
+                assert!(span.parent.is_some(), "`{}` has a parent", span.name)
+            }
+        }
+    }
+    // Every pipeline stage that ran shows up as a stage span.
+    for stage in report.stage_status.keys() {
+        assert!(
+            tel.spans.iter().any(|s| s.kind == SpanKind::Stage && s.name == *stage),
+            "stage `{stage}` has a span"
+        );
+    }
+
+    // Exports are non-trivial and structurally sound (full JSON validation
+    // happens in scripts/check.sh with a real parser).
+    let trace = tel.chrome_trace_json();
+    assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+    assert_eq!(trace.matches("\"ph\":\"X\"").count(), tel.spans.len());
+    let metrics = tel.metrics_json();
+    assert!(metrics.starts_with('{') && metrics.trim_end().ends_with('}'));
+    let folded = tel.folded_stacks();
+    assert!(folded.lines().count() > 0);
+    for line in folded.lines() {
+        let (_, weight) = line.rsplit_once(' ').expect("folded line has a weight");
+        weight.parse::<u64>().expect("folded weight is an integer");
+    }
+}
