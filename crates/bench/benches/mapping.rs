@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use eda_bench::{median_seconds, scaling_threads};
-use eda_logic::{map_aig, map_naive, Aig, MapGoal};
+use eda_logic::{map_aig, map_aig_threaded, map_naive, Aig, MapGoal};
 use eda_netlist::{generate, Library};
 use std::hint::black_box;
 
@@ -54,10 +54,10 @@ fn bench_xor_rich(c: &mut Criterion) {
     group.finish();
 }
 
-/// Thread-scaling row for `scripts/bench_flow.sh`. Technology mapping is not
-/// parallelized yet, so the row reports the same CPU time at every thread
-/// count — a speedup of ~1.0 in BENCH_parallel.json marks it as the next
-/// kernel to thread.
+/// Thread-scaling row for `scripts/bench_flow.sh`: cut-based mapping with
+/// library tabulation, cut enumeration, and match selection fanned out in
+/// topological waves (`map_aig_threaded`), reported as the projected wall
+/// clock of the busiest worker — the same convention as the other kernels.
 fn bench_map_scaling(_c: &mut Criterion) {
     let design = generate::random_logic(generate::RandomLogicConfig {
         gates: 600,
@@ -68,9 +68,10 @@ fn bench_map_scaling(_c: &mut Criterion) {
     let (aig, bnd) = Aig::from_netlist(&design).unwrap();
     for threads in scaling_threads() {
         let s = median_seconds(5, || {
-            let t0 = eda_par::thread_cpu_seconds();
-            black_box(map_aig(&aig, &bnd, Library::generic(), MapGoal::Area).unwrap().area_um2);
-            eda_par::thread_cpu_seconds() - t0
+            map_aig_threaded(&aig, &bnd, Library::generic(), MapGoal::Area, threads)
+                .unwrap()
+                .1
+                .projected_wall_s()
         });
         println!("BENCHLINE map_par/{threads} {s:.9e}");
     }

@@ -25,6 +25,16 @@
 //! (pipe through `flamegraph.pl`). Combine with `--inject` to trace a faulted
 //! run — retries and degradations appear as tagged attempt spans.
 //!
+//! `--cache-dir DIR` points every flow the claims run at a content-addressed
+//! stage cache (DESIGN.md §9), so repeated invocations — and claims that
+//! re-run the same flow, like the C11 tuner — replay unchanged stages
+//! bit-identically instead of recomputing them.
+//!
+//! `--incremental` runs the smoke flow cold and then warm against the cache
+//! (at `--cache-dir` or a temp directory), prints both wall clocks and the
+//! fraction of stages replayed, and exits nonzero unless the warm run skips
+//! at least 8 of the 11 stages with bit-identical QoR.
+//!
 //! Any failure exits nonzero with a one-line message on stderr.
 
 // The CLI reports failures as readable messages + nonzero exit, never a
@@ -52,7 +62,10 @@ use eda_smart::{best_iot_node, codesign_flow, node_selection_sweep, sequential_f
 use eda_sta::{TimingAnalysis, TimingConfig};
 use eda_tech::{CostModel, DesignStartModel, Node, PatterningPlan};
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// A CLI failure: a message for stderr, built from any underlying error.
 struct CliError(String);
@@ -75,6 +88,18 @@ fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
+/// Stage-cache directory from `--cache-dir`, set once before any claim runs.
+static CACHE_DIR: OnceLock<PathBuf> = OnceLock::new();
+
+/// Applies the global `--cache-dir` (when given) to a flow config, so every
+/// flow the claims run shares one content-addressed stage cache.
+fn with_cache(mut cfg: FlowConfig) -> FlowConfig {
+    if let Some(dir) = CACHE_DIR.get() {
+        cfg.cache_dir = Some(dir.clone());
+    }
+    cfg
+}
+
 fn main() {
     if let Err(e) = run() {
         eprintln!("experiments: {}", e.0);
@@ -88,6 +113,8 @@ fn run() -> CliResult {
     let mut child = false;
     let mut inject: Option<String> = None;
     let mut trace: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut incremental = false;
     let parse_threads = |v: Option<String>| -> Result<usize, CliError> {
         v.and_then(|v| v.parse().ok())
             .ok_or(CliError("--threads needs a non-negative integer".into()))
@@ -112,6 +139,15 @@ fn run() -> CliResult {
         } else if a.starts_with("--trace=") {
             // Take the value from the raw arg: paths are case-sensitive.
             trace = Some(raw["--trace=".len()..].to_string());
+        } else if a == "--cache-dir" {
+            cache_dir = Some(args.next().ok_or(CliError(
+                "--cache-dir needs a directory path".into(),
+            ))?);
+        } else if a.starts_with("--cache-dir=") {
+            // Take the value from the raw arg: paths are case-sensitive.
+            cache_dir = Some(raw["--cache-dir=".len()..].to_string());
+        } else if a == "--incremental" {
+            incremental = true;
         } else if a == "--child" {
             child = true;
         } else if let Some(flag) = a.strip_prefix("--") {
@@ -121,7 +157,13 @@ fn run() -> CliResult {
         }
     }
     THREADS.store(threads_arg, Ordering::Relaxed);
+    if let Some(dir) = &cache_dir {
+        let _ = CACHE_DIR.set(PathBuf::from(dir));
+    }
 
+    if incremental {
+        return incremental_demo(cache_dir.as_deref(), threads_arg);
+    }
     if let Some(path) = trace {
         return trace_demo(&path, threads_arg, inject.as_deref());
     }
@@ -174,9 +216,12 @@ fn run() -> CliResult {
     let children: Vec<(&str, std::process::Child)> = selected
         .iter()
         .map(|(id, _)| {
-            let c = std::process::Command::new(&exe)
-                .arg("--child")
-                .arg(format!("--threads={threads_arg}"))
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("--child").arg(format!("--threads={threads_arg}"));
+            if let Some(dir) = &cache_dir {
+                cmd.arg(format!("--cache-dir={dir}"));
+            }
+            let c = cmd
                 .arg(id)
                 .stdout(std::process::Stdio::piped())
                 .stderr(std::process::Stdio::piped())
@@ -199,6 +244,78 @@ fn run() -> CliResult {
     Ok(())
 }
 
+/// `--incremental`: cold + warm smoke flow against the stage cache.
+///
+/// Runs the smoke flow twice against `--cache-dir` (or a fresh temp
+/// directory), prints both wall clocks, the fraction of stages replayed from
+/// cache, and the QoR comparison, then fails unless the warm run skipped at
+/// least 8 of the 11 stages with bit-identical QoR. Unreadable (poisoned)
+/// entries are recomputed and counted, never fatal, so a partially damaged
+/// cache still passes as long as enough stages replay.
+fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
+    let dir: PathBuf = match cache_dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("eda_incremental_{}", std::process::id())),
+    };
+    let design = generate::switch_fabric(3, 3)?;
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = threads_arg;
+    cfg.cache_dir = Some(dir.clone());
+    println!(
+        "=== incremental flow: {} on {} (cache at {}) ===",
+        cfg.name,
+        design.name(),
+        dir.display()
+    );
+
+    let counter = |r: &eda_core::FlowReport, name: &str| -> u64 {
+        match r.telemetry.metrics.get(name) {
+            Some(eda_core::Metric::Counter(n)) => *n,
+            _ => 0,
+        }
+    };
+
+    let t = Instant::now();
+    let cold = run_flow(&design, &cfg).map_err(|e| CliError(format!("cold run failed: {e}")))?;
+    let cold_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let warm = run_flow(&design, &cfg).map_err(|e| CliError(format!("warm run failed: {e}")))?;
+    let warm_s = t.elapsed().as_secs_f64();
+
+    let total = warm.stage_status.len() as u64;
+    let hits = counter(&warm, "cache.hits");
+    let errors = counter(&warm, "cache.errors");
+    let same = cold.same_qor(&warm);
+    println!("cold run: {cold_s:>8.3}s  ({} stage misses)", counter(&cold, "cache.misses"));
+    println!(
+        "warm run: {warm_s:>8.3}s  \
+         ({hits}/{total} stages replayed, {errors} unreadable entries recomputed)"
+    );
+    println!("warm speedup: {:.1}x, QoR bit-identical: {same}", cold_s / warm_s.max(1e-9));
+    // Machine-readable rows for scripts/bench_flow.sh and scripts/check.sh.
+    // The `cold_*` rows describe the first run of THIS invocation — against
+    // a pre-filled cache it hits too, and against a damaged one it reports
+    // the unreadable entries it recomputed.
+    println!("INCRLINE cold_s {cold_s:.6}");
+    println!("INCRLINE cold_hits {}", counter(&cold, "cache.hits"));
+    println!("INCRLINE cold_errors {}", counter(&cold, "cache.errors"));
+    println!("INCRLINE warm_s {warm_s:.6}");
+    println!("INCRLINE stages_total {total}");
+    println!("INCRLINE stages_skipped {hits}");
+    println!("INCRLINE cache_errors {errors}");
+    println!("INCRLINE same_qor {}", same as u32);
+    if hits < 8 {
+        return Err(CliError(format!(
+            "warm run replayed only {hits}/{total} stages (expected >= 8)"
+        )));
+    }
+    if !same {
+        return Err(CliError("warm QoR diverged from the cold run".into()));
+    }
+    println!("incremental: warm run skipped {hits}/{total} stages with identical QoR");
+    Ok(())
+}
+
 /// `--inject SPEC`: the supervised flow under a deterministic fault plan.
 ///
 /// Runs the advanced flow at 10nm (so every stage, including decomposition +
@@ -209,8 +326,9 @@ fn inject_demo(spec: &str, threads_arg: usize) -> CliResult {
     let plan = FaultPlan::parse(spec, 42)?;
     println!("=== fault injection: `{spec}` ===");
     let design = generate::switch_fabric(3, 3)?;
-    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    let mut cfg = with_cache(FlowConfig::advanced_2016(Node::N10));
     cfg.threads = threads_arg;
+    // `run_flow` ignores the stage cache while a fault plan is active.
     cfg.fault_plan = Some(plan);
     let report = run_flow(&design, &cfg)
         .map_err(|e| CliError(format!("supervised flow did not survive the plan: {e}")))?;
@@ -236,7 +354,7 @@ fn inject_demo(spec: &str, threads_arg: usize) -> CliResult {
 /// attempt spans in the trace.
 fn trace_demo(path: &str, threads_arg: usize, inject: Option<&str>) -> CliResult {
     let design = generate::switch_fabric(3, 3)?;
-    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    let mut cfg = with_cache(FlowConfig::advanced_2016(Node::N10));
     cfg.threads = threads_arg;
     if let Some(spec) = inject {
         cfg.fault_plan = Some(FaultPlan::parse(spec, 42)?);
@@ -818,7 +936,7 @@ fn c11() -> CliResult {
         seed: 21,
         ..Default::default()
     })?;
-    let mut base_cfg = FlowConfig::advanced_2016(Node::N28);
+    let mut base_cfg = with_cache(FlowConfig::advanced_2016(Node::N28));
     base_cfg.threads = threads();
     let mut tuner = FlowTuner::new(7);
     println!("{:>5} {:>10} {:>12} {:>12}", "run", "arm", "score", "best-so-far");

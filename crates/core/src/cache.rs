@@ -1,0 +1,241 @@
+//! Content-addressed stage result cache: the incremental-flow engine.
+//!
+//! Every stage of `run_flow` transforms one [`FlowState`] into the next, and
+//! both ends of that transform are deterministic functions of (design,
+//! config, seed). That makes each stage memoizable: the cache key is an
+//! FNV-1a hash over `(stage name, config fingerprint, state hash)`, where
+//! the config fingerprint already folds in the design identity and RNG seed
+//! (see [`checkpoint::fingerprint`]) and the state hash covers the exact
+//! serialized pre-stage flow state — the stage's entire input. An entry is
+//! the post-stage state in the checkpoint body codec (`f64` as bit-exact
+//! hex), so a hit replays bit-identical QoR, the same guarantee resume
+//! gives.
+//!
+//! The state hash deliberately excludes the wall-clock maps
+//! (`stage_seconds`, `stage_speedup`, `stage_threads`): how long an earlier
+//! stage took, or how many workers computed it, must never invalidate a
+//! downstream entry — a recomputed stage still yields downstream hits, and a
+//! warm run at 8 threads hits entries written at 1.
+//!
+//! Failures are contained by design: a corrupt, truncated, or unreadable
+//! entry is a typed [`CacheError`] that `run_flow` downgrades to a recompute
+//! (counted in the `cache.errors` metric), never a flow error and never a
+//! panic. Writes are atomic (process-unique temp file + rename), so
+//! concurrent flows — e.g. `experiments` child processes sharing one
+//! `--cache-dir` — can race on the same entry and both land on identical
+//! bytes.
+
+use crate::checkpoint::{self, FlowState, Lines, LoadError};
+use std::path::{Path, PathBuf};
+
+/// Why a cache entry could not be read or written. Never fatal to the flow:
+/// every variant downgrades to a recompute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum CacheError {
+    /// The entry file exists but is truncated, unparseable, or was written
+    /// for a different stage/key than its name claims.
+    Corrupt(String),
+    /// Filesystem failure reading or writing the entry.
+    Io(String),
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Corrupt(m) => write!(f, "corrupt cache entry: {m}"),
+            CacheError::Io(m) => write!(f, "cache I/O: {m}"),
+        }
+    }
+}
+
+fn fnv(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Hash of the deterministic portion of a flow state — a stage's entire
+/// input. Serializes through [`checkpoint::write_body`] with the wall-clock
+/// maps excluded, so the hash is a pure function of QoR-relevant state.
+pub(crate) fn state_hash(st: &FlowState) -> u64 {
+    let mut body = String::new();
+    checkpoint::write_body(st, &mut body, false);
+    fnv(body.bytes())
+}
+
+/// The content address of one stage execution:
+/// `(stage kind, config fingerprint ⊇ {design, seed}, pre-stage state hash)`.
+pub(crate) fn entry_key(stage: &str, config_fp: u64, state_hash: u64) -> u64 {
+    fnv(format!("{stage}|{config_fp:016x}|{state_hash:016x}").bytes())
+}
+
+/// A directory of content-addressed stage results.
+#[derive(Debug, Clone)]
+pub(crate) struct StageCache {
+    dir: PathBuf,
+}
+
+impl StageCache {
+    pub fn new(dir: &Path) -> StageCache {
+        StageCache { dir: dir.to_path_buf() }
+    }
+
+    /// The entry file for `(stage, key)`. Stage names are `[0-9a-z_]` by
+    /// construction (see `flow::STAGES`), so the name needs no sanitizing.
+    pub fn entry_path(&self, stage: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{stage}-{key:016x}.stage"))
+    }
+
+    /// Loads the post-stage state for `(stage, key)`.
+    ///
+    /// `Ok(None)` = no entry (cold). `Err(Corrupt | Io)` = an entry exists
+    /// but cannot be trusted; the caller recomputes.
+    pub fn load(&self, stage: &str, key: u64) -> Result<Option<FlowState>, CacheError> {
+        let path = self.entry_path(stage, key);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CacheError::Io(format!("read {}: {e}", path.display()))),
+        };
+        let corrupt = |m: String| CacheError::Corrupt(format!("{}: {m}", path.display()));
+        let mut lines = Lines::new(&text);
+        let demote = |e: LoadError| match e {
+            LoadError::Corrupt(m) | LoadError::Mismatch(m) => corrupt(m),
+        };
+        let header = lines.next().map_err(demote)?;
+        if header != "eda-stagecache v1" {
+            return Err(corrupt(format!("bad header {header:?}")));
+        }
+        let stage_line = lines.next().map_err(demote)?;
+        if stage_line.strip_prefix("stage ") != Some(stage) {
+            return Err(corrupt(format!("entry names a different stage ({stage_line:?})")));
+        }
+        let key_line = lines.next().map_err(demote)?;
+        let stored = key_line
+            .strip_prefix("key ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt(format!("bad key line {key_line:?}")))?;
+        if stored != key {
+            return Err(corrupt(format!("entry key {stored:016x} does not match its address {key:016x}")));
+        }
+        let st = checkpoint::read_body(&mut lines).map_err(demote)?;
+        Ok(Some(st))
+    }
+
+    /// Atomically writes the post-stage state for `(stage, key)`.
+    pub fn store(&self, stage: &str, key: u64, st: &FlowState) -> Result<PathBuf, CacheError> {
+        std::fs::create_dir_all(&self.dir)
+            .map_err(|e| CacheError::Io(format!("create {}: {e}", self.dir.display())))?;
+        let mut out = String::new();
+        out.push_str("eda-stagecache v1\n");
+        out.push_str(&format!("stage {stage}\n"));
+        out.push_str(&format!("key {key:016x}\n"));
+        checkpoint::write_body(st, &mut out, true);
+        let path = self.entry_path(stage, key);
+        checkpoint::write_atomic(&path, &out)
+            .map_err(|e| CacheError::Io(format!("write {}: {e}", path.display())))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{StageOutcome, StageStatus};
+
+    fn tmp_cache(tag: &str) -> StageCache {
+        let dir = std::env::temp_dir().join(format!("eda_cache_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        StageCache::new(&dir)
+    }
+
+    fn cleanup(c: &StageCache) {
+        let _ = std::fs::remove_dir_all(&c.dir);
+    }
+
+    fn sample_state() -> FlowState {
+        let mut st = FlowState::fresh();
+        st.cursor = 3;
+        st.cells = 42;
+        st.wns_ps = -1.2345;
+        st.statuses.insert(
+            "1_synthesis".into(),
+            StageStatus { outcome: StageOutcome::Completed, attempts: 1 },
+        );
+        st
+    }
+
+    #[test]
+    fn roundtrip_preserves_state_bits() {
+        let cache = tmp_cache("roundtrip");
+        let st = sample_state();
+        let key = entry_key("3_scan", 0xdead_beef, state_hash(&st));
+        cache.store("3_scan", key, &st).unwrap();
+        let back = cache.load("3_scan", key).unwrap().unwrap();
+        assert_eq!(back.cursor, st.cursor);
+        assert_eq!(back.cells, st.cells);
+        assert_eq!(back.wns_ps.to_bits(), st.wns_ps.to_bits());
+        assert_eq!(back.statuses, st.statuses);
+        cleanup(&cache);
+    }
+
+    #[test]
+    fn missing_entry_is_a_clean_miss() {
+        let cache = tmp_cache("miss");
+        assert!(cache.load("1_synthesis", 7).unwrap().is_none());
+        cleanup(&cache);
+    }
+
+    #[test]
+    fn state_hash_ignores_wall_clock_maps() {
+        let mut a = sample_state();
+        let mut b = sample_state();
+        a.stage_seconds.insert("1_synthesis".into(), 0.5);
+        b.stage_seconds.insert("1_synthesis".into(), 99.0);
+        b.stage_threads.insert("4_place".into(), 8);
+        b.stage_speedup.insert("4_place".into(), 3.2);
+        assert_eq!(state_hash(&a), state_hash(&b));
+
+        let mut c = sample_state();
+        c.cells += 1;
+        assert_ne!(state_hash(&a), state_hash(&c));
+    }
+
+    #[test]
+    fn key_separates_stage_config_and_state() {
+        let h = state_hash(&sample_state());
+        let base = entry_key("4_place", 1, h);
+        assert_ne!(base, entry_key("5_scan_reorder", 1, h));
+        assert_ne!(base, entry_key("4_place", 2, h));
+        assert_ne!(base, entry_key("4_place", 1, h ^ 1));
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_typed_errors() {
+        let cache = tmp_cache("corrupt");
+        let st = sample_state();
+        let key = entry_key("4_place", 9, state_hash(&st));
+        let path = cache.store("4_place", key, &st).unwrap();
+
+        // Truncation mid-body.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+
+        // Garbage.
+        std::fs::write(&path, "not a cache entry\n").unwrap();
+        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+
+        // Right header, wrong embedded key (a renamed entry).
+        let renamed = full.replace(&format!("key {key:016x}"), "key 0000000000000001");
+        std::fs::write(&path, renamed).unwrap();
+        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+
+        // Empty file.
+        std::fs::write(&path, "").unwrap();
+        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+        cleanup(&cache);
+    }
+}

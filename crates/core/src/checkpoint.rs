@@ -124,12 +124,17 @@ fn fmt_f64(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-/// Atomically writes the checkpoint (temp file + rename).
-pub(crate) fn save(dir: &Path, design: &str, fp: u64, st: &FlowState) -> Result<PathBuf, String> {
-    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
-    let mut out = String::new();
-    out.push_str("eda-flowck v1\n");
-    out.push_str(&format!("fingerprint {fp:016x}\n"));
+/// Serializes the full flow state (everything after the header lines) in the
+/// line-oriented checkpoint body format. Shared verbatim by the checkpoint
+/// file and the stage-cache entries (`crate::cache`), so a cache hit replays
+/// exactly the state a resume would.
+///
+/// `wall` selects whether the wall-clock-derived maps (`stage_seconds`,
+/// `stage_speedup`, `stage_threads`) are included. Files on disk always
+/// include them; the cache-key state hash passes `wall: false` so a stage's
+/// key never depends on how long an earlier stage took to compute (or on how
+/// many workers computed it).
+pub(crate) fn write_body(st: &FlowState, out: &mut String, wall: bool) {
     out.push_str(&format!("cursor {}\n", st.cursor));
     let v = match st.synthesis_verified {
         None => "-",
@@ -182,15 +187,17 @@ pub(crate) fn save(dir: &Path, design: &str, fp: u64, st: &FlowState) -> Result<
         };
         out.push_str(&format!("s {} {} {tail}\n", escape(stage), s.attempts));
     }
-    for (tag, map) in [("sec", &st.stage_seconds), ("spd", &st.stage_speedup)] {
-        out.push_str(&format!("{tag} {}\n", map.len()));
-        for (stage, v) in map {
-            out.push_str(&format!("m {} {}\n", escape(stage), fmt_f64(*v)));
+    if wall {
+        for (tag, map) in [("sec", &st.stage_seconds), ("spd", &st.stage_speedup)] {
+            out.push_str(&format!("{tag} {}\n", map.len()));
+            for (stage, v) in map {
+                out.push_str(&format!("m {} {}\n", escape(stage), fmt_f64(*v)));
+            }
         }
-    }
-    out.push_str(&format!("thr {}\n", st.stage_threads.len()));
-    for (stage, v) in &st.stage_threads {
-        out.push_str(&format!("m {} {v}\n", escape(stage)));
+        out.push_str(&format!("thr {}\n", st.stage_threads.len()));
+        for (stage, v) in &st.stage_threads {
+            out.push_str(&format!("m {} {v}\n", escape(stage)));
+        }
     }
     match &st.placement {
         None => out.push_str("placement 0\n"),
@@ -222,28 +229,49 @@ pub(crate) fn save(dir: &Path, design: &str, fp: u64, st: &FlowState) -> Result<
             out.push_str(&text);
         }
     }
+}
+
+/// Atomically writes the checkpoint (temp file + rename).
+pub(crate) fn save(dir: &Path, design: &str, fp: u64, st: &FlowState) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let mut out = String::new();
+    out.push_str("eda-flowck v1\n");
+    out.push_str(&format!("fingerprint {fp:016x}\n"));
+    write_body(st, &mut out, true);
 
     let path = path_for(dir, design);
-    let tmp = path.with_extension("flowck.tmp");
-    std::fs::write(&tmp, out).map_err(|e| format!("write {}: {e}", tmp.display()))?;
-    std::fs::rename(&tmp, &path).map_err(|e| format!("rename {}: {e}", path.display()))?;
+    write_atomic(&path, &out)
+        .map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
 }
 
-struct Lines<'a> {
+/// Writes `text` to `path` via a process-unique temp file plus rename, so
+/// concurrent writers (e.g. `experiments` child processes sharing a cache
+/// directory) never observe a half-written file.
+pub(crate) fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, text)?;
+    std::fs::rename(&tmp, path)
+}
+
+pub(crate) struct Lines<'a> {
     iter: std::str::Lines<'a>,
     num: usize,
 }
 
 impl<'a> Lines<'a> {
-    fn next(&mut self) -> Result<&'a str, LoadError> {
+    pub(crate) fn new(text: &'a str) -> Lines<'a> {
+        Lines { iter: text.lines(), num: 0 }
+    }
+
+    pub(crate) fn next(&mut self) -> Result<&'a str, LoadError> {
         self.num += 1;
         self.iter
             .next()
             .ok_or_else(|| LoadError::Corrupt(format!("line {}: unexpected end of checkpoint", self.num)))
     }
 
-    fn err(&self, reason: impl std::fmt::Display) -> LoadError {
+    pub(crate) fn err(&self, reason: impl std::fmt::Display) -> LoadError {
         LoadError::Corrupt(format!("line {}: {reason}", self.num))
     }
 }
@@ -303,9 +331,15 @@ pub(crate) fn load(dir: &Path, design: &str, fp: u64) -> Result<Option<FlowState
             path.display()
         )));
     }
+    let st = read_body(&mut lines)?;
+    Ok(Some(st))
+}
 
+/// Parses a checkpoint body (everything after the header lines) — the
+/// inverse of [`write_body`] at `wall: true`.
+pub(crate) fn read_body(lines: &mut Lines<'_>) -> Result<FlowState, LoadError> {
     let mut st = FlowState::fresh();
-    st.cursor = tagged_count(&mut lines, "cursor")?;
+    st.cursor = tagged_count(lines, "cursor")?;
     let v_line = lines.next()?;
     st.synthesis_verified = match v_line.strip_prefix("verified ") {
         Some("-") => None,
@@ -315,66 +349,66 @@ pub(crate) fn load(dir: &Path, design: &str, fp: u64) -> Result<Option<FlowState
     };
 
     let u_line = lines.next()?;
-    let u = toks(&lines, u_line, "u")?;
+    let u = toks(lines, u_line, "u")?;
     if u.len() != 11 {
         return Err(lines.err("wrong integer field count"));
     }
-    st.cells = parse_num(&lines, u[0], "cells")?;
-    st.flops = parse_num(&lines, u[1], "flops")?;
-    st.hold_violations = parse_num(&lines, u[2], "hold")?;
-    st.routed_wirelength = parse_num(&lines, u[3], "wirelength")?;
-    st.routed_vias = parse_num(&lines, u[4], "vias")?;
-    st.routed_overflow = parse_num(&lines, u[5], "overflow")?;
-    st.masks = parse_num(&lines, u[6], "masks")?;
-    st.stitches = parse_num(&lines, u[7], "stitches")?;
-    st.decaps = parse_num(&lines, u[8], "decaps")?;
-    st.hotspots = parse_num(&lines, u[9], "hotspots")?;
+    st.cells = parse_num(lines, u[0], "cells")?;
+    st.flops = parse_num(lines, u[1], "flops")?;
+    st.hold_violations = parse_num(lines, u[2], "hold")?;
+    st.routed_wirelength = parse_num(lines, u[3], "wirelength")?;
+    st.routed_vias = parse_num(lines, u[4], "vias")?;
+    st.routed_overflow = parse_num(lines, u[5], "overflow")?;
+    st.masks = parse_num(lines, u[6], "masks")?;
+    st.stitches = parse_num(lines, u[7], "stitches")?;
+    st.decaps = parse_num(lines, u[8], "decaps")?;
+    st.hotspots = parse_num(lines, u[9], "hotspots")?;
     st.litho_legal = u[10] == "1";
 
     let f_line = lines.next()?;
-    let fl = toks(&lines, f_line, "f")?;
+    let fl = toks(lines, f_line, "f")?;
     if fl.len() != 10 {
         return Err(lines.err("wrong float field count"));
     }
-    st.scan_wirelength_um = parse_f64(&lines, fl[0])?;
-    st.clock_skew_ps = parse_f64(&lines, fl[1])?;
-    st.clock_tree_um = parse_f64(&lines, fl[2])?;
-    st.wns_ps = parse_f64(&lines, fl[3])?;
-    st.critical_path_ps = parse_f64(&lines, fl[4])?;
-    st.opc_rms_epe_nm = parse_f64(&lines, fl[5])?;
-    st.dynamic_mw = parse_f64(&lines, fl[6])?;
-    st.leakage_mw = parse_f64(&lines, fl[7])?;
-    st.ir_drop_mv = parse_f64(&lines, fl[8])?;
-    st.test_coverage = parse_f64(&lines, fl[9])?;
+    st.scan_wirelength_um = parse_f64(lines, fl[0])?;
+    st.clock_skew_ps = parse_f64(lines, fl[1])?;
+    st.clock_tree_um = parse_f64(lines, fl[2])?;
+    st.wns_ps = parse_f64(lines, fl[3])?;
+    st.critical_path_ps = parse_f64(lines, fl[4])?;
+    st.opc_rms_epe_nm = parse_f64(lines, fl[5])?;
+    st.dynamic_mw = parse_f64(lines, fl[6])?;
+    st.leakage_mw = parse_f64(lines, fl[7])?;
+    st.ir_drop_mv = parse_f64(lines, fl[8])?;
+    st.test_coverage = parse_f64(lines, fl[9])?;
 
-    let n_chains = tagged_count(&mut lines, "chains")?;
+    let n_chains = tagged_count(lines, "chains")?;
     for _ in 0..n_chains {
         let line = lines.next()?;
-        let c = toks(&lines, line, "c")?;
-        let len: usize = parse_num(&lines, c.first().copied().unwrap_or(""), "chain length")?;
+        let c = toks(lines, line, "c")?;
+        let len: usize = parse_num(lines, c.first().copied().unwrap_or(""), "chain length")?;
         if c.len() != len + 1 {
             return Err(lines.err("chain length mismatch"));
         }
         let mut chain = Vec::with_capacity(len);
         for t in &c[1..] {
-            let i: usize = parse_num(&lines, t, "chain element")?;
+            let i: usize = parse_num(lines, t, "chain element")?;
             chain.push(InstId::from_index(i));
         }
         st.chains.push(chain);
     }
 
-    let n_status = tagged_count(&mut lines, "status")?;
+    let n_status = tagged_count(lines, "status")?;
     for _ in 0..n_status {
         let line = lines.next()?;
-        let s = toks(&lines, line, "s")?;
+        let s = toks(lines, line, "s")?;
         if s.len() < 3 {
             return Err(lines.err(format!("bad status line {line:?}")));
         }
         let stage = unescape(s[0]).map_err(|e| lines.err(e))?;
-        let attempts: usize = parse_num(&lines, s[1], "attempts")?;
+        let attempts: usize = parse_num(lines, s[1], "attempts")?;
         let outcome = match (s[2], s.get(3)) {
             ("C", None) => StageOutcome::Completed,
-            ("R", Some(n)) => StageOutcome::Recovered { attempts: parse_num(&lines, n, "recovered attempts")? },
+            ("R", Some(n)) => StageOutcome::Recovered { attempts: parse_num(lines, n, "recovered attempts")? },
             ("D", Some(r)) => StageOutcome::Degraded { reason: unescape(r).map_err(|e| lines.err(e))? },
             ("S", Some(c)) => StageOutcome::Skipped { cause: unescape(c).map_err(|e| lines.err(e))? },
             _ => return Err(lines.err(format!("bad status line {line:?}"))),
@@ -383,59 +417,59 @@ pub(crate) fn load(dir: &Path, design: &str, fp: u64) -> Result<Option<FlowState
     }
 
     for (tag, map) in [("sec", &mut st.stage_seconds), ("spd", &mut st.stage_speedup)] {
-        let n = tagged_count(&mut lines, tag)?;
+        let n = tagged_count(lines, tag)?;
         for _ in 0..n {
             let line = lines.next()?;
-            let m = toks(&lines, line, "m")?;
+            let m = toks(lines, line, "m")?;
             if m.len() != 2 {
                 return Err(lines.err(format!("bad map line {line:?}")));
             }
             let stage = unescape(m[0]).map_err(|e| lines.err(e))?;
-            map.insert(stage, parse_f64(&lines, m[1])?);
+            map.insert(stage, parse_f64(lines, m[1])?);
         }
     }
-    let n_thr = tagged_count(&mut lines, "thr")?;
+    let n_thr = tagged_count(lines, "thr")?;
     for _ in 0..n_thr {
         let line = lines.next()?;
-        let m = toks(&lines, line, "m")?;
+        let m = toks(lines, line, "m")?;
         if m.len() != 2 {
             return Err(lines.err(format!("bad map line {line:?}")));
         }
         let stage = unescape(m[0]).map_err(|e| lines.err(e))?;
-        st.stage_threads.insert(stage, parse_num(&lines, m[1], "threads")?);
+        st.stage_threads.insert(stage, parse_num(lines, m[1], "threads")?);
     }
 
-    let has_placement = tagged_count(&mut lines, "placement")?;
+    let has_placement = tagged_count(lines, "placement")?;
     if has_placement == 1 {
         let die_line = lines.next()?;
-        let d = toks(&lines, die_line, "die")?;
+        let d = toks(lines, die_line, "die")?;
         if d.len() != 5 {
             return Err(lines.err(format!("bad die line {die_line:?}")));
         }
         let die = eda_place::Die {
-            width_um: parse_f64(&lines, d[0])?,
-            height_um: parse_f64(&lines, d[1])?,
-            site_um: parse_f64(&lines, d[2])?,
-            cols: parse_num(&lines, d[3], "cols")?,
-            rows: parse_num(&lines, d[4], "rows")?,
+            width_um: parse_f64(lines, d[0])?,
+            height_um: parse_f64(lines, d[1])?,
+            site_um: parse_f64(lines, d[2])?,
+            cols: parse_num(lines, d[3], "cols")?,
+            rows: parse_num(lines, d[4], "rows")?,
         };
         let mut vecs: [Vec<Point>; 3] = [Vec::new(), Vec::new(), Vec::new()];
         for (tag, slot) in ["pos", "pip", "pop"].into_iter().zip(vecs.iter_mut()) {
             let line = lines.next()?;
-            let p = toks(&lines, line, tag)?;
-            let len: usize = parse_num(&lines, p.first().copied().unwrap_or(""), "point count")?;
+            let p = toks(lines, line, tag)?;
+            let len: usize = parse_num(lines, p.first().copied().unwrap_or(""), "point count")?;
             if p.len() != 1 + 2 * len {
                 return Err(lines.err(format!("point count mismatch in `{tag}`")));
             }
             for pair in p[1..].chunks(2) {
-                slot.push(Point::new(parse_f64(&lines, pair[0])?, parse_f64(&lines, pair[1])?));
+                slot.push(Point::new(parse_f64(lines, pair[0])?, parse_f64(lines, pair[1])?));
             }
         }
         let [positions, pi_pins, po_pins] = vecs;
         st.placement = Some(Placement::from_snapshot(PlacementSnapshot { die, positions, pi_pins, po_pins }));
     }
 
-    let n_netlist_lines = tagged_count(&mut lines, "netlist")?;
+    let n_netlist_lines = tagged_count(lines, "netlist")?;
     if n_netlist_lines > 0 {
         let mut text = String::new();
         for _ in 0..n_netlist_lines {
@@ -446,7 +480,7 @@ pub(crate) fn load(dir: &Path, design: &str, fp: u64) -> Result<Option<FlowState
         st.netlist = Some(netlist);
     }
 
-    Ok(Some(st))
+    Ok(st)
 }
 
 #[cfg(test)]
@@ -531,11 +565,8 @@ mod tests {
         let design = generate::ripple_carry_adder(4).unwrap();
         let cfg = FlowConfig::basic_2006(Node::N90);
         let dir = tmp_dir("missing");
-        assert_eq!(
-            load(&dir, design.name(), fingerprint(&design, &cfg))
-                .unwrap()
-                .is_none(),
-            true
-        );
+        assert!(load(&dir, design.name(), fingerprint(&design, &cfg))
+            .unwrap()
+            .is_none());
     }
 }

@@ -117,6 +117,18 @@ pub struct FlowConfig {
     /// to an uninterrupted run. A fingerprint mismatch is a hard error; a
     /// missing checkpoint silently falls back to a fresh run.
     pub resume: bool,
+    /// Directory for the content-addressed stage result cache (`None` = no
+    /// caching). Each stage is keyed by `(stage kind, config fingerprint —
+    /// which folds in the design identity and RNG seed, hash of the exact
+    /// pre-stage flow state)`; a hit replays the stored post-stage state
+    /// bit-identically and the stage body never runs, so a warm re-run of an
+    /// unchanged flow skips every stage. Hits/misses/errors land in the
+    /// telemetry metric registry (`cache.hits`, `cache.misses`,
+    /// `cache.errors`) and tag the stage spans; corrupt entries silently
+    /// fall back to recompute. Ignored while a
+    /// [`fault_plan`](Self::fault_plan) is active — injected faults must
+    /// exercise the real stage bodies, not replay cached results.
+    pub cache_dir: Option<PathBuf>,
     /// Deterministic fault-injection plan (`None` = no injection). Faults
     /// are keyed on `(stage name, invocation count)`, so an injected plan
     /// reproduces identically at any thread count.
@@ -151,6 +163,7 @@ impl FlowConfig {
             threads: 1,
             checkpoint_dir: None,
             resume: false,
+            cache_dir: None,
             fault_plan: None,
             budgets: StageBudgets::default(),
         }
@@ -179,6 +192,7 @@ impl FlowConfig {
             threads: 0,
             checkpoint_dir: None,
             resume: false,
+            cache_dir: None,
             fault_plan: None,
             budgets: StageBudgets::default(),
         }

@@ -24,6 +24,7 @@
 //! restarts from the first incomplete stage and produces bit-identical QoR
 //! ([`FlowReport::same_qor`]).
 
+use crate::cache::{self, StageCache};
 use crate::checkpoint::{self, FlowState, LoadError};
 use crate::config::FlowConfig;
 use crate::harness::{StageCtx, StageStatus, StageTry, Supervisor};
@@ -31,7 +32,7 @@ use crate::report::FlowReport;
 use crate::telemetry::{SpanKind, Telemetry};
 use eda_dft::{fault_list, fault_sim_threaded, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
 use eda_litho::{decompose, run_opc_stats, Layout, OpcConfig, OpticalModel};
-use eda_logic::{check_equivalence, synthesize, EcVerdict};
+use eda_logic::{check_equivalence, synthesize_threaded, EcVerdict};
 use eda_netlist::{Netlist, NetlistStats};
 use eda_place::{anneal, place_global, plan_buffers, synthesize_clock_tree, AnnealConfig, CtsConfig, Die, GlobalConfig, ParallelConfig};
 use eda_power::{analyze, insert_clock_gating, insert_decaps, solve_ir_drop, Activity, ActivityConfig, MeshConfig, PowerConfig, PowerGrid};
@@ -245,6 +246,19 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         }
     }
 
+    // The content-addressed stage cache (DESIGN.md §9). Disabled while a
+    // fault plan is active: injected faults must exercise the real stage
+    // bodies, not replay cached results.
+    let memo = StageMemo {
+        cache: match (&cfg.cache_dir, &cfg.fault_plan) {
+            (Some(dir), None) => Some(StageCache::new(dir)),
+            _ => None,
+        },
+        cfg,
+        design: design.name(),
+        fp,
+    };
+
     let mut timer = Timer::new();
     let lib = cfg.library.library();
     let flow_span = tel.span(SpanKind::Flow, "flow");
@@ -253,11 +267,13 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
     flow_span.tag("node", cfg.node);
 
     // ---- 1: synthesis (+ optional equivalence check) ----
+    let key = memo.begin("1_synthesis", 1, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 1 {
         let stage = "1_synthesis";
-        let (netlist, verified) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
-            let synth = synthesize(design, lib.clone(), cfg.synthesis, cfg.map_goal)
-                .map_err(StageFailure::Synthesis)?;
+        let (netlist, verified, par) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
+            let (synth, par) =
+                synthesize_threaded(design, lib.clone(), cfg.synthesis, cfg.map_goal, cfg.threads)
+                    .map_err(StageFailure::Synthesis)?;
             ctx.tel.count("synth.aig_nodes_before", synth.aig_nodes_before as u64);
             ctx.tel.count("synth.aig_nodes_after", synth.aig_nodes_after as u64);
             ctx.tel.count("synth.cells", synth.cells as u64);
@@ -267,16 +283,20 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                 span.tag("nodes_after", pass.nodes_after);
                 span.tag("kept", pass.kept);
             }
+            // The 2006 baseline maps serially and dispatches nothing.
+            if par.chunks > 0 {
+                ctx.tel.kernel("map:waves", &par);
+            }
             let netlist = synth.netlist;
             if !cfg.verify_synthesis {
-                return Ok(StageTry::Done((netlist, None)));
+                return Ok(StageTry::Done((netlist, None, par)));
             }
             let budget = if ctx.adapt == 0 { EC_BUDGET } else { EC_BUDGET_ESCALATED };
             ctx.tel.count("synth.ec_sim_budget", budget as u64);
             match check_equivalence(design, &netlist, &[], &[], budget) {
-                Ok(EcVerdict::Equivalent) => Ok(StageTry::Done((netlist, Some(true)))),
+                Ok(EcVerdict::Equivalent) => Ok(StageTry::Done((netlist, Some(true), par))),
                 Ok(EcVerdict::Counterexample(_)) => Ok(StageTry::Degraded(
-                    (netlist, Some(false)),
+                    (netlist, Some(false), par),
                     "equivalence counterexample found against the input design".into(),
                 )),
                 Ok(EcVerdict::Inconclusive) => {
@@ -284,31 +304,37 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
                         Ok(StageTry::Retry {
                             reason: format!("equivalence inconclusive at the {budget}-node budget"),
                             salvage: Some((
-                                (netlist, None),
+                                (netlist, None, par),
                                 "equivalence unresolved".to_string(),
                             )),
                         })
                     } else {
                         Ok(StageTry::Degraded(
-                            (netlist, None),
+                            (netlist, None, par),
                             "equivalence still inconclusive after budget escalation".into(),
                         ))
                     }
                 }
                 Err(e) => Ok(StageTry::Degraded(
-                    (netlist, None),
+                    (netlist, None, par),
                     format!("equivalence check failed: {e}"),
                 )),
             }
         })?;
+        if par.chunks > 0 {
+            st.stage_threads.insert(stage.into(), par.threads);
+            st.stage_speedup.insert(stage.into(), par.projected_speedup());
+        }
         st.netlist = Some(netlist);
         st.synthesis_verified = verified;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 1;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 2: clock gating (before scan so gates see plain flops) ----
+    let key = memo.begin("2_clock_gating", 2, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 2 {
         let stage = "2_clock_gating";
         let cur = current_netlist(&st);
@@ -332,10 +358,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.netlist = Some(gated);
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 2;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 3: scan insertion ----
+    let key = memo.begin("3_scan", 3, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 3 {
         let stage = "3_scan";
         let cur = current_netlist(&st);
@@ -356,10 +384,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.chains = chains;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 3;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 4: placement ----
+    let key = memo.begin("4_place", 4, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 4 {
         let stage = "4_place";
         let cur = current_netlist(&st);
@@ -413,10 +443,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.placement = Some(placement);
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 4;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 5: scan reordering (placement-aware) ----
+    let key = memo.begin("5_scan_reorder", 5, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 5 {
         let stage = "5_scan_reorder";
         let placement = current_placement(&st);
@@ -440,10 +472,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.scan_wirelength_um = scan_wl;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 5;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 6: clock-tree synthesis ----
+    let key = memo.begin("6_cts", 6, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 6 {
         let stage = "6_cts";
         let cur = current_netlist(&st);
@@ -459,10 +493,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.clock_tree_um = tree_um;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 6;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 7: timing (setup at nominal, hold at the fast corner) ----
+    let key = memo.begin("6_sta", 7, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 7 {
         let stage = "6_sta";
         let cur = current_netlist(&st);
@@ -482,12 +518,14 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.hold_violations = holds;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 7;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     let plan = PatterningPlan::for_node(cfg.node);
 
     // ---- 8: routing ----
+    let key = memo.begin("7_route", 8, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 8 {
         let stage = "7_route";
         let cur = current_netlist(&st);
@@ -554,6 +592,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.stage_speedup.insert(stage.into(), par.projected_speedup());
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 8;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
@@ -562,6 +601,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
     // decompose or correct. Below the single-exposure pitch, the
     // critical-layer geometry is modeled as a wire population whose count
     // tracks routed wirelength at the node's minimum pitch (see DESIGN.md).
+    let key = memo.begin("8_litho", 9, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 9 {
         let stage = "8_litho";
         if !plan.needs_decomposition() {
@@ -635,10 +675,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         }
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 9;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 10: power analysis, decap insertion, IR signoff ----
+    let key = memo.begin("9_power", 10, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 10 {
         let stage = "9_power";
         let cur = current_netlist(&st);
@@ -701,10 +743,12 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.ir_drop_mv = ir_mv;
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 10;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
     // ---- 11: test coverage (random-pattern estimate) ----
+    let key = memo.begin("10_dft", 11, &mut st, &mut sup, &mut timer)?;
     if st.cursor < 11 {
         let stage = "10_dft";
         if cfg.scan.is_none() {
@@ -729,6 +773,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         }
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 11;
+        memo.finish(key, stage, &mut st, &mut sup);
         save_checkpoint(cfg, design.name(), fp, &mut st, &mut sup, stage)?;
     }
 
@@ -784,6 +829,84 @@ fn current_netlist(st: &FlowState) -> &Netlist {
 /// stage past `4_place` has one.
 fn current_placement(st: &FlowState) -> &eda_place::Placement {
     st.placement.as_ref().expect("placement exists after the place stage")
+}
+
+/// The per-stage cache hooks of the incremental engine: [`begin`] runs
+/// before a stage's `if st.cursor < n` guard and, on a cache hit, advances
+/// the cursor past the stage so the body never executes; [`finish`] stores
+/// the just-computed post-stage state on the cold path.
+///
+/// [`begin`]: StageMemo::begin
+/// [`finish`]: StageMemo::finish
+struct StageMemo<'a> {
+    /// `None` = caching off (no `cache_dir`, or a fault plan is active).
+    cache: Option<StageCache>,
+    cfg: &'a FlowConfig,
+    design: &'a str,
+    fp: u64,
+}
+
+impl StageMemo<'_> {
+    /// Tries to replay `stage` from the cache. On a hit the cached
+    /// post-stage state replaces `st` wholesale — the content address covers
+    /// the serialized pre-stage state including the status prefix, so the
+    /// cached state agrees with the current run on everything before this
+    /// stage — and `Ok(None)` is returned with `st.cursor == done_cursor`,
+    /// which skips the stage body. A miss or an unreadable entry counts a
+    /// metric and returns the key for [`finish`](Self::finish) to store
+    /// under after the recompute.
+    fn begin(
+        &self,
+        stage: &'static str,
+        done_cursor: usize,
+        st: &mut FlowState,
+        sup: &mut Supervisor<'_>,
+        timer: &mut Timer,
+    ) -> Result<Option<u64>, FlowError> {
+        if st.cursor >= done_cursor {
+            return Ok(None); // Already past this stage (resume).
+        }
+        let Some(cache) = &self.cache else {
+            return Ok(None);
+        };
+        let key = cache::entry_key(stage, self.fp, cache::state_hash(st));
+        match cache.load(stage, key) {
+            Ok(Some(cached)) if cached.cursor == done_cursor => {
+                sup.cache_hit(stage, &cached.statuses);
+                *st = cached;
+                st.stage_seconds.insert(stage.into(), timer.lap());
+                save_checkpoint(self.cfg, self.design, self.fp, st, sup, stage)?;
+                Ok(None)
+            }
+            Ok(Some(_)) => {
+                // Parses but stopped at the wrong cursor: replaying it would
+                // derail the stage sequence, so treat it as unreadable.
+                sup.cache_unreadable();
+                Ok(Some(key))
+            }
+            Ok(None) => {
+                sup.cache_miss();
+                Ok(Some(key))
+            }
+            Err(_) => {
+                sup.cache_unreadable();
+                Ok(Some(key))
+            }
+        }
+    }
+
+    /// Stores the just-computed post-stage state under `key`. A failed
+    /// store never fails the flow: it counts into `cache.errors` and moves
+    /// on.
+    fn finish(&self, key: Option<u64>, stage: &str, st: &mut FlowState, sup: &mut Supervisor<'_>) {
+        let (Some(cache), Some(key)) = (&self.cache, key) else {
+            return;
+        };
+        st.statuses = sup.statuses.clone();
+        if cache.store(stage, key, st).is_err() {
+            sup.telemetry().count("cache.errors", 1);
+        }
+    }
 }
 
 fn save_checkpoint(

@@ -407,6 +407,10 @@ pub(crate) struct Supervisor<'p> {
     invocations: BTreeMap<&'static str, u64>,
     /// Path of the checkpoint file, once one has been written or loaded.
     pub checkpoint: Option<std::path::PathBuf>,
+    /// Pending `cache` tag for the next stage span: a cache miss or an
+    /// unreadable entry is noted here, then consumed when the recomputing
+    /// stage opens its span.
+    cache_note: Option<&'static str>,
 }
 
 impl<'p> Supervisor<'p> {
@@ -422,12 +426,51 @@ impl<'p> Supervisor<'p> {
             statuses: BTreeMap::new(),
             invocations: BTreeMap::new(),
             checkpoint: None,
+            cache_note: None,
         }
+    }
+
+    /// The telemetry collector the supervisor records into.
+    pub fn telemetry(&self) -> &'p Telemetry {
+        self.tel
+    }
+
+    /// Records a stage-cache hit: the cached statuses replace the current
+    /// map (the content address covers the status prefix, so they agree for
+    /// every earlier stage), and the stage gets a span tagged `cache=hit`
+    /// in place of attempt spans — the body never ran.
+    pub fn cache_hit(&mut self, stage: &'static str, statuses: &BTreeMap<String, StageStatus>) {
+        let span = self.tel.span(SpanKind::Stage, stage);
+        span.tag("cache", "hit");
+        if let Some(status) = statuses.get(stage) {
+            span.tag("outcome", &status.outcome);
+            span.tag("attempts", status.attempts);
+        }
+        self.statuses = statuses.clone();
+        self.tel.count("cache.hits", 1);
+    }
+
+    /// Counts a stage-cache miss; the stage recomputes and its span is
+    /// tagged `cache=miss`.
+    pub fn cache_miss(&mut self) {
+        self.tel.count("cache.misses", 1);
+        self.cache_note = Some("miss");
+    }
+
+    /// Counts an unreadable (corrupt, truncated, or I/O-failing) cache
+    /// entry; the stage recomputes as if cold and its span is tagged
+    /// `cache=error`.
+    pub fn cache_unreadable(&mut self) {
+        self.tel.count("cache.errors", 1);
+        self.cache_note = Some("error");
     }
 
     /// Records `stage` as skipped and passes `value` through.
     pub fn skip<T>(&mut self, stage: &'static str, cause: &str, value: T) -> T {
         let span = self.tel.span(SpanKind::Stage, stage);
+        if let Some(note) = self.cache_note.take() {
+            span.tag("cache", note);
+        }
         span.tag("outcome", format!("skipped: {cause}"));
         self.statuses.insert(
             stage.to_string(),
@@ -451,6 +494,9 @@ impl<'p> Supervisor<'p> {
         body: impl FnMut(StageCtx<'_>) -> Result<StageTry<T>, StageFailure>,
     ) -> Result<T, FlowError> {
         let span = self.tel.span(SpanKind::Stage, stage);
+        if let Some(note) = self.cache_note.take() {
+            span.tag("cache", note);
+        }
         let result = self.run_stage_inner(stage, body);
         match &result {
             Ok(_) => {

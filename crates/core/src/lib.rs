@@ -27,6 +27,7 @@
 // documented internal invariants; test modules are exempt.
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+mod cache;
 mod checkpoint;
 pub mod config;
 pub mod flow;

@@ -341,8 +341,8 @@ mod tests {
         match verdict {
             EcVerdict::Counterexample(cex) => {
                 // The cex must actually distinguish the two.
-                let (oa, _) = d.simulate(&cex[..6].to_vec(), &[]);
-                let (ob, _) = bad.simulate(&cex[..6].to_vec(), &[]);
+                let (oa, _) = d.simulate(&cex[..6], &[]);
+                let (ob, _) = bad.simulate(&cex[..6], &[]);
                 assert_ne!(oa, ob);
             }
             other => panic!("expected a counterexample, got {other:?}"),

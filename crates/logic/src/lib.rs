@@ -40,10 +40,10 @@ pub use ec::{check_equivalence, EcError, EcVerdict};
 pub use cube::{Cover, Cube};
 pub use espresso::MinimizeOutcome;
 pub use isop::isop;
-pub use map::{map_aig, map_naive, MapError, MapGoal, MapOutcome};
+pub use map::{map_aig, map_aig_threaded, map_naive, MapError, MapGoal, MapOutcome};
 pub use npn::{npn_canon, npn_equivalent, NpnCanon};
 pub use synth::{
-    optimize_aig, optimize_aig_traced, synthesize, AigPass, SynthesisEffort, SynthesisError,
-    SynthesisOutcome,
+    optimize_aig, optimize_aig_traced, synthesize, synthesize_threaded, AigPass, SynthesisEffort,
+    SynthesisError, SynthesisOutcome,
 };
 pub use tt::TruthTable;

@@ -14,6 +14,7 @@
 use crate::aig::{Aig, RawNode, SeqBoundary};
 use crate::tt::TruthTable;
 use eda_netlist::{CellFunction, CellId, Library, NetId, Netlist, NetlistError};
+use eda_par::ParStats;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -105,20 +106,31 @@ fn permutations(n: usize) -> Vec<Vec<usize>> {
 }
 
 impl PatternTable {
-    fn build(lib: &Library) -> Result<PatternTable, MapError> {
+    /// Tabulates the library across `threads` workers: each worker handles
+    /// whole cells (every permutation × complementation of one cell is
+    /// independent of every other cell), and the per-cell candidate lists
+    /// are merged back **in library order**, so the table — including the
+    /// one-pattern-per-cell rule and the 6-alternative cap — is identical
+    /// at any thread count.
+    fn build(lib: &Library, threads: usize, par: &mut ParStats) -> Result<PatternTable, MapError> {
         let inv = lib.find_function(CellFunction::Inv).ok_or(MapError::MissingInverter)?;
         let inv_def = lib.cell(inv);
-        let mut by_tt: HashMap<u64, Vec<Pattern>> = HashMap::new();
-        for (id, def) in lib.iter() {
+        let cells: Vec<_> = lib
+            .iter()
+            .filter(|(_, def)| {
+                let arity = def.function.num_inputs();
+                arity > 0
+                    && arity <= K
+                    && !def.function.is_sequential()
+                    && !matches!(def.function, CellFunction::ClockGate | CellFunction::Decap)
+            })
+            .collect();
+        let (lists, stats) = eda_par::par_map_stats(threads, &cells, |_, &(id, def)| {
             let arity = def.function.num_inputs();
-            if arity == 0 || arity > K {
-                continue;
-            }
-            if def.function.is_sequential()
-                || matches!(def.function, CellFunction::ClockGate | CellFunction::Decap)
-            {
-                continue;
-            }
+            // First (perm, mask) hit wins per truth table — the same
+            // one-pattern-per-cell rule the serial loop enforced globally.
+            let mut seen: Vec<u64> = Vec::new();
+            let mut found: Vec<(u64, Pattern)> = Vec::new();
             for perm in permutations(arity) {
                 for mask in 0..(1u32 << arity) {
                     let neg: Vec<bool> = (0..arity).map(|i| mask >> i & 1 == 1).collect();
@@ -126,21 +138,31 @@ impl PatternTable {
                     // perm[i] xor neg[i].
                     let mut bits = 0u64;
                     for row in 0..(1usize << K) {
-                        let pins: Vec<bool> = (0..arity)
-                            .map(|i| (row >> perm[i] & 1 == 1) ^ neg[i])
-                            .collect();
+                        let pins: Vec<bool> =
+                            (0..arity).map(|i| (row >> perm[i] & 1 == 1) ^ neg[i]).collect();
                         if def.function.eval(&pins) {
                             bits |= 1 << row;
                         }
                     }
-                    let entry = by_tt.entry(bits).or_default();
-                    // Keep at most one pattern per cell per function, plus a
-                    // bound on alternatives.
-                    if entry.iter().any(|p| p.cell == id) || entry.len() >= 6 {
+                    if seen.contains(&bits) {
                         continue;
                     }
-                    entry.push(Pattern { cell: id, perm: perm.clone(), neg });
+                    seen.push(bits);
+                    found.push((bits, Pattern { cell: id, perm: perm.clone(), neg }));
                 }
+            }
+            found
+        });
+        par.absorb(&stats);
+        let mut by_tt: HashMap<u64, Vec<Pattern>> = HashMap::new();
+        for list in lists {
+            for (bits, pat) in list {
+                let entry = by_tt.entry(bits).or_default();
+                // Bound the alternatives per function.
+                if entry.len() >= 6 {
+                    continue;
+                }
+                entry.push(pat);
             }
         }
         Ok(PatternTable { by_tt, inv, inv_area: inv_def.area_um2, inv_delay: inv_def.delay_ps })
@@ -210,52 +232,213 @@ fn tt_on(old_leaves: &[u32], tt: &TruthTable, new_leaves: &[u32]) -> Result<Trut
     Ok(TruthTable::from_bits(K, out))
 }
 
-fn enumerate_cuts(nodes: &[RawNode]) -> Result<Vec<Vec<MapCut>>, MapError> {
-    let n = nodes.len();
-    let mut cuts: Vec<Vec<MapCut>> = vec![Vec::new(); n];
-    for i in 0..n {
-        match nodes[i] {
-            RawNode::Const | RawNode::Pi(_) => {
-                cuts[i].push(MapCut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
-            }
-            RawNode::And(a, b) => {
-                let mut merged: Vec<MapCut> = Vec::new();
-                for ca in &cuts[a.node()] {
-                    for cb in &cuts[b.node()] {
-                        let mut leaves = ca.leaves.clone();
-                        for &l in &cb.leaves {
-                            if !leaves.contains(&l) {
-                                leaves.push(l);
-                            }
+/// Groups node indices into topological waves by logic level (constants and
+/// PIs at level 0, an AND at `1 + max(fanin levels)`). A node's cuts and its
+/// match selection read only nodes of strictly lower level, so every wave is
+/// an independent unit of parallel work; within a wave, indices stay in
+/// ascending order so results are written back deterministically.
+fn level_waves(nodes: &[RawNode]) -> Vec<Vec<usize>> {
+    let mut level = vec![0usize; nodes.len()];
+    let mut waves: Vec<Vec<usize>> = Vec::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if let RawNode::And(a, b) = node {
+            level[i] = 1 + level[a.node()].max(level[b.node()]);
+        }
+        if waves.len() <= level[i] {
+            waves.resize_with(level[i] + 1, Vec::new);
+        }
+        waves[level[i]].push(i);
+    }
+    waves
+}
+
+/// Cut list of one node, reading only the (already final) cut lists of its
+/// fanins. Pure in `i` given `nodes` and the lower levels of `cuts`, so
+/// nodes of one wave can run on any worker without affecting the result.
+fn cuts_for_node(nodes: &[RawNode], cuts: &[Vec<MapCut>], i: usize) -> Result<Vec<MapCut>, MapError> {
+    match nodes[i] {
+        RawNode::Const | RawNode::Pi(_) => {
+            Ok(vec![MapCut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) }])
+        }
+        RawNode::And(a, b) => {
+            let mut merged: Vec<MapCut> = Vec::new();
+            for ca in &cuts[a.node()] {
+                for cb in &cuts[b.node()] {
+                    let mut leaves = ca.leaves.clone();
+                    for &l in &cb.leaves {
+                        if !leaves.contains(&l) {
+                            leaves.push(l);
                         }
-                        if leaves.len() > K {
-                            continue;
-                        }
-                        leaves.sort_unstable();
-                        if merged.iter().any(|c| c.leaves == leaves) {
-                            continue;
-                        }
-                        let ta = tt_on(&ca.leaves, &ca.tt, &leaves)?;
-                        let tb = tt_on(&cb.leaves, &cb.tt, &leaves)?;
-                        let fa = if a.is_complemented() { ta.not() } else { ta };
-                        let fb = if b.is_complemented() { tb.not() } else { tb };
-                        merged.push(MapCut { leaves, tt: fa.and(&fb) });
                     }
+                    if leaves.len() > K {
+                        continue;
+                    }
+                    leaves.sort_unstable();
+                    if merged.iter().any(|c| c.leaves == leaves) {
+                        continue;
+                    }
+                    let ta = tt_on(&ca.leaves, &ca.tt, &leaves)?;
+                    let tb = tt_on(&cb.leaves, &cb.tt, &leaves)?;
+                    let fa = if a.is_complemented() { ta.not() } else { ta };
+                    let fb = if b.is_complemented() { tb.not() } else { tb };
+                    merged.push(MapCut { leaves, tt: fa.and(&fb) });
                 }
-                merged.sort_by_key(|c| c.leaves.len());
-                merged.truncate(MAX_CUTS - 1);
-                // The trivial cut lets parents treat this node as a leaf. It
-                // is self-referential for this node's own matching, so the DP
-                // naturally rejects it (the leaf's best cost is still ∞).
-                merged.insert(0, MapCut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
-                cuts[i] = merged;
             }
+            merged.sort_by_key(|c| c.leaves.len());
+            merged.truncate(MAX_CUTS - 1);
+            // The trivial cut lets parents treat this node as a leaf. It
+            // is self-referential for this node's own matching, so the DP
+            // naturally rejects it (the leaf's best cost is still ∞).
+            merged.insert(0, MapCut { leaves: vec![i as u32], tt: TruthTable::var(K, 0) });
+            Ok(merged)
+        }
+    }
+}
+
+/// Enumerates K-feasible cuts wave-by-wave: within a level every node's cut
+/// list depends only on finished lower levels, so the wave fans out across
+/// `threads` workers and lands back in index order — bit-identical at any
+/// thread count.
+fn enumerate_cuts(
+    nodes: &[RawNode],
+    waves: &[Vec<usize>],
+    threads: usize,
+    par: &mut ParStats,
+) -> Result<Vec<Vec<MapCut>>, MapError> {
+    let mut cuts: Vec<Vec<MapCut>> = vec![Vec::new(); nodes.len()];
+    for wave in waves {
+        let (results, stats) =
+            eda_par::par_map_stats(threads, wave, |_, &i| cuts_for_node(nodes, &cuts, i));
+        par.absorb(&stats);
+        for (&i, r) in wave.iter().zip(results) {
+            cuts[i] = r?;
         }
     }
     Ok(cuts)
 }
 
+/// Best matches for both phases of one node, reading only `best` entries of
+/// strictly lower levels (cut leaves live in the node's fanin cone). Pure in
+/// `i`, so one wave's nodes can be matched on any worker in any order.
+#[allow(clippy::too_many_arguments)]
+fn match_node(
+    nodes: &[RawNode],
+    cuts: &[Vec<MapCut>],
+    best: &[[Best; 2]],
+    refs: &[u32],
+    table: &PatternTable,
+    lib: &Library,
+    goal: MapGoal,
+    i: usize,
+) -> [Best; 2] {
+    match nodes[i] {
+        RawNode::Const => [
+            Best { cost: 0.0, arrival: 0.0, ..Best::unset() },
+            Best { cost: 0.0, arrival: 0.0, ..Best::unset() },
+        ],
+        RawNode::Pi(_) => [
+            Best { cost: 0.0, arrival: 0.0, ..Best::unset() },
+            Best {
+                cost: table.inv_area,
+                arrival: table.inv_delay,
+                via_inverter: true,
+                ..Best::unset()
+            },
+        ],
+        RawNode::And(..) => {
+            let mut out: [Best; 2] = std::array::from_fn(|ph| {
+                let mut b = Best::unset();
+                for cut in &cuts[i] {
+                    // The trivial self-cut would let phase 1 "match" an
+                    // inverter fed by phase 0 of the same node, creating
+                    // a realization cycle with the via-inverter path.
+                    if cut.leaves == [i as u32] {
+                        continue;
+                    }
+                    let want = if ph == 0 { cut.tt } else { cut.tt.not() };
+                    let Some(pats) = table.by_tt.get(&want.bits()) else { continue };
+                    for pat in pats {
+                        // Every pin must address an existing leaf.
+                        if pat.perm.iter().any(|&p| p >= cut.leaves.len()) {
+                            continue;
+                        }
+                        let def = lib.cell(pat.cell);
+                        let mut cost = def.area_um2;
+                        let mut arr: f64 = 0.0;
+                        let mut leaf_phases = Vec::with_capacity(pat.perm.len());
+                        let mut feasible = true;
+                        for (pin, &lp) in pat.perm.iter().enumerate() {
+                            let leaf = cut.leaves[lp] as usize;
+                            let phase = pat.neg[pin];
+                            let lb = &best[leaf][phase as usize];
+                            if !lb.cost.is_finite() {
+                                feasible = false;
+                                break;
+                            }
+                            cost += lb.cost / refs[leaf].max(1) as f64;
+                            arr = arr.max(lb.arrival);
+                            leaf_phases.push((leaf as u32, phase));
+                        }
+                        if !feasible {
+                            continue;
+                        }
+                        let arrival = arr + def.delay_ps;
+                        let better = match goal {
+                            MapGoal::Area => {
+                                cost < b.cost || (cost == b.cost && arrival < b.arrival)
+                            }
+                            MapGoal::Delay => {
+                                arrival < b.arrival || (arrival == b.arrival && cost < b.cost)
+                            }
+                        };
+                        if better {
+                            b = Best {
+                                cost,
+                                arrival,
+                                cell: Some(pat.cell),
+                                via_inverter: false,
+                                leaf_phases,
+                            };
+                        }
+                    }
+                }
+                b
+            });
+            // Consider realizing each phase by inverting the other.
+            for ph in 0..2 {
+                let other = out[1 - ph].clone();
+                if !other.cost.is_finite() || other.via_inverter {
+                    continue;
+                }
+                let cost = other.cost + table.inv_area;
+                let arrival = other.arrival + table.inv_delay;
+                let better = match goal {
+                    MapGoal::Area => cost < out[ph].cost,
+                    MapGoal::Delay => arrival < out[ph].arrival,
+                };
+                if better {
+                    out[ph] = Best {
+                        cost,
+                        arrival,
+                        cell: None,
+                        via_inverter: true,
+                        leaf_phases: Vec::new(),
+                    };
+                }
+            }
+            debug_assert!(
+                out[0].cost.is_finite() || out[1].cost.is_finite(),
+                "node {i} unmappable"
+            );
+            out
+        }
+    }
+}
+
 /// Maps an AIG onto `lib` with phase-complete cut matching.
+///
+/// Serial convenience wrapper over [`map_aig_threaded`]; the result is
+/// bit-identical to the threaded path at any worker count.
 ///
 /// Flops recorded in `boundary` are re-inserted using the library's DFF.
 ///
@@ -269,15 +452,41 @@ pub fn map_aig(
     lib: Arc<Library>,
     goal: MapGoal,
 ) -> Result<MapOutcome, MapError> {
+    map_aig_threaded(aig, boundary, lib, goal, 1).map(|(m, _)| m)
+}
+
+/// [`map_aig`] with the hot phases — library tabulation, cut enumeration,
+/// and match selection — fanned out across `threads` workers via `eda-par`.
+///
+/// Cut enumeration and matching parallelize by **topological wave**: all
+/// nodes of one logic level are independent given the finished levels below
+/// them, so each wave is one deterministic dispatch and the result is
+/// bit-identical for any `threads` (`0` = all cores). Only netlist
+/// reconstruction stays serial — it is a small memoized walk of the chosen
+/// matches. The returned [`ParStats`] accumulates every dispatch for
+/// telemetry and speedup projection.
+///
+/// # Errors
+///
+/// Same contract as [`map_aig`].
+pub fn map_aig_threaded(
+    aig: &Aig,
+    boundary: &SeqBoundary,
+    lib: Arc<Library>,
+    goal: MapGoal,
+    threads: usize,
+) -> Result<(MapOutcome, ParStats), MapError> {
     if lib.find_function(CellFunction::Nand(2)).is_none()
         && lib.find_function(CellFunction::And(2)).is_none()
     {
         return Err(MapError::MissingAnd2);
     }
-    let table = PatternTable::build(&lib)?;
+    let mut par = ParStats::empty();
+    let table = PatternTable::build(&lib, threads, &mut par)?;
     let nodes = aig.raw_nodes();
     let n = nodes.len();
-    let cuts = enumerate_cuts(&nodes)?;
+    let waves = level_waves(&nodes);
+    let cuts = enumerate_cuts(&nodes, &waves, threads, &mut par)?;
 
     let mut refs = vec![1u32; n];
     for node in &nodes {
@@ -288,107 +497,13 @@ pub fn map_aig(
     }
 
     let mut best: Vec<[Best; 2]> = vec![[Best::unset(), Best::unset()]; n];
-    for i in 0..n {
-        match nodes[i] {
-            RawNode::Const => {
-                best[i][0] = Best { cost: 0.0, arrival: 0.0, ..Best::unset() };
-                best[i][1] = Best { cost: 0.0, arrival: 0.0, ..Best::unset() };
-            }
-            RawNode::Pi(_) => {
-                best[i][0] = Best { cost: 0.0, arrival: 0.0, ..Best::unset() };
-                best[i][1] = Best {
-                    cost: table.inv_area,
-                    arrival: table.inv_delay,
-                    via_inverter: true,
-                    ..Best::unset()
-                };
-            }
-            RawNode::And(..) => {
-                for ph in 0..2 {
-                    let mut b = Best::unset();
-                    for cut in &cuts[i] {
-                        // The trivial self-cut would let phase 1 "match" an
-                        // inverter fed by phase 0 of the same node, creating
-                        // a realization cycle with the via-inverter path.
-                        if cut.leaves == [i as u32] {
-                            continue;
-                        }
-                        let want = if ph == 0 { cut.tt } else { cut.tt.not() };
-                        let Some(pats) = table.by_tt.get(&want.bits()) else { continue };
-                        for pat in pats {
-                            // Every pin must address an existing leaf.
-                            if pat.perm.iter().any(|&p| p >= cut.leaves.len()) {
-                                continue;
-                            }
-                            let def = lib.cell(pat.cell);
-                            let mut cost = def.area_um2;
-                            let mut arr: f64 = 0.0;
-                            let mut leaf_phases = Vec::with_capacity(pat.perm.len());
-                            let mut feasible = true;
-                            for (pin, &lp) in pat.perm.iter().enumerate() {
-                                let leaf = cut.leaves[lp] as usize;
-                                let phase = pat.neg[pin];
-                                let lb = &best[leaf][phase as usize];
-                                if !lb.cost.is_finite() {
-                                    feasible = false;
-                                    break;
-                                }
-                                cost += lb.cost / refs[leaf].max(1) as f64;
-                                arr = arr.max(lb.arrival);
-                                leaf_phases.push((leaf as u32, phase));
-                            }
-                            if !feasible {
-                                continue;
-                            }
-                            let arrival = arr + def.delay_ps;
-                            let better = match goal {
-                                MapGoal::Area => {
-                                    cost < b.cost || (cost == b.cost && arrival < b.arrival)
-                                }
-                                MapGoal::Delay => {
-                                    arrival < b.arrival || (arrival == b.arrival && cost < b.cost)
-                                }
-                            };
-                            if better {
-                                b = Best {
-                                    cost,
-                                    arrival,
-                                    cell: Some(pat.cell),
-                                    via_inverter: false,
-                                    leaf_phases,
-                                };
-                            }
-                        }
-                    }
-                    best[i][ph] = b;
-                }
-                // Consider realizing each phase by inverting the other.
-                for ph in 0..2 {
-                    let other = best[i][1 - ph].clone();
-                    if !other.cost.is_finite() || other.via_inverter {
-                        continue;
-                    }
-                    let cost = other.cost + table.inv_area;
-                    let arrival = other.arrival + table.inv_delay;
-                    let better = match goal {
-                        MapGoal::Area => cost < best[i][ph].cost,
-                        MapGoal::Delay => arrival < best[i][ph].arrival,
-                    };
-                    if better {
-                        best[i][ph] = Best {
-                            cost,
-                            arrival,
-                            cell: None,
-                            via_inverter: true,
-                            leaf_phases: Vec::new(),
-                        };
-                    }
-                }
-                debug_assert!(
-                    best[i][0].cost.is_finite() || best[i][1].cost.is_finite(),
-                    "node {i} unmappable"
-                );
-            }
+    for wave in &waves {
+        let (results, stats) = eda_par::par_map_stats(threads, wave, |_, &i| {
+            match_node(&nodes, &cuts, &best, &refs, &table, &lib, goal, i)
+        });
+        par.absorb(&stats);
+        for (&i, r) in wave.iter().zip(results) {
+            best[i] = r;
         }
     }
 
@@ -520,7 +635,7 @@ pub fn map_aig(
         .iter()
         .map(|(_, l)| best[l.node()][l.is_complemented() as usize].arrival)
         .fold(0.0f64, f64::max);
-    Ok(MapOutcome { netlist: out, area_um2: area, delay_ps: delay, cells })
+    Ok((MapOutcome { netlist: out, area_um2: area, delay_ps: delay, cells }, par))
 }
 
 /// The 2006-era baseline: structural per-node decomposition into NAND2 + INV,
@@ -774,6 +889,33 @@ mod tests {
             pol.area_um2,
             cmos.area_um2
         );
+    }
+
+    #[test]
+    fn threaded_mapping_is_bit_identical_to_serial() {
+        let n = generate::random_logic(generate::RandomLogicConfig {
+            gates: 250,
+            seed: 11,
+            ..Default::default()
+        })
+        .unwrap();
+        let (aig, bnd) = Aig::from_netlist(&n).unwrap();
+        for goal in [MapGoal::Area, MapGoal::Delay] {
+            let serial = map_aig(&aig, &bnd, Library::generic(), goal).unwrap();
+            for threads in [2usize, 4, 8] {
+                let (t, stats) =
+                    map_aig_threaded(&aig, &bnd, Library::generic(), goal, threads).unwrap();
+                assert_eq!(
+                    serial.area_um2.to_bits(),
+                    t.area_um2.to_bits(),
+                    "area must be bit-identical at {threads} threads"
+                );
+                assert_eq!(serial.delay_ps.to_bits(), t.delay_ps.to_bits());
+                assert_eq!(serial.cells, t.cells);
+                assert!(stats.chunks > 0, "the threaded path must dispatch work");
+                check_equiv(&n, &t.netlist);
+            }
+        }
     }
 
     #[test]

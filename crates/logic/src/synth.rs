@@ -11,8 +11,9 @@
 //!   library (area or delay goal).
 
 use crate::aig::{Aig, AigError};
-use crate::map::{map_aig, map_naive, MapError, MapGoal, MapOutcome};
+use crate::map::{map_aig_threaded, map_naive, MapError, MapGoal, MapOutcome};
 use eda_netlist::{Library, Netlist};
+use eda_par::ParStats;
 use std::sync::Arc;
 
 /// Synthesis preset.
@@ -114,28 +115,53 @@ pub fn synthesize(
     effort: SynthesisEffort,
     goal: MapGoal,
 ) -> Result<SynthesisOutcome, SynthesisError> {
+    synthesize_threaded(input, lib, effort, goal, 1).map(|(out, _)| out)
+}
+
+/// [`synthesize`] with the mapping kernel fanned out across `threads`
+/// workers (`0` = all cores) via [`map_aig_threaded`].
+///
+/// The outcome is bit-identical to [`synthesize`] at any thread count; the
+/// returned [`ParStats`] records the mapper's parallel dispatches for
+/// telemetry and speedup projection. The 2006 baseline has no parallel
+/// kernel, so its stats are empty (`chunks == 0`).
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_threaded(
+    input: &Netlist,
+    lib: Arc<Library>,
+    effort: SynthesisEffort,
+    goal: MapGoal,
+    threads: usize,
+) -> Result<(SynthesisOutcome, ParStats), SynthesisError> {
     let (aig, boundary) = Aig::from_netlist(input)?;
     let before = aig.num_ands();
-    let (optimized, outcome, passes): (Aig, MapOutcome, Vec<AigPass>) = match effort {
-        SynthesisEffort::Baseline2006 => {
-            let m = map_naive(&aig, &boundary, lib)?;
-            (aig, m, Vec::new())
-        }
-        SynthesisEffort::Advanced2016 => {
-            let (opt, passes) = optimize_aig_traced(&aig);
-            let m = map_aig(&opt, &boundary, lib, goal)?;
-            (opt, m, passes)
-        }
-    };
-    Ok(SynthesisOutcome {
-        netlist: outcome.netlist,
-        aig_nodes_before: before,
-        aig_nodes_after: optimized.num_ands(),
-        area_um2: outcome.area_um2,
-        delay_ps: outcome.delay_ps,
-        cells: outcome.cells,
-        passes,
-    })
+    let (optimized, outcome, passes, par): (Aig, MapOutcome, Vec<AigPass>, ParStats) =
+        match effort {
+            SynthesisEffort::Baseline2006 => {
+                let m = map_naive(&aig, &boundary, lib)?;
+                (aig, m, Vec::new(), ParStats::empty())
+            }
+            SynthesisEffort::Advanced2016 => {
+                let (opt, passes) = optimize_aig_traced(&aig);
+                let (m, par) = map_aig_threaded(&opt, &boundary, lib, goal, threads)?;
+                (opt, m, passes, par)
+            }
+        };
+    Ok((
+        SynthesisOutcome {
+            netlist: outcome.netlist,
+            aig_nodes_before: before,
+            aig_nodes_after: optimized.num_ands(),
+            area_um2: outcome.area_um2,
+            delay_ps: outcome.delay_ps,
+            cells: outcome.cells,
+            passes,
+        },
+        par,
+    ))
 }
 
 /// One pass of the AIG optimization script, as recorded for QoR provenance:

@@ -1,8 +1,7 @@
-//! Maze routing: Lee's breadth-first wavefront and congestion-aware A*.
+//! Maze routing: Lee's breadth-first wavefront and congestion-aware A*
+//! over a monotone bucket (Dial) queue.
 
 use crate::grid::{GCell, RoutingGrid};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A routed 2-pin path (sequence of adjacent g-cells).
 pub type Path = Vec<GCell>;
@@ -54,30 +53,53 @@ pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, Sear
     Some((path, SearchStats { expanded }))
 }
 
-#[derive(PartialEq)]
-struct HeapEntry {
-    f: f64,
-    g: f64,
-    cell: GCell,
+/// Fixed-point scale for quantized search costs: [`RoutingGrid::step_cost`]
+/// is at least 1.0, so every quantized edge weighs at least `DIAL_SCALE` and
+/// the `DIAL_SCALE × manhattan` heuristic stays consistent — the frontier's
+/// f-value never decreases, which is what lets a monotone bucket queue
+/// replace a comparison heap.
+const DIAL_SCALE: f64 = 64.0;
+
+/// Dial's bucket queue: entries land in the bucket of their (quantized)
+/// f-value and a cursor sweeps the buckets in order. With a consistent
+/// heuristic the cursor never moves backwards, so push and pop are O(1) —
+/// no comparisons, no sift-up/down, and far better cache behavior than a
+/// binary heap on the router's hot path.
+struct BucketQueue {
+    buckets: Vec<Vec<(u64, GCell)>>,
+    cursor: usize,
 }
 
-impl Eq for HeapEntry {}
-
-impl Ord for HeapEntry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on f.
-        other.f.partial_cmp(&self.f).unwrap_or(Ordering::Equal)
+impl BucketQueue {
+    fn new() -> BucketQueue {
+        BucketQueue { buckets: Vec::new(), cursor: 0 }
     }
-}
 
-impl PartialOrd for HeapEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    fn push(&mut self, f: u64, g: u64, cell: GCell) {
+        let i = f as usize;
+        if i >= self.buckets.len() {
+            self.buckets.resize_with(i + 1, Vec::new);
+        }
+        self.buckets[i].push((g, cell));
+        // Monotonicity safety net: a consistent heuristic never needs this,
+        // but a rewind beats a silently skipped entry if it ever breaks.
+        self.cursor = self.cursor.min(i);
+    }
+
+    fn pop(&mut self) -> Option<(u64, GCell)> {
+        while self.cursor < self.buckets.len() {
+            if let Some(e) = self.buckets[self.cursor].pop() {
+                return Some(e);
+            }
+            self.cursor += 1;
+        }
+        None
     }
 }
 
 /// Congestion-aware A*: edge costs from [`RoutingGrid::step_cost`] plus a
-/// via (bend) penalty, with Manhattan-distance admissible heuristic.
+/// via (bend) penalty, with Manhattan-distance admissible heuristic. Costs
+/// are quantized to 1/64ths onto a Dial bucket queue.
 pub fn astar(
     grid: &RoutingGrid,
     src: GCell,
@@ -89,14 +111,16 @@ pub fn astar(
     }
     let n = (grid.width * grid.height) as usize;
     let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
-    let mut best_g = vec![f64::INFINITY; n];
+    let quant = |c: f64| (c * DIAL_SCALE).round() as u64;
+    let h = |c: GCell| c.manhattan(&dst) as u64 * DIAL_SCALE as u64;
+    let mut best_g = vec![u64::MAX; n];
     // prev stores the previous cell for path reconstruction.
     let mut prev: Vec<Option<GCell>> = vec![None; n];
-    let mut heap = BinaryHeap::new();
-    best_g[idx(src)] = 0.0;
-    heap.push(HeapEntry { f: src.manhattan(&dst) as f64, g: 0.0, cell: src });
+    let mut queue = BucketQueue::new();
+    best_g[idx(src)] = 0;
+    queue.push(h(src), 0, src);
     let mut expanded = 0usize;
-    while let Some(HeapEntry { g, cell, .. }) = heap.pop() {
+    while let Some((g, cell)) = queue.pop() {
         if g > best_g[idx(cell)] {
             continue;
         }
@@ -114,15 +138,15 @@ pub fn astar(
                     cost += via_cost;
                 }
             }
-            let ng = g + cost;
+            let ng = g + quant(cost);
             if ng < best_g[idx(nb)] {
                 best_g[idx(nb)] = ng;
                 prev[idx(nb)] = Some(cell);
-                heap.push(HeapEntry { f: ng + nb.manhattan(&dst) as f64, g: ng, cell: nb });
+                queue.push(ng + h(nb), ng, nb);
             }
         }
     }
-    if best_g[idx(dst)].is_infinite() {
+    if best_g[idx(dst)] == u64::MAX {
         return None;
     }
     let mut path = vec![dst];

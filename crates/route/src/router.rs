@@ -31,9 +31,10 @@ pub struct RouteConfig {
     pub grid_cells: u32,
     /// Maximum rip-up and re-route iterations.
     pub ripup_iterations: usize,
-    /// Worker threads for the initial batched routing pass (`0` = all
-    /// cores). Batch composition never depends on this value, so outcomes
-    /// are bit-identical for any thread count.
+    /// Worker threads for the batched routing passes — the initial pass and
+    /// every negotiated rip-up round (`0` = all cores). Batch composition
+    /// never depends on this value, so outcomes are bit-identical for any
+    /// thread count.
     pub threads: usize,
 }
 
@@ -80,7 +81,8 @@ pub struct RouteOutcome {
     pub iterations: usize,
     /// Total overflow after each executed iteration (`[0]` = after the
     /// initial pass, then one entry per rip-up round). Thread-invariant:
-    /// rip-up is serial and the initial pass commits in input order.
+    /// both passes batch in input order and commit in batch order, so the
+    /// trajectory is identical at any thread count.
     pub ripup_overflow: Vec<u64>,
 }
 
@@ -183,15 +185,17 @@ pub fn route(netlist: &Netlist, placement: &Placement, cfg: &RouteConfig) -> Rou
 }
 
 /// [`route`] returning the accumulated parallel-execution record of the
-/// batched initial pass (for scaling reports).
+/// batched passes (for scaling reports).
 ///
-/// The initial pass groups the distance-sorted connection list into batches
-/// of pairwise bbox-disjoint connections (greedy scan, fixed [`MAX_BATCH`]
-/// cap). Every batch member routes against the same immutable grid snapshot
-/// and commits sequentially in batch order, so batch composition and every
-/// path depend only on the input — outcomes are bit-identical for any
-/// `threads`. Negotiated rip-up and re-route stays serial: conflicting nets
-/// there need each other's freshly committed usage.
+/// Both the initial pass and every negotiated rip-up round group their
+/// worklist (the distance-sorted connection list, respectively the
+/// input-ordered victims of the round) into batches of pairwise
+/// bbox-disjoint connections (greedy scan, fixed [`MAX_BATCH`] cap). Every
+/// batch member routes against the same immutable grid snapshot and commits
+/// sequentially in batch order, so batch composition and every path depend
+/// only on the input — outcomes, including the `ripup_overflow` trajectory,
+/// are bit-identical for any `threads`. Conflicting nets never share a
+/// batch, so each still sees the other's freshly committed usage.
 pub fn route_stats(
     netlist: &Netlist,
     placement: &Placement,
@@ -234,13 +238,14 @@ pub fn route_stats(
         }
     };
 
-    // Initial routing pass: batched over bbox-disjoint connections.
-    let mut remaining: Vec<usize> = (0..pairs.len()).collect();
-    while !remaining.is_empty() {
+    // Peels the first greedy batch of pairwise bbox-disjoint connections
+    // off an ordered worklist; returns `(batch, rest)`. Pure function of
+    // the worklist order — never of the thread count.
+    let peel_batch = |work: &[usize]| -> (Vec<usize>, Vec<usize>) {
         let mut batch: Vec<usize> = Vec::new();
         let mut boxes: Vec<(u32, u32, u32, u32)> = Vec::new();
         let mut rest: Vec<usize> = Vec::new();
-        for &i in &remaining {
+        for &i in work {
             let bb = expanded_bbox(&pairs[i], 1, w, h);
             if batch.len() < MAX_BATCH && boxes.iter().all(|b| boxes_disjoint(b, &bb)) {
                 batch.push(i);
@@ -249,9 +254,20 @@ pub fn route_stats(
                 rest.push(i);
             }
         }
+        (batch, rest)
+    };
+
+    // Initial routing pass: fixed-size batches in distance-sorted order.
+    // The grid starts empty, so intra-batch congestion feedback is worth
+    // little here — full-width batches keep every worker busy through the
+    // expensive long connections, and negotiation repairs any overlap the
+    // batching admits. (Rip-up rounds, where freshness matters, use the
+    // bbox-disjoint peeling below instead.)
+    let order: Vec<usize> = (0..pairs.len()).collect();
+    for batch in order.chunks(MAX_BATCH) {
         let (routed, s) = {
             let grid = &grid;
-            eda_par::par_map_stats(cfg.threads, &batch, |_, &i| route_one(grid, &pairs[i]))
+            eda_par::par_map_stats(cfg.threads, batch, |_, &i| route_one(grid, &pairs[i]))
         };
         stats.absorb(&s);
         for (&i, (p, fb, ex)) in batch.iter().zip(routed) {
@@ -260,7 +276,6 @@ pub fn route_stats(
             commit(&mut grid, &p, 1);
             paths[i] = Some(p);
         }
-        remaining = rest;
     }
 
     let negotiate = cfg.algorithm != RouteAlgorithm::LeeBfs;
@@ -273,22 +288,35 @@ pub fn route_stats(
             }
             grid.bump_history();
             iterations += 1;
-            for (i, tp) in pairs.iter().enumerate() {
-                // Rip up paths that traverse overflowed edges.
-                let overflowed = paths[i]
-                    .as_ref()
-                    .map(|p| p.windows(2).any(|w| grid.is_full(w[0], w[1])))
-                    .unwrap_or(false);
-                if !overflowed {
-                    continue;
+            // Victims of this round: paths traversing an overflowed edge,
+            // in input order. Scheduling them into bbox-disjoint batches
+            // lets the re-routes run in parallel while later batches still
+            // observe earlier batches' freshly committed usage.
+            let mut victims: Vec<usize> = (0..pairs.len())
+                .filter(|&i| {
+                    paths[i]
+                        .as_ref()
+                        .is_some_and(|p| p.windows(2).any(|win| grid.is_full(win[0], win[1])))
+                })
+                .collect();
+            while !victims.is_empty() {
+                let (batch, rest) = peel_batch(&victims);
+                for &i in &batch {
+                    let old = paths[i].take().expect("path exists");
+                    commit(&mut grid, &old, -1);
                 }
-                let old = paths[i].take().expect("path exists");
-                commit(&mut grid, &old, -1);
-                let (p, fb, ex) = route_one(&grid, tp);
-                fallbacks += fb as usize;
-                expanded += ex;
-                commit(&mut grid, &p, 1);
-                paths[i] = Some(p);
+                let (routed, s) = {
+                    let grid = &grid;
+                    eda_par::par_map_stats(cfg.threads, &batch, |_, &i| route_one(grid, &pairs[i]))
+                };
+                stats.absorb(&s);
+                for (&i, (p, fb, ex)) in batch.iter().zip(routed) {
+                    fallbacks += fb as usize;
+                    expanded += ex;
+                    commit(&mut grid, &p, 1);
+                    paths[i] = Some(p);
+                }
+                victims = rest;
             }
             ripup_overflow.push(grid.total_overflow());
         }

@@ -9,6 +9,11 @@
 # its 1-thread and N-thread rows back-to-back in one process, so the ratio
 # is not polluted by machine drift between separate invocations.
 #
+# Also runs the incremental-flow benchmark (`experiments --incremental`):
+# a cold then warm smoke flow through the content-addressed stage cache,
+# emitted as BENCH_incremental.json (cold/warm wall clocks, % of stages
+# skipped, and the route kernel's serial-vs-parallel row for context).
+#
 # Usage: scripts/bench_flow.sh [N]    worker threads for the parallel pass
 #                                     (default $EDA_BENCH_THREADS or 4)
 #
@@ -67,3 +72,37 @@ printf '%s\n' "$LINES" | awk -v n="$N" '
 
 echo "bench_flow: wrote $OUT" >&2
 cat "$OUT"
+
+# ---- incremental-flow benchmark -> BENCH_incremental.json ----
+INCR_OUT="BENCH_incremental.json"
+INCR_DIR="$(mktemp -d)"
+trap 'rm -rf "$INCR_DIR"' EXIT
+
+echo "bench_flow: incremental pass (cold + warm smoke flow, $N workers)" >&2
+cargo build -q --release -p eda-bench
+INCR="$(./target/release/experiments --incremental --cache-dir "$INCR_DIR" --threads "$N" \
+    | grep '^INCRLINE ')"
+
+{ printf '%s\n' "$LINES" | grep '^BENCHLINE route_par/'; printf '%s\n' "$INCR"; } | awk '
+    /^BENCHLINE route_par\// {
+        split($2, a, "/")
+        if (a[2] + 0 == 1) rs = $3 + 0; else rp = $3 + 0
+    }
+    /^INCRLINE/ { v[$2] = $3 + 0 }
+    END {
+        printf "{\n"
+        printf "  \"cold_s\": %.6f,\n", v["cold_s"]
+        printf "  \"warm_s\": %.6f,\n", v["warm_s"]
+        printf "  \"warm_speedup\": %.1f,\n", (v["warm_s"] > 0) ? v["cold_s"] / v["warm_s"] : 0
+        printf "  \"stages_total\": %d,\n", v["stages_total"]
+        printf "  \"stages_skipped\": %d,\n", v["stages_skipped"]
+        printf "  \"stages_skipped_pct\": %.1f,\n", 100.0 * v["stages_skipped"] / v["stages_total"]
+        printf "  \"same_qor\": %s,\n", v["same_qor"] ? "true" : "false"
+        printf "  \"route\": {\"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.2f}\n", \
+            rs, rp, (rp > 0) ? rs / rp : 0
+        printf "}\n"
+    }
+' > "$INCR_OUT"
+
+echo "bench_flow: wrote $INCR_OUT" >&2
+cat "$INCR_OUT"

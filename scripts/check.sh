@@ -40,6 +40,26 @@ assert os.path.getsize(os.path.join(d, "smoke.trace.folded")) > 0, "folded stack
 print(f"check: trace OK ({len(trace['traceEvents'])} spans, {len(metrics)} metrics)")
 PY
 
+# Incremental-flow smoke: cold run populates the stage cache, warm run must
+# replay >= 8 stages with bit-identical QoR (the tool itself asserts both).
+cache_dir="$(mktemp -d)"
+trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$cache_dir"' EXIT
+./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4
+
+# Poisoned-cache smoke: truncate one entry; the next run must report exactly
+# one unreadable entry, fall back to recomputing that stage (never panic),
+# and still finish with bit-identical QoR.
+poisoned="$(ls "$cache_dir"/*.stage | head -1)"
+head -c 20 "$poisoned" > "$poisoned.tmp" && mv "$poisoned.tmp" "$poisoned"
+incr_log="$(./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4)"
+printf '%s\n' "$incr_log" | grep -qx 'INCRLINE cold_errors 1' \
+    || { echo "check: FAIL poisoned cache entry not surfaced as cache.errors=1" >&2
+         printf '%s\n' "$incr_log" >&2; exit 1; }
+printf '%s\n' "$incr_log" | grep -qx 'INCRLINE same_qor 1' \
+    || { echo "check: FAIL QoR drifted after poisoned-cache recompute" >&2
+         printf '%s\n' "$incr_log" >&2; exit 1; }
+echo "check: poisoned cache entry recomputed, QoR intact"
+
 # Golden snapshot in release: QoR + telemetry byte-stable across threads
 # 1/2/4/8 and unchanged vs tests/golden/smoke.snap (re-bless: scripts/bless.sh).
 cargo test --release -q --test golden
@@ -48,4 +68,4 @@ cargo test --release -q --test golden
 awk '/^test result:/ { passed += $4; failed += $6 }
      END { printf "check: %d tests passed, %d failed across all binaries\n", passed, failed
            exit (failed > 0) }' "$test_log"
-echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + golden green"
+echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + incremental + golden green"

@@ -1,0 +1,210 @@
+//! Incremental-flow contract: the content-addressed stage cache replays
+//! warm runs bit-identically, invalidates on any input change, and treats
+//! damaged entries as cold — never as errors.
+//!
+//! The cache key is `(stage kind, config fingerprint ⊇ {design, seed},
+//! hash of the serialized pre-stage state)`, so these tests pin the three
+//! behaviors the flow depends on: a warm re-run of an unchanged flow skips
+//! every stage with `same_qor` against the cold run at any thread count;
+//! changing the design, the seed, or any QoR-relevant config knob misses;
+//! and a poisoned entry silently falls back to a recompute.
+
+use eda_core::{run_flow, Fault, FaultPlan, FlowConfig, FlowReport};
+use eda_netlist::{generate, Netlist};
+use eda_tech::Node;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scratch cache directory, unique per test and per process.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "eda_incr_{}_{tag}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn cached_cfg(dir: &Path, threads: usize) -> FlowConfig {
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = threads;
+    cfg.cache_dir = Some(dir.to_path_buf());
+    cfg
+}
+
+fn counter(report: &FlowReport, name: &str) -> u64 {
+    match report.telemetry.metrics.get(name) {
+        Some(eda_core::Metric::Counter(n)) => *n,
+        _ => 0,
+    }
+}
+
+fn smoke_design() -> Netlist {
+    generate::switch_fabric(3, 3).unwrap()
+}
+
+#[test]
+fn warm_run_skips_every_stage_with_identical_qor() {
+    let dir = scratch("warm");
+    let design = smoke_design();
+    let cold = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&cold, "cache.hits"), 0, "first run must be cold");
+    assert_eq!(counter(&cold, "cache.misses"), 11, "all 11 stages miss cold");
+
+    let warm = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&warm, "cache.hits"), 11, "warm run must hit every stage");
+    assert_eq!(counter(&warm, "cache.misses"), 0);
+    assert!(cold.same_qor(&warm), "warm QoR must be bit-identical to cold");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_qor_is_thread_invariant() {
+    // One cache dir, filled at 1 thread, replayed at 2/4/8: every warm run
+    // must hit everything and match the cold QoR bit for bit.
+    let dir = scratch("threads");
+    let design = smoke_design();
+    let cold = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    for threads in [1usize, 2, 4, 8] {
+        let warm = run_flow(&design, &cached_cfg(&dir, threads)).unwrap();
+        assert_eq!(
+            counter(&warm, "cache.hits"),
+            11,
+            "warm run at {threads} threads must hit every stage"
+        );
+        assert!(
+            cold.same_qor(&warm),
+            "warm QoR at {threads} threads must match the cold run"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_invalidates_on_netlist_config_and_seed_change() {
+    let dir = scratch("invalidate");
+    let design = smoke_design();
+    let _ = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+
+    // Different design: the config fingerprint folds in design identity.
+    let other = generate::parity_tree(16).unwrap();
+    let r = run_flow(&other, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&r, "cache.hits"), 0, "a different netlist must miss");
+
+    // Different seed.
+    let mut cfg = cached_cfg(&dir, 1);
+    cfg.seed = 99;
+    let r = run_flow(&design, &cfg).unwrap();
+    assert_eq!(counter(&r, "cache.hits"), 0, "a different seed must miss");
+
+    // Different QoR-relevant config knob.
+    let mut cfg = cached_cfg(&dir, 1);
+    cfg.ripup_iterations += 1;
+    let r = run_flow(&design, &cfg).unwrap();
+    assert_eq!(counter(&r, "cache.hits"), 0, "a different config must miss");
+
+    // The unchanged flow still hits: invalidation is per-key, not global.
+    let r = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&r, "cache.hits"), 11);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn threads_do_not_invalidate_the_cache() {
+    // `threads` shapes wall-clock only, never QoR, so it is deliberately
+    // outside the cache key: a cache filled at 4 threads serves 1.
+    let dir = scratch("threads_key");
+    let design = smoke_design();
+    let cold = run_flow(&design, &cached_cfg(&dir, 4)).unwrap();
+    let warm = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&warm, "cache.hits"), 11);
+    assert!(cold.same_qor(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_entries_fall_back_to_recompute() {
+    let dir = scratch("poison");
+    let design = smoke_design();
+    let cold = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+
+    // Damage every entry a different way: truncation, garbage, emptiness.
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    assert_eq!(entries.len(), 11, "one entry per stage");
+    for (i, path) in entries.iter().enumerate() {
+        match i % 3 {
+            0 => {
+                let full = std::fs::read_to_string(path).unwrap();
+                std::fs::write(path, &full[..full.len() / 3]).unwrap();
+            }
+            1 => std::fs::write(path, "eda-stagecache v1\nstage lies\n").unwrap(),
+            _ => std::fs::write(path, "").unwrap(),
+        }
+    }
+
+    // The warm run sees 11 unreadable entries, recomputes everything, and
+    // still lands on identical QoR — corruption is never an error.
+    let warm = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&warm, "cache.hits"), 0);
+    assert_eq!(counter(&warm, "cache.errors"), 11);
+    assert!(cold.same_qor(&warm), "recomputed QoR must match the cold run");
+
+    // The recompute rewrote the damaged entries, so a third run hits again.
+    let again = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+    assert_eq!(counter(&again, "cache.hits"), 11);
+    assert!(cold.same_qor(&again));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_is_bypassed_under_fault_injection() {
+    // Injected faults must exercise the real stage bodies; a cached replay
+    // would skip the code path under test.
+    let dir = scratch("faults");
+    let design = smoke_design();
+    let _ = run_flow(&design, &cached_cfg(&dir, 1)).unwrap();
+
+    let mut cfg = cached_cfg(&dir, 1);
+    cfg.fault_plan = Some(FaultPlan::new(7).with("7_route", Some(0), Fault::Degrade));
+    let injected = run_flow(&design, &cfg).unwrap();
+    assert_eq!(counter(&injected, "cache.hits"), 0, "fault plans bypass the cache");
+    assert!(
+        !injected.stage_status["7_route"].is_clean(),
+        "the injected degradation must actually land"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any netlist, any seed: a warm re-run replays the cold QoR exactly.
+    #[test]
+    fn warm_replay_is_exact_for_arbitrary_netlists(
+        gates in 40usize..160,
+        design_seed in 0u64..1_000,
+        flow_seed in 0u64..1_000,
+    ) {
+        let design = generate::random_logic(generate::RandomLogicConfig {
+            gates,
+            seed: design_seed,
+            ..Default::default()
+        })
+        .unwrap();
+        let dir = scratch("prop");
+        let mut cfg = cached_cfg(&dir, 2);
+        cfg.seed = flow_seed;
+        let cold = run_flow(&design, &cfg).unwrap();
+        let warm = run_flow(&design, &cfg).unwrap();
+        prop_assert_eq!(counter(&warm, "cache.misses"), 0);
+        prop_assert!(cold.same_qor(&warm));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
