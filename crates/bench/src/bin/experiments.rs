@@ -2,38 +2,44 @@
 //! 2016 panel (see DESIGN.md §2 and EXPERIMENTS.md for the claim index).
 //!
 //! ```text
-//! cargo run --release -p eda-bench --bin experiments            # all claims
-//! cargo run --release -p eda-bench --bin experiments c3 c5 c9   # a subset
-//! cargo run --release -p eda-bench --bin experiments --threads 4 c9
-//! cargo run --release -p eda-bench --bin experiments --inject smoke
+//! cargo run --release -p eda-bench --bin experiments run            # all claims
+//! cargo run --release -p eda-bench --bin experiments run c3 c5 c9   # a subset
+//! cargo run --release -p eda-bench --bin experiments run --inject smoke
+//! cargo run --release -p eda-bench --bin experiments serve --batch 4 --threads 4
+//! cargo run --release -p eda-bench --bin experiments incremental
+//! cargo run --release -p eda-bench --bin experiments trace flow.trace.json
 //! ```
 //!
-//! `--threads N` sets the worker count for every parallel kernel (`0` = all
-//! cores, the default). Results are bit-identical for any value — the
-//! deterministic parallel layer (`eda-par`) guarantees it. When more than one
-//! claim is selected, the independent claims themselves run concurrently as
-//! child processes and their outputs are printed in claim order.
+//! Subcommands (see `--help` for every option):
 //!
-//! `--inject SPEC` runs the supervised flow under a deterministic fault plan
-//! instead of the claims, prints each stage's typed outcome, and checks the
-//! faulted run is reproducible (`smoke`, `random:N`, or a comma list of
-//! `stage=fail|timeout|degrade[@invocation]` — see `eda_core::FaultPlan`).
+//! * `run [CLAIMS...]` — regenerate panel claims (all of them by default).
+//!   When more than one claim is selected, the independent claims run
+//!   concurrently as child processes and their outputs print in claim
+//!   order. With `--inject SPEC`, runs the supervised flow under a
+//!   deterministic fault plan instead and checks it reproduces.
+//! * `serve` — run a batch of perturbed smoke designs through one
+//!   work-stealing [`FlowServer`] sharing a stage cache, compare against
+//!   per-design sequential runs, and print machine-readable SERVLINE rows
+//!   (throughput, cross-design cache hit rate, speedup vs. sequential).
+//!   Exits nonzero unless the batch QoR is bit-identical to the serial
+//!   runs.
+//! * `incremental` — cold + warm smoke flow against the stage cache; exits
+//!   nonzero unless the warm run skips at least 8 of the 11 stages with
+//!   bit-identical QoR.
+//! * `trace OUT.json` — run the smoke flow once and write its telemetry
+//!   (Chrome-trace JSON, flat metrics JSON, folded stacks).
 //!
-//! `--trace OUT.json` runs the smoke flow once and writes its telemetry:
-//! Chrome-trace JSON to `OUT.json` (load in `chrome://tracing` or Perfetto),
-//! flat metrics to `OUT.metrics.json`, and folded stacks to `OUT.folded`
-//! (pipe through `flamegraph.pl`). Combine with `--inject` to trace a faulted
-//! run — retries and degradations appear as tagged attempt spans.
+//! Every subcommand shares one typed `Options` struct: `--threads N` (one
+//! global budget for every parallel kernel — and, under `serve`, the
+//! worker/kernel split; `0` = all cores), `--cache-dir DIR` (shared
+//! content-addressed stage cache, DESIGN.md §9), `--inject SPEC`
+//! (deterministic fault plan: `smoke`, `random:N`, or
+//! `stage=fail|timeout|degrade[@invocation]`), `--batch N` / `--workers W`
+//! (serve pool shape).
 //!
-//! `--cache-dir DIR` points every flow the claims run at a content-addressed
-//! stage cache (DESIGN.md §9), so repeated invocations — and claims that
-//! re-run the same flow, like the C11 tuner — replay unchanged stages
-//! bit-identically instead of recomputing them.
-//!
-//! `--incremental` runs the smoke flow cold and then warm against the cache
-//! (at `--cache-dir` or a temp directory), prints both wall clocks and the
-//! fraction of stages replayed, and exits nonzero unless the warm run skips
-//! at least 8 of the 11 stages with bit-identical QoR.
+//! The pre-subcommand spellings (`--incremental`, `--trace OUT.json`, bare
+//! `--inject SPEC`, claims with no subcommand) keep working; `--help`
+//! documents the replacements.
 //!
 //! Any failure exits nonzero with a one-line message on stderr.
 
@@ -41,7 +47,7 @@
 // panic: everything fallible routes through `CliError`.
 #![deny(clippy::unwrap_used)]
 
-use eda_core::{run_flow, Arm, FaultPlan, FlowConfig, FlowTuner};
+use eda_core::{run_flow, Arm, FaultPlan, FlowConfig, FlowRequest, FlowServer, FlowTuner};
 use eda_dft::{
     bypass_fault_sim, compressed_fault_sim, fault_list, insert_scan, reorder_chains, run_atpg,
     scan_wirelength, AtpgConfig, CombView, TestAccess,
@@ -107,70 +113,216 @@ fn main() {
     }
 }
 
-fn run() -> CliResult {
-    let mut claims: Vec<String> = Vec::new();
-    let mut threads_arg = 0usize;
-    let mut child = false;
-    let mut inject: Option<String> = None;
-    let mut trace: Option<String> = None;
-    let mut cache_dir: Option<String> = None;
-    let mut incremental = false;
-    let parse_threads = |v: Option<String>| -> Result<usize, CliError> {
+/// What the CLI was asked to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Command {
+    /// Regenerate panel claims (or an injected flow with `--inject`).
+    Run,
+    /// Batch of perturbed smoke designs through one flow server.
+    Serve,
+    /// Cold + warm smoke flow against the stage cache.
+    Incremental,
+    /// Smoke flow once, telemetry written to disk.
+    Trace,
+}
+
+/// One typed option set shared by every subcommand.
+#[derive(Debug)]
+struct Options {
+    /// `--threads N`: global budget for every parallel kernel (and, under
+    /// `serve`, the worker/kernel split). `0` = all cores.
+    threads: usize,
+    /// `--cache-dir DIR`: shared content-addressed stage cache.
+    cache_dir: Option<String>,
+    /// `--inject SPEC`: deterministic fault plan.
+    inject: Option<String>,
+    /// `trace` output path.
+    trace_out: Option<String>,
+    /// `--batch N`: requests per `serve` batch.
+    batch: usize,
+    /// `--workers W`: inter-design workers for `serve` (0 = auto split).
+    workers: usize,
+    /// `--child`: this process is a claim child; run selected claims inline.
+    child: bool,
+    /// Claim ids for `run` (empty = all).
+    claims: Vec<String>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            threads: 0,
+            cache_dir: None,
+            inject: None,
+            trace_out: None,
+            batch: 4,
+            workers: 0,
+            child: false,
+            claims: Vec::new(),
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "experiments — regenerate the DATE 2016 panel's claims and drive the flow
+
+USAGE:
+    experiments [SUBCOMMAND] [OPTIONS] [CLAIMS...]
+
+SUBCOMMANDS:
+    run [CLAIMS...]    regenerate panel claims (default: all); independent
+                       claims run concurrently as child processes
+    serve              run --batch N perturbed smoke designs through one
+                       work-stealing flow server over a shared stage cache,
+                       compare against sequential per-design runs, and print
+                       SERVLINE rows (throughput, cross-design cache hit
+                       rate, speedup vs. sequential)
+    incremental        cold + warm smoke flow against the stage cache; fails
+                       unless the warm run skips >= 8 of 11 stages with
+                       bit-identical QoR
+    trace OUT.json     run the smoke flow once; write Chrome-trace JSON,
+                       OUT.metrics.json, and OUT.folded
+
+OPTIONS (shared by every subcommand):
+    --threads N        global thread budget, 0 = all cores (default 0);
+                       results are bit-identical for any value
+    --cache-dir DIR    shared content-addressed stage cache directory
+    --inject SPEC      deterministic fault plan: smoke, random:N, or a comma
+                       list of stage=fail|timeout|degrade[@invocation]
+                       (run: supervised faulted flow; trace: faulted trace)
+    --batch N          serve: requests per batch (default 4)
+    --workers W        serve: inter-design workers, 0 = auto split (default)
+    -h, --help         this text
+
+DEPRECATED (kept for compatibility, prefer the subcommands):
+    --incremental      ->  experiments incremental
+    --trace OUT.json   ->  experiments trace OUT.json
+    --inject SPEC      ->  experiments run --inject SPEC
+    CLAIMS with no subcommand  ->  experiments run CLAIMS"
+    );
+}
+
+/// Parses argv into `(Command, Options)`. Subcommand names and flags are
+/// case-insensitive; values (paths, fault specs) are taken verbatim.
+fn parse_args() -> Result<(Command, Options), CliError> {
+    let mut cmd: Option<Command> = None;
+    let mut opts = Options::default();
+    let take = |flag: &str, v: Option<String>| -> Result<String, CliError> {
+        v.ok_or(CliError(format!("{flag} needs a value")))
+    };
+    let count = |flag: &str, v: Option<String>| -> Result<usize, CliError> {
         v.and_then(|v| v.parse().ok())
-            .ok_or(CliError("--threads needs a non-negative integer".into()))
+            .ok_or(CliError(format!("{flag} needs a non-negative integer")))
     };
     let mut args = std::env::args().skip(1);
     while let Some(raw) = args.next() {
         let a = raw.to_lowercase();
-        if a == "--threads" {
-            threads_arg = parse_threads(args.next())?;
-        } else if let Some(v) = a.strip_prefix("--threads=") {
-            threads_arg = parse_threads(Some(v.to_string()))?;
-        } else if a == "--inject" {
-            inject = Some(args.next().ok_or(CliError(
-                "--inject needs a fault spec (try `--inject smoke`)".into(),
-            ))?);
-        } else if let Some(v) = a.strip_prefix("--inject=") {
-            inject = Some(v.to_string());
-        } else if a == "--trace" {
-            trace = Some(args.next().ok_or(CliError(
-                "--trace needs an output path (try `--trace flow.trace.json`)".into(),
-            ))?);
-        } else if a.starts_with("--trace=") {
-            // Take the value from the raw arg: paths are case-sensitive.
-            trace = Some(raw["--trace=".len()..].to_string());
-        } else if a == "--cache-dir" {
-            cache_dir = Some(args.next().ok_or(CliError(
-                "--cache-dir needs a directory path".into(),
-            ))?);
-        } else if a.starts_with("--cache-dir=") {
-            // Take the value from the raw arg: paths are case-sensitive.
-            cache_dir = Some(raw["--cache-dir=".len()..].to_string());
-        } else if a == "--incremental" {
-            incremental = true;
-        } else if a == "--child" {
-            child = true;
-        } else if let Some(flag) = a.strip_prefix("--") {
-            return Err(CliError(format!("unknown flag `--{flag}`")));
-        } else {
-            claims.push(a);
+        // Flag values come from the raw argv entry: paths and fault specs
+        // are case-sensitive.
+        let value_of = |prefix: &str| raw[prefix.len()..].to_string();
+        match a.as_str() {
+            "-h" | "--help" => {
+                print_help();
+                std::process::exit(0);
+            }
+            "--threads" => opts.threads = count("--threads", args.next())?,
+            _ if a.starts_with("--threads=") => {
+                opts.threads = count("--threads", Some(value_of("--threads=")))?;
+            }
+            "--batch" => opts.batch = count("--batch", args.next())?.max(1),
+            _ if a.starts_with("--batch=") => {
+                opts.batch = count("--batch", Some(value_of("--batch=")))?.max(1);
+            }
+            "--workers" => opts.workers = count("--workers", args.next())?,
+            _ if a.starts_with("--workers=") => {
+                opts.workers = count("--workers", Some(value_of("--workers=")))?;
+            }
+            "--inject" => {
+                opts.inject =
+                    Some(take("--inject (try `--inject smoke`)", args.next())?);
+            }
+            _ if a.starts_with("--inject=") => opts.inject = Some(value_of("--inject=")),
+            "--cache-dir" => opts.cache_dir = Some(take("--cache-dir", args.next())?),
+            _ if a.starts_with("--cache-dir=") => {
+                opts.cache_dir = Some(value_of("--cache-dir="));
+            }
+            // Deprecated mode-selector spellings (see --help).
+            "--trace" => {
+                opts.trace_out =
+                    Some(take("--trace (try `--trace flow.trace.json`)", args.next())?);
+                cmd.get_or_insert(Command::Trace);
+            }
+            _ if a.starts_with("--trace=") => {
+                opts.trace_out = Some(value_of("--trace="));
+                cmd.get_or_insert(Command::Trace);
+            }
+            "--incremental" => {
+                cmd.get_or_insert(Command::Incremental);
+            }
+            "--child" => opts.child = true,
+            _ if a.starts_with("--") => {
+                return Err(CliError(format!("unknown flag `{a}` (see --help)")));
+            }
+            // First positional may name a subcommand; under `trace` the next
+            // positional is the output path; everything else is a claim id.
+            "run" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Run),
+            "serve" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Serve),
+            "incremental" if cmd.is_none() && opts.claims.is_empty() => {
+                cmd = Some(Command::Incremental);
+            }
+            "trace" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Trace),
+            _ if cmd == Some(Command::Trace) && opts.trace_out.is_none() => {
+                opts.trace_out = Some(raw);
+            }
+            _ => opts.claims.push(a),
         }
     }
-    THREADS.store(threads_arg, Ordering::Relaxed);
-    if let Some(dir) = &cache_dir {
+    let cmd = cmd.unwrap_or(Command::Run);
+    if cmd != Command::Run && !opts.claims.is_empty() {
+        return Err(CliError(format!(
+            "`{}` takes no claim arguments (got: {})",
+            match cmd {
+                Command::Serve => "serve",
+                Command::Incremental => "incremental",
+                Command::Trace => "trace",
+                Command::Run => unreachable!("run accepts claims"),
+            },
+            opts.claims.join(" ")
+        )));
+    }
+    Ok((cmd, opts))
+}
+
+fn run() -> CliResult {
+    let (cmd, opts) = parse_args()?;
+    THREADS.store(opts.threads, Ordering::Relaxed);
+    if let Some(dir) = &opts.cache_dir {
         let _ = CACHE_DIR.set(PathBuf::from(dir));
     }
+    match cmd {
+        Command::Incremental => incremental_demo(opts.cache_dir.as_deref(), opts.threads),
+        Command::Trace => {
+            let path = opts.trace_out.as_deref().ok_or(CliError(
+                "trace needs an output path (try `experiments trace flow.trace.json`)".into(),
+            ))?;
+            trace_demo(path, opts.threads, opts.inject.as_deref())
+        }
+        Command::Serve => serve_demo(&opts),
+        Command::Run => {
+            if let Some(spec) = &opts.inject {
+                return inject_demo(spec, opts.threads);
+            }
+            run_claims(&opts)
+        }
+    }
+}
 
-    if incremental {
-        return incremental_demo(cache_dir.as_deref(), threads_arg);
-    }
-    if let Some(path) = trace {
-        return trace_demo(&path, threads_arg, inject.as_deref());
-    }
-    if let Some(spec) = inject {
-        return inject_demo(&spec, threads_arg);
-    }
-
+/// `run [CLAIMS...]`: regenerate the selected claims (all by default),
+/// fanning independent claims out as concurrent child processes.
+fn run_claims(opts: &Options) -> CliResult {
+    let claims = &opts.claims;
+    let threads_arg = opts.threads;
     let experiments: Vec<Claim> = vec![
         ("c1", c1),
         ("c2", c2),
@@ -191,7 +343,7 @@ fn run() -> CliResult {
         ("b1", b1),
         ("b2", b2),
     ];
-    for id in &claims {
+    for id in claims {
         if !experiments.iter().any(|(known, _)| known == id) {
             let known: Vec<&str> = experiments.iter().map(|(id, _)| *id).collect();
             return Err(CliError(format!("unknown claim `{id}` (known: {})", known.join(" "))));
@@ -202,7 +354,7 @@ fn run() -> CliResult {
     let selected: Vec<Claim> =
         experiments.into_iter().filter(|(id, _)| want(id)).collect();
 
-    if child || selected.len() <= 1 {
+    if opts.child || selected.len() <= 1 {
         for (id, run) in selected {
             run().map_err(|e| CliError(format!("claim {id}: {}", e.0)))?;
             println!();
@@ -217,8 +369,8 @@ fn run() -> CliResult {
         .iter()
         .map(|(id, _)| {
             let mut cmd = std::process::Command::new(&exe);
-            cmd.arg("--child").arg(format!("--threads={threads_arg}"));
-            if let Some(dir) = &cache_dir {
+            cmd.arg("run").arg("--child").arg(format!("--threads={threads_arg}"));
+            if let Some(dir) = &opts.cache_dir {
                 cmd.arg(format!("--cache-dir={dir}"));
             }
             let c = cmd
@@ -313,6 +465,145 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
         return Err(CliError("warm QoR diverged from the cold run".into()));
     }
     println!("incremental: warm run skipped {hits}/{total} stages with identical QoR");
+    Ok(())
+}
+
+/// `serve`: a batch of perturbed smoke designs through one flow server.
+///
+/// Builds `--batch` requests from `ceil(batch/2)` distinct smoke variants
+/// (each submitted twice when the batch allows, the repeat at a lower
+/// priority so it lands behind its primary), runs them sequentially without
+/// a cache as the baseline, then through a `FlowServer` sharing one stage
+/// cache, and checks that every server response is bit-identical to its
+/// sequential run. At the blessed combination (`--batch 4 --threads 4`,
+/// auto worker split) it also requires cross-design cache hits and >= 1.5x
+/// throughput over sequential.
+fn serve_demo(opts: &Options) -> CliResult {
+    let batch = opts.batch;
+    let distinct = batch.div_ceil(2);
+    let mut requests: Vec<FlowRequest> = Vec::with_capacity(batch);
+    for v in 0..distinct {
+        let design = generate::switch_fabric(3 + v % 2, 3 + (v / 2) % 2)?;
+        let mut cfg = FlowConfig::advanced_2016(Node::N10);
+        cfg.seed = 1 + (v / 4) as u64;
+        requests.push(FlowRequest::new(design, cfg).with_priority(1));
+    }
+    // Repeats share their primary's (design, config) exactly, so their flow
+    // prefixes replay from the cache entries the primary wrote.
+    for v in 0..batch - distinct {
+        let primary = requests[v].clone();
+        requests.push(FlowRequest::new(primary.design, primary.config).with_priority(0));
+    }
+
+    let dir: PathBuf = match &opts.cache_dir {
+        Some(d) => PathBuf::from(d),
+        None => std::env::temp_dir().join(format!("eda_serve_{}", std::process::id())),
+    };
+    println!(
+        "=== flow server: {batch} requests ({distinct} distinct designs), cache at {} ===",
+        dir.display()
+    );
+
+    // Sequential baseline: each request cold, one after another, with the
+    // whole thread budget — what a user without the server would run.
+    let t = Instant::now();
+    let serial: Vec<eda_core::FlowReport> = requests
+        .iter()
+        .map(|req| {
+            let mut cfg = req.config.clone();
+            cfg.threads = opts.threads;
+            run_flow(&req.design, &cfg)
+                .map_err(|e| CliError(format!("sequential {} failed: {e}", req.design.name())))
+        })
+        .collect::<Result<_, CliError>>()?;
+    let serial_s = t.elapsed().as_secs_f64();
+
+    let server = FlowServer::builder()
+        .threads(opts.threads)
+        .workers(opts.workers)
+        .cache_dir(&dir)
+        .build();
+    let report = server.serve(requests);
+
+    println!(
+        "{:>3}  {:<10} {:>8} {:>6} {:>6}  outcome",
+        "req", "design", "wall_s", "worker", "stolen"
+    );
+    let mut all_ok = true;
+    let mut all_same = true;
+    for r in &report.responses {
+        let outcome = match &r.outcome {
+            Ok(rep) => {
+                let same = rep.same_qor(&serial[r.index]);
+                all_same &= same;
+                if same { "ok, bit-identical to sequential".to_string() } else { "ok, QoR DIVERGED".to_string() }
+            }
+            Err(e) => {
+                all_ok = false;
+                format!("failed: {e}")
+            }
+        };
+        println!(
+            "{:>3}  {:<10} {:>8.3} {:>6} {:>6}  {outcome}",
+            r.index, r.design, r.wall_s, r.worker, r.stolen
+        );
+    }
+    let speedup = serial_s / report.wall_s.max(1e-9);
+    println!(
+        "sequential {serial_s:.3}s, server {:.3}s ({} workers x {} kernel threads): \
+         {speedup:.2}x throughput, {} cross-design cache hits ({:.0}% of stages), {} steals",
+        report.wall_s,
+        report.workers,
+        report.kernel_threads,
+        report.cross_design_hits,
+        report.cross_hit_rate() * 100.0,
+        report.steals
+    );
+    // Machine-readable rows for scripts/bench_flow.sh and scripts/check.sh.
+    println!("SERVLINE batch {batch}");
+    println!("SERVLINE distinct {distinct}");
+    println!("SERVLINE workers {}", report.workers);
+    println!("SERVLINE kernel_threads {}", report.kernel_threads);
+    println!("SERVLINE serial_s {serial_s:.6}");
+    println!("SERVLINE server_s {:.6}", report.wall_s);
+    println!("SERVLINE speedup {speedup:.3}");
+    println!("SERVLINE throughput_per_s {:.3}", report.throughput_per_s());
+    println!("SERVLINE steals {}", report.steals);
+    println!("SERVLINE cross_design_hits {}", report.cross_design_hits);
+    println!("SERVLINE cross_hit_rate {:.4}", report.cross_hit_rate());
+    println!("SERVLINE failed {}", report.failed());
+    println!("SERVLINE same_qor {}", all_same as u32);
+
+    if !all_ok {
+        return Err(CliError(format!("{} request(s) failed", report.failed())));
+    }
+    if !all_same {
+        return Err(CliError("server QoR diverged from sequential per-design runs".into()));
+    }
+    // Repeats are guaranteed to land on the same worker as their primary
+    // (hence run warm, sequentially after it) only when the primaries deal
+    // round-robin without wrapping unevenly; gate the throughput and
+    // cache-hit requirements on that combination so odd --batch/--workers
+    // explorations still print rows without failing.
+    let blessed = batch > distinct && distinct.is_multiple_of(report.workers);
+    if blessed {
+        if report.cross_design_hits == 0 {
+            return Err(CliError(
+                "expected cross-design cache hits (repeated requests replayed nothing)".into(),
+            ));
+        }
+        if speedup < 1.5 {
+            return Err(CliError(format!(
+                "server throughput {speedup:.2}x over sequential is below the 1.5x bar"
+            )));
+        }
+        println!(
+            "serve: {speedup:.2}x over sequential with {} cross-design cache hits",
+            report.cross_design_hits
+        );
+    } else {
+        println!("serve: non-blessed batch/worker combination, thresholds not enforced");
+    }
     Ok(())
 }
 

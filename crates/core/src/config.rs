@@ -139,50 +139,22 @@ pub struct FlowConfig {
     pub budgets: StageBudgets,
 }
 
-impl FlowConfig {
-    /// The decade-old baseline: naive synthesis onto the poor library, BFS
-    /// routing without negotiation, no design-for-power, no placement-aware
-    /// scan.
-    pub fn basic_2006(node: Node) -> FlowConfig {
+impl Default for FlowConfig {
+    /// Modern single-run defaults: the advanced-2016 knob set at N28 with no
+    /// checkpointing, caching, or fault injection. Struct-literal updates
+    /// (`FlowConfig { seed: 7, ..FlowConfig::default() }`) therefore keep
+    /// compiling as fields are added.
+    fn default() -> FlowConfig {
         FlowConfig {
-            name: "basic-2006".into(),
-            node,
-            library: LibraryChoice::NandInv2006,
-            synthesis: SynthesisEffort::Baseline2006,
-            map_goal: MapGoal::Area,
-            utilization: 0.6,
-            place: PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, stripes: 1 },
-            router: RouteAlgorithm::LeeBfs,
-            layers: node.spec().typical_metal_layers,
-            ripup_iterations: 0,
-            scan: Some(ScanOptions { chains: 1, placement_aware_reorder: false }),
-            power: PowerOptions { clock_gating_group: 0, decap_droop_limit_mv: None },
-            clock_mhz: 200.0,
-            verify_synthesis: false,
-            seed: 1,
-            threads: 1,
-            checkpoint_dir: None,
-            resume: false,
-            cache_dir: None,
-            fault_plan: None,
-            budgets: StageBudgets::default(),
-        }
-    }
-
-    /// The advanced 2016 flow: optimized synthesis onto the rich library,
-    /// negotiated line-search routing, clock gating, decaps, and
-    /// placement-aware scan reordering.
-    pub fn advanced_2016(node: Node) -> FlowConfig {
-        FlowConfig {
-            name: "advanced-2016".into(),
-            node,
+            name: "custom".into(),
+            node: Node::N28,
             library: LibraryChoice::Generic,
             synthesis: SynthesisEffort::Advanced2016,
             map_goal: MapGoal::Area,
             utilization: 0.7,
             place: PlaceEffort { global_iterations: 10, anneal_moves_per_cell: 40, stripes: 4 },
             router: RouteAlgorithm::LineSearch,
-            layers: node.spec().typical_metal_layers,
+            layers: Node::N28.spec().typical_metal_layers,
             ripup_iterations: 6,
             scan: Some(ScanOptions { chains: 2, placement_aware_reorder: true }),
             power: PowerOptions { clock_gating_group: 8, decap_droop_limit_mv: Some(50.0) },
@@ -196,6 +168,264 @@ impl FlowConfig {
             fault_plan: None,
             budgets: StageBudgets::default(),
         }
+    }
+}
+
+/// A knob combination [`FlowConfigBuilder::build`] refuses to produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The config name is empty.
+    EmptyName,
+    /// Core utilization must lie in `(0, 1]`.
+    Utilization(f64),
+    /// At least one metal layer is required for routing.
+    NoLayers,
+    /// The clock frequency must be finite and positive.
+    ClockMhz(f64),
+    /// Scan insertion was requested with zero chains.
+    NoScanChains,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::EmptyName => write!(f, "flow config name must not be empty"),
+            ConfigError::Utilization(u) => {
+                write!(f, "core utilization must be in (0, 1], got {u}")
+            }
+            ConfigError::NoLayers => write!(f, "routing needs at least one metal layer"),
+            ConfigError::ClockMhz(mhz) => {
+                write!(f, "clock frequency must be finite and positive, got {mhz} MHz")
+            }
+            ConfigError::NoScanChains => {
+                write!(f, "scan insertion was requested with zero chains")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed builder for [`FlowConfig`], validating at [`build`](Self::build).
+///
+/// Starts from [`FlowConfig::default`] (the modern knob set), so a builder
+/// only names the knobs it changes. `layers` tracks the target node unless
+/// set explicitly.
+///
+/// # Examples
+///
+/// ```
+/// use eda_core::{ConfigError, FlowConfig};
+/// use eda_tech::Node;
+///
+/// let cfg = FlowConfig::builder()
+///     .name("nightly")
+///     .node(Node::N10)
+///     .threads(4)
+///     .cache_dir("/tmp/eda-cache")
+///     .build()?;
+/// assert_eq!(cfg.layers, Node::N10.spec().typical_metal_layers);
+///
+/// let err = FlowConfig::builder().utilization(1.5).build();
+/// assert_eq!(err, Err(ConfigError::Utilization(1.5)));
+/// # Ok::<(), ConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlowConfigBuilder {
+    cfg: FlowConfig,
+    /// Explicit layer override; `None` resolves from the node at build time.
+    layers: Option<u32>,
+}
+
+impl FlowConfigBuilder {
+    /// Preset name (for reports).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.cfg.name = name.into();
+        self
+    }
+
+    /// Target node. Also re-resolves the default metal-layer count unless
+    /// [`layers`](Self::layers) was set explicitly.
+    pub fn node(mut self, node: Node) -> Self {
+        self.cfg.node = node;
+        self
+    }
+
+    /// Library to map onto.
+    pub fn library(mut self, library: LibraryChoice) -> Self {
+        self.cfg.library = library;
+        self
+    }
+
+    /// Synthesis preset.
+    pub fn synthesis(mut self, synthesis: SynthesisEffort) -> Self {
+        self.cfg.synthesis = synthesis;
+        self
+    }
+
+    /// Mapping objective.
+    pub fn map_goal(mut self, map_goal: MapGoal) -> Self {
+        self.cfg.map_goal = map_goal;
+        self
+    }
+
+    /// Core utilization for floorplanning; must be in `(0, 1]`.
+    pub fn utilization(mut self, utilization: f64) -> Self {
+        self.cfg.utilization = utilization;
+        self
+    }
+
+    /// Placement effort.
+    pub fn place(mut self, place: PlaceEffort) -> Self {
+        self.cfg.place = place;
+        self
+    }
+
+    /// Router algorithm.
+    pub fn router(mut self, router: RouteAlgorithm) -> Self {
+        self.cfg.router = router;
+        self
+    }
+
+    /// Metal layers used for routing (defaults to the node's typical stack).
+    pub fn layers(mut self, layers: u32) -> Self {
+        self.layers = Some(layers);
+        self
+    }
+
+    /// Rip-up and re-route iterations.
+    pub fn ripup_iterations(mut self, iterations: usize) -> Self {
+        self.cfg.ripup_iterations = iterations;
+        self
+    }
+
+    /// Scan insertion (`None` = no DFT).
+    pub fn scan(mut self, scan: Option<ScanOptions>) -> Self {
+        self.cfg.scan = scan;
+        self
+    }
+
+    /// Power techniques.
+    pub fn power(mut self, power: PowerOptions) -> Self {
+        self.cfg.power = power;
+        self
+    }
+
+    /// Clock frequency in MHz; must be finite and positive.
+    pub fn clock_mhz(mut self, clock_mhz: f64) -> Self {
+        self.cfg.clock_mhz = clock_mhz;
+        self
+    }
+
+    /// Formally verify the mapped netlist against the input design.
+    pub fn verify_synthesis(mut self, verify: bool) -> Self {
+        self.cfg.verify_synthesis = verify;
+        self
+    }
+
+    /// RNG seed for all stochastic stages.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Worker threads for every parallel kernel (`0` = all cores); never
+    /// changes QoR.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.cfg.threads = threads;
+        self
+    }
+
+    /// Directory for flow checkpoints.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Resume from an existing checkpoint in the checkpoint directory.
+    pub fn resume(mut self, resume: bool) -> Self {
+        self.cfg.resume = resume;
+        self
+    }
+
+    /// Directory for the content-addressed stage result cache.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Deterministic fault-injection plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    /// Per-stage attempt caps and soft deadlines.
+    pub fn budgets(mut self, budgets: StageBudgets) -> Self {
+        self.cfg.budgets = budgets;
+        self
+    }
+
+    /// Validates the knob combination and produces the config.
+    pub fn build(self) -> Result<FlowConfig, ConfigError> {
+        let mut cfg = self.cfg;
+        cfg.layers = self.layers.unwrap_or_else(|| cfg.node.spec().typical_metal_layers);
+        if cfg.name.is_empty() {
+            return Err(ConfigError::EmptyName);
+        }
+        if !(cfg.utilization > 0.0 && cfg.utilization <= 1.0) {
+            return Err(ConfigError::Utilization(cfg.utilization));
+        }
+        if cfg.layers == 0 {
+            return Err(ConfigError::NoLayers);
+        }
+        if !(cfg.clock_mhz.is_finite() && cfg.clock_mhz > 0.0) {
+            return Err(ConfigError::ClockMhz(cfg.clock_mhz));
+        }
+        if matches!(cfg.scan, Some(ScanOptions { chains: 0, .. })) {
+            return Err(ConfigError::NoScanChains);
+        }
+        Ok(cfg)
+    }
+}
+
+impl FlowConfig {
+    /// A typed builder seeded with [`FlowConfig::default`]; knobs are
+    /// validated together at [`FlowConfigBuilder::build`].
+    pub fn builder() -> FlowConfigBuilder {
+        FlowConfigBuilder { cfg: FlowConfig::default(), layers: None }
+    }
+
+    /// The decade-old baseline: naive synthesis onto the poor library, BFS
+    /// routing without negotiation, no design-for-power, no placement-aware
+    /// scan.
+    pub fn basic_2006(node: Node) -> FlowConfig {
+        FlowConfig::builder()
+            .name("basic-2006")
+            .node(node)
+            .library(LibraryChoice::NandInv2006)
+            .synthesis(SynthesisEffort::Baseline2006)
+            .utilization(0.6)
+            .place(PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, stripes: 1 })
+            .router(RouteAlgorithm::LeeBfs)
+            .ripup_iterations(0)
+            .scan(Some(ScanOptions { chains: 1, placement_aware_reorder: false }))
+            .power(PowerOptions { clock_gating_group: 0, decap_droop_limit_mv: None })
+            .verify_synthesis(false)
+            .threads(1)
+            .build()
+            .expect("the 2006 preset is statically valid")
+    }
+
+    /// The advanced 2016 flow: optimized synthesis onto the rich library,
+    /// negotiated line-search routing, clock gating, decaps, and
+    /// placement-aware scan reordering.
+    pub fn advanced_2016(node: Node) -> FlowConfig {
+        FlowConfig::builder()
+            .name("advanced-2016")
+            .node(node)
+            .build()
+            .expect("the 2016 preset is statically valid")
     }
 }
 
@@ -215,6 +445,63 @@ mod tests {
         // 2006 ran single-threaded; 2016 uses every core (0 = auto).
         assert_eq!(b.threads, 1);
         assert_eq!(a.threads, 0);
+    }
+
+    #[test]
+    fn builder_defaults_match_the_advanced_preset() {
+        // The presets are now built on the builder; the only deltas from
+        // `FlowConfig::default()` are the name and the node-derived layers.
+        let mut dflt = FlowConfig::default();
+        let adv = FlowConfig::advanced_2016(Node::N10);
+        dflt.name = adv.name.clone();
+        dflt.node = adv.node;
+        dflt.layers = adv.layers;
+        assert_eq!(dflt, adv);
+    }
+
+    #[test]
+    fn builder_resolves_layers_from_the_node() {
+        let cfg = FlowConfig::builder().node(Node::N10).build().unwrap();
+        assert_eq!(cfg.layers, Node::N10.spec().typical_metal_layers);
+        let cfg = FlowConfig::builder().node(Node::N10).layers(3).build().unwrap();
+        assert_eq!(cfg.layers, 3);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_knobs() {
+        assert_eq!(FlowConfig::builder().name("").build(), Err(ConfigError::EmptyName));
+        assert_eq!(
+            FlowConfig::builder().utilization(0.0).build(),
+            Err(ConfigError::Utilization(0.0))
+        );
+        assert_eq!(
+            FlowConfig::builder().utilization(1.01).build(),
+            Err(ConfigError::Utilization(1.01))
+        );
+        assert_eq!(FlowConfig::builder().layers(0).build(), Err(ConfigError::NoLayers));
+        assert!(matches!(
+            FlowConfig::builder().clock_mhz(f64::NAN).build(),
+            Err(ConfigError::ClockMhz(_))
+        ));
+        assert_eq!(
+            FlowConfig::builder().clock_mhz(-1.0).build(),
+            Err(ConfigError::ClockMhz(-1.0))
+        );
+        assert_eq!(
+            FlowConfig::builder()
+                .scan(Some(ScanOptions { chains: 0, placement_aware_reorder: true }))
+                .build(),
+            Err(ConfigError::NoScanChains)
+        );
+    }
+
+    #[test]
+    fn struct_literal_updates_keep_compiling() {
+        // The documented migration path for pre-builder call sites.
+        let cfg = FlowConfig { seed: 7, threads: 2, ..FlowConfig::default() };
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.library, LibraryChoice::Generic);
     }
 
     #[test]

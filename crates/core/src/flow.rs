@@ -323,7 +323,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         })?;
         if par.chunks > 0 {
             st.stage_threads.insert(stage.into(), par.threads);
-            st.stage_speedup.insert(stage.into(), par.projected_speedup());
+            st.stage_speedup.insert(stage.into(), par.bounded_speedup());
         }
         st.netlist = Some(netlist);
         st.synthesis_verified = verified;
@@ -438,7 +438,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         })?;
         if let Some(par) = par {
             st.stage_threads.insert(stage.into(), par.threads);
-            st.stage_speedup.insert(stage.into(), par.projected_speedup());
+            st.stage_speedup.insert(stage.into(), par.bounded_speedup());
         }
         st.placement = Some(placement);
         st.stage_seconds.insert(stage.into(), timer.lap());
@@ -589,7 +589,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
         st.routed_vias = routed.vias;
         st.routed_overflow = routed.overflow;
         st.stage_threads.insert(stage.into(), par.threads);
-        st.stage_speedup.insert(stage.into(), par.projected_speedup());
+        st.stage_speedup.insert(stage.into(), par.bounded_speedup());
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 8;
         memo.finish(key, stage, &mut st, &mut sup);
@@ -769,7 +769,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             })?;
             st.test_coverage = coverage;
             st.stage_threads.insert(stage.into(), par.threads);
-            st.stage_speedup.insert(stage.into(), par.projected_speedup());
+            st.stage_speedup.insert(stage.into(), par.bounded_speedup());
         }
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 11;

@@ -34,9 +34,10 @@ pub mod flow;
 pub mod harness;
 pub mod learn;
 pub mod report;
+pub mod server;
 pub mod telemetry;
 
-pub use config::{FlowConfig, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
+pub use config::{ConfigError, FlowConfig, FlowConfigBuilder, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
 pub use flow::{run_flow, FlowError, PartialFlow, StageFailure, STAGES};
 pub use harness::{
     Fault, FaultPlan, FaultRule, FaultSpecError, StageBudget, StageBudgets, StageOutcome,
@@ -44,4 +45,5 @@ pub use harness::{
 };
 pub use learn::{Arm, ArmStats, FlowTuner};
 pub use report::FlowReport;
-pub use telemetry::{Metric, Span, SpanKind, Telemetry, TelemetrySnapshot};
+pub use server::{FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession, ServerReport};
+pub use telemetry::{Histogram, Metric, Span, SpanKind, Telemetry, TelemetrySnapshot, WallSpan};

@@ -1,0 +1,574 @@
+//! A deterministic work-stealing flow server: many designs, one flow,
+//! one shared stage cache.
+//!
+//! The panel's forward-looking claims treat EDA as a *service* — exploit
+//! previous runs, push many designs through one flow, make throughput the
+//! scaling lever. This module is that entry point: a [`FlowServer`] accepts
+//! a batch of [`FlowRequest`]s (design + config + priority), runs them
+//! concurrently on a bounded worker pool, and returns [`FlowResponse`]s
+//! carrying the existing [`FlowReport`] / [`PartialFlow`] / telemetry
+//! surfaces unchanged.
+//!
+//! # Scheduling
+//!
+//! [`FlowServer::submit`] sorts the batch by `(priority desc, submission
+//! order)` and deals it round-robin into per-worker deques — a pure
+//! function of the batch, independent of timing. Each worker drains its own
+//! deque front-to-back and, when empty, *steals* from the back of the next
+//! non-empty victim deque. Which worker executes a request (and therefore
+//! `server.steals`, `server.queue_depth`, and all wall clocks) depends on
+//! host timing; **which results come back does not**.
+//!
+//! # Determinism
+//!
+//! Every request runs the same [`run_flow`] that a serial caller would
+//! invoke, and `run_flow` is bit-identical for any thread count. A shared
+//! `cache_dir` cannot break this: stage-cache entries are written atomically
+//! and replay bit-identically, so whether a request computes a stage or
+//! replays a sibling's entry, the QoR is the same
+//! ([`FlowReport::same_qor`]). Batch results are therefore bit-identical to
+//! serial per-design runs at any worker count — steal order may vary,
+//! outputs may not.
+//!
+//! # Thread budget
+//!
+//! One global `threads` knob is split between inter-design workers and
+//! intra-stage kernels: with a resolved budget `T` and `W` workers, each
+//! request's kernels get `max(1, T / W)` threads. By default the server
+//! spends half the budget on workers (`W = min(batch, max(1, T / 2))`) and
+//! the rest inside each flow.
+//!
+//! # Fault isolation
+//!
+//! A fault, timeout, or budget exhaustion inside one request degrades only
+//! that request: its [`FlowResponse::outcome`] carries the typed
+//! [`FlowError`] (with salvageable [`PartialFlow`]), recovered degradations
+//! surface as stage statuses in its report, and every other request is
+//! untouched.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_core::server::{FlowRequest, FlowServer};
+//! use eda_core::FlowConfig;
+//! use eda_netlist::generate;
+//! use eda_tech::Node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate::ripple_carry_adder(4)?;
+//! let cfg = FlowConfig::builder().name("demo").node(Node::N28).threads(1).build()?;
+//! let server = FlowServer::builder().threads(2).build();
+//! let batch = vec![
+//!     FlowRequest::new(design.clone(), cfg.clone()).with_priority(1),
+//!     FlowRequest::new(design, cfg),
+//! ];
+//! let report = server.serve(batch);
+//! assert_eq!(report.responses.len(), 2);
+//! assert!(report.responses.iter().all(|r| r.outcome.is_ok()));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::config::FlowConfig;
+use crate::flow::{run_flow, FlowError, STAGES};
+use crate::report::FlowReport;
+use crate::telemetry::{Histogram, Metric, Span, SpanKind, TelemetrySnapshot, WallSpan};
+use eda_netlist::Netlist;
+use eda_par::resolve_threads;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[allow(unused_imports)] // rustdoc link targets only.
+use crate::flow::PartialFlow;
+
+/// Bucket edges for the `server.queue_depth` histogram.
+const QUEUE_DEPTH_EDGES: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
+
+/// One design submitted to the server: what to run, how, and how urgently.
+#[derive(Debug, Clone)]
+pub struct FlowRequest {
+    /// The design to push through the flow.
+    pub design: Netlist,
+    /// The flow configuration. The server overrides `threads` with its
+    /// kernel share of the global budget and, when it has a `cache_dir`,
+    /// points the request at the shared cache; every QoR-relevant knob is
+    /// taken as-is.
+    pub config: FlowConfig,
+    /// Scheduling priority: higher runs earlier; ties keep submission order.
+    pub priority: i32,
+}
+
+impl FlowRequest {
+    /// A request at the default priority (0).
+    pub fn new(design: Netlist, config: FlowConfig) -> FlowRequest {
+        FlowRequest { design, config, priority: 0 }
+    }
+
+    /// Sets the scheduling priority (higher runs earlier).
+    pub fn with_priority(mut self, priority: i32) -> FlowRequest {
+        self.priority = priority;
+        self
+    }
+}
+
+/// The server's answer for one request, in submission order.
+#[derive(Debug)]
+pub struct FlowResponse {
+    /// Submission index of the originating request.
+    pub index: usize,
+    /// Design name (kept even when the flow fails).
+    pub design: String,
+    /// Priority the request ran at.
+    pub priority: i32,
+    /// Worker that executed the request (timing-dependent).
+    pub worker: usize,
+    /// Whether the request was stolen from another worker's deque.
+    pub stolen: bool,
+    /// Requests still queued when this one was dequeued.
+    pub queue_depth: usize,
+    /// Seconds after the batch started that this request began executing.
+    pub start_s: f64,
+    /// Wall-clock seconds this request spent executing.
+    pub wall_s: f64,
+    /// The flow result: a full [`FlowReport`], or the typed [`FlowError`]
+    /// (carrying salvageable [`PartialFlow`]) if this request — and only
+    /// this request — failed.
+    pub outcome: Result<FlowReport, FlowError>,
+}
+
+impl FlowResponse {
+    /// The report, when the flow completed.
+    pub fn report(&self) -> Option<&FlowReport> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The error, when the flow failed.
+    pub fn error(&self) -> Option<&FlowError> {
+        self.outcome.as_ref().err()
+    }
+}
+
+/// Builder for [`FlowServer`].
+#[derive(Debug, Clone, Default)]
+pub struct FlowServerBuilder {
+    threads: usize,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl FlowServerBuilder {
+    /// Global thread budget shared by workers and kernels (`0` = all cores).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Inter-design workers (`0` = auto: half the resolved budget, capped at
+    /// the batch size).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Shared stage-cache directory, overriding every request's `cache_dir`
+    /// so common flow prefixes across requests replay instead of recompute.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Produces the server.
+    pub fn build(self) -> FlowServer {
+        FlowServer { threads: self.threads, workers: self.workers, cache_dir: self.cache_dir }
+    }
+}
+
+/// A multi-design flow server: a bounded work-stealing worker pool over a
+/// shared stage cache. See the [module docs](self) for the scheduling and
+/// determinism contract.
+#[derive(Debug, Clone)]
+pub struct FlowServer {
+    threads: usize,
+    workers: usize,
+    cache_dir: Option<PathBuf>,
+}
+
+impl FlowServer {
+    /// A builder with an all-cores budget, auto worker split, and no shared
+    /// cache.
+    pub fn builder() -> FlowServerBuilder {
+        FlowServerBuilder::default()
+    }
+
+    /// Plans a batch: resolves the thread-budget split, applies the shared
+    /// cache, and deals requests into per-worker deques. The plan is a pure
+    /// function of the batch and the server config.
+    pub fn submit(&self, requests: Vec<FlowRequest>) -> FlowSession {
+        let n = requests.len();
+        let budget = resolve_threads(self.threads);
+        let workers = if self.workers == 0 {
+            (budget / 2).max(1).min(n.max(1))
+        } else {
+            self.workers.min(n.max(1))
+        };
+        let kernel_threads = (budget / workers).max(1);
+
+        let mut tasks: Vec<Task> = requests
+            .into_iter()
+            .enumerate()
+            .map(|(index, mut req)| {
+                req.config.threads = kernel_threads;
+                if let Some(dir) = &self.cache_dir {
+                    req.config.cache_dir = Some(dir.clone());
+                }
+                Task { index, priority: req.priority, design: req.design, config: req.config }
+            })
+            .collect();
+        // Priority first, submission order among equals (stable key sort).
+        tasks.sort_by_key(|t| (std::cmp::Reverse(t.priority), t.index));
+
+        let mut queues: Vec<VecDeque<Task>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (slot, task) in tasks.into_iter().enumerate() {
+            queues[slot % workers].push_back(task);
+        }
+        FlowSession { queues, workers, kernel_threads, requests: n }
+    }
+
+    /// [`submit`](Self::submit) + [`FlowSession::run`] in one call.
+    pub fn serve(&self, requests: Vec<FlowRequest>) -> ServerReport {
+        self.submit(requests).run()
+    }
+}
+
+/// One queued unit of work.
+#[derive(Debug)]
+struct Task {
+    index: usize,
+    priority: i32,
+    design: Netlist,
+    config: FlowConfig,
+}
+
+/// What one worker recorded about one executed request.
+struct RequestRecord {
+    design: String,
+    priority: i32,
+    worker: usize,
+    stolen: bool,
+    queue_depth: usize,
+    start_s: f64,
+    wall_s: f64,
+    outcome: Result<FlowReport, FlowError>,
+}
+
+/// A planned batch bound to a worker split, ready to execute.
+///
+/// Produced by [`FlowServer::submit`]; consumed by [`run`](Self::run).
+#[derive(Debug)]
+pub struct FlowSession {
+    queues: Vec<VecDeque<Task>>,
+    workers: usize,
+    kernel_threads: usize,
+    requests: usize,
+}
+
+impl FlowSession {
+    /// Requests queued in this session.
+    pub fn queued(&self) -> usize {
+        self.requests
+    }
+
+    /// Inter-design workers the session will spawn.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Threads each request's intra-stage kernels will get.
+    pub fn kernel_threads(&self) -> usize {
+        self.kernel_threads
+    }
+
+    /// Executes the batch on scoped worker threads and returns every
+    /// response (submission order) plus the server-level telemetry.
+    pub fn run(self) -> ServerReport {
+        let n = self.requests;
+        let workers = self.workers;
+        let kernel_threads = self.kernel_threads;
+        let queues: Vec<Mutex<VecDeque<Task>>> = self.queues.into_iter().map(Mutex::new).collect();
+        let slots: Vec<Mutex<Option<RequestRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let remaining = AtomicUsize::new(n);
+        let steals = AtomicU64::new(0);
+        let epoch = Instant::now();
+
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (queues, slots, remaining, steals) = (&queues, &slots, &remaining, &steals);
+                scope.spawn(move || loop {
+                    // Own deque first (front), then steal from the back of
+                    // the next non-empty victim. Work only ever shrinks, so
+                    // an all-empty sweep means this worker is done.
+                    let mut stolen = false;
+                    let mut task = queues[w].lock().expect("no poisoned worker").pop_front();
+                    if task.is_none() {
+                        for off in 1..workers {
+                            let victim = (w + off) % workers;
+                            task = queues[victim].lock().expect("no poisoned worker").pop_back();
+                            if task.is_some() {
+                                stolen = true;
+                                break;
+                            }
+                        }
+                    }
+                    let Some(task) = task else { break };
+                    if stolen {
+                        steals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let queue_depth = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
+                    let start_s = epoch.elapsed().as_secs_f64();
+                    let t0 = Instant::now();
+                    let outcome = run_flow(&task.design, &task.config);
+                    let record = RequestRecord {
+                        design: task.design.name().to_string(),
+                        priority: task.priority,
+                        worker: w,
+                        stolen,
+                        queue_depth,
+                        start_s,
+                        wall_s: t0.elapsed().as_secs_f64(),
+                        outcome,
+                    };
+                    *slots[task.index].lock().expect("no poisoned worker") = Some(record);
+                });
+            }
+        });
+        let wall_s = epoch.elapsed().as_secs_f64();
+
+        let mut responses = Vec::with_capacity(n);
+        let mut cross_design_hits = 0u64;
+        for (index, slot) in slots.into_iter().enumerate() {
+            let rec = slot
+                .into_inner()
+                .expect("workers joined")
+                .expect("every queued task is executed exactly once");
+            if let Ok(report) = &rec.outcome {
+                // Within one run a flow never reads an entry it wrote, so
+                // every hit here came from another request (or an earlier
+                // occupant of the shared cache directory).
+                cross_design_hits += counter(&report.telemetry, "cache.hits");
+            }
+            responses.push(FlowResponse {
+                index,
+                design: rec.design,
+                priority: rec.priority,
+                worker: rec.worker,
+                stolen: rec.stolen,
+                queue_depth: rec.queue_depth,
+                start_s: rec.start_s,
+                wall_s: rec.wall_s,
+                outcome: rec.outcome,
+            });
+        }
+        let steals = steals.load(Ordering::Relaxed);
+        let telemetry =
+            server_snapshot(&responses, wall_s, workers, kernel_threads, steals, cross_design_hits);
+        ServerReport {
+            responses,
+            telemetry,
+            wall_s,
+            workers,
+            kernel_threads,
+            steals,
+            cross_design_hits,
+        }
+    }
+}
+
+/// Everything one batch produced: per-request responses plus server-level
+/// telemetry and scheduling counters.
+#[derive(Debug)]
+pub struct ServerReport {
+    /// One response per request, in submission order.
+    pub responses: Vec<FlowResponse>,
+    /// Server-level snapshot: a root span, one span per request, and the
+    /// `server.queue_depth` / `server.steals` / `cache.cross_design_hits`
+    /// metrics. Unlike a flow's own snapshot, the scheduling metrics here
+    /// are timing-shaped and not golden-pinned.
+    pub telemetry: TelemetrySnapshot,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_s: f64,
+    /// Inter-design workers used.
+    pub workers: usize,
+    /// Kernel threads each request ran with.
+    pub kernel_threads: usize,
+    /// Requests executed off another worker's deque.
+    pub steals: u64,
+    /// Stage-cache hits against entries the hitting request did not itself
+    /// write — the shared-cache amortization across the batch.
+    pub cross_design_hits: u64,
+}
+
+impl ServerReport {
+    /// Requests whose flow failed (each carries its own typed error).
+    pub fn failed(&self) -> usize {
+        self.responses.iter().filter(|r| r.outcome.is_err()).count()
+    }
+
+    /// Completed requests per wall-clock second.
+    pub fn throughput_per_s(&self) -> f64 {
+        self.responses.len() as f64 / self.wall_s.max(1e-12)
+    }
+
+    /// Cross-request cache hits as a fraction of the batch's nominal stage
+    /// visits (`requests × stages`).
+    pub fn cross_hit_rate(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.cross_design_hits as f64 / (self.responses.len() * STAGES.len()) as f64
+    }
+}
+
+fn counter(snapshot: &TelemetrySnapshot, name: &str) -> u64 {
+    match snapshot.metrics.get(name) {
+        Some(Metric::Counter(v)) => *v,
+        _ => 0,
+    }
+}
+
+/// Assembles the server-level snapshot after the pool joins. The collector
+/// type (`Telemetry`) is single-threaded by design, so the server builds its
+/// snapshot directly: span structure and tags stay deterministic (submission
+/// order, design names, priorities, outcomes); worker identity, steal
+/// counts, and queue depths are timing-shaped and live in the wall section
+/// and the scheduling metrics.
+fn server_snapshot(
+    responses: &[FlowResponse],
+    wall_s: f64,
+    workers: usize,
+    kernel_threads: usize,
+    steals: u64,
+    cross_design_hits: u64,
+) -> TelemetrySnapshot {
+    let mut spans = Vec::with_capacity(responses.len() + 1);
+    let mut wall = Vec::with_capacity(responses.len() + 1);
+    spans.push(Span {
+        id: 0,
+        parent: None,
+        kind: SpanKind::Flow,
+        name: "server".into(),
+        tags: BTreeMap::from([("requests".into(), responses.len().to_string())]),
+    });
+    wall.push(WallSpan { start_s: 0.0, dur_s: wall_s, threads: workers, busy_s: Vec::new() });
+    for r in responses {
+        let outcome = match &r.outcome {
+            Ok(report) if report.stage_status.values().all(|s| s.is_clean()) => "ok".to_string(),
+            Ok(_) => "degraded".to_string(),
+            Err(e) => match e.stage() {
+                Some(stage) => format!("failed:{stage}"),
+                None => "failed".to_string(),
+            },
+        };
+        spans.push(Span {
+            id: spans.len(),
+            parent: Some(0),
+            kind: SpanKind::Stage,
+            name: format!("request:{}", r.index),
+            tags: BTreeMap::from([
+                ("design".into(), r.design.clone()),
+                ("priority".into(), r.priority.to_string()),
+                ("outcome".into(), outcome),
+            ]),
+        });
+        wall.push(WallSpan {
+            start_s: r.start_s,
+            dur_s: r.wall_s,
+            threads: kernel_threads,
+            busy_s: Vec::new(),
+        });
+    }
+    let mut depth = Histogram::new(&QUEUE_DEPTH_EDGES);
+    for r in responses {
+        depth.observe(r.queue_depth as f64);
+    }
+    let metrics = BTreeMap::from([
+        ("cache.cross_design_hits".to_string(), Metric::Counter(cross_design_hits)),
+        ("server.queue_depth".to_string(), Metric::Histogram(depth)),
+        ("server.requests".to_string(), Metric::Counter(responses.len() as u64)),
+        ("server.steals".to_string(), Metric::Counter(steals)),
+        ("server.workers".to_string(), Metric::Gauge(workers as f64)),
+    ]);
+    TelemetrySnapshot { spans, metrics, wall }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eda_netlist::generate;
+    use eda_tech::Node;
+
+    fn tiny_request(priority: i32) -> FlowRequest {
+        let design = generate::ripple_carry_adder(2).expect("generator is valid");
+        FlowRequest::new(design, FlowConfig::basic_2006(Node::N90)).with_priority(priority)
+    }
+
+    #[test]
+    fn budget_splits_between_workers_and_kernels() {
+        let server = FlowServer::builder().threads(8).build();
+        let session = server.submit((0..4).map(tiny_request).collect());
+        assert_eq!(session.workers(), 4, "auto split spends half the budget on workers");
+        assert_eq!(session.kernel_threads(), 2);
+
+        let session = server.submit(vec![tiny_request(0)]);
+        assert_eq!(session.workers(), 1, "workers never exceed the batch");
+        assert_eq!(session.kernel_threads(), 8);
+
+        let server = FlowServer::builder().threads(4).workers(3).build();
+        let session = server.submit((0..8).map(tiny_request).collect());
+        assert_eq!(session.workers(), 3);
+        assert_eq!(session.kernel_threads(), 1);
+    }
+
+    #[test]
+    fn plan_orders_by_priority_then_submission() {
+        let server = FlowServer::builder().threads(1).workers(1).build();
+        let session =
+            server.submit(vec![tiny_request(0), tiny_request(5), tiny_request(5), tiny_request(9)]);
+        let order: Vec<usize> = session.queues[0].iter().map(|t| t.index).collect();
+        assert_eq!(order, vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_batch_returns_an_empty_report() {
+        let report = FlowServer::builder().threads(2).build().serve(Vec::new());
+        assert!(report.responses.is_empty());
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.cross_design_hits, 0);
+        assert_eq!(report.cross_hit_rate(), 0.0);
+        assert_eq!(report.telemetry.spans.len(), 1, "just the root server span");
+    }
+
+    #[test]
+    fn responses_come_back_in_submission_order_with_spans() {
+        let server = FlowServer::builder().threads(2).build();
+        let report = server.serve(vec![tiny_request(0), tiny_request(7)]);
+        assert_eq!(report.responses.len(), 2);
+        for (i, r) in report.responses.iter().enumerate() {
+            assert_eq!(r.index, i);
+            assert!(r.outcome.is_ok());
+        }
+        assert_eq!(report.telemetry.spans.len(), 3);
+        assert_eq!(report.telemetry.spans[1].name, "request:0");
+        assert_eq!(report.telemetry.spans[2].name, "request:1");
+        assert_eq!(
+            report.telemetry.metrics.get("server.requests"),
+            Some(&Metric::Counter(2))
+        );
+        assert!(matches!(
+            report.telemetry.metrics.get("server.queue_depth"),
+            Some(Metric::Histogram(h)) if h.samples() == 2
+        ));
+    }
+}

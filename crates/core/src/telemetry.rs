@@ -105,11 +105,11 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    fn new(edges: &[f64]) -> Histogram {
+    pub(crate) fn new(edges: &[f64]) -> Histogram {
         Histogram { edges: edges.to_vec(), counts: vec![0; edges.len() + 1] }
     }
 
-    fn observe(&mut self, value: f64) {
+    pub(crate) fn observe(&mut self, value: f64) {
         let idx = self.edges.iter().position(|e| value <= *e).unwrap_or(self.edges.len());
         self.counts[idx] += 1;
     }

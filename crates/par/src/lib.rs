@@ -107,6 +107,29 @@ impl ParStats {
     pub fn projected_speedup(&self) -> f64 {
         self.total_cpu_s() / self.projected_wall_s()
     }
+
+    /// [`projected_speedup`](Self::projected_speedup) clamped to what the
+    /// measured wall clocks can actually support.
+    ///
+    /// On tiny dispatches the per-thread CPU clock under-ticks: workers
+    /// finish below the clock's resolution, the busiest-worker denominator
+    /// collapses toward the `1e-12` floor, and the raw ratio reports
+    /// super-unity per-worker speedups that no hardware produced (the
+    /// placer artifact at 8+ workers on tiny designs). Two bounds restore
+    /// physical meaning:
+    ///
+    /// * a dispatch over `threads` workers cannot beat `threads`× — the
+    ///   per-worker speedup is capped at 1;
+    /// * when the busiest worker burned less CPU than the clock can
+    ///   credibly resolve (`< 1 µs`), the measurement carries no evidence
+    ///   of parallel speedup at all, so the projection falls back to 1.0.
+    pub fn bounded_speedup(&self) -> f64 {
+        const MIN_MEASURABLE_BUSY_S: f64 = 1e-6;
+        if self.projected_wall_s() < MIN_MEASURABLE_BUSY_S {
+            return 1.0;
+        }
+        self.projected_speedup().clamp(1.0, self.threads.max(1) as f64)
+    }
 }
 
 /// Picks a chunk size from the input length alone (never the thread count),
@@ -309,6 +332,29 @@ mod tests {
         assert!(stats.wall_s >= 0.0);
         assert!(stats.projected_wall_s() > 0.0);
         assert!(stats.projected_speedup() >= 0.5);
+    }
+
+    #[test]
+    fn bounded_speedup_stays_within_wall_clock_bounds() {
+        // Under-resolution busy clocks: no evidence of parallelism → 1.0.
+        let tiny = ParStats { threads: 8, chunks: 8, wall_s: 0.0, busy_s: vec![1e-9; 8] };
+        assert!(tiny.projected_speedup() > 1.0, "raw projection over-reports");
+        assert_eq!(tiny.bounded_speedup(), 1.0);
+
+        // All-zero busy clocks (raw projection reads 0.0) also fall back.
+        let zero = ParStats { threads: 8, chunks: 8, wall_s: 0.0, busy_s: vec![0.0; 8] };
+        assert_eq!(zero.bounded_speedup(), 1.0);
+
+        // A healthy dispatch passes through unchanged…
+        let good = ParStats { threads: 4, chunks: 64, wall_s: 0.1, busy_s: vec![0.1; 4] };
+        assert!((good.bounded_speedup() - good.projected_speedup()).abs() < 1e-12);
+
+        // …and per-worker speedup never exceeds 1 even if absorbed records
+        // skew the slot accounting.
+        let mut skew = ParStats { threads: 2, chunks: 4, wall_s: 0.1, busy_s: vec![0.05, 0.05] };
+        skew.absorb(&ParStats { threads: 8, chunks: 8, wall_s: 0.1, busy_s: vec![0.01; 8] });
+        assert!(skew.bounded_speedup() <= skew.threads as f64);
+        assert!(skew.bounded_speedup() >= 1.0);
     }
 
     #[test]

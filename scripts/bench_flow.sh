@@ -14,6 +14,11 @@
 # emitted as BENCH_incremental.json (cold/warm wall clocks, % of stages
 # skipped, and the route kernel's serial-vs-parallel row for context).
 #
+# Also runs the flow-server benchmark (`experiments serve`): a 4-request
+# batch through the work-stealing server over one shared stage cache vs the
+# same requests run sequentially, emitted as BENCH_server.json (wall clocks,
+# throughput, cross-design cache hits, steals, QoR bit-identity).
+#
 # Usage: scripts/bench_flow.sh [N]    worker threads for the parallel pass
 #                                     (default $EDA_BENCH_THREADS or 4)
 #
@@ -106,3 +111,36 @@ INCR="$(./target/release/experiments --incremental --cache-dir "$INCR_DIR" --thr
 
 echo "bench_flow: wrote $INCR_OUT" >&2
 cat "$INCR_OUT"
+
+# ---- flow-server benchmark -> BENCH_server.json ----
+SERVE_OUT="BENCH_server.json"
+SERVE_DIR="$(mktemp -d)"
+trap 'rm -rf "$INCR_DIR" "$SERVE_DIR"' EXIT
+
+echo "bench_flow: server pass (4-request batch, $N-thread budget)" >&2
+SERVE="$(./target/release/experiments serve --batch 4 --threads "$N" --cache-dir "$SERVE_DIR" \
+    | grep '^SERVLINE ')"
+
+printf '%s\n' "$SERVE" | awk '
+    /^SERVLINE/ { v[$2] = $3 + 0 }
+    END {
+        printf "{\n"
+        printf "  \"batch\": %d,\n", v["batch"]
+        printf "  \"distinct_designs\": %d,\n", v["distinct"]
+        printf "  \"workers\": %d,\n", v["workers"]
+        printf "  \"kernel_threads\": %d,\n", v["kernel_threads"]
+        printf "  \"sequential_s\": %.6f,\n", v["serial_s"]
+        printf "  \"server_s\": %.6f,\n", v["server_s"]
+        printf "  \"speedup\": %.2f,\n", v["speedup"]
+        printf "  \"throughput_per_s\": %.3f,\n", v["throughput_per_s"]
+        printf "  \"steals\": %d,\n", v["steals"]
+        printf "  \"cross_design_hits\": %d,\n", v["cross_design_hits"]
+        printf "  \"cross_hit_rate\": %.4f,\n", v["cross_hit_rate"]
+        printf "  \"failed\": %d,\n", v["failed"]
+        printf "  \"same_qor\": %s\n", v["same_qor"] ? "true" : "false"
+        printf "}\n"
+    }
+' > "$SERVE_OUT"
+
+echo "bench_flow: wrote $SERVE_OUT" >&2
+cat "$SERVE_OUT"

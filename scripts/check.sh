@@ -40,10 +40,21 @@ assert os.path.getsize(os.path.join(d, "smoke.trace.folded")) > 0, "folded stack
 print(f"check: trace OK ({len(trace['traceEvents'])} spans, {len(metrics)} metrics)")
 PY
 
+# Flow-server smoke: a 4-request batch through the work-stealing server at
+# a 4-thread budget must beat sequential by >= 1.5x with cross-design cache
+# hits and bit-identical QoR (the tool itself asserts all three).
+serve_cache="$(mktemp -d)"
+trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache"' EXIT
+./target/release/experiments serve --batch 4 --threads 4 --cache-dir "$serve_cache"
+
+# Facade doc-tests: the crate-root examples in src/lib.rs (run_flow via the
+# config builder + the flow-server batch) must keep compiling and passing.
+cargo test --release -q --doc -p eda
+
 # Incremental-flow smoke: cold run populates the stage cache, warm run must
 # replay >= 8 stages with bit-identical QoR (the tool itself asserts both).
 cache_dir="$(mktemp -d)"
-trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$cache_dir"' EXIT
+trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$cache_dir"' EXIT
 ./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4
 
 # Poisoned-cache smoke: truncate one entry; the next run must report exactly
@@ -68,4 +79,4 @@ cargo test --release -q --test golden
 awk '/^test result:/ { passed += $4; failed += $6 }
      END { printf "check: %d tests passed, %d failed across all binaries\n", passed, failed
            exit (failed > 0) }' "$test_log"
-echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + incremental + golden green"
+echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + serve + facade docs + incremental + golden green"

@@ -1,15 +1,54 @@
-//! Umbrella crate re-exporting every subsystem of the `eda` workspace.
+//! The `eda` facade: one crate, one namespace, the whole flow.
 //!
-//! See [`eda_core`] for the integrated flow, and the individual subsystem
-//! crates for the substrates it builds on.
+//! Everything a downstream user needs lives at the crate root — running a
+//! flow ([`run_flow`], [`FlowConfig`], [`FlowReport`], [`FlowError`]),
+//! serving many designs through one flow ([`FlowServer`], [`FlowRequest`],
+//! [`FlowResponse`]), and exporting telemetry ([`TelemetrySnapshot`] with
+//! its `deterministic_text` / `chrome_trace_json` / `metrics_json` /
+//! `folded_stacks` exports). The subsystem crates remain reachable under
+//! their module aliases (`eda::netlist`, `eda::tech`, …) for anything not
+//! re-exported.
 //!
 //! # Examples
 //!
+//! Run one design through the flow:
+//!
 //! ```
-//! use eda::netlist::Netlist;
-//! let n = Netlist::new("top");
-//! assert_eq!(n.name(), "top");
+//! use eda::{run_flow, FlowConfig};
+//! use eda::netlist::generate;
+//! use eda::tech::Node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = generate::ripple_carry_adder(8)?;
+//! let cfg = FlowConfig::builder().name("quickstart").node(Node::N28).threads(1).build()?;
+//! let report = run_flow(&design, &cfg)?;
+//! assert!(report.cell_area_um2 > 0.0);
+//! let _trace = report.telemetry.chrome_trace_json();
+//! # Ok(())
+//! # }
 //! ```
+//!
+//! Serve a batch of designs through one server sharing a stage cache:
+//!
+//! ```no_run
+//! use eda::{FlowConfig, FlowRequest, FlowServer};
+//! use eda::netlist::generate;
+//! use eda::tech::Node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let cfg = FlowConfig::builder().node(Node::N28).build()?;
+//! let batch = vec![
+//!     FlowRequest::new(generate::parity_tree(8)?, cfg.clone()).with_priority(1),
+//!     FlowRequest::new(generate::ripple_carry_adder(8)?, cfg),
+//! ];
+//! let server = FlowServer::builder().threads(4).cache_dir("/tmp/eda-cache").build();
+//! let report = server.serve(batch);
+//! assert_eq!(report.responses.len(), 2);
+//! println!("{:.1} designs/s", report.throughput_per_s());
+//! # Ok(())
+//! # }
+//! ```
+
 pub use eda_core as core;
 pub use eda_dft as dft;
 pub use eda_par as par;
@@ -22,3 +61,10 @@ pub use eda_route as route;
 pub use eda_smart as smart;
 pub use eda_sta as sta;
 pub use eda_tech as tech;
+
+pub use eda_core::{
+    run_flow, ConfigError, Fault, FaultPlan, FlowConfig, FlowConfigBuilder, FlowError,
+    FlowReport, FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession,
+    FlowTuner, Metric, PartialFlow, ServerReport, Span, SpanKind, StageStatus, Telemetry,
+    TelemetrySnapshot, STAGES,
+};

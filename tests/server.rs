@@ -1,0 +1,216 @@
+//! Flow-server contract: a batch served through the work-stealing pool is
+//! bit-identical to running each request sequentially, at every worker
+//! count; a fault in one request degrades only that request; and repeated
+//! requests replay their siblings' stage-cache entries.
+//!
+//! Scheduling-shaped observables (which worker ran what, steal counts,
+//! queue depths) may vary run to run — these tests only pin the invariants
+//! the server promises: submission-order responses, `same_qor` against the
+//! sequential runs, typed per-request errors, and cache accounting.
+
+use eda_core::{
+    run_flow, Fault, FaultPlan, FlowConfig, FlowError, FlowReport, FlowRequest, FlowServer,
+    Metric, STAGES,
+};
+use eda_netlist::{generate, Netlist};
+use eda_tech::Node;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A scratch cache directory, unique per test and per process.
+fn scratch(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let n = N.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("eda_serve_{}_{tag}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn smoke_cfg() -> FlowConfig {
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = 1;
+    cfg
+}
+
+fn counter(report: &FlowReport, name: &str) -> u64 {
+    match report.telemetry.metrics.get(name) {
+        Some(Metric::Counter(n)) => *n,
+        _ => 0,
+    }
+}
+
+/// Three genuinely different smoke designs, plus their shared config.
+fn mixed_batch() -> Vec<FlowRequest> {
+    let cfg = smoke_cfg();
+    vec![
+        FlowRequest::new(generate::switch_fabric(3, 3).unwrap(), cfg.clone()),
+        FlowRequest::new(generate::parity_tree(16).unwrap(), cfg.clone()),
+        FlowRequest::new(generate::ripple_carry_adder(16).unwrap(), cfg),
+    ]
+}
+
+/// The sequential ground truth for a batch: each request run on its own,
+/// same config, no shared state.
+fn sequential(requests: &[FlowRequest]) -> Vec<FlowReport> {
+    requests
+        .iter()
+        .map(|r| run_flow(&r.design, &r.config).unwrap())
+        .collect()
+}
+
+#[test]
+fn batch_is_bit_identical_to_sequential_at_every_worker_count() {
+    let requests = mixed_batch();
+    let serial = sequential(&requests);
+    let dir = scratch("workers");
+    for workers in [1usize, 2, 4, 8] {
+        let server = FlowServer::builder().threads(workers).workers(workers).cache_dir(&dir).build();
+        let report = server.serve(requests.clone());
+        assert_eq!(report.workers, workers.min(requests.len()));
+        assert_eq!(report.responses.len(), requests.len());
+        assert_eq!(report.failed(), 0);
+        for (i, resp) in report.responses.iter().enumerate() {
+            assert_eq!(resp.index, i, "responses come back in submission order");
+            assert_eq!(resp.design, requests[i].design.name());
+            let flow = resp.report().expect("request succeeded");
+            assert!(
+                flow.same_qor(&serial[i]),
+                "request {i} at {workers} workers must match its sequential run"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fault_in_one_request_degrades_only_that_request() {
+    let mut requests = mixed_batch();
+    // Fail routing on every attempt for the middle request only: its
+    // two-attempt budget exhausts and the request dies with a typed error.
+    requests[1].config.fault_plan = Some(FaultPlan::new(7).with("route", None, Fault::Fail));
+    let serial_ok = [
+        run_flow(&requests[0].design, &requests[0].config).unwrap(),
+        run_flow(&requests[2].design, &requests[2].config).unwrap(),
+    ];
+
+    let server = FlowServer::builder().threads(2).workers(2).build();
+    let report = server.serve(requests);
+    assert_eq!(report.failed(), 1, "exactly the faulted request fails");
+
+    let failed = &report.responses[1];
+    match failed.error().expect("the faulted request must fail") {
+        FlowError::BudgetExhausted { stage, partial, .. } => {
+            assert_eq!(*stage, "7_route");
+            assert!(
+                partial.statuses.contains_key("1_synthesis"),
+                "the partial flow keeps the stages that finished before the fault"
+            );
+        }
+        other => panic!("expected BudgetExhausted, got {other}"),
+    }
+
+    // The siblings are untouched: same QoR as their solo runs.
+    let ok0 = report.responses[0].report().expect("request 0 unaffected");
+    let ok2 = report.responses[2].report().expect("request 2 unaffected");
+    assert!(ok0.same_qor(&serial_ok[0]));
+    assert!(ok2.same_qor(&serial_ok[1]));
+}
+
+#[test]
+fn repeated_request_replays_the_shared_cache() {
+    // One worker executes the batch strictly in order, so the repeat is
+    // guaranteed to find every entry its primary wrote: a full warm replay.
+    let dir = scratch("warm");
+    let design = generate::switch_fabric(3, 3).unwrap();
+    let requests = vec![
+        FlowRequest::new(design.clone(), smoke_cfg()).with_priority(1),
+        FlowRequest::new(design, smoke_cfg()),
+    ];
+    let server = FlowServer::builder().threads(1).workers(1).cache_dir(&dir).build();
+    let report = server.serve(requests);
+
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.steals, 0, "one worker has nobody to steal from");
+    assert_eq!(
+        report.cross_design_hits,
+        STAGES.len() as u64,
+        "the repeat must replay every stage from the primary's entries"
+    );
+    let primary = report.responses[0].report().unwrap();
+    let repeat = report.responses[1].report().unwrap();
+    assert_eq!(counter(primary, "cache.hits"), 0, "the primary runs cold");
+    assert_eq!(counter(repeat, "cache.hits"), STAGES.len() as u64);
+    assert!(primary.same_qor(repeat), "a cache replay is bit-identical");
+
+    // The server snapshot carries the accounting and one span per request.
+    match report.telemetry.metrics.get("cache.cross_design_hits") {
+        Some(Metric::Counter(n)) => assert_eq!(*n, STAGES.len() as u64),
+        other => panic!("expected a cross-design hit counter, got {other:?}"),
+    }
+    match report.telemetry.metrics.get("server.requests") {
+        Some(Metric::Counter(n)) => assert_eq!(*n, 2),
+        other => panic!("expected a request counter, got {other:?}"),
+    }
+    let request_spans = report
+        .telemetry
+        .spans
+        .iter()
+        .filter(|s| s.name.starts_with("request:"))
+        .count();
+    assert_eq!(request_spans, 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stage_speedups_stay_within_wall_clock_bounds() {
+    // Regression for the placer's 8+-worker super-unity projections: every
+    // reported per-stage speedup must sit inside [1, threads granted to the
+    // stage] — a projection can never beat the workers it ran on.
+    let design = generate::switch_fabric(3, 3).unwrap();
+    let mut cfg = FlowConfig::advanced_2016(Node::N10);
+    cfg.threads = 8;
+    let report = run_flow(&design, &cfg).unwrap();
+    assert!(!report.stage_speedup.is_empty(), "parallel stages report speedups");
+    for (stage, speedup) in &report.stage_speedup {
+        let granted = report.stage_threads.get(stage).copied().unwrap_or(8) as f64;
+        assert!(
+            (1.0..=granted).contains(speedup),
+            "{stage}: projected speedup {speedup:.3} outside [1, {granted}]"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any batch of perturbed netlists: serving it matches running it.
+    #[test]
+    fn served_batch_matches_sequential_for_arbitrary_netlists(
+        gates in 40usize..120,
+        design_seed in 0u64..1_000,
+        batch in 2usize..5,
+    ) {
+        let requests: Vec<FlowRequest> = (0..batch)
+            .map(|i| {
+                let design: Netlist = generate::random_logic(generate::RandomLogicConfig {
+                    gates: gates + 7 * i,
+                    seed: design_seed + i as u64,
+                    ..Default::default()
+                })
+                .unwrap();
+                FlowRequest::new(design, smoke_cfg())
+            })
+            .collect();
+        let serial = sequential(&requests);
+        let dir = scratch("prop");
+        let server = FlowServer::builder().threads(4).cache_dir(&dir).build();
+        let report = server.serve(requests);
+        prop_assert_eq!(report.failed(), 0);
+        for (i, resp) in report.responses.iter().enumerate() {
+            let flow = resp.report().expect("request succeeded");
+            prop_assert!(flow.same_qor(&serial[i]), "request {} diverged", i);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
