@@ -8,6 +8,8 @@
 //! cargo run --release -p eda-bench --bin experiments serve --batch 4 --threads 4
 //! cargo run --release -p eda-bench --bin experiments incremental
 //! cargo run --release -p eda-bench --bin experiments trace flow.trace.json
+//! cargo run --release -p eda-bench --bin experiments daemon serve --socket /tmp/flowd.sock
+//! cargo run --release -p eda-bench --bin experiments daemon submit --socket /tmp/flowd.sock --count 4 --verify
 //! ```
 //!
 //! Subcommands (see `--help` for every option):
@@ -28,6 +30,13 @@
 //!   bit-identical QoR.
 //! * `trace OUT.json` — run the smoke flow once and write its telemetry
 //!   (Chrome-trace JSON, flat metrics JSON, folded stacks).
+//! * `daemon serve|submit|ping|shutdown` — the network-facing flow daemon
+//!   (DESIGN.md §11): `serve` runs until drained and exits 0; `submit`
+//!   drives a batch over the socket (with `--deadline-ms`,
+//!   `--inject IDX:SPEC` per-request stage faults, `--xfault` transport
+//!   sabotage, and `--verify` for the bit-identical solo-replay check);
+//!   `ping` prints lifetime stats; `shutdown` asks for graceful drain.
+//!   All print machine-readable DAEMONLINE rows.
 //!
 //! Every subcommand shares one typed `Options` struct: `--threads N` (one
 //! global budget for every parallel kernel — and, under `serve`, the
@@ -47,7 +56,11 @@
 // panic: everything fallible routes through `CliError`.
 #![deny(clippy::unwrap_used)]
 
-use eda_core::{run_flow, Arm, FaultPlan, FlowConfig, FlowRequest, FlowServer, FlowTuner};
+use eda_core::{
+    run_flow, Arm, Daemon, DaemonClient, DaemonConfig, DesignSpec, Endpoint, FaultPlan,
+    FlowConfig, FlowRequest, FlowServer, FlowTuner, RejectReason, RetryPolicy, SubmitSpec,
+    Terminal, TransportFaultPlan,
+};
 use eda_dft::{
     bypass_fault_sim, compressed_fault_sim, fault_list, insert_scan, reorder_chains, run_atpg,
     scan_wirelength, AtpgConfig, CombView, TestAccess,
@@ -124,6 +137,8 @@ enum Command {
     Incremental,
     /// Smoke flow once, telemetry written to disk.
     Trace,
+    /// Long-lived socket daemon (`daemon serve|submit|ping|shutdown`).
+    Daemon,
 }
 
 /// One typed option set shared by every subcommand.
@@ -146,6 +161,24 @@ struct Options {
     child: bool,
     /// Claim ids for `run` (empty = all).
     claims: Vec<String>,
+    /// `daemon` verb: `serve`, `submit`, `ping`, or `shutdown`.
+    verb: Option<String>,
+    /// `--socket PATH`: the daemon's Unix socket.
+    socket: Option<String>,
+    /// `--tcp ADDR`: optional TCP endpoint for `daemon serve`.
+    tcp: Option<String>,
+    /// `--queue N`: admission high-water mark for `daemon serve`.
+    queue: usize,
+    /// `--count N`: requests per `daemon submit`.
+    count: usize,
+    /// `--deadline-ms N`: per-request deadline for `daemon submit`.
+    deadline_ms: Option<u64>,
+    /// `--verify`: replay each completed submit solo and compare QoR
+    /// fingerprints (the end-to-end determinism check).
+    verify: bool,
+    /// `--xfault SPEC`: deterministic transport-fault plan applied to the
+    /// `daemon submit` client itself (`conn-drop@N,frame-garbage@N,stall@N`).
+    xfault: Option<String>,
 }
 
 impl Default for Options {
@@ -159,6 +192,14 @@ impl Default for Options {
             workers: 0,
             child: false,
             claims: Vec::new(),
+            verb: None,
+            socket: None,
+            tcp: None,
+            queue: 8,
+            count: 4,
+            deadline_ms: None,
+            verify: false,
+            xfault: None,
         }
     }
 }
@@ -183,6 +224,13 @@ SUBCOMMANDS:
                        bit-identical QoR
     trace OUT.json     run the smoke flow once; write Chrome-trace JSON,
                        OUT.metrics.json, and OUT.folded
+    daemon VERB        long-lived flow daemon over a Unix socket:
+                         serve      bind --socket and serve until drained
+                                    (shutdown frame or SIGTERM); exits 0
+                         submit     send --count requests, stream stage
+                                    events, print DAEMONLINE rows
+                         ping       liveness probe + lifetime stats
+                         shutdown   graceful drain, then print final stats
 
 OPTIONS (shared by every subcommand):
     --threads N        global thread budget, 0 = all cores (default 0);
@@ -190,9 +238,21 @@ OPTIONS (shared by every subcommand):
     --cache-dir DIR    shared content-addressed stage cache directory
     --inject SPEC      deterministic fault plan: smoke, random:N, or a comma
                        list of stage=fail|timeout|degrade[@invocation]
-                       (run: supervised faulted flow; trace: faulted trace)
+                       (run: supervised faulted flow; trace: faulted trace;
+                       serve / daemon submit: prefix with a request index,
+                       e.g. `2:route=fail@1`, `;`-separated for several)
     --batch N          serve: requests per batch (default 4)
-    --workers W        serve: inter-design workers, 0 = auto split (default)
+    --workers W        serve: inter-design workers, 0 = auto split (default);
+                       daemon serve: flow workers (default 2)
+    --socket PATH      daemon: Unix socket path (required)
+    --tcp ADDR         daemon serve: also listen on this TCP address
+    --queue N          daemon serve: admission high-water mark (default 8)
+    --count N          daemon submit: number of requests (default 4)
+    --deadline-ms N    daemon submit: per-request deadline from admission
+    --verify           daemon submit: replay each completed request solo and
+                       require bit-identical QoR fingerprints
+    --xfault SPEC      daemon submit: sabotage the client deterministically
+                       (conn-drop@N | frame-garbage@N | stall@N, comma list)
     -h, --help         this text
 
 DEPRECATED (kept for compatibility, prefer the subcommands):
@@ -247,6 +307,28 @@ fn parse_args() -> Result<(Command, Options), CliError> {
             _ if a.starts_with("--cache-dir=") => {
                 opts.cache_dir = Some(value_of("--cache-dir="));
             }
+            "--socket" => opts.socket = Some(take("--socket", args.next())?),
+            _ if a.starts_with("--socket=") => opts.socket = Some(value_of("--socket=")),
+            "--tcp" => opts.tcp = Some(take("--tcp", args.next())?),
+            _ if a.starts_with("--tcp=") => opts.tcp = Some(value_of("--tcp=")),
+            "--queue" => opts.queue = count("--queue", args.next())?.max(1),
+            _ if a.starts_with("--queue=") => {
+                opts.queue = count("--queue", Some(value_of("--queue=")))?.max(1);
+            }
+            "--count" => opts.count = count("--count", args.next())?.max(1),
+            _ if a.starts_with("--count=") => {
+                opts.count = count("--count", Some(value_of("--count=")))?.max(1);
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(count("--deadline-ms", args.next())? as u64);
+            }
+            _ if a.starts_with("--deadline-ms=") => {
+                opts.deadline_ms =
+                    Some(count("--deadline-ms", Some(value_of("--deadline-ms=")))? as u64);
+            }
+            "--verify" => opts.verify = true,
+            "--xfault" => opts.xfault = Some(take("--xfault", args.next())?),
+            _ if a.starts_with("--xfault=") => opts.xfault = Some(value_of("--xfault=")),
             // Deprecated mode-selector spellings (see --help).
             "--trace" => {
                 opts.trace_out =
@@ -272,8 +354,12 @@ fn parse_args() -> Result<(Command, Options), CliError> {
                 cmd = Some(Command::Incremental);
             }
             "trace" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Trace),
+            "daemon" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Daemon),
             _ if cmd == Some(Command::Trace) && opts.trace_out.is_none() => {
                 opts.trace_out = Some(raw);
+            }
+            _ if cmd == Some(Command::Daemon) && opts.verb.is_none() => {
+                opts.verb = Some(a.clone());
             }
             _ => opts.claims.push(a),
         }
@@ -286,6 +372,7 @@ fn parse_args() -> Result<(Command, Options), CliError> {
                 Command::Serve => "serve",
                 Command::Incremental => "incremental",
                 Command::Trace => "trace",
+                Command::Daemon => "daemon",
                 Command::Run => unreachable!("run accepts claims"),
             },
             opts.claims.join(" ")
@@ -309,6 +396,7 @@ fn run() -> CliResult {
             trace_demo(path, opts.threads, opts.inject.as_deref())
         }
         Command::Serve => serve_demo(&opts),
+        Command::Daemon => daemon_demo(&opts),
         Command::Run => {
             if let Some(spec) = &opts.inject {
                 return inject_demo(spec, opts.threads);
@@ -495,6 +583,27 @@ fn serve_demo(opts: &Options) -> CliResult {
         requests.push(FlowRequest::new(primary.design, primary.config).with_priority(0));
     }
 
+    // `--inject INDEX:SPEC[;INDEX:SPEC...]`: deterministic fault plans
+    // targeting individual requests of the batch.
+    let injected = match &opts.inject {
+        None => Vec::new(),
+        Some(spec) => parse_indexed_injects(spec, batch)?,
+    };
+    for (idx, spec) in &injected {
+        requests[*idx].config.fault_plan = Some(FaultPlan::parse(spec, 42)?);
+        println!("request {idx} runs under fault plan `{spec}`");
+    }
+    // Keep (design, config) clones of the injected requests for the
+    // reproducibility self-check after the batch.
+    let injected_checks: Vec<(usize, Netlist, FlowConfig)> = injected
+        .iter()
+        .map(|(idx, _)| {
+            let mut cfg = requests[*idx].config.clone();
+            cfg.threads = opts.threads;
+            (*idx, requests[*idx].design.clone(), cfg)
+        })
+        .collect();
+
     let dir: PathBuf = match &opts.cache_dir {
         Some(d) => PathBuf::from(d),
         None => std::env::temp_dir().join(format!("eda_serve_{}", std::process::id())),
@@ -573,6 +682,7 @@ fn serve_demo(opts: &Options) -> CliResult {
     println!("SERVLINE cross_hit_rate {:.4}", report.cross_hit_rate());
     println!("SERVLINE failed {}", report.failed());
     println!("SERVLINE same_qor {}", all_same as u32);
+    println!("SERVLINE injected {}", injected.len());
 
     if !all_ok {
         return Err(CliError(format!("{} request(s) failed", report.failed())));
@@ -580,12 +690,30 @@ fn serve_demo(opts: &Options) -> CliResult {
     if !all_same {
         return Err(CliError("server QoR diverged from sequential per-design runs".into()));
     }
+    // Reproducibility self-check, as `run --inject` does: a third run of
+    // each faulted request must match its sequential baseline bit-for-bit —
+    // the injection layer is keyed on (stage, invocation), never wall clock.
+    for (idx, design, cfg) in &injected_checks {
+        let again = run_flow(design, cfg)
+            .map_err(|e| CliError(format!("injected request {idx} replay failed: {e}")))?;
+        if !again.same_qor(&serial[*idx]) {
+            return Err(CliError(format!(
+                "injected request {idx} is not reproducible (QoR drifted between identical runs)"
+            )));
+        }
+    }
+    if !injected_checks.is_empty() {
+        println!("{} injected request(s) reproduce bit-identically", injected_checks.len());
+    }
     // Repeats are guaranteed to land on the same worker as their primary
     // (hence run warm, sequentially after it) only when the primaries deal
     // round-robin without wrapping unevenly; gate the throughput and
     // cache-hit requirements on that combination so odd --batch/--workers
     // explorations still print rows without failing.
-    let blessed = batch > distinct && distinct.is_multiple_of(report.workers);
+    // Fault plans disable the stage cache for their request and add retry
+    // work, so the throughput/cache thresholds only apply to clean batches.
+    let blessed =
+        batch > distinct && distinct.is_multiple_of(report.workers) && injected.is_empty();
     if blessed {
         if report.cross_design_hits == 0 {
             return Err(CliError(
@@ -604,6 +732,237 @@ fn serve_demo(opts: &Options) -> CliResult {
     } else {
         println!("serve: non-blessed batch/worker combination, thresholds not enforced");
     }
+    Ok(())
+}
+
+/// Parses `--inject` entries of the form `INDEX:SPEC` (`;`-separated, since
+/// SPEC itself may contain commas) into per-request fault specs, validating
+/// each SPEC against the fault grammar up front.
+fn parse_indexed_injects(spec: &str, batch: usize) -> Result<Vec<(usize, String)>, CliError> {
+    let mut out = Vec::new();
+    for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let (idx, plan) = entry.split_once(':').ok_or_else(|| {
+            CliError(format!(
+                "per-request inject wants INDEX:SPEC (e.g. `2:route=fail@1`), got `{entry}`"
+            ))
+        })?;
+        let idx: usize = idx
+            .trim()
+            .parse()
+            .map_err(|_| CliError(format!("bad request index in `{entry}`")))?;
+        if idx >= batch {
+            return Err(CliError(format!(
+                "inject index {idx} out of range (batch of {batch})"
+            )));
+        }
+        let plan = plan.trim();
+        FaultPlan::parse(plan, 42)?;
+        out.push((idx, plan.to_string()));
+    }
+    Ok(out)
+}
+
+/// `daemon VERB`: the network-facing flow daemon (DESIGN.md §11).
+fn daemon_demo(opts: &Options) -> CliResult {
+    let verb = opts.verb.as_deref().ok_or(CliError(
+        "daemon needs a verb: serve, submit, ping, or shutdown (see --help)".into(),
+    ))?;
+    let socket = opts.socket.as_deref().ok_or(CliError(
+        "daemon needs --socket PATH (e.g. --socket /tmp/flowd.sock)".into(),
+    ))?;
+    match verb {
+        "serve" => daemon_serve(opts, socket),
+        "submit" => daemon_submit(opts, socket),
+        "ping" => daemon_ping(socket),
+        "shutdown" => daemon_shutdown(socket),
+        other => Err(CliError(format!(
+            "unknown daemon verb `{other}` (want serve, submit, ping, or shutdown)"
+        ))),
+    }
+}
+
+fn print_daemon_stats(stats: &eda_core::DaemonStats) {
+    println!("DAEMONLINE accepted {}", stats.accepted);
+    println!("DAEMONLINE rejected {}", stats.rejected());
+    println!("DAEMONLINE rejected_full {}", stats.rejected_full);
+    println!("DAEMONLINE rejected_draining {}", stats.rejected_draining);
+    println!("DAEMONLINE rejected_bad {}", stats.rejected_bad);
+    println!("DAEMONLINE completed {}", stats.completed);
+    println!("DAEMONLINE failed {}", stats.failed);
+    println!("DAEMONLINE protocol_errors {}", stats.protocol_errors);
+    println!("DAEMONLINE disconnects {}", stats.disconnects);
+}
+
+/// `daemon serve`: bind the socket(s) and serve until drained (a `shutdown`
+/// frame or SIGTERM), then print lifetime stats and exit 0.
+fn daemon_serve(opts: &Options, socket: &str) -> CliResult {
+    let mut cfg = DaemonConfig::new(socket);
+    cfg.tcp = opts.tcp.clone();
+    cfg.workers = if opts.workers == 0 { 2 } else { opts.workers };
+    cfg.threads = opts.threads;
+    cfg.queue_high_water = opts.queue;
+    cfg.cache_dir = opts.cache_dir.as_ref().map(PathBuf::from);
+    cfg.handle_sigterm = true;
+    let workers = cfg.workers;
+    let daemon = Daemon::bind(cfg)?;
+    println!(
+        "=== flow daemon on {socket} ({workers} workers, queue high water {}) ===",
+        opts.queue
+    );
+    if let Some(addr) = daemon.tcp_addr() {
+        println!("tcp endpoint: {addr}");
+    }
+    // Scripts wait for this marker (and the socket file) before submitting.
+    println!("DAEMONLINE ready 1");
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = daemon.run()?;
+    print_daemon_stats(&stats);
+    println!("daemon drained cleanly");
+    Ok(())
+}
+
+/// `daemon submit`: send `--count` requests over one connection, stream the
+/// per-stage events, and print per-request rows plus DAEMONLINE metrics.
+/// With `--verify`, every completed request is replayed solo and must match
+/// its wire QoR fingerprint bit-for-bit. With `--xfault`, this client
+/// sabotages its own transport deterministically (hostile-client mode) and
+/// a dropped connection counts as the expected outcome.
+fn daemon_submit(opts: &Options, socket: &str) -> CliResult {
+    let endpoint = Endpoint::Unix(PathBuf::from(socket));
+    let policy = RetryPolicy::default();
+    let mut client = DaemonClient::connect_retry(&endpoint, &policy)
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let hostile = opts.xfault.is_some();
+    if let Some(spec) = &opts.xfault {
+        client = client.with_faults(TransportFaultPlan::parse(spec)?);
+    }
+
+    let designs = ["fabric:3x3", "fabric:4x3", "parity:32", "fabric:3x4"];
+    let injects = match &opts.inject {
+        None => Vec::new(),
+        Some(spec) => parse_indexed_injects(spec, opts.count)?,
+    };
+    let mut specs = Vec::with_capacity(opts.count);
+    for i in 0..opts.count {
+        let mut spec = SubmitSpec::new((i + 1) as u64, designs[i % designs.len()]);
+        spec.deadline_ms = opts.deadline_ms;
+        if let Some((_, inj)) = injects.iter().find(|(idx, _)| *idx == i) {
+            spec.inject = Some(inj.clone());
+        }
+        specs.push(spec);
+    }
+
+    println!("=== daemon submit: {} request(s) to {socket} ===", opts.count);
+    let t = Instant::now();
+    let outcomes = match client.drive(&specs) {
+        Ok(o) => o,
+        Err(e) if hostile => {
+            // A sabotaged transport is expected to die; the daemon's health
+            // after the abuse is what the scripts check.
+            println!("hostile client lost its connection as planned: {e}");
+            println!("DAEMONLINE dropped 1");
+            return Ok(());
+        }
+        Err(e) => return Err(CliError(e.to_string())),
+    };
+    let wall_s = t.elapsed().as_secs_f64();
+
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    let mut rejected_full = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut latencies: Vec<f64> = Vec::new();
+    println!("{:>3}  {:<10} {:>8}  outcome", "req", "design", "lat_s");
+    for (spec, out) in specs.iter().zip(&outcomes) {
+        accepted += u64::from(out.accepted);
+        let text = match &out.terminal {
+            Terminal::Done { ok: true, qor_fp, stages, .. } => {
+                completed += 1;
+                latencies.push(out.latency_s);
+                format!(
+                    "ok, {stages} stages, qor_fp {}",
+                    qor_fp.map_or("?".to_string(), |fp| format!("{fp:016x}"))
+                )
+            }
+            Terminal::Done { ok: false, error, stages, .. } => {
+                failed += 1;
+                format!(
+                    "failed after {stages} stage(s): {}",
+                    error.as_deref().unwrap_or("unknown")
+                )
+            }
+            Terminal::Rejected { reason, detail } => {
+                rejected += 1;
+                rejected_full += u64::from(*reason == RejectReason::QueueFull);
+                format!("rejected ({reason}): {detail}")
+            }
+        };
+        println!("{:>3}  {:<10} {:>8.3}  {text}", spec.id, spec.design, out.latency_s);
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let rank = (p * (latencies.len() - 1) as f64).round() as usize;
+        latencies[rank.min(latencies.len() - 1)]
+    };
+    println!("DAEMONLINE submitted {}", opts.count);
+    println!("DAEMONLINE client_accepted {accepted}");
+    println!("DAEMONLINE client_rejected {rejected}");
+    println!("DAEMONLINE client_rejected_full {rejected_full}");
+    println!("DAEMONLINE client_completed {completed}");
+    println!("DAEMONLINE client_failed {failed}");
+    println!("DAEMONLINE wall_s {wall_s:.6}");
+    println!("DAEMONLINE throughput_per_s {:.3}", completed as f64 / wall_s.max(1e-9));
+    println!("DAEMONLINE p50_s {:.6}", pct(0.50));
+    println!("DAEMONLINE p95_s {:.6}", pct(0.95));
+
+    if opts.verify {
+        // End-to-end determinism: replay each completed request solo, from
+        // the same wire spec, and require the identical QoR fingerprint.
+        for (spec, out) in specs.iter().zip(&outcomes) {
+            let Some(wire_fp) = out.qor_fp() else { continue };
+            let design: DesignSpec = spec.design.parse()?;
+            let netlist = design.build()?;
+            let cfg = eda_core::flow_config_for(spec, opts.threads.max(1), None, None)?;
+            let report = run_flow(&netlist, &cfg)
+                .map_err(|e| CliError(format!("solo replay of request {} failed: {e}", spec.id)))?;
+            if report.qor_fingerprint() != wire_fp {
+                return Err(CliError(format!(
+                    "request {} QoR diverged: wire {wire_fp:016x} vs solo {:016x}",
+                    spec.id,
+                    report.qor_fingerprint()
+                )));
+            }
+        }
+        println!("DAEMONLINE verified 1");
+        println!("every completed request matches its solo replay bit-for-bit");
+    }
+    Ok(())
+}
+
+/// `daemon ping`: liveness probe; prints the daemon's lifetime stats.
+fn daemon_ping(socket: &str) -> CliResult {
+    let endpoint = Endpoint::Unix(PathBuf::from(socket));
+    let mut client = DaemonClient::connect_retry(&endpoint, &RetryPolicy::default())
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let stats = client.ping().map_err(|e| CliError(e.to_string()))?;
+    print_daemon_stats(&stats);
+    Ok(())
+}
+
+/// `daemon shutdown`: ask for graceful drain and wait for the final ack.
+fn daemon_shutdown(socket: &str) -> CliResult {
+    let endpoint = Endpoint::Unix(PathBuf::from(socket));
+    let mut client = DaemonClient::connect_retry(&endpoint, &RetryPolicy::default())
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let stats = client.shutdown().map_err(|e| CliError(e.to_string()))?;
+    println!("DAEMONLINE drained 1");
+    print_daemon_stats(&stats);
     Ok(())
 }
 

@@ -111,13 +111,18 @@ pub(crate) fn fingerprint(design: &Netlist, cfg: &FlowConfig) -> u64 {
     h
 }
 
-/// The checkpoint file for a design.
-pub(crate) fn path_for(dir: &Path, design: &str) -> PathBuf {
+/// The checkpoint file for one (design, config) pair. The config fingerprint
+/// is part of the file name, not just the header: concurrent requests that
+/// share a `checkpoint_dir` and a design name but differ in config (seed,
+/// node, effort...) must not clobber each other's files — with a shared path
+/// the last writer would win and a later `resume: true` under either config
+/// would hit a hard fingerprint mismatch instead of its own checkpoint.
+pub(crate) fn path_for(dir: &Path, design: &str, fp: u64) -> PathBuf {
     let safe: String = design
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
         .collect();
-    dir.join(format!("{safe}.flowck"))
+    dir.join(format!("{safe}-{fp:016x}.flowck"))
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -239,7 +244,7 @@ pub(crate) fn save(dir: &Path, design: &str, fp: u64, st: &FlowState) -> Result<
     out.push_str(&format!("fingerprint {fp:016x}\n"));
     write_body(st, &mut out, true);
 
-    let path = path_for(dir, design);
+    let path = path_for(dir, design, fp);
     write_atomic(&path, &out)
         .map_err(|e| format!("write {}: {e}", path.display()))?;
     Ok(path)
@@ -309,7 +314,7 @@ fn toks<'a>(lines: &Lines<'_>, line: &'a str, tag: &str) -> Result<Vec<&'a str>,
 /// `Ok(None)` = no checkpoint file (start fresh). `Err(Mismatch)` = the file
 /// was written under a different config/design. `Err(Corrupt)` = unreadable.
 pub(crate) fn load(dir: &Path, design: &str, fp: u64) -> Result<Option<FlowState>, LoadError> {
-    let path = path_for(dir, design);
+    let path = path_for(dir, design, fp);
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
@@ -545,10 +550,18 @@ mod tests {
         let dir = tmp_dir("mismatch");
         save(&dir, design.name(), fp, &FlowState::fresh()).unwrap();
 
+        // A different config resolves to a different file: no clobber, and
+        // loading under the other fingerprint is a clean fresh start.
         let mut other = cfg.clone();
         other.seed = 99;
         let fp2 = fingerprint(&design, &other);
         assert_ne!(fp, fp2);
+        assert_ne!(path_for(&dir, design.name(), fp), path_for(&dir, design.name(), fp2));
+        assert!(load(&dir, design.name(), fp2).unwrap().is_none());
+
+        // A file whose embedded fingerprint disagrees with the path (copied
+        // or renamed by hand) is still a hard mismatch, never spliced in.
+        std::fs::copy(path_for(&dir, design.name(), fp), path_for(&dir, design.name(), fp2)).unwrap();
         assert!(matches!(load(&dir, design.name(), fp2), Err(LoadError::Mismatch(_))));
 
         // Fields that cannot change QoR do not change the fingerprint.

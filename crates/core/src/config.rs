@@ -109,7 +109,10 @@ pub struct FlowConfig {
     /// Directory for flow checkpoints (`None` = no checkpointing). After
     /// every completed stage the supervisor serializes the full flow state
     /// (netlist, placement, per-stage artifacts) to
-    /// `<checkpoint_dir>/<design>.flowck`, so a killed flow can resume.
+    /// `<checkpoint_dir>/<design>-<config fingerprint>.flowck`, so a killed
+    /// flow can resume. The fingerprint in the file name keeps concurrent
+    /// flows that share a directory and a design name — but differ in seed,
+    /// node, or effort — from clobbering each other's checkpoints.
     pub checkpoint_dir: Option<PathBuf>,
     /// Resume from the checkpoint in [`checkpoint_dir`](Self::checkpoint_dir)
     /// if one exists and its config fingerprint matches; the flow then
@@ -137,6 +140,15 @@ pub struct FlowConfig {
     /// 2 attempts per stage with no deadline, which keeps flows fully
     /// deterministic.
     pub budgets: StageBudgets,
+    /// Flow-level wall-clock deadline in seconds (`None` = no deadline).
+    /// Checked at every stage boundary: once the flow has run longer than
+    /// this, the next stage surfaces a typed
+    /// [`FlowError::DeadlineExceeded`](crate::flow::FlowError::DeadlineExceeded)
+    /// carrying the partial state — a running attempt is never interrupted,
+    /// so the work a worker did stays deterministic and checkpointable.
+    /// Excluded from the config fingerprint, like `budgets` and
+    /// `fault_plan`: it cannot change the QoR of a flow that completes.
+    pub deadline_s: Option<f64>,
 }
 
 impl Default for FlowConfig {
@@ -167,6 +179,7 @@ impl Default for FlowConfig {
             cache_dir: None,
             fault_plan: None,
             budgets: StageBudgets::default(),
+            deadline_s: None,
         }
     }
 }
@@ -363,6 +376,13 @@ impl FlowConfigBuilder {
     /// Per-stage attempt caps and soft deadlines.
     pub fn budgets(mut self, budgets: StageBudgets) -> Self {
         self.cfg.budgets = budgets;
+        self
+    }
+
+    /// Flow-level wall-clock deadline in seconds, enforced at stage
+    /// boundaries.
+    pub fn deadline_s(mut self, deadline_s: f64) -> Self {
+        self.cfg.deadline_s = Some(deadline_s);
         self
     }
 

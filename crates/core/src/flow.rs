@@ -152,6 +152,21 @@ pub enum FlowError {
         /// The I/O problem.
         reason: String,
     },
+    /// The flow blew its wall-clock deadline
+    /// ([`FlowConfig::deadline_s`](crate::config::FlowConfig::deadline_s)).
+    /// Raised at a stage boundary — a running attempt always finishes, so a
+    /// worker is never left hung — and carries everything completed before
+    /// the deadline, including any checkpoint to resume from.
+    DeadlineExceeded {
+        /// The stage that was about to start when the deadline tripped.
+        stage: &'static str,
+        /// Wall-clock seconds the flow had consumed.
+        elapsed_s: f64,
+        /// The configured deadline.
+        deadline_s: f64,
+        /// Everything completed before the deadline.
+        partial: Box<PartialFlow>,
+    },
     /// `resume: true` found a checkpoint written under a different design
     /// or config.
     ResumeMismatch {
@@ -171,7 +186,8 @@ impl FlowError {
         match self {
             FlowError::Stage { stage, .. }
             | FlowError::BudgetExhausted { stage, .. }
-            | FlowError::Checkpoint { stage, .. } => Some(stage),
+            | FlowError::Checkpoint { stage, .. }
+            | FlowError::DeadlineExceeded { stage, .. } => Some(stage),
             FlowError::ResumeMismatch { .. } | FlowError::ResumeCorrupt { .. } => None,
         }
     }
@@ -179,7 +195,9 @@ impl FlowError {
     /// The salvageable partial state, if the flow got far enough to have any.
     pub fn partial(&self) -> Option<&PartialFlow> {
         match self {
-            FlowError::Stage { partial, .. } | FlowError::BudgetExhausted { partial, .. } => Some(partial),
+            FlowError::Stage { partial, .. }
+            | FlowError::BudgetExhausted { partial, .. }
+            | FlowError::DeadlineExceeded { partial, .. } => Some(partial),
             _ => None,
         }
     }
@@ -196,6 +214,13 @@ impl std::fmt::Display for FlowError {
             }
             FlowError::Checkpoint { stage, reason } => {
                 write!(f, "failed to checkpoint stage `{stage}`: {reason}")
+            }
+            FlowError::DeadlineExceeded { stage, elapsed_s, deadline_s, partial } => {
+                write!(
+                    f,
+                    "flow deadline exceeded before stage `{stage}`: {elapsed_s:.3} s elapsed against a {deadline_s:.3} s deadline, {} stage(s) completed",
+                    partial.statuses.len()
+                )
             }
             FlowError::ResumeMismatch { reason } => write!(f, "cannot resume: {reason}"),
             FlowError::ResumeCorrupt { reason } => write!(f, "cannot resume: corrupt checkpoint: {reason}"),
@@ -222,13 +247,29 @@ impl std::error::Error for FlowError {
 /// wrong. Stage errors carry a [`PartialFlow`] with everything completed
 /// before the failure.
 pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowError> {
+    run_flow_observed(design, cfg, None)
+}
+
+/// [`run_flow`] with an optional live per-stage progress observer: the
+/// callback fires `(stage, outcome, attempts)` the moment each stage's
+/// status is recorded, while the flow is still running. Observation-only —
+/// installing an observer can never change the QoR. The flow daemon uses
+/// this to stream stage events to clients mid-request.
+pub fn run_flow_observed(
+    design: &Netlist,
+    cfg: &FlowConfig,
+    observer: Option<crate::telemetry::ProgressFn>,
+) -> Result<FlowReport, FlowError> {
     let threads = cfg.threads;
     let fp = checkpoint::fingerprint(design, cfg);
     // Telemetry collects for this run only: a resumed flow records spans
     // and metrics for the stages it actually reruns (checkpoints carry QoR
     // state, not telemetry), which is why `same_qor` ignores the snapshot.
     let tel = Telemetry::new();
-    let mut sup = Supervisor::new(cfg.fault_plan.as_ref(), cfg.budgets.clone(), &tel);
+    if let Some(obs) = observer {
+        tel.set_observer(obs);
+    }
+    let mut sup = Supervisor::new(cfg.fault_plan.as_ref(), cfg.budgets.clone(), &tel, cfg.deadline_s);
     let mut st = FlowState::fresh();
 
     if let Some(dir) = &cfg.checkpoint_dir {
@@ -236,7 +277,7 @@ pub fn run_flow(design: &Netlist, cfg: &FlowConfig) -> Result<FlowReport, FlowEr
             match checkpoint::load(dir, design.name(), fp) {
                 Ok(Some(loaded)) => {
                     sup.statuses = loaded.statuses.clone();
-                    sup.checkpoint = Some(checkpoint::path_for(dir, design.name()));
+                    sup.checkpoint = Some(checkpoint::path_for(dir, design.name(), fp));
                     st = loaded;
                 }
                 Ok(None) => {}

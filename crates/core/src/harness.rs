@@ -411,6 +411,14 @@ pub(crate) struct Supervisor<'p> {
     /// unreadable entry is noted here, then consumed when the recomputing
     /// stage opens its span.
     cache_note: Option<&'static str>,
+    /// Flow-level wall-clock deadline: when the flow has already run longer
+    /// than this, the next stage boundary surfaces a typed
+    /// [`FlowError::DeadlineExceeded`] instead of starting the stage. Like
+    /// the per-stage soft deadline it never interrupts a running attempt —
+    /// a worker is never left hung mid-stage, and the partial state (plus
+    /// any checkpoint) is carried on the error.
+    deadline_s: Option<f64>,
+    flow_started: Instant,
 }
 
 impl<'p> Supervisor<'p> {
@@ -418,6 +426,7 @@ impl<'p> Supervisor<'p> {
         plan: Option<&'p FaultPlan>,
         budgets: StageBudgets,
         tel: &'p Telemetry,
+        deadline_s: Option<f64>,
     ) -> Supervisor<'p> {
         Supervisor {
             plan,
@@ -427,6 +436,8 @@ impl<'p> Supervisor<'p> {
             invocations: BTreeMap::new(),
             checkpoint: None,
             cache_note: None,
+            deadline_s,
+            flow_started: Instant::now(),
         }
     }
 
@@ -445,6 +456,7 @@ impl<'p> Supervisor<'p> {
         if let Some(status) = statuses.get(stage) {
             span.tag("outcome", &status.outcome);
             span.tag("attempts", status.attempts);
+            self.tel.progress(stage, &status.outcome.to_string(), status.attempts);
         }
         self.statuses = statuses.clone();
         self.tel.count("cache.hits", 1);
@@ -472,10 +484,9 @@ impl<'p> Supervisor<'p> {
             span.tag("cache", note);
         }
         span.tag("outcome", format!("skipped: {cause}"));
-        self.statuses.insert(
-            stage.to_string(),
-            StageStatus { outcome: StageOutcome::Skipped { cause: cause.to_string() }, attempts: 0 },
-        );
+        let outcome = StageOutcome::Skipped { cause: cause.to_string() };
+        self.tel.progress(stage, &outcome.to_string(), 0);
+        self.statuses.insert(stage.to_string(), StageStatus { outcome, attempts: 0 });
         value
     }
 
@@ -493,6 +504,20 @@ impl<'p> Supervisor<'p> {
         stage: &'static str,
         body: impl FnMut(StageCtx<'_>) -> Result<StageTry<T>, StageFailure>,
     ) -> Result<T, FlowError> {
+        // The flow deadline trips at stage boundaries only: an attempt that
+        // is already running always finishes (determinism — its result never
+        // depends on the clock), but no new stage starts past the deadline.
+        if let Some(limit) = self.deadline_s {
+            let elapsed = self.flow_started.elapsed().as_secs_f64();
+            if elapsed > limit {
+                return Err(FlowError::DeadlineExceeded {
+                    stage,
+                    elapsed_s: elapsed,
+                    deadline_s: limit,
+                    partial: self.partial(),
+                });
+            }
+        }
         let span = self.tel.span(SpanKind::Stage, stage);
         if let Some(note) = self.cache_note.take() {
             span.tag("cache", note);
@@ -631,6 +656,7 @@ impl<'p> Supervisor<'p> {
     }
 
     fn record(&mut self, stage: &'static str, attempts: usize, outcome: StageOutcome) {
+        self.tel.progress(stage, &outcome.to_string(), attempts);
         self.statuses.insert(stage.to_string(), StageStatus { outcome, attempts });
     }
 

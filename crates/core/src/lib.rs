@@ -30,6 +30,7 @@
 mod cache;
 mod checkpoint;
 pub mod config;
+pub mod daemon;
 pub mod flow;
 pub mod harness;
 pub mod learn;
@@ -38,7 +39,13 @@ pub mod server;
 pub mod telemetry;
 
 pub use config::{ConfigError, FlowConfig, FlowConfigBuilder, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
-pub use flow::{run_flow, FlowError, PartialFlow, StageFailure, STAGES};
+pub use daemon::client::{DaemonClient, Endpoint, RequestOutcome, RetryPolicy, Terminal};
+pub use daemon::protocol::{
+    flow_config_for, DaemonStats, DesignSpec, RejectReason, SubmitSpec, TransportFault,
+    TransportFaultPlan,
+};
+pub use daemon::{Daemon, DaemonConfig};
+pub use flow::{run_flow, run_flow_observed, FlowError, PartialFlow, StageFailure, STAGES};
 pub use harness::{
     Fault, FaultPlan, FaultRule, FaultSpecError, StageBudget, StageBudgets, StageOutcome,
     StageStatus,

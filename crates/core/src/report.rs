@@ -152,6 +152,18 @@ impl FlowReport {
     /// byte-identical across runs and thread counts — `tests/golden.rs`
     /// asserts exactly that.
     pub fn golden_text(&self) -> String {
+        let mut out = self.qor_text();
+        out.push_str(&self.telemetry.deterministic_text());
+        out
+    }
+
+    /// The QoR-only section of [`golden_text`](Self::golden_text): exactly
+    /// the fields [`same_qor`](Self::same_qor) compares, serialized
+    /// bit-exactly, and nothing else. Unlike the full golden text it
+    /// excludes the telemetry section, so it is byte-identical between a
+    /// cold run, a warm cached run, and a resumed run — two reports satisfy
+    /// `same_qor` if and only if their `qor_text` matches.
+    pub fn qor_text(&self) -> String {
         fn f(out: &mut String, name: &str, v: f64) {
             out.push_str(&format!("f {name} {:016x} # {v}\n", v.to_bits()));
         }
@@ -188,8 +200,20 @@ impl FlowReport {
                 status.attempts, status.outcome
             ));
         }
-        out.push_str(&self.telemetry.deterministic_text());
         out
+    }
+
+    /// FNV-1a hash of [`qor_text`](Self::qor_text): a 64-bit digest of the
+    /// bit-exact QoR. Two reports with equal fingerprints satisfy
+    /// [`same_qor`](Self::same_qor) (modulo hash collision), which is what
+    /// lets the flow daemon assert bit-identity over the wire without
+    /// shipping the whole report.
+    pub fn qor_fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.qor_text().bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h
     }
 }
 
@@ -312,6 +336,20 @@ mod tests {
         assert_eq!(a.golden_text(), b.golden_text());
         assert!(a.golden_text().contains("f cell_area_um2"));
         assert!(a.golden_text().contains("telemetry v1"));
+    }
+
+    #[test]
+    fn qor_fingerprint_tracks_same_qor() {
+        let a = dummy();
+        let mut b = dummy();
+        b.stage_seconds.insert("1_synthesis".into(), 9.0);
+        b.stage_threads.insert("7_route".into(), 8);
+        assert!(a.same_qor(&b));
+        assert_eq!(a.qor_fingerprint(), b.qor_fingerprint());
+        let mut c = dummy();
+        c.overflow = 3;
+        assert!(!a.same_qor(&c));
+        assert_ne!(a.qor_fingerprint(), c.qor_fingerprint());
     }
 
     #[test]

@@ -214,7 +214,7 @@ impl FlowServer {
         } else {
             self.workers.min(n.max(1))
         };
-        let kernel_threads = (budget / workers).max(1);
+        let kernel_threads = kernel_share(budget, workers);
 
         let mut tasks: Vec<Task> = requests
             .into_iter()
@@ -429,6 +429,14 @@ impl ServerReport {
         }
         self.cross_design_hits as f64 / (self.responses.len() * STAGES.len()) as f64
     }
+}
+
+/// Kernel threads each request's intra-stage kernels get when a global
+/// budget of `threads` is split across `workers` concurrent requests. Shared
+/// by the batch session planner and the daemon's worker pool so both sides
+/// of the wire agree on the split.
+pub fn kernel_share(threads: usize, workers: usize) -> usize {
+    (threads / workers.max(1)).max(1)
 }
 
 fn counter(snapshot: &TelemetrySnapshot, name: &str) -> u64 {

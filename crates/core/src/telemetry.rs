@@ -157,10 +157,20 @@ struct Inner {
     metrics: BTreeMap<String, Metric>,
 }
 
+/// A live per-stage progress callback: `(stage, outcome, attempts)`, fired
+/// by the supervisor the moment a stage's status is recorded (completed,
+/// recovered, degraded, skipped, or replayed from cache). Observation-only:
+/// nothing the flow computes may depend on it. The flow daemon installs one
+/// to stream stage events to clients while a request is still running.
+pub type ProgressFn = Box<dyn FnMut(&str, &str, usize) + Send>;
+
 /// The live collector. One per `run_flow` call; cheap shared handles
 /// (`&Telemetry`) are threaded to the supervisor and stage bodies.
 pub struct Telemetry {
     inner: RefCell<Inner>,
+    /// Separate cell so a callback that records metrics re-entrantly never
+    /// conflicts with the borrow held while invoking it.
+    observer: RefCell<Option<ProgressFn>>,
 }
 
 impl std::fmt::Debug for Telemetry {
@@ -191,6 +201,21 @@ impl Telemetry {
                 started: Vec::new(),
                 metrics: BTreeMap::new(),
             }),
+            observer: RefCell::new(None),
+        }
+    }
+
+    /// Installs a live per-stage progress observer (replacing any previous
+    /// one). The callback fires once per recorded stage status, in stage
+    /// order, on the thread running the flow.
+    pub fn set_observer(&self, observer: ProgressFn) {
+        *self.observer.borrow_mut() = Some(observer);
+    }
+
+    /// Fires the progress observer, if one is installed.
+    pub(crate) fn progress(&self, stage: &str, outcome: &str, attempts: usize) {
+        if let Some(f) = self.observer.borrow_mut().as_mut() {
+            f(stage, outcome, attempts);
         }
     }
 

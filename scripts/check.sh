@@ -42,10 +42,65 @@ PY
 
 # Flow-server smoke: a 4-request batch through the work-stealing server at
 # a 4-thread budget must beat sequential by >= 1.5x with cross-design cache
-# hits and bit-identical QoR (the tool itself asserts all three).
+# hits and bit-identical QoR (the tool itself asserts all three). The
+# throughput bar is wall-clock-sensitive, so a miss gets two retries, each
+# with a fresh cold cache; QoR bit-identity is asserted on every attempt.
 serve_cache="$(mktemp -d)"
 trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache"' EXIT
-./target/release/experiments serve --batch 4 --threads 4 --cache-dir "$serve_cache"
+serve_ok=0
+for attempt in 1 2 3; do
+    mkdir -p "$serve_cache/$attempt"
+    if ./target/release/experiments serve --batch 4 --threads 4 \
+            --cache-dir "$serve_cache/$attempt"; then
+        serve_ok=1; break
+    fi
+    echo "check: serve smoke attempt $attempt missed a threshold; retrying on a cold cache" >&2
+done
+[ "$serve_ok" = 1 ] || { echo "check: FAIL serve smoke failed on all 3 attempts" >&2; exit 1; }
+
+# Daemon smoke: serve on a temp socket, push a 4-request batch (one with an
+# injected per-request stage fault) through the wire with the bit-identical
+# replay self-check, then a hostile client that drops its connection
+# mid-stream, then drain. The daemon must verify every completed request,
+# shed only the hostile connection, ack the drain, and exit 0.
+daemon_dir="$(mktemp -d)"
+daemon_pid=""
+trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$daemon_dir"
+      [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
+daemon_sock="$daemon_dir/flowd.sock"
+./target/release/experiments daemon serve --socket "$daemon_sock" \
+    --workers 2 --queue 4 --threads 4 > "$daemon_dir/serve.log" 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do [ -S "$daemon_sock" ] && break; sleep 0.1; done
+[ -S "$daemon_sock" ] || { echo "check: FAIL daemon socket never appeared" >&2
+                           cat "$daemon_dir/serve.log" >&2; exit 1; }
+submit_log="$(./target/release/experiments daemon submit --socket "$daemon_sock" \
+    --count 4 --inject '1:route=fail@1' --verify)"
+printf '%s\n' "$submit_log" | grep -qx 'DAEMONLINE client_completed 4' \
+    || { echo "check: FAIL daemon did not complete all 4 requests" >&2
+         printf '%s\n' "$submit_log" >&2; exit 1; }
+printf '%s\n' "$submit_log" | grep -qx 'DAEMONLINE verified 1' \
+    || { echo "check: FAIL daemon answers diverged from solo replays" >&2
+         printf '%s\n' "$submit_log" >&2; exit 1; }
+hostile_log="$(./target/release/experiments daemon submit --socket "$daemon_sock" \
+    --count 4 --xfault 'conn-drop@2')"
+printf '%s\n' "$hostile_log" | grep -qx 'DAEMONLINE dropped 1' \
+    || { echo "check: FAIL hostile client did not lose its connection" >&2
+         printf '%s\n' "$hostile_log" >&2; exit 1; }
+# Captured, not piped: grep -q would close the pipe early and SIGPIPE the
+# stats printer.
+drain_log="$(./target/release/experiments daemon shutdown --socket "$daemon_sock")"
+printf '%s\n' "$drain_log" | grep -qx 'DAEMONLINE drained 1' \
+    || { echo "check: FAIL daemon drain not acknowledged" >&2
+         printf '%s\n' "$drain_log" >&2; exit 1; }
+wait "$daemon_pid" \
+    || { echo "check: FAIL daemon did not exit 0 after drain" >&2
+         cat "$daemon_dir/serve.log" >&2; exit 1; }
+daemon_pid=""
+grep -q 'daemon drained cleanly' "$daemon_dir/serve.log" \
+    || { echo "check: FAIL daemon log missing clean-drain line" >&2
+         cat "$daemon_dir/serve.log" >&2; exit 1; }
+echo "check: daemon verified batch + shed hostile client + drained to exit 0"
 
 # Facade doc-tests: the crate-root examples in src/lib.rs (run_flow via the
 # config builder + the flow-server batch) must keep compiling and passing.
@@ -54,7 +109,7 @@ cargo test --release -q --doc -p eda
 # Incremental-flow smoke: cold run populates the stage cache, warm run must
 # replay >= 8 stages with bit-identical QoR (the tool itself asserts both).
 cache_dir="$(mktemp -d)"
-trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$cache_dir"' EXIT
+trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$daemon_dir" "$cache_dir"' EXIT
 ./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4
 
 # Poisoned-cache smoke: truncate one entry; the next run must report exactly
@@ -79,4 +134,4 @@ cargo test --release -q --test golden
 awk '/^test result:/ { passed += $4; failed += $6 }
      END { printf "check: %d tests passed, %d failed across all binaries\n", passed, failed
            exit (failed > 0) }' "$test_log"
-echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + serve + facade docs + incremental + golden green"
+echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + serve + daemon + facade docs + incremental + golden green"

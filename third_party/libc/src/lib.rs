@@ -24,9 +24,27 @@ pub struct timespec {
 /// Per-thread CPU-time clock (Linux).
 pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
 
+/// Signal number (C `int`).
+pub type c_int = i32;
+/// Signal disposition: a `extern "C" fn(c_int)` pointer or `SIG_DFL`/`SIG_ERR`
+/// cast to this type.
+pub type sighandler_t = usize;
+
+/// Termination request (POSIX).
+pub const SIGTERM: c_int = 15;
+/// `signal(2)` return value on failure.
+pub const SIG_ERR: sighandler_t = usize::MAX;
+
 extern "C" {
     /// POSIX `clock_gettime(2)`.
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> i32;
+    /// ISO C `signal(2)`: installs `handler` for `signum`, returning the
+    /// previous disposition (or [`SIG_ERR`]). The handler must be
+    /// async-signal-safe; the daemon's only sets an `AtomicBool`.
+    pub fn signal(signum: c_int, handler: sighandler_t) -> sighandler_t;
+    /// ISO C `raise(3)`: sends `sig` to the calling thread. Used by tests
+    /// to exercise signal-triggered drain in-process.
+    pub fn raise(sig: c_int) -> c_int;
 }
 
 #[cfg(test)]
