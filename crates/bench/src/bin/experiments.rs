@@ -28,6 +28,12 @@
 //! * `incremental` — cold + warm smoke flow against the stage cache; exits
 //!   nonzero unless the warm run skips at least 8 of the 11 stages with
 //!   bit-identical QoR.
+//! * `scale` — the scale-tier stress harness: a `--instances` mesh fabric
+//!   through the memory-lean flow at 1 and `--threads` workers, printing
+//!   SCALELINE/SCALESTAGE rows (SoA-vs-dense netlist heap, windowed-vs-dense
+//!   routing scratch, per-stage wall + peak RSS, QoR bit-identity) and
+//!   failing if any memory bar, the bit-identity check, or an optional
+//!   `--rss-budget-mb` is missed.
 //! * `trace OUT.json` — run the smoke flow once and write its telemetry
 //!   (Chrome-trace JSON, flat metrics JSON, folded stacks).
 //! * `daemon serve|submit|ping|shutdown` — the network-facing flow daemon
@@ -139,6 +145,8 @@ enum Command {
     Trace,
     /// Long-lived socket daemon (`daemon serve|submit|ping|shutdown`).
     Daemon,
+    /// Scale-tier stress run: SCALELINE/SCALESTAGE rows + self-checks.
+    Scale,
 }
 
 /// One typed option set shared by every subcommand.
@@ -179,6 +187,11 @@ struct Options {
     /// `--xfault SPEC`: deterministic transport-fault plan applied to the
     /// `daemon submit` client itself (`conn-drop@N,frame-garbage@N,stall@N`).
     xfault: Option<String>,
+    /// `--instances N`: target instance count for `scale`.
+    instances: usize,
+    /// `--rss-budget-mb N`: `scale` fails if peak RSS exceeds this (0 = no
+    /// budget check).
+    rss_budget_mb: u64,
 }
 
 impl Default for Options {
@@ -200,6 +213,8 @@ impl Default for Options {
             deadline_ms: None,
             verify: false,
             xfault: None,
+            instances: 100_000,
+            rss_budget_mb: 0,
         }
     }
 }
@@ -224,6 +239,13 @@ SUBCOMMANDS:
                        bit-identical QoR
     trace OUT.json     run the smoke flow once; write Chrome-trace JSON,
                        OUT.metrics.json, and OUT.folded
+    scale              generate a --instances mesh fabric, run the
+                       scale-tier flow serially and at --threads workers,
+                       and print SCALELINE/SCALESTAGE rows (SoA vs dense
+                       netlist heap, routing window vs dense grid cells,
+                       per-stage wall + peak RSS, QoR bit-identity); exits
+                       nonzero if any memory bar, the bit-identity check,
+                       or --rss-budget-mb fails
     daemon VERB        long-lived flow daemon over a Unix socket:
                          serve      bind --socket and serve until drained
                                     (shutdown frame or SIGTERM); exits 0
@@ -251,6 +273,8 @@ OPTIONS (shared by every subcommand):
     --deadline-ms N    daemon submit: per-request deadline from admission
     --verify           daemon submit: replay each completed request solo and
                        require bit-identical QoR fingerprints
+    --instances N      scale: target instance count (default 100000)
+    --rss-budget-mb N  scale: fail if peak RSS exceeds N MB (default 0 = off)
     --xfault SPEC      daemon submit: sabotage the client deterministically
                        (conn-drop@N | frame-garbage@N | stall@N, comma list)
     -h, --help         this text
@@ -327,6 +351,17 @@ fn parse_args() -> Result<(Command, Options), CliError> {
                     Some(count("--deadline-ms", Some(value_of("--deadline-ms=")))? as u64);
             }
             "--verify" => opts.verify = true,
+            "--instances" => opts.instances = count("--instances", args.next())?.max(100),
+            _ if a.starts_with("--instances=") => {
+                opts.instances = count("--instances", Some(value_of("--instances=")))?.max(100);
+            }
+            "--rss-budget-mb" => {
+                opts.rss_budget_mb = count("--rss-budget-mb", args.next())? as u64;
+            }
+            _ if a.starts_with("--rss-budget-mb=") => {
+                opts.rss_budget_mb =
+                    count("--rss-budget-mb", Some(value_of("--rss-budget-mb=")))? as u64;
+            }
             "--xfault" => opts.xfault = Some(take("--xfault", args.next())?),
             _ if a.starts_with("--xfault=") => opts.xfault = Some(value_of("--xfault=")),
             // Deprecated mode-selector spellings (see --help).
@@ -355,6 +390,7 @@ fn parse_args() -> Result<(Command, Options), CliError> {
             }
             "trace" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Trace),
             "daemon" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Daemon),
+            "scale" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Scale),
             _ if cmd == Some(Command::Trace) && opts.trace_out.is_none() => {
                 opts.trace_out = Some(raw);
             }
@@ -373,6 +409,7 @@ fn parse_args() -> Result<(Command, Options), CliError> {
                 Command::Incremental => "incremental",
                 Command::Trace => "trace",
                 Command::Daemon => "daemon",
+                Command::Scale => "scale",
                 Command::Run => unreachable!("run accepts claims"),
             },
             opts.claims.join(" ")
@@ -397,6 +434,7 @@ fn run() -> CliResult {
         }
         Command::Serve => serve_demo(&opts),
         Command::Daemon => daemon_demo(&opts),
+        Command::Scale => scale_demo(&opts),
         Command::Run => {
             if let Some(spec) = &opts.inject {
                 return inject_demo(spec, opts.threads);
@@ -553,6 +591,155 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
         return Err(CliError("warm QoR diverged from the cold run".into()));
     }
     println!("incremental: warm run skipped {hits}/{total} stages with identical QoR");
+    Ok(())
+}
+
+/// `scale`: the 10⁵-tier stress harness behind BENCH_scale.json and the
+/// check.sh mini-scale gate.
+///
+/// Generates a [`generate::scale_mesh`] fabric at `--instances`, prints the
+/// SoA-vs-dense netlist heap bar, then runs [`FlowConfig::scale_2016`] once
+/// serially and once at `--threads` workers. Emits machine-readable rows:
+///
+/// * `SCALELINE <key> <value>` — totals: instance/net counts, heap bytes,
+///   routing window peak vs dense grid cells, serial/parallel wall clocks,
+///   peak RSS, QoR bit-identity.
+/// * `SCALESTAGE <stage> <wall_s> <rss_mb>` — per stage, from the serial
+///   run's telemetry. The process is fresh at that point, so the RSS column
+///   shows the high-water mark ramping stage by stage (VmHWM is monotone by
+///   construction).
+///
+/// Exits nonzero when the SoA heap is not below the dense pointer-graph
+/// baseline, when the positive window margin fails to keep routing scratch
+/// below the dense grid, when the two runs' QoR differs in any bit, or when
+/// `--rss-budget-mb` is set and peak RSS exceeds it.
+fn scale_demo(opts: &Options) -> CliResult {
+    use eda_core::{Metric, SpanKind, STAGES};
+    use eda_netlist::{dense_heap_bytes, SoaNetlist};
+
+    let par_threads = if opts.threads == 0 { 4 } else { opts.threads };
+    let t = Instant::now();
+    let design = generate::scale_mesh(opts.instances, 3)?;
+    let gen_s = t.elapsed().as_secs_f64();
+    let soa_bytes = SoaNetlist::from_netlist(&design).heap_bytes();
+    let dense_bytes = dense_heap_bytes(&design);
+    println!(
+        "=== scale tier: {} instances, {} nets (generated in {gen_s:.2}s) ===",
+        design.num_instances(),
+        design.num_nets()
+    );
+    println!(
+        "netlist heap: SoA {:.1} MB vs dense {:.1} MB ({:.0}% of dense)",
+        soa_bytes as f64 / 1e6,
+        dense_bytes as f64 / 1e6,
+        100.0 * soa_bytes as f64 / dense_bytes as f64
+    );
+
+    let mut cfg = with_cache(FlowConfig::scale_2016(Node::N28, opts.instances));
+    cfg.threads = 1;
+    let t = Instant::now();
+    let serial = run_flow(&design, &cfg)
+        .map_err(|e| CliError(format!("serial scale flow failed: {e}")))?;
+    let serial_s = t.elapsed().as_secs_f64();
+    cfg.threads = par_threads;
+    let t = Instant::now();
+    let parallel = run_flow(&design, &cfg)
+        .map_err(|e| CliError(format!("{par_threads}-thread scale flow failed: {e}")))?;
+    let parallel_s = t.elapsed().as_secs_f64();
+    let same = serial.same_qor(&parallel);
+    let peak_rss_mb = eda_core::read_peak_rss_bytes() / (1 << 20);
+
+    let gauge = |name: &str| -> f64 {
+        match serial.telemetry.metrics.get(name) {
+            Some(Metric::Gauge(g)) => *g,
+            _ => 0.0,
+        }
+    };
+    let window_peak = gauge("route.window_peak_cells");
+    let dense_cells = gauge("route.dense_grid_cells");
+
+    println!(
+        "flow: serial {serial_s:.2}s, {par_threads} threads {parallel_s:.2}s, \
+         QoR bit-identical: {same}, peak RSS {peak_rss_mb} MB"
+    );
+    println!(
+        "routing scratch: window peak {window_peak:.0} cells vs dense {dense_cells:.0} \
+         ({:.0}% of dense)",
+        100.0 * window_peak / dense_cells.max(1.0)
+    );
+
+    println!("SCALELINE instances {}", design.num_instances());
+    println!("SCALELINE nets {}", design.num_nets());
+    println!("SCALELINE generate_s {gen_s:.6}");
+    println!("SCALELINE soa_heap_bytes {soa_bytes}");
+    println!("SCALELINE dense_heap_bytes {dense_bytes}");
+    println!("SCALELINE window_peak_cells {window_peak:.0}");
+    println!("SCALELINE dense_grid_cells {dense_cells:.0}");
+    let counter = |name: &str| -> u64 {
+        match serial.telemetry.metrics.get(name) {
+            Some(Metric::Counter(n)) => *n,
+            _ => 0,
+        }
+    };
+    println!("SCALELINE place_hpwl_um {:.0}", gauge("place.hpwl_final_um"));
+    println!("SCALELINE route_wirelength {}", serial.routed_wirelength);
+    println!("SCALELINE route_overflow {}", serial.overflow);
+    println!("SCALELINE route_connections {}", counter("route.connections"));
+    println!("SCALELINE route_cells_expanded {}", counter("route.cells_expanded"));
+    println!("SCALELINE serial_s {serial_s:.6}");
+    println!("SCALELINE parallel_s {parallel_s:.6}");
+    println!("SCALELINE threads {par_threads}");
+    println!("SCALELINE peak_rss_mb {peak_rss_mb}");
+    println!("SCALELINE same_qor {}", same as u32);
+    // Per-stage wall + RSS high-water from the serial run: the last Stage
+    // span with each name times the attempt that produced the result.
+    let mut rows: std::collections::BTreeMap<&str, (f64, u64)> = Default::default();
+    for (span, wall) in serial.telemetry.spans.iter().zip(&serial.telemetry.wall) {
+        if span.kind == SpanKind::Stage {
+            if let Some(stage) = STAGES.iter().find(|s| **s == span.name) {
+                rows.insert(stage, (wall.dur_s, wall.peak_rss_bytes >> 20));
+            }
+        }
+    }
+    for stage in STAGES {
+        if let Some((wall_s, rss_mb)) = rows.get(stage) {
+            println!("SCALESTAGE {stage} {wall_s:.6} {rss_mb}");
+        }
+    }
+
+    if serial.stage_status.len() != STAGES.len() {
+        return Err(CliError(format!(
+            "scale flow reported {}/{} stages",
+            serial.stage_status.len(),
+            STAGES.len()
+        )));
+    }
+    if soa_bytes >= dense_bytes {
+        return Err(CliError(format!(
+            "SoA heap ({soa_bytes} B) must stay below the dense baseline ({dense_bytes} B)"
+        )));
+    }
+    if window_peak <= 0.0 || dense_cells <= 0.0 || window_peak >= dense_cells {
+        return Err(CliError(format!(
+            "windowed routing must stay below the dense grid ({window_peak:.0} vs {dense_cells:.0} cells)"
+        )));
+    }
+    if !same {
+        return Err(CliError(format!(
+            "scale QoR diverged between 1 and {par_threads} threads"
+        )));
+    }
+    if opts.rss_budget_mb > 0 && peak_rss_mb > opts.rss_budget_mb {
+        return Err(CliError(format!(
+            "peak RSS {peak_rss_mb} MB exceeds the {} MB budget",
+            opts.rss_budget_mb
+        )));
+    }
+    println!(
+        "scale: {} instances through all {} stages, bit-identical at 1 and {par_threads} threads",
+        design.num_instances(),
+        STAGES.len()
+    );
     Ok(())
 }
 
@@ -1413,11 +1600,10 @@ fn c9() -> CliResult {
     use eda_route::route_stats;
 
     header("c9", "P&R throughput ~1M instances/day on multicore farms (Rossi)");
-    let d = generate::random_logic(generate::RandomLogicConfig {
-        gates: 3000,
-        seed: 5,
-        ..Default::default()
-    })?;
+    // Scale-tier mesh, not the old 3k-gate random design: per-stripe refine
+    // passes at this size run well past the 1 µs clock floor, so the
+    // projected speedups are measurement, not noise.
+    let d = generate::scale_mesh(20_000, 5)?;
     let die = Die::for_netlist(&d, 0.7);
     println!("design: {} instances", d.num_instances());
     println!(

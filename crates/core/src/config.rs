@@ -42,6 +42,12 @@ pub struct PlaceEffort {
     /// serial annealing). Determines the placement result; worker threads
     /// come from [`FlowConfig::threads`] and never change the result.
     pub stripes: usize,
+    /// Target instances per cluster for the multilevel
+    /// (cluster → coarse-place → refine) pass the scale tier places with.
+    /// `0` (the default) keeps the flat global + anneal path; when positive
+    /// it replaces both the flat pass and striped refinement, and
+    /// `anneal_moves_per_cell` becomes the refinement budget.
+    pub cluster_gates: usize,
 }
 
 /// DFT options.
@@ -86,6 +92,19 @@ pub struct FlowConfig {
     pub layers: u32,
     /// Rip-up and re-route iterations.
     pub ripup_iterations: usize,
+    /// G-cells per side of the routing grid (the resolution congestion is
+    /// negotiated at). Larger designs want finer grids; the supervisor's
+    /// coarsening recovery still halves from here.
+    pub route_grid_cells: u32,
+    /// Bounded-memory routing window: `0` (the default) lets every maze
+    /// search materialize the full grid, the classic behaviour. When
+    /// positive, each search is confined to its connection's bounding box
+    /// expanded by this many g-cells — per-search scratch becomes
+    /// proportional to the connection instead of the grid area, which is
+    /// how the scale tier routes without a dense grid. QoR-relevant (it
+    /// changes detour room), so it folds into the config fingerprint; still
+    /// bit-identical at any thread count.
+    pub route_window_margin: u32,
     /// Scan insertion (None = no DFT).
     pub scan: Option<ScanOptions>,
     /// Power techniques.
@@ -164,10 +183,17 @@ impl Default for FlowConfig {
             synthesis: SynthesisEffort::Advanced2016,
             map_goal: MapGoal::Area,
             utilization: 0.7,
-            place: PlaceEffort { global_iterations: 10, anneal_moves_per_cell: 40, stripes: 4 },
+            place: PlaceEffort {
+                global_iterations: 10,
+                anneal_moves_per_cell: 40,
+                stripes: 4,
+                cluster_gates: 0,
+            },
             router: RouteAlgorithm::LineSearch,
             layers: Node::N28.spec().typical_metal_layers,
             ripup_iterations: 6,
+            route_grid_cells: 32,
+            route_window_margin: 0,
             scan: Some(ScanOptions { chains: 2, placement_aware_reorder: true }),
             power: PowerOptions { clock_gating_group: 8, decap_droop_limit_mv: Some(50.0) },
             clock_mhz: 200.0,
@@ -197,6 +223,8 @@ pub enum ConfigError {
     ClockMhz(f64),
     /// Scan insertion was requested with zero chains.
     NoScanChains,
+    /// The routing grid needs at least 2 g-cells per side.
+    RouteGrid(u32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -212,6 +240,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::NoScanChains => {
                 write!(f, "scan insertion was requested with zero chains")
+            }
+            ConfigError::RouteGrid(cells) => {
+                write!(f, "routing grid needs at least 2 g-cells per side, got {cells}")
             }
         }
     }
@@ -312,6 +343,19 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// G-cells per side of the routing grid; must be at least 2.
+    pub fn route_grid_cells(mut self, cells: u32) -> Self {
+        self.cfg.route_grid_cells = cells;
+        self
+    }
+
+    /// Bounded-memory routing window margin in g-cells (`0` = full-grid
+    /// searches).
+    pub fn route_window_margin(mut self, margin: u32) -> Self {
+        self.cfg.route_window_margin = margin;
+        self
+    }
+
     /// Scan insertion (`None` = no DFT).
     pub fn scan(mut self, scan: Option<ScanOptions>) -> Self {
         self.cfg.scan = scan;
@@ -405,6 +449,9 @@ impl FlowConfigBuilder {
         if matches!(cfg.scan, Some(ScanOptions { chains: 0, .. })) {
             return Err(ConfigError::NoScanChains);
         }
+        if cfg.route_grid_cells < 2 {
+            return Err(ConfigError::RouteGrid(cfg.route_grid_cells));
+        }
         Ok(cfg)
     }
 }
@@ -426,7 +473,12 @@ impl FlowConfig {
             .library(LibraryChoice::NandInv2006)
             .synthesis(SynthesisEffort::Baseline2006)
             .utilization(0.6)
-            .place(PlaceEffort { global_iterations: 4, anneal_moves_per_cell: 10, stripes: 1 })
+            .place(PlaceEffort {
+                global_iterations: 4,
+                anneal_moves_per_cell: 10,
+                stripes: 1,
+                cluster_gates: 0,
+            })
             .router(RouteAlgorithm::LeeBfs)
             .ripup_iterations(0)
             .scan(Some(ScanOptions { chains: 1, placement_aware_reorder: false }))
@@ -446,6 +498,52 @@ impl FlowConfig {
             .node(node)
             .build()
             .expect("the 2016 preset is statically valid")
+    }
+
+    /// The memory-lean scale-tier preset: the advanced flow retargeted at
+    /// 10⁵–10⁶-instance mesh fabrics (see
+    /// [`scale_mesh`](eda_netlist::generate::scale_mesh)).
+    ///
+    /// Placement goes multilevel (cluster → coarse-place → refine), routing
+    /// negotiates on a finer grid but confines every maze search to its
+    /// connection's bounding box plus an 8-g-cell margin, and the two
+    /// verification passes whose cost is super-linear in design size — the
+    /// BDD/simulation equivalence check and random-pattern fault
+    /// simulation (with the scan stages that only exist to feed it) — are
+    /// off. Every stage that remains is near-linear in instances, which is
+    /// what lets the same 11-stage supervised flow finish at a million
+    /// gates. Still bit-identical at any thread count.
+    ///
+    /// `instances` is the expected design size and only sizes the routing
+    /// grid. Per-edge track capacity is a constant of the rule deck, so
+    /// total capacity grows as `grid²` while demand (tile-local wirelength
+    /// measured in g-cells) grows as `grid·√instances`: holding the grid
+    /// fixed would saturate it, and *coarsening* — the dense flow's escape
+    /// hatch — concentrates the same wires onto fewer edges and makes scale
+    /// congestion strictly worse. Scaling the grid side as √instances keeps
+    /// edge utilization roughly constant from 10⁴ to 10⁶.
+    pub fn scale_2016(node: Node, instances: usize) -> FlowConfig {
+        // ~3.25·√n: with this family of meshes the constant pins steady-state
+        // edge utilization (demand/capacity ∝ 1/constant) near 70%, enough
+        // headroom for negotiation to close the remaining hotspots. Floor
+        // keeps tiny smoke designs on a sane grid.
+        let grid = ((instances as f64).sqrt() * 3.25).round().max(32.0) as u32;
+        FlowConfig::builder()
+            .name("scale-2016")
+            .node(node)
+            .place(PlaceEffort {
+                global_iterations: 8,
+                anneal_moves_per_cell: 1,
+                stripes: 1,
+                cluster_gates: 64,
+            })
+            .route_grid_cells(grid)
+            .route_window_margin(8)
+            .ripup_iterations(5)
+            .scan(None)
+            .verify_synthesis(false)
+            .build()
+            .expect("the scale preset is statically valid")
     }
 }
 
@@ -477,6 +575,16 @@ mod tests {
         dflt.node = adv.node;
         dflt.layers = adv.layers;
         assert_eq!(dflt, adv);
+    }
+
+    #[test]
+    fn scale_preset_is_memory_lean() {
+        let s = FlowConfig::scale_2016(Node::N28, 100_000);
+        assert!(s.place.cluster_gates > 0, "scale places multilevel");
+        assert_eq!(s.place.stripes, 1);
+        assert!(s.route_window_margin > 0, "scale routes in bounded windows");
+        assert!(s.route_grid_cells > FlowConfig::default().route_grid_cells);
+        assert!(!s.verify_synthesis && s.scan.is_none(), "super-linear passes are off");
     }
 
     #[test]
@@ -512,6 +620,10 @@ mod tests {
                 .scan(Some(ScanOptions { chains: 0, placement_aware_reorder: true }))
                 .build(),
             Err(ConfigError::NoScanChains)
+        );
+        assert_eq!(
+            FlowConfig::builder().route_grid_cells(1).build(),
+            Err(ConfigError::RouteGrid(1))
         );
     }
 

@@ -53,4 +53,4 @@ pub use harness::{
 pub use learn::{Arm, ArmStats, FlowTuner};
 pub use report::FlowReport;
 pub use server::{FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession, ServerReport};
-pub use telemetry::{Histogram, Metric, Span, SpanKind, Telemetry, TelemetrySnapshot, WallSpan};
+pub use telemetry::{read_peak_rss_bytes, Histogram, Metric, Span, SpanKind, Telemetry, TelemetrySnapshot, WallSpan};

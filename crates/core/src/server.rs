@@ -469,7 +469,13 @@ fn server_snapshot(
         name: "server".into(),
         tags: BTreeMap::from([("requests".into(), responses.len().to_string())]),
     });
-    wall.push(WallSpan { start_s: 0.0, dur_s: wall_s, threads: workers, busy_s: Vec::new() });
+    wall.push(WallSpan {
+        start_s: 0.0,
+        dur_s: wall_s,
+        threads: workers,
+        busy_s: Vec::new(),
+        peak_rss_bytes: crate::telemetry::read_peak_rss_bytes(),
+    });
     for r in responses {
         let outcome = match &r.outcome {
             Ok(report) if report.stage_status.values().all(|s| s.is_clean()) => "ok".to_string(),
@@ -495,6 +501,7 @@ fn server_snapshot(
             dur_s: r.wall_s,
             threads: kernel_threads,
             busy_s: Vec::new(),
+            peak_rss_bytes: crate::telemetry::read_peak_rss_bytes(),
         });
     }
     let mut depth = Histogram::new(&QUEUE_DEPTH_EDGES);

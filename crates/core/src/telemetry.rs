@@ -91,6 +91,32 @@ pub struct WallSpan {
     pub threads: usize,
     /// Per-worker busy seconds for kernel dispatches (empty otherwise).
     pub busy_s: Vec<f64>,
+    /// Process peak resident-set size (`VmHWM`) in bytes, sampled when the
+    /// span closed; 0 while a span is open or where `/proc` is
+    /// unavailable. A high-water mark, so the sequence over successive
+    /// spans is monotone non-decreasing. Lives in the wall section — never
+    /// in the deterministic text golden snapshots pin.
+    pub peak_rss_bytes: u64,
+}
+
+/// Peak resident-set size of this process in bytes — the `VmHWM` line of
+/// `/proc/self/status` — or 0 where unavailable (non-Linux). The kernel
+/// reports a high-water mark, so successive reads are monotone
+/// non-decreasing. Machine state, not QoR: recorded only in the telemetry
+/// wall section so golden snapshots stay bit-stable.
+pub fn read_peak_rss_bytes() -> u64 {
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").unwrap_or_default())
+}
+
+fn parse_vm_hwm(status: &str) -> u64 {
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 =
+                rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
 }
 
 /// A histogram with fixed bucket edges, so its serialized form is
@@ -257,6 +283,7 @@ impl Telemetry {
             dur_s: stats.wall_s,
             threads: stats.threads,
             busy_s: stats.busy_s.clone(),
+            peak_rss_bytes: read_peak_rss_bytes(),
         });
         inner.started.push(Instant::now());
     }
@@ -302,6 +329,7 @@ impl Telemetry {
         let mut inner = self.inner.borrow_mut();
         let dur = inner.started[id].elapsed().as_secs_f64();
         inner.wall[id].dur_s = dur;
+        inner.wall[id].peak_rss_bytes = read_peak_rss_bytes();
         // Spans close in LIFO order (guards are scope-bound), so `id` is
         // the top of the stack; tolerate out-of-order drops regardless.
         if let Some(pos) = inner.stack.iter().rposition(|&s| s == id) {
@@ -319,8 +347,10 @@ impl Telemetry {
     pub fn snapshot(&self) -> TelemetrySnapshot {
         let inner = self.inner.borrow();
         let mut wall = inner.wall.clone();
+        let rss_now = read_peak_rss_bytes();
         for &id in &inner.stack {
             wall[id].dur_s = inner.started[id].elapsed().as_secs_f64();
+            wall[id].peak_rss_bytes = rss_now;
         }
         TelemetrySnapshot { spans: inner.spans.clone(), metrics: inner.metrics.clone(), wall }
     }
@@ -616,6 +646,34 @@ mod tests {
             assert!(!path.is_empty());
             weight.parse::<u64>().expect("integer weight");
         }
+    }
+
+    #[test]
+    fn peak_rss_is_monotone_and_stays_out_of_the_deterministic_text() {
+        let snap = sample().snapshot();
+        if cfg!(target_os = "linux") {
+            assert!(snap.wall[0].peak_rss_bytes > 0, "VmHWM readable on Linux");
+        }
+        // Spans close child-before-parent, so walking closes in close order
+        // must never see the high-water mark decrease.
+        let mut by_close: Vec<&WallSpan> = snap.wall.iter().collect();
+        by_close.sort_by(|a, b| {
+            (a.start_s + a.dur_s).partial_cmp(&(b.start_s + b.dur_s)).expect("finite")
+        });
+        for w in by_close.windows(2) {
+            assert!(w[0].peak_rss_bytes <= w[1].peak_rss_bytes, "high-water mark is monotone");
+        }
+        // The gauge lives in the wall section only: the pinned text never
+        // mentions it, so golden snapshots stay bit-stable.
+        assert!(!sample().snapshot().deterministic_text().contains("rss"));
+    }
+
+    #[test]
+    fn vm_hwm_parses_and_tolerates_garbage() {
+        assert_eq!(parse_vm_hwm("VmPeak:\t  100 kB\nVmHWM:\t   5164 kB\n"), 5164 * 1024);
+        assert_eq!(parse_vm_hwm(""), 0);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot a number\n"), 0);
+        assert_eq!(parse_vm_hwm("no such line\n"), 0);
     }
 
     #[test]

@@ -61,7 +61,8 @@ pub enum AigError {
     /// The netlist contains a cell synthesis cannot absorb (clock gates,
     /// isolation cells, scan flops — these are inserted *after* synthesis).
     UnsupportedCell(String),
-    /// A flip-flop clock pin is driven by logic rather than a primary input.
+    /// A flip-flop clock pin is driven by logic rather than a primary input
+    /// (a chain of plain buffers — a clock spine — is seen through).
     ClockNotPrimaryInput(String),
     /// The netlist failed validation.
     Invalid(String),
@@ -100,6 +101,10 @@ pub struct FlopBoundary {
     pub name: String,
     /// AIG primary-input index of the clock net.
     pub clock_pi: usize,
+    /// Hierarchy block of the original flop, if assigned. The mapper labels
+    /// the flop and its realized input cone with this block, so hierarchy
+    /// survives synthesis for the placer's benefit.
+    pub block: Option<String>,
 }
 
 /// An and-inverter graph with structural hashing.
@@ -286,7 +291,8 @@ impl Aig {
     /// # Errors
     ///
     /// Fails on non-synthesizable cells ([`AigError::UnsupportedCell`]), on
-    /// flop clocks that are not primary inputs, or on invalid netlists.
+    /// flop clocks that do not resolve to a primary input through at most a
+    /// chain of plain buffers, or on invalid netlists.
     pub fn from_netlist(netlist: &Netlist) -> Result<(Aig, SeqBoundary), AigError> {
         netlist.validate().map_err(|e| AigError::Invalid(e.to_string()))?;
         let lib = netlist.library();
@@ -312,13 +318,33 @@ impl Aig {
             }
             let q = aig.add_pi(format!("{}__q", inst.name()));
             net_lit.insert(inst.output().index(), q);
-            // Clock must be a primary input net.
-            let ck_net = inst.inputs()[1];
-            let clock_pi = match netlist.net(ck_net).driver() {
-                Some(NetDriver::PrimaryInput(k)) => k,
-                _ => return Err(AigError::ClockNotPrimaryInput(inst.name().to_string())),
+            // The clock must resolve to a primary input net, possibly
+            // through a chain of plain buffers: scale-tier fabrics arrive
+            // with a buffered clock spine (root → row → tile) to keep net
+            // fanout bounded, and a buffer preserves the clock edge, so
+            // synthesis can see straight through it. The spine cells
+            // themselves become dead combinational logic and are swept; CTS
+            // rebuilds a balanced tree from the placed flops later anyway.
+            // Gated or logic-derived clocks still fail, as before.
+            let mut ck_net = inst.inputs()[1];
+            let clock_pi = loop {
+                match netlist.net(ck_net).driver() {
+                    Some(NetDriver::PrimaryInput(k)) => break k,
+                    Some(NetDriver::Instance(d))
+                        if lib.cell(netlist.instance(d).cell()).function
+                            == CellFunction::Buf =>
+                    {
+                        ck_net = netlist.instance(d).inputs()[0];
+                    }
+                    _ => {
+                        return Err(AigError::ClockNotPrimaryInput(inst.name().to_string()))
+                    }
+                }
             };
-            flop_records.push(FlopBoundary { name: inst.name().to_string(), clock_pi });
+            let block = inst
+                .block()
+                .map(|b| netlist.block_names()[b as usize].clone());
+            flop_records.push(FlopBoundary { name: inst.name().to_string(), clock_pi, block });
         }
         // Combinational instances in topo order.
         let order = netlist.topo_order().map_err(|e| AigError::Invalid(e.to_string()))?;
@@ -718,6 +744,17 @@ mod tests {
         assert_eq!(aig.pos().len(), n.primary_outputs().len() + 6);
         assert_eq!(bnd.real_pis, n.primary_inputs().len());
         // Clock is PI 0 in the fabric generator.
+        assert!(bnd.flops.iter().all(|f| f.clock_pi == 0));
+    }
+
+    #[test]
+    fn buffered_clock_spine_resolves_to_the_root_primary_input() {
+        // The scale-tier mesh clocks every flop off a root → row → tile
+        // buffer spine; each flop's clock must trace through the chain to
+        // the `clk` primary input (PI 0 in the generator).
+        let n = generate::mesh_fabric(2, 2, 30, 3, 5).unwrap();
+        let (_, bnd) = Aig::from_netlist(&n).unwrap();
+        assert!(!bnd.flops.is_empty(), "mesh tiles pipeline every 12th gate");
         assert!(bnd.flops.iter().all(|f| f.clock_pi == 0));
     }
 

@@ -13,7 +13,7 @@
 
 use crate::aig::{Aig, RawNode, SeqBoundary};
 use crate::tt::TruthTable;
-use eda_netlist::{CellFunction, CellId, Library, NetId, Netlist, NetlistError};
+use eda_netlist::{CellFunction, CellId, InstId, Library, NetId, Netlist, NetlistError};
 use eda_par::ParStats;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -609,10 +609,40 @@ pub fn map_aig_threaded(
         counter: 0,
     };
 
-    let mut po_nets: Vec<NetId> = Vec::with_capacity(aig.pos().len());
-    for (_, lit) in aig.pos() {
-        po_nets.push(realizer.realize(&mut out, lit.node() as u32, lit.is_complemented())?);
+    // Realize each PO's cone, labelling the instances it creates with the
+    // owning flop's hierarchy block: nodes shared between cones stay with
+    // the first cone that realized them, so the labelling is a deterministic
+    // first-owner approximation of the source hierarchy. When the design is
+    // hierarchical, labelled flop cones go first so shared logic is claimed
+    // by a block rather than by an unlabelled real-PO cone; flat designs keep
+    // the historical PO order so their output is byte-identical to before.
+    let hierarchical = boundary.flops.iter().any(|fb| fb.block.is_some());
+    let mut po_nets: Vec<Option<NetId>> = vec![None; aig.pos().len()];
+    let mut watermark = out.num_instances();
+    let order: Vec<usize> = if hierarchical {
+        (boundary.real_pos..aig.pos().len()).chain(0..boundary.real_pos).collect()
+    } else {
+        (0..aig.pos().len()).collect()
+    };
+    for poi in order {
+        let (_, lit) = &aig.pos()[poi];
+        po_nets[poi] =
+            Some(realizer.realize(&mut out, lit.node() as u32, lit.is_complemented())?);
+        let block = boundary
+            .flops
+            .get(poi.wrapping_sub(boundary.real_pos))
+            .and_then(|fb| fb.block.as_deref());
+        if let Some(b) = block {
+            for i in watermark..out.num_instances() {
+                out.assign_block(InstId::from_index(i), b);
+            }
+        }
+        watermark = out.num_instances();
     }
+    let po_nets: Vec<NetId> = po_nets
+        .into_iter()
+        .map(|n| n.ok_or(MapError::Internal("primary output cone never realized")))
+        .collect::<Result<_, _>>()?;
     for (i, (name, _)) in aig.pos().iter().take(boundary.real_pos).enumerate() {
         out.add_output(name.clone(), po_nets[i]);
     }
@@ -622,6 +652,9 @@ pub fn map_aig_threaded(
             let d = po_nets[boundary.real_pos + fi];
             let ck = realizer.net_of_pi(fb.clock_pi);
             out.add_gate_with_output(fb.name.clone(), dff, &[d, ck], flop_q_nets[fi])?;
+            if let Some(b) = fb.block.as_deref() {
+                out.assign_block(InstId::from_index(out.num_instances() - 1), b);
+            }
         }
     }
 
@@ -766,6 +799,9 @@ pub fn map_naive(
             let d = po_nets[boundary.real_pos + fi];
             let ck = net_of_pi(fb.clock_pi, &pi_nets, &flop_q_nets);
             out.add_gate_with_output(fb.name.clone(), dff, &[d, ck], flop_q_nets[fi])?;
+            if let Some(b) = fb.block.as_deref() {
+                out.assign_block(InstId::from_index(out.num_instances() - 1), b);
+            }
         }
     }
     let area = out.area_um2();

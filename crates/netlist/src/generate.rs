@@ -499,6 +499,183 @@ pub fn alu(width: usize) -> Result<Netlist, NetlistError> {
     Ok(n)
 }
 
+/// Hard cap on the instance count any scale-tier generator will emit.
+///
+/// [`mesh_fabric`] clamps its per-tile gate budget so the total instance
+/// count never exceeds this, no matter what parameters are requested — the
+/// same defensive posture as the daemon's `DesignSpec` size caps.
+pub const MAX_SCALE_INSTANCES: usize = 1_500_000;
+
+/// One pipeline register every this many gates in a mesh tile.
+const MESH_FLOP_PERIOD: usize = 12;
+
+/// Exact instance count [`mesh_fabric`] will produce for these parameters
+/// (before cap clamping): per tile one clock buffer, `tile_gates`
+/// combinational gates and `tile_gates / 12` pipeline flops, plus one clock
+/// buffer per row and one root clock buffer.
+pub fn mesh_instance_count(rows: usize, cols: usize, tile_gates: usize) -> usize {
+    rows * cols * (1 + tile_gates + tile_gates / MESH_FLOP_PERIOD) + rows + 1
+}
+
+/// Generates a scale-tier mesh fabric: a `rows × cols` grid of logic tiles,
+/// each a seeded random-logic cloud reading `width`-bit export buses from its
+/// west and north neighbours (edge tiles read primary inputs), exporting its
+/// last `width` signals east/south, and registering every 12th gate off a
+/// buffered clock spine (root → row → tile), so no net's fanout grows with
+/// the design size. Instances carry `t{r}_{c}` block labels.
+///
+/// The grammar is DAG-legal by construction — tiles are emitted in row-major
+/// order and only ever read signals that already exist — and the instance
+/// count is the exact, deterministic [`mesh_instance_count`], clamped to
+/// `cap` ([`MAX_SCALE_INSTANCES`] for [`mesh_fabric`]) by shrinking the
+/// per-tile gate budget.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `rows`, `cols`, `tile_gates` or `width` is zero, or if `cap`
+/// cannot fit even one gate per tile.
+pub fn mesh_fabric_with_cap(
+    rows: usize,
+    cols: usize,
+    tile_gates: usize,
+    width: usize,
+    seed: u64,
+    cap: usize,
+) -> Result<Netlist, NetlistError> {
+    assert!(rows > 0 && cols > 0, "mesh needs at least one tile");
+    assert!(tile_gates > 0 && width > 0, "tile gate budget and bus width must be positive");
+    let mut tile_gates = tile_gates;
+    if mesh_instance_count(rows, cols, tile_gates) > cap {
+        // Shrink the per-tile budget to the largest count under the cap.
+        let tiles = rows * cols;
+        let budget = cap
+            .checked_sub(rows + 1 + tiles)
+            .unwrap_or_else(|| panic!("cap {cap} cannot fit a {rows}x{cols} mesh"));
+        // Flop-overhead scaling can round a tight-but-sufficient budget down
+        // to zero; one gate per tile is always the floor we try.
+        tile_gates = ((budget / tiles) * MESH_FLOP_PERIOD / (MESH_FLOP_PERIOD + 1)).max(1);
+        while tile_gates > 1 && mesh_instance_count(rows, cols, tile_gates) > cap {
+            tile_gates -= 1;
+        }
+        assert!(
+            tile_gates > 0 && mesh_instance_count(rows, cols, tile_gates) <= cap,
+            "cap {cap} cannot fit a {rows}x{cols} mesh"
+        );
+    }
+    let width = width.min(tile_gates);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut n = Netlist::new(format!("mesh{rows}x{cols}t{tile_gates}w{width}s{seed}"));
+    let ck_pi = n.add_input("clk");
+    // North-edge and west-edge import buses are primary inputs.
+    let north_pi: Vec<Vec<NetId>> = (0..cols)
+        .map(|c| (0..width).map(|b| n.add_input(format!("ni_c{c}_b{b}"))).collect())
+        .collect();
+    let west_pi: Vec<Vec<NetId>> = (0..rows)
+        .map(|r| (0..width).map(|b| n.add_input(format!("wi_r{r}_b{b}"))).collect())
+        .collect();
+    // Clock spine: root buffer -> one buffer per row -> one buffer per tile,
+    // so clock fanout is O(rows + cols + gates/tile), never O(flops).
+    let ck_root = n.add_gate_fn("ckbuf_root", CellFunction::Buf, &[ck_pi])?;
+    let row_ck: Vec<NetId> = (0..rows)
+        .map(|r| n.add_gate_fn(format!("ckbuf_r{r}"), CellFunction::Buf, &[ck_root]))
+        .collect::<Result<_, _>>()?;
+
+    let mut exports: Vec<Vec<NetId>> = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let bname = format!("t{r}_{c}");
+            let tile_ck = n.add_gate_fn(format!("{bname}_ck"), CellFunction::Buf, &[row_ck[r]])?;
+            n.assign_block(crate::netlist::InstId::from_index(n.num_instances() - 1), &bname);
+            let mut signals: Vec<NetId> = Vec::with_capacity(2 * width + tile_gates);
+            signals.extend_from_slice(if c == 0 { &west_pi[r] } else { &exports[r * cols + c - 1] });
+            signals.extend_from_slice(if r == 0 { &north_pi[c] } else { &exports[(r - 1) * cols + c] });
+            for g in 0..tile_gates {
+                let f = match rng.gen_range(0..5) {
+                    0 => CellFunction::Nand(2),
+                    1 => CellFunction::Nor(2),
+                    2 => CellFunction::Xor2,
+                    3 => CellFunction::Inv,
+                    _ => CellFunction::And(2),
+                };
+                let arity = f.num_inputs();
+                let ins: Vec<NetId> = (0..arity)
+                    .map(|_| {
+                        let span = signals.len();
+                        let back = (rng.gen::<f64>().powi(2) * span as f64) as usize;
+                        signals[span - 1 - back.min(span - 1)]
+                    })
+                    .collect();
+                let mut out = n.add_gate_fn(format!("{bname}_g{g}"), f, &ins)?;
+                n.assign_block(crate::netlist::InstId::from_index(n.num_instances() - 1), &bname);
+                if (g + 1) % MESH_FLOP_PERIOD == 0 {
+                    out = n.add_gate_fn(format!("{bname}_ff{g}"), CellFunction::Dff, &[out, tile_ck])?;
+                    n.assign_block(crate::netlist::InstId::from_index(n.num_instances() - 1), &bname);
+                }
+                signals.push(out);
+            }
+            exports.push(signals[signals.len() - width..].to_vec());
+        }
+    }
+    // South and east edge exports become primary outputs.
+    for c in 0..cols {
+        for (b, &s) in exports[(rows - 1) * cols + c].iter().enumerate() {
+            n.add_output(format!("so_c{c}_b{b}"), s);
+        }
+    }
+    for r in 0..rows {
+        for (b, &s) in exports[r * cols + cols - 1].iter().enumerate() {
+            n.add_output(format!("eo_r{r}_b{b}"), s);
+        }
+    }
+    Ok(n)
+}
+
+/// [`mesh_fabric_with_cap`] under the default [`MAX_SCALE_INSTANCES`] cap.
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+pub fn mesh_fabric(
+    rows: usize,
+    cols: usize,
+    tile_gates: usize,
+    width: usize,
+    seed: u64,
+) -> Result<Netlist, NetlistError> {
+    mesh_fabric_with_cap(rows, cols, tile_gates, width, seed, MAX_SCALE_INSTANCES)
+}
+
+/// Sizes a [`mesh_fabric`] to approximately `target_instances` (within a few
+/// percent for targets ≥ 10⁴) and generates it: the scale tier's front door.
+/// The target is itself clamped to [`MAX_SCALE_INSTANCES`].
+///
+/// # Errors
+///
+/// Propagates [`NetlistError`] from construction.
+///
+/// # Panics
+///
+/// Panics if `target_instances < 100`.
+pub fn scale_mesh(target_instances: usize, seed: u64) -> Result<Netlist, NetlistError> {
+    assert!(target_instances >= 100, "scale tier starts at 100 instances");
+    let target = target_instances.min(MAX_SCALE_INSTANCES);
+    // ~100 instances per tile: big enough to dominate the spine overhead,
+    // small enough that the mesh has real 2-D extent and wirelength stays
+    // tile-local (a placer that recovers the lattice sees mostly short
+    // nets, which is what keeps routing demand sublinear in the die span).
+    let tiles_needed = (target / 100).max(1);
+    let side = (tiles_needed as f64).sqrt().ceil() as usize;
+    let tiles = side * side;
+    let per_tile = (target / tiles).saturating_sub(1).max(1);
+    let tile_gates = (per_tile * MESH_FLOP_PERIOD / (MESH_FLOP_PERIOD + 1)).max(1);
+    mesh_fabric(side, side, tile_gates, 8, seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -706,6 +883,60 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn mesh_fabric_count_is_exact_and_validates() {
+        let n = mesh_fabric(3, 4, 50, 4, 11).unwrap();
+        n.validate().unwrap();
+        assert_eq!(n.num_instances(), mesh_instance_count(3, 4, 50));
+        assert_eq!(n.block_names().len(), 12, "one block per tile");
+        let labeled = n.instances().filter(|(_, i)| i.block().is_some()).count();
+        // Everything but the root and per-row clock buffers is tile-labeled.
+        assert_eq!(labeled, n.num_instances() - 4);
+    }
+
+    #[test]
+    fn mesh_fabric_is_deterministic() {
+        let a = mesh_fabric(2, 3, 40, 4, 5).unwrap();
+        let b = mesh_fabric(2, 3, 40, 4, 5).unwrap();
+        assert_eq!(a.num_instances(), b.num_instances());
+        let ins = vec![0xFACE_CAFE_u64; a.primary_inputs().len()];
+        assert_eq!(a.simulate64(&ins, &[]), b.simulate64(&ins, &[]));
+        let c = mesh_fabric(2, 3, 40, 4, 6).unwrap();
+        assert_eq!(c.num_instances(), a.num_instances(), "count is seed-independent");
+    }
+
+    #[test]
+    fn mesh_fabric_respects_cap() {
+        let n = mesh_fabric_with_cap(3, 3, 10_000, 4, 1, 500).unwrap();
+        assert!(n.num_instances() <= 500, "got {}", n.num_instances());
+        n.validate().unwrap();
+    }
+
+    #[test]
+    fn mesh_fabric_fanout_does_not_scale_with_flop_count() {
+        // The buffered clock spine keeps max fanout O(cols + gates/tile),
+        // never O(total flops).
+        let n = mesh_fabric(4, 4, 60, 4, 2).unwrap();
+        let max_fanout = n.nets().map(|(_, net)| net.fanout()).max().unwrap();
+        let flops = n.flops().len();
+        assert!(flops > 4 * 4 * 4, "mesh has pipeline flops");
+        assert!(max_fanout < flops, "clock must be buffered, not flat");
+        assert!(max_fanout <= 64, "fanout stays tile-local, got {max_fanout}");
+    }
+
+    #[test]
+    fn scale_mesh_hits_its_target() {
+        for target in [10_000usize, 25_000] {
+            let n = scale_mesh(target, 3).unwrap();
+            let got = n.num_instances();
+            let err = got.abs_diff(target) as f64 / target as f64;
+            assert!(err < 0.10, "target {target} got {got} ({err:.2})");
+        }
+        // Targets beyond the cap are clamped, not honoured.
+        let side = ((MAX_SCALE_INSTANCES / 800) as f64).sqrt().ceil() as usize;
+        assert!(mesh_instance_count(side, side, 800) <= 2 * MAX_SCALE_INSTANCES);
     }
 
     #[test]

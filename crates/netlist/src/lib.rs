@@ -7,7 +7,10 @@
 //! * [`netlist`] — the flat netlist graph with validation, topological
 //!   ordering and bit-parallel simulation;
 //! * [`generate`] — seeded synthetic design generators (adders, multipliers,
-//!   parity trees, switch fabrics, hierarchical SoCs, random logic);
+//!   parity trees, switch fabrics, hierarchical SoCs, random logic, and the
+//!   scale-tier mesh fabrics);
+//! * [`soa`] — struct-of-arrays storage with `u32` indices and an interned
+//!   name arena for holding 10⁵–10⁶-instance designs memory-leanly;
 //! * [`stats`] — structural statistics;
 //! * [`verilog`] — a structural-Verilog writer/parser for interchange.
 //!
@@ -30,12 +33,14 @@ pub mod codec;
 pub mod generate;
 pub mod liberty;
 pub mod netlist;
+pub mod soa;
 pub mod stats;
 pub mod verilog;
 
 pub use cell::{CellDef, CellFunction, CellId, Library};
 pub use codec::CodecError;
 pub use netlist::{InstId, Instance, Net, NetDriver, NetId, Netlist, NetlistError};
+pub use soa::{dense_heap_bytes, SoaCodecError, SoaNetlist};
 pub use liberty::{parse_clf, parse_liberty, write_clf, write_liberty, ParseLibError};
 pub use stats::NetlistStats;
 pub use verilog::{parse_verilog, write_verilog, ParseVerilogError};

@@ -32,6 +32,7 @@ pub mod cts;
 pub mod floorplan;
 pub mod global;
 pub mod hier;
+pub mod multilevel;
 pub mod parallel;
 pub mod placement;
 
@@ -42,5 +43,6 @@ pub use cts::{star_distribution, synthesize_clock_tree, ClockBuffer, ClockTree, 
 pub use floorplan::{Die, Point};
 pub use global::{legalize, place_global, GlobalConfig};
 pub use hier::{place_hierarchical, HierOutcome};
+pub use multilevel::{place_multilevel, MultilevelConfig, MultilevelOutcome};
 pub use parallel::{place_parallel, ParallelConfig, ParallelOutcome};
 pub use placement::{Placement, PlacementSnapshot};

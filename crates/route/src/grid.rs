@@ -133,6 +133,17 @@ impl RoutingGrid {
         }
     }
 
+    /// Whether the edge between adjacent cells is strictly over capacity.
+    pub fn is_overflowed(&self, a: GCell, b: GCell) -> bool {
+        if a.y == b.y {
+            let x = a.x.min(b.x);
+            self.usage_h(x, a.y) > self.cap_h
+        } else {
+            let y = a.y.min(b.y);
+            self.usage_v(a.x, y) > self.cap_v
+        }
+    }
+
     /// Increments history cost on every currently-overflowed edge (called
     /// between rip-up iterations).
     pub fn bump_history(&mut self) {

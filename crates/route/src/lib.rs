@@ -30,7 +30,7 @@ pub mod router;
 pub mod rules;
 
 pub use grid::{GCell, RoutingGrid};
-pub use linesearch::mikami_tabuchi;
-pub use maze::{astar, count_bends, lee_bfs, Path, SearchStats};
+pub use linesearch::{mikami_tabuchi, mikami_tabuchi_in};
+pub use maze::{astar, astar_in, count_bends, lee_bfs, lee_bfs_in, Path, SearchStats, SearchWindow};
 pub use router::{layer_sweep, route, route_stats, RouteAlgorithm, RouteConfig, RouteOutcome};
 pub use rules::RuleDeck;

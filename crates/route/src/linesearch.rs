@@ -7,7 +7,7 @@
 //! behaviour behind Domic's claim C5.
 
 use crate::grid::{GCell, RoutingGrid};
-use crate::maze::{Path, SearchStats};
+use crate::maze::{Path, SearchStats, SearchWindow as Window};
 
 /// One probe line in the arena.
 #[derive(Debug, Clone, Copy)]
@@ -52,27 +52,6 @@ impl Line {
         let x = v.origin.x;
         let y = h.origin.y;
         (x >= h.lo && x <= h.hi && y >= v.lo && y <= v.hi).then(|| GCell::new(x, y))
-    }
-}
-
-/// The clipping window probes may not leave (keeps probe cost proportional
-/// to the connection's own extent instead of the die size).
-#[derive(Debug, Clone, Copy)]
-struct Window {
-    x0: u32,
-    x1: u32,
-    y0: u32,
-    y1: u32,
-}
-
-impl Window {
-    fn around(src: GCell, dst: GCell, margin: u32, grid: &RoutingGrid) -> Window {
-        Window {
-            x0: src.x.min(dst.x).saturating_sub(margin),
-            x1: (src.x.max(dst.x) + margin).min(grid.width - 1),
-            y0: src.y.min(dst.y).saturating_sub(margin),
-            y1: (src.y.max(dst.y) + margin).min(grid.height - 1),
-        }
     }
 }
 
@@ -147,25 +126,43 @@ fn segment(from: GCell, to: GCell) -> Vec<GCell> {
 ///
 /// Returns the path and the number of line-cells generated (the analogue of
 /// "cells expanded"), or `None` when the expansion level limit is hit —
-/// callers fall back to maze routing.
+/// callers fall back to maze routing. Probes are clipped to a window sized
+/// to the connection's own extent (margin `3 + distance/2`).
 pub fn mikami_tabuchi(
     grid: &RoutingGrid,
     src: GCell,
     dst: GCell,
     max_levels: usize,
 ) -> Option<(Path, SearchStats)> {
+    let win = Window::around(src, dst, 3 + src.manhattan(&dst) / 2, grid);
+    mikami_tabuchi_in(grid, src, dst, max_levels, win)
+}
+
+/// [`mikami_tabuchi`] with an explicit clipping [`Window`](SearchWindow) —
+/// the bounded-memory entry point: scratch bitmaps are sized to the window
+/// and probes never leave it. A tighter window fails (returns `None`) more
+/// often; callers fall back to windowed maze routing.
+pub fn mikami_tabuchi_in(
+    grid: &RoutingGrid,
+    src: GCell,
+    dst: GCell,
+    max_levels: usize,
+    win: Window,
+) -> Option<(Path, SearchStats)> {
     if src == dst {
-        return Some((vec![src], SearchStats { expanded: 0 }));
+        return Some((vec![src], SearchStats { expanded: 0, scratch_cells: 0 }));
     }
     let mut arena: Vec<Line> = Vec::new();
     let mut src_lines: Vec<usize> = Vec::new();
     let mut dst_lines: Vec<usize> = Vec::new();
     let mut expanded = 0usize;
-    let n = (grid.width * grid.height) as usize;
-    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
+    // Probes are clipped to `win`, so the seen bitmaps only need the
+    // window — line search never materializes the full grid.
+    debug_assert!(win.contains(src) && win.contains(dst));
+    let n = win.cells();
+    let idx = |c: GCell| win.local_index(c);
     let mut src_seen = vec![false; n];
     let mut dst_seen = vec![false; n];
-    let win = Window::around(src, dst, 3 + src.manhattan(&dst) / 2, grid);
 
     for (lines, seen, origin) in
         [(&mut src_lines, &mut src_seen, src), (&mut dst_lines, &mut dst_seen, dst)]
@@ -203,7 +200,7 @@ pub fn mikami_tabuchi(
                     trace(&arena, di, x, &mut bwd);
                     path.extend(bwd);
                     dedup_path(&mut path);
-                    return Some((path, SearchStats { expanded }));
+                    return Some((path, SearchStats { expanded, scratch_cells: n }));
                 }
                 // A target line passing exactly through src (or vice versa).
                 if arena[di].contains(src) {
@@ -212,7 +209,7 @@ pub fn mikami_tabuchi(
                     trace(&arena, di, src, &mut bwd);
                     path.extend(bwd);
                     dedup_path(&mut path);
-                    return Some((path, SearchStats { expanded }));
+                    return Some((path, SearchStats { expanded, scratch_cells: n }));
                 }
                 if arena[si].contains(dst) {
                     let mut fwd = Vec::new();
@@ -224,7 +221,7 @@ pub fn mikami_tabuchi(
                         path.push(dst);
                     }
                     dedup_path(&mut path);
-                    return Some((path, SearchStats { expanded }));
+                    return Some((path, SearchStats { expanded, scratch_cells: n }));
                 }
             }
         }

@@ -11,18 +11,104 @@ pub type Path = Vec<GCell>;
 pub struct SearchStats {
     /// Cells expanded during the search.
     pub expanded: usize,
+    /// Scratch cells materialized for the search: the window area the
+    /// per-cell arrays (`prev`, `visited`, `best_g`, line-search `seen`
+    /// bitmaps) were sized to. With a full-grid window this is
+    /// `width × height`; with a bounded window it is the window area —
+    /// the router's memory bar.
+    pub scratch_cells: usize,
+}
+
+/// A rectangular sub-grid (inclusive bounds) that bounds one maze search.
+///
+/// Per-cell scratch arrays are sized to the window, not the grid, so a
+/// search over a small window never materializes the full grid — the
+/// bounded-memory mode the scale tier routes in. A window is always a
+/// pure function of the connection (bbox plus a fixed margin), never of
+/// the thread count, so windowed outcomes stay bit-identical under any
+/// parallel schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchWindow {
+    /// Inclusive low column.
+    pub x0: u32,
+    /// Inclusive low row.
+    pub y0: u32,
+    /// Inclusive high column.
+    pub x1: u32,
+    /// Inclusive high row.
+    pub y1: u32,
+}
+
+impl SearchWindow {
+    /// The whole grid (classic full-grid search).
+    pub fn full(grid: &RoutingGrid) -> SearchWindow {
+        SearchWindow { x0: 0, y0: 0, x1: grid.width - 1, y1: grid.height - 1 }
+    }
+
+    /// The bounding box of `src`/`dst` expanded by `margin` g-cells on
+    /// every side, clamped to the grid.
+    pub fn around(src: GCell, dst: GCell, margin: u32, grid: &RoutingGrid) -> SearchWindow {
+        SearchWindow {
+            x0: src.x.min(dst.x).saturating_sub(margin),
+            y0: src.y.min(dst.y).saturating_sub(margin),
+            x1: (src.x.max(dst.x) + margin).min(grid.width - 1),
+            y1: (src.y.max(dst.y) + margin).min(grid.height - 1),
+        }
+    }
+
+    /// Window width in g-cells.
+    pub fn width(&self) -> u32 {
+        self.x1 - self.x0 + 1
+    }
+
+    /// Window height in g-cells.
+    pub fn height(&self) -> u32 {
+        self.y1 - self.y0 + 1
+    }
+
+    /// Window area in g-cells — the scratch a windowed search allocates.
+    pub fn cells(&self) -> usize {
+        self.width() as usize * self.height() as usize
+    }
+
+    /// Whether the window contains `c`.
+    pub fn contains(&self, c: GCell) -> bool {
+        c.x >= self.x0 && c.x <= self.x1 && c.y >= self.y0 && c.y <= self.y1
+    }
+
+    /// Window-local index of a contained cell (row-major within the window).
+    pub fn local_index(&self, c: GCell) -> usize {
+        debug_assert!(self.contains(c));
+        ((c.y - self.y0) * self.width() + (c.x - self.x0)) as usize
+    }
 }
 
 /// Lee's algorithm: uniform-cost BFS ignoring congestion weights (the
 /// decade-old baseline). Returns the path and expansion count, or `None` if
 /// target is unreachable (cannot happen on a connected grid).
 pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, SearchStats)> {
+    lee_bfs_in(grid, src, dst, SearchWindow::full(grid))
+}
+
+/// [`lee_bfs`] restricted to a [`SearchWindow`]: scratch arrays are sized
+/// to the window and the wavefront never leaves it. With
+/// [`SearchWindow::full`] this is exactly the classic search. The grid has
+/// no hard obstacles, so any window containing both pins always yields a
+/// path — a window only trades detour room for memory.
+pub fn lee_bfs_in(
+    grid: &RoutingGrid,
+    src: GCell,
+    dst: GCell,
+    win: SearchWindow,
+) -> Option<(Path, SearchStats)> {
+    debug_assert!(win.contains(src) && win.contains(dst));
     if src == dst {
-        return Some((vec![src], SearchStats { expanded: 0 }));
+        return Some((vec![src], SearchStats { expanded: 0, scratch_cells: 0 }));
     }
-    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
-    let mut prev: Vec<Option<GCell>> = vec![None; (grid.width * grid.height) as usize];
-    let mut visited = vec![false; (grid.width * grid.height) as usize];
+    let idx = |c: GCell| win.local_index(c);
+    let scratch = win.cells();
+    let mut prev: Vec<Option<GCell>> = vec![None; scratch];
+    let mut visited = vec![false; scratch];
     visited[idx(src)] = true;
     let mut queue = std::collections::VecDeque::new();
     queue.push_back(src);
@@ -33,7 +119,7 @@ pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, Sear
             break;
         }
         for n in grid.neighbours(c) {
-            if !visited[idx(n)] {
+            if win.contains(n) && !visited[idx(n)] {
                 visited[idx(n)] = true;
                 prev[idx(n)] = Some(c);
                 queue.push_back(n);
@@ -50,7 +136,7 @@ pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, Sear
         cur = p;
     }
     path.reverse();
-    Some((path, SearchStats { expanded }))
+    Some((path, SearchStats { expanded, scratch_cells: scratch }))
 }
 
 /// Fixed-point scale for quantized search costs: [`RoutingGrid::step_cost`]
@@ -106,11 +192,27 @@ pub fn astar(
     dst: GCell,
     via_cost: f64,
 ) -> Option<(Path, SearchStats)> {
+    astar_in(grid, src, dst, via_cost, SearchWindow::full(grid))
+}
+
+/// [`astar`] restricted to a [`SearchWindow`]: `best_g`/`prev` are sized to
+/// the window and expansion never leaves it. With [`SearchWindow::full`]
+/// this is exactly the classic search; with a bounded window the route may
+/// accept congestion it cannot detour around, which rip-up negotiation then
+/// repairs.
+pub fn astar_in(
+    grid: &RoutingGrid,
+    src: GCell,
+    dst: GCell,
+    via_cost: f64,
+    win: SearchWindow,
+) -> Option<(Path, SearchStats)> {
+    debug_assert!(win.contains(src) && win.contains(dst));
     if src == dst {
-        return Some((vec![src], SearchStats { expanded: 0 }));
+        return Some((vec![src], SearchStats { expanded: 0, scratch_cells: 0 }));
     }
-    let n = (grid.width * grid.height) as usize;
-    let idx = |c: GCell| (c.y * grid.width + c.x) as usize;
+    let n = win.cells();
+    let idx = |c: GCell| win.local_index(c);
     let quant = |c: f64| (c * DIAL_SCALE).round() as u64;
     let h = |c: GCell| c.manhattan(&dst) as u64 * DIAL_SCALE as u64;
     let mut best_g = vec![u64::MAX; n];
@@ -130,6 +232,9 @@ pub fn astar(
         }
         let came_from = prev[idx(cell)];
         for nb in grid.neighbours(cell) {
+            if !win.contains(nb) {
+                continue;
+            }
             let mut cost = grid.step_cost(cell, nb);
             // Bend penalty: direction change relative to the incoming edge.
             if let Some(p) = came_from {
@@ -159,7 +264,7 @@ pub fn astar(
         }
     }
     path.reverse();
-    Some((path, SearchStats { expanded }))
+    Some((path, SearchStats { expanded, scratch_cells: n }))
 }
 
 /// Number of bends in a path (proxy for via count in the 2-D model).
@@ -256,5 +361,53 @@ mod tests {
         let (p, s) = lee_bfs(&g, GCell::new(4, 4), GCell::new(4, 4)).unwrap();
         assert_eq!(p, vec![GCell::new(4, 4)]);
         assert_eq!(s.expanded, 0);
+    }
+
+    #[test]
+    fn full_window_matches_classic_search_exactly() {
+        let g = grid();
+        let full = SearchWindow::full(&g);
+        let (p1, s1) = lee_bfs(&g, GCell::new(1, 2), GCell::new(13, 11)).unwrap();
+        let (p2, s2) = lee_bfs_in(&g, GCell::new(1, 2), GCell::new(13, 11), full).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(s1, s2);
+        let (p3, s3) = astar(&g, GCell::new(1, 2), GCell::new(13, 11), 1.0).unwrap();
+        let (p4, s4) = astar_in(&g, GCell::new(1, 2), GCell::new(13, 11), 1.0, full).unwrap();
+        assert_eq!(p3, p4);
+        assert_eq!(s3, s4);
+        assert_eq!(s2.scratch_cells, 16 * 16);
+    }
+
+    #[test]
+    fn windowed_search_bounds_scratch_and_still_routes() {
+        let g = grid();
+        let src = GCell::new(2, 3);
+        let dst = GCell::new(6, 5);
+        let win = SearchWindow::around(src, dst, 1, &g);
+        assert_eq!((win.x0, win.y0, win.x1, win.y1), (1, 2, 7, 6));
+        type Search = fn(&RoutingGrid, GCell, GCell, SearchWindow) -> Option<(Path, SearchStats)>;
+        let searches: [Search; 2] =
+            [|g, s, d, w| lee_bfs_in(g, s, d, w), |g, s, d, w| astar_in(g, s, d, 1.0, w)];
+        for f in searches {
+            let (path, stats) = f(&g, src, dst, win).unwrap();
+            assert_eq!(path[0], src);
+            assert_eq!(*path.last().unwrap(), dst);
+            assert!(path.iter().all(|&c| win.contains(c)), "path stays inside the window");
+            assert_eq!(stats.scratch_cells, win.cells());
+            assert!(stats.scratch_cells < (g.width * g.height) as usize);
+            // Shortest path is still found: the window contains the bbox.
+            assert_eq!(path.len() as u32, src.manhattan(&dst) + 1);
+        }
+    }
+
+    #[test]
+    fn window_clamps_to_grid_edges() {
+        let g = grid();
+        let win = SearchWindow::around(GCell::new(0, 0), GCell::new(15, 15), 9, &g);
+        assert_eq!(win, SearchWindow::full(&g));
+        assert_eq!(win.cells(), 256);
+        assert!(win.contains(GCell::new(0, 15)));
+        assert_eq!(win.local_index(GCell::new(0, 0)), 0);
+        assert_eq!(win.local_index(GCell::new(15, 15)), 255);
     }
 }

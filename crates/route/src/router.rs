@@ -2,8 +2,8 @@
 //! PathFinder-style negotiated rip-up and re-route.
 
 use crate::grid::{GCell, RoutingGrid};
-use crate::linesearch::mikami_tabuchi;
-use crate::maze::{astar, count_bends, lee_bfs, Path};
+use crate::linesearch::{mikami_tabuchi, mikami_tabuchi_in};
+use crate::maze::{astar_in, count_bends, lee_bfs_in, Path, SearchWindow};
 use crate::rules::RuleDeck;
 use eda_place::Placement;
 use eda_netlist::Netlist;
@@ -36,6 +36,14 @@ pub struct RouteConfig {
     /// never depends on this value, so outcomes are bit-identical for any
     /// thread count.
     pub threads: usize,
+    /// Bounded-memory search window: `0` (the default) searches the full
+    /// grid, exactly the classic behaviour. When positive, every maze
+    /// search is confined to the connection's bounding box expanded by this
+    /// many g-cells, so per-search scratch is proportional to the
+    /// connection's extent instead of the grid area — the tiled mode the
+    /// scale tier routes in. The window is a pure function of the
+    /// connection, so outcomes remain bit-identical at any thread count.
+    pub window_margin: u32,
 }
 
 impl RouteConfig {
@@ -56,6 +64,7 @@ impl Default for RouteConfig {
             grid_cells: 32,
             ripup_iterations: 6,
             threads: 1,
+            window_margin: 0,
         }
     }
 }
@@ -84,6 +93,14 @@ pub struct RouteOutcome {
     /// both passes batch in input order and commit in batch order, so the
     /// trajectory is identical at any thread count.
     pub ripup_overflow: Vec<u64>,
+    /// Largest per-search scratch window materialized (g-cells). Equals
+    /// [`RouteOutcome::dense_grid_cells`] when
+    /// [`RouteConfig::window_margin`] is `0`; under tiled routing it is the
+    /// bounded-memory bar the bench compares against the dense grid.
+    pub peak_window_cells: u64,
+    /// Scratch a full-grid search would have allocated (`width × height`) —
+    /// the dense baseline bar.
+    pub dense_grid_cells: u64,
 }
 
 impl RouteOutcome {
@@ -212,29 +229,47 @@ pub fn route_stats(
     let mut paths: Vec<Option<Path>> = vec![None; pairs.len()];
     let mut fallbacks = 0usize;
     let mut expanded = 0u64;
+    let mut peak_window = 0u64;
     let mut stats = eda_par::ParStats::empty();
 
     // Pure per-connection search against an immutable grid: the only route
     // computation, shared by the parallel batches and the serial rip-up.
-    let route_one = |grid: &RoutingGrid, tp: &TwoPin| -> (Path, bool, u64) {
+    // The search window depends only on the connection and the config, so
+    // windowed routing is as thread-invariant as full-grid routing.
+    let route_one = |grid: &RoutingGrid, tp: &TwoPin| -> (Path, bool, u64, u64) {
+        let win = if cfg.window_margin > 0 {
+            SearchWindow::around(tp.src, tp.dst, cfg.window_margin, grid)
+        } else {
+            SearchWindow::full(grid)
+        };
         match cfg.algorithm {
             RouteAlgorithm::LeeBfs => {
-                let (p, s) = lee_bfs(grid, tp.src, tp.dst).expect("grid is connected");
-                (p, false, s.expanded as u64)
+                let (p, s) = lee_bfs_in(grid, tp.src, tp.dst, win).expect("grid is connected");
+                (p, false, s.expanded as u64, s.scratch_cells as u64)
             }
             RouteAlgorithm::AStar => {
-                let (p, s) =
-                    astar(grid, tp.src, tp.dst, cfg.deck.via_cost).expect("grid is connected");
-                (p, false, s.expanded as u64)
+                let (p, s) = astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win)
+                    .expect("grid is connected");
+                (p, false, s.expanded as u64, s.scratch_cells as u64)
             }
-            RouteAlgorithm::LineSearch => match mikami_tabuchi(grid, tp.src, tp.dst, 12) {
-                Some((p, s)) => (p, false, s.expanded as u64),
-                None => {
-                    let (p, s) = astar(grid, tp.src, tp.dst, cfg.deck.via_cost)
-                        .expect("grid is connected");
-                    (p, true, s.expanded as u64)
+            RouteAlgorithm::LineSearch => {
+                // Windowed mode clips the probes to the same bounded window
+                // the maze fallback searches; margin 0 keeps the classic
+                // connection-extent window.
+                let probe = if cfg.window_margin > 0 {
+                    mikami_tabuchi_in(grid, tp.src, tp.dst, 12, win)
+                } else {
+                    mikami_tabuchi(grid, tp.src, tp.dst, 12)
+                };
+                match probe {
+                    Some((p, s)) => (p, false, s.expanded as u64, s.scratch_cells as u64),
+                    None => {
+                        let (p, s) = astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win)
+                            .expect("grid is connected");
+                        (p, true, s.expanded as u64, s.scratch_cells as u64)
+                    }
                 }
-            },
+            }
         }
     };
 
@@ -270,9 +305,10 @@ pub fn route_stats(
             eda_par::par_map_stats(cfg.threads, batch, |_, &i| route_one(grid, &pairs[i]))
         };
         stats.absorb(&s);
-        for (&i, (p, fb, ex)) in batch.iter().zip(routed) {
+        for (&i, (p, fb, ex, sc)) in batch.iter().zip(routed) {
             fallbacks += fb as usize;
             expanded += ex;
+            peak_window = peak_window.max(sc);
             commit(&mut grid, &p, 1);
             paths[i] = Some(p);
         }
@@ -288,15 +324,27 @@ pub fn route_stats(
             }
             grid.bump_history();
             iterations += 1;
-            // Victims of this round: paths traversing an overflowed edge,
-            // in input order. Scheduling them into bbox-disjoint batches
-            // lets the re-routes run in parallel while later batches still
-            // observe earlier batches' freshly committed usage.
+            // Victims of this round: paths traversing a congested edge, in
+            // input order. Scheduling them into bbox-disjoint batches lets
+            // the re-routes run in parallel while later batches still
+            // observe earlier batches' freshly committed usage. The dense
+            // router treats at-capacity edges as congested (aggressive, fine
+            // on small grids); the windowed scale router only rips paths on
+            // strictly overflowed edges — at scale most edges sit near
+            // capacity and the aggressive rule churns thousands of paths per
+            // residual overflow unit without converging.
+            let congested = |grid: &RoutingGrid, a: GCell, b: GCell| {
+                if cfg.window_margin > 0 {
+                    grid.is_overflowed(a, b)
+                } else {
+                    grid.is_full(a, b)
+                }
+            };
             let mut victims: Vec<usize> = (0..pairs.len())
                 .filter(|&i| {
                     paths[i]
                         .as_ref()
-                        .is_some_and(|p| p.windows(2).any(|win| grid.is_full(win[0], win[1])))
+                        .is_some_and(|p| p.windows(2).any(|win| congested(&grid, win[0], win[1])))
                 })
                 .collect();
             while !victims.is_empty() {
@@ -310,9 +358,10 @@ pub fn route_stats(
                     eda_par::par_map_stats(cfg.threads, &batch, |_, &i| route_one(grid, &pairs[i]))
                 };
                 stats.absorb(&s);
-                for (&i, (p, fb, ex)) in batch.iter().zip(routed) {
+                for (&i, (p, fb, ex, sc)) in batch.iter().zip(routed) {
                     fallbacks += fb as usize;
                     expanded += ex;
+                    peak_window = peak_window.max(sc);
                     commit(&mut grid, &p, 1);
                     paths[i] = Some(p);
                 }
@@ -333,6 +382,8 @@ pub fn route_stats(
         seconds: start.elapsed().as_secs_f64(),
         iterations,
         ripup_overflow,
+        peak_window_cells: peak_window,
+        dense_grid_cells: w as u64 * h as u64,
     };
     (outcome, stats)
 }
@@ -461,5 +512,42 @@ mod tests {
         let out = route(&n, &p, &RouteConfig::default());
         assert!(out.vias > 0);
         assert!(out.seconds >= 0.0);
+    }
+
+    #[test]
+    fn windowed_routing_bounds_memory_and_stays_deterministic() {
+        let (n, p) = placed(300, 5);
+        for alg in [RouteAlgorithm::LeeBfs, RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+            let full = route(&n, &p, &RouteConfig { algorithm: alg, ..Default::default() });
+            if alg == RouteAlgorithm::LineSearch {
+                // Line-search probes always clip to the connection's extent.
+                assert!(full.peak_window_cells <= full.dense_grid_cells, "{alg:?}");
+            } else {
+                assert_eq!(
+                    full.peak_window_cells, full.dense_grid_cells,
+                    "{alg:?}: margin 0 searches the full grid"
+                );
+            }
+            let windowed = RouteConfig { algorithm: alg, window_margin: 4, ..Default::default() };
+            let serial = route(&n, &p, &windowed);
+            assert!(
+                serial.peak_window_cells < serial.dense_grid_cells,
+                "{alg:?}: windowed peak {} must be below dense {}",
+                serial.peak_window_cells,
+                serial.dense_grid_cells
+            );
+            assert_eq!(serial.connections, full.connections);
+            assert!(serial.wirelength > 0);
+            for threads in [2, 4] {
+                let cfg = RouteConfig { threads, ..windowed.clone() };
+                let par = route(&n, &p, &cfg);
+                assert_eq!(par.wirelength, serial.wirelength, "{alg:?} threads={threads}");
+                assert_eq!(par.vias, serial.vias);
+                assert_eq!(par.overflow, serial.overflow);
+                assert_eq!(par.cells_expanded, serial.cells_expanded);
+                assert_eq!(par.peak_window_cells, serial.peak_window_cells);
+                assert_eq!(par.ripup_overflow, serial.ripup_overflow);
+            }
+        }
     }
 }

@@ -25,6 +25,12 @@
 # rejections — emitted as BENCH_daemon.json (throughput, p50/p95 latency,
 # accepted/rejected/completed counts, bit-identity of every completion).
 #
+# Also runs the scale-tier benchmark (`experiments scale`): a 10^5-instance
+# mesh fabric through all 11 stages serially and at N workers, emitted as
+# BENCH_scale.json (per-stage wall clock and peak RSS, SoA-vs-dense netlist
+# heap, windowed-vs-dense routing footprint, QoR bit-identity). Override the
+# design size with EDA_BENCH_SCALE_INSTANCES (e.g. 10000 for a quick pass).
+#
 # Usage: scripts/bench_flow.sh [N]    worker threads for the parallel pass
 #                                     (default $EDA_BENCH_THREADS or 4)
 #
@@ -215,3 +221,53 @@ DAEMON_PID=""
 
 echo "bench_flow: wrote $DAEMON_OUT" >&2
 cat "$DAEMON_OUT"
+
+# ---- scale-tier benchmark -> BENCH_scale.json ----
+SCALE_OUT="BENCH_scale.json"
+SCALE_N="${EDA_BENCH_SCALE_INSTANCES:-100000}"
+
+echo "bench_flow: scale pass ($SCALE_N instances, serial + $N workers)" >&2
+SCALE="$(./target/release/experiments scale --instances "$SCALE_N" --threads "$N" \
+    | grep -E '^SCALE(LINE|STAGE) ')"
+
+printf '%s\n' "$SCALE" | awk '
+    # ns must start as numeric 0: an uninitialized awk variable subscripts
+    # arrays as the string "", which would orphan the first stage row.
+    BEGIN { ns = 0 }
+    /^SCALELINE/  { v[$2] = $3 + 0 }
+    /^SCALESTAGE/ { stages[ns] = $2; wall[ns] = $3 + 0; rss[ns] = $4 + 0; ns++ }
+    END {
+        printf "{\n"
+        printf "  \"instances\": %d,\n", v["instances"]
+        printf "  \"nets\": %d,\n", v["nets"]
+        printf "  \"generate_s\": %.6f,\n", v["generate_s"]
+        printf "  \"soa_heap_bytes\": %d,\n", v["soa_heap_bytes"]
+        printf "  \"dense_heap_bytes\": %d,\n", v["dense_heap_bytes"]
+        printf "  \"soa_vs_dense\": %.3f,\n", v["soa_heap_bytes"] / v["dense_heap_bytes"]
+        printf "  \"window_peak_cells\": %d,\n", v["window_peak_cells"]
+        printf "  \"dense_grid_cells\": %d,\n", v["dense_grid_cells"]
+        printf "  \"place_hpwl_um\": %d,\n", v["place_hpwl_um"]
+        printf "  \"route_wirelength\": %d,\n", v["route_wirelength"]
+        printf "  \"route_overflow\": %d,\n", v["route_overflow"]
+        printf "  \"serial_s\": %.6f,\n", v["serial_s"]
+        printf "  \"parallel_s\": %.6f,\n", v["parallel_s"]
+        printf "  \"threads\": %d,\n", v["threads"]
+        printf "  \"peak_rss_mb\": %d,\n", v["peak_rss_mb"]
+        printf "  \"same_qor\": %s,\n", v["same_qor"] ? "true" : "false"
+        printf "  \"stages\": {\n"
+        for (i = 0; i < ns; i++)
+            printf "    \"%s\": {\"wall_s\": %.6f, \"peak_rss_mb\": %d}%s\n", \
+                stages[i], wall[i], rss[i], (i < ns - 1) ? "," : ""
+        printf "  }\n"
+        printf "}\n"
+        if (v["route_overflow"] != 0) {
+            print "bench_flow: FAIL scale tier left routing overflow" > "/dev/stderr"; exit 1
+        }
+        if (!v["same_qor"]) {
+            print "bench_flow: FAIL scale-tier QoR diverged across thread counts" > "/dev/stderr"; exit 1
+        }
+    }
+' > "$SCALE_OUT"
+
+echo "bench_flow: wrote $SCALE_OUT" >&2
+cat "$SCALE_OUT"

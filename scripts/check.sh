@@ -126,6 +126,13 @@ printf '%s\n' "$incr_log" | grep -qx 'INCRLINE same_qor 1' \
          printf '%s\n' "$incr_log" >&2; exit 1; }
 echo "check: poisoned cache entry recomputed, QoR intact"
 
+# Mini-scale smoke: a 10^4-instance mesh fabric through the full scale-tier
+# flow, serial and at 4 workers. The tool itself asserts all 11 stages
+# complete, routing closes with zero overflow, QoR is bit-identical across
+# thread counts, the SoA netlist beats the dense layout, windowed routing
+# never materializes the dense grid, and peak RSS stays under the budget.
+./target/release/experiments scale --instances 10000 --rss-budget-mb 512 --threads 4
+
 # Golden snapshot in release: QoR + telemetry byte-stable across threads
 # 1/2/4/8 and unchanged vs tests/golden/smoke.snap (re-bless: scripts/bless.sh).
 cargo test --release -q --test golden
@@ -134,4 +141,4 @@ cargo test --release -q --test golden
 awk '/^test result:/ { passed += $4; failed += $6 }
      END { printf "check: %d tests passed, %d failed across all binaries\n", passed, failed
            exit (failed > 0) }' "$test_log"
-echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + serve + daemon + facade docs + incremental + golden green"
+echo "check: tier-1 + clippy + unwrap gates + inject smoke + trace + serve + daemon + facade docs + incremental + mini-scale + golden green"

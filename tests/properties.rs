@@ -150,4 +150,49 @@ proptest! {
         let h = generate::hierarchical_design(1 + (seed % 4) as usize, gates.min(60), seed).unwrap();
         prop_assert!(h.validate().is_ok());
     }
+
+    /// Hierarchical mesh fabrics are DAG-legal (validate() proves no
+    /// combinational cycle and every connection in-bounds) at every shape
+    /// and seed, and every instance carries its tile's block label.
+    #[test]
+    fn mesh_fabrics_are_dag_legal(
+        rows in 1usize..5, cols in 1usize..5, tile_gates in 1usize..60, seed in 0u64..20,
+    ) {
+        let m = generate::mesh_fabric(rows, cols, tile_gates, 4, seed).unwrap();
+        prop_assert!(m.validate().is_ok());
+        let labelled = m.instances().filter(|(_, i)| i.block().is_some()).count();
+        prop_assert!(labelled > 0, "mesh instances must carry tile labels");
+    }
+
+    /// The mesh size cap is respected for any cap that admits the shape,
+    /// and `scale_mesh` lands within a few percent of its target while
+    /// never exceeding the global ceiling.
+    #[test]
+    fn mesh_size_caps_respected(
+        rows in 1usize..4, cols in 1usize..4, tile_gates in 50usize..400,
+        cap_slack in 0usize..200, seed in 0u64..10,
+    ) {
+        // Smallest mesh of this shape: one gate per tile plus spine/flops.
+        let floor = generate::mesh_fabric_with_cap(rows, cols, 1, 4, seed, usize::MAX)
+            .unwrap()
+            .num_instances();
+        let cap = floor + cap_slack;
+        let m = generate::mesh_fabric_with_cap(rows, cols, tile_gates, 4, seed, cap).unwrap();
+        prop_assert!(m.num_instances() <= cap, "{} > cap {cap}", m.num_instances());
+        prop_assert!(m.validate().is_ok());
+    }
+
+    /// `scale_mesh` tracks its target within tolerance and stays DAG-legal.
+    #[test]
+    fn scale_mesh_tracks_target(target in 5_000usize..40_000, seed in 0u64..8) {
+        let m = generate::scale_mesh(target, seed).unwrap();
+        prop_assert!(m.validate().is_ok());
+        let n = m.num_instances();
+        prop_assert!(n <= generate::MAX_SCALE_INSTANCES);
+        // Within 15% of the target at 10⁴-scale (the tiling quantizes).
+        prop_assert!(
+            n * 100 >= target * 85 && n * 100 <= target * 115,
+            "scale_mesh({target}) produced {n} instances"
+        );
+    }
 }

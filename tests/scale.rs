@@ -1,0 +1,203 @@
+//! Scale-tier stress tests: the 10⁵-instance mesh through all 11 supervised
+//! stages, bit-identical across thread counts, resumable mid-flow, warm-cache
+//! replayable, and inside its peak-RSS budget.
+//!
+//! The 10⁵ tests are `#[ignore]`d (minutes of release wall clock — run with
+//! `cargo test --release --test scale -- --ignored`); the 10⁴ mini tier runs
+//! in tier-1 release builds and is exercised in every `scripts/check.sh` run
+//! through the `experiments scale` smoke gate. Debug builds skip the mini
+//! tier too — an unoptimized 10⁴ route is minutes of wall clock — and keep
+//! only the small-mesh checks.
+
+use eda::core::{
+    read_peak_rss_bytes, run_flow, Fault, FaultPlan, FlowConfig, FlowReport, Metric, SpanKind,
+    STAGES,
+};
+use eda::netlist::{generate, Netlist};
+use eda::tech::Node;
+use std::path::PathBuf;
+
+/// Mini tier: 10⁴ instances, seconds in release.
+const MINI: usize = 10_000;
+/// Stress tier: ~10⁵ instances.
+const STRESS: usize = 100_000;
+/// Peak-RSS ceiling for the 10⁵ tier, both runs of the process included.
+/// Measured ~0.6 GB on Linux; the bar catches superlinear regressions
+/// (a dense per-search grid or an AoS netlist blows well past it).
+const STRESS_RSS_BUDGET_MB: u64 = 1536;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("eda_scale_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn cleanup(d: &PathBuf) {
+    let _ = std::fs::remove_dir_all(d);
+}
+
+fn run_tier(design: &Netlist, instances: usize, threads: usize) -> FlowReport {
+    let mut cfg = FlowConfig::scale_2016(Node::N28, instances);
+    cfg.threads = threads;
+    run_flow(design, &cfg).unwrap_or_else(|e| panic!("scale flow at {threads} threads: {e}"))
+}
+
+fn assert_scale_invariants(report: &FlowReport, label: &str) {
+    assert_eq!(report.stage_status.len(), STAGES.len(), "{label}: missing stages");
+    for stage in STAGES {
+        assert!(report.stage_status.contains_key(stage), "{label}: no status for {stage}");
+    }
+    assert_eq!(report.overflow, 0, "{label}: routing left overflow");
+    let gauge = |name: &str| match report.telemetry.metrics.get(name) {
+        Some(Metric::Gauge(g)) => *g,
+        _ => 0.0,
+    };
+    let window = gauge("route.window_peak_cells");
+    let dense = gauge("route.dense_grid_cells");
+    assert!(window > 0.0 && dense > 0.0, "{label}: windowed-routing gauges missing");
+    assert!(
+        window < dense,
+        "{label}: windowed search materialized the dense grid ({window} >= {dense})"
+    );
+}
+
+/// Per-stage peak-RSS telemetry: present on every stage span, monotone in
+/// stage order (VmHWM is a high-water mark) up to kernel sampling jitter,
+/// and bounded by `budget_mb`. The jitter allowance exists because Linux
+/// folds per-thread RSS counters into `/proc/self/status` lazily (every
+/// ~64 page faults), so two nearby reads can disagree by a few hundred KB
+/// in either direction.
+fn assert_rss_profile(report: &FlowReport, budget_mb: u64, label: &str) {
+    const JITTER: u64 = 8 << 20;
+    let mut peak = 0u64;
+    let mut seen = 0usize;
+    for (span, wall) in report.telemetry.spans.iter().zip(&report.telemetry.wall) {
+        if span.kind != SpanKind::Stage {
+            continue;
+        }
+        seen += 1;
+        assert!(wall.peak_rss_bytes > 0, "{label}: {} has no RSS sample", span.name);
+        assert!(
+            wall.peak_rss_bytes + JITTER >= peak,
+            "{label}: peak RSS not monotone at {} ({} far below prior peak {peak})",
+            span.name,
+            wall.peak_rss_bytes
+        );
+        peak = peak.max(wall.peak_rss_bytes);
+    }
+    assert!(seen > 0, "{label}: no stage spans in telemetry");
+    let budget = budget_mb << 20;
+    assert!(
+        peak <= budget,
+        "{label}: peak RSS {} MB over the {budget_mb} MB budget",
+        peak >> 20
+    );
+}
+
+/// The mini tier (10⁴ instances) completes all 11 stages overflow-free with
+/// bit-identical QoR serial and at 4 threads, within a conservative RSS
+/// budget. Release-only: this is the fast gate `scripts/check.sh` mirrors.
+#[test]
+#[cfg_attr(debug_assertions, ignore = "10^4 flow is minutes unoptimized; run in release")]
+fn mini_scale_tier_is_bit_identical_and_bounded() {
+    let design = generate::scale_mesh(MINI, 3).unwrap();
+    let serial = run_tier(&design, MINI, 1);
+    let par = run_tier(&design, MINI, 4);
+    assert_scale_invariants(&serial, "mini serial");
+    assert!(serial.same_qor(&par), "mini tier QoR diverged between 1 and 4 threads");
+    assert_rss_profile(&serial, 512, "mini serial");
+}
+
+/// RSS telemetry is wall-clock-section-only: two runs whose RSS samples
+/// necessarily differ (the second run inherits the first's high-water mark)
+/// still compare bit-identical, so the gauge can never leak into golden
+/// QoR. Small mesh, runs everywhere including debug.
+#[test]
+fn peak_rss_is_excluded_from_qor() {
+    let design = generate::scale_mesh(1_000, 3).unwrap();
+    let a = run_tier(&design, 1_000, 1);
+    let ballast: Vec<u8> = vec![0x5a; 64 << 20]; // bump VmHWM between runs
+    std::hint::black_box(&ballast[4 << 20]);
+    drop(ballast);
+    let b = run_tier(&design, 1_000, 1);
+    let (ra, rb) = (
+        a.telemetry.wall.iter().map(|w| w.peak_rss_bytes).max().unwrap_or(0),
+        b.telemetry.wall.iter().map(|w| w.peak_rss_bytes).max().unwrap_or(0),
+    );
+    assert!(rb >= ra, "VmHWM is monotone across runs in one process");
+    assert!(rb > 0, "RSS gauge readable");
+    assert!(a.same_qor(&b), "RSS telemetry leaked into QoR");
+    assert_rss_profile(&a, 4096, "rss-exclusion run");
+}
+
+/// The 10⁵ tier: all 11 stages, overflow-free, bit-identical at 1 and 4
+/// worker threads, peak RSS inside the blessed budget.
+#[test]
+#[ignore = "10^5 tier: minutes of release wall clock"]
+fn stress_tier_100k_is_bit_identical_across_threads() {
+    let design = generate::scale_mesh(STRESS, 3).unwrap();
+    let serial = run_tier(&design, STRESS, 1);
+    assert_scale_invariants(&serial, "stress serial");
+    assert_rss_profile(&serial, STRESS_RSS_BUDGET_MB, "stress serial");
+    let par = run_tier(&design, STRESS, 4);
+    assert!(serial.same_qor(&par), "stress tier QoR diverged between 1 and 4 threads");
+    assert!(
+        read_peak_rss_bytes() <= STRESS_RSS_BUDGET_MB << 20,
+        "process peak RSS blew the {STRESS_RSS_BUDGET_MB} MB budget"
+    );
+}
+
+/// Kill the 10⁵ flow mid-way (permanent injected failure at the route
+/// stage), resume from the checkpoint, and the final QoR is bit-identical
+/// to an uninterrupted run.
+#[test]
+#[ignore = "10^5 tier: minutes of release wall clock"]
+fn stress_tier_100k_checkpoint_resumes_bit_identically() {
+    let design = generate::scale_mesh(STRESS, 3).unwrap();
+    let uninterrupted = run_tier(&design, STRESS, 4);
+
+    let dir = scratch_dir("resume_100k");
+    let mut cfg = FlowConfig::scale_2016(Node::N28, STRESS);
+    cfg.threads = 4;
+    cfg.checkpoint_dir = Some(dir.clone());
+    cfg.fault_plan = Some(FaultPlan::new(3).with("7_route", None, Fault::Fail));
+    let err = run_flow(&design, &cfg).expect_err("injected permanent route failure");
+    assert_eq!(err.stage(), Some("7_route"));
+
+    let mut resumed_cfg = FlowConfig::scale_2016(Node::N28, STRESS);
+    resumed_cfg.threads = 4;
+    resumed_cfg.checkpoint_dir = Some(dir.clone());
+    resumed_cfg.resume = true;
+    let resumed = run_flow(&design, &resumed_cfg).expect("resume from mid-flow checkpoint");
+    assert!(
+        resumed.same_qor(&uninterrupted),
+        "resumed 10^5 flow drifted from the uninterrupted run"
+    );
+    cleanup(&dir);
+}
+
+/// Warm-cache replay at 10⁵: a second run over the same content-addressed
+/// stage cache replays every stage bit-identically without recomputing.
+#[test]
+#[ignore = "10^5 tier: minutes of release wall clock"]
+fn stress_tier_100k_warm_cache_replays_bit_identically() {
+    let design = generate::scale_mesh(STRESS, 3).unwrap();
+    let dir = scratch_dir("cache_100k");
+    let mut cfg = FlowConfig::scale_2016(Node::N28, STRESS);
+    cfg.threads = 4;
+    cfg.cache_dir = Some(dir.clone());
+    let cold = run_flow(&design, &cfg).expect("cold scale flow");
+    let warm = run_flow(&design, &cfg).expect("warm scale flow");
+    let counter = |r: &FlowReport, name: &str| match r.telemetry.metrics.get(name) {
+        Some(Metric::Counter(n)) => *n,
+        _ => 0,
+    };
+    assert_eq!(counter(&warm, "cache.errors"), 0, "warm replay hit corrupt entries");
+    assert!(
+        counter(&warm, "cache.hits") > counter(&cold, "cache.hits"),
+        "warm run replayed nothing from the stage cache"
+    );
+    assert!(warm.same_qor(&cold), "warm-cache replay drifted from the cold run");
+    cleanup(&dir);
+}
