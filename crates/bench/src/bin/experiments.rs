@@ -192,6 +192,9 @@ struct Options {
     /// `--rss-budget-mb N`: `scale` fails if peak RSS exceeds this (0 = no
     /// budget check).
     rss_budget_mb: u64,
+    /// `--route-speedup-floor X`: `scale` fails if the projected route-stage
+    /// speedup at `--threads` workers falls below this (0 = no gate).
+    route_speedup_floor: f64,
 }
 
 impl Default for Options {
@@ -215,6 +218,7 @@ impl Default for Options {
             xfault: None,
             instances: 100_000,
             rss_budget_mb: 0,
+            route_speedup_floor: 0.0,
         }
     }
 }
@@ -275,6 +279,9 @@ OPTIONS (shared by every subcommand):
                        require bit-identical QoR fingerprints
     --instances N      scale: target instance count (default 100000)
     --rss-budget-mb N  scale: fail if peak RSS exceeds N MB (default 0 = off)
+    --route-speedup-floor X
+                       scale: fail if the projected route-stage speedup at
+                       --threads workers is below X (default 0 = off)
     --xfault SPEC      daemon submit: sabotage the client deterministically
                        (conn-drop@N | frame-garbage@N | stall@N, comma list)
     -h, --help         this text
@@ -298,6 +305,11 @@ fn parse_args() -> Result<(Command, Options), CliError> {
     let count = |flag: &str, v: Option<String>| -> Result<usize, CliError> {
         v.and_then(|v| v.parse().ok())
             .ok_or(CliError(format!("{flag} needs a non-negative integer")))
+    };
+    let ratio = |flag: &str, v: Option<String>| -> Result<f64, CliError> {
+        v.and_then(|v| v.parse::<f64>().ok())
+            .filter(|x| x.is_finite() && *x >= 0.0)
+            .ok_or(CliError(format!("{flag} needs a non-negative number")))
     };
     let mut args = std::env::args().skip(1);
     while let Some(raw) = args.next() {
@@ -361,6 +373,15 @@ fn parse_args() -> Result<(Command, Options), CliError> {
             _ if a.starts_with("--rss-budget-mb=") => {
                 opts.rss_budget_mb =
                     count("--rss-budget-mb", Some(value_of("--rss-budget-mb=")))? as u64;
+            }
+            "--route-speedup-floor" => {
+                opts.route_speedup_floor = ratio("--route-speedup-floor", args.next())?;
+            }
+            _ if a.starts_with("--route-speedup-floor=") => {
+                opts.route_speedup_floor = ratio(
+                    "--route-speedup-floor",
+                    Some(value_of("--route-speedup-floor=")),
+                )?;
             }
             "--xfault" => opts.xfault = Some(take("--xfault", args.next())?),
             _ if a.starts_with("--xfault=") => opts.xfault = Some(value_of("--xfault=")),
@@ -602,17 +623,27 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
 /// serially and once at `--threads` workers. Emits machine-readable rows:
 ///
 /// * `SCALELINE <key> <value>` — totals: instance/net counts, heap bytes,
-///   routing window peak vs dense grid cells, serial/parallel wall clocks,
-///   peak RSS, QoR bit-identity.
+///   routing window peak vs dense grid cells, region-router counters,
+///   serial/parallel wall clocks, peak RSS, QoR bit-identity.
 /// * `SCALESTAGE <stage> <wall_s> <rss_mb>` — per stage, from the serial
 ///   run's telemetry. The process is fresh at that point, so the RSS column
 ///   shows the high-water mark ramping stage by stage (VmHWM is monotone by
 ///   construction).
 ///
+/// Parallel wall clocks use the **projected** convention: each kernel
+/// dispatch's measured wall is replaced by the busiest worker's CPU time
+/// (the wall a one-core-per-worker host would see — the same convention
+/// `ParStats::bounded_speedup` uses), because on core-starved CI hosts the
+/// measured wall of a 4-thread run says nothing about the algorithm. The
+/// measured wall is still emitted as `parallel_measured_s`;
+/// `route_serial_s` / `route_parallel_s` / `route_speedup` isolate the
+/// route stage the same way.
+///
 /// Exits nonzero when the SoA heap is not below the dense pointer-graph
 /// baseline, when the positive window margin fails to keep routing scratch
-/// below the dense grid, when the two runs' QoR differs in any bit, or when
-/// `--rss-budget-mb` is set and peak RSS exceeds it.
+/// below the dense grid, when the two runs' QoR differs in any bit, when
+/// `--rss-budget-mb` is set and peak RSS exceeds it, or when
+/// `--route-speedup-floor` is set and the route stage misses it.
 fn scale_demo(opts: &Options) -> CliResult {
     use eda_core::{Metric, SpanKind, STAGES};
     use eda_netlist::{dense_heap_bytes, SoaNetlist};
@@ -645,9 +676,60 @@ fn scale_demo(opts: &Options) -> CliResult {
     let t = Instant::now();
     let parallel = run_flow(&design, &cfg)
         .map_err(|e| CliError(format!("{par_threads}-thread scale flow failed: {e}")))?;
-    let parallel_s = t.elapsed().as_secs_f64();
+    let parallel_measured_s = t.elapsed().as_secs_f64();
     let same = serial.same_qor(&parallel);
     let peak_rss_mb = eda_core::read_peak_rss_bytes() / (1 << 20);
+
+    // Per-stage wall + RSS high-water from a run's telemetry: the last Stage
+    // span with each name times the attempt that produced the result.
+    let stage_walls = |report: &eda_core::FlowReport| {
+        let mut rows: std::collections::BTreeMap<&str, (f64, u64)> = Default::default();
+        for (span, wall) in report.telemetry.spans.iter().zip(&report.telemetry.wall) {
+            if span.kind == SpanKind::Stage {
+                if let Some(stage) = STAGES.iter().find(|s| **s == span.name) {
+                    rows.insert(stage, (wall.dur_s, wall.peak_rss_bytes >> 20));
+                }
+            }
+        }
+        rows
+    };
+    // Per-stage projected-wall correction: for every kernel dispatch,
+    // measured wall minus the busiest worker's CPU (what a host with one
+    // dedicated core per worker would observe). Subtracting it converts a
+    // core-starved host's measured wall into the projected wall.
+    let corrections = |report: &eda_core::FlowReport| {
+        let mut by_stage: std::collections::BTreeMap<String, f64> = Default::default();
+        let spans = &report.telemetry.spans;
+        for (span, wall) in spans.iter().zip(&report.telemetry.wall) {
+            if span.kind != SpanKind::Kernel {
+                continue;
+            }
+            let projected = wall.busy_s.iter().cloned().fold(0.0, f64::max);
+            if projected <= 0.0 {
+                continue;
+            }
+            let mut at = span.parent;
+            while let Some(p) = at {
+                if spans[p].kind == SpanKind::Stage {
+                    *by_stage.entry(spans[p].name.clone()).or_default() +=
+                        (wall.dur_s - projected).max(0.0);
+                    break;
+                }
+                at = spans[p].parent;
+            }
+        }
+        by_stage
+    };
+    let serial_rows = stage_walls(&serial);
+    let parallel_rows = stage_walls(&parallel);
+    let corr = corrections(&parallel);
+    let total_corr: f64 = corr.values().sum();
+    let parallel_s = (parallel_measured_s - total_corr).max(1e-9);
+    let route_serial_s = serial_rows.get("7_route").map_or(0.0, |(w, _)| *w);
+    let route_measured_s = parallel_rows.get("7_route").map_or(0.0, |(w, _)| *w);
+    let route_parallel_s =
+        (route_measured_s - corr.get("7_route").copied().unwrap_or(0.0)).max(1e-9);
+    let route_speedup = route_serial_s / route_parallel_s;
 
     let gauge = |name: &str| -> f64 {
         match serial.telemetry.metrics.get(name) {
@@ -659,8 +741,13 @@ fn scale_demo(opts: &Options) -> CliResult {
     let dense_cells = gauge("route.dense_grid_cells");
 
     println!(
-        "flow: serial {serial_s:.2}s, {par_threads} threads {parallel_s:.2}s, \
+        "flow: serial {serial_s:.2}s, {par_threads} threads {parallel_s:.2}s projected \
+         ({parallel_measured_s:.2}s measured on this host), \
          QoR bit-identical: {same}, peak RSS {peak_rss_mb} MB"
+    );
+    println!(
+        "route: serial {route_serial_s:.2}s, {par_threads} threads {route_parallel_s:.2}s \
+         projected = {route_speedup:.2}x"
     );
     println!(
         "routing scratch: window peak {window_peak:.0} cells vs dense {dense_cells:.0} \
@@ -686,23 +773,21 @@ fn scale_demo(opts: &Options) -> CliResult {
     println!("SCALELINE route_overflow {}", serial.overflow);
     println!("SCALELINE route_connections {}", counter("route.connections"));
     println!("SCALELINE route_cells_expanded {}", counter("route.cells_expanded"));
+    println!("SCALELINE route_regions {:.0}", gauge("route.regions"));
+    println!("SCALELINE route_local_commits {}", counter("route.local_commits"));
+    println!("SCALELINE route_seam_conflicts {}", counter("route.seam_conflicts"));
+    println!("SCALELINE route_negotiation_waves {}", counter("route.negotiation_waves"));
     println!("SCALELINE serial_s {serial_s:.6}");
     println!("SCALELINE parallel_s {parallel_s:.6}");
+    println!("SCALELINE parallel_measured_s {parallel_measured_s:.6}");
+    println!("SCALELINE route_serial_s {route_serial_s:.6}");
+    println!("SCALELINE route_parallel_s {route_parallel_s:.6}");
+    println!("SCALELINE route_speedup {route_speedup:.6}");
     println!("SCALELINE threads {par_threads}");
     println!("SCALELINE peak_rss_mb {peak_rss_mb}");
     println!("SCALELINE same_qor {}", same as u32);
-    // Per-stage wall + RSS high-water from the serial run: the last Stage
-    // span with each name times the attempt that produced the result.
-    let mut rows: std::collections::BTreeMap<&str, (f64, u64)> = Default::default();
-    for (span, wall) in serial.telemetry.spans.iter().zip(&serial.telemetry.wall) {
-        if span.kind == SpanKind::Stage {
-            if let Some(stage) = STAGES.iter().find(|s| **s == span.name) {
-                rows.insert(stage, (wall.dur_s, wall.peak_rss_bytes >> 20));
-            }
-        }
-    }
     for stage in STAGES {
-        if let Some((wall_s, rss_mb)) = rows.get(stage) {
+        if let Some((wall_s, rss_mb)) = serial_rows.get(stage) {
             println!("SCALESTAGE {stage} {wall_s:.6} {rss_mb}");
         }
     }
@@ -733,6 +818,13 @@ fn scale_demo(opts: &Options) -> CliResult {
         return Err(CliError(format!(
             "peak RSS {peak_rss_mb} MB exceeds the {} MB budget",
             opts.rss_budget_mb
+        )));
+    }
+    if opts.route_speedup_floor > 0.0 && route_speedup < opts.route_speedup_floor {
+        return Err(CliError(format!(
+            "projected route speedup {route_speedup:.2}x at {par_threads} workers is below \
+             the {:.2}x floor (serial {route_serial_s:.2}s vs parallel {route_parallel_s:.2}s)",
+            opts.route_speedup_floor
         )));
     }
     println!(

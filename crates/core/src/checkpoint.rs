@@ -85,7 +85,7 @@ pub(crate) fn fingerprint(design: &Netlist, cfg: &FlowConfig) -> u64 {
         .map(f64::to_bits)
         .unwrap_or(u64::MAX);
     let key = format!(
-        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:016x}|{:?}|{:?}|{}|{}|{}|{}|{:?}|{}|{:016x}|{:016x}|{}|{}",
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:016x}|{:?}|{:?}|{}|{}|{}|{}|{}|{:?}|{}|{:016x}|{:016x}|{}|{}",
         design.name(),
         design.num_instances(),
         cfg.node,
@@ -99,6 +99,7 @@ pub(crate) fn fingerprint(design: &Netlist, cfg: &FlowConfig) -> u64 {
         cfg.ripup_iterations,
         cfg.route_grid_cells,
         cfg.route_window_margin,
+        cfg.route_region_size,
         cfg.scan,
         cfg.power.clock_gating_group,
         decap_bits,

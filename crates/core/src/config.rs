@@ -105,6 +105,18 @@ pub struct FlowConfig {
     /// changes detour room), so it folds into the config fingerprint; still
     /// bit-identical at any thread count.
     pub route_window_margin: u32,
+    /// Region side length for the region-partitioned router: `0` (the
+    /// default) keeps the legacy globally-batched passes; when positive
+    /// (requires a positive [`route_window_margin`](Self::route_window_margin)),
+    /// the routing grid is tiled into regions this many g-cells on a side
+    /// and workers search-and-commit region-interior connections against
+    /// private overlays, negotiating only seam-crossing connections — the
+    /// near-linear scaling mode of the scale tier. QoR-relevant (region
+    /// mode orders connections congestion-aware and rips up in canonical
+    /// order), so it folds into the config fingerprint; the partition is
+    /// a pure function of grid dims and this knob, so outcomes stay
+    /// bit-identical at any thread count *and* any region size.
+    pub route_region_size: u32,
     /// Scan insertion (None = no DFT).
     pub scan: Option<ScanOptions>,
     /// Power techniques.
@@ -194,6 +206,7 @@ impl Default for FlowConfig {
             ripup_iterations: 6,
             route_grid_cells: 32,
             route_window_margin: 0,
+            route_region_size: 0,
             scan: Some(ScanOptions { chains: 2, placement_aware_reorder: true }),
             power: PowerOptions { clock_gating_group: 8, decap_droop_limit_mv: Some(50.0) },
             clock_mhz: 200.0,
@@ -225,6 +238,10 @@ pub enum ConfigError {
     NoScanChains,
     /// The routing grid needs at least 2 g-cells per side.
     RouteGrid(u32),
+    /// Region-partitioned routing was requested without a bounded search
+    /// window (the seam protocol needs windows to bound each connection's
+    /// demand footprint).
+    RegionWithoutWindow(u32),
 }
 
 impl std::fmt::Display for ConfigError {
@@ -243,6 +260,13 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::RouteGrid(cells) => {
                 write!(f, "routing grid needs at least 2 g-cells per side, got {cells}")
+            }
+            ConfigError::RegionWithoutWindow(size) => {
+                write!(
+                    f,
+                    "region-partitioned routing (region size {size}) requires a \
+                     positive route window margin"
+                )
             }
         }
     }
@@ -356,6 +380,13 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// Region side length for the region-partitioned router (`0` = legacy
+    /// batched passes); requires a positive window margin.
+    pub fn route_region_size(mut self, size: u32) -> Self {
+        self.cfg.route_region_size = size;
+        self
+    }
+
     /// Scan insertion (`None` = no DFT).
     pub fn scan(mut self, scan: Option<ScanOptions>) -> Self {
         self.cfg.scan = scan;
@@ -452,6 +483,9 @@ impl FlowConfigBuilder {
         if cfg.route_grid_cells < 2 {
             return Err(ConfigError::RouteGrid(cfg.route_grid_cells));
         }
+        if cfg.route_region_size > 0 && cfg.route_window_margin == 0 {
+            return Err(ConfigError::RegionWithoutWindow(cfg.route_region_size));
+        }
         Ok(cfg)
     }
 }
@@ -539,6 +573,10 @@ impl FlowConfig {
             })
             .route_grid_cells(grid)
             .route_window_margin(8)
+            // ~8 regions per side (≥2× the window margin so most
+            // connections are region-interior): enough parallel grain for
+            // any sane worker count while keeping seam fraction low.
+            .route_region_size((grid / 8).max(16))
             .ripup_iterations(5)
             .scan(None)
             .verify_synthesis(false)
@@ -583,6 +621,11 @@ mod tests {
         assert!(s.place.cluster_gates > 0, "scale places multilevel");
         assert_eq!(s.place.stripes, 1);
         assert!(s.route_window_margin > 0, "scale routes in bounded windows");
+        assert!(s.route_region_size > 0, "scale routes region-partitioned");
+        assert!(
+            s.route_region_size >= 2 * s.route_window_margin,
+            "regions must dwarf the window margin or everything is a seam"
+        );
         assert!(s.route_grid_cells > FlowConfig::default().route_grid_cells);
         assert!(!s.verify_synthesis && s.scan.is_none(), "super-linear passes are off");
     }
@@ -625,6 +668,15 @@ mod tests {
             FlowConfig::builder().route_grid_cells(1).build(),
             Err(ConfigError::RouteGrid(1))
         );
+        assert_eq!(
+            FlowConfig::builder().route_region_size(16).build(),
+            Err(ConfigError::RegionWithoutWindow(16))
+        );
+        assert!(FlowConfig::builder()
+            .route_region_size(16)
+            .route_window_margin(4)
+            .build()
+            .is_ok());
     }
 
     #[test]

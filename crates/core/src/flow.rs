@@ -607,10 +607,21 @@ pub fn run_flow_observed(
                 ripup_iterations: cfg.ripup_iterations,
                 threads,
                 window_margin: cfg.route_window_margin,
+                region_size: cfg.route_region_size,
             };
             let rcfg = if ctx.adapt == 0 { rcfg } else { rcfg.coarsened() };
             let (out, stats) = route_stats(cur, placement, &rcfg);
-            ctx.tel.kernel("route:batches", &stats);
+            if rcfg.region_size > 0 {
+                // Region-partitioned mode gets its own kernel span name so the
+                // legacy path's golden telemetry stays byte-stable.
+                ctx.tel.kernel("route:regions", &stats);
+                ctx.tel.gauge("route.regions", out.regions as f64);
+                ctx.tel.count("route.local_commits", out.local_commits);
+                ctx.tel.count("route.seam_conflicts", out.seam_conflicts);
+                ctx.tel.count("route.negotiation_waves", out.negotiation_waves);
+            } else {
+                ctx.tel.kernel("route:batches", &stats);
+            }
             ctx.tel.count("route.ripup_iterations", out.iterations as u64);
             ctx.tel.count("route.connections", out.connections as u64);
             ctx.tel.count("route.cells_expanded", out.cells_expanded);

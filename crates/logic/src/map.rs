@@ -11,11 +11,11 @@
 //! permutations *and* input complementations, and both output phases of every
 //! node are costed, so inverters appear only where they pay for themselves.
 
-use crate::aig::{Aig, RawNode, SeqBoundary};
+use crate::aig::{Aig, Lit, RawNode, SeqBoundary};
 use crate::tt::TruthTable;
 use eda_netlist::{CellFunction, CellId, InstId, Library, NetId, Netlist, NetlistError};
 use eda_par::ParStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// Mapping objective.
@@ -435,6 +435,215 @@ fn match_node(
     }
 }
 
+/// One gate of a hierarchical block's netlist fragment: named and wired
+/// off-thread, spliced into the shared [`Netlist`] serially in block order.
+struct GateSpec {
+    /// `(node << 1) | phase` for memoized gates; `None` for block-local ties.
+    key: Option<u32>,
+    name: String,
+    kind: SpecKind,
+    ins: Vec<SpecRef>,
+}
+
+enum SpecKind {
+    Cell(CellId),
+    Inv,
+    Tie(bool),
+}
+
+/// How a fragment gate input is resolved when the fragment is spliced in.
+enum SpecRef {
+    /// Combinational input `k` (real PI or flop Q), positive phase.
+    Pi(usize),
+    /// An earlier gate of the same fragment, by fragment index.
+    Local(u32),
+    /// `(node << 1) | phase` realized by an earlier block; first-owner
+    /// claiming in fixed block order guarantees it is never a later one.
+    Foreign(u32),
+}
+
+/// The `(node, phase)` closure a block's PO cones realize, as
+/// `(node << 1) | phase` keys in canonical (post-order DFS) creation order,
+/// so children always precede the gates that read them.
+///
+/// A pure function of the AIG and the chosen matches — never of the thread
+/// count — which makes the per-block fan-out bit-identical to serial.
+fn cone_keys(nodes: &[RawNode], best: &[[Best; 2]], pos: &[Lit]) -> Vec<u32> {
+    fn visit(
+        nodes: &[RawNode],
+        best: &[[Best; 2]],
+        seen: &mut HashSet<u32>,
+        order: &mut Vec<u32>,
+        node: u32,
+        phase: bool,
+    ) {
+        let key = (node << 1) | phase as u32;
+        match nodes[node as usize] {
+            // Ties are block-local (created on demand per fragment), and
+            // positive PI references are boundary nets: neither is claimable.
+            RawNode::Const => {}
+            RawNode::Pi(_) => {
+                if phase && seen.insert(key) {
+                    order.push(key);
+                }
+            }
+            RawNode::And(..) => {
+                if !seen.insert(key) {
+                    return;
+                }
+                let b = &best[node as usize][phase as usize];
+                if b.via_inverter {
+                    visit(nodes, best, seen, order, node, !phase);
+                } else {
+                    for &(leaf, ph) in &b.leaf_phases {
+                        visit(nodes, best, seen, order, leaf, ph);
+                    }
+                }
+                order.push(key);
+            }
+        }
+    }
+    let mut seen = HashSet::new();
+    let mut order = Vec::new();
+    for lit in pos {
+        visit(nodes, best, &mut seen, &mut order, lit.node() as u32, lit.is_complemented());
+    }
+    order
+}
+
+/// A fragment gate's reference to `(node, phase)`: a boundary net, a tie, an
+/// earlier gate of this fragment, or a gate owned by an earlier block.
+fn fragment_ref(
+    nodes: &[RawNode],
+    bi: usize,
+    specs: &mut Vec<GateSpec>,
+    ties: &mut [Option<u32>; 2],
+    local: &HashMap<u32, u32>,
+    node: u32,
+    phase: bool,
+) -> SpecRef {
+    match nodes[node as usize] {
+        RawNode::Const => {
+            let idx = phase as usize;
+            let at = *ties[idx].get_or_insert_with(|| {
+                specs.push(GateSpec {
+                    key: None,
+                    name: format!("u_b{bi}_t{idx}"),
+                    kind: SpecKind::Tie(phase),
+                    ins: Vec::new(),
+                });
+                specs.len() as u32 - 1
+            });
+            SpecRef::Local(at)
+        }
+        RawNode::Pi(k) if !phase => SpecRef::Pi(k),
+        _ => {
+            let key = (node << 1) | phase as u32;
+            match local.get(&key) {
+                Some(&i) => SpecRef::Local(i),
+                None => SpecRef::Foreign(key),
+            }
+        }
+    }
+}
+
+/// Realizes block `bi`'s owned gates as a detached fragment: deterministic
+/// block-scoped names (`u_b{bi}_…`), inputs as symbolic [`SpecRef`]s. Runs
+/// off-thread — nothing here touches the shared netlist.
+///
+/// Returns the fragment plus one [`SpecRef`] per block PO (its D-input).
+fn build_fragment(
+    nodes: &[RawNode],
+    best: &[[Best; 2]],
+    bi: usize,
+    owned: &[u32],
+    pos: &[Lit],
+) -> Result<(Vec<GateSpec>, Vec<SpecRef>), MapError> {
+    let mut specs: Vec<GateSpec> = Vec::with_capacity(owned.len());
+    let mut local: HashMap<u32, u32> = HashMap::with_capacity(owned.len());
+    let mut ties: [Option<u32>; 2] = [None, None];
+    for &key in owned {
+        let (node, phase) = (key >> 1, key & 1 == 1);
+        let spec = match nodes[node as usize] {
+            RawNode::Const => return Err(MapError::Internal("const node claimed by a block")),
+            RawNode::Pi(k) => GateSpec {
+                key: Some(key),
+                name: format!("u_b{bi}_i{}", specs.len()),
+                kind: SpecKind::Inv,
+                ins: vec![SpecRef::Pi(k)],
+            },
+            RawNode::And(..) => {
+                let b = &best[node as usize][phase as usize];
+                if b.via_inverter {
+                    let src = fragment_ref(nodes, bi, &mut specs, &mut ties, &local, node, !phase);
+                    GateSpec {
+                        key: Some(key),
+                        name: format!("u_b{bi}_i{}", specs.len()),
+                        kind: SpecKind::Inv,
+                        ins: vec![src],
+                    }
+                } else {
+                    let cell = b.cell.ok_or(MapError::Internal("direct match lost its cell"))?;
+                    let ins = b
+                        .leaf_phases
+                        .iter()
+                        .map(|&(leaf, ph)| {
+                            fragment_ref(nodes, bi, &mut specs, &mut ties, &local, leaf, ph)
+                        })
+                        .collect();
+                    GateSpec {
+                        key: Some(key),
+                        name: format!("u_b{bi}_c{}", specs.len()),
+                        kind: SpecKind::Cell(cell),
+                        ins,
+                    }
+                }
+            }
+        };
+        local.insert(key, specs.len() as u32);
+        specs.push(spec);
+    }
+    let po_refs = pos
+        .iter()
+        .map(|lit| {
+            fragment_ref(
+                nodes,
+                bi,
+                &mut specs,
+                &mut ties,
+                &local,
+                lit.node() as u32,
+                lit.is_complemented(),
+            )
+        })
+        .collect();
+    Ok((specs, po_refs))
+}
+
+/// Resolves a [`SpecRef`] against the nets spliced in so far.
+fn resolve_ref(
+    r: &SpecRef,
+    local_nets: &[NetId],
+    net_of_key: &HashMap<u32, NetId>,
+    pi_nets: &[NetId],
+    flop_q_nets: &[NetId],
+    real_pis: usize,
+) -> Result<NetId, MapError> {
+    Ok(match *r {
+        SpecRef::Pi(k) => {
+            if k < real_pis {
+                pi_nets[k]
+            } else {
+                flop_q_nets[k - real_pis]
+            }
+        }
+        SpecRef::Local(i) => local_nets[i as usize],
+        SpecRef::Foreign(key) => *net_of_key
+            .get(&key)
+            .ok_or(MapError::Internal("foreign block reference realized out of order"))?,
+    })
+}
+
 /// Maps an AIG onto `lib` with phase-complete cut matching.
 ///
 /// Serial convenience wrapper over [`map_aig_threaded`]; the result is
@@ -461,10 +670,13 @@ pub fn map_aig(
 /// Cut enumeration and matching parallelize by **topological wave**: all
 /// nodes of one logic level are independent given the finished levels below
 /// them, so each wave is one deterministic dispatch and the result is
-/// bit-identical for any `threads` (`0` = all cores). Only netlist
-/// reconstruction stays serial — it is a small memoized walk of the chosen
-/// matches. The returned [`ParStats`] accumulates every dispatch for
-/// telemetry and speedup projection.
+/// bit-identical for any `threads` (`0` = all cores). On hierarchical
+/// designs netlist reconstruction fans out too: each block's cone closure
+/// and gate fragment are built in parallel ([`cone_keys`],
+/// [`build_fragment`]) and folded in fixed block order, so the output is
+/// bit-identical at any worker count; flat designs keep the serial memoized
+/// walk byte-for-byte. The returned [`ParStats`] accumulates every dispatch
+/// for telemetry and speedup projection.
 ///
 /// # Errors
 ///
@@ -597,6 +809,120 @@ pub fn map_aig_threaded(
         }
     }
 
+    // Realize the chosen matches as library gates. Flat designs keep the
+    // historical serial walk, byte-identical to before. Hierarchical designs
+    // fan out per block: each block's cone closure (phase A) and gate
+    // fragment (phase C) are computed in parallel and folded in fixed block
+    // order by two cheap serial passes (claiming, B; splicing, D), so the
+    // mapped netlist is bit-identical at any thread count. Logic shared
+    // between blocks stays with the first block that needs it — the same
+    // deterministic first-owner rule the serial walk used — and every gate a
+    // block realizes carries that block's label.
+    let hierarchical = boundary.flops.iter().any(|fb| fb.block.is_some());
+    let mut po_nets: Vec<Option<NetId>> = vec![None; aig.pos().len()];
+    let mut memo: HashMap<(u32, bool), NetId> = HashMap::new();
+    let tail: Vec<usize> = if hierarchical {
+        // Group labelled flop POs by block, in first-appearance order over
+        // the flop boundary. Unlabelled cones and real POs go last so shared
+        // logic is claimed by a block rather than by an anonymous cone.
+        let mut blocks: Vec<(&str, Vec<usize>)> = Vec::new();
+        let mut index_of: HashMap<&str, usize> = HashMap::new();
+        let mut tail = Vec::new();
+        for (fi, fb) in boundary.flops.iter().enumerate() {
+            let poi = boundary.real_pos + fi;
+            match fb.block.as_deref() {
+                Some(b) => {
+                    let bi = *index_of.entry(b).or_insert_with(|| {
+                        blocks.push((b, Vec::new()));
+                        blocks.len() - 1
+                    });
+                    blocks[bi].1.push(poi);
+                }
+                None => tail.push(poi),
+            }
+        }
+        tail.extend(0..boundary.real_pos);
+
+        // Phase A (parallel): per-block (node, phase) closures in canonical
+        // creation order.
+        let lits: Vec<Vec<Lit>> = blocks
+            .iter()
+            .map(|(_, pois)| pois.iter().map(|&poi| aig.pos()[poi].1).collect())
+            .collect();
+        let (cones, stats) =
+            eda_par::par_tasks_stats(threads, &lits, |_, pos| cone_keys(&nodes, &best, pos));
+        par.absorb(&stats);
+
+        // Phase B (serial): first-owner claiming in block order.
+        let mut claimed: HashSet<u32> = HashSet::new();
+        let owned: Vec<Vec<u32>> = cones
+            .into_iter()
+            .map(|cone| cone.into_iter().filter(|&k| claimed.insert(k)).collect())
+            .collect();
+
+        // Phase C (parallel): realize each block's owned gates as a detached
+        // fragment with block-scoped names and symbolic input references.
+        let jobs: Vec<usize> = (0..blocks.len()).collect();
+        let (frags, stats) = eda_par::par_tasks_stats(threads, &jobs, |_, &bi| {
+            build_fragment(&nodes, &best, bi, &owned[bi], &lits[bi])
+        });
+        par.absorb(&stats);
+
+        // Phase D (serial): splice fragments in block order. Foreign refs
+        // always point at an earlier block, so one pass resolves everything.
+        let mut net_of_key: HashMap<u32, NetId> = HashMap::new();
+        for ((bname, pois), frag) in blocks.iter().zip(frags) {
+            let (specs, po_refs) = frag?;
+            let mut local_nets: Vec<NetId> = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let mut ins = Vec::with_capacity(spec.ins.len());
+                for r in &spec.ins {
+                    ins.push(resolve_ref(
+                        r,
+                        &local_nets,
+                        &net_of_key,
+                        &pi_nets,
+                        &flop_q_nets,
+                        boundary.real_pis,
+                    )?);
+                }
+                let net = match spec.kind {
+                    SpecKind::Tie(phase) => {
+                        let f = if phase { CellFunction::Const1 } else { CellFunction::Const0 };
+                        out.add_gate_fn(spec.name, f, &[]).map_err(MapError::Netlist)?
+                    }
+                    SpecKind::Inv => {
+                        out.add_gate(spec.name, table.inv, &ins).map_err(MapError::Netlist)?
+                    }
+                    SpecKind::Cell(c) => {
+                        out.add_gate(spec.name, c, &ins).map_err(MapError::Netlist)?
+                    }
+                };
+                out.assign_block(InstId::from_index(out.num_instances() - 1), bname);
+                if let Some(key) = spec.key {
+                    net_of_key.insert(key, net);
+                }
+                local_nets.push(net);
+            }
+            for (&poi, r) in pois.iter().zip(&po_refs) {
+                po_nets[poi] = Some(resolve_ref(
+                    r,
+                    &local_nets,
+                    &net_of_key,
+                    &pi_nets,
+                    &flop_q_nets,
+                    boundary.real_pis,
+                )?);
+            }
+        }
+        // Seed the tail walk with every block-realized net so unlabelled
+        // cones reuse block logic instead of duplicating it.
+        memo = net_of_key.into_iter().map(|(k, n)| ((k >> 1, k & 1 == 1), n)).collect();
+        tail
+    } else {
+        (0..aig.pos().len()).collect()
+    };
+
     let mut realizer = Realizer {
         nodes: &nodes,
         best: &best,
@@ -604,40 +930,14 @@ pub fn map_aig_threaded(
         pi_nets: &pi_nets,
         flop_q_nets: &flop_q_nets,
         real_pis: boundary.real_pis,
-        memo: HashMap::new(),
+        memo,
         ties: [None, None],
         counter: 0,
     };
-
-    // Realize each PO's cone, labelling the instances it creates with the
-    // owning flop's hierarchy block: nodes shared between cones stay with
-    // the first cone that realized them, so the labelling is a deterministic
-    // first-owner approximation of the source hierarchy. When the design is
-    // hierarchical, labelled flop cones go first so shared logic is claimed
-    // by a block rather than by an unlabelled real-PO cone; flat designs keep
-    // the historical PO order so their output is byte-identical to before.
-    let hierarchical = boundary.flops.iter().any(|fb| fb.block.is_some());
-    let mut po_nets: Vec<Option<NetId>> = vec![None; aig.pos().len()];
-    let mut watermark = out.num_instances();
-    let order: Vec<usize> = if hierarchical {
-        (boundary.real_pos..aig.pos().len()).chain(0..boundary.real_pos).collect()
-    } else {
-        (0..aig.pos().len()).collect()
-    };
-    for poi in order {
+    for poi in tail {
         let (_, lit) = &aig.pos()[poi];
         po_nets[poi] =
             Some(realizer.realize(&mut out, lit.node() as u32, lit.is_complemented())?);
-        let block = boundary
-            .flops
-            .get(poi.wrapping_sub(boundary.real_pos))
-            .and_then(|fb| fb.block.as_deref());
-        if let Some(b) = block {
-            for i in watermark..out.num_instances() {
-                out.assign_block(InstId::from_index(i), b);
-            }
-        }
-        watermark = out.num_instances();
     }
     let po_nets: Vec<NetId> = po_nets
         .into_iter()
@@ -951,6 +1251,41 @@ mod tests {
                 assert!(stats.chunks > 0, "the threaded path must dispatch work");
                 check_equiv(&n, &t.netlist);
             }
+        }
+    }
+
+    #[test]
+    fn hierarchical_block_realization_is_thread_invariant() {
+        // The per-block fan-out (cone_keys / build_fragment) must produce the
+        // exact same netlist — instance names, cells, wiring, block labels —
+        // at every worker count, and stay functionally equivalent.
+        let n = generate::mesh_fabric(3, 3, 25, 4, 7).unwrap();
+        let (aig, bnd) = Aig::from_netlist(&n).unwrap();
+        assert!(bnd.flops.iter().any(|fb| fb.block.is_some()), "mesh flops carry block labels");
+        let fingerprint = |m: &MapOutcome| -> Vec<(String, CellId, Option<String>)> {
+            m.netlist
+                .instances()
+                .map(|(_, i)| {
+                    let block = i.block().map(|b| m.netlist.block_names()[b as usize].clone());
+                    (i.name().to_string(), i.cell(), block)
+                })
+                .collect()
+        };
+        let (serial, _) =
+            map_aig_threaded(&aig, &bnd, Library::generic(), MapGoal::Area, 1).unwrap();
+        serial.netlist.validate().unwrap();
+        check_equiv(&n, &serial.netlist);
+        let want = fingerprint(&serial);
+        // Every block-fragment gate carries its block's label; only the
+        // unlabelled tail (real-PO cones) may go without one.
+        let labelled = want.iter().filter(|(_, _, b)| b.is_some()).count();
+        assert!(labelled * 2 > want.len(), "block cones dominate a mesh netlist");
+        for threads in [2usize, 4, 8] {
+            let (t, _) =
+                map_aig_threaded(&aig, &bnd, Library::generic(), MapGoal::Area, threads).unwrap();
+            assert_eq!(want, fingerprint(&t), "netlist must be bit-identical at {threads} threads");
+            assert_eq!(serial.area_um2.to_bits(), t.area_um2.to_bits());
+            assert_eq!(serial.delay_ps.to_bits(), t.delay_ps.to_bits());
         }
     }
 

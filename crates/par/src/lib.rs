@@ -255,6 +255,104 @@ where
     (out, stats)
 }
 
+/// Parallel map over **coarse, uneven tasks**: one chunk per task, so a
+/// heavy task never serializes the light tasks that the default `len/64`
+/// chunking would glue onto it. This is the region router's dispatch
+/// shape — one routing wave is a handful of region-sized batches of
+/// wildly different weight. Determinism is inherited from
+/// [`par_chunks_stats`]: task results come back in input order for any
+/// thread count, and workers own tasks round-robin (worker `w` takes
+/// tasks `w`, `w + K`, `w + 2K`, …).
+pub fn par_tasks_stats<T, R, F>(threads: usize, items: &[T], f: F) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_chunks_stats(threads, items.len(), 1, |range| f(range.start, &items[range.start]))
+}
+
+/// [`par_tasks_stats`] with a rotating stripe offset: task `c` is owned by
+/// worker `(c + offset) % K` instead of `c % K`, and the returned `busy_s`
+/// always spans the full resolved worker count (idle slots read 0.0).
+///
+/// This exists for callers that issue **many tiny dispatches** and
+/// [`absorb`](ParStats::absorb) them into one record. Plain round-robin
+/// pins task 0 of every dispatch to worker 0, so a stream of one- and
+/// two-task dispatches piles its entire CPU bill onto the low worker
+/// slots and the busiest-worker projection collapses. Rotating the offset
+/// across dispatches (the caller picks it — e.g. the least-loaded slot of
+/// a running ledger) spreads that stream evenly. Results still come back
+/// in input order and each task's output is independent of which worker
+/// ran it, so determinism is unaffected.
+pub fn par_tasks_stats_at<T, R, F>(
+    threads: usize,
+    offset: usize,
+    items: &[T],
+    f: F,
+) -> (Vec<R>, ParStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).max(1);
+    let off = offset % workers;
+    let n = items.len();
+    let t0 = Instant::now();
+
+    if workers == 1 || n <= 1 {
+        // Inline fast path: no spawn, busy credited to the offset slot.
+        let busy0 = thread_cpu_seconds();
+        let out: Vec<R> = items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        let mut busy = vec![0.0; workers];
+        busy[off] = thread_cpu_seconds() - busy0;
+        let stats = ParStats {
+            threads: workers,
+            chunks: n,
+            wall_s: t0.elapsed().as_secs_f64(),
+            busy_s: busy,
+        };
+        return (out, stats);
+    }
+
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    let busy: Mutex<Vec<f64>> = Mutex::new(vec![0.0; workers]);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            // Worker w owns tasks c with (c + off) % workers == w.
+            let first = (w + workers - off) % workers;
+            if first >= n {
+                continue; // no tasks for this slot — skip the spawn
+            }
+            let (f, results, busy) = (&f, &results, &busy);
+            scope.spawn(move || {
+                let b0 = thread_cpu_seconds();
+                let mut local: Vec<(usize, R)> = Vec::new();
+                let mut c = first;
+                while c < n {
+                    local.push((c, f(c, &items[c])));
+                    c += workers;
+                }
+                let spent = thread_cpu_seconds() - b0;
+                results.lock().expect("no poisoned worker").extend(local);
+                busy.lock().expect("no poisoned worker")[w] = spent;
+            });
+        }
+    });
+
+    let mut tagged = results.into_inner().expect("workers joined");
+    tagged.sort_unstable_by_key(|&(c, _)| c);
+    let out: Vec<R> = tagged.into_iter().map(|(_, r)| r).collect();
+    let stats = ParStats {
+        threads: workers,
+        chunks: n,
+        wall_s: t0.elapsed().as_secs_f64(),
+        busy_s: busy.into_inner().expect("workers joined"),
+    };
+    (out, stats)
+}
+
 /// Parallel fold with an input-order reduction: maps every item through
 /// `fold` within fixed chunks, then merges the per-chunk accumulators
 /// **sequentially in chunk order**, so the reduction tree — and therefore
@@ -293,6 +391,30 @@ mod tests {
                 assert_eq!(v, items[i] * 2 + i as u64);
             }
         }
+    }
+
+    #[test]
+    fn offset_tasks_preserve_order_and_credit_rotated_slots() {
+        let items: Vec<u64> = (0..37).collect();
+        let want: Vec<u64> = items.iter().map(|&v| v * 3 + 1).collect();
+        for threads in [1usize, 2, 4, 8] {
+            for offset in [0usize, 1, 3, 7] {
+                let (out, stats) =
+                    par_tasks_stats_at(threads, offset, &items, |_, &v| v * 3 + 1);
+                assert_eq!(out, want, "threads={threads} offset={offset}");
+                assert_eq!(stats.busy_s.len(), threads, "busy spans all slots");
+            }
+        }
+        // A single-task dispatch must credit the offset slot, not slot 0 —
+        // that crediting is what lets a stream of tiny dispatches rotate
+        // its CPU bill across workers.
+        let one = [42u64];
+        let (_, stats) = par_tasks_stats_at(4, 2, &one, |_, &v| {
+            std::hint::black_box((0..20_000u64).fold(v, |a, x| a.wrapping_mul(31) ^ x))
+        });
+        assert_eq!(stats.busy_s.len(), 4);
+        let hot: Vec<usize> = (0..4).filter(|&w| stats.busy_s[w] > 0.0).collect();
+        assert_eq!(hot, vec![2], "busy credited to the rotated slot");
     }
 
     #[test]
@@ -355,6 +477,23 @@ mod tests {
         skew.absorb(&ParStats { threads: 8, chunks: 8, wall_s: 0.1, busy_s: vec![0.01; 8] });
         assert!(skew.bounded_speedup() <= skew.threads as f64);
         assert!(skew.bounded_speedup() >= 1.0);
+    }
+
+    #[test]
+    fn tasks_dispatch_one_chunk_per_item_in_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let serial: Vec<usize> = items.iter().map(|&v| v * 3).collect();
+        for threads in [1, 2, 4, 8] {
+            let (out, stats) = par_tasks_stats(threads, &items, |i, &v| {
+                assert_eq!(i, v);
+                v * 3
+            });
+            assert_eq!(out, serial, "threads={threads}");
+            assert_eq!(stats.chunks, items.len());
+        }
+        let (empty, stats) = par_tasks_stats(4, &[] as &[u32], |_, &v| v);
+        assert!(empty.is_empty());
+        assert_eq!(stats.chunks, 0);
     }
 
     #[test]

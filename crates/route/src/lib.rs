@@ -26,10 +26,12 @@
 pub mod grid;
 pub mod linesearch;
 pub mod maze;
+pub mod region;
 pub mod router;
 pub mod rules;
 
-pub use grid::{GCell, RoutingGrid};
+pub use grid::{DemandGrid, GCell, RoutingGrid};
+pub use region::{OverlayGrid, RegionMap, RegionScheduler, RegionTask};
 pub use linesearch::{mikami_tabuchi, mikami_tabuchi_in};
 pub use maze::{astar, astar_in, count_bends, lee_bfs, lee_bfs_in, Path, SearchStats, SearchWindow};
 pub use router::{layer_sweep, route, route_stats, RouteAlgorithm, RouteConfig, RouteOutcome};

@@ -6,7 +6,7 @@
 //! explores far fewer cells and produces paths with very few bends — the
 //! behaviour behind Domic's claim C5.
 
-use crate::grid::{GCell, RoutingGrid};
+use crate::grid::{DemandGrid, GCell};
 use crate::maze::{Path, SearchStats, SearchWindow as Window};
 
 /// One probe line in the arena.
@@ -56,7 +56,7 @@ impl Line {
 }
 
 /// Grows the maximal unblocked line through `origin`, clipped to `win`.
-fn grow(grid: &RoutingGrid, origin: GCell, horizontal: bool, win: Window) -> Line {
+fn grow<G: DemandGrid>(grid: &G, origin: GCell, horizontal: bool, win: Window) -> Line {
     let (mut lo, mut hi) = if horizontal { (origin.x, origin.x) } else { (origin.y, origin.y) };
     if horizontal {
         while lo > win.x0 && !grid.is_full(GCell::new(lo - 1, origin.y), GCell::new(lo, origin.y)) {
@@ -128,13 +128,14 @@ fn segment(from: GCell, to: GCell) -> Vec<GCell> {
 /// "cells expanded"), or `None` when the expansion level limit is hit —
 /// callers fall back to maze routing. Probes are clipped to a window sized
 /// to the connection's own extent (margin `3 + distance/2`).
-pub fn mikami_tabuchi(
-    grid: &RoutingGrid,
+pub fn mikami_tabuchi<G: DemandGrid>(
+    grid: &G,
     src: GCell,
     dst: GCell,
     max_levels: usize,
 ) -> Option<(Path, SearchStats)> {
-    let win = Window::around(src, dst, 3 + src.manhattan(&dst) / 2, grid);
+    let margin = 3 + src.manhattan(&dst) / 2;
+    let win = Window::around_dims(src, dst, margin, grid.width(), grid.height());
     mikami_tabuchi_in(grid, src, dst, max_levels, win)
 }
 
@@ -142,8 +143,8 @@ pub fn mikami_tabuchi(
 /// the bounded-memory entry point: scratch bitmaps are sized to the window
 /// and probes never leave it. A tighter window fails (returns `None`) more
 /// often; callers fall back to windowed maze routing.
-pub fn mikami_tabuchi_in(
-    grid: &RoutingGrid,
+pub fn mikami_tabuchi_in<G: DemandGrid>(
+    grid: &G,
     src: GCell,
     dst: GCell,
     max_levels: usize,
@@ -281,6 +282,7 @@ fn dedup_path(path: &mut Vec<GCell>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::grid::RoutingGrid;
     use crate::maze::count_bends;
     use crate::rules::RuleDeck;
 

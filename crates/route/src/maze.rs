@@ -1,7 +1,7 @@
 //! Maze routing: Lee's breadth-first wavefront and congestion-aware A*
 //! over a monotone bucket (Dial) queue.
 
-use crate::grid::{GCell, RoutingGrid};
+use crate::grid::{neighbours4, DemandGrid, GCell, RoutingGrid};
 
 /// A routed 2-pin path (sequence of adjacent g-cells).
 pub type Path = Vec<GCell>;
@@ -48,11 +48,18 @@ impl SearchWindow {
     /// The bounding box of `src`/`dst` expanded by `margin` g-cells on
     /// every side, clamped to the grid.
     pub fn around(src: GCell, dst: GCell, margin: u32, grid: &RoutingGrid) -> SearchWindow {
+        SearchWindow::around_dims(src, dst, margin, grid.width, grid.height)
+    }
+
+    /// [`SearchWindow::around`] from raw grid dimensions — the window is a
+    /// pure function of the connection and dims, usable without a grid
+    /// reference (the region scheduler computes windows before any search).
+    pub fn around_dims(src: GCell, dst: GCell, margin: u32, w: u32, h: u32) -> SearchWindow {
         SearchWindow {
             x0: src.x.min(dst.x).saturating_sub(margin),
             y0: src.y.min(dst.y).saturating_sub(margin),
-            x1: (src.x.max(dst.x) + margin).min(grid.width - 1),
-            y1: (src.y.max(dst.y) + margin).min(grid.height - 1),
+            x1: (src.x.max(dst.x) + margin).min(w - 1),
+            y1: (src.y.max(dst.y) + margin).min(h - 1),
         }
     }
 
@@ -95,8 +102,8 @@ pub fn lee_bfs(grid: &RoutingGrid, src: GCell, dst: GCell) -> Option<(Path, Sear
 /// [`SearchWindow::full`] this is exactly the classic search. The grid has
 /// no hard obstacles, so any window containing both pins always yields a
 /// path — a window only trades detour room for memory.
-pub fn lee_bfs_in(
-    grid: &RoutingGrid,
+pub fn lee_bfs_in<G: DemandGrid>(
+    grid: &G,
     src: GCell,
     dst: GCell,
     win: SearchWindow,
@@ -118,7 +125,7 @@ pub fn lee_bfs_in(
         if c == dst {
             break;
         }
-        for n in grid.neighbours(c) {
+        for n in neighbours4(grid.width(), grid.height(), c) {
             if win.contains(n) && !visited[idx(n)] {
                 visited[idx(n)] = true;
                 prev[idx(n)] = Some(c);
@@ -200,8 +207,8 @@ pub fn astar(
 /// this is exactly the classic search; with a bounded window the route may
 /// accept congestion it cannot detour around, which rip-up negotiation then
 /// repairs.
-pub fn astar_in(
-    grid: &RoutingGrid,
+pub fn astar_in<G: DemandGrid>(
+    grid: &G,
     src: GCell,
     dst: GCell,
     via_cost: f64,
@@ -231,7 +238,7 @@ pub fn astar_in(
             break;
         }
         let came_from = prev[idx(cell)];
-        for nb in grid.neighbours(cell) {
+        for nb in neighbours4(grid.width(), grid.height(), cell) {
             if !win.contains(nb) {
                 continue;
             }

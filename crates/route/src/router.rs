@@ -1,9 +1,10 @@
 //! The global router: net decomposition, algorithm selection, and
 //! PathFinder-style negotiated rip-up and re-route.
 
-use crate::grid::{GCell, RoutingGrid};
+use crate::grid::{DemandGrid, GCell, RoutingGrid};
 use crate::linesearch::{mikami_tabuchi, mikami_tabuchi_in};
 use crate::maze::{astar_in, count_bends, lee_bfs_in, Path, SearchWindow};
+use crate::region::{OverlayGrid, RegionMap, RegionScheduler, RegionTask};
 use crate::rules::RuleDeck;
 use eda_place::Placement;
 use eda_netlist::Netlist;
@@ -44,6 +45,18 @@ pub struct RouteConfig {
     /// scale tier routes in. The window is a pure function of the
     /// connection, so outcomes remain bit-identical at any thread count.
     pub window_margin: u32,
+    /// Region side length (g-cells) for the region-partitioned router:
+    /// `0` (the default) keeps the legacy globally-batched passes. When
+    /// positive (requires `window_margin > 0`), the grid is tiled into
+    /// `region_size × region_size` regions and connections are scheduled
+    /// through the seam-negotiation waves of [`crate::region`]:
+    /// region-interior connections search *and commit* against private
+    /// overlays with no cross-worker synchronization, seam-crossing
+    /// connections are arbitrated in canonical order. The partition is a
+    /// pure function of the grid dimensions and this knob — never of
+    /// `threads` — and the result is bit-identical to the canonical
+    /// serial schedule for any region size and any thread count.
+    pub region_size: u32,
 }
 
 impl RouteConfig {
@@ -65,6 +78,7 @@ impl Default for RouteConfig {
             ripup_iterations: 6,
             threads: 1,
             window_margin: 0,
+            region_size: 0,
         }
     }
 }
@@ -101,6 +115,19 @@ pub struct RouteOutcome {
     /// Scratch a full-grid search would have allocated (`width × height`) —
     /// the dense baseline bar.
     pub dense_grid_cells: u64,
+    /// Regions in the partition (`0` = region routing off). Like the
+    /// schedule diagnostics below, a pure function of the input and the
+    /// config — identical at any thread count.
+    pub regions: u32,
+    /// Connections searched *and committed* region-locally against a
+    /// private overlay (counted once per routing, so rip-up re-routes
+    /// count again). Depends on the partition shape, never on `threads`.
+    pub local_commits: u64,
+    /// Seam-crossing connections arbitrated through boundary negotiation
+    /// (same counting convention as [`RouteOutcome::local_commits`]).
+    pub seam_conflicts: u64,
+    /// Negotiation waves dispatched across all passes.
+    pub negotiation_waves: u64,
 }
 
 impl RouteOutcome {
@@ -115,31 +142,41 @@ impl RouteOutcome {
 struct TwoPin {
     src: GCell,
     dst: GCell,
+    /// Distinct g-cell pins of the owning net — the fanout weight the
+    /// region router's congestion-aware ordering uses.
+    fanout: u32,
 }
 
 /// Decomposes every multi-pin net into a Prim MST over its g-cell pins.
+///
+/// Nets are independent, so the MSTs run through a `par_map` and the
+/// per-net edge lists concatenate in net order — the pair list is
+/// byte-identical to the serial loop at any thread count.
 fn decompose(
     netlist: &Netlist,
     placement: &Placement,
     width: u32,
     height: u32,
-) -> Vec<TwoPin> {
+    threads: usize,
+) -> (Vec<TwoPin>, eda_par::ParStats) {
     let die = placement.die;
     let to_gcell = |p: eda_place::Point| -> GCell {
         let x = ((p.x / die.width_um * width as f64) as u32).min(width - 1);
         let y = ((p.y / die.height_um * height as f64) as u32).min(height - 1);
         GCell::new(x, y)
     };
-    let mut pairs = Vec::new();
-    for (net_id, _) in netlist.nets() {
+    let ids: Vec<_> = netlist.nets().map(|(net_id, _)| net_id).collect();
+    let (per_net, stats) = eda_par::par_map_stats(threads, &ids, |_, &net_id| {
         let pts = placement.net_points(netlist, net_id);
         let mut pins: Vec<GCell> = pts.into_iter().map(to_gcell).collect();
         pins.sort_unstable();
         pins.dedup();
+        let mut pairs = Vec::new();
         if pins.len() < 2 {
-            continue;
+            return pairs;
         }
         // Prim MST on Manhattan distance.
+        let fanout = pins.len() as u32;
         let mut in_tree = vec![false; pins.len()];
         in_tree[0] = true;
         for _ in 1..pins.len() {
@@ -160,15 +197,60 @@ fn decompose(
             }
             let (i, j, _) = best.expect("tree incomplete implies a remaining pin");
             in_tree[j] = true;
-            pairs.push(TwoPin { src: pins[i], dst: pins[j] });
+            pairs.push(TwoPin { src: pins[i], dst: pins[j], fanout });
         }
-    }
-    pairs
+        pairs
+    });
+    (per_net.into_iter().flatten().collect(), stats)
 }
 
 fn commit(grid: &mut RoutingGrid, path: &Path, delta: i32) {
     for w in path.windows(2) {
         grid.add_usage(w[0], w[1], delta);
+    }
+}
+
+/// Pure per-connection search against an immutable demand view — the only
+/// route computation, shared by the legacy batched passes, the region
+/// waves (where the view is a private [`OverlayGrid`]), and the rip-up
+/// re-routes. Returns `(path, linesearch_fell_back, expanded, scratch)`.
+/// The result depends only on the demand values and the window, so every
+/// schedule that presents the canonical demand state gets the canonical
+/// path.
+fn route_one_in<G: DemandGrid>(
+    grid: &G,
+    tp: &TwoPin,
+    win: SearchWindow,
+    cfg: &RouteConfig,
+) -> (Path, bool, u64, u64) {
+    match cfg.algorithm {
+        RouteAlgorithm::LeeBfs => {
+            let (p, s) = lee_bfs_in(grid, tp.src, tp.dst, win).expect("grid is connected");
+            (p, false, s.expanded as u64, s.scratch_cells as u64)
+        }
+        RouteAlgorithm::AStar => {
+            let (p, s) =
+                astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win).expect("grid is connected");
+            (p, false, s.expanded as u64, s.scratch_cells as u64)
+        }
+        RouteAlgorithm::LineSearch => {
+            // Windowed mode clips the probes to the same bounded window
+            // the maze fallback searches; margin 0 keeps the classic
+            // connection-extent window.
+            let probe = if cfg.window_margin > 0 {
+                mikami_tabuchi_in(grid, tp.src, tp.dst, 12, win)
+            } else {
+                mikami_tabuchi(grid, tp.src, tp.dst, 12)
+            };
+            match probe {
+                Some((p, s)) => (p, false, s.expanded as u64, s.scratch_cells as u64),
+                None => {
+                    let (p, s) = astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win)
+                        .expect("grid is connected");
+                    (p, true, s.expanded as u64, s.scratch_cells as u64)
+                }
+            }
+        }
     }
 }
 
@@ -222,7 +304,13 @@ pub fn route_stats(
     let w = cfg.grid_cells.max(2);
     let h = cfg.grid_cells.max(2);
     let mut grid = RoutingGrid::new(w, h, &cfg.deck);
-    let mut pairs = decompose(netlist, placement, w, h);
+    let (decomposed, decompose_stats) = decompose(netlist, placement, w, h, cfg.threads);
+    if cfg.region_size > 0 && cfg.window_margin > 0 {
+        let mut stats = eda_par::ParStats::empty();
+        stats.absorb(&decompose_stats);
+        return route_region(grid, decomposed, cfg, start, stats);
+    }
+    let mut pairs = decomposed;
     // Long connections first (they need the straightest resources).
     pairs.sort_by_key(|p| std::cmp::Reverse(p.src.manhattan(&p.dst)));
 
@@ -230,10 +318,10 @@ pub fn route_stats(
     let mut fallbacks = 0usize;
     let mut expanded = 0u64;
     let mut peak_window = 0u64;
+    // Legacy stats deliberately exclude the decompose dispatch so the
+    // chunk counts in the pinned telemetry goldens stay what they were.
     let mut stats = eda_par::ParStats::empty();
 
-    // Pure per-connection search against an immutable grid: the only route
-    // computation, shared by the parallel batches and the serial rip-up.
     // The search window depends only on the connection and the config, so
     // windowed routing is as thread-invariant as full-grid routing.
     let route_one = |grid: &RoutingGrid, tp: &TwoPin| -> (Path, bool, u64, u64) {
@@ -242,35 +330,7 @@ pub fn route_stats(
         } else {
             SearchWindow::full(grid)
         };
-        match cfg.algorithm {
-            RouteAlgorithm::LeeBfs => {
-                let (p, s) = lee_bfs_in(grid, tp.src, tp.dst, win).expect("grid is connected");
-                (p, false, s.expanded as u64, s.scratch_cells as u64)
-            }
-            RouteAlgorithm::AStar => {
-                let (p, s) = astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win)
-                    .expect("grid is connected");
-                (p, false, s.expanded as u64, s.scratch_cells as u64)
-            }
-            RouteAlgorithm::LineSearch => {
-                // Windowed mode clips the probes to the same bounded window
-                // the maze fallback searches; margin 0 keeps the classic
-                // connection-extent window.
-                let probe = if cfg.window_margin > 0 {
-                    mikami_tabuchi_in(grid, tp.src, tp.dst, 12, win)
-                } else {
-                    mikami_tabuchi(grid, tp.src, tp.dst, 12)
-                };
-                match probe {
-                    Some((p, s)) => (p, false, s.expanded as u64, s.scratch_cells as u64),
-                    None => {
-                        let (p, s) = astar_in(grid, tp.src, tp.dst, cfg.deck.via_cost, win)
-                            .expect("grid is connected");
-                        (p, true, s.expanded as u64, s.scratch_cells as u64)
-                    }
-                }
-            }
-        }
+        route_one_in(grid, tp, win, cfg)
     };
 
     // Peels the first greedy batch of pairwise bbox-disjoint connections
@@ -384,6 +444,292 @@ pub fn route_stats(
         ripup_overflow,
         peak_window_cells: peak_window,
         dense_grid_cells: w as u64 * h as u64,
+        regions: 0,
+        local_commits: 0,
+        seam_conflicts: 0,
+        negotiation_waves: 0,
+    };
+    (outcome, stats)
+}
+
+/// One task's routed connections: `(queue item, (path, used line-search
+/// fallback, cells expanded, peak window cells))`, in task order.
+type TaskResults = Vec<(u32, (Path, bool, u64, u64))>;
+
+/// Running totals across all wave passes of one region-mode route.
+#[derive(Default)]
+struct WaveTally {
+    local_commits: u64,
+    seam_conflicts: u64,
+    waves: u64,
+    fallbacks: usize,
+    expanded: u64,
+    peak_window: u64,
+}
+
+/// Routes `items` (pair indices in canonical rank order) through the
+/// seam-negotiation wave scheduler, committing every result into `grid`
+/// and `paths`. One `eda-par` dispatch per wave: interior runs are
+/// region-sized batch tasks (hundreds of window searches amortize one
+/// dispatch), seam connections are singleton tasks against the committed
+/// grid. See [`crate::region`] for why the outcome is bit-identical to
+/// routing `items` serially in order, for any region size or thread
+/// count.
+#[allow(clippy::too_many_arguments)]
+fn run_wave_pass(
+    grid: &mut RoutingGrid,
+    pairs: &[TwoPin],
+    items: &[u32],
+    map: RegionMap,
+    cfg: &RouteConfig,
+    paths: &mut [Option<Path>],
+    stats: &mut eda_par::ParStats,
+    tally: &mut WaveTally,
+) {
+    let windows: Vec<SearchWindow> = items
+        .iter()
+        .map(|&i| {
+            let tp = &pairs[i as usize];
+            SearchWindow::around_dims(tp.src, tp.dst, cfg.window_margin, grid.width, grid.height)
+        })
+        .collect();
+    let mut sched = RegionScheduler::new(map, &windows);
+    // Dispatch balancing: `par_tasks_stats_at` pins dispatch position p to
+    // worker (p + offset) mod K, so the permutation and offset we dispatch
+    // with decide the per-worker CPU split. Waves are small (a handful of
+    // tasks) and the scheduler emits the heavy interior batches first, so
+    // naive order piles every wave's big task onto worker 0. Instead we
+    // keep a per-worker ledger of *measured* busy seconds, greedily hand
+    // each wave's costliest task to the least-loaded worker with a free
+    // stripe slot, and re-anchor the ledger to the measured per-worker
+    // clocks after every wave, so cost-model error never accumulates.
+    // This is pure execution placement: the commit loop below still walks
+    // `wave` in canonical order, so QoR is bit-identical regardless of
+    // which worker ran what.
+    let workers = eda_par::resolve_threads(cfg.threads).max(1);
+    // Measured busy seconds per worker slot, across all waves so far.
+    let mut measured = vec![0.0f64; workers];
+    // Conversion from cost-proxy units to seconds, re-fit every wave.
+    let mut est_dispatched = 0u64;
+    let mut busy_total = 0.0f64;
+    while sched.remaining() > 0 {
+        let wave = sched.next_wave();
+        if wave.is_empty() {
+            break;
+        }
+        tally.waves += 1;
+        // Cost proxy per connection: window perimeter, ~ the path length a
+        // successful line search walks. Window *area* (the A*-fallback
+        // bound) overweights long connections quadratically and skews the
+        // ledger when most connections line-search-route.
+        let est = |item: u32| -> u64 {
+            let w = &windows[item as usize];
+            (w.width() + w.height()) as u64
+        };
+        let cost = |task: &RegionTask| -> u64 {
+            match *task {
+                RegionTask::Interior { region, start, len } => sched.queue(region)
+                    [start as usize..(start + len) as usize]
+                    .iter()
+                    .map(|&item| est(item))
+                    .sum(),
+                RegionTask::Seam { item } => est(item),
+            }
+        };
+        let n = wave.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&t| std::cmp::Reverse(cost(&wave[t])));
+        // Rotate the stripe so position 0 of this wave lands on the
+        // least-loaded worker (small waves would otherwise always hit
+        // slot 0), then greedily fill: worker w owns positions p with
+        // (p + o) % K == w, a fixed slot count per wave; within that
+        // constraint hand each task (costliest first) to the least-loaded
+        // worker with a free slot. `load` starts from the measured clocks
+        // and grows by predicted task seconds as the wave fills.
+        let calib = if est_dispatched > 0 { busy_total / est_dispatched as f64 } else { 0.0 };
+        let mut load = measured.clone();
+        let min_slot = |load: &[f64], free: &dyn Fn(usize) -> bool| -> usize {
+            let mut best = usize::MAX;
+            for w in 0..workers {
+                if free(w) && (best == usize::MAX || load[w] < load[best]) {
+                    best = w;
+                }
+            }
+            best
+        };
+        let o = min_slot(&load, &|_| true).min(workers - 1);
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); workers];
+        for &t in &order {
+            let w = min_slot(&load, &|w| {
+                let first = (w + workers - o) % workers;
+                assigned[w].len() < (n + workers - 1).saturating_sub(first) / workers
+            });
+            let w = if w == usize::MAX { o } else { w };
+            load[w] += cost(&wave[t]) as f64 * calib;
+            assigned[w].push(t);
+        }
+        let mut dispatch = vec![0usize; n];
+        for (w, tasks) in assigned.iter().enumerate() {
+            let first = (w + workers - o) % workers;
+            for (q, &t) in tasks.iter().enumerate() {
+                dispatch[first + q * workers] = t;
+            }
+        }
+        est_dispatched += dispatch.iter().map(|&t| cost(&wave[t])).sum::<u64>();
+        let jobs: Vec<&RegionTask> = dispatch.iter().map(|&t| &wave[t]).collect();
+        let (results, s) = {
+            let grid: &RoutingGrid = grid;
+            let sched = &sched;
+            let windows = &windows;
+            // Immutable view for the workers; old paths are only swapped
+            // out in the canonical commit loop after the dispatch returns.
+            let paths: &[Option<Path>] = paths;
+            eda_par::par_tasks_stats_at(cfg.threads, o, &jobs, |_, task| match **task {
+                RegionTask::Interior { region, start, len } => {
+                    let mut overlay = OverlayGrid::new(grid, map.rect(region));
+                    let run = &sched.queue(region)[start as usize..(start + len) as usize];
+                    let mut out = Vec::with_capacity(len as usize);
+                    for &item in run {
+                        let pair = items[item as usize] as usize;
+                        // Rip-up victim: hide its own old demand from the
+                        // view; the shared grid keeps it until commit.
+                        if let Some(old) = &paths[pair] {
+                            overlay.uncommit(old);
+                        }
+                        let r = route_one_in(&overlay, &pairs[pair], windows[item as usize], cfg);
+                        overlay.commit(&r.0);
+                        out.push((item, r));
+                    }
+                    out
+                }
+                RegionTask::Seam { item } => {
+                    let pair = items[item as usize] as usize;
+                    let win = windows[item as usize];
+                    let r = if let Some(old) = &paths[pair] {
+                        let mut overlay = OverlayGrid::new(grid, (win.x0, win.y0, win.x1, win.y1));
+                        overlay.uncommit(old);
+                        route_one_in(&overlay, &pairs[pair], win, cfg)
+                    } else {
+                        route_one_in(grid, &pairs[pair], win, cfg)
+                    };
+                    vec![(item, r)]
+                }
+            })
+        };
+        stats.absorb(&s);
+        for (w, b) in s.busy_s.iter().enumerate().take(workers) {
+            measured[w] += b;
+            busy_total += b;
+        }
+        let mut by_task: Vec<Option<TaskResults>> = wave.iter().map(|_| None).collect();
+        for (j, r) in results.into_iter().enumerate() {
+            by_task[dispatch[j]] = Some(r);
+        }
+        for (task, routed) in wave.iter().zip(by_task) {
+            let seam = matches!(task, RegionTask::Seam { .. });
+            let routed = routed.unwrap_or_default();
+            for (item, (p, fb, ex, sc)) in routed {
+                tally.fallbacks += fb as usize;
+                tally.expanded += ex;
+                tally.peak_window = tally.peak_window.max(sc);
+                if seam {
+                    tally.seam_conflicts += 1;
+                } else {
+                    tally.local_commits += 1;
+                }
+                let pair = items[item as usize] as usize;
+                if let Some(old) = paths[pair].take() {
+                    commit(grid, &old, -1);
+                }
+                commit(grid, &p, 1);
+                paths[pair] = Some(p);
+            }
+        }
+        sched.advance(&wave);
+    }
+}
+
+/// The region-partitioned route path: congestion-aware canonical
+/// ordering, wave-scheduled initial pass, then negotiated rip-up rounds
+/// whose victims (canonical order, strict-overflow rule) are uncommitted
+/// up front and re-routed through the same wave machinery.
+fn route_region(
+    mut grid: RoutingGrid,
+    pairs: Vec<TwoPin>,
+    cfg: &RouteConfig,
+    start: Instant,
+    mut stats: eda_par::ParStats,
+) -> (RouteOutcome, eda_par::ParStats) {
+    let (w, h) = (grid.width, grid.height);
+    let map = RegionMap::new(w, h, cfg.region_size);
+    // Canonical rank order — the serial schedule every wave execution is
+    // bit-identical to. Long, high-fanout connections first: they need
+    // the straightest resources, and routing them into an empty grid
+    // instead of a congested one is what cuts rip-up rounds.
+    let mut order: Vec<u32> = (0..pairs.len() as u32).collect();
+    order.sort_by_key(|&i| {
+        let p = &pairs[i as usize];
+        std::cmp::Reverse(p.src.manhattan(&p.dst) + 2 * p.fanout.saturating_sub(2))
+    });
+
+    let mut paths: Vec<Option<Path>> = vec![None; pairs.len()];
+    let mut tally = WaveTally::default();
+    run_wave_pass(&mut grid, &pairs, &order, map, cfg, &mut paths, &mut stats, &mut tally);
+
+    let negotiate = cfg.algorithm != RouteAlgorithm::LeeBfs;
+    let mut iterations = 1usize;
+    let mut ripup_overflow = vec![grid.total_overflow()];
+    if negotiate {
+        for _ in 0..cfg.ripup_iterations {
+            if grid.total_overflow() == 0 {
+                break;
+            }
+            grid.bump_history();
+            iterations += 1;
+            // Victims in canonical order: every path on a strictly
+            // overflowed edge (the scale rule — region mode requires a
+            // positive window margin). Old paths stay committed until each
+            // victim's own canonical commit slot — see the rip-up
+            // semantics note in [`crate::region`]; ripping everything up
+            // front lets re-routes re-take the same shortest paths and
+            // never converges at scale.
+            let victims: Vec<u32> = order
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    paths[i as usize]
+                        .as_ref()
+                        .is_some_and(|p| p.windows(2).any(|e| grid.is_overflowed(e[0], e[1])))
+                })
+                .collect();
+            run_wave_pass(&mut grid, &pairs, &victims, map, cfg, &mut paths, &mut stats, &mut tally);
+            ripup_overflow.push(grid.total_overflow());
+        }
+    }
+
+    let vias: u64 = paths.iter().flatten().map(|p| count_bends(p) as u64).sum();
+    if std::env::var_os("EDA_ROUTE_DEBUG").is_some() {
+        eprintln!(
+            "route_region debug: waves={} local={} seam={} ripup_overflow={:?} busy_s={:?}",
+            tally.waves, tally.local_commits, tally.seam_conflicts, ripup_overflow, stats.busy_s
+        );
+    }
+    let outcome = RouteOutcome {
+        wirelength: grid.total_usage(),
+        vias,
+        overflow: grid.total_overflow(),
+        connections: pairs.len(),
+        linesearch_fallbacks: tally.fallbacks,
+        cells_expanded: tally.expanded,
+        seconds: start.elapsed().as_secs_f64(),
+        iterations,
+        ripup_overflow,
+        peak_window_cells: tally.peak_window,
+        dense_grid_cells: w as u64 * h as u64,
+        regions: map.count() as u32,
+        local_commits: tally.local_commits,
+        seam_conflicts: tally.seam_conflicts,
+        negotiation_waves: tally.waves,
     };
     (outcome, stats)
 }
@@ -512,6 +858,74 @@ mod tests {
         let out = route(&n, &p, &RouteConfig::default());
         assert!(out.vias > 0);
         assert!(out.seconds >= 0.0);
+    }
+
+    #[test]
+    fn region_routing_is_partition_and_thread_invariant() {
+        let (n, p) = placed(300, 5);
+        for alg in [RouteAlgorithm::AStar, RouteAlgorithm::LineSearch] {
+            // Canonical serial reference: one region covering the whole
+            // 32-cell grid, so the wave machinery degenerates to routing
+            // the canonical order in a single task.
+            let base = RouteConfig {
+                algorithm: alg,
+                window_margin: 4,
+                region_size: 64,
+                ..Default::default()
+            };
+            let reference = route(&n, &p, &base);
+            assert_eq!(reference.regions, 1, "{alg:?}");
+            assert_eq!(reference.seam_conflicts, 0, "{alg:?}");
+            // Every connection routes locally at least once; rip-up
+            // re-routes count again.
+            assert!(reference.local_commits as usize >= reference.connections);
+            for region_size in [3, 5, 8, 13, 16] {
+                for threads in [1, 4] {
+                    let cfg =
+                        RouteConfig { region_size, threads, ..base.clone() };
+                    let out = route(&n, &p, &cfg);
+                    let tag = format!("{alg:?} size={region_size} threads={threads}");
+                    assert_eq!(out.wirelength, reference.wirelength, "{tag}");
+                    assert_eq!(out.vias, reference.vias, "{tag}");
+                    assert_eq!(out.overflow, reference.overflow, "{tag}");
+                    assert_eq!(out.cells_expanded, reference.cells_expanded, "{tag}");
+                    assert_eq!(
+                        out.linesearch_fallbacks, reference.linesearch_fallbacks,
+                        "{tag}"
+                    );
+                    assert_eq!(out.ripup_overflow, reference.ripup_overflow, "{tag}");
+                    assert_eq!(out.peak_window_cells, reference.peak_window_cells, "{tag}");
+                    assert_eq!(out.iterations, reference.iterations, "{tag}");
+                    assert!(out.regions > 1, "{tag}");
+                    assert_eq!(
+                        out.local_commits + out.seam_conflicts,
+                        reference.local_commits,
+                        "{tag}: every routing is local or seam-arbitrated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_seam_crossing_deck_still_routes_identically() {
+        // Pathological partition: 2-cell regions under an 8-cell margin
+        // mean every window spans several regions — no connection is
+        // interior, the whole deck goes through seam negotiation.
+        let (n, p) = placed(250, 11);
+        let base =
+            RouteConfig { window_margin: 8, region_size: 64, ..Default::default() };
+        let reference = route(&n, &p, &base);
+        let cfg = RouteConfig { region_size: 2, threads: 4, ..base.clone() };
+        let out = route(&n, &p, &cfg);
+        assert_eq!(out.local_commits, 0, "nothing can be region-interior");
+        assert!(out.seam_conflicts as usize >= out.connections);
+        assert!(out.negotiation_waves > 1);
+        assert_eq!(out.wirelength, reference.wirelength);
+        assert_eq!(out.vias, reference.vias);
+        assert_eq!(out.overflow, reference.overflow);
+        assert_eq!(out.cells_expanded, reference.cells_expanded);
+        assert_eq!(out.ripup_overflow, reference.ripup_overflow);
     }
 
     #[test]

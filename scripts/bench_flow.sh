@@ -28,8 +28,12 @@
 # Also runs the scale-tier benchmark (`experiments scale`): a 10^5-instance
 # mesh fabric through all 11 stages serially and at N workers, emitted as
 # BENCH_scale.json (per-stage wall clock and peak RSS, SoA-vs-dense netlist
-# heap, windowed-vs-dense routing footprint, QoR bit-identity). Override the
-# design size with EDA_BENCH_SCALE_INSTANCES (e.g. 10000 for a quick pass).
+# heap, windowed-vs-dense routing footprint, region-router counters,
+# route_serial_s/route_parallel_s/route_speedup, QoR bit-identity). Parallel
+# walls use the projected per-worker-CPU convention (see crates/par); the
+# pass fails if the parallel route or flow is slower than serial. Override
+# the design size with EDA_BENCH_SCALE_INSTANCES (e.g. 10000 for a quick
+# pass).
 #
 # Usage: scripts/bench_flow.sh [N]    worker threads for the parallel pass
 #                                     (default $EDA_BENCH_THREADS or 4)
@@ -249,8 +253,15 @@ printf '%s\n' "$SCALE" | awk '
         printf "  \"place_hpwl_um\": %d,\n", v["place_hpwl_um"]
         printf "  \"route_wirelength\": %d,\n", v["route_wirelength"]
         printf "  \"route_overflow\": %d,\n", v["route_overflow"]
+        printf "  \"route_regions\": %d,\n", v["route_regions"]
+        printf "  \"route_local_commits\": %d,\n", v["route_local_commits"]
+        printf "  \"route_seam_conflicts\": %d,\n", v["route_seam_conflicts"]
         printf "  \"serial_s\": %.6f,\n", v["serial_s"]
         printf "  \"parallel_s\": %.6f,\n", v["parallel_s"]
+        printf "  \"parallel_measured_s\": %.6f,\n", v["parallel_measured_s"]
+        printf "  \"route_serial_s\": %.6f,\n", v["route_serial_s"]
+        printf "  \"route_parallel_s\": %.6f,\n", v["route_parallel_s"]
+        printf "  \"route_speedup\": %.3f,\n", v["route_speedup"]
         printf "  \"threads\": %d,\n", v["threads"]
         printf "  \"peak_rss_mb\": %d,\n", v["peak_rss_mb"]
         printf "  \"same_qor\": %s,\n", v["same_qor"] ? "true" : "false"
@@ -265,6 +276,16 @@ printf '%s\n' "$SCALE" | awk '
         }
         if (!v["same_qor"]) {
             print "bench_flow: FAIL scale-tier QoR diverged across thread counts" > "/dev/stderr"; exit 1
+        }
+        # The region-partitioned router exists to make parallel routing a
+        # speedup; a projected route wall slower than serial is a regression.
+        if (v["route_speedup"] <= 1.0) {
+            printf "bench_flow: FAIL parallel route slower than serial (%.2fs vs %.2fs, %.2fx)\n", \
+                v["route_parallel_s"], v["route_serial_s"], v["route_speedup"] > "/dev/stderr"; exit 1
+        }
+        if (v["parallel_s"] >= v["serial_s"]) {
+            printf "bench_flow: FAIL projected parallel flow slower than serial (%.2fs vs %.2fs)\n", \
+                v["parallel_s"], v["serial_s"] > "/dev/stderr"; exit 1
         }
     }
 ' > "$SCALE_OUT"

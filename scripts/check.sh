@@ -130,8 +130,12 @@ echo "check: poisoned cache entry recomputed, QoR intact"
 # flow, serial and at 4 workers. The tool itself asserts all 11 stages
 # complete, routing closes with zero overflow, QoR is bit-identical across
 # thread counts, the SoA netlist beats the dense layout, windowed routing
-# never materializes the dense grid, and peak RSS stays under the budget.
-./target/release/experiments scale --instances 10000 --rss-budget-mb 512 --threads 4
+# never materializes the dense grid, peak RSS stays under the budget, and —
+# the region-partitioned-router gate — the projected route-stage speedup at
+# 4 workers reaches at least 1.5x so the parallel-route regression can never
+# silently return.
+./target/release/experiments scale --instances 10000 --rss-budget-mb 512 --threads 4 \
+    --route-speedup-floor 1.5
 
 # Golden snapshot in release: QoR + telemetry byte-stable across threads
 # 1/2/4/8 and unchanged vs tests/golden/smoke.snap (re-bless: scripts/bless.sh).

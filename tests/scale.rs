@@ -96,16 +96,24 @@ fn assert_rss_profile(report: &FlowReport, budget_mb: u64, label: &str) {
 }
 
 /// The mini tier (10⁴ instances) completes all 11 stages overflow-free with
-/// bit-identical QoR serial and at 4 threads, within a conservative RSS
-/// budget. Release-only: this is the fast gate `scripts/check.sh` mirrors.
+/// bit-identical QoR at 1, 2, 4, and 8 worker threads, within a conservative
+/// RSS budget. The thread sweep is the region-partitioned router's seam
+/// contract under real load: worker count changes which regions route
+/// concurrently but never the canonical commit order. Release-only: this is
+/// the fast gate `scripts/check.sh` mirrors.
 #[test]
 #[cfg_attr(debug_assertions, ignore = "10^4 flow is minutes unoptimized; run in release")]
 fn mini_scale_tier_is_bit_identical_and_bounded() {
     let design = generate::scale_mesh(MINI, 3).unwrap();
     let serial = run_tier(&design, MINI, 1);
-    let par = run_tier(&design, MINI, 4);
     assert_scale_invariants(&serial, "mini serial");
-    assert!(serial.same_qor(&par), "mini tier QoR diverged between 1 and 4 threads");
+    for threads in [2usize, 4, 8] {
+        let par = run_tier(&design, MINI, threads);
+        assert!(
+            serial.same_qor(&par),
+            "mini tier QoR diverged between 1 and {threads} threads"
+        );
+    }
     assert_rss_profile(&serial, 512, "mini serial");
 }
 
