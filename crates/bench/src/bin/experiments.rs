@@ -46,11 +46,13 @@
 //!
 //! Every subcommand shares one typed `Options` struct: `--threads N` (one
 //! global budget for every parallel kernel — and, under `serve`, the
-//! worker/kernel split; `0` = all cores), `--cache-dir DIR` (shared
-//! content-addressed stage cache, DESIGN.md §9), `--inject SPEC`
-//! (deterministic fault plan: `smoke`, `random:N`, or
-//! `stage=fail|timeout|degrade[@invocation]`), `--batch N` / `--workers W`
-//! (serve pool shape).
+//! worker/kernel split; `0` = all cores), `--store PATH` /
+//! `--store-max-bytes N` (the persistent flow store: stage + sub-stage
+//! cache and QoR provenance, DESIGN.md §14; the deprecated `--cache-dir
+//! DIR` maps to `DIR/flow.store`), `--inject SPEC` (deterministic fault
+//! plan: `smoke`, `random:N`, or `stage=fail|timeout|degrade[@invocation]`),
+//! `--batch N` / `--workers W` (serve pool shape), and the `query` filters
+//! (`--design`, `--stage`, `--metric`, `--last`).
 //!
 //! The pre-subcommand spellings (`--incremental`, `--trace OUT.json`, bare
 //! `--inject SPEC`, claims with no subcommand) keep working; `--help`
@@ -64,8 +66,9 @@
 
 use eda_core::{
     run_flow, Arm, Daemon, DaemonClient, DaemonConfig, DesignSpec, Endpoint, FaultPlan,
-    FlowConfig, FlowRequest, FlowServer, FlowTuner, RejectReason, RetryPolicy, SubmitSpec,
-    Terminal, TransportFaultPlan,
+    FlowConfig, FlowRequest, FlowServer, FlowStore, FlowTuner, QorQuery, QorRow, Query,
+    QuerySpec, RejectReason, RetryPolicy, StageRow, StoreConfig, SubmitSpec, Terminal,
+    TransportFaultPlan,
 };
 use eda_dft::{
     bypass_fault_sim, compressed_fault_sim, fault_list, insert_scan, reorder_chains, run_atpg,
@@ -113,14 +116,15 @@ fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
-/// Stage-cache directory from `--cache-dir`, set once before any claim runs.
-static CACHE_DIR: OnceLock<PathBuf> = OnceLock::new();
+/// Flow-store configuration from `--store` / `--cache-dir`, set once before
+/// any claim runs.
+static STORE: OnceLock<StoreConfig> = OnceLock::new();
 
-/// Applies the global `--cache-dir` (when given) to a flow config, so every
-/// flow the claims run shares one content-addressed stage cache.
+/// Applies the global flow store (when given) to a flow config, so every
+/// flow the claims run shares one content-addressed store.
 fn with_cache(mut cfg: FlowConfig) -> FlowConfig {
-    if let Some(dir) = CACHE_DIR.get() {
-        cfg.cache_dir = Some(dir.clone());
+    if let Some(sc) = STORE.get() {
+        cfg.store = Some(sc.clone());
     }
     cfg
 }
@@ -143,10 +147,12 @@ enum Command {
     Incremental,
     /// Smoke flow once, telemetry written to disk.
     Trace,
-    /// Long-lived socket daemon (`daemon serve|submit|ping|shutdown`).
+    /// Long-lived socket daemon (`daemon serve|submit|ping|query|shutdown`).
     Daemon,
     /// Scale-tier stress run: SCALELINE/SCALESTAGE rows + self-checks.
     Scale,
+    /// QoR / stage provenance history read straight from the flow store.
+    Query,
 }
 
 /// One typed option set shared by every subcommand.
@@ -155,8 +161,22 @@ struct Options {
     /// `--threads N`: global budget for every parallel kernel (and, under
     /// `serve`, the worker/kernel split). `0` = all cores.
     threads: usize,
-    /// `--cache-dir DIR`: shared content-addressed stage cache.
+    /// `--cache-dir DIR`: **deprecated** directory spelling of the flow
+    /// store; behaves as `--store DIR/flow.store` when `--store` is absent.
     cache_dir: Option<String>,
+    /// `--store PATH`: the persistent flow store file (stage + sub-stage
+    /// cache and QoR provenance, DESIGN.md §14).
+    store: Option<String>,
+    /// `--store-max-bytes N`: size bound for the store (0 = default 64 MiB).
+    store_max_bytes: u64,
+    /// `--design NAME`: provenance filter for `query`.
+    design: Option<String>,
+    /// `--stage STAGE`: `query` switches to per-stage history rows.
+    stage: Option<String>,
+    /// `--metric M`: `query` column selector (wns|overflow|hpwl|wall|rss|all).
+    metric: Option<String>,
+    /// `--last N`: newest-N limit for `query` (0 = unlimited).
+    last: usize,
     /// `--inject SPEC`: deterministic fault plan.
     inject: Option<String>,
     /// `trace` output path.
@@ -202,6 +222,12 @@ impl Default for Options {
         Options {
             threads: 0,
             cache_dir: None,
+            store: None,
+            store_max_bytes: 0,
+            design: None,
+            stage: None,
+            metric: None,
+            last: 10,
             inject: None,
             trace_out: None,
             batch: 4,
@@ -238,9 +264,13 @@ SUBCOMMANDS:
                        compare against sequential per-design runs, and print
                        SERVLINE rows (throughput, cross-design cache hit
                        rate, speedup vs. sequential)
-    incremental        cold + warm smoke flow against the stage cache; fails
-                       unless the warm run skips >= 8 of 11 stages with
-                       bit-identical QoR
+    incremental        cold + warm + edited smoke flow against the flow
+                       store; fails unless the warm run skips >= 8 of 11
+                       stages and a one-AIG-pass edit replays >= 1 sub-stage
+                       memo entry, both with bit-identical QoR
+    query              read QoR / stage provenance history out of the flow
+                       store (--store, with --design / --stage / --metric /
+                       --last filters) and print QUERYLINE rows newest-first
     trace OUT.json     run the smoke flow once; write Chrome-trace JSON,
                        OUT.metrics.json, and OUT.folded
     scale              generate a --instances mesh fabric, run the
@@ -256,12 +286,24 @@ SUBCOMMANDS:
                          submit     send --count requests, stream stage
                                     events, print DAEMONLINE rows
                          ping       liveness probe + lifetime stats
+                         query      QoR history over the wire (answered from
+                                    the daemon's store, no flow worker used)
                          shutdown   graceful drain, then print final stats
 
 OPTIONS (shared by every subcommand):
     --threads N        global thread budget, 0 = all cores (default 0);
                        results are bit-identical for any value
-    --cache-dir DIR    shared content-addressed stage cache directory
+    --store PATH       persistent flow store file: stage + sub-stage cache
+                       and QoR provenance (DESIGN.md section 14)
+    --store-max-bytes N
+                       store size bound in bytes; LRU compaction keeps the
+                       file under it (default 0 = 64 MiB)
+    --design NAME      query: only rows for this design
+    --stage STAGE      query: per-stage history rows for STAGE instead of
+                       whole-run QoR rows
+    --metric M         query: value column, one of wns|overflow|hpwl|wall|
+                       rss|all (default all)
+    --last N           query: newest N rows only (default 10, 0 = unlimited)
     --inject SPEC      deterministic fault plan: smoke, random:N, or a comma
                        list of stage=fail|timeout|degrade[@invocation]
                        (run: supervised faulted flow; trace: faulted trace;
@@ -286,7 +328,10 @@ OPTIONS (shared by every subcommand):
                        (conn-drop@N | frame-garbage@N | stall@N, comma list)
     -h, --help         this text
 
-DEPRECATED (kept for compatibility, prefer the subcommands):
+DEPRECATED (kept for compatibility, prefer the replacements):
+    --cache-dir DIR    ->  --store DIR/flow.store (the old loose-directory
+                           cache is now one store file; the directory
+                           spelling maps to a default-sized store there)
     --incremental      ->  experiments incremental
     --trace OUT.json   ->  experiments trace OUT.json
     --inject SPEC      ->  experiments run --inject SPEC
@@ -342,6 +387,25 @@ fn parse_args() -> Result<(Command, Options), CliError> {
             "--cache-dir" => opts.cache_dir = Some(take("--cache-dir", args.next())?),
             _ if a.starts_with("--cache-dir=") => {
                 opts.cache_dir = Some(value_of("--cache-dir="));
+            }
+            "--store" => opts.store = Some(take("--store", args.next())?),
+            _ if a.starts_with("--store=") => opts.store = Some(value_of("--store=")),
+            "--store-max-bytes" => {
+                opts.store_max_bytes = count("--store-max-bytes", args.next())? as u64;
+            }
+            _ if a.starts_with("--store-max-bytes=") => {
+                opts.store_max_bytes =
+                    count("--store-max-bytes", Some(value_of("--store-max-bytes=")))? as u64;
+            }
+            "--design" => opts.design = Some(take("--design", args.next())?),
+            _ if a.starts_with("--design=") => opts.design = Some(value_of("--design=")),
+            "--stage" => opts.stage = Some(take("--stage", args.next())?),
+            _ if a.starts_with("--stage=") => opts.stage = Some(value_of("--stage=")),
+            "--metric" => opts.metric = Some(take("--metric", args.next())?),
+            _ if a.starts_with("--metric=") => opts.metric = Some(value_of("--metric=")),
+            "--last" => opts.last = count("--last", args.next())?,
+            _ if a.starts_with("--last=") => {
+                opts.last = count("--last", Some(value_of("--last=")))?;
             }
             "--socket" => opts.socket = Some(take("--socket", args.next())?),
             _ if a.starts_with("--socket=") => opts.socket = Some(value_of("--socket=")),
@@ -412,6 +476,7 @@ fn parse_args() -> Result<(Command, Options), CliError> {
             "trace" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Trace),
             "daemon" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Daemon),
             "scale" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Scale),
+            "query" if cmd.is_none() && opts.claims.is_empty() => cmd = Some(Command::Query),
             _ if cmd == Some(Command::Trace) && opts.trace_out.is_none() => {
                 opts.trace_out = Some(raw);
             }
@@ -431,6 +496,7 @@ fn parse_args() -> Result<(Command, Options), CliError> {
                 Command::Trace => "trace",
                 Command::Daemon => "daemon",
                 Command::Scale => "scale",
+                Command::Query => "query",
                 Command::Run => unreachable!("run accepts claims"),
             },
             opts.claims.join(" ")
@@ -439,14 +505,31 @@ fn parse_args() -> Result<(Command, Options), CliError> {
     Ok((cmd, opts))
 }
 
+/// Resolves the flow store the CLI should run against: `--store PATH`
+/// (with `--store-max-bytes` applied) wins; the deprecated `--cache-dir DIR`
+/// maps to a default store at `DIR/flow.store`; otherwise `None`.
+fn store_config(opts: &Options) -> Option<StoreConfig> {
+    let base = match (&opts.store, &opts.cache_dir) {
+        (Some(path), _) => StoreConfig::at(path),
+        (None, Some(dir)) => StoreConfig::at(PathBuf::from(dir).join("flow.store")),
+        (None, None) => return None,
+    };
+    Some(if opts.store_max_bytes > 0 {
+        base.with_max_bytes(opts.store_max_bytes)
+    } else {
+        base
+    })
+}
+
 fn run() -> CliResult {
     let (cmd, opts) = parse_args()?;
     THREADS.store(opts.threads, Ordering::Relaxed);
-    if let Some(dir) = &opts.cache_dir {
-        let _ = CACHE_DIR.set(PathBuf::from(dir));
+    if let Some(sc) = store_config(&opts) {
+        let _ = STORE.set(sc);
     }
     match cmd {
-        Command::Incremental => incremental_demo(opts.cache_dir.as_deref(), opts.threads),
+        Command::Incremental => incremental_demo(&opts),
+        Command::Query => query_demo(&opts),
         Command::Trace => {
             let path = opts.trace_out.as_deref().ok_or(CliError(
                 "trace needs an output path (try `experiments trace flow.trace.json`)".into(),
@@ -517,7 +600,12 @@ fn run_claims(opts: &Options) -> CliResult {
         .map(|(id, _)| {
             let mut cmd = std::process::Command::new(&exe);
             cmd.arg("run").arg("--child").arg(format!("--threads={threads_arg}"));
-            if let Some(dir) = &opts.cache_dir {
+            if let Some(path) = &opts.store {
+                cmd.arg(format!("--store={path}"));
+                if opts.store_max_bytes > 0 {
+                    cmd.arg(format!("--store-max-bytes={}", opts.store_max_bytes));
+                }
+            } else if let Some(dir) = &opts.cache_dir {
                 cmd.arg(format!("--cache-dir={dir}"));
             }
             let c = cmd
@@ -543,28 +631,35 @@ fn run_claims(opts: &Options) -> CliResult {
     Ok(())
 }
 
-/// `--incremental`: cold + warm smoke flow against the stage cache.
+/// `incremental`: cold + warm + edited smoke flow against the flow store.
 ///
-/// Runs the smoke flow twice against `--cache-dir` (or a fresh temp
-/// directory), prints both wall clocks, the fraction of stages replayed from
-/// cache, and the QoR comparison, then fails unless the warm run skipped at
-/// least 8 of the 11 stages with bit-identical QoR. Unreadable (poisoned)
-/// entries are recomputed and counted, never fatal, so a partially damaged
-/// cache still passes as long as enough stages replay.
-fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
-    let dir: PathBuf = match cache_dir {
-        Some(d) => PathBuf::from(d),
-        None => std::env::temp_dir().join(format!("eda_incremental_{}", std::process::id())),
-    };
+/// Runs the smoke flow twice against `--store` (or the deprecated
+/// `--cache-dir`, or a fresh temp store), prints both wall clocks, the
+/// fraction of stages replayed from the store, and the QoR comparison; then
+/// re-runs with one AIG rewrite pass dropped — the sub-stage memo must
+/// replay at least one per-pass entry even though the synthesis stage entry
+/// itself misses. Fails unless the warm run skipped at least 8 of the 11
+/// stages and the edited run's QoR matches an uncached reference,
+/// bit-identically. Unreadable (poisoned) entries are recomputed and
+/// counted, never fatal, so a partially damaged store still passes as long
+/// as enough stages replay.
+fn incremental_demo(opts: &Options) -> CliResult {
+    let sc = store_config(opts).unwrap_or_else(|| {
+        StoreConfig::at(
+            std::env::temp_dir()
+                .join(format!("eda_incremental_{}", std::process::id()))
+                .join("flow.store"),
+        )
+    });
     let design = generate::switch_fabric(3, 3)?;
     let mut cfg = FlowConfig::advanced_2016(Node::N10);
-    cfg.threads = threads_arg;
-    cfg.cache_dir = Some(dir.clone());
+    cfg.threads = opts.threads;
+    cfg.store = Some(sc.clone());
     println!(
-        "=== incremental flow: {} on {} (cache at {}) ===",
+        "=== incremental flow: {} on {} (store at {}) ===",
         cfg.name,
         design.name(),
-        dir.display()
+        sc.path.display()
     );
 
     let counter = |r: &eda_core::FlowReport, name: &str| -> u64 {
@@ -591,9 +686,34 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
          ({hits}/{total} stages replayed, {errors} unreadable entries recomputed)"
     );
     println!("warm speedup: {:.1}x, QoR bit-identical: {same}", cold_s / warm_s.max(1e-9));
+
+    // Edit-replay: drop one AIG rewrite pass. The synthesis stage entry
+    // misses (its config fingerprint covers the pass count), but the
+    // per-pass sub-stage memo replays every pass the edit didn't remove.
+    // QoR is judged against an uncached run of the edited config.
+    let mut edited = cfg.clone();
+    edited.aig_rewrite_passes = cfg.aig_rewrite_passes.saturating_sub(1);
+    let t = Instant::now();
+    let edit =
+        run_flow(&design, &edited).map_err(|e| CliError(format!("edited run failed: {e}")))?;
+    let edit_s = t.elapsed().as_secs_f64();
+    let mut uncached = edited.clone();
+    uncached.store = None;
+    uncached.cache_dir = None;
+    let reference = run_flow(&design, &uncached)
+        .map_err(|e| CliError(format!("uncached reference run failed: {e}")))?;
+    let sub_hits = counter(&edit, "cache.substage_hits");
+    let sub_misses = counter(&edit, "cache.substage_misses");
+    let edit_hits = counter(&edit, "cache.hits");
+    let edit_same = reference.same_qor(&edit);
+    println!(
+        "edit run: {edit_s:>8.3}s  (one rewrite pass dropped: {edit_hits} stage hits, \
+         {sub_hits} sub-stage hits / {sub_misses} misses, QoR vs uncached: {edit_same})"
+    );
+
     // Machine-readable rows for scripts/bench_flow.sh and scripts/check.sh.
     // The `cold_*` rows describe the first run of THIS invocation — against
-    // a pre-filled cache it hits too, and against a damaged one it reports
+    // a pre-filled store it hits too, and against a damaged one it reports
     // the unreadable entries it recomputed.
     println!("INCRLINE cold_s {cold_s:.6}");
     println!("INCRLINE cold_hits {}", counter(&cold, "cache.hits"));
@@ -603,6 +723,11 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
     println!("INCRLINE stages_skipped {hits}");
     println!("INCRLINE cache_errors {errors}");
     println!("INCRLINE same_qor {}", same as u32);
+    println!("INCRLINE edit_s {edit_s:.6}");
+    println!("INCRLINE edit_stage_hits {edit_hits}");
+    println!("INCRLINE edit_substage_hits {sub_hits}");
+    println!("INCRLINE edit_substage_misses {sub_misses}");
+    println!("INCRLINE edit_same_qor {}", edit_same as u32);
     if hits < 8 {
         return Err(CliError(format!(
             "warm run replayed only {hits}/{total} stages (expected >= 8)"
@@ -611,7 +736,119 @@ fn incremental_demo(cache_dir: Option<&str>, threads_arg: usize) -> CliResult {
     if !same {
         return Err(CliError("warm QoR diverged from the cold run".into()));
     }
-    println!("incremental: warm run skipped {hits}/{total} stages with identical QoR");
+    // A store pre-filled by an earlier edited run replays the whole edited
+    // flow from the stage cache (never consulting the memo), so the
+    // sub-stage gate only binds when synthesis actually recomputed.
+    if sub_hits < 1 && edit_hits < total {
+        return Err(CliError(
+            "edited run replayed no sub-stage entries (expected >= 1 per-pass memo hit)".into(),
+        ));
+    }
+    if !edit_same {
+        return Err(CliError("edited QoR diverged from the uncached reference".into()));
+    }
+    println!(
+        "incremental: warm run skipped {hits}/{total} stages, \
+         edit replayed {sub_hits} sub-stage entries, QoR identical"
+    );
+    Ok(())
+}
+
+/// `query`: the provenance read side — QoR history (or, with `--stage`,
+/// per-stage history) straight out of the flow store, newest first.
+///
+/// Prints a human table plus stable machine-readable rows:
+///
+/// * `QUERYLINE qor <seq> <design> <node> <cfg_fp> <qor_fp> <wns_ps>
+///   <overflow> <hpwl_um> <wall_s> <peak_rss_bytes>` (with `--metric all`),
+/// * `QUERYLINE <metric> <seq> <design> <value>` for a single metric,
+/// * `QUERYLINE stage <seq> <design> <stage> <attempts> <wall_s> <outcome>`
+///   with `--stage`,
+/// * a trailing `QUERYLINE rows <n>` count either way.
+fn query_demo(opts: &Options) -> CliResult {
+    let sc = store_config(opts).ok_or(CliError(
+        "query needs --store PATH (or the deprecated --cache-dir DIR)".into(),
+    ))?;
+    let store = FlowStore::open(&sc).map_err(|e| CliError(format!("cannot open store: {e}")))?;
+    let q = QorQuery {
+        design: opts.design.clone(),
+        stage: opts.stage.clone(),
+        last: opts.last,
+    };
+
+    if opts.stage.is_some() {
+        let rows: Vec<StageRow> = store.stage_history(&q)?;
+        println!("{:>5} {:<14} {:<12} {:>8} {:>9}  outcome", "seq", "design", "stage", "attempts", "wall_s");
+        for row in &rows {
+            println!(
+                "{:>5} {:<14} {:<12} {:>8} {:>9.3}  {}",
+                row.seq, row.design, row.stage, row.attempts, row.wall_s, row.outcome
+            );
+        }
+        for row in &rows {
+            println!(
+                "QUERYLINE stage {} {} {} {} {:.6} {}",
+                row.seq, row.design, row.stage, row.attempts, row.wall_s, row.outcome
+            );
+        }
+        println!("QUERYLINE rows {}", rows.len());
+        return Ok(());
+    }
+
+    let metric = opts.metric.as_deref().unwrap_or("all");
+    let value = |row: &QorRow| -> String {
+        match metric {
+            "wns" => format!("{:.3}", row.wns_ps),
+            "overflow" => row.overflow.to_string(),
+            "hpwl" => format!("{:.3}", row.hpwl_um),
+            "wall" => format!("{:.6}", row.wall_s),
+            "rss" => row.peak_rss_bytes.to_string(),
+            _ => String::new(),
+        }
+    };
+    if !matches!(metric, "all" | "wns" | "overflow" | "hpwl" | "wall" | "rss") {
+        return Err(CliError(format!(
+            "unknown --metric `{metric}` (want wns, overflow, hpwl, wall, rss, or all)"
+        )));
+    }
+    let rows: Vec<QorRow> = store.qor_history(&q)?;
+    println!(
+        "{:>5} {:<14} {:<6} {:>10} {:>6} {:>12} {:>9} {:>9}",
+        "seq", "design", "node", "wns_ps", "ovfl", "hpwl_um", "wall_s", "rss_mb"
+    );
+    for row in &rows {
+        println!(
+            "{:>5} {:<14} {:<6} {:>10.1} {:>6} {:>12.1} {:>9.3} {:>9.1}",
+            row.seq,
+            row.design,
+            row.node,
+            row.wns_ps,
+            row.overflow,
+            row.hpwl_um,
+            row.wall_s,
+            row.peak_rss_bytes as f64 / (1024.0 * 1024.0)
+        );
+    }
+    for row in &rows {
+        if metric == "all" {
+            println!(
+                "QUERYLINE qor {} {} {} {:016x} {:016x} {:.3} {} {:.3} {:.6} {}",
+                row.seq,
+                row.design,
+                row.node,
+                row.cfg_fp,
+                row.qor_fp,
+                row.wns_ps,
+                row.overflow,
+                row.hpwl_um,
+                row.wall_s,
+                row.peak_rss_bytes
+            );
+        } else {
+            println!("QUERYLINE {metric} {} {} {}", row.seq, row.design, value(row));
+        }
+    }
+    println!("QUERYLINE rows {}", rows.len());
     Ok(())
 }
 
@@ -883,13 +1120,16 @@ fn serve_demo(opts: &Options) -> CliResult {
         })
         .collect();
 
-    let dir: PathBuf = match &opts.cache_dir {
-        Some(d) => PathBuf::from(d),
-        None => std::env::temp_dir().join(format!("eda_serve_{}", std::process::id())),
-    };
+    let sc = store_config(opts).unwrap_or_else(|| {
+        StoreConfig::at(
+            std::env::temp_dir()
+                .join(format!("eda_serve_{}", std::process::id()))
+                .join("flow.store"),
+        )
+    });
     println!(
-        "=== flow server: {batch} requests ({distinct} distinct designs), cache at {} ===",
-        dir.display()
+        "=== flow server: {batch} requests ({distinct} distinct designs), store at {} ===",
+        sc.path.display()
     );
 
     // Sequential baseline: each request cold, one after another, with the
@@ -909,7 +1149,7 @@ fn serve_demo(opts: &Options) -> CliResult {
     let server = FlowServer::builder()
         .threads(opts.threads)
         .workers(opts.workers)
-        .cache_dir(&dir)
+        .store(sc)
         .build();
     let report = server.serve(requests);
 
@@ -1053,9 +1293,10 @@ fn daemon_demo(opts: &Options) -> CliResult {
         "serve" => daemon_serve(opts, socket),
         "submit" => daemon_submit(opts, socket),
         "ping" => daemon_ping(socket),
+        "query" => daemon_query(opts, socket),
         "shutdown" => daemon_shutdown(socket),
         other => Err(CliError(format!(
-            "unknown daemon verb `{other}` (want serve, submit, ping, or shutdown)"
+            "unknown daemon verb `{other}` (want serve, submit, ping, query, or shutdown)"
         ))),
     }
 }
@@ -1080,7 +1321,7 @@ fn daemon_serve(opts: &Options, socket: &str) -> CliResult {
     cfg.workers = if opts.workers == 0 { 2 } else { opts.workers };
     cfg.threads = opts.threads;
     cfg.queue_high_water = opts.queue;
-    cfg.cache_dir = opts.cache_dir.as_ref().map(PathBuf::from);
+    cfg.store = store_config(opts);
     cfg.handle_sigterm = true;
     let workers = cfg.workers;
     let daemon = Daemon::bind(cfg)?;
@@ -1221,6 +1462,44 @@ fn daemon_submit(opts: &Options, socket: &str) -> CliResult {
         println!("DAEMONLINE verified 1");
         println!("every completed request matches its solo replay bit-for-bit");
     }
+    Ok(())
+}
+
+/// `daemon query`: QoR provenance history over the wire. The daemon answers
+/// from its flow store on the connection's reader thread — no flow worker is
+/// occupied, so this works even while the queue is full.
+fn daemon_query(opts: &Options, socket: &str) -> CliResult {
+    let endpoint = Endpoint::Unix(PathBuf::from(socket));
+    let mut client = DaemonClient::connect_retry(&endpoint, &RetryPolicy::default())
+        .map_err(|e| CliError(format!("cannot reach daemon at {socket}: {e}")))?;
+    let spec = QuerySpec { design: opts.design.clone(), last: opts.last as u64 };
+    let rows = client.query(&spec).map_err(|e| CliError(e.to_string()))?;
+    println!(
+        "{:>5} {:<14} {:<6} {:>10} {:>6} {:>12} {:>9}",
+        "seq", "design", "node", "wns_ps", "ovfl", "hpwl_um", "wall_s"
+    );
+    for row in &rows {
+        println!(
+            "{:>5} {:<14} {:<6} {:>10.1} {:>6} {:>12.1} {:>9.3}",
+            row.seq, row.design, row.node, row.wns_ps, row.overflow, row.hpwl_um, row.wall_s
+        );
+    }
+    for row in &rows {
+        println!(
+            "QUERYLINE qor {} {} {} {:016x} {:016x} {:.3} {} {:.3} {:.6} {}",
+            row.seq,
+            row.design,
+            row.node,
+            row.cfg_fp,
+            row.qor_fp,
+            row.wns_ps,
+            row.overflow,
+            row.hpwl_um,
+            row.wall_s,
+            row.peak_rss_bytes
+        );
+    }
+    println!("QUERYLINE rows {}", rows.len());
     Ok(())
 }
 

@@ -1,15 +1,24 @@
-//! Content-addressed stage result cache: the incremental-flow engine.
+//! Content-addressed stage result cache: the incremental-flow engine, now
+//! backed by the persistent [`FlowStore`].
 //!
 //! Every stage of `run_flow` transforms one [`FlowState`] into the next, and
 //! both ends of that transform are deterministic functions of (design,
 //! config, seed). That makes each stage memoizable: the cache key is an
-//! FNV-1a hash over `(stage name, config fingerprint, state hash)`, where
-//! the config fingerprint already folds in the design identity and RNG seed
-//! (see [`checkpoint::fingerprint`]) and the state hash covers the exact
-//! serialized pre-stage flow state — the stage's entire input. An entry is
-//! the post-stage state in the checkpoint body codec (`f64` as bit-exact
-//! hex), so a hit replays bit-identical QoR, the same guarantee resume
-//! gives.
+//! FNV-1a hash over `(stage name, per-stage config fingerprint, state
+//! hash)`, where the state hash covers the exact serialized pre-stage flow
+//! state — the stage's entire input. An entry is the post-stage state in the
+//! checkpoint body codec (`f64` as bit-exact hex), so a hit replays
+//! bit-identical QoR, the same guarantee resume gives.
+//!
+//! The per-stage fingerprint ([`stage_fp`]) covers only the config fields
+//! the stage's body actually reads (plus node and seed, which almost every
+//! stage consumes), instead of the whole-config fingerprint checkpoints
+//! use. The payoff is prefix reuse: changing `ripup_iterations` leaves the
+//! synthesis-through-STA keys untouched, so a warm rerun replays seven
+//! stages and recomputes only routing and what follows. Design identity is
+//! folded in only for `1_synthesis` — every later stage's input netlist
+//! arrives through the state hash, so two designs that converge to the same
+//! intermediate state share downstream entries.
 //!
 //! The state hash deliberately excludes the wall-clock maps
 //! (`stage_seconds`, `stage_speedup`, `stage_threads`): how long an earlier
@@ -17,26 +26,36 @@
 //! downstream entry — a recomputed stage still yields downstream hits, and a
 //! warm run at 8 threads hits entries written at 1.
 //!
-//! Failures are contained by design: a corrupt, truncated, or unreadable
-//! entry is a typed [`CacheError`] that `run_flow` downgrades to a recompute
-//! (counted in the `cache.errors` metric), never a flow error and never a
-//! panic. Writes are atomic (process-unique temp file + rename), so
-//! concurrent flows — e.g. `experiments` child processes sharing one
-//! `--cache-dir` — can race on the same entry and both land on identical
-//! bytes.
+//! Failures are contained by design: a corrupt or truncated entry is a
+//! typed [`CacheError`] that `run_flow` downgrades to a recompute (counted
+//! in the `cache.errors` metric), never a flow error and never a panic. An
+//! entry that vanishes between the index probe and the record read — the
+//! store compacted under a concurrent writer — is [`CacheError::Evicted`],
+//! its own variant precisely so the flow can count it as an expected
+//! `cache.evicted_miss` instead of a scary I/O error. Store writes are
+//! serialized by the store's sidecar lock, so concurrent flows — e.g.
+//! `experiments` child processes sharing one store — can race on the same
+//! entry and both land on identical bytes.
 
 use crate::checkpoint::{self, FlowState, Lines, LoadError};
-use std::path::{Path, PathBuf};
+use crate::config::FlowConfig;
+use crate::store::{FlowStore, Lookup, Store, Table};
+use eda_netlist::Netlist;
+use std::sync::Arc;
 
 /// Why a cache entry could not be read or written. Never fatal to the flow:
 /// every variant downgrades to a recompute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum CacheError {
-    /// The entry file exists but is truncated, unparseable, or was written
-    /// for a different stage/key than its name claims.
+    /// The entry exists but is truncated, unparseable, or was written for a
+    /// different stage/key than its address claims.
     Corrupt(String),
-    /// Filesystem failure reading or writing the entry.
+    /// Store failure reading or writing the entry.
     Io(String),
+    /// The entry was present at probe time but evicted (LRU compaction by
+    /// a concurrent writer) before it could be read. An expected race, not
+    /// a fault: the caller recomputes and counts `cache.evicted_miss`.
+    Evicted,
 }
 
 impl std::fmt::Display for CacheError {
@@ -44,6 +63,7 @@ impl std::fmt::Display for CacheError {
         match self {
             CacheError::Corrupt(m) => write!(f, "corrupt cache entry: {m}"),
             CacheError::Io(m) => write!(f, "cache I/O: {m}"),
+            CacheError::Evicted => write!(f, "entry evicted between probe and read"),
         }
     }
 }
@@ -66,40 +86,88 @@ pub(crate) fn state_hash(st: &FlowState) -> u64 {
 }
 
 /// The content address of one stage execution:
-/// `(stage kind, config fingerprint ⊇ {design, seed}, pre-stage state hash)`.
+/// `(stage kind, per-stage config fingerprint, pre-stage state hash)`.
 pub(crate) fn entry_key(stage: &str, config_fp: u64, state_hash: u64) -> u64 {
     fnv(format!("{stage}|{config_fp:016x}|{state_hash:016x}").bytes())
 }
 
-/// A directory of content-addressed stage results.
+/// The per-stage config fingerprint: node and seed (consumed nearly
+/// everywhere) plus exactly the config fields `stage`'s body reads. Fields
+/// a stage never looks at must not invalidate its entries; fields it does
+/// read must all be here, or a warm run could replay state computed under a
+/// different effective config. Design identity appears only in
+/// `1_synthesis` — downstream stages see the design through their pre-stage
+/// state hash.
+pub(crate) fn stage_fp(stage: &str, design: &Netlist, cfg: &FlowConfig) -> u64 {
+    let mut key = format!("{stage}|{:?}|{}", cfg.node, cfg.seed);
+    match stage {
+        "1_synthesis" => key.push_str(&format!(
+            "|{}|{}|{:?}|{:?}|{:?}|{}|{}",
+            design.name(),
+            design.num_instances(),
+            cfg.library,
+            cfg.synthesis,
+            cfg.map_goal,
+            cfg.aig_rewrite_passes,
+            cfg.verify_synthesis,
+        )),
+        "2_clock_gating" => key.push_str(&format!("|{}", cfg.power.clock_gating_group)),
+        // Scan insertion, reordering, and fault simulation all key on the
+        // scan options (chains and reorder flag both change their results
+        // or their skip notes).
+        "3_scan" | "5_scan_reorder" | "10_dft" => key.push_str(&format!("|{:?}", cfg.scan)),
+        "4_place" => {
+            key.push_str(&format!("|{:016x}|{:?}", cfg.utilization.to_bits(), cfg.place))
+        }
+        // CTS runs on defaults; litho derives everything from the node (in
+        // the common part) and the routed state.
+        "6_cts" | "8_litho" => {}
+        "6_sta" => key.push_str(&format!("|{:016x}", cfg.clock_mhz.to_bits())),
+        "7_route" => key.push_str(&format!(
+            "|{:?}|{}|{}|{}|{}|{}",
+            cfg.router,
+            cfg.layers,
+            cfg.ripup_iterations,
+            cfg.route_grid_cells,
+            cfg.route_window_margin,
+            cfg.route_region_size,
+        )),
+        "9_power" => key.push_str(&format!(
+            "|{:016x}|{:016x}",
+            cfg.clock_mhz.to_bits(),
+            cfg.power.decap_droop_limit_mv.map(f64::to_bits).unwrap_or(u64::MAX),
+        )),
+        // A stage this audit does not know falls back to the full-config
+        // fingerprint: correct (never a false hit), just less incremental.
+        _ => key.push_str(&format!("|{:016x}", checkpoint::fingerprint(design, cfg))),
+    }
+    fnv(key.bytes())
+}
+
+/// The stage-granular view of the flow store.
 #[derive(Debug, Clone)]
 pub(crate) struct StageCache {
-    dir: PathBuf,
+    store: Arc<FlowStore>,
 }
 
 impl StageCache {
-    pub fn new(dir: &Path) -> StageCache {
-        StageCache { dir: dir.to_path_buf() }
-    }
-
-    /// The entry file for `(stage, key)`. Stage names are `[0-9a-z_]` by
-    /// construction (see `flow::STAGES`), so the name needs no sanitizing.
-    pub fn entry_path(&self, stage: &str, key: u64) -> PathBuf {
-        self.dir.join(format!("{stage}-{key:016x}.stage"))
+    pub fn new(store: Arc<FlowStore>) -> StageCache {
+        StageCache { store }
     }
 
     /// Loads the post-stage state for `(stage, key)`.
     ///
     /// `Ok(None)` = no entry (cold). `Err(Corrupt | Io)` = an entry exists
-    /// but cannot be trusted; the caller recomputes.
+    /// but cannot be trusted; `Err(Evicted)` = it vanished under a
+    /// concurrent compaction. The caller recomputes in every `Err` case.
     pub fn load(&self, stage: &str, key: u64) -> Result<Option<FlowState>, CacheError> {
-        let path = self.entry_path(stage, key);
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(CacheError::Io(format!("read {}: {e}", path.display()))),
+        let text = match self.store.get(Table::Stage, key) {
+            Lookup::Miss => return Ok(None),
+            Lookup::Evicted => return Err(CacheError::Evicted),
+            Lookup::Corrupt(m) => return Err(CacheError::Corrupt(m)),
+            Lookup::Hit(text) => text,
         };
-        let corrupt = |m: String| CacheError::Corrupt(format!("{}: {m}", path.display()));
+        let corrupt = |m: String| CacheError::Corrupt(format!("stage {stage} key {key:016x}: {m}"));
         let mut lines = Lines::new(&text);
         let demote = |e: LoadError| match e {
             LoadError::Corrupt(m) | LoadError::Mismatch(m) => corrupt(m),
@@ -118,25 +186,25 @@ impl StageCache {
             .and_then(|h| u64::from_str_radix(h, 16).ok())
             .ok_or_else(|| corrupt(format!("bad key line {key_line:?}")))?;
         if stored != key {
-            return Err(corrupt(format!("entry key {stored:016x} does not match its address {key:016x}")));
+            return Err(corrupt(format!(
+                "entry key {stored:016x} does not match its address {key:016x}"
+            )));
         }
         let st = checkpoint::read_body(&mut lines).map_err(demote)?;
         Ok(Some(st))
     }
 
-    /// Atomically writes the post-stage state for `(stage, key)`.
-    pub fn store(&self, stage: &str, key: u64, st: &FlowState) -> Result<PathBuf, CacheError> {
-        std::fs::create_dir_all(&self.dir)
-            .map_err(|e| CacheError::Io(format!("create {}: {e}", self.dir.display())))?;
+    /// Writes the post-stage state for `(stage, key)` — atomic at record
+    /// granularity by the store's append discipline.
+    pub fn store(&self, stage: &str, key: u64, st: &FlowState) -> Result<(), CacheError> {
         let mut out = String::new();
         out.push_str("eda-stagecache v1\n");
         out.push_str(&format!("stage {stage}\n"));
         out.push_str(&format!("key {key:016x}\n"));
         checkpoint::write_body(st, &mut out, true);
-        let path = self.entry_path(stage, key);
-        checkpoint::write_atomic(&path, &out)
-            .map_err(|e| CacheError::Io(format!("write {}: {e}", path.display())))?;
-        Ok(path)
+        self.store
+            .put(Table::Stage, key, &out)
+            .map_err(|e| CacheError::Io(format!("stage {stage} key {key:016x}: {e}")))
     }
 }
 
@@ -144,15 +212,16 @@ impl StageCache {
 mod tests {
     use super::*;
     use crate::harness::{StageOutcome, StageStatus};
+    use crate::store::StoreConfig;
+    use eda_netlist::generate;
+    use eda_tech::Node;
 
-    fn tmp_cache(tag: &str) -> StageCache {
+    fn tmp_cache(tag: &str) -> (StageCache, std::path::PathBuf) {
         let dir = std::env::temp_dir().join(format!("eda_cache_test_{}_{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        StageCache::new(&dir)
-    }
-
-    fn cleanup(c: &StageCache) {
-        let _ = std::fs::remove_dir_all(&c.dir);
+        let store =
+            FlowStore::open(&StoreConfig::at(dir.join("flow.store"))).expect("open test store");
+        (StageCache::new(Arc::new(store)), dir)
     }
 
     fn sample_state() -> FlowState {
@@ -169,7 +238,7 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_state_bits() {
-        let cache = tmp_cache("roundtrip");
+        let (cache, dir) = tmp_cache("roundtrip");
         let st = sample_state();
         let key = entry_key("3_scan", 0xdead_beef, state_hash(&st));
         cache.store("3_scan", key, &st).unwrap();
@@ -178,14 +247,14 @@ mod tests {
         assert_eq!(back.cells, st.cells);
         assert_eq!(back.wns_ps.to_bits(), st.wns_ps.to_bits());
         assert_eq!(back.statuses, st.statuses);
-        cleanup(&cache);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn missing_entry_is_a_clean_miss() {
-        let cache = tmp_cache("miss");
+        let (cache, dir) = tmp_cache("miss");
         assert!(cache.load("1_synthesis", 7).unwrap().is_none());
-        cleanup(&cache);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -213,29 +282,68 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_and_truncated_entries_are_typed_errors() {
-        let cache = tmp_cache("corrupt");
+    fn stage_fp_tracks_only_the_fields_a_stage_reads() {
+        let design = generate::ripple_carry_adder(4).unwrap();
+        let base = FlowConfig::advanced_2016(Node::N28);
+
+        // A routing knob must move the route fingerprint and nothing
+        // upstream of it — that is the whole prefix-reuse story.
+        let mut routed = base.clone();
+        routed.ripup_iterations += 1;
+        for stage in ["1_synthesis", "2_clock_gating", "3_scan", "4_place", "6_cts", "6_sta"] {
+            assert_eq!(
+                stage_fp(stage, &design, &base),
+                stage_fp(stage, &design, &routed),
+                "{stage} must not see ripup_iterations"
+            );
+        }
+        assert_ne!(stage_fp("7_route", &design, &base), stage_fp("7_route", &design, &routed));
+
+        // The synthesis script length is a synthesis-only concern.
+        let mut scripted = base.clone();
+        scripted.aig_rewrite_passes -= 1;
+        assert_ne!(
+            stage_fp("1_synthesis", &design, &base),
+            stage_fp("1_synthesis", &design, &scripted)
+        );
+        assert_eq!(stage_fp("7_route", &design, &base), stage_fp("7_route", &design, &scripted));
+
+        // The seed feeds nearly every stage: it lives in the common part.
+        let mut reseeded = base.clone();
+        reseeded.seed += 1;
+        assert_ne!(stage_fp("4_place", &design, &base), stage_fp("4_place", &design, &reseeded));
+
+        // Design identity binds only the first stage; downstream stages key
+        // on their pre-stage state instead.
+        let other = generate::ripple_carry_adder(8).unwrap();
+        assert_ne!(stage_fp("1_synthesis", &design, &base), stage_fp("1_synthesis", &other, &base));
+        assert_eq!(stage_fp("4_place", &design, &base), stage_fp("4_place", &other, &base));
+    }
+
+    #[test]
+    fn corrupt_entries_are_typed_errors() {
+        let (cache, dir) = tmp_cache("corrupt");
         let st = sample_state();
         let key = entry_key("4_place", 9, state_hash(&st));
-        let path = cache.store("4_place", key, &st).unwrap();
+        cache.store("4_place", key, &st).unwrap();
 
-        // Truncation mid-body.
-        let full = std::fs::read_to_string(&path).unwrap();
-        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
-        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+        // A payload stored under the wrong address (a copied entry) is
+        // Corrupt, not a silent wrong-state replay.
+        assert!(matches!(cache.load("4_place", key ^ 1), Ok(None)));
+        let mut hijack = String::new();
+        hijack.push_str("eda-stagecache v1\n");
+        hijack.push_str("stage 4_place\n");
+        hijack.push_str(&format!("key {key:016x}\n"));
+        checkpoint::write_body(&st, &mut hijack, true);
+        cache.store.put(Table::Stage, key ^ 1, &hijack).unwrap();
+        assert!(matches!(cache.load("4_place", key ^ 1), Err(CacheError::Corrupt(_))));
 
-        // Garbage.
-        std::fs::write(&path, "not a cache entry\n").unwrap();
-        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
+        // Same address, different stage name.
+        assert!(matches!(cache.load("5_scan_reorder", key), Err(CacheError::Corrupt(_))));
 
-        // Right header, wrong embedded key (a renamed entry).
-        let renamed = full.replace(&format!("key {key:016x}"), "key 0000000000000001");
-        std::fs::write(&path, renamed).unwrap();
-        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
-
-        // Empty file.
-        std::fs::write(&path, "").unwrap();
-        assert!(matches!(cache.load("4_place", key), Err(CacheError::Corrupt(_))));
-        cleanup(&cache);
+        // Garbage payload at a valid record address.
+        cache.store.put(Table::Stage, 77, "not a cache entry\n").unwrap();
+        assert!(matches!(cache.load("4_place", 77), Err(CacheError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

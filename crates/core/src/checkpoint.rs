@@ -77,7 +77,8 @@ pub(crate) enum LoadError {
 /// FNV-1a-style fingerprint of every QoR-relevant config field plus the
 /// design identity. Excludes fields that cannot change the result:
 /// `name`, `threads` (bit-identical by the eda-par contract),
-/// `checkpoint_dir`, `resume`, `fault_plan`, and `budgets`.
+/// `checkpoint_dir`, `resume`, `cache_dir`, `store`, `fault_plan`,
+/// `budgets`, and `deadline_s`.
 pub(crate) fn fingerprint(design: &Netlist, cfg: &FlowConfig) -> u64 {
     let decap_bits = cfg
         .power
@@ -85,13 +86,14 @@ pub(crate) fn fingerprint(design: &Netlist, cfg: &FlowConfig) -> u64 {
         .map(f64::to_bits)
         .unwrap_or(u64::MAX);
     let key = format!(
-        "{}|{}|{:?}|{:?}|{:?}|{:?}|{:016x}|{:?}|{:?}|{}|{}|{}|{}|{}|{:?}|{}|{:016x}|{:016x}|{}|{}",
+        "{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:016x}|{:?}|{:?}|{}|{}|{}|{}|{}|{:?}|{}|{:016x}|{:016x}|{}|{}",
         design.name(),
         design.num_instances(),
         cfg.node,
         cfg.library,
         cfg.synthesis,
         cfg.map_goal,
+        cfg.aig_rewrite_passes,
         cfg.utilization.to_bits(),
         cfg.place,
         cfg.router,

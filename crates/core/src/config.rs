@@ -2,7 +2,8 @@
 //! with the two presets the panel's decade comparison needs.
 
 use crate::harness::{FaultPlan, StageBudgets};
-use eda_logic::{MapGoal, SynthesisEffort};
+use crate::store::StoreConfig;
+use eda_logic::{MapGoal, SynthesisEffort, DEFAULT_REWRITE_PASSES};
 use eda_netlist::Library;
 use eda_route::RouteAlgorithm;
 use eda_tech::Node;
@@ -82,6 +83,13 @@ pub struct FlowConfig {
     pub synthesis: SynthesisEffort,
     /// Mapping objective.
     pub map_goal: MapGoal,
+    /// AIG rewrite passes in the advanced synthesis script (the
+    /// balance–rewriteⁿ–balance recipe; ignored by the 2006 baseline).
+    /// QoR-relevant, so it folds into the config fingerprint — and it is
+    /// the canonical "small edit" of the incremental demo: changing it
+    /// invalidates the synthesis *stage* entry while the per-pass sub-stage
+    /// entries of the unchanged prefix still replay from the store.
+    pub aig_rewrite_passes: usize,
     /// Core utilization for floorplanning.
     pub utilization: f64,
     /// Placement effort.
@@ -151,18 +159,30 @@ pub struct FlowConfig {
     /// to an uninterrupted run. A fingerprint mismatch is a hard error; a
     /// missing checkpoint silently falls back to a fresh run.
     pub resume: bool,
-    /// Directory for the content-addressed stage result cache (`None` = no
-    /// caching). Each stage is keyed by `(stage kind, config fingerprint —
-    /// which folds in the design identity and RNG seed, hash of the exact
-    /// pre-stage flow state)`; a hit replays the stored post-stage state
-    /// bit-identically and the stage body never runs, so a warm re-run of an
-    /// unchanged flow skips every stage. Hits/misses/errors land in the
-    /// telemetry metric registry (`cache.hits`, `cache.misses`,
-    /// `cache.errors`) and tag the stage spans; corrupt entries silently
-    /// fall back to recompute. Ignored while a
-    /// [`fault_plan`](Self::fault_plan) is active — injected faults must
-    /// exercise the real stage bodies, not replay cached results.
+    /// **Deprecated shim** — directory form of the flow store location.
+    /// `Some(dir)` behaves as a [`store`](Self::store) of
+    /// `StoreConfig::at(dir.join("flow.store"))` with default size and
+    /// eviction; an explicit `store` wins when both are set (see
+    /// [`effective_store`](Self::effective_store)). Kept so struct-literal
+    /// and builder call sites from the directory-cache era keep compiling;
+    /// new code should set `store`.
     pub cache_dir: Option<PathBuf>,
+    /// The persistent flow store (`None` = no caching, no provenance).
+    /// One schema'd append-friendly file holding the content-addressed
+    /// stage cache (keyed by `(stage kind, per-stage config fingerprint,
+    /// pre-stage state hash)` — a hit replays the stored post-stage state
+    /// bit-identically), the sub-stage cache (per-AIG-pass and per-net
+    /// entries that survive edits which invalidate a whole stage), and the
+    /// QoR provenance tables `experiments query` reads. Hits/misses/errors
+    /// land in the telemetry metric registry (`cache.hits`, `cache.misses`,
+    /// `cache.errors`, `cache.evicted_miss`, `cache.substage_hits`,
+    /// `cache.substage_misses`) and tag the stage spans; corrupt or evicted
+    /// entries silently fall back to recompute. Ignored while a
+    /// [`fault_plan`](Self::fault_plan) is active — injected faults must
+    /// exercise the real stage bodies, not replay cached results. Excluded
+    /// from the config fingerprint: where results are cached cannot change
+    /// what they are.
+    pub store: Option<StoreConfig>,
     /// Deterministic fault-injection plan (`None` = no injection). Faults
     /// are keyed on `(stage name, invocation count)`, so an injected plan
     /// reproduces identically at any thread count.
@@ -194,6 +214,7 @@ impl Default for FlowConfig {
             library: LibraryChoice::Generic,
             synthesis: SynthesisEffort::Advanced2016,
             map_goal: MapGoal::Area,
+            aig_rewrite_passes: DEFAULT_REWRITE_PASSES,
             utilization: 0.7,
             place: PlaceEffort {
                 global_iterations: 10,
@@ -216,6 +237,7 @@ impl Default for FlowConfig {
             checkpoint_dir: None,
             resume: false,
             cache_dir: None,
+            store: None,
             fault_plan: None,
             budgets: StageBudgets::default(),
             deadline_s: None,
@@ -337,6 +359,12 @@ impl FlowConfigBuilder {
         self
     }
 
+    /// AIG rewrite passes in the advanced synthesis script.
+    pub fn aig_rewrite_passes(mut self, passes: usize) -> Self {
+        self.cfg.aig_rewrite_passes = passes;
+        self
+    }
+
     /// Core utilization for floorplanning; must be in `(0, 1]`.
     pub fn utilization(mut self, utilization: f64) -> Self {
         self.cfg.utilization = utilization;
@@ -436,9 +464,21 @@ impl FlowConfigBuilder {
         self
     }
 
-    /// Directory for the content-addressed stage result cache.
+    /// Directory form of the flow store location.
+    ///
+    /// Deprecated shim: equivalent to
+    /// `.store(StoreConfig::at(dir.join("flow.store")))` with default size
+    /// and eviction. Prefer [`store`](Self::store), which also exposes
+    /// `max_bytes`, the eviction policy, and the provenance switch.
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cfg.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The persistent flow store: stage cache, sub-stage cache, and QoR
+    /// provenance in one size-bounded file.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.cfg.store = Some(store);
         self
     }
 
@@ -495,6 +535,16 @@ impl FlowConfig {
     /// validated together at [`FlowConfigBuilder::build`].
     pub fn builder() -> FlowConfigBuilder {
         FlowConfigBuilder { cfg: FlowConfig::default(), layers: None }
+    }
+
+    /// Resolves the flow-store configuration this flow should run with: an
+    /// explicit [`store`](Self::store) wins, otherwise the deprecated
+    /// [`cache_dir`](Self::cache_dir) shim maps to a default-sized store at
+    /// `<cache_dir>/flow.store`, otherwise `None` (no caching).
+    pub fn effective_store(&self) -> Option<StoreConfig> {
+        self.store.clone().or_else(|| {
+            self.cache_dir.as_ref().map(|dir| StoreConfig::at(dir.join("flow.store")))
+        })
     }
 
     /// The decade-old baseline: naive synthesis onto the poor library, BFS

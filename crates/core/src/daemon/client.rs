@@ -8,10 +8,11 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use super::protocol::{
-    parse_server_frame, ClientFrame, DaemonStats, FrameError, RejectReason, ServerFrame,
-    SubmitSpec, TransportFault, TransportFaultPlan,
+    parse_server_frame, ClientFrame, DaemonStats, FrameError, QuerySpec, RejectReason,
+    ServerFrame, SubmitSpec, TransportFault, TransportFaultPlan,
 };
 use super::Stream;
+use crate::store::QorRow;
 
 /// How long a client waits for one server frame before giving up. Bounds
 /// every test and script against a wedged daemon.
@@ -267,6 +268,23 @@ impl DaemonClient {
         }
     }
 
+    /// Reads QoR provenance history from the daemon's flow store, newest
+    /// first. A daemon without a store answers with zero rows; the read is
+    /// served on the connection's reader thread, so it returns promptly
+    /// even while every flow worker is busy.
+    pub fn query(&mut self, spec: &QuerySpec) -> Result<Vec<QorRow>, ClientError> {
+        self.send(&ClientFrame::Query(spec.clone()))?;
+        loop {
+            match self.recv()? {
+                ServerFrame::QueryResult { rows } => return Ok(rows),
+                ServerFrame::ProtocolError { detail } => {
+                    return Err(ClientError::ServerClosed(detail))
+                }
+                _ => continue,
+            }
+        }
+    }
+
     /// Asks the daemon to drain and waits for the acknowledgement, which
     /// only arrives once every in-flight request has finished.
     pub fn shutdown(&mut self) -> Result<DaemonStats, ClientError> {
@@ -363,7 +381,9 @@ impl DaemonClient {
                 ServerFrame::ProtocolError { detail } => {
                     return Err(ClientError::ServerClosed(detail));
                 }
-                ServerFrame::Pong(_) | ServerFrame::ShutdownAck(_) => {}
+                ServerFrame::QueryResult { .. }
+                | ServerFrame::Pong(_)
+                | ServerFrame::ShutdownAck(_) => {}
             }
         }
         Ok(outcomes.into_iter().flatten().collect())

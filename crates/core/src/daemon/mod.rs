@@ -53,12 +53,13 @@ use eda_netlist::Netlist;
 use eda_par::resolve_threads;
 
 use crate::config::FlowConfig;
-use crate::flow::run_flow_observed;
+use crate::flow::run_flow_shared;
 use crate::server::kernel_share;
+use crate::store::{FlowStore, QorQuery, Query, StoreConfig};
 
 use protocol::{
-    flow_config_for, parse_client_frame, ClientFrame, DaemonStats, DesignSpec, RejectReason,
-    ServerFrame, SubmitSpec,
+    flow_config_for, parse_client_frame, ClientFrame, DaemonStats, DesignSpec, QuerySpec,
+    RejectReason, ServerFrame, SubmitSpec,
 };
 
 /// Hard cap on one frame's length; longer input is a protocol error and
@@ -96,7 +97,12 @@ pub struct DaemonConfig {
     /// Admission high-water mark: submits arriving while this many requests
     /// are already queued (not yet running) are rejected with `queue-full`.
     pub queue_high_water: usize,
-    /// Shared stage-cache directory handed to every request.
+    /// Shared flow store handed to every request: stage + sub-stage cache
+    /// plus the QoR provenance tables the `query` frame reads.
+    pub store: Option<StoreConfig>,
+    /// Deprecated shim: shared stage-cache directory. When `store` is
+    /// `None`, maps to a store at `<cache_dir>/flow.store` with default
+    /// settings; an explicit `store` wins. Prefer `store`.
     pub cache_dir: Option<PathBuf>,
     /// Checkpoint directory handed to every request, so in-flight work is
     /// resumable after a drain. Concurrent requests cannot clobber each
@@ -118,10 +124,19 @@ impl DaemonConfig {
             workers: 2,
             threads: 0,
             queue_high_water: 8,
+            store: None,
             cache_dir: None,
             checkpoint_dir: None,
             handle_sigterm: false,
         }
+    }
+
+    /// The store this daemon actually uses: an explicit `store` wins, a
+    /// bare `cache_dir` maps to `<dir>/flow.store` with default settings.
+    pub fn effective_store(&self) -> Option<StoreConfig> {
+        self.store
+            .clone()
+            .or_else(|| self.cache_dir.as_ref().map(|dir| StoreConfig::at(dir.join("flow.store"))))
     }
 }
 
@@ -281,6 +296,12 @@ impl StatCounters {
 struct Shared {
     cfg: DaemonConfig,
     kernel_threads: usize,
+    /// The effective store config handed to every admitted request.
+    store_cfg: Option<StoreConfig>,
+    /// The store, opened once at bind and shared by workers (cache) and
+    /// reader threads (queries). `None` when no store is configured or the
+    /// open failed; requests then resolve per-run and degrade to uncached.
+    store: Option<Arc<FlowStore>>,
     state: Mutex<DispatchState>,
     /// One condvar serves workers (waiting for jobs) and the drain loop
     /// (waiting for quiescence); state transitions `notify_all`.
@@ -321,9 +342,13 @@ impl Daemon {
         let budget = resolve_threads(cfg.threads);
         let workers = if cfg.workers == 0 { (budget / 2).max(1) } else { cfg.workers };
         let kernel_threads = kernel_share(budget, workers);
+        let store_cfg = cfg.effective_store();
+        let store = store_cfg.as_ref().and_then(|sc| FlowStore::open(sc).ok().map(Arc::new));
         let shared = Arc::new(Shared {
             cfg: DaemonConfig { workers, ..cfg },
             kernel_threads,
+            store_cfg,
+            store,
             state: Mutex::new(DispatchState { queue: VecDeque::new(), running: 0 }),
             cv: Condvar::new(),
             draining: AtomicBool::new(false),
@@ -564,6 +589,11 @@ fn reader_loop(shared: &Arc<Shared>, stream: Stream, conn: &Arc<ConnWriter>) {
                     Ok(ClientFrame::Submit(spec)) => {
                         handle_submit(shared, conn, spec);
                     }
+                    Ok(ClientFrame::Query(spec)) => {
+                        // Answered right here on the reader thread — a
+                        // provenance read never waits behind flow work.
+                        handle_query(shared, conn, &spec);
+                    }
                 }
             }
         }
@@ -592,6 +622,20 @@ fn reject(
     conn.send(&ServerFrame::Rejected { id, reason, detail });
 }
 
+fn handle_query(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, spec: &QuerySpec) {
+    let rows = match &shared.store {
+        None => Vec::new(),
+        Some(store) => store
+            .qor_history(&QorQuery {
+                design: spec.design.clone(),
+                stage: None,
+                last: spec.last as usize,
+            })
+            .unwrap_or_default(),
+    };
+    conn.send(&ServerFrame::QueryResult { rows });
+}
+
 fn handle_submit(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, spec: SubmitSpec) {
     // Validate before admission so a bad request never occupies a queue
     // slot. Generation cost is bounded by the design-spec size cap.
@@ -602,7 +646,7 @@ fn handle_submit(shared: &Arc<Shared>, conn: &Arc<ConnWriter>, spec: SubmitSpec)
     let config = match flow_config_for(
         &spec,
         shared.kernel_threads,
-        shared.cfg.cache_dir.as_deref(),
+        shared.store_cfg.as_ref(),
         shared.cfg.checkpoint_dir.as_deref(),
     ) {
         Ok(c) => c,
@@ -710,7 +754,7 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
             attempts,
         });
     });
-    let result = run_flow_observed(&job.netlist, &config, Some(observer));
+    let result = run_flow_shared(&job.netlist, &config, Some(observer), shared.store.clone());
     let wall_s = job.admitted.elapsed().as_secs_f64();
     let frame = match result {
         Ok(report) => {

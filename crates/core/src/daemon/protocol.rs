@@ -9,6 +9,7 @@
 //! ```text
 //! {"type":"submit","id":N,"design":SPEC,"node":"10nm","seed":N,
 //!  "priority":N,"deadline_ms":N,"inject":FAULTSPEC}   // run a flow
+//! {"type":"query","design":S,"last":N}                // QoR provenance history
 //! {"type":"ping"}                                     // liveness + stats
 //! {"type":"shutdown"}                                 // begin graceful drain
 //! ```
@@ -21,10 +22,16 @@
 //! {"type":"stage","id":N,"stage":S,"outcome":S,"attempts":N}
 //! {"type":"done","id":N,"ok":true,"qor_fp":HEX16,"wall_s":F,"stages":N}
 //! {"type":"done","id":N,"ok":false,"error":S,"stages":N}
+//! {"type":"query-result","rows":[{"seq":N,"design":S,...}]}
 //! {"type":"pong", ...stats}
 //! {"type":"shutdown-ack", ...stats}
 //! {"type":"protocol-error","detail":S}                // then the connection closes
 //! ```
+//!
+//! A `query` reads the daemon's flow store (QoR provenance table) and is
+//! answered inline on the connection's reader thread — it never waits for,
+//! or occupies, a flow worker. A daemon without a store answers with zero
+//! rows.
 //!
 //! `id` is chosen by the client and scopes every later frame about that
 //! request; ids are per-connection, so two clients may both use `1`.
@@ -42,6 +49,7 @@ use eda_tech::Node;
 use crate::config::FlowConfig;
 use crate::daemon::wire::{self, Json};
 use crate::harness::FaultPlan;
+use crate::store::{QorRow, StoreConfig};
 
 /// One flow request as submitted over the wire.
 #[derive(Debug, Clone, PartialEq)]
@@ -78,11 +86,24 @@ impl SubmitSpec {
     }
 }
 
+/// One provenance query as submitted over the wire: filters over the
+/// daemon store's QoR history table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QuerySpec {
+    /// Keep rows of this design only (`None` = every design).
+    pub design: Option<String>,
+    /// Keep only the newest N matching rows (`0` = unlimited).
+    pub last: u64,
+}
+
 /// A frame sent by a client.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientFrame {
     /// Run a flow.
     Submit(SubmitSpec),
+    /// Read QoR provenance history from the daemon's flow store; answered
+    /// with [`ServerFrame::QueryResult`] without occupying a flow worker.
+    Query(QuerySpec),
     /// Liveness probe; answered with [`ServerFrame::Pong`].
     Ping,
     /// Begin graceful drain; answered with [`ServerFrame::ShutdownAck`]
@@ -96,6 +117,14 @@ impl ClientFrame {
         match self {
             ClientFrame::Ping => "{\"type\":\"ping\"}".to_string(),
             ClientFrame::Shutdown => "{\"type\":\"shutdown\"}".to_string(),
+            ClientFrame::Query(q) => {
+                let mut line = "{\"type\":\"query\"".to_string();
+                if let Some(design) = &q.design {
+                    line.push_str(&format!(",\"design\":\"{}\"", wire::escape(design)));
+                }
+                line.push_str(&format!(",\"last\":{}}}", q.last));
+                line
+            }
             ClientFrame::Submit(s) => {
                 let mut line = format!(
                     "{{\"type\":\"submit\",\"id\":{},\"design\":\"{}\",\"node\":\"{}\",\"seed\":{},\"priority\":{}",
@@ -257,6 +286,12 @@ pub enum ServerFrame {
         /// Typed flow-error text (present when `!ok`).
         error: Option<String>,
     },
+    /// Answer to a query: matching QoR provenance rows, newest first.
+    QueryResult {
+        /// The matching rows (empty when the daemon has no store, the
+        /// store is unreadable, or nothing matches).
+        rows: Vec<QorRow>,
+    },
     /// Answer to a ping.
     Pong(DaemonStats),
     /// Drain finished; the daemon is about to exit 0.
@@ -296,6 +331,10 @@ impl ServerFrame {
                 line.push_str(&format!(",\"wall_s\":{wall_s:.6},\"stages\":{stages}}}"));
                 line
             }
+            ServerFrame::QueryResult { rows } => {
+                let items: Vec<String> = rows.iter().map(qor_row_json).collect();
+                format!("{{\"type\":\"query-result\",\"rows\":[{}]}}", items.join(","))
+            }
             ServerFrame::Pong(stats) => format!("{{\"type\":\"pong\",{}}}", stats.fields()),
             ServerFrame::ShutdownAck(stats) => {
                 format!("{{\"type\":\"shutdown-ack\",{}}}", stats.fields())
@@ -306,6 +345,42 @@ impl ServerFrame {
             ),
         }
     }
+}
+
+/// Renders one QoR provenance row as a JSON object. Fingerprints travel as
+/// 16-digit hex strings (u64s do not survive a JSON `f64` round trip);
+/// floats use Rust's shortest round-trip formatting.
+fn qor_row_json(r: &QorRow) -> String {
+    format!(
+        "{{\"seq\":{},\"design\":\"{}\",\"node\":\"{}\",\"cfg_fp\":\"{:016x}\",\"qor_fp\":\"{:016x}\",\"wns_ps\":{},\"overflow\":{},\"hpwl_um\":{},\"wall_s\":{},\"peak_rss_bytes\":{}}}",
+        r.seq,
+        wire::escape(&r.design),
+        wire::escape(&r.node),
+        r.cfg_fp,
+        r.qor_fp,
+        r.wns_ps,
+        r.overflow,
+        r.hpwl_um,
+        r.wall_s,
+        r.peak_rss_bytes
+    )
+}
+
+fn qor_row_from_json(v: &Json) -> Option<QorRow> {
+    let hex =
+        |k: &str| v.get(k).and_then(Json::as_str).and_then(|h| u64::from_str_radix(h, 16).ok());
+    Some(QorRow {
+        seq: v.get("seq").and_then(Json::as_u64)?,
+        design: v.get("design").and_then(Json::as_str)?.to_string(),
+        node: v.get("node").and_then(Json::as_str).unwrap_or("").to_string(),
+        cfg_fp: hex("cfg_fp")?,
+        qor_fp: hex("qor_fp")?,
+        wns_ps: v.get("wns_ps").and_then(Json::as_f64).unwrap_or(0.0),
+        overflow: v.get("overflow").and_then(Json::as_u64).unwrap_or(0),
+        hpwl_um: v.get("hpwl_um").and_then(Json::as_f64).unwrap_or(0.0),
+        wall_s: v.get("wall_s").and_then(Json::as_f64).unwrap_or(0.0),
+        peak_rss_bytes: v.get("peak_rss_bytes").and_then(Json::as_u64).unwrap_or(0),
+    })
 }
 
 /// A semantically malformed frame: well-formed JSON that is not a valid
@@ -335,6 +410,10 @@ pub fn parse_client_frame(line: &str) -> Result<ClientFrame, FrameError> {
     match frame_type(&v)? {
         "ping" => Ok(ClientFrame::Ping),
         "shutdown" => Ok(ClientFrame::Shutdown),
+        "query" => Ok(ClientFrame::Query(QuerySpec {
+            design: v.get("design").and_then(Json::as_str).map(str::to_string),
+            last: v.get("last").and_then(Json::as_u64).unwrap_or(0),
+        })),
         "submit" => {
             let id = v
                 .get("id")
@@ -411,6 +490,13 @@ pub fn parse_server_frame(line: &str) -> Result<ServerFrame, FrameError> {
                 stages: v.get("stages").and_then(Json::as_u64).unwrap_or(0) as usize,
                 error,
             })
+        }
+        "query-result" => {
+            let rows = match v.get("rows") {
+                Some(Json::Arr(items)) => items.iter().filter_map(qor_row_from_json).collect(),
+                _ => Vec::new(),
+            };
+            Ok(ServerFrame::QueryResult { rows })
         }
         "pong" => Ok(ServerFrame::Pong(DaemonStats::from_json(&v))),
         "shutdown-ack" => Ok(ServerFrame::ShutdownAck(DaemonStats::from_json(&v))),
@@ -524,19 +610,20 @@ impl DesignSpec {
 
 /// Builds the [`FlowConfig`] a submit runs under. The daemon and any
 /// out-of-band verifier both call this, so every QoR-relevant knob (preset,
-/// node, seed, fault plan) is derived from the spec alone — `threads` and
-/// the shared directories are execution detail that cannot move the QoR.
+/// node, seed, fault plan) is derived from the spec alone — `threads`, the
+/// shared store, and the checkpoint directory are execution detail that
+/// cannot move the QoR.
 pub fn flow_config_for(
     spec: &SubmitSpec,
     threads: usize,
-    cache_dir: Option<&std::path::Path>,
+    store: Option<&StoreConfig>,
     checkpoint_dir: Option<&std::path::Path>,
 ) -> Result<FlowConfig, FrameError> {
     let mut cfg = FlowConfig::advanced_2016(spec.node);
     cfg.name = format!("daemon-{}", spec.design);
     cfg.seed = spec.seed;
     cfg.threads = threads.max(1);
-    cfg.cache_dir = cache_dir.map(std::path::Path::to_path_buf);
+    cfg.store = store.cloned();
     cfg.checkpoint_dir = checkpoint_dir.map(std::path::Path::to_path_buf);
     if let Some(inject) = &spec.inject {
         let plan = FaultPlan::parse(inject, spec.seed)
@@ -662,10 +749,40 @@ mod tests {
             deadline_ms: Some(1500),
             inject: Some("route=fail@1".into()),
         };
-        let frames = [ClientFrame::Submit(spec), ClientFrame::Ping, ClientFrame::Shutdown];
+        let frames = [
+            ClientFrame::Submit(spec),
+            ClientFrame::Ping,
+            ClientFrame::Shutdown,
+            ClientFrame::Query(QuerySpec { design: Some("fabric:3x3".into()), last: 10 }),
+            ClientFrame::Query(QuerySpec::default()),
+        ];
         for f in frames {
             let line = f.to_line();
             assert_eq!(parse_client_frame(&line).expect("parses"), f, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn query_results_round_trip_with_exact_fingerprints() {
+        let row = QorRow {
+            seq: 12,
+            design: "daemon-adder:8".into(),
+            node: "10nm".into(),
+            cfg_fp: u64::MAX - 3,
+            qor_fp: 0x0123_4567_89ab_cdef,
+            wns_ps: -42.5,
+            overflow: 3,
+            hpwl_um: 1234.0625,
+            wall_s: 0.25,
+            peak_rss_bytes: 1 << 20,
+        };
+        let frames = [
+            ServerFrame::QueryResult { rows: vec![row] },
+            ServerFrame::QueryResult { rows: Vec::new() },
+        ];
+        for f in frames {
+            let line = f.to_line();
+            assert_eq!(parse_server_frame(&line).expect("parses"), f, "line: {line}");
         }
     }
 
@@ -769,8 +886,9 @@ mod tests {
     fn flow_config_is_a_pure_function_of_the_spec() {
         let spec = SubmitSpec { inject: Some("route=fail@0".into()), ..SubmitSpec::new(1, "adder:8") };
         let a = flow_config_for(&spec, 1, None, None).expect("builds");
-        let b = flow_config_for(&spec, 8, Some(std::path::Path::new("/tmp/c")), None).expect("builds");
-        // Threads and shared dirs differ; everything QoR-relevant matches.
+        let store = StoreConfig::at("/tmp/c/flow.store");
+        let b = flow_config_for(&spec, 8, Some(&store), None).expect("builds");
+        // Threads and the shared store differ; everything QoR-relevant matches.
         assert_eq!(a.name, b.name);
         assert_eq!(a.seed, b.seed);
         assert_eq!(a.node, b.node);

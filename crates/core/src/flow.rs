@@ -24,23 +24,27 @@
 //! restarts from the first incomplete stage and produces bit-identical QoR
 //! ([`FlowReport::same_qor`]).
 
-use crate::cache::{self, StageCache};
+use crate::cache::{self, CacheError, StageCache};
 use crate::checkpoint::{self, FlowState, LoadError};
 use crate::config::FlowConfig;
 use crate::harness::{StageCtx, StageStatus, StageTry, Supervisor};
 use crate::report::FlowReport;
+use crate::store::{FlowStore, Lookup, QorRow, StageRow, Store, Table};
 use crate::telemetry::{SpanKind, Telemetry};
 use eda_dft::{fault_list, fault_sim_threaded, insert_scan, random_patterns, reorder_chains, scan_wirelength, CombView};
 use eda_litho::{decompose, run_opc_stats, Layout, OpcConfig, OpticalModel};
-use eda_logic::{check_equivalence, synthesize_threaded, EcVerdict};
-use eda_netlist::{Netlist, NetlistStats};
+use eda_logic::{check_equivalence, synthesize_threaded_memo, EcVerdict};
+use eda_netlist::memo::fnv1a;
+use eda_netlist::{Netlist, NetlistStats, SubstageMemo};
 use eda_place::{anneal, place_global, place_multilevel, plan_buffers, synthesize_clock_tree, AnnealConfig, CtsConfig, Die, GlobalConfig, MultilevelConfig, ParallelConfig};
 use eda_power::{analyze, insert_clock_gating, insert_decaps, solve_ir_drop, Activity, ActivityConfig, MeshConfig, PowerConfig, PowerGrid};
-use eda_route::{route_stats, RouteConfig, RuleDeck};
+use eda_route::{route_stats_memo, RouteConfig, RuleDeck};
 use eda_sta::{TimingAnalysis, TimingConfig};
 use eda_tech::PatterningPlan;
+use std::cell::Cell;
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Every stage the supervisor runs, in execution order. Each key appears in
@@ -260,6 +264,20 @@ pub fn run_flow_observed(
     cfg: &FlowConfig,
     observer: Option<crate::telemetry::ProgressFn>,
 ) -> Result<FlowReport, FlowError> {
+    run_flow_shared(design, cfg, observer, None)
+}
+
+/// [`run_flow_observed`] with an optionally pre-opened flow store. The
+/// server and daemon open the store once and pass the same `Arc` to every
+/// worker, so concurrent requests share one index instead of each re-opening
+/// (and re-scanning) the file; `None` resolves the store from
+/// [`FlowConfig::effective_store`] per run.
+pub(crate) fn run_flow_shared(
+    design: &Netlist,
+    cfg: &FlowConfig,
+    observer: Option<crate::telemetry::ProgressFn>,
+    shared_store: Option<Arc<FlowStore>>,
+) -> Result<FlowReport, FlowError> {
     let threads = cfg.threads;
     let fp = checkpoint::fingerprint(design, cfg);
     // Telemetry collects for this run only: a resumed flow records spans
@@ -287,18 +305,34 @@ pub fn run_flow_observed(
         }
     }
 
-    // The content-addressed stage cache (DESIGN.md §9). Disabled while a
-    // fault plan is active: injected faults must exercise the real stage
-    // bodies, not replay cached results.
+    // The persistent flow store (DESIGN.md §14): stage cache, sub-stage
+    // cache, and QoR provenance in one file. Disabled while a fault plan is
+    // active: injected faults must exercise the real stage bodies, not
+    // replay cached results. An unopenable store downgrades to an uncached
+    // run (counted, never fatal).
+    let store: Option<Arc<FlowStore>> = if cfg.fault_plan.is_some() {
+        None
+    } else {
+        shared_store.or_else(|| {
+            cfg.effective_store().and_then(|sc| match FlowStore::open(&sc) {
+                Ok(s) => Some(Arc::new(s)),
+                Err(_) => {
+                    tel.count("cache.open_errors", 1);
+                    None
+                }
+            })
+        })
+    };
     let memo = StageMemo {
-        cache: match (&cfg.cache_dir, &cfg.fault_plan) {
-            (Some(dir), None) => Some(StageCache::new(dir)),
-            _ => None,
-        },
+        cache: store.as_ref().map(|s| StageCache::new(s.clone())),
         cfg,
-        design: design.name(),
+        design,
         fp,
     };
+    // The sub-stage memo: per-AIG-pass and per-net entries that survive
+    // edits which invalidate a whole stage. Probed only from this
+    // (orchestrating) thread; misses still fan out to the parallel kernels.
+    let sub = store.as_ref().map(|s| SubMemo::new(s.clone()));
 
     let mut timer = Timer::new();
     let lib = cfg.library.library();
@@ -312,9 +346,16 @@ pub fn run_flow_observed(
     if st.cursor < 1 {
         let stage = "1_synthesis";
         let (netlist, verified, par) = sup.run_stage(stage, |ctx: StageCtx<'_>| {
-            let (synth, par) =
-                synthesize_threaded(design, lib.clone(), cfg.synthesis, cfg.map_goal, cfg.threads)
-                    .map_err(StageFailure::Synthesis)?;
+            let (synth, par) = synthesize_threaded_memo(
+                design,
+                lib.clone(),
+                cfg.synthesis,
+                cfg.map_goal,
+                cfg.threads,
+                cfg.aig_rewrite_passes,
+                sub.as_ref().map(|s| s as &dyn SubstageMemo),
+            )
+            .map_err(StageFailure::Synthesis)?;
             ctx.tel.count("synth.aig_nodes_before", synth.aig_nodes_before as u64);
             ctx.tel.count("synth.aig_nodes_after", synth.aig_nodes_after as u64);
             ctx.tel.count("synth.cells", synth.cells as u64);
@@ -610,16 +651,21 @@ pub fn run_flow_observed(
                 region_size: cfg.route_region_size,
             };
             let rcfg = if ctx.adapt == 0 { rcfg } else { rcfg.coarsened() };
-            let (out, stats) = route_stats(cur, placement, &rcfg);
+            let (out, stats, replayed) =
+                route_stats_memo(cur, placement, &rcfg, sub.as_ref().map(|s| s as &dyn SubstageMemo));
             if rcfg.region_size > 0 {
                 // Region-partitioned mode gets its own kernel span name so the
                 // legacy path's golden telemetry stays byte-stable.
-                ctx.tel.kernel("route:regions", &stats);
+                if !replayed {
+                    ctx.tel.kernel("route:regions", &stats);
+                }
                 ctx.tel.gauge("route.regions", out.regions as f64);
                 ctx.tel.count("route.local_commits", out.local_commits);
                 ctx.tel.count("route.seam_conflicts", out.seam_conflicts);
                 ctx.tel.count("route.negotiation_waves", out.negotiation_waves);
-            } else {
+            } else if !replayed {
+                // A replayed outcome ran no parallel kernel: no kernel span,
+                // exactly like a stage-cache hit records no attempt spans.
                 ctx.tel.kernel("route:batches", &stats);
             }
             ctx.tel.count("route.ripup_iterations", out.iterations as u64);
@@ -678,8 +724,12 @@ pub fn run_flow_observed(
         st.routed_wirelength = routed.wirelength;
         st.routed_vias = routed.vias;
         st.routed_overflow = routed.overflow;
-        st.stage_threads.insert(stage.into(), par.threads);
-        st.stage_speedup.insert(stage.into(), par.bounded_speedup());
+        // A sub-stage replay dispatched no parallel work; like the other
+        // stages, worker accounting only exists where workers ran.
+        if par.chunks > 0 {
+            st.stage_threads.insert(stage.into(), par.threads);
+            st.stage_speedup.insert(stage.into(), par.bounded_speedup());
+        }
         st.stage_seconds.insert(stage.into(), timer.lap());
         st.cursor = 8;
         memo.finish(key, stage, &mut st, &mut sup);
@@ -872,8 +922,18 @@ pub fn run_flow_observed(
     let placement = current_placement(&st);
     let buffers = plan_buffers(netlist, placement, placement.die.width_um / 2.0, &[]);
 
+    // Sub-stage traffic lands in the metric registry only when a store is
+    // enabled, so the storeless golden snapshot stays byte-stable.
+    if let Some(sub) = &sub {
+        tel.count("cache.substage_hits", sub.hits.get());
+        tel.count("cache.substage_misses", sub.misses.get());
+        if sub.errors.get() > 0 {
+            tel.count("cache.errors", sub.errors.get());
+        }
+    }
+
     drop(flow_span);
-    Ok(FlowReport {
+    let report = FlowReport {
         flow: cfg.name.clone(),
         design: design.name().to_string(),
         node: cfg.node.to_string(),
@@ -906,7 +966,94 @@ pub fn run_flow_observed(
         stage_threads: st.stage_threads.clone(),
         stage_speedup: st.stage_speedup.clone(),
         telemetry: tel.snapshot(),
-    })
+    };
+    if let Some(store) = &store {
+        if store.config().provenance {
+            record_provenance(store, &report, fp);
+        }
+    }
+    Ok(report)
+}
+
+/// Appends one `qor` row plus per-stage `qstage` rows for a completed flow,
+/// feeding `experiments query`. Best-effort by design: a full or locked
+/// store must never fail a flow that already produced its report.
+fn record_provenance(store: &FlowStore, report: &FlowReport, cfg_fp: u64) {
+    let wall_s: f64 = report.stage_seconds.values().sum();
+    let row = QorRow {
+        seq: 0,
+        design: report.design.clone(),
+        node: report.node.clone(),
+        cfg_fp,
+        qor_fp: report.qor_fingerprint(),
+        wns_ps: report.wns_ps,
+        overflow: report.overflow,
+        hpwl_um: report.hpwl_um,
+        wall_s,
+        peak_rss_bytes: crate::telemetry::read_peak_rss_bytes(),
+    };
+    let _ = store.append(Table::Qor, &row.to_payload());
+    for (stage, status) in &report.stage_status {
+        let srow = StageRow {
+            seq: 0,
+            design: report.design.clone(),
+            stage: stage.clone(),
+            outcome: status.outcome.to_string(),
+            attempts: status.attempts as u32,
+            wall_s: report.stage_seconds.get(stage).copied().unwrap_or(0.0),
+        };
+        let _ = store.append(Table::QStage, &srow.to_payload());
+    }
+}
+
+/// Adapter exposing the store's sub-stage table through the engine crates'
+/// [`SubstageMemo`] trait. The store key folds the kind into the engine's
+/// key so `aig.rw` and `route.net` entries can never collide. Counters are
+/// interior-mutable `Cell`s because the memo contract is single-threaded:
+/// probes and stores happen only on the orchestrating thread.
+struct SubMemo {
+    inner: Arc<FlowStore>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    errors: Cell<u64>,
+}
+
+impl SubMemo {
+    fn new(inner: Arc<FlowStore>) -> SubMemo {
+        SubMemo { inner, hits: Cell::new(0), misses: Cell::new(0), errors: Cell::new(0) }
+    }
+
+    fn store_key(kind: &str, key: u64) -> u64 {
+        fnv1a(format!("{kind}|{key:016x}").bytes())
+    }
+}
+
+impl SubstageMemo for SubMemo {
+    fn load(&self, kind: &str, key: u64) -> Option<String> {
+        match self.inner.get(Table::Sub, Self::store_key(kind, key)) {
+            Lookup::Hit(payload) => {
+                self.hits.set(self.hits.get() + 1);
+                Some(payload)
+            }
+            // Evicted and cold are the same to a memo: recompute. The
+            // engine-side parsers reject any payload that does not match
+            // their versioned format, so Corrupt cannot replay either.
+            Lookup::Miss | Lookup::Evicted => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+            Lookup::Corrupt(_) => {
+                self.errors.set(self.errors.get() + 1);
+                None
+            }
+        }
+    }
+
+    fn store(&self, kind: &str, key: u64, payload: &str) {
+        if self.inner.put(Table::Sub, Self::store_key(kind, key), payload).is_err() {
+            self.errors.set(self.errors.get() + 1);
+        }
+    }
 }
 
 /// The netlist as of the last completed stage. Internal invariant: every
@@ -929,10 +1076,10 @@ fn current_placement(st: &FlowState) -> &eda_place::Placement {
 /// [`begin`]: StageMemo::begin
 /// [`finish`]: StageMemo::finish
 struct StageMemo<'a> {
-    /// `None` = caching off (no `cache_dir`, or a fault plan is active).
+    /// `None` = caching off (no store, or a fault plan is active).
     cache: Option<StageCache>,
     cfg: &'a FlowConfig,
-    design: &'a str,
+    design: &'a Netlist,
     fp: u64,
 }
 
@@ -942,9 +1089,14 @@ impl StageMemo<'_> {
     /// the serialized pre-stage state including the status prefix, so the
     /// cached state agrees with the current run on everything before this
     /// stage — and `Ok(None)` is returned with `st.cursor == done_cursor`,
-    /// which skips the stage body. A miss or an unreadable entry counts a
-    /// metric and returns the key for [`finish`](Self::finish) to store
-    /// under after the recompute.
+    /// which skips the stage body. A miss, an evicted entry, or an
+    /// unreadable entry counts its metric and returns the key for
+    /// [`finish`](Self::finish) to store under after the recompute.
+    ///
+    /// The key's config component is the *per-stage* fingerprint
+    /// ([`cache::stage_fp`]), not the whole-config one: a knob change
+    /// invalidates exactly the stages that read the knob, and the unchanged
+    /// prefix keeps hitting.
     fn begin(
         &self,
         stage: &'static str,
@@ -959,13 +1111,14 @@ impl StageMemo<'_> {
         let Some(cache) = &self.cache else {
             return Ok(None);
         };
-        let key = cache::entry_key(stage, self.fp, cache::state_hash(st));
+        let sfp = cache::stage_fp(stage, self.design, self.cfg);
+        let key = cache::entry_key(stage, sfp, cache::state_hash(st));
         match cache.load(stage, key) {
             Ok(Some(cached)) if cached.cursor == done_cursor => {
                 sup.cache_hit(stage, &cached.statuses);
                 *st = cached;
                 st.stage_seconds.insert(stage.into(), timer.lap());
-                save_checkpoint(self.cfg, self.design, self.fp, st, sup, stage)?;
+                save_checkpoint(self.cfg, self.design.name(), self.fp, st, sup, stage)?;
                 Ok(None)
             }
             Ok(Some(_)) => {
@@ -976,6 +1129,10 @@ impl StageMemo<'_> {
             }
             Ok(None) => {
                 sup.cache_miss();
+                Ok(Some(key))
+            }
+            Err(CacheError::Evicted) => {
+                sup.cache_evicted();
                 Ok(Some(key))
             }
             Err(_) => {

@@ -477,6 +477,15 @@ impl<'p> Supervisor<'p> {
         self.cache_note = Some("error");
     }
 
+    /// Counts an entry that was evicted between the cache's index probe and
+    /// the record read — an expected race under a size-bounded store with
+    /// concurrent writers, not a fault. The stage recomputes as if cold and
+    /// its span is tagged `cache=evicted`.
+    pub fn cache_evicted(&mut self) {
+        self.tel.count("cache.evicted_miss", 1);
+        self.cache_note = Some("evicted");
+    }
+
     /// Records `stage` as skipped and passes `value` through.
     pub fn skip<T>(&mut self, stage: &'static str, cause: &str, value: T) -> T {
         let span = self.tel.span(SpanKind::Stage, stage);

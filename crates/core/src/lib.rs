@@ -36,13 +36,14 @@ pub mod harness;
 pub mod learn;
 pub mod report;
 pub mod server;
+pub mod store;
 pub mod telemetry;
 
 pub use config::{ConfigError, FlowConfig, FlowConfigBuilder, LibraryChoice, PlaceEffort, PowerOptions, ScanOptions};
 pub use daemon::client::{DaemonClient, Endpoint, RequestOutcome, RetryPolicy, Terminal};
 pub use daemon::protocol::{
-    flow_config_for, DaemonStats, DesignSpec, RejectReason, SubmitSpec, TransportFault,
-    TransportFaultPlan,
+    flow_config_for, DaemonStats, DesignSpec, QuerySpec, RejectReason, SubmitSpec,
+    TransportFault, TransportFaultPlan,
 };
 pub use daemon::{Daemon, DaemonConfig};
 pub use flow::{run_flow, run_flow_observed, FlowError, PartialFlow, StageFailure, STAGES};
@@ -53,4 +54,8 @@ pub use harness::{
 pub use learn::{Arm, ArmStats, FlowTuner};
 pub use report::FlowReport;
 pub use server::{FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession, ServerReport};
+pub use store::{
+    EvictionPolicy, FlowStore, Lookup, QorQuery, QorRow, Query, StageRow, Store, StoreConfig,
+    StoreError, Table,
+};
 pub use telemetry::{read_peak_rss_bytes, Histogram, Metric, Span, SpanKind, Telemetry, TelemetrySnapshot, WallSpan};

@@ -21,9 +21,9 @@
 //!
 //! # Determinism
 //!
-//! Every request runs the same [`run_flow`] that a serial caller would
-//! invoke, and `run_flow` is bit-identical for any thread count. A shared
-//! `cache_dir` cannot break this: stage-cache entries are written atomically
+//! Every request runs the same flow that a serial [`run_flow`] caller would
+//! invoke, and the flow is bit-identical for any thread count. A shared
+//! flow store cannot break this: store records are written atomically
 //! and replay bit-identically, so whether a request computes a stage or
 //! replays a sibling's entry, the QoR is the same
 //! ([`FlowReport::same_qor`]). Batch results are therefore bit-identical to
@@ -70,19 +70,20 @@
 //! ```
 
 use crate::config::FlowConfig;
-use crate::flow::{run_flow, FlowError, STAGES};
+use crate::flow::{run_flow_shared, FlowError, STAGES};
 use crate::report::FlowReport;
+use crate::store::{FlowStore, StoreConfig};
 use crate::telemetry::{Histogram, Metric, Span, SpanKind, TelemetrySnapshot, WallSpan};
 use eda_netlist::Netlist;
 use eda_par::resolve_threads;
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 #[allow(unused_imports)] // rustdoc link targets only.
-use crate::flow::PartialFlow;
+use crate::flow::{run_flow, PartialFlow};
 
 /// Bucket edges for the `server.queue_depth` histogram.
 const QUEUE_DEPTH_EDGES: [f64; 7] = [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0];
@@ -93,9 +94,9 @@ pub struct FlowRequest {
     /// The design to push through the flow.
     pub design: Netlist,
     /// The flow configuration. The server overrides `threads` with its
-    /// kernel share of the global budget and, when it has a `cache_dir`,
-    /// points the request at the shared cache; every QoR-relevant knob is
-    /// taken as-is.
+    /// kernel share of the global budget and, when it has a store,
+    /// points the request at the shared flow store; every QoR-relevant knob
+    /// is taken as-is.
     pub config: FlowConfig,
     /// Scheduling priority: higher runs earlier; ties keep submission order.
     pub priority: i32,
@@ -156,7 +157,7 @@ impl FlowResponse {
 pub struct FlowServerBuilder {
     threads: usize,
     workers: usize,
-    cache_dir: Option<PathBuf>,
+    store: Option<StoreConfig>,
 }
 
 impl FlowServerBuilder {
@@ -173,16 +174,27 @@ impl FlowServerBuilder {
         self
     }
 
-    /// Shared stage-cache directory, overriding every request's `cache_dir`
-    /// so common flow prefixes across requests replay instead of recompute.
+    /// Shared flow store, overriding every request's store so common flow
+    /// prefixes across requests replay instead of recompute and every
+    /// request's provenance lands in one queryable file.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Deprecated shim: shared stage-cache directory. Maps to
+    /// [`store`](Self::store) with `<dir>/flow.store` and the default size
+    /// budget; an explicit `store(...)` wins. Prefer `store(StoreConfig::at(..))`.
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
-        self.cache_dir = Some(dir.into());
+        if self.store.is_none() {
+            self.store = Some(StoreConfig::at(dir.into().join("flow.store")));
+        }
         self
     }
 
     /// Produces the server.
     pub fn build(self) -> FlowServer {
-        FlowServer { threads: self.threads, workers: self.workers, cache_dir: self.cache_dir }
+        FlowServer { threads: self.threads, workers: self.workers, store: self.store }
     }
 }
 
@@ -193,7 +205,7 @@ impl FlowServerBuilder {
 pub struct FlowServer {
     threads: usize,
     workers: usize,
-    cache_dir: Option<PathBuf>,
+    store: Option<StoreConfig>,
 }
 
 impl FlowServer {
@@ -221,8 +233,8 @@ impl FlowServer {
             .enumerate()
             .map(|(index, mut req)| {
                 req.config.threads = kernel_threads;
-                if let Some(dir) = &self.cache_dir {
-                    req.config.cache_dir = Some(dir.clone());
+                if let Some(sc) = &self.store {
+                    req.config.store = Some(sc.clone());
                 }
                 Task { index, priority: req.priority, design: req.design, config: req.config }
             })
@@ -234,7 +246,15 @@ impl FlowServer {
         for (slot, task) in tasks.into_iter().enumerate() {
             queues[slot % workers].push_back(task);
         }
-        FlowSession { queues, workers, kernel_threads, requests: n }
+        // Open the shared store once so every worker reuses one in-memory
+        // index instead of each re-scanning the file. An unopenable store
+        // degrades to per-run resolution inside `run_flow_shared` (which
+        // counts `cache.open_errors` and runs uncached).
+        let store = self
+            .store
+            .as_ref()
+            .and_then(|sc| FlowStore::open(sc).ok().map(Arc::new));
+        FlowSession { queues, workers, kernel_threads, requests: n, store }
     }
 
     /// [`submit`](Self::submit) + [`FlowSession::run`] in one call.
@@ -273,6 +293,7 @@ pub struct FlowSession {
     workers: usize,
     kernel_threads: usize,
     requests: usize,
+    store: Option<Arc<FlowStore>>,
 }
 
 impl FlowSession {
@@ -297,6 +318,7 @@ impl FlowSession {
         let n = self.requests;
         let workers = self.workers;
         let kernel_threads = self.kernel_threads;
+        let shared_store = self.store;
         let queues: Vec<Mutex<VecDeque<Task>>> = self.queues.into_iter().map(Mutex::new).collect();
         let slots: Vec<Mutex<Option<RequestRecord>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let remaining = AtomicUsize::new(n);
@@ -306,6 +328,7 @@ impl FlowSession {
         std::thread::scope(|scope| {
             for w in 0..workers {
                 let (queues, slots, remaining, steals) = (&queues, &slots, &remaining, &steals);
+                let shared_store = &shared_store;
                 scope.spawn(move || loop {
                     // Own deque first (front), then steal from the back of
                     // the next non-empty victim. Work only ever shrinks, so
@@ -329,7 +352,8 @@ impl FlowSession {
                     let queue_depth = remaining.fetch_sub(1, Ordering::Relaxed) - 1;
                     let start_s = epoch.elapsed().as_secs_f64();
                     let t0 = Instant::now();
-                    let outcome = run_flow(&task.design, &task.config);
+                    let outcome =
+                        run_flow_shared(&task.design, &task.config, None, shared_store.clone());
                     let record = RequestRecord {
                         design: task.design.name().to_string(),
                         priority: task.priority,
@@ -356,7 +380,7 @@ impl FlowSession {
             if let Ok(report) = &rec.outcome {
                 // Within one run a flow never reads an entry it wrote, so
                 // every hit here came from another request (or an earlier
-                // occupant of the shared cache directory).
+                // occupant of the shared store).
                 cross_design_hits += counter(&report.telemetry, "cache.hits");
             }
             responses.push(FlowResponse {

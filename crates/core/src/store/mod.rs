@@ -1,0 +1,392 @@
+//! The embedded flow store: one schema'd, append-friendly file holding the
+//! stage cache, the sub-stage memo entries, and the QoR provenance history
+//! (DESIGN.md §14).
+//!
+//! The store replaces the loose directory of `.stage` files the PR-4 cache
+//! wrote: a single file of length-framed, checksummed records over four
+//! typed tables ([`Table`]), with size-bounded LRU compaction and
+//! corruption-always-downgrades-to-recompute semantics. Two trait surfaces
+//! expose it:
+//!
+//! * [`Store`] — typed key-value access for cache layers (stage entries,
+//!   sub-stage memo payloads) plus append-only provenance rows;
+//! * [`Query`] — the read side `experiments query` and the daemon `query`
+//!   frame answer from: QoR history per design, stage history per run.
+//!
+//! [`StoreConfig`] is the user-facing knob bundle ([`crate::FlowConfig`]
+//! threads it through the flow, server, and daemon); [`FlowStore`] is the
+//! file-backed implementation.
+//!
+//! # Examples
+//!
+//! ```
+//! use eda_core::store::{FlowStore, Query, QorQuery, Store, StoreConfig, Table};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("eda-store-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir)?;
+//! let cfg = StoreConfig::at(dir.join("flow.store"));
+//! let store = FlowStore::open(&cfg)?;
+//! store.put(Table::Sub, 7, "payload")?;
+//! assert_eq!(store.get(Table::Sub, 7).into_payload().as_deref(), Some("payload"));
+//! store.append(Table::Qor, "run demo generic 0 0 0 0 0 0 0")?;
+//! let rows = store.qor_history(&QorQuery { design: Some("demo".into()), ..Default::default() })?;
+//! assert_eq!(rows.len(), 1);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+mod file;
+
+pub use file::FlowStore;
+
+use std::path::PathBuf;
+
+/// Default size bound for a store file (64 MiB).
+pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+/// What to do when the store file outgrows [`StoreConfig::max_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Compact the file, dropping least-recently-touched cache entries
+    /// until it fits. Provenance rows are never evicted.
+    Lru,
+    /// Never evict; writes that would exceed the bound are rejected with
+    /// [`StoreError::TooLarge`] (callers treat that as "not cached").
+    Never,
+}
+
+/// Typed configuration for the embedded flow store — the replacement for
+/// the bare `cache_dir` knob. Construct with [`StoreConfig::at`] and adjust
+/// fields (or use the `with_*` helpers); thread through
+/// [`crate::FlowConfig::builder`], [`crate::FlowServerBuilder`], or the
+/// daemon config.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreConfig {
+    /// The store file. Parent directory is created on open.
+    pub path: PathBuf,
+    /// Size bound in bytes; the eviction policy keeps the file under it.
+    pub max_bytes: u64,
+    /// Eviction policy for cache tables when the bound is hit.
+    pub eviction: EvictionPolicy,
+    /// Whether completed runs append QoR provenance rows.
+    pub provenance: bool,
+}
+
+impl StoreConfig {
+    /// A store at `path` with defaults: 64 MiB bound, LRU eviction,
+    /// provenance on.
+    pub fn at(path: impl Into<PathBuf>) -> StoreConfig {
+        StoreConfig {
+            path: path.into(),
+            max_bytes: DEFAULT_MAX_BYTES,
+            eviction: EvictionPolicy::Lru,
+            provenance: true,
+        }
+    }
+
+    /// Same config with a different size bound.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> StoreConfig {
+        self.max_bytes = max_bytes;
+        self
+    }
+
+    /// Same config with a different eviction policy.
+    pub fn with_eviction(mut self, eviction: EvictionPolicy) -> StoreConfig {
+        self.eviction = eviction;
+        self
+    }
+
+    /// Same config with provenance recording switched on or off.
+    pub fn with_provenance(mut self, provenance: bool) -> StoreConfig {
+        self.provenance = provenance;
+        self
+    }
+}
+
+/// The store's tables. Cache tables ([`Table::Stage`], [`Table::Sub`]) hold
+/// content-addressed entries and are subject to eviction; provenance tables
+/// ([`Table::Qor`], [`Table::QStage`]) are append-only sequences and never
+/// evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Table {
+    /// Whole-stage cache entries: serialized post-stage flow state.
+    Stage,
+    /// Sub-stage memo entries: per-AIG-pass and per-net/route payloads.
+    Sub,
+    /// One row per completed flow run (QoR + config fingerprints).
+    Qor,
+    /// One row per executed stage of a completed run.
+    QStage,
+}
+
+impl Table {
+    /// The token recorded in the file framing.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Table::Stage => "stage",
+            Table::Sub => "sub",
+            Table::Qor => "qor",
+            Table::QStage => "qstage",
+        }
+    }
+
+    pub(crate) fn parse(s: &str) -> Option<Table> {
+        match s {
+            "stage" => Some(Table::Stage),
+            "sub" => Some(Table::Sub),
+            "qor" => Some(Table::Qor),
+            "qstage" => Some(Table::QStage),
+            _ => None,
+        }
+    }
+
+    /// Whether rows in this table survive compaction unconditionally.
+    pub fn is_provenance(self) -> bool {
+        matches!(self, Table::Qor | Table::QStage)
+    }
+}
+
+/// The outcome of a point lookup. Every non-`Hit` variant downgrades to a
+/// recompute in cache layers — the distinctions exist for telemetry
+/// (`cache.misses` vs `cache.evicted_miss` vs `cache.errors`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// The entry's payload, checksum-verified.
+    Hit(String),
+    /// No such entry.
+    Miss,
+    /// The entry was indexed but gone by read time — evicted (or the file
+    /// compacted) between probe and read. The PR-4 cache surfaced this
+    /// window as an I/O error; it is an expected race, not a fault.
+    Evicted,
+    /// The entry's bytes are present but fail validation (checksum or
+    /// framing). The reason string feeds diagnostics, never control flow.
+    Corrupt(String),
+}
+
+impl Lookup {
+    /// The payload if this is a hit.
+    pub fn into_payload(self) -> Option<String> {
+        match self {
+            Lookup::Hit(p) => Some(p),
+            _ => None,
+        }
+    }
+}
+
+/// Errors from store operations. Cache layers treat every one of these as
+/// "not cached" — the flow never fails because its store did.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Underlying I/O failure (message carries the `std::io::Error`).
+    Io(String),
+    /// The cross-process lock could not be acquired in time.
+    LockTimeout(PathBuf),
+    /// A record would push the file past `max_bytes` and the policy forbids
+    /// (or compaction cannot make) room.
+    TooLarge {
+        /// Bytes the record needs.
+        need: u64,
+        /// The configured bound.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(m) => write!(f, "store i/o: {m}"),
+            StoreError::LockTimeout(p) => {
+                write!(f, "store lock timeout: {}", p.display())
+            }
+            StoreError::TooLarge { need, max } => {
+                write!(f, "record needs {need} B but the store is bounded at {max} B")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+/// Typed write/read surface over the store's tables.
+pub trait Store {
+    /// Writes `payload` under `(table, key)`, replacing any prior entry.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O, lock timeout, or when the record cannot fit under the
+    /// size bound.
+    fn put(&self, table: Table, key: u64, payload: &str) -> Result<(), StoreError>;
+
+    /// Point lookup of `(table, key)`.
+    fn get(&self, table: Table, key: u64) -> Lookup;
+
+    /// Appends a row to a sequence table and returns its sequence number
+    /// (keys are assigned monotonically per table).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Store::put`].
+    fn append(&self, table: Table, payload: &str) -> Result<u64, StoreError>;
+
+    /// Current store file size in bytes.
+    fn len_bytes(&self) -> u64;
+}
+
+/// Filters for provenance queries. `None` fields match everything;
+/// `last = 0` means unlimited.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QorQuery {
+    /// Match rows of this design only.
+    pub design: Option<String>,
+    /// Match stage rows of this stage only (ignored by [`Query::qor_history`]).
+    pub stage: Option<String>,
+    /// Keep only the newest N rows (after filtering).
+    pub last: usize,
+}
+
+/// One whole-run provenance row (table [`Table::Qor`]), newest runs last in
+/// the file, returned newest-first by queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QorRow {
+    /// Sequence number (monotonic per store file).
+    pub seq: u64,
+    /// Design name.
+    pub design: String,
+    /// Process node label.
+    pub node: String,
+    /// Config fingerprint the run executed under.
+    pub cfg_fp: u64,
+    /// Fingerprint of the run's deterministic QoR serialization.
+    pub qor_fp: u64,
+    /// Worst negative slack in picoseconds.
+    pub wns_ps: f64,
+    /// Routing overflow after the final iteration.
+    pub overflow: u64,
+    /// Total half-perimeter wirelength in µm.
+    pub hpwl_um: f64,
+    /// Wall-clock seconds for the run.
+    pub wall_s: f64,
+    /// Peak resident set in bytes (0 when unavailable).
+    pub peak_rss_bytes: u64,
+}
+
+/// One per-stage provenance row (table [`Table::QStage`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageRow {
+    /// Sequence number (monotonic per store file).
+    pub seq: u64,
+    /// Design name.
+    pub design: String,
+    /// Stage name (for example `7_route`).
+    pub stage: String,
+    /// Final stage status (`ok`, `degraded:<policy>`, `cached`, ...).
+    pub outcome: String,
+    /// Attempts the supervisor spent.
+    pub attempts: u32,
+    /// Stage wall-clock seconds.
+    pub wall_s: f64,
+}
+
+/// Read surface over the provenance tables.
+pub trait Query {
+    /// Whole-run QoR history matching `q`, newest first.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O; malformed rows are skipped, never fatal.
+    fn qor_history(&self, q: &QorQuery) -> Result<Vec<QorRow>, StoreError>;
+
+    /// Per-stage history matching `q` (design and stage filters), newest
+    /// first.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on I/O; malformed rows are skipped, never fatal.
+    fn stage_history(&self, q: &QorQuery) -> Result<Vec<StageRow>, StoreError>;
+}
+
+impl QorRow {
+    /// Serializes to the store's `qor` row payload.
+    pub fn to_payload(&self) -> String {
+        format!(
+            "run {} {} {:016x} {:016x} {:016x} {} {:016x} {:016x} {}",
+            file::escape_token(&self.design),
+            file::escape_token(&self.node),
+            self.cfg_fp,
+            self.qor_fp,
+            self.wns_ps.to_bits(),
+            self.overflow,
+            self.hpwl_um.to_bits(),
+            self.wall_s.to_bits(),
+            self.peak_rss_bytes,
+        )
+    }
+
+    /// Parses a `qor` row payload (the sequence number comes from the
+    /// record key). `None` on malformed rows — queries skip them.
+    pub fn parse(seq: u64, payload: &str) -> Option<QorRow> {
+        let mut f = payload.split(' ');
+        if f.next()? != "run" {
+            return None;
+        }
+        let row = QorRow {
+            seq,
+            design: file::unescape_token(f.next()?)?,
+            node: file::unescape_token(f.next()?)?,
+            cfg_fp: u64::from_str_radix(f.next()?, 16).ok()?,
+            qor_fp: u64::from_str_radix(f.next()?, 16).ok()?,
+            wns_ps: f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?),
+            overflow: f.next()?.parse().ok()?,
+            hpwl_um: f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?),
+            wall_s: f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?),
+            peak_rss_bytes: f.next()?.parse().ok()?,
+        };
+        if f.next().is_some() {
+            return None;
+        }
+        Some(row)
+    }
+}
+
+impl StageRow {
+    /// Serializes to the store's `qstage` row payload.
+    pub fn to_payload(&self) -> String {
+        format!(
+            "stage {} {} {} {} {:016x}",
+            file::escape_token(&self.design),
+            file::escape_token(&self.stage),
+            file::escape_token(&self.outcome),
+            self.attempts,
+            self.wall_s.to_bits(),
+        )
+    }
+
+    /// Parses a `qstage` row payload; `None` on malformed rows.
+    pub fn parse(seq: u64, payload: &str) -> Option<StageRow> {
+        let mut f = payload.split(' ');
+        if f.next()? != "stage" {
+            return None;
+        }
+        let row = StageRow {
+            seq,
+            design: file::unescape_token(f.next()?)?,
+            stage: file::unescape_token(f.next()?)?,
+            outcome: file::unescape_token(f.next()?)?,
+            attempts: f.next()?.parse().ok()?,
+            wall_s: f64::from_bits(u64::from_str_radix(f.next()?, 16).ok()?),
+        };
+        if f.next().is_some() {
+            return None;
+        }
+        Some(row)
+    }
+}

@@ -657,6 +657,104 @@ impl Aig {
         out
     }
 
+    /// Stable 64-bit content digest of the exact graph structure (nodes,
+    /// strash-canonical AND operands, PI names, PO bindings). Two AIGs with
+    /// equal digests are structurally identical, so a memoized pass result
+    /// keyed on its input digest replays bit-identically.
+    pub fn digest(&self) -> u64 {
+        eda_netlist::memo::fnv1a(self.to_store_text().bytes())
+    }
+
+    /// Serializes the graph to the line-oriented store text used by the
+    /// sub-stage memo (`aig v1` header, `n` node rows, `p`/`o` boundary
+    /// rows). [`Aig::from_store_text`] restores the identical structure.
+    pub fn to_store_text(&self) -> String {
+        let mut out = String::with_capacity(16 * self.nodes.len() + 64);
+        out.push_str(&format!(
+            "aig v1 {} {} {}\n",
+            self.nodes.len(),
+            self.pi_names.len(),
+            self.pos.len()
+        ));
+        for n in &self.nodes {
+            match *n {
+                AigNode::Const => out.push_str("n c\n"),
+                AigNode::Pi(k) => out.push_str(&format!("n i {k}\n")),
+                AigNode::And(a, b) => out.push_str(&format!("n a {} {}\n", a.0, b.0)),
+            }
+        }
+        for name in &self.pi_names {
+            out.push_str(&format!("p {}\n", store_escape(name)));
+        }
+        for (name, l) in &self.pos {
+            out.push_str(&format!("o {} {}\n", store_escape(name), l.0));
+        }
+        // Explicit terminator so a truncated tail can never parse as a
+        // complete (shorter) graph.
+        out.push_str("end\n");
+        out
+    }
+
+    /// Parses the store text written by [`Aig::to_store_text`], rebuilding
+    /// the structural-hash table. Returns `None` on any malformed input —
+    /// memo callers treat that as a miss and recompute.
+    pub fn from_store_text(text: &str) -> Option<Aig> {
+        let mut lines = text.lines();
+        let header = lines.next()?;
+        let mut hf = header.split(' ');
+        if hf.next()? != "aig" || hf.next()? != "v1" {
+            return None;
+        }
+        let n_nodes: usize = hf.next()?.parse().ok()?;
+        let n_pis: usize = hf.next()?.parse().ok()?;
+        let n_pos: usize = hf.next()?.parse().ok()?;
+        let mut g = Aig { nodes: Vec::with_capacity(n_nodes), strash: HashMap::new(), pi_names: Vec::with_capacity(n_pis), pos: Vec::with_capacity(n_pos) };
+        for _ in 0..n_nodes {
+            let line = lines.next()?;
+            let mut f = line.split(' ');
+            if f.next()? != "n" {
+                return None;
+            }
+            let node = match f.next()? {
+                "c" => AigNode::Const,
+                "i" => AigNode::Pi(f.next()?.parse().ok()?),
+                "a" => {
+                    let a = Lit(f.next()?.parse().ok()?);
+                    let b = Lit(f.next()?.parse().ok()?);
+                    if a.node() >= g.nodes.len() || b.node() >= g.nodes.len() || a > b {
+                        return None;
+                    }
+                    g.strash.insert((a, b), g.nodes.len() as u32);
+                    AigNode::And(a, b)
+                }
+                _ => return None,
+            };
+            g.nodes.push(node);
+        }
+        for _ in 0..n_pis {
+            let line = lines.next()?;
+            let name = line.strip_prefix("p ")?;
+            g.pi_names.push(store_unescape(name)?);
+        }
+        for _ in 0..n_pos {
+            let line = lines.next()?;
+            let mut f = line.strip_prefix("o ")?.rsplitn(2, ' ');
+            let lit = Lit(f.next()?.parse().ok()?);
+            let name = store_unescape(f.next()?)?;
+            if lit.node() >= g.nodes.len() {
+                return None;
+            }
+            g.pos.push((name, lit));
+        }
+        if lines.next()? != "end"
+            || lines.next().is_some()
+            || g.nodes.first() != Some(&AigNode::Const)
+        {
+            return None;
+        }
+        Some(g)
+    }
+
     /// Per-node iterator access for mappers: `(index, is_and, children)`.
     pub(crate) fn raw_nodes(&self) -> Vec<RawNode> {
         self.nodes
@@ -676,6 +774,38 @@ pub(crate) enum RawNode {
     Const,
     Pi(usize),
     And(Lit, Lit),
+}
+
+/// %-escapes spaces, `%` and control bytes so names stay single-token on a
+/// space-split store line.
+fn store_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if b == b' ' || b == b'%' || b < 0x20 || b == 0x7f {
+            out.push_str(&format!("%{b:02x}"));
+        } else {
+            out.push(b as char);
+        }
+    }
+    out
+}
+
+/// Inverse of [`store_escape`]; `None` on malformed escapes or non-UTF-8.
+fn store_unescape(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = s.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
 }
 
 #[cfg(test)]
@@ -820,6 +950,56 @@ mod tests {
         let y = n.add_gate_fn("iso", CellFunction::Isolation, &[a, e]).unwrap();
         n.add_output("y", y);
         assert!(matches!(Aig::from_netlist(&n), Err(AigError::UnsupportedCell(_))));
+    }
+
+    #[test]
+    fn store_text_roundtrips_structure_and_digest() {
+        let n = generate::switch_fabric(3, 2).unwrap();
+        let (aig, _) = Aig::from_netlist(&n).unwrap();
+        let opt = aig.rewrite().balance();
+        let text = opt.to_store_text();
+        let back = Aig::from_store_text(&text).expect("well-formed text parses");
+        assert_eq!(back.to_store_text(), text, "serialization is a fixed point");
+        assert_eq!(back.digest(), opt.digest());
+        assert_eq!(back.num_ands(), opt.num_ands());
+        assert_eq!(back.pi_names(), opt.pi_names());
+        assert_eq!(back.pos(), opt.pos());
+        let pats: Vec<u64> = (0..opt.num_pis()).map(|i| 0xA5A5_5A5A_1234_9876u64.rotate_left(i as u32)).collect();
+        assert_eq!(back.simulate64(&pats), opt.simulate64(&pats));
+        // The restored strash keeps sharing live: AND-ing an existing pair
+        // must not allocate a new node.
+        let mut b2 = back.clone();
+        let nodes_before = b2.nodes.len();
+        if let Some((&(a, b), _)) = b2.strash.clone().iter().next() {
+            b2.and(a, b);
+            assert_eq!(b2.nodes.len(), nodes_before, "strash survives the roundtrip");
+        }
+    }
+
+    #[test]
+    fn store_text_escapes_hostile_names() {
+        let mut g = Aig::new();
+        let a = g.add_pi("a b%c\nd");
+        g.add_po("y z%", !a);
+        let back = Aig::from_store_text(&g.to_store_text()).unwrap();
+        assert_eq!(back.pi_names(), g.pi_names());
+        assert_eq!(back.pos(), g.pos());
+        assert_eq!(back.digest(), g.digest());
+    }
+
+    #[test]
+    fn malformed_store_text_is_rejected() {
+        let n = generate::ripple_carry_adder(3).unwrap();
+        let (aig, _) = Aig::from_netlist(&n).unwrap();
+        let text = aig.to_store_text();
+        assert!(Aig::from_store_text("").is_none());
+        assert!(Aig::from_store_text("aig v2 1 0 0\nn c\n").is_none());
+        // Truncation anywhere must fail, never panic.
+        for cut in [text.len() / 4, text.len() / 2, text.len() - 2] {
+            assert!(Aig::from_store_text(&text[..cut]).is_none(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        assert!(Aig::from_store_text(&format!("{text}junk\n")).is_none());
     }
 
     #[test]

@@ -43,7 +43,8 @@ pub use isop::isop;
 pub use map::{map_aig, map_aig_threaded, map_naive, MapError, MapGoal, MapOutcome};
 pub use npn::{npn_canon, npn_equivalent, NpnCanon};
 pub use synth::{
-    optimize_aig, optimize_aig_traced, synthesize, synthesize_threaded, AigPass, SynthesisEffort,
-    SynthesisError, SynthesisOutcome,
+    optimize_aig, optimize_aig_scripted, optimize_aig_traced, synthesize, synthesize_threaded,
+    synthesize_threaded_memo, AigPass, SynthesisEffort, SynthesisError, SynthesisOutcome,
+    AIG_MEMO_KINDS, DEFAULT_REWRITE_PASSES,
 };
 pub use tt::TruthTable;

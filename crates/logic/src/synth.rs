@@ -12,9 +12,13 @@
 
 use crate::aig::{Aig, AigError};
 use crate::map::{map_aig_threaded, map_naive, MapError, MapGoal, MapOutcome};
-use eda_netlist::{Library, Netlist};
+use eda_netlist::memo::fnv1a;
+use eda_netlist::{Library, Netlist, SubstageMemo};
 use eda_par::ParStats;
 use std::sync::Arc;
+
+/// Default bound on the rewrite fixpoint iteration in the advanced script.
+pub const DEFAULT_REWRITE_PASSES: usize = 6;
 
 /// Synthesis preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -136,6 +140,28 @@ pub fn synthesize_threaded(
     goal: MapGoal,
     threads: usize,
 ) -> Result<(SynthesisOutcome, ParStats), SynthesisError> {
+    synthesize_threaded_memo(input, lib, effort, goal, threads, DEFAULT_REWRITE_PASSES, None)
+}
+
+/// [`synthesize_threaded`] with the optimization script parameterized:
+/// `rewrite_passes` bounds the rewrite fixpoint (the default script uses
+/// [`DEFAULT_REWRITE_PASSES`]), and `memo` lets each AIG pass replay from a
+/// persistent sub-stage store — a memo hit is bit-identical to the
+/// recompute it stands in for, so the outcome depends only on the inputs
+/// and `rewrite_passes`, never on cache state.
+///
+/// # Errors
+///
+/// Same contract as [`synthesize`].
+pub fn synthesize_threaded_memo(
+    input: &Netlist,
+    lib: Arc<Library>,
+    effort: SynthesisEffort,
+    goal: MapGoal,
+    threads: usize,
+    rewrite_passes: usize,
+    memo: Option<&dyn SubstageMemo>,
+) -> Result<(SynthesisOutcome, ParStats), SynthesisError> {
     let (aig, boundary) = Aig::from_netlist(input)?;
     let before = aig.num_ands();
     let (optimized, outcome, passes, par): (Aig, MapOutcome, Vec<AigPass>, ParStats) =
@@ -145,7 +171,7 @@ pub fn synthesize_threaded(
                 (aig, m, Vec::new(), ParStats::empty())
             }
             SynthesisEffort::Advanced2016 => {
-                let (opt, passes) = optimize_aig_traced(&aig);
+                let (opt, passes) = optimize_aig_scripted(&aig, rewrite_passes, memo);
                 let (m, par) = map_aig_threaded(&opt, &boundary, lib, goal, threads)?;
                 (opt, m, passes, par)
             }
@@ -179,8 +205,8 @@ pub struct AigPass {
     pub kept: bool,
 }
 
-/// The advanced-flow AIG script: `balance; rewrite; rewrite; balance`,
-/// keeping each pass only if it does not regress node count.
+/// The advanced-flow AIG script: `balance; rewrite*; balance`, keeping each
+/// pass only if it does not regress node count.
 pub fn optimize_aig(aig: &Aig) -> Aig {
     optimize_aig_traced(aig).0
 }
@@ -189,46 +215,145 @@ pub fn optimize_aig(aig: &Aig) -> Aig {
 /// bit-identical to `optimize_aig`'s; the trace is a pure function of the
 /// input.
 pub fn optimize_aig_traced(aig: &Aig) -> (Aig, Vec<AigPass>) {
-    let mut passes = Vec::new();
-    let mut cur = aig.balance();
-    let kept = !(cur.num_ands() > aig.num_ands() && cur.depth() >= aig.depth());
-    passes.push(AigPass {
-        name: "balance",
-        nodes_before: aig.num_ands(),
-        nodes_after: cur.num_ands(),
-        kept,
-    });
-    if !kept {
-        cur = aig.clone();
-    }
-    // Rewrite to a fixpoint (bounded), keeping only non-regressing passes.
-    for _ in 0..6 {
-        let next = cur.rewrite();
-        let kept = next.num_ands() < cur.num_ands();
-        passes.push(AigPass {
-            name: "rewrite",
+    optimize_aig_scripted(aig, DEFAULT_REWRITE_PASSES, None)
+}
+
+/// The memo kinds the optimization script stores pass results under: the
+/// opening balance, the bounded rewrite fixpoint, and the closing balance.
+/// Each entry is keyed on the FNV of `"<kind>|<input aig digest>"`, so a
+/// pass hits whenever its *own* input recurs — across runs, designs, and
+/// script lengths.
+pub const AIG_MEMO_KINDS: [&str; 3] = ["aig.balpre", "aig.rw", "aig.balpost"];
+
+/// [`optimize_aig_traced`] with a parameterized rewrite bound and an
+/// optional per-pass memo. Every pass first consults the memo keyed on its
+/// input digest; a hit replays the recorded keep/break decision and result
+/// graph, a miss computes and stores. Results are bit-identical with or
+/// without the memo.
+pub fn optimize_aig_scripted(
+    aig: &Aig,
+    rewrite_passes: usize,
+    memo: Option<&dyn SubstageMemo>,
+) -> (Aig, Vec<AigPass>) {
+    let mut passes = Vec::with_capacity(rewrite_passes + 2);
+    let mut cur = aig.clone();
+
+    let (pass, next) = load_pass(memo, "aig.balpre", &cur).unwrap_or_else(|| {
+        let cand = cur.balance();
+        let kept = !(cand.num_ands() > cur.num_ands() && cand.depth() >= cur.depth());
+        let pass = AigPass {
+            name: "balance",
             nodes_before: cur.num_ands(),
-            nodes_after: next.num_ands(),
+            nodes_after: cand.num_ands(),
             kept,
+        };
+        store_pass(memo, "aig.balpre", &cur, &pass, kept.then_some(&cand));
+        (pass, kept.then_some(cand))
+    });
+    passes.push(pass);
+    if let Some(n) = next {
+        cur = n;
+    }
+
+    // Rewrite to a fixpoint (bounded), keeping only non-regressing passes.
+    for _ in 0..rewrite_passes {
+        let (pass, next) = load_pass(memo, "aig.rw", &cur).unwrap_or_else(|| {
+            let cand = cur.rewrite();
+            let kept = cand.num_ands() < cur.num_ands();
+            let pass = AigPass {
+                name: "rewrite",
+                nodes_before: cur.num_ands(),
+                nodes_after: cand.num_ands(),
+                kept,
+            };
+            store_pass(memo, "aig.rw", &cur, &pass, kept.then_some(&cand));
+            (pass, kept.then_some(cand))
         });
-        if kept {
-            cur = next;
-        } else {
-            break;
+        let kept = pass.kept;
+        passes.push(pass);
+        match next {
+            Some(n) if kept => cur = n,
+            _ => break,
         }
     }
-    let balanced = cur.balance();
-    let kept = balanced.num_ands() <= cur.num_ands() || balanced.depth() < cur.depth();
-    passes.push(AigPass {
-        name: "balance",
-        nodes_before: cur.num_ands(),
-        nodes_after: balanced.num_ands(),
-        kept,
+
+    let (pass, next) = load_pass(memo, "aig.balpost", &cur).unwrap_or_else(|| {
+        let cand = cur.balance();
+        let kept = cand.num_ands() <= cur.num_ands() || cand.depth() < cur.depth();
+        let pass = AigPass {
+            name: "balance",
+            nodes_before: cur.num_ands(),
+            nodes_after: cand.num_ands(),
+            kept,
+        };
+        store_pass(memo, "aig.balpost", &cur, &pass, kept.then_some(&cand));
+        (pass, kept.then_some(cand))
     });
-    if kept {
-        cur = balanced;
+    passes.push(pass);
+    if let Some(n) = next {
+        cur = n;
     }
     (cur, passes)
+}
+
+/// Memo key for one script pass: FNV of the kind joined with the input
+/// graph's content digest.
+fn pass_key(kind: &str, input: &Aig) -> u64 {
+    fnv1a(format!("{kind}|{:016x}", input.digest()).bytes())
+}
+
+/// Loads and validates one memoized pass result. `None` means miss or
+/// malformed payload — the caller recomputes either way.
+fn load_pass(
+    memo: Option<&dyn SubstageMemo>,
+    kind: &str,
+    input: &Aig,
+) -> Option<(AigPass, Option<Aig>)> {
+    let payload = memo?.load(kind, pass_key(kind, input))?;
+    let (head, rest) = payload.split_once('\n')?;
+    let mut f = head.split(' ');
+    if f.next()? != "aigpass" || f.next()? != "v1" {
+        return None;
+    }
+    let name = match f.next()? {
+        "balance" => "balance",
+        "rewrite" => "rewrite",
+        _ => return None,
+    };
+    let nodes_before = f.next()?.parse().ok()?;
+    let nodes_after = f.next()?.parse().ok()?;
+    let kept = f.next()? == "1";
+    let has_body = f.next()? == "1";
+    if f.next().is_some() || kept != has_body {
+        return None;
+    }
+    let body = if has_body { Some(Aig::from_store_text(rest)?) } else { None };
+    Some((AigPass { name, nodes_before, nodes_after, kept }, body))
+}
+
+/// Stores one pass result under the memo: a one-line header (pass meta +
+/// keep decision) followed by the result graph when the pass was kept.
+fn store_pass(
+    memo: Option<&dyn SubstageMemo>,
+    kind: &str,
+    input: &Aig,
+    pass: &AigPass,
+    result: Option<&Aig>,
+) {
+    if let Some(m) = memo {
+        let mut payload = format!(
+            "aigpass v1 {} {} {} {} {}\n",
+            pass.name,
+            pass.nodes_before,
+            pass.nodes_after,
+            pass.kept as u8,
+            result.is_some() as u8
+        );
+        if let Some(r) = result {
+            payload.push_str(&r.to_store_text());
+        }
+        m.store(kind, pass_key(kind, input), &payload);
+    }
 }
 
 #[cfg(test)]
@@ -312,6 +437,78 @@ mod tests {
                 .unwrap();
         check_equiv(&d, &delay.netlist);
         assert!(delay.delay_ps <= area.delay_ps, "delay mapping must not be slower");
+    }
+
+    struct CountingMemo {
+        map: std::cell::RefCell<std::collections::HashMap<(String, u64), String>>,
+        hits: std::cell::Cell<usize>,
+        misses: std::cell::Cell<usize>,
+    }
+
+    impl CountingMemo {
+        fn new() -> CountingMemo {
+            CountingMemo {
+                map: std::cell::RefCell::new(std::collections::HashMap::new()),
+                hits: std::cell::Cell::new(0),
+                misses: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl SubstageMemo for CountingMemo {
+        fn load(&self, kind: &str, key: u64) -> Option<String> {
+            let hit = self.map.borrow().get(&(kind.to_string(), key)).cloned();
+            match &hit {
+                Some(_) => self.hits.set(self.hits.get() + 1),
+                None => self.misses.set(self.misses.get() + 1),
+            }
+            hit
+        }
+        fn store(&self, kind: &str, key: u64, payload: &str) {
+            self.map.borrow_mut().insert((kind.to_string(), key), payload.to_string());
+        }
+    }
+
+    #[test]
+    fn memoized_script_replays_bit_identically() {
+        let d = generate::switch_fabric(3, 3).unwrap();
+        let (aig, _) = Aig::from_netlist(&d).unwrap();
+        let (plain, plain_passes) = optimize_aig_scripted(&aig, DEFAULT_REWRITE_PASSES, None);
+
+        let memo = CountingMemo::new();
+        let (cold, cold_passes) =
+            optimize_aig_scripted(&aig, DEFAULT_REWRITE_PASSES, Some(&memo));
+        assert_eq!(cold.digest(), plain.digest(), "memo writes must not perturb the script");
+        assert_eq!(cold_passes, plain_passes);
+        assert_eq!(memo.hits.get(), 0);
+        let cold_misses = memo.misses.get();
+        assert_eq!(cold_misses, cold_passes.len());
+
+        let (warm, warm_passes) =
+            optimize_aig_scripted(&aig, DEFAULT_REWRITE_PASSES, Some(&memo));
+        assert_eq!(warm.digest(), plain.digest(), "warm replay is bit-identical");
+        assert_eq!(warm_passes, plain_passes);
+        assert_eq!(memo.hits.get(), cold_passes.len(), "every pass replays");
+        assert_eq!(memo.misses.get(), cold_misses, "no new misses when warm");
+    }
+
+    #[test]
+    fn shortened_script_replays_its_prefix_from_the_memo() {
+        let d = generate::switch_fabric(3, 3).unwrap();
+        let (aig, _) = Aig::from_netlist(&d).unwrap();
+        let memo = CountingMemo::new();
+        let (_, full_passes) = optimize_aig_scripted(&aig, DEFAULT_REWRITE_PASSES, Some(&memo));
+        memo.hits.set(0);
+
+        // One fewer rewrite pass: everything the edit does not touch — the
+        // opening balance and the surviving rewrite prefix — hits.
+        let shorter = DEFAULT_REWRITE_PASSES - 1;
+        let (edited, edited_passes) = optimize_aig_scripted(&aig, shorter, Some(&memo));
+        let (ref_edited, ref_passes) = optimize_aig_scripted(&aig, shorter, None);
+        assert_eq!(edited.digest(), ref_edited.digest(), "memo never changes QoR");
+        assert_eq!(edited_passes, ref_passes);
+        assert!(memo.hits.get() >= 1, "the edit must warm-replay at least one pass");
+        assert!(edited_passes.len() <= full_passes.len());
     }
 
     #[test]

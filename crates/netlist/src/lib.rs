@@ -11,6 +11,8 @@
 //!   scale-tier mesh fabrics);
 //! * [`soa`] — struct-of-arrays storage with `u32` indices and an interned
 //!   name arena for holding 10⁵–10⁶-instance designs memory-leanly;
+//! * [`memo`] — the storage-agnostic [`SubstageMemo`] hook engine crates use
+//!   to replay kernel-level results from a persistent store;
 //! * [`stats`] — structural statistics;
 //! * [`verilog`] — a structural-Verilog writer/parser for interchange.
 //!
@@ -32,12 +34,14 @@ pub mod cell;
 pub mod codec;
 pub mod generate;
 pub mod liberty;
+pub mod memo;
 pub mod netlist;
 pub mod soa;
 pub mod stats;
 pub mod verilog;
 
 pub use cell::{CellDef, CellFunction, CellId, Library};
+pub use memo::SubstageMemo;
 pub use codec::CodecError;
 pub use netlist::{InstId, Instance, Net, NetDriver, NetId, Netlist, NetlistError};
 pub use soa::{dense_heap_bytes, SoaCodecError, SoaNetlist};

@@ -1,0 +1,75 @@
+//! Sub-stage memoization hook: the storage-agnostic interface engine crates
+//! expose so a persistent store can cache results *below* stage granularity.
+//!
+//! The flow layer's stage cache memoizes whole stage executions; the
+//! sub-stage hooks let individual kernels inside a stage — an AIG rewrite
+//! pass in synthesis, the routing of a decomposed connection list — replay
+//! from a prior run even when the stage-level key misses (for example after
+//! a config edit that leaves the kernel's own input untouched). Engine
+//! crates (`eda-logic`, `eda-route`) take an optional `&dyn SubstageMemo`
+//! and look up `(kind, key)` pairs; the flow layer implements the trait over
+//! its embedded store.
+//!
+//! Contract: a payload stored under `(kind, key)` must be a pure function of
+//! the key's preimage, and a `load` hit must replay bit-identically to the
+//! recompute it stands in for. `load` returning `None` means miss, evicted,
+//! or unreadable — the caller always recomputes; a memo failure must never
+//! fail the kernel.
+
+/// A key-value memo for kernel-level (sub-stage) results. Implementations
+/// must tolerate concurrent use from one thread at a time per kernel; the
+/// engine crates only call it from the orchestrating thread, never from
+/// parallel workers.
+pub trait SubstageMemo {
+    /// Returns the payload stored under `(kind, key)`, or `None` on a miss
+    /// (including evicted or unreadable entries — the caller recomputes).
+    fn load(&self, kind: &str, key: u64) -> Option<String>;
+
+    /// Stores `payload` under `(kind, key)`. Failures are absorbed by the
+    /// implementation; storing never fails the kernel.
+    fn store(&self, kind: &str, key: u64, payload: &str);
+}
+
+/// FNV-1a over `bytes`: the shared 64-bit content hash every sub-stage key
+/// derives from (same constants as the flow layer's content addresses).
+pub fn fnv1a(bytes: impl Iterator<Item = u8>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+
+    struct MapMemo(RefCell<HashMap<(String, u64), String>>);
+
+    impl SubstageMemo for MapMemo {
+        fn load(&self, kind: &str, key: u64) -> Option<String> {
+            self.0.borrow().get(&(kind.to_string(), key)).cloned()
+        }
+        fn store(&self, kind: &str, key: u64, payload: &str) {
+            self.0.borrow_mut().insert((kind.to_string(), key), payload.to_string());
+        }
+    }
+
+    #[test]
+    fn memo_roundtrips_and_misses_cleanly() {
+        let memo = MapMemo(RefCell::new(HashMap::new()));
+        assert_eq!(memo.load("aig", 7), None);
+        memo.store("aig", 7, "payload");
+        assert_eq!(memo.load("aig", 7).as_deref(), Some("payload"));
+        assert_eq!(memo.load("route", 7), None, "kinds are separate namespaces");
+    }
+
+    #[test]
+    fn fnv_is_the_reference_vector() {
+        // FNV-1a("a") from the published test vectors.
+        assert_eq!(fnv1a("a".bytes()), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a("ab".bytes()), fnv1a("ba".bytes()));
+    }
+}

@@ -34,5 +34,8 @@ pub use grid::{DemandGrid, GCell, RoutingGrid};
 pub use region::{OverlayGrid, RegionMap, RegionScheduler, RegionTask};
 pub use linesearch::{mikami_tabuchi, mikami_tabuchi_in};
 pub use maze::{astar, astar_in, count_bends, lee_bfs, lee_bfs_in, Path, SearchStats, SearchWindow};
-pub use router::{layer_sweep, route, route_stats, RouteAlgorithm, RouteConfig, RouteOutcome};
+pub use router::{
+    layer_sweep, route, route_stats, route_stats_memo, RouteAlgorithm, RouteConfig, RouteOutcome,
+    ROUTE_NET_KIND, ROUTE_OUTCOME_KIND,
+};
 pub use rules::RuleDeck;

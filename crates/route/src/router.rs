@@ -7,7 +7,8 @@ use crate::maze::{astar_in, count_bends, lee_bfs_in, Path, SearchWindow};
 use crate::region::{OverlayGrid, RegionMap, RegionScheduler, RegionTask};
 use crate::rules::RuleDeck;
 use eda_place::Placement;
-use eda_netlist::Netlist;
+use eda_netlist::memo::fnv1a;
+use eda_netlist::{Netlist, SubstageMemo};
 use std::time::Instant;
 
 /// Routing algorithm selection.
@@ -171,37 +172,143 @@ fn decompose(
         let mut pins: Vec<GCell> = pts.into_iter().map(to_gcell).collect();
         pins.sort_unstable();
         pins.dedup();
-        let mut pairs = Vec::new();
-        if pins.len() < 2 {
-            return pairs;
-        }
-        // Prim MST on Manhattan distance.
-        let fanout = pins.len() as u32;
-        let mut in_tree = vec![false; pins.len()];
-        in_tree[0] = true;
-        for _ in 1..pins.len() {
-            let mut best: Option<(usize, usize, u32)> = None;
-            for (i, &a) in pins.iter().enumerate() {
-                if !in_tree[i] {
-                    continue;
-                }
-                for (j, &b) in pins.iter().enumerate() {
-                    if in_tree[j] {
-                        continue;
-                    }
-                    let d = a.manhattan(&b);
-                    if best.is_none_or(|(_, _, bd)| d < bd) {
-                        best = Some((i, j, d));
-                    }
-                }
-            }
-            let (i, j, _) = best.expect("tree incomplete implies a remaining pin");
-            in_tree[j] = true;
-            pairs.push(TwoPin { src: pins[i], dst: pins[j], fanout });
-        }
-        pairs
+        prim_pairs(&pins)
     });
     (per_net.into_iter().flatten().collect(), stats)
+}
+
+/// Prim MST on Manhattan distance over one net's deduplicated pin list — a
+/// pure function of the pins, which is what makes per-net memoization sound.
+fn prim_pairs(pins: &[GCell]) -> Vec<TwoPin> {
+    let mut pairs = Vec::new();
+    if pins.len() < 2 {
+        return pairs;
+    }
+    let fanout = pins.len() as u32;
+    let mut in_tree = vec![false; pins.len()];
+    in_tree[0] = true;
+    for _ in 1..pins.len() {
+        let mut best: Option<(usize, usize, u32)> = None;
+        for (i, &a) in pins.iter().enumerate() {
+            if !in_tree[i] {
+                continue;
+            }
+            for (j, &b) in pins.iter().enumerate() {
+                if in_tree[j] {
+                    continue;
+                }
+                let d = a.manhattan(&b);
+                if best.is_none_or(|(_, _, bd)| d < bd) {
+                    best = Some((i, j, d));
+                }
+            }
+        }
+        let (i, j, _) = best.expect("tree incomplete implies a remaining pin");
+        in_tree[j] = true;
+        pairs.push(TwoPin { src: pins[i], dst: pins[j], fanout });
+    }
+    pairs
+}
+
+/// [`decompose`] with per-net memoization: each net's MST pair list is keyed
+/// on its deduplicated g-cell pins, so warm runs (and other designs that
+/// place a net onto the same cells) skip the O(pins²) Prim scan. Memo
+/// probes and stores happen on the orchestrating thread; only the missing
+/// nets fan out through `par_map`. The pair list is byte-identical to
+/// [`decompose`]'s for any memo state.
+fn decompose_memo(
+    netlist: &Netlist,
+    placement: &Placement,
+    width: u32,
+    height: u32,
+    threads: usize,
+    memo: &dyn SubstageMemo,
+) -> (Vec<TwoPin>, eda_par::ParStats) {
+    let die = placement.die;
+    let to_gcell = |p: eda_place::Point| -> GCell {
+        let x = ((p.x / die.width_um * width as f64) as u32).min(width - 1);
+        let y = ((p.y / die.height_um * height as f64) as u32).min(height - 1);
+        GCell::new(x, y)
+    };
+    let ids: Vec<_> = netlist.nets().map(|(net_id, _)| net_id).collect();
+    let mut per_net: Vec<Option<Vec<TwoPin>>> = vec![None; ids.len()];
+    let mut miss_at: Vec<usize> = Vec::new();
+    let mut miss_pins: Vec<Vec<GCell>> = Vec::new();
+    let mut miss_keys: Vec<u64> = Vec::new();
+    for (i, &net_id) in ids.iter().enumerate() {
+        let pts = placement.net_points(netlist, net_id);
+        let mut pins: Vec<GCell> = pts.into_iter().map(to_gcell).collect();
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            per_net[i] = Some(Vec::new());
+            continue;
+        }
+        let key = net_pins_key(&pins);
+        match memo.load(ROUTE_NET_KIND, key).and_then(|p| parse_net_pairs(&p)) {
+            Some(pairs) => per_net[i] = Some(pairs),
+            None => {
+                miss_at.push(i);
+                miss_pins.push(pins);
+                miss_keys.push(key);
+            }
+        }
+    }
+    let (computed, stats) =
+        eda_par::par_map_stats(threads, &miss_pins, |_, pins| prim_pairs(pins));
+    for ((&i, key), pairs) in miss_at.iter().zip(miss_keys).zip(computed) {
+        memo.store(ROUTE_NET_KIND, key, &net_pairs_text(&pairs));
+        per_net[i] = Some(pairs);
+    }
+    (per_net.into_iter().flatten().flatten().collect(), stats)
+}
+
+/// Memo key for one net's MST: FNV over the deduplicated pin cells.
+fn net_pins_key(pins: &[GCell]) -> u64 {
+    let mut text = String::with_capacity(8 * pins.len() + 8);
+    text.push_str("net|");
+    for p in pins {
+        text.push_str(&format!("{},{};", p.x, p.y));
+    }
+    fnv1a(text.bytes())
+}
+
+fn net_pairs_text(pairs: &[TwoPin]) -> String {
+    let mut out = format!("netmst v1 {}\n", pairs.len());
+    for tp in pairs {
+        out.push_str(&format!(
+            "tp {} {} {} {} {}\n",
+            tp.src.x, tp.src.y, tp.dst.x, tp.dst.y, tp.fanout
+        ));
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn parse_net_pairs(text: &str) -> Option<Vec<TwoPin>> {
+    let mut lines = text.lines();
+    let mut hf = lines.next()?.split(' ');
+    if hf.next()? != "netmst" || hf.next()? != "v1" {
+        return None;
+    }
+    let n: usize = hf.next()?.parse().ok()?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut f = lines.next()?.split(' ');
+        if f.next()? != "tp" {
+            return None;
+        }
+        let sx: u32 = f.next()?.parse().ok()?;
+        let sy: u32 = f.next()?.parse().ok()?;
+        let dx: u32 = f.next()?.parse().ok()?;
+        let dy: u32 = f.next()?.parse().ok()?;
+        let fanout: u32 = f.next()?.parse().ok()?;
+        pairs.push(TwoPin { src: GCell::new(sx, sy), dst: GCell::new(dx, dy), fanout });
+    }
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    Some(pairs)
 }
 
 fn commit(grid: &mut RoutingGrid, path: &Path, delta: i32) {
@@ -300,11 +407,161 @@ pub fn route_stats(
     placement: &Placement,
     cfg: &RouteConfig,
 ) -> (RouteOutcome, eda_par::ParStats) {
+    let (outcome, stats, _) = route_stats_memo(netlist, placement, cfg, None);
+    (outcome, stats)
+}
+
+/// Memo kind for per-net MST decomposition entries.
+pub const ROUTE_NET_KIND: &str = "route.net";
+/// Memo kind for whole-outcome route replay entries.
+pub const ROUTE_OUTCOME_KIND: &str = "route.outcome";
+
+/// [`route_stats`] with an optional sub-stage memo, at two granularities:
+///
+/// * **per net** ([`ROUTE_NET_KIND`]) — each net's MST decomposition, keyed
+///   on its g-cell pins, replays without re-running Prim;
+/// * **whole outcome** ([`ROUTE_OUTCOME_KIND`]) — the final
+///   [`RouteOutcome`], keyed on the decomposed connection list plus every
+///   route-relevant config field (never `threads`), replays without
+///   touching the grid at all.
+///
+/// Paths between those granularities (per connection) are deliberately not
+/// memoized: a path depends on the demand committed by every previously
+/// routed connection, so replaying one out of context would break the
+/// bit-identity contract. The third return value reports whether the
+/// outcome was replayed (`seconds` is near-zero and the [`ParStats`] empty
+/// in that case — callers skip their kernel telemetry so replayed and
+/// recomputed runs stay comparable).
+///
+/// [`ParStats`]: eda_par::ParStats
+pub fn route_stats_memo(
+    netlist: &Netlist,
+    placement: &Placement,
+    cfg: &RouteConfig,
+    memo: Option<&dyn SubstageMemo>,
+) -> (RouteOutcome, eda_par::ParStats, bool) {
     let start = Instant::now();
     let w = cfg.grid_cells.max(2);
     let h = cfg.grid_cells.max(2);
-    let mut grid = RoutingGrid::new(w, h, &cfg.deck);
-    let (decomposed, decompose_stats) = decompose(netlist, placement, w, h, cfg.threads);
+    let grid = RoutingGrid::new(w, h, &cfg.deck);
+    let (decomposed, decompose_stats) = match memo {
+        Some(m) => decompose_memo(netlist, placement, w, h, cfg.threads, m),
+        None => decompose(netlist, placement, w, h, cfg.threads),
+    };
+    if let Some(m) = memo {
+        let key = route_outcome_key(cfg, &decomposed);
+        if let Some(out) =
+            m.load(ROUTE_OUTCOME_KIND, key).and_then(|p| parse_route_outcome(&p, start))
+        {
+            return (out, eda_par::ParStats::empty(), true);
+        }
+        let (outcome, stats) = route_decomposed(grid, decomposed, decompose_stats, cfg, start);
+        m.store(ROUTE_OUTCOME_KIND, key, &route_outcome_text(&outcome));
+        return (outcome, stats, false);
+    }
+    let (outcome, stats) = route_decomposed(grid, decomposed, decompose_stats, cfg, start);
+    (outcome, stats, false)
+}
+
+/// Memo key for the whole-outcome entry: FNV over the route-relevant config
+/// (algorithm, deck, grid, budgets, window/region shape — everything but
+/// `threads`, which outcomes are invariant to) and the decomposed
+/// connection list.
+fn route_outcome_key(cfg: &RouteConfig, pairs: &[TwoPin]) -> u64 {
+    let mut text = format!(
+        "route|{:?}|{}|{}|{}|{:016x}|{:016x}|{}|{}|{}|{}\n",
+        cfg.algorithm,
+        cfg.deck.name,
+        cfg.deck.layers,
+        cfg.deck.tracks_per_layer,
+        cfg.deck.track_derating.to_bits(),
+        cfg.deck.via_cost.to_bits(),
+        cfg.grid_cells,
+        cfg.ripup_iterations,
+        cfg.window_margin,
+        cfg.region_size,
+    );
+    for tp in pairs {
+        text.push_str(&format!("{} {} {} {} {}\n", tp.src.x, tp.src.y, tp.dst.x, tp.dst.y, tp.fanout));
+    }
+    fnv1a(text.bytes())
+}
+
+/// Serializes every deterministic [`RouteOutcome`] field (`seconds` is wall
+/// clock and excluded — a replay reports its own, near-zero, elapsed time).
+fn route_outcome_text(o: &RouteOutcome) -> String {
+    let mut out = format!(
+        "routeout v1 {} {} {} {} {} {} {} {} {} {} {} {} {}\n",
+        o.wirelength,
+        o.vias,
+        o.overflow,
+        o.connections,
+        o.linesearch_fallbacks,
+        o.cells_expanded,
+        o.iterations,
+        o.peak_window_cells,
+        o.dense_grid_cells,
+        o.regions,
+        o.local_commits,
+        o.seam_conflicts,
+        o.negotiation_waves,
+    );
+    out.push_str(&format!("ro {}\n", o.ripup_overflow.len()));
+    for v in &o.ripup_overflow {
+        out.push_str(&format!("{v}\n"));
+    }
+    out.push_str("end\n");
+    out
+}
+
+fn parse_route_outcome(text: &str, start: Instant) -> Option<RouteOutcome> {
+    let mut lines = text.lines();
+    let mut f = lines.next()?.split(' ');
+    if f.next()? != "routeout" || f.next()? != "v1" {
+        return None;
+    }
+    let mut o = RouteOutcome {
+        wirelength: f.next()?.parse().ok()?,
+        vias: f.next()?.parse().ok()?,
+        overflow: f.next()?.parse().ok()?,
+        connections: f.next()?.parse().ok()?,
+        linesearch_fallbacks: f.next()?.parse().ok()?,
+        cells_expanded: f.next()?.parse().ok()?,
+        seconds: 0.0,
+        iterations: f.next()?.parse().ok()?,
+        ripup_overflow: Vec::new(),
+        peak_window_cells: f.next()?.parse().ok()?,
+        dense_grid_cells: f.next()?.parse().ok()?,
+        regions: f.next()?.parse().ok()?,
+        local_commits: f.next()?.parse().ok()?,
+        seam_conflicts: f.next()?.parse().ok()?,
+        negotiation_waves: f.next()?.parse().ok()?,
+    };
+    if f.next().is_some() {
+        return None;
+    }
+    let n: usize = lines.next()?.strip_prefix("ro ")?.parse().ok()?;
+    for _ in 0..n {
+        o.ripup_overflow.push(lines.next()?.parse().ok()?);
+    }
+    if lines.next()? != "end" || lines.next().is_some() {
+        return None;
+    }
+    o.seconds = start.elapsed().as_secs_f64();
+    Some(o)
+}
+
+/// Routes an already-decomposed connection list — the shared back half of
+/// [`route_stats`] and [`route_stats_memo`].
+fn route_decomposed(
+    mut grid: RoutingGrid,
+    decomposed: Vec<TwoPin>,
+    decompose_stats: eda_par::ParStats,
+    cfg: &RouteConfig,
+    start: Instant,
+) -> (RouteOutcome, eda_par::ParStats) {
+    let w = cfg.grid_cells.max(2);
+    let h = cfg.grid_cells.max(2);
     if cfg.region_size > 0 && cfg.window_margin > 0 {
         let mut stats = eda_par::ParStats::empty();
         stats.absorb(&decompose_stats);
@@ -772,6 +1029,83 @@ mod tests {
         let die = Die::for_netlist(&n, 0.7);
         let p = place_global(&n, die, &GlobalConfig::default());
         (n, p)
+    }
+
+    struct MapMemo {
+        map: std::cell::RefCell<std::collections::HashMap<(String, u64), String>>,
+        hits: std::cell::Cell<usize>,
+    }
+
+    impl MapMemo {
+        fn new() -> MapMemo {
+            MapMemo {
+                map: std::cell::RefCell::new(std::collections::HashMap::new()),
+                hits: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl SubstageMemo for MapMemo {
+        fn load(&self, kind: &str, key: u64) -> Option<String> {
+            let hit = self.map.borrow().get(&(kind.to_string(), key)).cloned();
+            if hit.is_some() {
+                self.hits.set(self.hits.get() + 1);
+            }
+            hit
+        }
+        fn store(&self, kind: &str, key: u64, payload: &str) {
+            self.map.borrow_mut().insert((kind.to_string(), key), payload.to_string());
+        }
+    }
+
+    fn same_outcome(a: &RouteOutcome, b: &RouteOutcome) {
+        assert_eq!(a.wirelength, b.wirelength);
+        assert_eq!(a.vias, b.vias);
+        assert_eq!(a.overflow, b.overflow);
+        assert_eq!(a.connections, b.connections);
+        assert_eq!(a.linesearch_fallbacks, b.linesearch_fallbacks);
+        assert_eq!(a.cells_expanded, b.cells_expanded);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.ripup_overflow, b.ripup_overflow);
+        assert_eq!(a.peak_window_cells, b.peak_window_cells);
+        assert_eq!(a.dense_grid_cells, b.dense_grid_cells);
+        assert_eq!(a.regions, b.regions);
+        assert_eq!(a.local_commits, b.local_commits);
+        assert_eq!(a.seam_conflicts, b.seam_conflicts);
+        assert_eq!(a.negotiation_waves, b.negotiation_waves);
+    }
+
+    #[test]
+    fn memoized_route_replays_bit_identically() {
+        let (n, p) = placed(300, 11);
+        for cfg in [
+            RouteConfig::default(),
+            RouteConfig { window_margin: 4, region_size: 16, ..Default::default() },
+        ] {
+            let (plain, _) = route_stats(&n, &p, &cfg);
+            let memo = MapMemo::new();
+            let (cold, _, cold_replayed) = route_stats_memo(&n, &p, &cfg, Some(&memo));
+            assert!(!cold_replayed);
+            same_outcome(&cold, &plain);
+            assert_eq!(memo.hits.get(), 0, "cold run must not hit");
+            let (warm, _, warm_replayed) = route_stats_memo(&n, &p, &cfg, Some(&memo));
+            assert!(warm_replayed, "identical input replays the whole outcome");
+            same_outcome(&warm, &plain);
+            assert!(memo.hits.get() > n.nets().count() / 2, "per-net MSTs hit too");
+        }
+    }
+
+    #[test]
+    fn route_memo_misses_on_config_change() {
+        let (n, p) = placed(200, 4);
+        let memo = MapMemo::new();
+        let cfg = RouteConfig::default();
+        route_stats_memo(&n, &p, &cfg, Some(&memo));
+        let edited = RouteConfig { ripup_iterations: 3, ..cfg };
+        let (out, _, replayed) = route_stats_memo(&n, &p, &edited, Some(&memo));
+        assert!(!replayed, "ripup budget is part of the outcome key");
+        let (plain, _) = route_stats(&n, &p, &edited);
+        same_outcome(&out, &plain);
     }
 
     #[test]

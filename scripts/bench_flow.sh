@@ -9,10 +9,13 @@
 # its 1-thread and N-thread rows back-to-back in one process, so the ratio
 # is not polluted by machine drift between separate invocations.
 #
-# Also runs the incremental-flow benchmark (`experiments --incremental`):
-# a cold then warm smoke flow through the content-addressed stage cache,
-# emitted as BENCH_incremental.json (cold/warm wall clocks, % of stages
-# skipped, and the route kernel's serial-vs-parallel row for context).
+# Also runs the incremental-flow benchmark (`experiments incremental`):
+# a cold, warm, and one-AIG-pass-edited smoke flow through the persistent
+# flow store, emitted as BENCH_incremental.json (cold/warm/edit wall clocks,
+# % of stages skipped, sub-stage memo hit rate on the edited replay, and the
+# route kernel's serial-vs-parallel row for context). Fails loudly if the
+# edited replay gets zero sub-stage hits or its QoR drifts from an uncached
+# reference — the sub-stage cache regression gate.
 #
 # Also runs the flow-server benchmark (`experiments serve`): a 4-request
 # batch through the work-stealing server over one shared stage cache vs the
@@ -99,9 +102,9 @@ INCR_OUT="BENCH_incremental.json"
 INCR_DIR="$(mktemp -d)"
 trap 'rm -rf "$INCR_DIR"' EXIT
 
-echo "bench_flow: incremental pass (cold + warm smoke flow, $N workers)" >&2
+echo "bench_flow: incremental pass (cold + warm + edited smoke flow, $N workers)" >&2
 cargo build -q --release -p eda-bench
-INCR="$(./target/release/experiments --incremental --cache-dir "$INCR_DIR" --threads "$N" \
+INCR="$(./target/release/experiments incremental --store "$INCR_DIR/flow.store" --threads "$N" \
     | grep '^INCRLINE ')"
 
 { printf '%s\n' "$LINES" | grep '^BENCHLINE route_par/'; printf '%s\n' "$INCR"; } | awk '
@@ -111,6 +114,7 @@ INCR="$(./target/release/experiments --incremental --cache-dir "$INCR_DIR" --thr
     }
     /^INCRLINE/ { v[$2] = $3 + 0 }
     END {
+        sub_total = v["edit_substage_hits"] + v["edit_substage_misses"]
         printf "{\n"
         printf "  \"cold_s\": %.6f,\n", v["cold_s"]
         printf "  \"warm_s\": %.6f,\n", v["warm_s"]
@@ -119,9 +123,26 @@ INCR="$(./target/release/experiments --incremental --cache-dir "$INCR_DIR" --thr
         printf "  \"stages_skipped\": %d,\n", v["stages_skipped"]
         printf "  \"stages_skipped_pct\": %.1f,\n", 100.0 * v["stages_skipped"] / v["stages_total"]
         printf "  \"same_qor\": %s,\n", v["same_qor"] ? "true" : "false"
+        printf "  \"edit_s\": %.6f,\n", v["edit_s"]
+        printf "  \"edit_stage_hits\": %d,\n", v["edit_stage_hits"]
+        printf "  \"edit_substage_hits\": %d,\n", v["edit_substage_hits"]
+        printf "  \"edit_substage_misses\": %d,\n", v["edit_substage_misses"]
+        printf "  \"edit_substage_hit_rate\": %.4f,\n", (sub_total > 0) ? v["edit_substage_hits"] / sub_total : 0
+        printf "  \"edit_same_qor\": %s,\n", v["edit_same_qor"] ? "true" : "false"
         printf "  \"route\": {\"serial_s\": %.6f, \"parallel_s\": %.6f, \"speedup\": %.2f}\n", \
             rs, rp, (rp > 0) ? rs / rp : 0
         printf "}\n"
+        # Sub-stage cache regression gate: the edited replay ran against a
+        # fresh store, so synthesis recomputed and the per-pass memo must
+        # have replayed at least one entry with unchanged QoR.
+        if (v["edit_substage_hits"] < 1) {
+            print "bench_flow: FAIL edited replay got zero sub-stage hits" > "/dev/stderr"
+            exit 1
+        }
+        if (!v["edit_same_qor"]) {
+            print "bench_flow: FAIL edited replay QoR drifted from uncached reference" > "/dev/stderr"
+            exit 1
+        }
     }
 ' > "$INCR_OUT"
 

@@ -58,18 +58,21 @@ for attempt in 1 2 3; do
 done
 [ "$serve_ok" = 1 ] || { echo "check: FAIL serve smoke failed on all 3 attempts" >&2; exit 1; }
 
-# Daemon smoke: serve on a temp socket, push a 4-request batch (one with an
-# injected per-request stage fault) through the wire with the bit-identical
-# replay self-check, then a hostile client that drops its connection
-# mid-stream, then drain. The daemon must verify every completed request,
-# shed only the hostile connection, ack the drain, and exit 0.
+# Daemon smoke: serve on a temp socket (with a flow store bound), push a
+# 4-request batch (one with an injected per-request stage fault) through the
+# wire with the bit-identical replay self-check, query the QoR provenance
+# over the wire, then a hostile client that drops its connection mid-stream,
+# then drain. The daemon must verify every completed request, answer the
+# query from its store, shed only the hostile connection, ack the drain, and
+# exit 0.
 daemon_dir="$(mktemp -d)"
 daemon_pid=""
 trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$daemon_dir"
       [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true' EXIT
 daemon_sock="$daemon_dir/flowd.sock"
 ./target/release/experiments daemon serve --socket "$daemon_sock" \
-    --workers 2 --queue 4 --threads 4 > "$daemon_dir/serve.log" 2>&1 &
+    --workers 2 --queue 4 --threads 4 \
+    --store "$daemon_dir/flow.store" > "$daemon_dir/serve.log" 2>&1 &
 daemon_pid=$!
 for _ in $(seq 1 100); do [ -S "$daemon_sock" ] && break; sleep 0.1; done
 [ -S "$daemon_sock" ] || { echo "check: FAIL daemon socket never appeared" >&2
@@ -82,6 +85,14 @@ printf '%s\n' "$submit_log" | grep -qx 'DAEMONLINE client_completed 4' \
 printf '%s\n' "$submit_log" | grep -qx 'DAEMONLINE verified 1' \
     || { echo "check: FAIL daemon answers diverged from solo replays" >&2
          printf '%s\n' "$submit_log" >&2; exit 1; }
+# Provenance over the wire: the daemon answers `query` from its store on the
+# reader thread (no flow worker). The three clean completions above (the
+# faulted request runs storeless) must come back as QoR history rows.
+query_log="$(./target/release/experiments daemon query --socket "$daemon_sock" --last 10)"
+query_rows="$(printf '%s\n' "$query_log" | awk '/^QUERYLINE rows /{print $3}')"
+[ "${query_rows:-0}" -ge 2 ] \
+    || { echo "check: FAIL daemon query returned ${query_rows:-0} provenance rows (want >= 2)" >&2
+         printf '%s\n' "$query_log" >&2; exit 1; }
 hostile_log="$(./target/release/experiments daemon submit --socket "$daemon_sock" \
     --count 4 --xfault 'conn-drop@2')"
 printf '%s\n' "$hostile_log" | grep -qx 'DAEMONLINE dropped 1' \
@@ -100,31 +111,67 @@ daemon_pid=""
 grep -q 'daemon drained cleanly' "$daemon_dir/serve.log" \
     || { echo "check: FAIL daemon log missing clean-drain line" >&2
          cat "$daemon_dir/serve.log" >&2; exit 1; }
-echo "check: daemon verified batch + shed hostile client + drained to exit 0"
+echo "check: daemon verified batch + answered query ($query_rows rows) + shed hostile client + drained to exit 0"
 
 # Facade doc-tests: the crate-root examples in src/lib.rs (run_flow via the
 # config builder + the flow-server batch) must keep compiling and passing.
 cargo test --release -q --doc -p eda
 
-# Incremental-flow smoke: cold run populates the stage cache, warm run must
-# replay >= 8 stages with bit-identical QoR (the tool itself asserts both).
+# Incremental-flow smoke against the flow store: cold run populates it, the
+# warm run must replay >= 8 stages, and the one-AIG-pass edit run must
+# replay >= 1 sub-stage memo entry (the stage cache alone replays 0 inside
+# an edited synthesis stage) — all with bit-identical QoR (the tool itself
+# asserts all of it; the greps below keep the sub-stage gate loud even if
+# the tool's own thresholds drift).
 cache_dir="$(mktemp -d)"
 trap 'rm -f "$test_log"; rm -rf "$trace_dir" "$serve_cache" "$daemon_dir" "$cache_dir"' EXIT
-./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4
+store_file="$cache_dir/flow.store"
+incr_log="$(./target/release/experiments incremental --store "$store_file" --threads 4)"
+printf '%s\n' "$incr_log"
+sub_hits="$(printf '%s\n' "$incr_log" | awk '/^INCRLINE edit_substage_hits /{print $3}')"
+[ "${sub_hits:-0}" -ge 1 ] \
+    || { echo "check: FAIL edited run replayed ${sub_hits:-0} sub-stage entries (want >= 1)" >&2
+         exit 1; }
+printf '%s\n' "$incr_log" | grep -qx 'INCRLINE edit_same_qor 1' \
+    || { echo "check: FAIL edited-run QoR diverged from the uncached reference" >&2; exit 1; }
 
-# Poisoned-cache smoke: truncate one entry; the next run must report exactly
-# one unreadable entry, fall back to recomputing that stage (never panic),
-# and still finish with bit-identical QoR.
-poisoned="$(ls "$cache_dir"/*.stage | head -1)"
-head -c 20 "$poisoned" > "$poisoned.tmp" && mv "$poisoned.tmp" "$poisoned"
-incr_log="$(./target/release/experiments --incremental --cache-dir "$cache_dir" --threads 4)"
+# Provenance-query smoke: the runs above must be answerable from the store.
+query_log="$(./target/release/experiments query --store "$store_file" \
+    --design xbar3x3 --metric wns --last 10)"
+printf '%s\n' "$query_log"
+qrows="$(printf '%s\n' "$query_log" | awk '/^QUERYLINE rows /{print $3}')"
+[ "${qrows:-0}" -ge 2 ] \
+    || { echo "check: FAIL store query returned ${qrows:-0} QoR rows (want >= 2 prior runs)" >&2
+         exit 1; }
+
+# Poisoned-store smoke: flip one byte inside the first stage-table record's
+# payload; the next run must report exactly one unreadable entry, fall back
+# to recomputing that stage (never panic), and still finish with
+# bit-identical QoR.
+python3 - "$store_file" <<'PY'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+pos = 0
+while True:
+    at = data.find(b"%rec ", pos)
+    assert at >= 0, "no store records found"
+    nl = data.index(b"\n", at)
+    fields = bytes(data[at:nl]).split(b" ")
+    if fields[1] == b"stage":
+        data[nl + 1] ^= 0x01
+        break
+    pos = nl + int(fields[3]) + 1
+open(path, "wb").write(bytes(data))
+PY
+incr_log="$(./target/release/experiments incremental --store "$store_file" --threads 4)"
 printf '%s\n' "$incr_log" | grep -qx 'INCRLINE cold_errors 1' \
-    || { echo "check: FAIL poisoned cache entry not surfaced as cache.errors=1" >&2
+    || { echo "check: FAIL poisoned store record not surfaced as cache.errors=1" >&2
          printf '%s\n' "$incr_log" >&2; exit 1; }
 printf '%s\n' "$incr_log" | grep -qx 'INCRLINE same_qor 1' \
-    || { echo "check: FAIL QoR drifted after poisoned-cache recompute" >&2
+    || { echo "check: FAIL QoR drifted after poisoned-store recompute" >&2
          printf '%s\n' "$incr_log" >&2; exit 1; }
-echo "check: poisoned cache entry recomputed, QoR intact"
+echo "check: store smoke green (edit replayed $sub_hits sub-stage entries, query returned $qrows rows, poisoned record recomputed)"
 
 # Mini-scale smoke: a 10^4-instance mesh fabric through the full scale-tier
 # flow, serial and at 4 workers. The tool itself asserts all 11 stages

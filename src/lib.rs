@@ -28,10 +28,10 @@
 //! # }
 //! ```
 //!
-//! Serve a batch of designs through one server sharing a stage cache:
+//! Serve a batch of designs through one server sharing a flow store:
 //!
 //! ```no_run
-//! use eda::{FlowConfig, FlowRequest, FlowServer};
+//! use eda::{FlowConfig, FlowRequest, FlowServer, StoreConfig};
 //! use eda::netlist::generate;
 //! use eda::tech::Node;
 //!
@@ -41,10 +41,49 @@
 //!     FlowRequest::new(generate::parity_tree(8)?, cfg.clone()).with_priority(1),
 //!     FlowRequest::new(generate::ripple_carry_adder(8)?, cfg),
 //! ];
-//! let server = FlowServer::builder().threads(4).cache_dir("/tmp/eda-cache").build();
+//! let store = StoreConfig::at("/tmp/eda-cache/flow.store");
+//! let server = FlowServer::builder().threads(4).store(store).build();
 //! let report = server.serve(batch);
 //! assert_eq!(report.responses.len(), 2);
 //! println!("{:.1} designs/s", report.throughput_per_s());
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Run a flow against a persistent store, then query its QoR provenance —
+//! the [`Store`] and [`Query`] traits are the typed surface over one
+//! append-friendly file holding the stage cache, the sub-stage memo, and
+//! the run history:
+//!
+//! ```
+//! use eda::{run_flow, FlowConfig, FlowStore, QorQuery, Query, StoreConfig};
+//! use eda::netlist::generate;
+//! use eda::tech::Node;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let dir = std::env::temp_dir().join(format!("eda-facade-{}", std::process::id()));
+//! let store = StoreConfig::at(dir.join("flow.store"));
+//!
+//! let design = generate::ripple_carry_adder(8)?;
+//! let cfg = FlowConfig::builder()
+//!     .name("quickstart")
+//!     .node(Node::N28)
+//!     .threads(1)
+//!     .store(store.clone())
+//!     .build()?;
+//! let report = run_flow(&design, &cfg)?;
+//!
+//! // Every completed run appended a provenance row keyed by the design's
+//! // name; ask for the history.
+//! let handle = FlowStore::open(&store)?;
+//! let rows = handle.qor_history(&QorQuery {
+//!     design: Some(design.name().into()),
+//!     stage: None,
+//!     last: 10,
+//! })?;
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0].qor_fp, report.qor_fingerprint());
+//! # std::fs::remove_dir_all(&dir).ok();
 //! # Ok(())
 //! # }
 //! ```
@@ -63,8 +102,9 @@ pub use eda_sta as sta;
 pub use eda_tech as tech;
 
 pub use eda_core::{
-    run_flow, ConfigError, Fault, FaultPlan, FlowConfig, FlowConfigBuilder, FlowError,
-    FlowReport, FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession,
-    FlowTuner, Metric, PartialFlow, ServerReport, Span, SpanKind, StageStatus, Telemetry,
+    run_flow, ConfigError, EvictionPolicy, Fault, FaultPlan, FlowConfig, FlowConfigBuilder,
+    FlowError, FlowReport, FlowRequest, FlowResponse, FlowServer, FlowServerBuilder, FlowSession,
+    FlowStore, FlowTuner, Lookup, Metric, PartialFlow, QorQuery, QorRow, Query, ServerReport,
+    Span, SpanKind, StageRow, StageStatus, Store, StoreConfig, StoreError, Table, Telemetry,
     TelemetrySnapshot, STAGES,
 };
